@@ -1,0 +1,526 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4), plus ablations of the design choices called out in DESIGN.md and
+// micro-benchmarks of Spectra's hot paths. Figure benches report the
+// headline shape metrics via b.ReportMetric so `go test -bench .` output
+// doubles as a compact reproduction record.
+package spectra_test
+
+import (
+	"testing"
+	"time"
+
+	"spectra/internal/apps/janus"
+	"spectra/internal/apps/latex"
+	"spectra/internal/apps/pangloss"
+	"spectra/internal/core"
+	"spectra/internal/scenario"
+	"spectra/internal/solver"
+	"spectra/internal/testbed"
+)
+
+// Model-option helpers for the ablation benches.
+func modelOpts(disableDataModels bool) core.ModelOptions {
+	return core.ModelOptions{DisableDataModels: disableDataModels}
+}
+
+func decayOpts(decay float64) core.ModelOptions {
+	return core.ModelOptions{Decay: decay}
+}
+
+func filePredictOpts(disable bool) core.ModelOptions {
+	return core.ModelOptions{DisableFilePrediction: disable}
+}
+
+// --- Figures 3 and 4: speech recognition time and energy -----------------
+
+func speechMetrics(b *testing.B, results []scenario.ScenarioResult) (localOverHybrid, hybridOverRemoteEnergy float64) {
+	b.Helper()
+	for _, r := range results {
+		if r.Scenario != scenario.SpeechBaseline {
+			continue
+		}
+		var local, hybrid, remote scenario.Measurement
+		for _, bar := range r.Bars {
+			switch bar.Label {
+			case "local/full":
+				local = bar
+			case "hybrid/full":
+				hybrid = bar
+			case "remote/full":
+				remote = bar
+			}
+		}
+		localOverHybrid = float64(local.Elapsed) / float64(hybrid.Elapsed)
+		hybridOverRemoteEnergy = hybrid.EnergyJoules / remote.EnergyJoules
+	}
+	return localOverHybrid, hybridOverRemoteEnergy
+}
+
+func BenchmarkFig3SpeechTime(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunSpeech(testbed.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio, _ = speechMetrics(b, results)
+	}
+	// Paper: local execution takes 3-9x as long as hybrid.
+	b.ReportMetric(ratio, "local/hybrid-ratio")
+}
+
+func BenchmarkFig4SpeechEnergy(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunSpeech(testbed.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, ratio = speechMetrics(b, results)
+	}
+	// Paper: hybrid consumes more client energy than remote.
+	b.ReportMetric(ratio, "hybrid/remote-energy")
+}
+
+// --- Figures 5-7: Latex time and energy ----------------------------------
+
+func latexBars(results []scenario.LatexResult, docName, scen, label string) scenario.Measurement {
+	for _, lr := range results {
+		if lr.Document.Name != docName {
+			continue
+		}
+		for _, r := range lr.Results {
+			if r.Scenario != scen {
+				continue
+			}
+			for _, bar := range r.Bars {
+				if bar.Label == label {
+					return bar
+				}
+			}
+		}
+	}
+	return scenario.Measurement{}
+}
+
+func BenchmarkFig5LatexSmall(b *testing.B) {
+	var bOverA float64
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunLatex(testbed.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := latexBars(results, "small.tex", scenario.LatexBaseline, "serverB")
+		a := latexBars(results, "small.tex", scenario.LatexBaseline, "serverA")
+		bOverA = float64(a.Elapsed) / float64(base.Elapsed)
+	}
+	// Paper: the faster server B wins the baseline.
+	b.ReportMetric(bOverA, "serverA/serverB-time")
+}
+
+func BenchmarkFig6LatexLarge(b *testing.B) {
+	var localOverB float64
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunLatex(testbed.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		local := latexBars(results, "large.tex", scenario.LatexBaseline, "local")
+		srvB := latexBars(results, "large.tex", scenario.LatexBaseline, "serverB")
+		localOverB = float64(local.Elapsed) / float64(srvB.Elapsed)
+	}
+	b.ReportMetric(localOverB, "local/serverB-time")
+}
+
+func BenchmarkFig7LatexEnergy(b *testing.B) {
+	var localOverB float64
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunLatex(testbed.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		local := latexBars(results, "small.tex", scenario.LatexEnergy, "local")
+		srvB := latexBars(results, "small.tex", scenario.LatexEnergy, "serverB")
+		localOverB = local.EnergyJoules / srvB.EnergyJoules
+	}
+	// Paper: server B uses slightly less energy than local execution.
+	b.ReportMetric(localOverB, "local/serverB-energy")
+}
+
+// --- Figures 8 and 9: Pangloss-Lite decision quality ----------------------
+
+func BenchmarkFig8PanglossAccuracy(b *testing.B) {
+	var meanPct float64
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunPangloss(testbed.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		var n int
+		for _, r := range results {
+			for _, s := range r.Sentences {
+				sum += s.Percentile
+				n++
+			}
+		}
+		meanPct = sum / float64(n)
+	}
+	b.ReportMetric(meanPct, "mean-percentile")
+}
+
+func BenchmarkFig9PanglossUtility(b *testing.B) {
+	var meanRel float64
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunPangloss(testbed.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range results {
+			sum += r.MeanRelativeUtility()
+		}
+		meanRel = sum / float64(len(results))
+	}
+	// Paper: Spectra achieves on average 91% of the best utility.
+	b.ReportMetric(meanRel, "relative-utility")
+}
+
+// --- Figure 10: decision overhead ----------------------------------------
+
+func BenchmarkFig10Overhead(b *testing.B) {
+	var fiveServersMs, fullCacheMs float64
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunOverhead(testbed.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			ms := float64(r.Total.Microseconds()) / 1000
+			if r.FullCache {
+				fullCacheMs = ms
+			} else if r.Servers == 5 {
+				fiveServersMs = ms
+			}
+		}
+	}
+	b.ReportMetric(fiveServersMs, "ms/op-5servers")
+	b.ReportMetric(fullCacheMs, "ms/op-fullcache")
+}
+
+// --- Ablations (DESIGN.md §5) ---------------------------------------------
+
+// trainedPanglossDecision builds a trained Pangloss testbed and returns a
+// function performing one placement decision, used by the solver ablation.
+func trainedPanglossDecision(b *testing.B, opts testbed.Options) func() (int, float64) {
+	b.Helper()
+	tb, err := testbed.NewLaptop(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := pangloss.Install(tb.Setup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	alts := pangloss.AllAlternatives(tb.Setup.Client.Servers())
+	for _, words := range []float64{4, 10, 20, 34} {
+		for _, alt := range alts {
+			if _, err := app.TranslateForced(alt, words); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	op := app.Operation()
+	return func() (int, float64) {
+		octx, err := tb.Setup.Client.BeginFidelityOp(op,
+			map[string]float64{pangloss.ParamWords: 12}, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := octx.Decision()
+		octx.Abort()
+		return d.Evaluations, d.Utility
+	}
+}
+
+// BenchmarkAblationSolverHeuristic measures the heuristic solver's decision
+// latency and evaluation count over the ~100-alternative Pangloss space.
+func BenchmarkAblationSolverHeuristic(b *testing.B) {
+	decide := trainedPanglossDecision(b, testbed.Options{})
+	b.ResetTimer()
+	var evals int
+	var util float64
+	for i := 0; i < b.N; i++ {
+		evals, util = decide()
+	}
+	b.ReportMetric(float64(evals), "evaluations")
+	b.ReportMetric(util, "utility")
+}
+
+// BenchmarkAblationSolverExhaustive is the oracle counterpart.
+func BenchmarkAblationSolverExhaustive(b *testing.B) {
+	decide := trainedPanglossDecision(b, testbed.Options{Exhaustive: true})
+	b.ResetTimer()
+	var evals int
+	var util float64
+	for i := 0; i < b.N; i++ {
+		evals, util = decide()
+	}
+	b.ReportMetric(float64(evals), "evaluations")
+	b.ReportMetric(util, "utility")
+}
+
+// BenchmarkAblationNoParams disables input-parameter regression: Pangloss
+// decision quality degrades because predicted execution time no longer
+// tracks sentence length (the paper's Figure 8 baseline discussion).
+func BenchmarkAblationNoParams(b *testing.B) {
+	benchPanglossQuality(b, testbed.Options{
+		Models: core.ModelOptions{DisableParams: true},
+	})
+}
+
+// BenchmarkAblationWithParams is the control for NoParams.
+func BenchmarkAblationWithParams(b *testing.B) {
+	benchPanglossQuality(b, testbed.Options{})
+}
+
+func benchPanglossQuality(b *testing.B, opts testbed.Options) {
+	var meanRel float64
+	for i := 0; i < b.N; i++ {
+		results, err := scenario.RunPangloss(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum float64
+		for _, r := range results {
+			sum += r.MeanRelativeUtility()
+		}
+		meanRel = sum / float64(len(results))
+	}
+	b.ReportMetric(meanRel, "relative-utility")
+}
+
+// BenchmarkAblationNoDataModels disables per-document models: the large
+// Latex document wrongly inherits the small document's file-access profile
+// and pays reintegration it does not need.
+func BenchmarkAblationNoDataModels(b *testing.B) {
+	var bytes float64
+	for i := 0; i < b.N; i++ {
+		bytes = latexLargeReintegration(b, true)
+	}
+	b.ReportMetric(bytes, "reint-bytes/op")
+}
+
+// BenchmarkAblationWithDataModels is the control for NoDataModels.
+func BenchmarkAblationWithDataModels(b *testing.B) {
+	var bytes float64
+	for i := 0; i < b.N; i++ {
+		bytes = latexLargeReintegration(b, false)
+	}
+	b.ReportMetric(bytes, "reint-bytes/op")
+}
+
+// latexLargeReintegration trains Latex, dirties the small document's input,
+// and reports how many bytes a large-document compile reintegrated.
+func latexLargeReintegration(b *testing.B, disableDataModels bool) float64 {
+	b.Helper()
+	tb, err := testbed.NewLaptop(testbed.Options{
+		Models: modelOpts(disableDataModels),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := latex.Install(tb.Setup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	small, large := latex.SmallDocument(), latex.LargeDocument()
+	for i := 0; i < 3; i++ {
+		for _, d := range []latex.Document{small, large} {
+			for _, alt := range []solver.Alternative{
+				{Plan: latex.PlanLocal},
+				{Server: "serverB", Plan: latex.PlanRemote},
+			} {
+				if _, err := app.CompileForced(alt, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	if _, err := tb.Setup.Env.Host().Coda().ReintegrateAll(); err != nil {
+		b.Fatal(err)
+	}
+	if err := app.TouchInput(small); err != nil {
+		b.Fatal(err)
+	}
+	rep, err := app.CompileForced(solver.Alternative{Server: "serverB", Plan: latex.PlanRemote}, large)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(rep.Decision.ReintegratedBytes)
+}
+
+// BenchmarkAblationNoDecay disables recency weighting: after a behaviour
+// change the stale model keeps mispredicting. The metric is the relative
+// prediction error for the changed workload.
+func BenchmarkAblationNoDecay(b *testing.B) {
+	var errPct float64
+	for i := 0; i < b.N; i++ {
+		errPct = speechChangeError(b, 1.0) // decay 1 = no recency weighting
+	}
+	b.ReportMetric(errPct, "latency-error-%")
+}
+
+// BenchmarkAblationWithDecay is the control for NoDecay.
+func BenchmarkAblationWithDecay(b *testing.B) {
+	var errPct float64
+	for i := 0; i < b.N; i++ {
+		errPct = speechChangeError(b, 0) // 0 selects the default decay
+	}
+	b.ReportMetric(errPct, "latency-error-%")
+}
+
+// speechChangeError trains Janus, then doubles utterance complexity by
+// switching to longer phrases, and reports how far the predicted latency of
+// the hybrid plan is from the measured one.
+func speechChangeError(b *testing.B, decay float64) float64 {
+	b.Helper()
+	tb, err := testbed.NewSpeech(testbed.Options{
+		Models: decayOpts(decay),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := janus.Install(tb.Setup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	alt := solver.Alternative{
+		Server:   "t20",
+		Plan:     janus.PlanHybrid,
+		Fidelity: map[string]string{janus.FidelityDim: janus.VocabFull},
+	}
+	// Old regime: short phrases. The length parameter is deliberately NOT
+	// informative here (every phrase identical), so adapting to the new
+	// regime relies purely on recency weighting.
+	for i := 0; i < 20; i++ {
+		if _, err := app.RecognizeForced(alt, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// New regime: same reported parameter, heavier real work (e.g. a new
+	// acoustic model): run longer phrases but report length 1.0.
+	var measured time.Duration
+	for i := 0; i < 10; i++ {
+		octx, err := tb.Setup.Client.BeginForced(app.Operation(), alt,
+			map[string]float64{janus.ParamLength: 1.0}, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := octx.DoLocalOp("frontend", make([]byte, 48_000)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := octx.DoRemoteOp("search.full", make([]byte, 6_000)); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := octx.End()
+		if err != nil {
+			b.Fatal(err)
+		}
+		measured = rep.Elapsed
+	}
+	octx, err := tb.Setup.Client.BeginForced(app.Operation(), alt,
+		map[string]float64{janus.ParamLength: 1.0}, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	predicted := octx.Decision().Predicted.Latency
+	octx.Abort()
+	diff := predicted.Seconds() - measured.Seconds()
+	if diff < 0 {
+		diff = -diff
+	}
+	return 100 * diff / measured.Seconds()
+}
+
+// --- Extensions -----------------------------------------------------------
+
+// BenchmarkExtensionParallelPangloss measures the paper's future-work
+// parallel execution plans (§4.3): the translation engines overlap on
+// different servers instead of running sequentially.
+func BenchmarkExtensionParallelPangloss(b *testing.B) {
+	tb, err := testbed.NewLaptop(testbed.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := pangloss.Install(tb.Setup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	full := map[string]string{"ebmt": "on", "glossary": "on", "dict": "on"}
+	const words = 30
+
+	var improvement float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq, err := app.TranslateForced(solver.Alternative{
+			Server:   "serverB",
+			Plan:     "e=r,g=r,d=r,m=l",
+			Fidelity: full,
+		}, words)
+		if err != nil {
+			b.Fatal(err)
+		}
+		par, err := app.TranslateParallel(words, full, "serverB", map[string]string{
+			pangloss.EngineEBMT:     "serverB",
+			pangloss.EngineGlossary: "serverA",
+			pangloss.EngineDict:     "serverB",
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		improvement = 100 * float64(seq.Elapsed-par.Elapsed) / float64(seq.Elapsed)
+	}
+	b.ReportMetric(improvement, "speedup-%")
+}
+
+// BenchmarkAblationNoFilePredict disables selective file-access prediction:
+// every known file counts as likely-accessed, so the large document pays
+// reintegration for the small document's edits.
+func BenchmarkAblationNoFilePredict(b *testing.B) {
+	var bytes float64
+	for i := 0; i < b.N; i++ {
+		tb, err := testbed.NewLaptop(testbed.Options{
+			Models: filePredictOpts(true),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		app, err := latex.Install(tb.Setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.Setup.Refresh()
+		small, large := latex.SmallDocument(), latex.LargeDocument()
+		for j := 0; j < 3; j++ {
+			for _, d := range []latex.Document{small, large} {
+				if _, err := app.CompileForced(solver.Alternative{Server: "serverB", Plan: latex.PlanRemote}, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := app.TouchInput(small); err != nil {
+			b.Fatal(err)
+		}
+		rep, err := app.CompileForced(solver.Alternative{Server: "serverB", Plan: latex.PlanRemote}, large)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = float64(rep.Decision.ReintegratedBytes)
+	}
+	b.ReportMetric(bytes, "reint-bytes/op")
+}

@@ -1,0 +1,94 @@
+// Command spectra-bench regenerates the paper's evaluation (§4): every
+// figure of "Balancing Performance, Energy, and Quality in Pervasive
+// Computing" reproduced on the simulated testbeds.
+//
+// Usage:
+//
+//	spectra-bench             # all figures
+//	spectra-bench -fig 3      # one figure (3-10)
+//	spectra-bench -exhaustive # use the exhaustive solver instead of the
+//	                          # heuristic (oracle decision quality)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spectra/internal/scenario"
+	"spectra/internal/testbed"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to reproduce (3-10); 0 runs all")
+	exhaustive := flag.Bool("exhaustive", false, "replace the heuristic solver with exhaustive search")
+	flag.Parse()
+
+	opts := testbed.Options{Exhaustive: *exhaustive}
+	if err := run(*fig, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "spectra-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, opts testbed.Options) error {
+	wantSpeech := fig == 0 || fig == 3 || fig == 4
+	wantLatex := fig == 0 || (fig >= 5 && fig <= 7)
+	wantPangloss := fig == 0 || fig == 8 || fig == 9
+	wantOverhead := fig == 0 || fig == 10
+	if !wantSpeech && !wantLatex && !wantPangloss && !wantOverhead {
+		return fmt.Errorf("unknown figure %d (want 3-10)", fig)
+	}
+
+	if wantSpeech {
+		results, err := scenario.RunSpeech(opts)
+		if err != nil {
+			return err
+		}
+		if fig == 0 || fig == 3 {
+			fmt.Println(scenario.FormatTimeTable("Figure 3 — speech recognition", results))
+		}
+		if fig == 0 || fig == 4 {
+			fmt.Println(scenario.FormatEnergyTable("Figure 4 — speech recognition", results))
+		}
+	}
+
+	if wantLatex {
+		results, err := scenario.RunLatex(opts)
+		if err != nil {
+			return err
+		}
+		for _, lr := range results {
+			figure := 5
+			if lr.Document.Pages > 100 {
+				figure = 6
+			}
+			if fig == 0 || fig == figure {
+				title := fmt.Sprintf("Figure %d — Latex %s (%d pages)",
+					figure, lr.Document.Name, int(lr.Document.Pages))
+				fmt.Println(scenario.FormatTimeTable(title, lr.Results))
+			}
+			if fig == 0 || fig == 7 {
+				title := fmt.Sprintf("Figure 7 — Latex %s", lr.Document.Name)
+				fmt.Println(scenario.FormatEnergyTable(title, lr.Results))
+			}
+		}
+	}
+
+	if wantPangloss {
+		results, err := scenario.RunPangloss(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(scenario.FormatPangloss(results))
+	}
+
+	if wantOverhead {
+		results, err := scenario.RunOverhead(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(scenario.FormatOverhead(results))
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"spectra/internal/testbed"
+)
+
+func TestRunRejectsUnknownFigure(t *testing.T) {
+	if err := run(99, testbed.Options{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunOverheadFigure(t *testing.T) {
+	if err := run(10, testbed.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpeechFigure(t *testing.T) {
+	if err := run(3, testbed.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLatexFigure(t *testing.T) {
+	if err := run(5, testbed.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPanglossFigureExhaustive(t *testing.T) {
+	if err := run(8, testbed.Options{Exhaustive: true}); err != nil {
+		t.Fatal(err)
+	}
+}

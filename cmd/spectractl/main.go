@@ -1,0 +1,107 @@
+// Command spectractl inspects and exercises a running spectrad server.
+//
+// Usage:
+//
+//	spectractl -server 127.0.0.1:7009 status
+//	spectractl -server 127.0.0.1:7009 ping
+//	spectractl -server 127.0.0.1:7009 work -mc 500
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"spectra/internal/rpc"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:7009", "spectrad address")
+	flag.Parse()
+
+	if err := run(*server, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "spectractl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(server string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: spectractl -server ADDR {status|ping|work [-mc N]}")
+	}
+	client, err := rpc.Dial(server, nil)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "status":
+		return status(client)
+	case "ping":
+		return ping(client)
+	case "work":
+		return work(client, args[1:])
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func status(client *rpc.Client) error {
+	st, err := client.Status()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("server:      %s\n", st.Name)
+	fmt.Printf("cpu:         %.0f MHz (%.0f MHz available, load %.2f)\n",
+		st.SpeedMHz, st.AvailMHz, st.LoadFraction)
+	fmt.Printf("fetch rate:  %.0f B/s\n", st.FetchRateBps)
+	fmt.Printf("services:    %v\n", st.Services)
+	if len(st.CachedFiles) > 0 {
+		fmt.Printf("cached:      %d files\n", len(st.CachedFiles))
+	}
+	return nil
+}
+
+func ping(client *rpc.Client) error {
+	const count = 5
+	var total time.Duration
+	for i := 0; i < count; i++ {
+		d, err := client.Ping()
+		if err != nil {
+			return err
+		}
+		total += d
+		fmt.Printf("ping %d: %v\n", i+1, d.Round(time.Microsecond))
+	}
+	fmt.Printf("mean: %v\n", (total / count).Round(time.Microsecond))
+	return nil
+}
+
+func work(client *rpc.Client, args []string) error {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	mc := fs.Uint64("mc", 100, "megacycles of work to request")
+	fp := fs.Bool("fp", false, "request floating-point work")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	payload := make([]byte, 9)
+	binary.BigEndian.PutUint64(payload, *mc)
+	if *fp {
+		payload[8] = 1
+	}
+	start := time.Now()
+	_, usage, err := client.Call("spectra.work", "run", payload)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("executed %d Mc in %v", *mc, elapsed.Round(time.Millisecond))
+	if usage != nil {
+		fmt.Printf(" (server reports %.0f Mc consumed)", usage.CPUMegacycles)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"testing"
+
+	"spectra"
+	"spectra/internal/sim"
+)
+
+// startServer runs an in-process spectrad-equivalent for spectractl tests.
+func startServer(t *testing.T) string {
+	t.Helper()
+	machine := spectra.NewMachine(spectra.MachineConfig{
+		Name: "ctl-test", SpeedMHz: 50_000, OnWallPower: true,
+	})
+	node := spectra.NewNode(machine, nil, nil)
+	srv := spectra.NewServer("ctl-test", node, sim.RealClock{})
+	srv.Register("spectra.work", func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: 10})
+		return []byte("done"), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func TestCtlStatus(t *testing.T) {
+	addr := startServer(t)
+	if err := run(addr, []string{"status"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtlPing(t *testing.T) {
+	addr := startServer(t)
+	if err := run(addr, []string{"ping"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtlWork(t *testing.T) {
+	addr := startServer(t)
+	if err := run(addr, []string{"work", "-mc", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(addr, []string{"work", "-mc", "5", "-fp"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCtlErrors(t *testing.T) {
+	addr := startServer(t)
+	if err := run(addr, nil); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run(addr, []string{"bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	if err := run("127.0.0.1:1", []string{"status"}); err == nil {
+		t.Fatal("dead server accepted")
+	}
+}

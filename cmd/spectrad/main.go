@@ -1,0 +1,77 @@
+// Command spectrad runs a Spectra remote-execution server: it hosts
+// services, executes them in metered contexts, reports per-RPC resource
+// usage, and publishes resource snapshots that clients poll for their
+// remote proxy monitors.
+//
+// Besides the built-in echo service (used by client probes), spectrad
+// hosts "spectra.work", a benchmark service whose requests encode a CPU
+// demand — useful for exercising a live deployment with spectractl or the
+// daemon example.
+//
+// Usage:
+//
+//	spectrad -addr :7009 -name serverB -mhz 933
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"spectra"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "127.0.0.1:7009", "TCP address to listen on")
+		name = flag.String("name", "spectrad", "server name published in status snapshots")
+		mhz  = flag.Float64("mhz", 1000, "modeled CPU clock in MHz (paces spectra.work)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *name, *mhz); err != nil {
+		fmt.Fprintln(os.Stderr, "spectrad:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, name string, mhz float64) error {
+	machine := spectra.NewMachine(spectra.MachineConfig{
+		Name:        name,
+		SpeedMHz:    mhz,
+		OnWallPower: true,
+	})
+	node := spectra.NewNode(machine, nil, nil)
+	srv := spectra.NewServer(name, node, spectra.RealClock{})
+	srv.Register("spectra.work", workService)
+
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spectrad %q listening on %s (%.0f MHz model)\n", name, bound, mhz)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("spectrad: shutting down")
+	return srv.Close()
+}
+
+// workService burns the megacycles encoded in the request's first eight
+// bytes (big endian); a ninth byte of 1 marks the demand as floating-point.
+func workService(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("spectra.work: payload needs 8-byte megacycle header")
+	}
+	mc := float64(binary.BigEndian.Uint64(payload))
+	demand := spectra.ComputeDemand{IntegerMegacycles: mc}
+	if len(payload) > 8 && payload[8] == 1 {
+		demand = spectra.ComputeDemand{FloatMegacycles: mc}
+	}
+	ctx.Compute(demand)
+	return []byte("done"), nil
+}

@@ -1,0 +1,123 @@
+package spectra_test
+
+import (
+	"fmt"
+	"time"
+
+	"spectra"
+)
+
+// Example shows the complete Spectra flow on a simulated testbed: register
+// an operation, self-tune over both plans, then let Spectra place the next
+// execution.
+func Example() {
+	client := spectra.NewMachine(spectra.MachineConfig{
+		Name: "handheld", SpeedMHz: 100, OnWallPower: true,
+	})
+	server := spectra.NewMachine(spectra.MachineConfig{
+		Name: "server", SpeedMHz: 1000, OnWallPower: true,
+	})
+	link := spectra.NewLink(spectra.LinkConfig{
+		Name: "lan", Latency: time.Millisecond, BandwidthBps: 1 << 20,
+	})
+	setup, err := spectra.NewSimSetup(spectra.SimOptions{
+		Host:    client,
+		Servers: []spectra.SimServer{{Name: "server", Machine: server, Link: link}},
+	})
+	if err != nil {
+		fmt.Println("setup:", err)
+		return
+	}
+
+	work := func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: 500})
+		return []byte("ok"), nil
+	}
+	setup.Env.Host().RegisterService("work", work)
+	if node, _, ok := setup.Env.Server("server"); ok {
+		node.RegisterService("work", work)
+	}
+
+	op, err := setup.Client.RegisterFidelity(spectra.OperationSpec{
+		Name:    "example.work",
+		Service: "work",
+		Plans: []spectra.PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+	})
+	if err != nil {
+		fmt.Println("register:", err)
+		return
+	}
+	setup.Refresh()
+
+	// Self-tune: one execution of each plan.
+	for _, alt := range []spectra.Alternative{
+		{Plan: "local"},
+		{Server: "server", Plan: "remote"},
+	} {
+		octx, err := setup.Client.BeginForced(op, alt, nil, "")
+		if err != nil {
+			fmt.Println("begin:", err)
+			return
+		}
+		if alt.Plan == "remote" {
+			_, err = octx.DoRemoteOp("run", nil)
+		} else {
+			_, err = octx.DoLocalOp("run", nil)
+		}
+		if err != nil {
+			fmt.Println("do:", err)
+			return
+		}
+		if _, err := octx.End(); err != nil {
+			fmt.Println("end:", err)
+			return
+		}
+	}
+
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		fmt.Println("decide:", err)
+		return
+	}
+	fmt.Printf("plan=%s server=%s\n", octx.Plan(), octx.Server())
+	if _, err := octx.DoRemoteOp("run", nil); err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	rep, err := octx.End()
+	if err != nil {
+		fmt.Println("end:", err)
+		return
+	}
+	fmt.Printf("elapsed=%v remoteMc=%.0f\n",
+		rep.Elapsed.Round(100*time.Millisecond), rep.Usage.RemoteMegacycles)
+	// Output:
+	// plan=remote server=server
+	// elapsed=500ms remoteMc=500
+}
+
+// ExampleContinuousFidelity demonstrates a continuous quality knob: the
+// chosen value comes back as a parseable fidelity setting.
+func ExampleContinuousFidelity() {
+	fid := map[string]string{"quality": spectra.FormatContinuous(0.8)}
+	q, ok := spectra.ContinuousValue(fid, "quality")
+	fmt.Println(q, ok)
+	// Output:
+	// 0.8 true
+}
+
+// ExampleHoardProfile shows Coda-style hoarding: priorities order the walk.
+func ExampleHoardProfile() {
+	p := spectra.NewHoardProfile()
+	p.Add("/coda/app/model.bin", 10)
+	p.Add("/coda/app/config", 5)
+	for _, e := range p.Entries() {
+		fmt.Printf("%s (priority %d)\n", e.Path, e.Priority)
+	}
+	// Output:
+	// /coda/app/model.bin (priority 10)
+	// /coda/app/config (priority 5)
+}

@@ -1,0 +1,160 @@
+// Command daemon demonstrates Spectra's live mode: it starts two spectrad-
+// style servers on loopback TCP ports, connects a live client, self-tunes
+// over the real network, and offloads to whichever server is currently the
+// better choice — including reacting to one server becoming loaded.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spectra"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// work burns 40 modeled megacycles: 40 ms on a 1000 MHz server, 400 ms on
+// the 100 MHz client model.
+func work(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+	ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: 40})
+	return []byte("ok"), nil
+}
+
+func startServer(name string, mhz float64) (*spectra.Server, string, error) {
+	machine := spectra.NewMachine(spectra.MachineConfig{
+		Name:        name,
+		SpeedMHz:    mhz,
+		OnWallPower: true,
+	})
+	node := spectra.NewNode(machine, nil, nil)
+	srv := spectra.NewServer(name, node, spectra.RealClock{})
+	srv.Register("work", work)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	return srv, addr, nil
+}
+
+func run() error {
+	fast, fastAddr, err := startServer("fast", 1000)
+	if err != nil {
+		return err
+	}
+	defer fast.Close()
+	slow, slowAddr, err := startServer("slow", 400)
+	if err != nil {
+		return err
+	}
+	defer slow.Close()
+	fmt.Printf("spectrad 'fast' on %s, 'slow' on %s\n", fastAddr, slowAddr)
+
+	host := spectra.NewMachine(spectra.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    100,
+		OnWallPower: true,
+	})
+	setup, err := spectra.NewLiveSetup(spectra.LiveOptions{
+		Host:    host,
+		Servers: map[string]string{"fast": fastAddr, "slow": slowAddr},
+	})
+	if err != nil {
+		return err
+	}
+	defer setup.Runtime.Close()
+	setup.Host.RegisterService("work", work)
+
+	op, err := setup.Client.RegisterFidelity(spectra.OperationSpec{
+		Name:    "live.work",
+		Service: "work",
+		Plans: []spectra.PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	setup.Client.PollServers()
+	setup.Client.Probe()
+
+	execute := func(octx *spectra.OpContext) (spectra.Report, error) {
+		var err error
+		if octx.Plan() == "remote" {
+			_, err = octx.DoRemoteOp("run", []byte("x"))
+		} else {
+			_, err = octx.DoLocalOp("run", []byte("x"))
+		}
+		if err != nil {
+			return spectra.Report{}, err
+		}
+		return octx.End()
+	}
+
+	// Self-tune over the real network.
+	for i := 0; i < 2; i++ {
+		for _, alt := range []spectra.Alternative{
+			{Plan: "local"},
+			{Server: "fast", Plan: "remote"},
+			{Server: "slow", Plan: "remote"},
+		} {
+			octx, err := setup.Client.BeginForced(op, alt, nil, "")
+			if err != nil {
+				return err
+			}
+			rep, err := execute(octx)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("trained %-6s %-5s %8v\n", alt.Plan, alt.Server,
+				rep.Elapsed.Round(time.Millisecond))
+		}
+	}
+
+	decide := func(label string) error {
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			return err
+		}
+		d := octx.Decision()
+		rep, err := execute(octx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s -> plan=%-7s server=%-5s elapsed=%v (decision cost %v)\n",
+			label, d.Alternative.Plan, d.Alternative.Server,
+			rep.Elapsed.Round(time.Millisecond), d.Overhead.Total.Round(time.Microsecond))
+		return nil
+	}
+
+	if err := decide("both servers idle"); err != nil {
+		return err
+	}
+
+	// An advisor watches conditions and reports when the best alternative
+	// flips — the Odyssey-style upcall for adaptive applications.
+	advisor := setup.Client.NewAdvisor(op, nil, "")
+	if _, _, ok := advisor.Check(); !ok {
+		return fmt.Errorf("advisor found nothing feasible")
+	}
+
+	// The fast server becomes heavily loaded; periodic status polls let the
+	// smoothed load estimate converge, and Spectra switches.
+	fast.Node().Machine().SetBackgroundTasks(4)
+	for i := 0; i < 6; i++ {
+		setup.Client.PollServers()
+	}
+	if best, changed, ok := advisor.Check(); ok && changed {
+		fmt.Printf("advisor: best alternative changed to %s on %s\n",
+			best.Alternative.Plan, best.Alternative.Server)
+	}
+	if err := decide("fast server loaded 5x"); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+// Command document demonstrates consistency-aware offloading in the style
+// of the paper's Latex workload: a weakly connected client edits input
+// files; before compiling remotely, Spectra predicts which files the
+// operation will read and reintegrates the dirty volumes — or decides the
+// reintegration is too expensive and compiles locally.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spectra"
+)
+
+const (
+	inputPath  = "/coda/docs/report.tex"
+	inputBytes = 200 * 1024
+	volume     = "docs"
+	compileMc  = 300
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	laptop := spectra.New560X()
+	server := spectra.NewServerB()
+	wireless := spectra.NewLink(spectra.LinkConfig{
+		Name:         "wireless",
+		Latency:      8 * time.Millisecond,
+		BandwidthBps: 160_000,
+	})
+	fsLink := spectra.NewLink(spectra.LinkConfig{
+		Name:         "wireless-fs",
+		Latency:      8 * time.Millisecond,
+		BandwidthBps: 80_000,
+	})
+	setup, err := spectra.NewSimSetup(spectra.SimOptions{
+		Host:       laptop,
+		HostFSLink: fsLink,
+		Servers:    []spectra.SimServer{{Name: "build-server", Machine: server, Link: wireless}},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Provision the document on the file servers and warm both caches.
+	setup.FileServer.Store(volume, inputPath, inputBytes)
+	if err := setup.Env.Host().Coda().Warm(inputPath); err != nil {
+		return err
+	}
+	node, _, _ := setup.Env.Server("build-server")
+	if err := node.Coda().Warm(inputPath); err != nil {
+		return err
+	}
+	// The wireless client buffers its writes (weak connectivity).
+	setup.Env.Host().Coda().SetMode(spectra.Weak)
+
+	compile := func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		if err := ctx.ReadFile(inputPath); err != nil {
+			return nil, err
+		}
+		ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: compileMc})
+		return []byte("report.dvi"), nil
+	}
+	setup.Env.Host().RegisterService("compile", compile)
+	node.RegisterService("compile", compile)
+
+	op, err := setup.Client.RegisterFidelity(spectra.OperationSpec{
+		Name:    "docs.compile",
+		Service: "compile",
+		Plans: []spectra.PlanSpec{
+			{Name: "local", Files: spectra.FilesLocal},
+			{Name: "remote", UsesServer: true, Files: spectra.FilesRemote},
+		},
+		LatencyUtility: spectra.InverseLatency,
+	})
+	if err != nil {
+		return err
+	}
+	setup.Refresh()
+
+	execute := func(octx *spectra.OpContext) (spectra.Report, error) {
+		var err error
+		if octx.Plan() == "remote" {
+			_, err = octx.DoRemoteOp("compile", nil)
+		} else {
+			_, err = octx.DoLocalOp("compile", nil)
+		}
+		if err != nil {
+			return spectra.Report{}, err
+		}
+		return octx.End()
+	}
+
+	// Train both plans.
+	for i := 0; i < 4; i++ {
+		for _, alt := range []spectra.Alternative{
+			{Plan: "local"},
+			{Server: "build-server", Plan: "remote"},
+		} {
+			octx, err := setup.Client.BeginForced(op, alt, nil, "")
+			if err != nil {
+				return err
+			}
+			if _, err := execute(octx); err != nil {
+				return err
+			}
+		}
+	}
+
+	decide := func(label string) error {
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			return err
+		}
+		d := octx.Decision()
+		rep, err := execute(octx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s -> plan=%-7s reintegrated=%6d bytes  elapsed=%v\n",
+			label, d.Alternative.Plan, d.ReintegratedBytes,
+			rep.Elapsed.Round(10*time.Millisecond))
+		return nil
+	}
+
+	fmt.Println("Consistency-aware offloading of a document build:")
+	if err := decide("clean working copy"); err != nil {
+		return err
+	}
+
+	// The user edits the input: the modification buffers in Coda. Spectra
+	// must now either reintegrate before any remote compile or build
+	// locally against the buffered copy.
+	if _, err := setup.Env.Host().Coda().Write(inputPath, inputBytes); err != nil {
+		return err
+	}
+	if err := decide("200 KB edit buffered"); err != nil {
+		return err
+	}
+
+	// A much faster link makes reintegration cheap: remote wins again and
+	// the edit is pushed to the file servers first.
+	fsLink.SetBandwidthBps(2 << 20)
+	if _, err := setup.Env.Host().Coda().Write(inputPath, inputBytes); err != nil {
+		return err
+	}
+	if err := decide("edit + fast uplink"); err != nil {
+		return err
+	}
+
+	dirty := setup.Env.Host().Coda().DirtyVolumes()
+	fmt.Printf("dirty volumes after run: %v\n", dirty)
+	return nil
+}

@@ -1,0 +1,123 @@
+// Command quickstart is the smallest complete Spectra program: one
+// operation with local and remote execution plans, a simulated client and
+// server, a short self-tuning phase, and a placement decision.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spectra"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A slow handheld client and a fast compute server on a LAN.
+	client := spectra.NewMachine(spectra.MachineConfig{
+		Name:        "handheld",
+		SpeedMHz:    200,
+		OnWallPower: true,
+	})
+	server := spectra.NewMachine(spectra.MachineConfig{
+		Name:        "bigbox",
+		SpeedMHz:    2000,
+		OnWallPower: true,
+	})
+	link := spectra.NewLink(spectra.LinkConfig{
+		Name:         "lan",
+		Latency:      2 * time.Millisecond,
+		BandwidthBps: 1 << 20,
+	})
+
+	setup, err := spectra.NewSimSetup(spectra.SimOptions{
+		Host:    client,
+		Servers: []spectra.SimServer{{Name: "bigbox", Machine: server, Link: link}},
+	})
+	if err != nil {
+		return err
+	}
+
+	// The application component: burns 400 megacycles wherever it runs.
+	work := func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: 400})
+		return []byte("result"), nil
+	}
+	setup.Env.Host().RegisterService("crunch", work)
+	if node, _, ok := setup.Env.Server("bigbox"); ok {
+		node.RegisterService("crunch", work)
+	}
+
+	// register_fidelity: one operation, two execution plans.
+	op, err := setup.Client.RegisterFidelity(spectra.OperationSpec{
+		Name:    "demo.crunch",
+		Service: "crunch",
+		Plans: []spectra.PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	setup.Refresh() // poll servers, probe the network
+
+	// Self-tuning: execute each plan a few times so Spectra learns the
+	// operation's resource demand.
+	for i := 0; i < 3; i++ {
+		for _, alt := range []spectra.Alternative{
+			{Plan: "local"},
+			{Server: "bigbox", Plan: "remote"},
+		} {
+			octx, err := setup.Client.BeginForced(op, alt, nil, "")
+			if err != nil {
+				return err
+			}
+			if alt.Plan == "remote" {
+				_, err = octx.DoRemoteOp("run", []byte("payload"))
+			} else {
+				_, err = octx.DoLocalOp("run", []byte("payload"))
+			}
+			if err != nil {
+				return err
+			}
+			rep, err := octx.End()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("trained %-7s %8v  (local %.0f Mc, remote %.0f Mc)\n",
+				alt.Plan, rep.Elapsed.Round(time.Millisecond),
+				rep.Usage.LocalMegacycles, rep.Usage.RemoteMegacycles)
+		}
+	}
+
+	// begin_fidelity_op: Spectra decides.
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		return err
+	}
+	d := octx.Decision()
+	fmt.Printf("\nSpectra chose plan=%q server=%q (predicted %v, %d alternatives, %d evaluations)\n",
+		d.Alternative.Plan, d.Alternative.Server,
+		d.Predicted.Latency.Round(time.Millisecond), d.Candidates, d.Evaluations)
+
+	if d.Alternative.Plan == "remote" {
+		_, err = octx.DoRemoteOp("run", []byte("payload"))
+	} else {
+		_, err = octx.DoLocalOp("run", []byte("payload"))
+	}
+	if err != nil {
+		return err
+	}
+	rep, err := octx.End()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("executed in %v\n", rep.Elapsed.Round(time.Millisecond))
+	return nil
+}

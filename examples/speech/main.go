@@ -1,0 +1,192 @@
+// Command speech demonstrates adaptive offloading of a speech-recognizer-
+// style workload, the paper's motivating application: a handheld with
+// software floating point, a compute server over a serial link, local /
+// hybrid / remote execution plans and a vocabulary fidelity. The demo
+// cycles through the paper's resource scenarios and shows Spectra's
+// placement adapting to each.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spectra"
+)
+
+// Workload constants (see internal/apps/janus for the full calibration).
+const (
+	frontEndMc  = 300 // integer signal processing
+	searchMc    = 600 // floating-point search, full vocabulary
+	reducedMc   = 400 // floating-point search, reduced vocabulary
+	audioBytes  = 32_000
+	sampleBytes = 4_000
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	handheld := spectra.NewItsy()
+	server := spectra.NewT20()
+	serial := spectra.NewLink(spectra.LinkConfig{
+		Name:         "serial",
+		Latency:      5 * time.Millisecond,
+		BandwidthBps: 14_400,
+	})
+	setup, err := spectra.NewSimSetup(spectra.SimOptions{
+		Host:    handheld,
+		Servers: []spectra.SimServer{{Name: "server", Machine: server, Link: serial}},
+	})
+	if err != nil {
+		return err
+	}
+
+	recognizer := func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		switch optype {
+		case "frontend":
+			ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: frontEndMc})
+			return make([]byte, sampleBytes), nil
+		case "search.full":
+			ctx.Compute(spectra.ComputeDemand{FloatMegacycles: searchMc})
+		case "search.reduced":
+			ctx.Compute(spectra.ComputeDemand{FloatMegacycles: reducedMc})
+		case "recognize.full":
+			ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: frontEndMc, FloatMegacycles: searchMc})
+		case "recognize.reduced":
+			ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: frontEndMc, FloatMegacycles: reducedMc})
+		}
+		return []byte("recognized text"), nil
+	}
+	setup.Env.Host().RegisterService("speech", recognizer)
+	if node, _, ok := setup.Env.Server("server"); ok {
+		node.RegisterService("speech", recognizer)
+	}
+
+	op, err := setup.Client.RegisterFidelity(spectra.OperationSpec{
+		Name:    "speech.recognize",
+		Service: "speech",
+		Plans: []spectra.PlanSpec{
+			{Name: "local"},
+			{Name: "hybrid", UsesServer: true},
+			{Name: "remote", UsesServer: true},
+		},
+		Fidelities: []spectra.FidelityDimension{
+			{Name: "vocab", Values: []string{"full", "reduced"}},
+		},
+		LatencyUtility: spectra.InverseLatency,
+		FidelityUtility: func(fid map[string]string) float64 {
+			if fid["vocab"] == "reduced" {
+				return 0.5
+			}
+			return 1.0
+		},
+	})
+	if err != nil {
+		return err
+	}
+	setup.Refresh()
+
+	execute := func(octx *spectra.OpContext) error {
+		audio := make([]byte, audioBytes)
+		vocab := octx.Fidelity()["vocab"]
+		switch octx.Plan() {
+		case "local":
+			_, err := octx.DoLocalOp("recognize."+vocab, audio)
+			return err
+		case "remote":
+			_, err := octx.DoRemoteOp("recognize."+vocab, audio)
+			return err
+		default: // hybrid
+			features, err := octx.DoLocalOp("frontend", audio)
+			if err != nil {
+				return err
+			}
+			_, err = octx.DoRemoteOp("search."+vocab, features)
+			return err
+		}
+	}
+
+	// Train every alternative.
+	alternatives := []spectra.Alternative{
+		{Plan: "local", Fidelity: map[string]string{"vocab": "full"}},
+		{Plan: "local", Fidelity: map[string]string{"vocab": "reduced"}},
+		{Server: "server", Plan: "hybrid", Fidelity: map[string]string{"vocab": "full"}},
+		{Server: "server", Plan: "hybrid", Fidelity: map[string]string{"vocab": "reduced"}},
+		{Server: "server", Plan: "remote", Fidelity: map[string]string{"vocab": "full"}},
+		{Server: "server", Plan: "remote", Fidelity: map[string]string{"vocab": "reduced"}},
+	}
+	for i := 0; i < 4; i++ {
+		for _, alt := range alternatives {
+			octx, err := setup.Client.BeginForced(op, alt, nil, "")
+			if err != nil {
+				return err
+			}
+			if err := execute(octx); err != nil {
+				return err
+			}
+			if _, err := octx.End(); err != nil {
+				return err
+			}
+		}
+	}
+
+	decide := func(label string) error {
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			return err
+		}
+		if err := execute(octx); err != nil {
+			return err
+		}
+		rep, err := octx.End()
+		if err != nil {
+			return err
+		}
+		a := rep.Decision.Alternative
+		fmt.Printf("%-22s -> plan=%-7s vocab=%-8s elapsed=%7v energy=%5.2fJ\n",
+			label, a.Plan, a.Fidelity["vocab"],
+			rep.Elapsed.Round(10*time.Millisecond), rep.Usage.EnergyJoules)
+		return nil
+	}
+
+	fmt.Println("Spectra adapting a speech recognizer across scenarios:")
+	if err := decide("baseline"); err != nil {
+		return err
+	}
+
+	// Energy pressure: battery power, ambitious lifetime goal.
+	handheld.SetWallPower(false)
+	setup.Adaptor.SetGoal(10 * time.Hour)
+	setup.Adaptor.SetImportance(0.7)
+	setup.Refresh()
+	if err := decide("battery (10h goal)"); err != nil {
+		return err
+	}
+
+	// Back on wall power; the client becomes loaded.
+	handheld.SetWallPower(true)
+	setup.Adaptor.SetImportance(0)
+	handheld.SetBackgroundTasks(1)
+	for i := 0; i < 8; i++ {
+		setup.Refresh()
+	}
+	if err := decide("loaded client CPU"); err != nil {
+		return err
+	}
+
+	// Server partition: only local plans remain.
+	handheld.SetBackgroundTasks(0)
+	for i := 0; i < 8; i++ {
+		setup.Refresh()
+	}
+	serial.SetPartitioned(true)
+	setup.Client.PollServers()
+	if err := decide("server partitioned"); err != nil {
+		return err
+	}
+	return nil
+}

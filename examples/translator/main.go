@@ -1,0 +1,186 @@
+// Command translator demonstrates multi-engine fidelity adaptation in the
+// style of the paper's Pangloss-Lite workload: a translation can use an
+// expensive high-quality engine, a cheap low-quality engine, or both, and
+// components can be placed locally or on a server. Spectra drops engines
+// as sentences grow to stay under a latency deadline, and shifts placement
+// as server load changes.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"time"
+
+	"spectra"
+)
+
+const (
+	heavyMcPerWord = 50 // high-quality engine
+	lightMcPerWord = 4  // low-quality engine
+	combineMcWord  = 5  // combiner
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	laptop := spectra.New560X()
+	server := spectra.NewServerB()
+	link := spectra.NewLink(spectra.LinkConfig{
+		Name:         "wireless",
+		Latency:      8 * time.Millisecond,
+		BandwidthBps: 160_000,
+	})
+	setup, err := spectra.NewSimSetup(spectra.SimOptions{
+		Host:    laptop,
+		Servers: []spectra.SimServer{{Name: "server", Machine: server, Link: link}},
+	})
+	if err != nil {
+		return err
+	}
+
+	translate := func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		words := float64(binary.BigEndian.Uint64(payload))
+		switch optype {
+		case "heavy":
+			ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: heavyMcPerWord * words})
+		case "light":
+			ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: lightMcPerWord * words})
+		case "combine":
+			ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: combineMcWord * words})
+		}
+		return payload[:8], nil
+	}
+	setup.Env.Host().RegisterService("translate", translate)
+	node, _, _ := setup.Env.Server("server")
+	node.RegisterService("translate", translate)
+
+	// Plans place the heavy engine; the light engine and combiner stay
+	// local (their work is negligible).
+	op, err := setup.Client.RegisterFidelity(spectra.OperationSpec{
+		Name:    "translate.sentence",
+		Service: "translate",
+		Plans: []spectra.PlanSpec{
+			{Name: "heavy-local"},
+			{Name: "heavy-remote", UsesServer: true},
+		},
+		Fidelities: []spectra.FidelityDimension{
+			{Name: "heavy", Values: []string{"on", "off"}},
+			{Name: "light", Values: []string{"on", "off"}},
+		},
+		Params: []string{"words"},
+		// Translations over 4 s are worthless; under 0.4 s fully desirable.
+		LatencyUtility: spectra.DeadlineLatency(400*time.Millisecond, 4*time.Second),
+		FidelityUtility: func(fid map[string]string) float64 {
+			v := 0.0
+			if fid["heavy"] == "on" {
+				v += 0.7
+			}
+			if fid["light"] == "on" {
+				v += 0.3
+			}
+			return v
+		},
+		Valid: func(plan string, fid map[string]string) bool {
+			if fid["heavy"] != "on" && fid["light"] != "on" {
+				return false // at least one engine
+			}
+			if fid["heavy"] != "on" && plan == "heavy-remote" {
+				return false // placing a disabled engine is meaningless
+			}
+			return true
+		},
+	})
+	if err != nil {
+		return err
+	}
+	setup.Refresh()
+
+	payload := func(words float64) []byte {
+		buf := make([]byte, 8+int(words)*10)
+		binary.BigEndian.PutUint64(buf, uint64(words))
+		return buf
+	}
+	execute := func(octx *spectra.OpContext, words float64) (spectra.Report, error) {
+		fid := octx.Fidelity()
+		if fid["heavy"] == "on" {
+			var err error
+			if octx.Plan() == "heavy-remote" {
+				_, err = octx.DoRemoteOp("heavy", payload(words))
+			} else {
+				_, err = octx.DoLocalOp("heavy", payload(words))
+			}
+			if err != nil {
+				return spectra.Report{}, err
+			}
+		}
+		if fid["light"] == "on" {
+			if _, err := octx.DoLocalOp("light", payload(words)); err != nil {
+				return spectra.Report{}, err
+			}
+		}
+		if _, err := octx.DoLocalOp("combine", payload(words)); err != nil {
+			return spectra.Report{}, err
+		}
+		return octx.End()
+	}
+
+	// Train across the alternative space and sentence lengths.
+	alternatives := []spectra.Alternative{
+		{Plan: "heavy-local", Fidelity: map[string]string{"heavy": "on", "light": "on"}},
+		{Plan: "heavy-local", Fidelity: map[string]string{"heavy": "on", "light": "off"}},
+		{Plan: "heavy-local", Fidelity: map[string]string{"heavy": "off", "light": "on"}},
+		{Server: "server", Plan: "heavy-remote", Fidelity: map[string]string{"heavy": "on", "light": "on"}},
+		{Server: "server", Plan: "heavy-remote", Fidelity: map[string]string{"heavy": "on", "light": "off"}},
+	}
+	for _, words := range []float64{5, 15, 30, 60} {
+		for _, alt := range alternatives {
+			octx, err := setup.Client.BeginForced(op, alt, map[string]float64{"words": words}, "")
+			if err != nil {
+				return err
+			}
+			if _, err := execute(octx, words); err != nil {
+				return err
+			}
+		}
+	}
+
+	decide := func(words float64) error {
+		octx, err := setup.Client.BeginFidelityOp(op, map[string]float64{"words": words}, "")
+		if err != nil {
+			return err
+		}
+		rep, err := execute(octx, words)
+		if err != nil {
+			return err
+		}
+		a := rep.Decision.Alternative
+		fmt.Printf("%3.0f words -> plan=%-12s heavy=%-3s light=%-3s elapsed=%v\n",
+			words, a.Plan, a.Fidelity["heavy"], a.Fidelity["light"],
+			rep.Elapsed.Round(10*time.Millisecond))
+		return nil
+	}
+
+	fmt.Println("Fidelity adaptation with sentence length (unloaded server):")
+	for _, words := range []float64{5, 20, 45, 80} {
+		if err := decide(words); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("\nSame sentences with a heavily loaded server:")
+	server.SetBackgroundTasks(3)
+	for i := 0; i < 8; i++ {
+		setup.Refresh()
+	}
+	for _, words := range []float64{5, 20, 45, 80} {
+		if err := decide(words); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Command viewer demonstrates continuous fidelity: an image viewer fetches
+// remotely rendered images at a quality setting Spectra chooses from a
+// continuous range. The demand models regress on the quality value, so
+// predictions interpolate between trained settings, and the chosen quality
+// degrades gracefully as the network slows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"spectra"
+)
+
+const fullImageBytes = 400_000
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	tablet := spectra.NewMachine(spectra.MachineConfig{
+		Name:        "tablet",
+		SpeedMHz:    300,
+		OnWallPower: true,
+	})
+	renderFarm := spectra.NewMachine(spectra.MachineConfig{
+		Name:        "render-farm",
+		SpeedMHz:    3000,
+		OnWallPower: true,
+	})
+	link := spectra.NewLink(spectra.LinkConfig{
+		Name:         "wan",
+		Latency:      10 * time.Millisecond,
+		BandwidthBps: 500_000,
+	})
+	setup, err := spectra.NewSimSetup(spectra.SimOptions{
+		Host:    tablet,
+		Servers: []spectra.SimServer{{Name: "render-farm", Machine: renderFarm, Link: link}},
+	})
+	if err != nil {
+		return err
+	}
+
+	render := func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		quality := float64(len(payload)) / 1000
+		ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: 200 * quality})
+		return make([]byte, int(quality*fullImageBytes)), nil
+	}
+	node, _, _ := setup.Env.Server("render-farm")
+	node.RegisterService("render", render)
+	setup.Env.Host().RegisterService("render", render)
+
+	op, err := setup.Client.RegisterFidelity(spectra.OperationSpec{
+		Name:    "viewer.render",
+		Service: "render",
+		Plans:   []spectra.PlanSpec{{Name: "remote", UsesServer: true}},
+		ContinuousFidelities: []spectra.ContinuousFidelity{
+			{Name: "quality", Min: 0.2, Max: 1.0, Levels: 9},
+		},
+		LatencyUtility: spectra.DeadlineLatency(300*time.Millisecond, 6*time.Second),
+		FidelityUtility: func(fid map[string]string) float64 {
+			q, _ := spectra.ContinuousValue(fid, "quality")
+			return q
+		},
+	})
+	if err != nil {
+		return err
+	}
+	setup.Refresh()
+
+	fetch := func() (float64, time.Duration, error) {
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			return 0, 0, err
+		}
+		q, _ := spectra.ContinuousValue(octx.Fidelity(), "quality")
+		if _, err := octx.DoRemoteOp("render", make([]byte, int(q*1000))); err != nil {
+			return 0, 0, err
+		}
+		rep, err := octx.End()
+		if err != nil {
+			return 0, 0, err
+		}
+		return q, rep.Elapsed, nil
+	}
+
+	// Train three settings; regression covers the rest of the range.
+	for i := 0; i < 4; i++ {
+		for _, q := range []float64{0.2, 0.6, 1.0} {
+			octx, err := setup.Client.BeginForced(op, spectra.Alternative{
+				Server:   "render-farm",
+				Plan:     "remote",
+				Fidelity: map[string]string{"quality": spectra.FormatContinuous(q)},
+			}, nil, "")
+			if err != nil {
+				return err
+			}
+			if _, err := octx.DoRemoteOp("render", make([]byte, int(q*1000))); err != nil {
+				return err
+			}
+			if _, err := octx.End(); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Println("Continuous quality adaptation as the network degrades:")
+	for _, scale := range []float64{1, 0.5, 0.25, 0.125} {
+		link.SetBandwidthBps(500_000 * scale)
+		for i := 0; i < 45; i++ {
+			setup.Refresh()
+		}
+		q, elapsed, err := fetch()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bandwidth %6.0f kB/s -> quality %.2f, fetched in %v\n",
+			500*scale, q, elapsed.Round(10*time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module spectra
+
+go 1.23

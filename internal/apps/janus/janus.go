@@ -1,0 +1,264 @@
+// Package janus models the Janus speech recognizer of the paper's
+// evaluation (§3.7.1, §4.1): speech-to-text translation of spoken phrases
+// with three execution plans (local, hybrid, remote) and two fidelities
+// (full or reduced recognition vocabulary). The front-end signal processing
+// is integer work; the recognition search is floating-point heavy, which is
+// what makes local execution 3-9x slower on the Itsy's SA-1100 with its
+// software floating-point emulation.
+package janus
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"spectra/internal/coda"
+	"spectra/internal/core"
+	"spectra/internal/sim"
+	"spectra/internal/solver"
+	"spectra/internal/utility"
+)
+
+// Public identifiers of the Janus workload.
+const (
+	// OperationName is the registered Spectra operation.
+	OperationName = "janus.recognize"
+	// ServiceName is the Spectra service hosting remote components.
+	ServiceName = "janus"
+
+	// Plans.
+	PlanLocal  = "local"
+	PlanHybrid = "hybrid"
+	PlanRemote = "remote"
+
+	// FidelityDim is the single fidelity dimension: vocabulary size.
+	FidelityDim = "vocab"
+	VocabFull   = "full"
+	VocabSmall  = "reduced"
+
+	// ParamLength is the input parameter: utterance length in seconds.
+	ParamLength = "length"
+)
+
+// Workload calibration. Only ratios matter to Spectra's decisions; these
+// are chosen so the measured shapes match Figures 3 and 4.
+const (
+	// LMFullPath is the 277 KB language model the full vocabulary needs;
+	// the paper's file-cache scenario flushes it from the client.
+	LMFullPath  = "/coda/speech/lm-full.bin"
+	LMFullBytes = 277 * 1024
+	// LMSmallPath is the reduced vocabulary's smaller model.
+	LMSmallPath  = "/coda/speech/lm-reduced.bin"
+	LMSmallBytes = 60 * 1024
+	// Volume holds both language models.
+	Volume = "speech"
+
+	// audioBytesPerSecond is the raw utterance sample rate.
+	audioBytesPerSecond = 16_000
+	// featureBytesPerSecond is the compact front-end output rate.
+	featureBytesPerSecond = 2_000
+	// textBytesPerSecond approximates recognized-text size.
+	textBytesPerSecond = 20
+
+	// frontEndMcPerSecond is integer front-end work per utterance second.
+	frontEndMcPerSecond = 150
+	// searchFullMcPerSecond / searchSmallMcPerSecond are floating-point
+	// search work per utterance second.
+	searchFullMcPerSecond  = 300
+	searchSmallMcPerSecond = 200
+)
+
+// Operation types the service multiplexes on.
+const (
+	opFrontEnd       = "frontend"
+	opSearchFull     = "search.full"
+	opSearchSmall    = "search.reduced"
+	opRecognizeFull  = "recognize.full"
+	opRecognizeSmall = "recognize.reduced"
+)
+
+// App is a Janus instance bound to a Spectra deployment.
+type App struct {
+	setup *core.SimSetup
+	op    *core.Operation
+}
+
+// Install provisions the language models on the file servers, warms every
+// machine's cache, registers the service on the client and all servers,
+// and registers the operation with Spectra.
+func Install(setup *core.SimSetup) (*App, error) {
+	fs := setup.FileServer
+	fs.Store(Volume, LMFullPath, LMFullBytes)
+	fs.Store(Volume, LMSmallPath, LMSmallBytes)
+
+	nodes := []*core.Node{setup.Env.Host()}
+	for _, name := range setup.Env.ServerNames() {
+		node, _, _ := setup.Env.Server(name)
+		nodes = append(nodes, node)
+	}
+	// Every machine hoards both language models, the full vocabulary's at
+	// higher priority (Coda hoard profiles keep them cached).
+	hoard := coda.NewHoardProfile()
+	hoard.Add(LMFullPath, 10)
+	hoard.Add(LMSmallPath, 5)
+	for _, node := range nodes {
+		node.RegisterService(ServiceName, Service)
+		if _, err := node.Coda().HoardWalk(hoard); err != nil {
+			return nil, fmt.Errorf("janus: hoard on %s: %w", node.Machine().Name(), err)
+		}
+	}
+
+	op, err := setup.Client.RegisterFidelity(Spec())
+	if err != nil {
+		return nil, err
+	}
+	return &App{setup: setup, op: op}, nil
+}
+
+// Spec is the Janus operation registration: the three execution plans, the
+// vocabulary fidelity (full twice as desirable as reduced), the utterance
+// length input parameter, and 1/T latency desirability.
+func Spec() core.OperationSpec {
+	return core.OperationSpec{
+		Name:    OperationName,
+		Service: ServiceName,
+		Plans: []core.PlanSpec{
+			{Name: PlanLocal, Files: core.FilesLocal},
+			{Name: PlanHybrid, UsesServer: true, Files: core.FilesRemote},
+			{Name: PlanRemote, UsesServer: true, Files: core.FilesRemote},
+		},
+		Fidelities: []core.FidelityDimension{
+			{Name: FidelityDim, Values: []string{VocabFull, VocabSmall}},
+		},
+		Params:         []string{ParamLength},
+		LatencyUtility: utility.InverseLatency,
+		FidelityUtility: func(fid map[string]string) float64 {
+			if fid[FidelityDim] == VocabSmall {
+				return 0.5
+			}
+			return 1.0
+		},
+	}
+}
+
+// Operation returns the registered operation.
+func (a *App) Operation() *core.Operation { return a.op }
+
+// Recognize performs one utterance recognition, letting Spectra choose
+// how and where to execute it.
+func (a *App) Recognize(lengthSeconds float64) (core.Report, error) {
+	octx, err := a.setup.Client.BeginFidelityOp(a.op, params(lengthSeconds), "")
+	if err != nil {
+		return core.Report{}, err
+	}
+	return a.finish(octx, lengthSeconds)
+}
+
+// RecognizeForced performs one recognition with a dictated alternative;
+// the validation harness uses it to measure every bar of Figures 3 and 4.
+func (a *App) RecognizeForced(alt solver.Alternative, lengthSeconds float64) (core.Report, error) {
+	octx, err := a.setup.Client.BeginForced(a.op, alt, params(lengthSeconds), "")
+	if err != nil {
+		return core.Report{}, err
+	}
+	return a.finish(octx, lengthSeconds)
+}
+
+func params(lengthSeconds float64) map[string]float64 {
+	return map[string]float64{ParamLength: lengthSeconds}
+}
+
+// finish executes the chosen plan through the Spectra API and ends the op.
+func (a *App) finish(octx *core.OpContext, lengthSeconds float64) (core.Report, error) {
+	vocab := octx.Fidelity()[FidelityDim]
+	audio := make([]byte, int(audioBytesPerSecond*lengthSeconds))
+
+	var err error
+	switch octx.Plan() {
+	case PlanLocal:
+		_, err = octx.DoLocalOp(recognizeOp(vocab), audio)
+	case PlanRemote:
+		_, err = octx.DoRemoteOp(recognizeOp(vocab), audio)
+	case PlanHybrid:
+		var features []byte
+		features, err = octx.DoLocalOp(opFrontEnd, audio)
+		if err == nil {
+			_, err = octx.DoRemoteOp(searchOp(vocab), features)
+		}
+	default:
+		err = fmt.Errorf("janus: unknown plan %q", octx.Plan())
+	}
+	if err != nil {
+		octx.Abort()
+		return core.Report{}, err
+	}
+	return octx.End()
+}
+
+func recognizeOp(vocab string) string {
+	if vocab == VocabSmall {
+		return opRecognizeSmall
+	}
+	return opRecognizeFull
+}
+
+func searchOp(vocab string) string {
+	if vocab == VocabSmall {
+		return opSearchSmall
+	}
+	return opSearchFull
+}
+
+// Service is the Janus Spectra service: it multiplexes the front-end,
+// search, and whole-pipeline operation types.
+func Service(ctx *core.ServiceContext, optype string, payload []byte) ([]byte, error) {
+	switch optype {
+	case opFrontEnd:
+		seconds := float64(len(payload)) / audioBytesPerSecond
+		ctx.Compute(sim.ComputeDemand{IntegerMegacycles: frontEndMcPerSecond * seconds})
+		return encodeSeconds(seconds, featureBytesPerSecond), nil
+	case opSearchFull, opSearchSmall:
+		seconds := decodeSeconds(payload, featureBytesPerSecond)
+		return search(ctx, optype == opSearchSmall, seconds)
+	case opRecognizeFull, opRecognizeSmall:
+		seconds := float64(len(payload)) / audioBytesPerSecond
+		ctx.Compute(sim.ComputeDemand{IntegerMegacycles: frontEndMcPerSecond * seconds})
+		return search(ctx, optype == opRecognizeSmall, seconds)
+	default:
+		return nil, fmt.Errorf("janus: unknown optype %q", optype)
+	}
+}
+
+func search(ctx *core.ServiceContext, reduced bool, seconds float64) ([]byte, error) {
+	lm, rate := LMFullPath, float64(searchFullMcPerSecond)
+	if reduced {
+		lm, rate = LMSmallPath, searchSmallMcPerSecond
+	}
+	if err := ctx.ReadFile(lm); err != nil {
+		return nil, err
+	}
+	ctx.Compute(sim.ComputeDemand{FloatMegacycles: rate * seconds})
+	return encodeSeconds(seconds, textBytesPerSecond), nil
+}
+
+// encodeSeconds builds a payload of size rate×seconds carrying the
+// utterance length in its first eight bytes.
+func encodeSeconds(seconds float64, bytesPerSecond float64) []byte {
+	n := int(seconds * bytesPerSecond)
+	if n < 8 {
+		n = 8
+	}
+	buf := make([]byte, n)
+	binary.BigEndian.PutUint64(buf, uint64(seconds*1000))
+	return buf
+}
+
+// decodeSeconds recovers the utterance length, preferring the embedded
+// header and falling back to payload size.
+func decodeSeconds(payload []byte, bytesPerSecond float64) float64 {
+	if len(payload) >= 8 {
+		if ms := binary.BigEndian.Uint64(payload); ms > 0 {
+			return float64(ms) / 1000
+		}
+	}
+	return float64(len(payload)) / bytesPerSecond
+}

@@ -1,0 +1,192 @@
+package janus_test
+
+import (
+	"testing"
+	"time"
+
+	"spectra/internal/apps/janus"
+	"spectra/internal/solver"
+	"spectra/internal/testbed"
+)
+
+func newApp(t *testing.T) (*testbed.Speech, *janus.App) {
+	t.Helper()
+	tb, err := testbed.NewSpeech(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := janus.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	return tb, app
+}
+
+func alt(server, plan, vocab string) solver.Alternative {
+	return solver.Alternative{
+		Server:   server,
+		Plan:     plan,
+		Fidelity: map[string]string{janus.FidelityDim: vocab},
+	}
+}
+
+// allAlternatives enumerates the six bars of Figure 3.
+func allAlternatives() []solver.Alternative {
+	return []solver.Alternative{
+		alt("", janus.PlanLocal, janus.VocabFull),
+		alt("", janus.PlanLocal, janus.VocabSmall),
+		alt("t20", janus.PlanHybrid, janus.VocabFull),
+		alt("t20", janus.PlanHybrid, janus.VocabSmall),
+		alt("t20", janus.PlanRemote, janus.VocabFull),
+		alt("t20", janus.PlanRemote, janus.VocabSmall),
+	}
+}
+
+func train(t *testing.T, app *janus.App, rounds int) {
+	t.Helper()
+	lengths := []float64{1.5, 2, 2.5}
+	for i := 0; i < rounds; i++ {
+		for _, a := range allAlternatives() {
+			if _, err := app.RecognizeForced(a, lengths[i%len(lengths)]); err != nil {
+				t.Fatalf("training %v: %v", a, err)
+			}
+		}
+	}
+}
+
+func TestPlanExecutionPaths(t *testing.T) {
+	_, app := newApp(t)
+	for _, a := range allAlternatives() {
+		rep, err := app.RecognizeForced(a, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if rep.Elapsed <= 0 {
+			t.Fatalf("%v: elapsed %v", a, rep.Elapsed)
+		}
+		switch a.Plan {
+		case janus.PlanLocal:
+			if rep.Usage.LocalMegacycles == 0 || rep.Usage.RemoteMegacycles != 0 {
+				t.Fatalf("%v usage = %+v", a, rep.Usage)
+			}
+		case janus.PlanRemote:
+			if rep.Usage.LocalMegacycles != 0 || rep.Usage.RemoteMegacycles == 0 {
+				t.Fatalf("%v usage = %+v", a, rep.Usage)
+			}
+			if rep.Usage.RPCs != 1 {
+				t.Fatalf("%v rpcs = %d", a, rep.Usage.RPCs)
+			}
+		case janus.PlanHybrid:
+			if rep.Usage.LocalMegacycles == 0 || rep.Usage.RemoteMegacycles == 0 {
+				t.Fatalf("%v usage = %+v", a, rep.Usage)
+			}
+		}
+		if len(rep.Usage.Files) == 0 {
+			t.Fatalf("%v accessed no files", a)
+		}
+	}
+}
+
+func TestLocalSlowdownWithinPaperRange(t *testing.T) {
+	_, app := newApp(t)
+	local, err := app.RecognizeForced(alt("", janus.PlanLocal, janus.VocabFull), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := app.RecognizeForced(alt("t20", janus.PlanHybrid, janus.VocabFull), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := app.RecognizeForced(alt("t20", janus.PlanRemote, janus.VocabFull), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3: local takes 3-9x as long as hybrid and remote.
+	for _, other := range []time.Duration{hybrid.Elapsed, remote.Elapsed} {
+		ratio := float64(local.Elapsed) / float64(other)
+		if ratio < 3 || ratio > 9 {
+			t.Fatalf("local/offload ratio = %.2f (local %v, other %v), want 3-9",
+				ratio, local.Elapsed, other)
+		}
+	}
+	// Hybrid beats remote at baseline.
+	if hybrid.Elapsed >= remote.Elapsed {
+		t.Fatalf("hybrid %v should beat remote %v at baseline",
+			hybrid.Elapsed, remote.Elapsed)
+	}
+}
+
+func TestBaselineDecisionHybridFull(t *testing.T) {
+	_, app := newApp(t)
+	train(t, app, 3)
+	rep, err := app.Recognize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Decision.Alternative
+	if got.Plan != janus.PlanHybrid || got.Fidelity[janus.FidelityDim] != janus.VocabFull {
+		t.Fatalf("baseline decision = %+v, want hybrid/full", got)
+	}
+}
+
+func TestEnergyScenarioPrefersRemoteFull(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, app, 3)
+
+	// Battery power with an ambitious 10-hour lifetime goal (paper §4.1).
+	// The importance parameter is pinned at the level the goal sustains so
+	// the scenario is deterministic across trials.
+	tb.Itsy.SetWallPower(false)
+	tb.Setup.Adaptor.SetGoal(10 * time.Hour)
+	tb.Setup.Adaptor.SetImportance(0.7)
+	tb.Setup.Refresh()
+
+	rep, err := app.Recognize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Decision.Alternative
+	if got.Plan != janus.PlanRemote || got.Fidelity[janus.FidelityDim] != janus.VocabFull {
+		t.Fatalf("energy decision = %+v, want remote/full", got)
+	}
+}
+
+func TestCPUScenarioPrefersRemote(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, app, 3)
+
+	tb.Itsy.SetBackgroundTasks(1)
+	for i := 0; i < 8; i++ {
+		tb.Setup.Refresh() // let the smoothed load estimate converge
+	}
+	rep, err := app.Recognize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Decision.Alternative; got.Plan != janus.PlanRemote {
+		t.Fatalf("CPU-scenario decision = %+v, want remote", got)
+	}
+}
+
+func TestFileCacheScenarioDropsToReducedLocal(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, app, 3)
+
+	// Partition the Spectra server; file servers stay reachable. Flush the
+	// full-vocabulary language model from the client cache.
+	tb.Serial.SetPartitioned(true)
+	tb.Setup.Client.PollServers()
+	if !tb.Setup.Env.Host().Coda().Evict(janus.LMFullPath) {
+		t.Fatal("evict failed")
+	}
+
+	rep, err := app.Recognize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Decision.Alternative
+	if got.Plan != janus.PlanLocal || got.Fidelity[janus.FidelityDim] != janus.VocabSmall {
+		t.Fatalf("file-cache decision = %+v, want local/reduced", got)
+	}
+}

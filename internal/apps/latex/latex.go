@@ -1,0 +1,280 @@
+// Package latex models the Latex document-preparation workload of the
+// paper's evaluation (§3.7.2, §4.2): generating a DVI file from multiple
+// input files, with local and remote execution plans. Resource usage is
+// strongly document-specific — the 123-page document consumes far more CPU
+// than the 14-page one — so operations are parameterized by document name,
+// exercising Spectra's data-specific demand models. Input files are
+// commonly modified on the (weakly connected) client, exercising data
+// consistency: dirty volumes the compile may read must be reintegrated
+// before remote execution.
+package latex
+
+import (
+	"fmt"
+	"sync"
+
+	"spectra/internal/coda"
+	"spectra/internal/core"
+	"spectra/internal/sim"
+	"spectra/internal/solver"
+	"spectra/internal/utility"
+)
+
+// Public identifiers of the Latex workload.
+const (
+	OperationName = "latex.compile"
+	ServiceName   = "latex"
+
+	PlanLocal  = "local"
+	PlanRemote = "remote"
+
+	// ParamPages is the input parameter: document length in pages.
+	ParamPages = "pages"
+
+	opCompile = "compile"
+
+	// workMcPerPage calibrates integer compile work per page.
+	workMcPerPage = 17
+)
+
+// InputFile is one input of a document.
+type InputFile struct {
+	Path      string
+	SizeBytes int64
+}
+
+// Document describes one Latex document: its inputs, its output, and the
+// Coda volume its private files live in.
+type Document struct {
+	// Name labels the document; it doubles as the Spectra data label.
+	Name  string
+	Pages float64
+	// Volume is the document's private Coda volume.
+	Volume string
+	// Inputs are the files the compile reads. Shared inputs (styles,
+	// fonts) live in SharedVolume.
+	Inputs []InputFile
+	// Output is the DVI the compile writes, in Volume.
+	Output      string
+	OutputBytes int64
+}
+
+// SharedVolume holds style and font files used by every document.
+const SharedVolume = "latex.shared"
+
+// Shared inputs.
+var sharedInputs = []InputFile{
+	{Path: "/coda/latex/shared/style.sty", SizeBytes: 30 * 1024},
+	{Path: "/coda/latex/shared/fonts.db", SizeBytes: 700 * 1024},
+}
+
+// SmallDocument is the paper's 14-page document; its 70 KB main input is
+// the file the reintegrate scenario modifies on the client.
+func SmallDocument() Document {
+	return Document{
+		Name:   "small.tex",
+		Pages:  14,
+		Volume: "latex.small",
+		Inputs: append([]InputFile{
+			{Path: "/coda/latex/small/main.tex", SizeBytes: 70 * 1024},
+			{Path: "/coda/latex/small/body.tex", SizeBytes: 30 * 1024},
+		}, sharedInputs...),
+		Output:      "/coda/latex/small/out.dvi",
+		OutputBytes: 30 * 1024,
+	}
+}
+
+// LargeDocument is the paper's 123-page document.
+func LargeDocument() Document {
+	return Document{
+		Name:   "large.tex",
+		Pages:  123,
+		Volume: "latex.large",
+		Inputs: append([]InputFile{
+			{Path: "/coda/latex/large/main.tex", SizeBytes: 250 * 1024},
+			{Path: "/coda/latex/large/ch1.tex", SizeBytes: 150 * 1024},
+			{Path: "/coda/latex/large/ch2.tex", SizeBytes: 150 * 1024},
+			{Path: "/coda/latex/large/ch3.tex", SizeBytes: 150 * 1024},
+			{Path: "/coda/latex/large/ch4.tex", SizeBytes: 150 * 1024},
+			{Path: "/coda/latex/large/ch5.tex", SizeBytes: 150 * 1024},
+			{Path: "/coda/latex/large/figs.db", SizeBytes: 3 * 1024 * 1024},
+		}, sharedInputs...),
+		Output:      "/coda/latex/large/out.dvi",
+		OutputBytes: 150 * 1024,
+	}
+}
+
+// WorkMegacycles is the integer compile demand of a document.
+func (d Document) WorkMegacycles() float64 { return d.Pages * workMcPerPage }
+
+// MainInput returns the document's first input, the file the reintegrate
+// scenario modifies.
+func (d Document) MainInput() InputFile { return d.Inputs[0] }
+
+// App is a Latex front-end bound to a Spectra deployment.
+type App struct {
+	setup *core.SimSetup
+	op    *core.Operation
+
+	mu   sync.Mutex
+	docs map[string]Document
+}
+
+// Install provisions document files on the file servers, warms every
+// machine's cache, registers the latex service everywhere, and registers
+// the operation.
+func Install(setup *core.SimSetup, docs ...Document) (*App, error) {
+	if len(docs) == 0 {
+		docs = []Document{SmallDocument(), LargeDocument()}
+	}
+	app := &App{setup: setup, docs: make(map[string]Document, len(docs))}
+
+	fs := setup.FileServer
+	for _, d := range docs {
+		app.docs[d.Name] = d
+		for _, in := range d.Inputs {
+			vol := d.Volume
+			if isShared(in.Path) {
+				vol = SharedVolume
+			}
+			fs.Store(vol, in.Path, in.SizeBytes)
+		}
+		fs.Store(d.Volume, d.Output, d.OutputBytes)
+	}
+
+	nodes := []*core.Node{setup.Env.Host()}
+	for _, name := range setup.Env.ServerNames() {
+		node, _, _ := setup.Env.Server(name)
+		nodes = append(nodes, node)
+	}
+	// Each machine hoards every document's inputs; shared styles and fonts
+	// get the highest priority since all documents need them.
+	hoard := coda.NewHoardProfile()
+	for _, d := range docs {
+		for _, in := range d.Inputs {
+			priority := 5
+			if isShared(in.Path) {
+				priority = 10
+			}
+			hoard.Add(in.Path, priority)
+		}
+	}
+	for _, node := range nodes {
+		node.RegisterService(ServiceName, app.Service)
+		if _, err := node.Coda().HoardWalk(hoard); err != nil {
+			return nil, fmt.Errorf("latex: hoard on %s: %w", node.Machine().Name(), err)
+		}
+	}
+
+	op, err := setup.Client.RegisterFidelity(Spec())
+	if err != nil {
+		return nil, err
+	}
+	app.op = op
+	return app, nil
+}
+
+// Spec is the Latex operation registration: one fidelity, two plans, and
+// document-parameterized predictions (paper §3.7.2).
+func Spec() core.OperationSpec {
+	return core.OperationSpec{
+		Name:    OperationName,
+		Service: ServiceName,
+		Plans: []core.PlanSpec{
+			{Name: PlanLocal, Files: core.FilesLocal},
+			{Name: PlanRemote, UsesServer: true, Files: core.FilesRemote},
+		},
+		Params:         []string{ParamPages},
+		LatencyUtility: utility.InverseLatency,
+		UsesData:       true,
+	}
+}
+
+// Operation returns the registered operation.
+func (a *App) Operation() *core.Operation { return a.op }
+
+// Document returns a registered document.
+func (a *App) Document(name string) (Document, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	d, ok := a.docs[name]
+	return d, ok
+}
+
+// TouchInput modifies the document's main input file on the client, as an
+// editing user would. On the weakly connected client the modification
+// buffers in Coda until Spectra reintegrates it.
+func (a *App) TouchInput(doc Document) error {
+	in := doc.MainInput()
+	if _, err := a.setup.Env.Host().Coda().Write(in.Path, in.SizeBytes); err != nil {
+		return fmt.Errorf("latex: touch %s: %w", in.Path, err)
+	}
+	return nil
+}
+
+// Compile runs one compilation, letting Spectra pick the location.
+func (a *App) Compile(doc Document) (core.Report, error) {
+	octx, err := a.setup.Client.BeginFidelityOp(a.op, params(doc), doc.Name)
+	if err != nil {
+		return core.Report{}, err
+	}
+	return a.finish(octx, doc)
+}
+
+// CompileForced runs one compilation at a dictated alternative.
+func (a *App) CompileForced(alt solver.Alternative, doc Document) (core.Report, error) {
+	octx, err := a.setup.Client.BeginForced(a.op, alt, params(doc), doc.Name)
+	if err != nil {
+		return core.Report{}, err
+	}
+	return a.finish(octx, doc)
+}
+
+func params(doc Document) map[string]float64 {
+	return map[string]float64{ParamPages: doc.Pages}
+}
+
+func (a *App) finish(octx *core.OpContext, doc Document) (core.Report, error) {
+	var err error
+	switch octx.Plan() {
+	case PlanLocal:
+		_, err = octx.DoLocalOp(opCompile, []byte(doc.Name))
+	case PlanRemote:
+		_, err = octx.DoRemoteOp(opCompile, []byte(doc.Name))
+	default:
+		err = fmt.Errorf("latex: unknown plan %q", octx.Plan())
+	}
+	if err != nil {
+		octx.Abort()
+		return core.Report{}, err
+	}
+	return octx.End()
+}
+
+// Service compiles a document on whatever machine hosts the call: it reads
+// every input (fetching uncached ones), burns document-proportional CPU,
+// and writes the DVI.
+func (a *App) Service(ctx *core.ServiceContext, optype string, payload []byte) ([]byte, error) {
+	if optype != opCompile {
+		return nil, fmt.Errorf("latex: unknown optype %q", optype)
+	}
+	doc, ok := a.Document(string(payload))
+	if !ok {
+		return nil, fmt.Errorf("latex: unknown document %q", payload)
+	}
+	for _, in := range doc.Inputs {
+		if err := ctx.ReadFile(in.Path); err != nil {
+			return nil, err
+		}
+	}
+	ctx.Compute(sim.ComputeDemand{IntegerMegacycles: doc.WorkMegacycles()})
+	if err := ctx.WriteFile(doc.Output, doc.OutputBytes); err != nil {
+		return nil, err
+	}
+	return []byte("dvi:" + doc.Output), nil
+}
+
+func isShared(path string) bool {
+	const prefix = "/coda/latex/shared/"
+	return len(path) >= len(prefix) && path[:len(prefix)] == prefix
+}

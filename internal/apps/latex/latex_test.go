@@ -1,0 +1,221 @@
+package latex_test
+
+import (
+	"testing"
+
+	"spectra/internal/apps/latex"
+	"spectra/internal/solver"
+	"spectra/internal/testbed"
+)
+
+func newApp(t *testing.T) (*testbed.Laptop, *latex.App) {
+	t.Helper()
+	tb, err := testbed.NewLaptop(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := latex.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	return tb, app
+}
+
+func alt(server, plan string) solver.Alternative {
+	return solver.Alternative{Server: server, Plan: plan}
+}
+
+func allAlternatives() []solver.Alternative {
+	return []solver.Alternative{
+		alt("", latex.PlanLocal),
+		alt("serverA", latex.PlanRemote),
+		alt("serverB", latex.PlanRemote),
+	}
+}
+
+// train executes every alternative for both documents, the equivalent of
+// the paper's 20 training runs.
+func train(t *testing.T, app *latex.App, rounds int) {
+	t.Helper()
+	for i := 0; i < rounds; i++ {
+		for _, doc := range []latex.Document{latex.SmallDocument(), latex.LargeDocument()} {
+			for _, a := range allAlternatives() {
+				if _, err := app.CompileForced(a, doc); err != nil {
+					t.Fatalf("training %v %s: %v", a, doc.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestCompilePaths(t *testing.T) {
+	_, app := newApp(t)
+	small := latex.SmallDocument()
+	for _, a := range allAlternatives() {
+		rep, err := app.CompileForced(a, small)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if rep.Elapsed <= 0 {
+			t.Fatalf("%v elapsed = %v", a, rep.Elapsed)
+		}
+		if len(rep.Usage.Files) < len(small.Inputs) {
+			t.Fatalf("%v accessed %d files, want >= %d", a, len(rep.Usage.Files), len(small.Inputs))
+		}
+	}
+}
+
+func TestDocumentWorkScalesWithPages(t *testing.T) {
+	_, app := newApp(t)
+	small, err := app.CompileForced(alt("", latex.PlanLocal), latex.SmallDocument())
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := app.CompileForced(alt("", latex.PlanLocal), latex.LargeDocument())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(large.Elapsed) / float64(small.Elapsed)
+	want := latex.LargeDocument().Pages / latex.SmallDocument().Pages
+	if ratio < want*0.8 || ratio > want*1.2 {
+		t.Fatalf("elapsed ratio = %.1f, want ~%.1f", ratio, want)
+	}
+}
+
+func TestBaselineChoosesServerB(t *testing.T) {
+	_, app := newApp(t)
+	train(t, app, 3)
+	for _, doc := range []latex.Document{latex.SmallDocument(), latex.LargeDocument()} {
+		rep, err := app.Compile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rep.Decision.Alternative
+		if got.Plan != latex.PlanRemote || got.Server != "serverB" {
+			t.Fatalf("%s baseline decision = %+v, want remote on serverB", doc.Name, got)
+		}
+	}
+}
+
+func TestFileCacheScenarioSwitchesToServerA(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, app, 3)
+
+	// Evict every input file from server B's cache.
+	nodeB, _, _ := tb.Setup.Env.Server("serverB")
+	for _, doc := range []latex.Document{latex.SmallDocument(), latex.LargeDocument()} {
+		for _, in := range doc.Inputs {
+			nodeB.Coda().Evict(in.Path)
+		}
+	}
+	tb.Setup.Refresh() // repoll so the cache snapshot reflects the eviction
+
+	for _, doc := range []latex.Document{latex.SmallDocument(), latex.LargeDocument()} {
+		rep, err := app.Compile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := rep.Decision.Alternative
+		if got.Plan != latex.PlanRemote || got.Server != "serverA" {
+			t.Fatalf("%s file-cache decision = %+v, want remote on serverA", doc.Name, got)
+		}
+	}
+}
+
+func TestReintegrateScenario(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, app, 3)
+	small, large := latex.SmallDocument(), latex.LargeDocument()
+
+	// Modify the small document's 70 KB input on the client.
+	if err := app.TouchInput(small); err != nil {
+		t.Fatal(err)
+	}
+	// Small document: reintegration over the wireless makes remote
+	// expensive; Spectra chooses local execution.
+	rep, err := app.Compile(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Decision.Alternative; got.Plan != latex.PlanLocal {
+		t.Fatalf("small reintegrate decision = %+v, want local", got)
+	}
+	if rep.Decision.ReintegratedBytes != 0 {
+		t.Fatalf("local execution should not reintegrate, moved %d bytes",
+			rep.Decision.ReintegratedBytes)
+	}
+	if !tb.Setup.Env.Host().Coda().IsDirty(small.MainInput().Path) {
+		t.Fatal("modification should still be buffered")
+	}
+
+	// Large document: Spectra predicts the modified file is not needed and
+	// does not force reintegration; server B stays the choice.
+	rep, err = app.Compile(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Decision.Alternative; got.Plan != latex.PlanRemote || got.Server != "serverB" {
+		t.Fatalf("large reintegrate decision = %+v, want remote on serverB", got)
+	}
+	if rep.Decision.ReintegratedBytes != 0 {
+		t.Fatalf("large document reintegrated %d bytes, want 0", rep.Decision.ReintegratedBytes)
+	}
+	if !tb.Setup.Env.Host().Coda().IsDirty(small.MainInput().Path) {
+		t.Fatal("large compile must not have reintegrated the small document's file")
+	}
+}
+
+func TestReintegrationEnforcedWhenRemoteForced(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, app, 3)
+	small := latex.SmallDocument()
+	if err := app.TouchInput(small); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := app.CompileForced(alt("serverB", latex.PlanRemote), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decision.ReintegratedBytes != small.MainInput().SizeBytes {
+		t.Fatalf("reintegrated %d bytes, want %d",
+			rep.Decision.ReintegratedBytes, small.MainInput().SizeBytes)
+	}
+	if tb.Setup.Env.Host().Coda().IsDirty(small.MainInput().Path) {
+		t.Fatal("file still dirty after forced remote compile")
+	}
+}
+
+func TestEnergyScenarioChoosesServerB(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, app, 3)
+	small, large := latex.SmallDocument(), latex.LargeDocument()
+
+	// Identical to the reintegrate scenario, plus battery power and a very
+	// aggressive lifetime goal (paper §4.2).
+	if err := app.TouchInput(small); err != nil {
+		t.Fatal(err)
+	}
+	tb.X560.SetWallPower(false)
+	tb.Setup.Adaptor.SetImportance(0.95)
+	tb.Setup.Refresh()
+
+	// Small document: B takes more time than local but uses slightly less
+	// energy; with energy paramount Spectra picks B.
+	rep, err := app.Compile(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Decision.Alternative; got.Plan != latex.PlanRemote || got.Server != "serverB" {
+		t.Fatalf("small energy decision = %+v, want remote on serverB", got)
+	}
+
+	// Large document: B saves both time and energy.
+	rep, err = app.Compile(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Decision.Alternative; got.Plan != latex.PlanRemote || got.Server != "serverB" {
+		t.Fatalf("large energy decision = %+v, want remote on serverB", got)
+	}
+}

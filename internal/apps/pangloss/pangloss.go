@@ -1,0 +1,440 @@
+// Package pangloss models the Pangloss-Lite natural-language translator of
+// the paper's evaluation (§3.7.3, §4.3). A translation runs up to three
+// engines — EBMT (example-based), glossary-based, and dictionary-based —
+// whose outputs a language modeler combines into the final translation.
+// Fidelity is the subset of engines used (EBMT 0.5, glossary 0.3,
+// dictionary 0.2, summing when combined); execution plans place each
+// enabled engine and the language modeler locally or on the chosen remote
+// server, yielding roughly one hundred location×fidelity combinations.
+package pangloss
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"spectra/internal/coda"
+	"spectra/internal/core"
+	"spectra/internal/sim"
+	"spectra/internal/solver"
+	"spectra/internal/utility"
+)
+
+// Public identifiers of the Pangloss-Lite workload.
+const (
+	OperationName = "pangloss.translate"
+	ServiceName   = "pangloss"
+
+	// ParamWords is the input parameter: sentence length in words.
+	ParamWords = "words"
+
+	// Volume holds the translation knowledge bases.
+	Volume = "pangloss"
+)
+
+// Engine names (also the fidelity dimensions).
+const (
+	EngineEBMT     = "ebmt"
+	EngineGlossary = "glossary"
+	EngineDict     = "dict"
+	// componentLM is the language modeler; always executed, placed by the
+	// plan but not a fidelity dimension.
+	componentLM = "lm"
+)
+
+// Fidelity values.
+const (
+	On  = "on"
+	Off = "off"
+)
+
+// Engine fidelity weights (paper §3.7.3).
+var engineWeights = map[string]float64{
+	EngineEBMT:     0.5,
+	EngineGlossary: 0.3,
+	EngineDict:     0.2,
+}
+
+// Engines lists the engine names in canonical execution order.
+func Engines() []string { return []string{EngineEBMT, EngineGlossary, EngineDict} }
+
+// Knowledge-base files. The 12 MB EBMT corpus is the file the paper's
+// file-cache scenario evicts from server B.
+const (
+	EBMTFile   = "/coda/pangloss/ebmt.db"
+	EBMTBytes  = 12 * 1024 * 1024
+	GlossFile  = "/coda/pangloss/glossary.db"
+	GlossBytes = 2 * 1024 * 1024
+	DictFile   = "/coda/pangloss/dict.db"
+	DictBytes  = 512 * 1024
+	LMFile     = "/coda/pangloss/lm.db"
+	LMBytes    = 1024 * 1024
+)
+
+// Work calibration: integer megacycles per sentence word.
+var workMcPerWord = map[string]float64{
+	EngineEBMT:     50,
+	EngineGlossary: 30,
+	EngineDict:     3,
+	componentLM:    5,
+}
+
+var engineFiles = map[string]struct {
+	path string
+	size int64
+}{
+	EngineEBMT:     {path: EBMTFile, size: EBMTBytes},
+	EngineGlossary: {path: GlossFile, size: GlossBytes},
+	EngineDict:     {path: DictFile, size: DictBytes},
+	componentLM:    {path: LMFile, size: LMBytes},
+}
+
+// Payload sizing.
+const (
+	sentenceBytesPerWord    = 10
+	translationBytesPerWord = 50
+	resultBytesPerWord      = 60
+)
+
+// Latency desirability thresholds (paper §3.7.3): translations under 0.5 s
+// are fully desirable, translations over 5 s are worthless.
+const (
+	BestLatency  = 500 * time.Millisecond
+	WorstLatency = 5 * time.Second
+)
+
+// Placement is where one component runs.
+type Placement byte
+
+// Placements.
+const (
+	Local  Placement = 'l'
+	Remote Placement = 'r'
+)
+
+// Plan assigns a placement to every component.
+type Plan struct {
+	EBMT     Placement
+	Glossary Placement
+	Dict     Placement
+	LM       Placement
+}
+
+// Name renders the canonical plan name, e.g. "e=l,g=r,d=l,m=r".
+func (p Plan) Name() string {
+	return fmt.Sprintf("e=%c,g=%c,d=%c,m=%c", p.EBMT, p.Glossary, p.Dict, p.LM)
+}
+
+// UsesServer reports whether any component runs remotely.
+func (p Plan) UsesServer() bool {
+	return p.EBMT == Remote || p.Glossary == Remote || p.Dict == Remote || p.LM == Remote
+}
+
+// PlacementOf returns the placement of a component.
+func (p Plan) PlacementOf(component string) Placement {
+	switch component {
+	case EngineEBMT:
+		return p.EBMT
+	case EngineGlossary:
+		return p.Glossary
+	case EngineDict:
+		return p.Dict
+	default:
+		return p.LM
+	}
+}
+
+// ParsePlan parses a canonical plan name.
+func ParsePlan(name string) (Plan, error) {
+	parts := strings.Split(name, ",")
+	if len(parts) != 4 {
+		return Plan{}, fmt.Errorf("pangloss: malformed plan %q", name)
+	}
+	var p Plan
+	for _, part := range parts {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || len(kv[1]) != 1 || (kv[1][0] != byte(Local) && kv[1][0] != byte(Remote)) {
+			return Plan{}, fmt.Errorf("pangloss: malformed plan element %q", part)
+		}
+		place := Placement(kv[1][0])
+		switch kv[0] {
+		case "e":
+			p.EBMT = place
+		case "g":
+			p.Glossary = place
+		case "d":
+			p.Dict = place
+		case "m":
+			p.LM = place
+		default:
+			return Plan{}, fmt.Errorf("pangloss: unknown component %q", kv[0])
+		}
+	}
+	return p, nil
+}
+
+// AllPlans enumerates every placement assignment (16 plans).
+func AllPlans() []Plan {
+	var out []Plan
+	for _, e := range []Placement{Local, Remote} {
+		for _, g := range []Placement{Local, Remote} {
+			for _, d := range []Placement{Local, Remote} {
+				for _, m := range []Placement{Local, Remote} {
+					out = append(out, Plan{EBMT: e, Glossary: g, Dict: d, LM: m})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ValidCombination reports whether a (plan, fidelity) pair is meaningful:
+// at least one engine enabled, and disabled engines pinned to the canonical
+// local placement so the same behaviour is not enumerated twice.
+func ValidCombination(planName string, fidelity map[string]string) bool {
+	plan, err := ParsePlan(planName)
+	if err != nil {
+		return false
+	}
+	enabled := 0
+	for _, eng := range Engines() {
+		if fidelity[eng] == On {
+			enabled++
+			continue
+		}
+		if plan.PlacementOf(eng) != Local {
+			return false
+		}
+	}
+	return enabled > 0
+}
+
+// FidelityValue sums the enabled engines' weights: the language modeler
+// combines their outputs into a better translation (paper §3.7.3).
+func FidelityValue(fidelity map[string]string) float64 {
+	var total float64
+	for eng, w := range engineWeights {
+		if fidelity[eng] == On {
+			total += w
+		}
+	}
+	return total
+}
+
+// Spec is the Pangloss-Lite operation registration.
+func Spec() core.OperationSpec {
+	plans := make([]core.PlanSpec, 0, 16)
+	for _, p := range AllPlans() {
+		plans = append(plans, core.PlanSpec{
+			Name:       p.Name(),
+			UsesServer: p.UsesServer(),
+		})
+	}
+	var dims []core.FidelityDimension
+	for _, eng := range Engines() {
+		dims = append(dims, core.FidelityDimension{
+			Name:   eng,
+			Values: []string{On, Off},
+		})
+	}
+	return core.OperationSpec{
+		Name:            OperationName,
+		Service:         ServiceName,
+		Plans:           plans,
+		Fidelities:      dims,
+		Params:          []string{ParamWords},
+		LatencyUtility:  utility.DeadlineLatency(BestLatency, WorstLatency),
+		FidelityUtility: FidelityValue,
+		Valid:           ValidCombination,
+	}
+}
+
+// App is a Pangloss-Lite front-end bound to a Spectra deployment.
+type App struct {
+	setup *core.SimSetup
+	op    *core.Operation
+}
+
+// Install provisions the knowledge bases, warms caches everywhere,
+// registers the service, and registers the operation.
+func Install(setup *core.SimSetup) (*App, error) {
+	fs := setup.FileServer
+	for _, f := range engineFiles {
+		fs.Store(Volume, f.path, f.size)
+	}
+
+	nodes := []*core.Node{setup.Env.Host()}
+	for _, name := range setup.Env.ServerNames() {
+		node, _, _ := setup.Env.Server(name)
+		nodes = append(nodes, node)
+	}
+	// Every machine hoards the knowledge bases, sized-by-value priorities
+	// protecting the 12 MB EBMT corpus hardest.
+	hoard := coda.NewHoardProfile()
+	hoard.Add(EBMTFile, 10)
+	hoard.Add(GlossFile, 6)
+	hoard.Add(LMFile, 4)
+	hoard.Add(DictFile, 2)
+	for _, node := range nodes {
+		node.RegisterService(ServiceName, Service)
+		if _, err := node.Coda().HoardWalk(hoard); err != nil {
+			return nil, fmt.Errorf("pangloss: hoard on %s: %w", node.Machine().Name(), err)
+		}
+	}
+
+	op, err := setup.Client.RegisterFidelity(Spec())
+	if err != nil {
+		return nil, err
+	}
+	return &App{setup: setup, op: op}, nil
+}
+
+// Operation returns the registered operation.
+func (a *App) Operation() *core.Operation { return a.op }
+
+// Translate translates one sentence, letting Spectra choose locations and
+// fidelity.
+func (a *App) Translate(words float64) (core.Report, error) {
+	octx, err := a.setup.Client.BeginFidelityOp(a.op, params(words), "")
+	if err != nil {
+		return core.Report{}, err
+	}
+	return a.finish(octx, words)
+}
+
+// TranslateForced translates with a dictated alternative.
+func (a *App) TranslateForced(alt solver.Alternative, words float64) (core.Report, error) {
+	octx, err := a.setup.Client.BeginForced(a.op, alt, params(words), "")
+	if err != nil {
+		return core.Report{}, err
+	}
+	return a.finish(octx, words)
+}
+
+func params(words float64) map[string]float64 {
+	return map[string]float64{ParamWords: words}
+}
+
+// finish runs the enabled engines sequentially at their placements, then
+// the language modeler over their combined output.
+func (a *App) finish(octx *core.OpContext, words float64) (core.Report, error) {
+	plan, err := ParsePlan(octx.Plan())
+	if err != nil {
+		octx.Abort()
+		return core.Report{}, err
+	}
+	fidelity := octx.Fidelity()
+	sentence := encodeWords(words, sentenceBytesPerWord)
+
+	do := func(place Placement, optype string, payload []byte) ([]byte, error) {
+		if place == Remote {
+			return octx.DoRemoteOp(optype, payload)
+		}
+		return octx.DoLocalOp(optype, payload)
+	}
+
+	var combined []byte
+	for _, eng := range Engines() {
+		if fidelity[eng] != On {
+			continue
+		}
+		out, err := do(plan.PlacementOf(eng), "engine."+eng, sentence)
+		if err != nil {
+			octx.Abort()
+			return core.Report{}, err
+		}
+		combined = append(combined, out...)
+	}
+	lmPayload := encodeWords(words, 1)
+	lmPayload = append(lmPayload, combined...)
+	if _, err := do(plan.LM, "combine", lmPayload); err != nil {
+		octx.Abort()
+		return core.Report{}, err
+	}
+	return octx.End()
+}
+
+// Service is the Pangloss-Lite Spectra service: one optype per engine plus
+// the language modeler.
+func Service(ctx *core.ServiceContext, optype string, payload []byte) ([]byte, error) {
+	words := decodeWords(payload)
+	component := strings.TrimPrefix(optype, "engine.")
+	if optype == "combine" {
+		component = componentLM
+	}
+	work, ok := workMcPerWord[component]
+	if !ok {
+		return nil, fmt.Errorf("pangloss: unknown optype %q", optype)
+	}
+	f := engineFiles[component]
+	if err := ctx.ReadFile(f.path); err != nil {
+		return nil, err
+	}
+	ctx.Compute(sim.ComputeDemand{IntegerMegacycles: work * words})
+	if optype == "combine" {
+		return encodeWords(words, resultBytesPerWord), nil
+	}
+	return encodeWords(words, translationBytesPerWord), nil
+}
+
+// AllAlternatives enumerates the full decision space for the given servers,
+// the ~100 combinations the validation harness ranks (Figures 8 and 9).
+func AllAlternatives(servers []string) []solver.Alternative {
+	var out []solver.Alternative
+	var fids []map[string]string
+	for _, e := range []string{On, Off} {
+		for _, g := range []string{On, Off} {
+			for _, d := range []string{On, Off} {
+				fids = append(fids, map[string]string{
+					EngineEBMT:     e,
+					EngineGlossary: g,
+					EngineDict:     d,
+				})
+			}
+		}
+	}
+	for _, p := range AllPlans() {
+		targets := []string{""}
+		if p.UsesServer() {
+			targets = servers
+		}
+		for _, server := range targets {
+			for _, fid := range fids {
+				if !ValidCombination(p.Name(), fid) {
+					continue
+				}
+				out = append(out, solver.Alternative{
+					Server:   server,
+					Plan:     p.Name(),
+					Fidelity: fid,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// encodeWords builds a payload of size words×rate carrying the word count
+// in its first eight bytes.
+func encodeWords(words float64, bytesPerWord float64) []byte {
+	n := int(words * bytesPerWord)
+	if n < 8 {
+		n = 8
+	}
+	buf := make([]byte, n)
+	binary.BigEndian.PutUint64(buf, uint64(words))
+	return buf
+}
+
+// decodeWords recovers the word count from a payload header.
+func decodeWords(payload []byte) float64 {
+	if len(payload) >= 8 {
+		if w := binary.BigEndian.Uint64(payload); w > 0 {
+			return float64(w)
+		}
+	}
+	return 1
+}

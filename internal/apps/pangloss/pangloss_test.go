@@ -1,0 +1,260 @@
+package pangloss_test
+
+import (
+	"math"
+	"testing"
+
+	"spectra/internal/apps/pangloss"
+	"spectra/internal/core"
+	"spectra/internal/solver"
+	"spectra/internal/testbed"
+	"spectra/internal/utility"
+)
+
+func newApp(t *testing.T) (*testbed.Laptop, *pangloss.App) {
+	t.Helper()
+	tb, err := testbed.NewLaptop(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := pangloss.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	return tb, app
+}
+
+// train sweeps every alternative at several sentence lengths, standing in
+// for the paper's 129 training sentences (and its exhaustive measurement of
+// all alternatives, which equally feeds Spectra's models).
+func train(t *testing.T, tb *testbed.Laptop, app *pangloss.App) {
+	t.Helper()
+	alts := pangloss.AllAlternatives(tb.Setup.Client.Servers())
+	for _, words := range []float64{4, 10, 20, 34} {
+		for _, a := range alts {
+			if _, err := app.TranslateForced(a, words); err != nil {
+				t.Fatalf("training %v @%v: %v", a, words, err)
+			}
+		}
+	}
+}
+
+func TestPlanNameRoundTrip(t *testing.T) {
+	for _, p := range pangloss.AllPlans() {
+		got, err := pangloss.ParsePlan(p.Name())
+		if err != nil {
+			t.Fatalf("%q: %v", p.Name(), err)
+		}
+		if got != p {
+			t.Fatalf("round trip %q -> %+v", p.Name(), got)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{"", "e=l", "e=l,g=r,d=l,m=x", "e=l,g=r,d=l,z=l", "a,b,c,d"} {
+		if _, err := pangloss.ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFidelityValues(t *testing.T) {
+	tests := []struct {
+		give map[string]string
+		want float64
+	}{
+		{give: map[string]string{"ebmt": "on", "glossary": "on", "dict": "on"}, want: 1.0},
+		{give: map[string]string{"ebmt": "on", "glossary": "off", "dict": "off"}, want: 0.5},
+		{give: map[string]string{"ebmt": "off", "glossary": "on", "dict": "on"}, want: 0.5},
+		{give: map[string]string{"ebmt": "off", "glossary": "off", "dict": "on"}, want: 0.2},
+		{give: map[string]string{}, want: 0},
+	}
+	for _, tt := range tests {
+		if got := pangloss.FidelityValue(tt.give); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("FidelityValue(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestAlternativeSpaceSize(t *testing.T) {
+	// The paper reports "100 different combinations of location and
+	// fidelity"; the canonical enumeration with two candidate servers
+	// yields 97.
+	alts := pangloss.AllAlternatives([]string{"serverA", "serverB"})
+	if len(alts) != 97 {
+		t.Fatalf("alternatives = %d, want 97", len(alts))
+	}
+	seen := make(map[string]bool, len(alts))
+	for _, a := range alts {
+		if seen[a.Key()] {
+			t.Fatalf("duplicate alternative %s", a.Key())
+		}
+		seen[a.Key()] = true
+	}
+}
+
+func TestValidCombination(t *testing.T) {
+	allOn := map[string]string{"ebmt": "on", "glossary": "on", "dict": "on"}
+	if !pangloss.ValidCombination("e=r,g=r,d=l,m=l", allOn) {
+		t.Fatal("valid combination rejected")
+	}
+	// Disabled engine with a remote placement is a duplicate encoding.
+	off := map[string]string{"ebmt": "off", "glossary": "on", "dict": "on"}
+	if pangloss.ValidCombination("e=r,g=r,d=l,m=l", off) {
+		t.Fatal("disabled engine with remote placement accepted")
+	}
+	// All engines off is meaningless.
+	none := map[string]string{"ebmt": "off", "glossary": "off", "dict": "off"}
+	if pangloss.ValidCombination("e=l,g=l,d=l,m=l", none) {
+		t.Fatal("all-off fidelity accepted")
+	}
+}
+
+func TestTranslateExecutesChosenPlacements(t *testing.T) {
+	_, app := newApp(t)
+	full := map[string]string{"ebmt": "on", "glossary": "on", "dict": "on"}
+	rep, err := app.TranslateForced(solver.Alternative{
+		Server:   "serverB",
+		Plan:     "e=r,g=r,d=l,m=l",
+		Fidelity: full,
+	}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two remote engine calls; dictionary and LM local.
+	if rep.Usage.RPCs != 2 {
+		t.Fatalf("rpcs = %d, want 2", rep.Usage.RPCs)
+	}
+	if rep.Usage.LocalMegacycles == 0 || rep.Usage.RemoteMegacycles == 0 {
+		t.Fatalf("usage = %+v", rep.Usage)
+	}
+	// EBMT dominates: remote megacycles must exceed local.
+	if rep.Usage.RemoteMegacycles <= rep.Usage.LocalMegacycles {
+		t.Fatalf("remote %v <= local %v", rep.Usage.RemoteMegacycles, rep.Usage.LocalMegacycles)
+	}
+}
+
+func TestReducedFidelitySkipsEngines(t *testing.T) {
+	_, app := newApp(t)
+	rep, err := app.TranslateForced(solver.Alternative{
+		Plan:     "e=l,g=l,d=l,m=l",
+		Fidelity: map[string]string{"ebmt": "off", "glossary": "off", "dict": "on"},
+	}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only dict (3 Mc/word) and LM (5 Mc/word) run: 96 Mc at 12 words.
+	if math.Abs(rep.Usage.LocalMegacycles-96) > 1e-6 {
+		t.Fatalf("local megacycles = %v, want 96", rep.Usage.LocalMegacycles)
+	}
+}
+
+func TestBaselineDecisions(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, tb, app)
+
+	// Small sentence: all engines used (fidelity 1.0), EBMT offloaded.
+	rep, err := app.Translate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Decision
+	fid := d.Alternative.Fidelity
+	if fid["ebmt"] != "on" || fid["glossary"] != "on" || fid["dict"] != "on" {
+		t.Fatalf("small-sentence fidelity = %v, want all engines", fid)
+	}
+	plan, err := pangloss.ParsePlan(d.Alternative.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.EBMT != pangloss.Remote {
+		t.Fatalf("small-sentence plan = %s, want EBMT remote", d.Alternative.Plan)
+	}
+
+	// Large sentence: the glossary engine is dropped to stay under the
+	// 5-second deadline (paper: "for the two larger sentences, it does not
+	// use the glossary engine").
+	rep, err = app.Translate(34)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid = rep.Decision.Alternative.Fidelity
+	if fid["glossary"] != "off" {
+		t.Fatalf("large-sentence fidelity = %v, want glossary off", fid)
+	}
+	if fid["ebmt"] != "on" {
+		t.Fatalf("large-sentence fidelity = %v, want ebmt kept", fid)
+	}
+}
+
+func TestFileCacheScenarioAvoidsEBMTOnB(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, tb, app)
+
+	// Evict the 12 MB EBMT corpus from server B's cache.
+	nodeB, _, _ := tb.Setup.Env.Server("serverB")
+	if !nodeB.Coda().Evict(pangloss.EBMTFile) {
+		t.Fatal("evict failed")
+	}
+	tb.Setup.Refresh()
+
+	for _, words := range []float64{4, 12, 26} {
+		rep, err := app.Translate(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := rep.Decision.Alternative
+		plan, err := pangloss.ParsePlan(d.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ebmtOnB := d.Fidelity["ebmt"] == "on" &&
+			plan.EBMT == pangloss.Remote && d.Server == "serverB"
+		if ebmtOnB {
+			t.Fatalf("words=%v: chose EBMT on cold server B: %+v", words, d)
+		}
+	}
+}
+
+func TestNearOracleUtility(t *testing.T) {
+	tb, app := newApp(t)
+	train(t, tb, app)
+
+	// Measure every alternative's achieved utility, then compare Spectra's
+	// achieved utility (Figure 9's comparison, baseline scenario).
+	eval := func(words float64) {
+		alts := pangloss.AllAlternatives(tb.Setup.Client.Servers())
+		best := 0.0
+		for _, a := range alts {
+			rep, err := app.TranslateForced(a, words)
+			if err != nil {
+				t.Fatalf("%v: %v", a, err)
+			}
+			u := achievedUtility(rep)
+			if u > best {
+				best = u
+			}
+		}
+		rep, err := app.Translate(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := achievedUtility(rep)
+		if best > 0 && got < 0.8*best {
+			t.Fatalf("words=%v: Spectra achieved %.3f of oracle %.3f (< 80%%)",
+				words, got, best)
+		}
+	}
+	eval(8)
+	eval(26)
+}
+
+// achievedUtility scores a completed translation by its measured latency
+// and chosen fidelity (the baseline scenarios are wall-powered, so energy
+// does not contribute).
+func achievedUtility(rep core.Report) float64 {
+	lat := utility.DeadlineLatency(pangloss.BestLatency, pangloss.WorstLatency)
+	return lat(rep.Elapsed) * pangloss.FidelityValue(rep.Decision.Alternative.Fidelity)
+}

@@ -1,0 +1,58 @@
+package pangloss
+
+import (
+	"fmt"
+
+	"spectra/internal/core"
+	"spectra/internal/solver"
+)
+
+// TranslateParallel translates one sentence with the enabled engines
+// executing concurrently, each on its own server — the paper's future-work
+// extension (§4.3): "the three engines could be executed in parallel on
+// different servers". The language modeler runs locally over the combined
+// output. placements maps engine name to server name; engines absent from
+// the map run on primaryServer.
+func (a *App) TranslateParallel(words float64, fidelity map[string]string, primaryServer string, placements map[string]string) (core.Report, error) {
+	plan := Plan{EBMT: Remote, Glossary: Remote, Dict: Remote, LM: Local}
+	octx, err := a.setup.Client.BeginForced(a.op, solver.Alternative{
+		Server:   primaryServer,
+		Plan:     plan.Name(),
+		Fidelity: fidelity,
+	}, params(words), "")
+	if err != nil {
+		return core.Report{}, err
+	}
+
+	sentence := encodeWords(words, sentenceBytesPerWord)
+	var calls []core.ParallelCall
+	for _, eng := range Engines() {
+		if fidelity[eng] != On {
+			continue
+		}
+		calls = append(calls, core.ParallelCall{
+			Server:  placements[eng],
+			OpType:  "engine." + eng,
+			Payload: sentence,
+		})
+	}
+	if len(calls) == 0 {
+		octx.Abort()
+		return core.Report{}, fmt.Errorf("pangloss: no engines enabled")
+	}
+	outs, err := octx.DoParallelOps(calls)
+	if err != nil {
+		octx.Abort()
+		return core.Report{}, err
+	}
+
+	lmPayload := encodeWords(words, 1)
+	for _, out := range outs {
+		lmPayload = append(lmPayload, out...)
+	}
+	if _, err := octx.DoLocalOp("combine", lmPayload); err != nil {
+		octx.Abort()
+		return core.Report{}, err
+	}
+	return octx.End()
+}

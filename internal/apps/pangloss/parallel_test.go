@@ -1,0 +1,59 @@
+package pangloss_test
+
+import (
+	"testing"
+
+	"spectra/internal/apps/pangloss"
+	"spectra/internal/solver"
+)
+
+func TestTranslateParallelBeatsSequential(t *testing.T) {
+	_, app := newApp(t)
+	full := map[string]string{"ebmt": "on", "glossary": "on", "dict": "on"}
+	const words = 30
+
+	// Sequential: every engine on server B (the paper's best sequential
+	// placement for large sentences with all engines).
+	seq, err := app.TranslateForced(solver.Alternative{
+		Server:   "serverB",
+		Plan:     "e=r,g=r,d=r,m=l",
+		Fidelity: full,
+	}, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Parallel: EBMT on B, glossary on A, dictionary on B — the paper's
+	// "considerable benefit" projection for Pangloss-Lite.
+	par, err := app.TranslateParallel(words, full, "serverB", map[string]string{
+		pangloss.EngineEBMT:     "serverB",
+		pangloss.EngineGlossary: "serverA",
+		pangloss.EngineDict:     "serverB",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if par.Elapsed >= seq.Elapsed {
+		t.Fatalf("parallel %v should beat sequential %v", par.Elapsed, seq.Elapsed)
+	}
+	// The win is real but bounded by server heterogeneity: the glossary
+	// engine overlaps with EBMT, but runs on the slower server A.
+	improvement := float64(seq.Elapsed-par.Elapsed) / float64(seq.Elapsed)
+	if improvement < 0.10 {
+		t.Fatalf("parallel improvement = %.0f%%, want >= 10%%", improvement*100)
+	}
+	// Both runs perform the same work.
+	if par.Usage.RemoteMegacycles != seq.Usage.RemoteMegacycles {
+		t.Fatalf("parallel remote Mc %v != sequential %v",
+			par.Usage.RemoteMegacycles, seq.Usage.RemoteMegacycles)
+	}
+}
+
+func TestTranslateParallelNoEngines(t *testing.T) {
+	_, app := newApp(t)
+	none := map[string]string{"ebmt": "off", "glossary": "off", "dict": "off"}
+	if _, err := app.TranslateParallel(10, none, "serverB", nil); err == nil {
+		t.Fatal("no enabled engines should fail")
+	}
+}

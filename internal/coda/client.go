@@ -1,0 +1,440 @@
+package coda
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ConnectionMode describes a cache manager's connectivity to the file
+// servers, following Coda's adaptation levels.
+type ConnectionMode int
+
+// Connection modes. Strongly connected clients write through to servers;
+// weakly connected clients buffer modifications for background
+// reintegration; disconnected clients serve only cache hits.
+const (
+	Strong ConnectionMode = iota + 1
+	Weak
+	Disconnected
+)
+
+// String implements fmt.Stringer.
+func (m ConnectionMode) String() string {
+	switch m {
+	case Strong:
+		return "strong"
+	case Weak:
+		return "weak"
+	case Disconnected:
+		return "disconnected"
+	default:
+		return fmt.Sprintf("ConnectionMode(%d)", int(m))
+	}
+}
+
+// Client is a per-machine Coda cache manager ("Venus").
+type Client struct {
+	mu sync.Mutex
+
+	name   string
+	server *FileServer
+	mode   ConnectionMode
+
+	cache map[string]*cacheEntry
+	// lru tracks entry recency; front = most recently used. Used only when
+	// capacityBytes > 0.
+	lru           *list.List
+	capacityBytes int64
+	usedBytes     int64
+}
+
+type cacheEntry struct {
+	path       string
+	sizeBytes  int64
+	version    uint64
+	dirty      bool
+	dirtyBytes int64
+	el         *list.Element
+}
+
+// ReadResult reports the outcome of a file read.
+type ReadResult struct {
+	// SizeBytes is the size of the file read.
+	SizeBytes int64
+	// FetchedBytes is how much data had to come from the file server
+	// (0 on a cache hit).
+	FetchedBytes int64
+	// Hit reports whether the read was served entirely from cache.
+	Hit bool
+}
+
+// WriteResult reports the outcome of a file write.
+type WriteResult struct {
+	// ThroughBytes is how much data was synchronously written through to
+	// the server (strong connectivity only).
+	ThroughBytes int64
+	// Buffered reports whether the modification was buffered locally.
+	Buffered bool
+}
+
+// ReintegrationResult reports a volume reintegration.
+type ReintegrationResult struct {
+	Volume    string
+	BytesSent int64
+	Files     int
+}
+
+// NewClient returns a cache manager for one machine. capacityBytes of 0
+// means an unbounded cache (the experiments evict files explicitly).
+func NewClient(name string, server *FileServer, capacityBytes int64) *Client {
+	if capacityBytes < 0 {
+		capacityBytes = 0
+	}
+	return &Client{
+		name:          name,
+		server:        server,
+		mode:          Strong,
+		cache:         make(map[string]*cacheEntry),
+		lru:           list.New(),
+		capacityBytes: capacityBytes,
+	}
+}
+
+// Name returns the cache manager's name.
+func (c *Client) Name() string { return c.name }
+
+// Mode returns the current connection mode.
+func (c *Client) Mode() ConnectionMode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mode
+}
+
+// SetMode changes the connection mode.
+func (c *Client) SetMode(m ConnectionMode) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mode = m
+}
+
+// Read opens a file for reading. On a miss (or a stale cached version) the
+// file is fetched from the server, unless disconnected. Reads of locally
+// dirty files are served from the buffered copy.
+func (c *Client) Read(path string) (ReadResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	e := c.cache[path]
+	if e != nil && e.dirty {
+		c.touchLocked(e)
+		return ReadResult{SizeBytes: e.sizeBytes, Hit: true}, nil
+	}
+
+	info, err := c.server.Lookup(path)
+	if err != nil {
+		if e != nil {
+			// Server no longer knows the file but we have a cached copy
+			// (e.g. disconnected create by another client); serve it.
+			c.touchLocked(e)
+			return ReadResult{SizeBytes: e.sizeBytes, Hit: true}, nil
+		}
+		return ReadResult{}, err
+	}
+
+	if e != nil && e.version == info.Version {
+		c.touchLocked(e)
+		return ReadResult{SizeBytes: e.sizeBytes, Hit: true}, nil
+	}
+
+	if c.mode == Disconnected {
+		if e != nil {
+			// Stale but reachable copy; disconnected operation serves it.
+			c.touchLocked(e)
+			return ReadResult{SizeBytes: e.sizeBytes, Hit: true}, nil
+		}
+		return ReadResult{}, fmt.Errorf("read %q: %w", path, ErrDisconnected)
+	}
+
+	c.installLocked(path, info.SizeBytes, info.Version, false)
+	return ReadResult{SizeBytes: info.SizeBytes, FetchedBytes: info.SizeBytes}, nil
+}
+
+// Write records a whole-file modification of the given size. Under strong
+// connectivity the data is written through to the server immediately;
+// otherwise it is buffered for later reintegration.
+func (c *Client) Write(path string, sizeBytes int64) (WriteResult, error) {
+	if sizeBytes < 0 {
+		sizeBytes = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.mode == Strong {
+		vname, err := c.server.VolumeOf(path)
+		if err != nil {
+			// New file: place it in the default volume.
+			vname = "default"
+		}
+		c.server.Store(vname, path, sizeBytes)
+		info, err := c.server.Lookup(path)
+		if err != nil {
+			return WriteResult{}, fmt.Errorf("coda: write-through lookup: %w", err)
+		}
+		c.installLocked(path, sizeBytes, info.Version, false)
+		return WriteResult{ThroughBytes: sizeBytes}, nil
+	}
+
+	e := c.cache[path]
+	if e == nil {
+		e = c.installLocked(path, sizeBytes, 0, true)
+	}
+	c.accountLocked(e, sizeBytes)
+	e.dirty = true
+	e.dirtyBytes = sizeBytes
+	c.touchLocked(e)
+	return WriteResult{Buffered: true}, nil
+}
+
+// Reintegrate pushes all buffered modifications belonging to the given
+// volume to the server, making them visible to other clients. Coda
+// reintegrates at volume granularity, so every dirty file in the volume is
+// sent (paper §3.5).
+func (c *Client) Reintegrate(volumeName string) (ReintegrationResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	res := ReintegrationResult{Volume: volumeName}
+	for path, e := range c.cache {
+		if !e.dirty {
+			continue
+		}
+		vname, err := c.server.VolumeOf(path)
+		if err != nil {
+			vname = "default"
+		}
+		if vname != volumeName {
+			continue
+		}
+		c.server.Store(vname, path, e.sizeBytes)
+		info, err := c.server.Lookup(path)
+		if err != nil {
+			return res, fmt.Errorf("coda: reintegrate lookup: %w", err)
+		}
+		e.dirty = false
+		e.version = info.Version
+		res.BytesSent += e.dirtyBytes
+		e.dirtyBytes = 0
+		res.Files++
+	}
+	return res, nil
+}
+
+// ReintegrateAll reintegrates every dirty volume and returns the per-volume
+// results.
+func (c *Client) ReintegrateAll() ([]ReintegrationResult, error) {
+	var out []ReintegrationResult
+	for _, v := range c.DirtyVolumes() {
+		r, err := c.Reintegrate(v)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// VolumeOf maps a path to its volume, as known by the file servers.
+func (c *Client) VolumeOf(path string) (string, error) {
+	return c.server.VolumeOf(path)
+}
+
+// DirtyVolumes lists volumes with buffered modifications, sorted
+// deterministically.
+func (c *Client) DirtyVolumes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	seen := make(map[string]bool)
+	var out []string
+	for path, e := range c.cache {
+		if !e.dirty {
+			continue
+		}
+		vname, err := c.server.VolumeOf(path)
+		if err != nil {
+			vname = "default"
+		}
+		if !seen[vname] {
+			seen[vname] = true
+			out = append(out, vname)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VolumeDirtyBytes returns the buffered modification bytes for a volume —
+// the amount a reintegration would transfer.
+func (c *Client) VolumeDirtyBytes(volumeName string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var total int64
+	for path, e := range c.cache {
+		if !e.dirty {
+			continue
+		}
+		vname, err := c.server.VolumeOf(path)
+		if err != nil {
+			vname = "default"
+		}
+		if vname == volumeName {
+			total += e.dirtyBytes
+		}
+	}
+	return total
+}
+
+// IsDirty reports whether the path has buffered local modifications.
+func (c *Client) IsDirty(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.cache[path]
+	return e != nil && e.dirty
+}
+
+// IsCached reports whether the path is in the cache with a current version.
+// Stale entries count as uncached because they would require a fetch.
+func (c *Client) IsCached(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.cache[path]
+	if e == nil {
+		return false
+	}
+	if e.dirty {
+		return true
+	}
+	info, err := c.server.Lookup(path)
+	if err != nil {
+		return true // cached copy of a server-unknown file
+	}
+	return e.version == info.Version
+}
+
+// CachedPaths returns the set of currently cached (fresh or dirty) paths.
+// The paper notes Coda's original interface dumped the whole cache state;
+// this is the efficient replacement Spectra's file-cache monitor consumes.
+func (c *Client) CachedPaths() map[string]bool {
+	c.mu.Lock()
+	paths := make([]string, 0, len(c.cache))
+	for path := range c.cache {
+		paths = append(paths, path)
+	}
+	c.mu.Unlock()
+
+	out := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		if c.IsCached(p) {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// Evict removes a path from the cache, as the experiments do to flush the
+// speech language model or server B's Latex inputs. Dirty entries are not
+// evicted (their data would be lost); Evict reports whether the entry was
+// removed.
+func (c *Client) Evict(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.cache[path]
+	if e == nil || e.dirty {
+		return false
+	}
+	c.removeLocked(e)
+	return true
+}
+
+// UsedBytes returns the bytes of cached data.
+func (c *Client) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.usedBytes
+}
+
+// Len returns the number of cached entries.
+func (c *Client) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// Warm fetches a path into the cache (a hoard walk for one file).
+func (c *Client) Warm(path string) error {
+	_, err := c.Read(path)
+	return err
+}
+
+// installLocked inserts or refreshes a cache entry and enforces capacity.
+func (c *Client) installLocked(path string, size int64, version uint64, dirty bool) *cacheEntry {
+	e := c.cache[path]
+	if e == nil {
+		e = &cacheEntry{path: path}
+		c.cache[path] = e
+		e.el = c.lru.PushFront(e)
+	}
+	c.accountLocked(e, size)
+	e.version = version
+	e.dirty = dirty
+	c.touchLocked(e)
+	c.enforceCapacityLocked()
+	return e
+}
+
+// accountLocked updates usedBytes for an entry whose size changes.
+func (c *Client) accountLocked(e *cacheEntry, newSize int64) {
+	c.usedBytes += newSize - e.sizeBytes
+	e.sizeBytes = newSize
+}
+
+func (c *Client) touchLocked(e *cacheEntry) {
+	if e.el != nil {
+		c.lru.MoveToFront(e.el)
+	}
+}
+
+func (c *Client) removeLocked(e *cacheEntry) {
+	if e.el != nil {
+		c.lru.Remove(e.el)
+	}
+	c.usedBytes -= e.sizeBytes
+	delete(c.cache, e.path)
+}
+
+// enforceCapacityLocked evicts clean LRU entries until under capacity.
+func (c *Client) enforceCapacityLocked() {
+	if c.capacityBytes <= 0 {
+		return
+	}
+	for c.usedBytes > c.capacityBytes {
+		victim := c.oldestCleanLocked()
+		if victim == nil {
+			return // everything dirty; nothing evictable
+		}
+		c.removeLocked(victim)
+	}
+}
+
+func (c *Client) oldestCleanLocked() *cacheEntry {
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e, _ := el.Value.(*cacheEntry)
+		if e != nil && !e.dirty {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,341 @@
+package coda
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func newTestFS() (*FileServer, *Client) {
+	s := NewFileServer()
+	s.Store("speech", "/coda/speech/lm-full.bin", 1000)
+	s.Store("docs", "/coda/docs/small.tex", 70)
+	s.Store("docs", "/coda/docs/big.tex", 500)
+	return s, NewClient("client", s, 0)
+}
+
+func TestReadMissFetchesThenHits(t *testing.T) {
+	_, c := newTestFS()
+	r1, err := c.Read("/coda/speech/lm-full.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Hit || r1.FetchedBytes != 1000 || r1.SizeBytes != 1000 {
+		t.Fatalf("first read = %+v", r1)
+	}
+	r2, err := c.Read("/coda/speech/lm-full.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit || r2.FetchedBytes != 0 {
+		t.Fatalf("second read = %+v, want cache hit", r2)
+	}
+}
+
+func TestReadUnknownFile(t *testing.T) {
+	_, c := newTestFS()
+	if _, err := c.Read("/absent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDisconnectedReads(t *testing.T) {
+	_, c := newTestFS()
+	if err := c.Warm("/coda/docs/small.tex"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetMode(Disconnected)
+	// Cached file: served.
+	r, err := c.Read("/coda/docs/small.tex")
+	if err != nil || !r.Hit {
+		t.Fatalf("disconnected cached read = %+v, %v", r, err)
+	}
+	// Uncached file: disconnected miss.
+	if _, err := c.Read("/coda/docs/big.tex"); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("want ErrDisconnected, got %v", err)
+	}
+}
+
+func TestStrongWriteThrough(t *testing.T) {
+	s, c := newTestFS()
+	w, err := c.Write("/coda/docs/small.tex", 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Buffered || w.ThroughBytes != 90 {
+		t.Fatalf("strong write = %+v", w)
+	}
+	info, err := s.Lookup("/coda/docs/small.tex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SizeBytes != 90 || info.Version != 2 {
+		t.Fatalf("server info = %+v", info)
+	}
+	if c.IsDirty("/coda/docs/small.tex") {
+		t.Fatal("write-through left file dirty")
+	}
+}
+
+func TestWeakWriteBuffersAndReintegrates(t *testing.T) {
+	s, c := newTestFS()
+	c.SetMode(Weak)
+	w, err := c.Write("/coda/docs/small.tex", 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Buffered || w.ThroughBytes != 0 {
+		t.Fatalf("weak write = %+v", w)
+	}
+	if !c.IsDirty("/coda/docs/small.tex") {
+		t.Fatal("file should be dirty")
+	}
+	if got := c.DirtyVolumes(); len(got) != 1 || got[0] != "docs" {
+		t.Fatalf("dirty volumes = %v", got)
+	}
+	if got := c.VolumeDirtyBytes("docs"); got != 70 {
+		t.Fatalf("dirty bytes = %d, want 70", got)
+	}
+	// The server must not see the modification yet.
+	info, _ := s.Lookup("/coda/docs/small.tex")
+	if info.Version != 1 {
+		t.Fatalf("buffered write leaked to server: %+v", info)
+	}
+
+	res, err := c.Reintegrate("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesSent != 70 || res.Files != 1 {
+		t.Fatalf("reintegration = %+v", res)
+	}
+	info, _ = s.Lookup("/coda/docs/small.tex")
+	if info.Version != 2 {
+		t.Fatalf("reintegration did not reach server: %+v", info)
+	}
+	if c.IsDirty("/coda/docs/small.tex") {
+		t.Fatal("file still dirty after reintegration")
+	}
+	if got := c.VolumeDirtyBytes("docs"); got != 0 {
+		t.Fatalf("dirty bytes after reintegration = %d", got)
+	}
+}
+
+func TestReintegrationVisibilityAcrossClients(t *testing.T) {
+	s, c1 := newTestFS()
+	c2 := NewClient("other", s, 0)
+	if err := c2.Warm("/coda/docs/small.tex"); err != nil {
+		t.Fatal(err)
+	}
+
+	c1.SetMode(Weak)
+	if _, err := c1.Write("/coda/docs/small.tex", 75); err != nil {
+		t.Fatal(err)
+	}
+	// Before reintegration c2 still sees the old version as fresh.
+	if !c2.IsCached("/coda/docs/small.tex") {
+		t.Fatal("c2 should consider old version fresh before reintegration")
+	}
+	if _, err := c1.Reintegrate("docs"); err != nil {
+		t.Fatal(err)
+	}
+	// After reintegration c2's copy is stale: next read refetches.
+	if c2.IsCached("/coda/docs/small.tex") {
+		t.Fatal("c2 copy should be stale after reintegration")
+	}
+	r, err := c2.Read("/coda/docs/small.tex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hit || r.FetchedBytes != 75 {
+		t.Fatalf("c2 read after reintegration = %+v, want 75-byte fetch", r)
+	}
+}
+
+func TestVolumeGranularityReintegration(t *testing.T) {
+	s := NewFileServer()
+	s.Store("docs", "/docs/a", 10)
+	s.Store("docs", "/docs/b", 20)
+	s.Store("misc", "/misc/c", 30)
+	c := NewClient("c", s, 0)
+	c.SetMode(Weak)
+	for path, size := range map[string]int64{"/docs/a": 11, "/docs/b": 22, "/misc/c": 33} {
+		if _, err := c.Write(path, size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Reintegrate("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both docs files go; misc stays dirty.
+	if res.Files != 2 || res.BytesSent != 33 {
+		t.Fatalf("reintegration = %+v, want 2 files 33 bytes", res)
+	}
+	if !c.IsDirty("/misc/c") {
+		t.Fatal("misc volume should remain dirty")
+	}
+	all, err := c.ReintegrateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].Volume != "misc" || all[0].BytesSent != 33 {
+		t.Fatalf("ReintegrateAll = %+v", all)
+	}
+}
+
+func TestWeakWriteOfNewFileGoesToDefaultVolume(t *testing.T) {
+	s := NewFileServer()
+	c := NewClient("c", s, 0)
+	c.SetMode(Weak)
+	if _, err := c.Write("/new/file", 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DirtyVolumes(); len(got) != 1 || got[0] != "default" {
+		t.Fatalf("dirty volumes = %v", got)
+	}
+	if _, err := c.Reintegrate("default"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Lookup("/new/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Volume != "default" || info.SizeBytes != 42 {
+		t.Fatalf("server info = %+v", info)
+	}
+}
+
+func TestEvict(t *testing.T) {
+	_, c := newTestFS()
+	if err := c.Warm("/coda/speech/lm-full.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsCached("/coda/speech/lm-full.bin") {
+		t.Fatal("file should be cached")
+	}
+	if !c.Evict("/coda/speech/lm-full.bin") {
+		t.Fatal("evict failed")
+	}
+	if c.IsCached("/coda/speech/lm-full.bin") {
+		t.Fatal("file still cached after evict")
+	}
+	// Evicting a dirty file must fail.
+	c.SetMode(Weak)
+	if _, err := c.Write("/coda/docs/small.tex", 70); err != nil {
+		t.Fatal(err)
+	}
+	if c.Evict("/coda/docs/small.tex") {
+		t.Fatal("dirty file must not be evictable")
+	}
+	if c.Evict("/never/seen") {
+		t.Fatal("evicting unknown path should report false")
+	}
+}
+
+func TestCachedPaths(t *testing.T) {
+	_, c := newTestFS()
+	if err := c.Warm("/coda/docs/small.tex"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Warm("/coda/docs/big.tex"); err != nil {
+		t.Fatal(err)
+	}
+	got := c.CachedPaths()
+	if len(got) != 2 || !got["/coda/docs/small.tex"] || !got["/coda/docs/big.tex"] {
+		t.Fatalf("cached paths = %v", got)
+	}
+}
+
+func TestLRUCapacityEviction(t *testing.T) {
+	s := NewFileServer()
+	for i := 0; i < 5; i++ {
+		s.Store("v", fmt.Sprintf("/f%d", i), 100)
+	}
+	c := NewClient("c", s, 250)
+	for i := 0; i < 3; i++ {
+		if err := c.Warm(fmt.Sprintf("/f%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.UsedBytes() > 250 {
+		t.Fatalf("cache over capacity: %d", c.UsedBytes())
+	}
+	// f0 is oldest and must have been evicted.
+	if c.IsCached("/f0") {
+		t.Fatal("f0 should have been evicted")
+	}
+	if !c.IsCached("/f1") || !c.IsCached("/f2") {
+		t.Fatal("recent files evicted")
+	}
+}
+
+func TestLRUDoesNotEvictDirty(t *testing.T) {
+	s := NewFileServer()
+	s.Store("v", "/a", 100)
+	s.Store("v", "/b", 100)
+	c := NewClient("c", s, 150)
+	c.SetMode(Weak)
+	if _, err := c.Write("/a", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Warm("/b"); err != nil {
+		t.Fatal(err)
+	}
+	// /a is dirty and may not be evicted even though we are over capacity.
+	if !c.IsDirty("/a") {
+		t.Fatal("/a should be dirty and retained")
+	}
+}
+
+func TestConnectionModeString(t *testing.T) {
+	tests := []struct {
+		give ConnectionMode
+		want string
+	}{
+		{Strong, "strong"},
+		{Weak, "weak"},
+		{Disconnected, "disconnected"},
+		{ConnectionMode(99), "ConnectionMode(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+// Property: after any sequence of weak writes followed by ReintegrateAll,
+// no volume remains dirty and the server sees every final size.
+func TestReintegrateAllClearsProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewFileServer()
+		for i := range sizes {
+			s.Store(fmt.Sprintf("vol%d", i%3), fmt.Sprintf("/f%d", i), 1)
+		}
+		c := NewClient("c", s, 0)
+		c.SetMode(Weak)
+		for i, size := range sizes {
+			if _, err := c.Write(fmt.Sprintf("/f%d", i), int64(size)); err != nil {
+				return false
+			}
+		}
+		if _, err := c.ReintegrateAll(); err != nil {
+			return false
+		}
+		if len(c.DirtyVolumes()) != 0 {
+			return false
+		}
+		for i, size := range sizes {
+			info, err := s.Lookup(fmt.Sprintf("/f%d", i))
+			if err != nil || info.SizeBytes != int64(size) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+package coda
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// HoardEntry is one line of a hoard profile: a path the user wants cached,
+// with a priority. Coda's hoarding keeps high-priority files cached so that
+// disconnected and weakly-connected operation finds them locally — the
+// mechanism behind the warm caches Spectra's experiments assume.
+type HoardEntry struct {
+	Path string
+	// Priority orders fetches and eviction protection; higher is more
+	// important. Must be positive.
+	Priority int
+}
+
+// HoardProfile is a per-client set of hoard entries.
+type HoardProfile struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+// NewHoardProfile returns an empty profile.
+func NewHoardProfile() *HoardProfile {
+	return &HoardProfile{entries: make(map[string]int)}
+}
+
+// Add records (or reprioritizes) a hoard entry. Non-positive priorities
+// are clamped to 1.
+func (p *HoardProfile) Add(path string, priority int) {
+	if path == "" {
+		return
+	}
+	if priority < 1 {
+		priority = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries[path] = priority
+}
+
+// Remove deletes a hoard entry.
+func (p *HoardProfile) Remove(path string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.entries, path)
+}
+
+// Entries returns the profile sorted by descending priority, ties broken
+// by path for determinism.
+func (p *HoardProfile) Entries() []HoardEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]HoardEntry, 0, len(p.entries))
+	for path, prio := range p.entries {
+		out = append(out, HoardEntry{Path: path, Priority: prio})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// Len returns the number of entries.
+func (p *HoardProfile) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// HoardWalkResult summarizes one hoard walk.
+type HoardWalkResult struct {
+	// Fetched counts files brought into (or refreshed in) the cache.
+	Fetched int
+	// FetchedBytes is the data moved from the file servers.
+	FetchedBytes int64
+	// Hits counts entries already cached and fresh.
+	Hits int
+	// Skipped lists entries that could not be hoarded (unknown paths, or
+	// misses while disconnected).
+	Skipped []string
+}
+
+// HoardWalk refreshes the cache against a profile, in priority order, as
+// Coda's periodic hoard walks do. While disconnected, only already-cached
+// entries count; misses are reported as skipped rather than failing the
+// walk.
+func (c *Client) HoardWalk(profile *HoardProfile) (HoardWalkResult, error) {
+	var res HoardWalkResult
+	for _, e := range profile.Entries() {
+		r, err := c.Read(e.Path)
+		if err != nil {
+			res.Skipped = append(res.Skipped, e.Path)
+			continue
+		}
+		if r.Hit {
+			res.Hits++
+			continue
+		}
+		res.Fetched++
+		res.FetchedBytes += r.FetchedBytes
+	}
+	if len(res.Skipped) > 0 && c.Mode() != Disconnected {
+		return res, fmt.Errorf("coda: hoard walk skipped %d entries", len(res.Skipped))
+	}
+	return res, nil
+}

@@ -1,0 +1,118 @@
+package coda
+
+import (
+	"testing"
+)
+
+func TestHoardProfileOrdering(t *testing.T) {
+	p := NewHoardProfile()
+	p.Add("/b", 5)
+	p.Add("/a", 5)
+	p.Add("/c", 9)
+	p.Add("/d", 0) // clamped to 1
+	p.Add("", 3)   // ignored
+
+	entries := p.Entries()
+	if len(entries) != 4 {
+		t.Fatalf("entries = %d, want 4", len(entries))
+	}
+	wantOrder := []string{"/c", "/a", "/b", "/d"}
+	for i, want := range wantOrder {
+		if entries[i].Path != want {
+			t.Fatalf("order[%d] = %s, want %s (full: %+v)", i, entries[i].Path, want, entries)
+		}
+	}
+	if entries[3].Priority != 1 {
+		t.Fatalf("clamped priority = %d", entries[3].Priority)
+	}
+
+	p.Remove("/c")
+	if p.Len() != 3 {
+		t.Fatalf("len after remove = %d", p.Len())
+	}
+	p.Add("/a", 1) // reprioritize
+	if got := p.Entries()[0].Path; got != "/b" {
+		t.Fatalf("after reprioritize, top = %s", got)
+	}
+}
+
+func TestHoardWalkFetchesAndHits(t *testing.T) {
+	s := NewFileServer()
+	s.Store("v", "/f1", 100)
+	s.Store("v", "/f2", 200)
+	c := NewClient("c", s, 0)
+
+	p := NewHoardProfile()
+	p.Add("/f1", 10)
+	p.Add("/f2", 5)
+
+	res, err := c.HoardWalk(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched != 2 || res.FetchedBytes != 300 || res.Hits != 0 {
+		t.Fatalf("first walk = %+v", res)
+	}
+
+	// Second walk: everything cached.
+	res, err = c.HoardWalk(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched != 0 || res.Hits != 2 {
+		t.Fatalf("second walk = %+v", res)
+	}
+
+	// A server-side update makes /f1 stale; the walk refreshes it.
+	s.Store("v", "/f1", 150)
+	res, err = c.HoardWalk(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fetched != 1 || res.FetchedBytes != 150 || res.Hits != 1 {
+		t.Fatalf("refresh walk = %+v", res)
+	}
+}
+
+func TestHoardWalkUnknownPath(t *testing.T) {
+	s := NewFileServer()
+	s.Store("v", "/known", 10)
+	c := NewClient("c", s, 0)
+	p := NewHoardProfile()
+	p.Add("/known", 1)
+	p.Add("/ghost", 9)
+
+	res, err := c.HoardWalk(p)
+	if err == nil {
+		t.Fatal("walk with unknown path should error while connected")
+	}
+	if len(res.Skipped) != 1 || res.Skipped[0] != "/ghost" {
+		t.Fatalf("skipped = %v", res.Skipped)
+	}
+	// The known entry was still hoarded.
+	if !c.IsCached("/known") {
+		t.Fatal("known entry not hoarded")
+	}
+}
+
+func TestHoardWalkDisconnectedTolerated(t *testing.T) {
+	s := NewFileServer()
+	s.Store("v", "/cached", 10)
+	s.Store("v", "/uncached", 20)
+	c := NewClient("c", s, 0)
+	if err := c.Warm("/cached"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetMode(Disconnected)
+
+	p := NewHoardProfile()
+	p.Add("/cached", 2)
+	p.Add("/uncached", 1)
+	res, err := c.HoardWalk(p)
+	if err != nil {
+		t.Fatalf("disconnected walk should tolerate misses: %v", err)
+	}
+	if res.Hits != 1 || len(res.Skipped) != 1 {
+		t.Fatalf("disconnected walk = %+v", res)
+	}
+}

@@ -1,0 +1,147 @@
+// Package coda implements the distributed file system substrate Spectra
+// depends on, modeled after the Coda file system (Kistler & Satyanarayanan):
+// file servers organize files into volumes; each machine runs a cache
+// manager that caches whole files, buffers modifications while weakly
+// connected, and reintegrates them to servers at volume granularity.
+// Spectra interacts with it to (a) learn which files are cached, (b) predict
+// cache-miss fetch costs, and (c) force reintegration of dirty volumes
+// before remote execution so that remote operations observe client writes.
+//
+// The package is deliberately metadata-based: it tracks file sizes and
+// versions, not contents, because Spectra's decisions depend only on byte
+// counts and freshness.
+package coda
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors callers can match.
+var (
+	// ErrNotFound indicates the path is unknown to the file servers.
+	ErrNotFound = errors.New("coda: file not found")
+	// ErrNoVolume indicates an unknown volume.
+	ErrNoVolume = errors.New("coda: volume not found")
+	// ErrDisconnected indicates a cache miss while disconnected.
+	ErrDisconnected = errors.New("coda: disconnected cache miss")
+)
+
+// FileServer is a Coda file server holding a set of volumes.
+type FileServer struct {
+	mu sync.Mutex
+
+	volumes map[string]*volume
+	byPath  map[string]string // path -> volume name
+}
+
+type volume struct {
+	name  string
+	files map[string]*serverFile
+}
+
+type serverFile struct {
+	sizeBytes int64
+	version   uint64
+}
+
+// FileInfo describes a file as known to the servers.
+type FileInfo struct {
+	Path      string
+	Volume    string
+	SizeBytes int64
+	Version   uint64
+}
+
+// NewFileServer returns an empty file server.
+func NewFileServer() *FileServer {
+	return &FileServer{
+		volumes: make(map[string]*volume),
+		byPath:  make(map[string]string),
+	}
+}
+
+// CreateVolume creates a volume if it does not already exist.
+func (s *FileServer) CreateVolume(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.volumes[name]; !ok {
+		s.volumes[name] = &volume{name: name, files: make(map[string]*serverFile)}
+	}
+}
+
+// Store creates or replaces a file in a volume, bumping its version.
+// The volume is created if needed.
+func (s *FileServer) Store(volumeName, path string, sizeBytes int64) {
+	if sizeBytes < 0 {
+		sizeBytes = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.volumes[volumeName]
+	if !ok {
+		v = &volume{name: volumeName, files: make(map[string]*serverFile)}
+		s.volumes[volumeName] = v
+	}
+	f, ok := v.files[path]
+	if !ok {
+		f = &serverFile{}
+		v.files[path] = f
+	}
+	f.sizeBytes = sizeBytes
+	f.version++
+	s.byPath[path] = volumeName
+}
+
+// Lookup returns server metadata for a path.
+func (s *FileServer) Lookup(path string) (FileInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lookupLocked(path)
+}
+
+func (s *FileServer) lookupLocked(path string) (FileInfo, error) {
+	vname, ok := s.byPath[path]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("lookup %q: %w", path, ErrNotFound)
+	}
+	f := s.volumes[vname].files[path]
+	return FileInfo{
+		Path:      path,
+		Volume:    vname,
+		SizeBytes: f.sizeBytes,
+		Version:   f.version,
+	}, nil
+}
+
+// VolumeOf returns the volume containing a path.
+func (s *FileServer) VolumeOf(path string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vname, ok := s.byPath[path]
+	if !ok {
+		return "", fmt.Errorf("volume of %q: %w", path, ErrNotFound)
+	}
+	return vname, nil
+}
+
+// VolumeFiles lists the files of a volume.
+func (s *FileServer) VolumeFiles(volumeName string) ([]FileInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.volumes[volumeName]
+	if !ok {
+		return nil, fmt.Errorf("volume %q: %w", volumeName, ErrNoVolume)
+	}
+	out := make([]FileInfo, 0, len(v.files))
+	for path, f := range v.files {
+		out = append(out, FileInfo{
+			Path:      path,
+			Volume:    volumeName,
+			SizeBytes: f.sizeBytes,
+			Version:   f.version,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package coda
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestServerStoreAndLookup(t *testing.T) {
+	s := NewFileServer()
+	s.Store("speech", "/coda/speech/lm-full.bin", 277*1024)
+	info, err := s.Lookup("/coda/speech/lm-full.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Volume != "speech" || info.SizeBytes != 277*1024 || info.Version != 1 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestServerLookupUnknown(t *testing.T) {
+	s := NewFileServer()
+	if _, err := s.Lookup("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, err := s.VolumeOf("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("VolumeOf: want ErrNotFound, got %v", err)
+	}
+}
+
+func TestServerVersionBumpsOnStore(t *testing.T) {
+	s := NewFileServer()
+	s.Store("v", "/f", 10)
+	s.Store("v", "/f", 20)
+	info, err := s.Lookup("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 2 || info.SizeBytes != 20 {
+		t.Fatalf("info = %+v, want version 2 size 20", info)
+	}
+}
+
+func TestServerVolumeFiles(t *testing.T) {
+	s := NewFileServer()
+	s.CreateVolume("docs")
+	s.Store("docs", "/docs/a.tex", 100)
+	s.Store("docs", "/docs/b.sty", 200)
+	files, err := s.VolumeFiles("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("files = %d, want 2", len(files))
+	}
+	if _, err := s.VolumeFiles("absent"); !errors.Is(err, ErrNoVolume) {
+		t.Fatalf("want ErrNoVolume, got %v", err)
+	}
+}
+
+func TestServerNegativeSizeClamped(t *testing.T) {
+	s := NewFileServer()
+	s.Store("v", "/f", -5)
+	info, err := s.Lookup("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SizeBytes != 0 {
+		t.Fatalf("size = %d, want 0", info.SizeBytes)
+	}
+}
+
+func TestServerCreateVolumeIdempotent(t *testing.T) {
+	s := NewFileServer()
+	s.CreateVolume("v")
+	s.Store("v", "/f", 1)
+	s.CreateVolume("v") // must not wipe files
+	if _, err := s.Lookup("/f"); err != nil {
+		t.Fatalf("file lost after CreateVolume: %v", err)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+)
+
+// Advisor watches resource conditions for one operation and reports when
+// the best execution alternative changes — the Odyssey-style upcall that
+// lets adaptive applications react between operations instead of
+// discovering changed conditions at the next begin_fidelity_op. Call Check
+// after condition changes (or from a poll loop); it re-evaluates the
+// decision space against the current snapshot.
+type Advisor struct {
+	mu sync.Mutex
+
+	client *Client
+	op     *Operation
+	params map[string]float64
+	data   string
+
+	lastKey string
+	primed  bool
+}
+
+// NewAdvisor returns an advisor for the operation at the given inputs.
+func (c *Client) NewAdvisor(op *Operation, params map[string]float64, data string) *Advisor {
+	return &Advisor{
+		client: c,
+		op:     op,
+		params: params,
+		data:   data,
+	}
+}
+
+// Check re-evaluates the decision space. changed is true when the best
+// alternative differs from the previous Check (the first Check primes the
+// advisor and reports no change). ok is false when nothing is feasible.
+func (a *Advisor) Check() (best ScoredAlternative, changed, ok bool) {
+	scored := a.client.EvaluateAlternatives(a.op, a.params, a.data)
+	for _, s := range scored {
+		if !s.Predicted.Feasible {
+			continue
+		}
+		best = s
+		ok = true
+		break
+	}
+	if !ok {
+		return ScoredAlternative{}, false, false
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	key := best.Alternative.Key()
+	if !a.primed {
+		a.primed = true
+		a.lastKey = key
+		return best, false, true
+	}
+	if key != a.lastKey {
+		a.lastKey = key
+		return best, true, true
+	}
+	return best, false, true
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"spectra/internal/solver"
+)
+
+func TestAdvisorReportsChanges(t *testing.T) {
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	for i := 0; i < 3; i++ {
+		runToy(t, setup, op, solver.Alternative{Plan: "local"})
+		runToy(t, setup, op, solver.Alternative{Server: "big", Plan: "remote"})
+	}
+
+	advisor := setup.Client.NewAdvisor(op, nil, "")
+
+	// First check primes: no change reported.
+	best, changed, ok := advisor.Check()
+	if !ok || changed {
+		t.Fatalf("priming check = (%v, changed=%v, ok=%v)", best.Alternative, changed, ok)
+	}
+	if best.Alternative.Plan != "remote" {
+		t.Fatalf("initial best = %+v, want remote", best.Alternative)
+	}
+
+	// Stable conditions: still no change.
+	if _, changed, ok := advisor.Check(); !ok || changed {
+		t.Fatal("stable conditions reported a change")
+	}
+
+	// Partition the server: the best flips to local and Check says so.
+	_, link, _ := setup.Env.Server("big")
+	link.SetPartitioned(true)
+	setup.Client.PollServers()
+	best, changed, ok = advisor.Check()
+	if !ok || !changed {
+		t.Fatalf("partition not reported: changed=%v ok=%v", changed, ok)
+	}
+	if best.Alternative.Plan != "local" {
+		t.Fatalf("post-partition best = %+v", best.Alternative)
+	}
+
+	// Healing flips it back — exactly one change reported.
+	link.SetPartitioned(false)
+	setup.Refresh()
+	best, changed, ok = advisor.Check()
+	if !ok || !changed || best.Alternative.Plan != "remote" {
+		t.Fatalf("heal not reported: %+v changed=%v ok=%v", best.Alternative, changed, ok)
+	}
+	if _, changed, _ := advisor.Check(); changed {
+		t.Fatal("duplicate change reported")
+	}
+}
+
+func TestAdvisorNothingFeasible(t *testing.T) {
+	setup := newToySetup(t)
+	// An operation with only a remote plan, on a partitioned network.
+	op, err := setup.Client.RegisterFidelity(OperationSpec{
+		Name:    "remoteonly.op",
+		Service: "toy",
+		Plans:   []PlanSpec{{Name: "remote", UsesServer: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, link, _ := setup.Env.Server("big")
+	link.SetPartitioned(true)
+	setup.Client.PollServers()
+
+	advisor := setup.Client.NewAdvisor(op, nil, "")
+	if _, _, ok := advisor.Check(); ok {
+		t.Fatal("advisor found a feasible alternative during partition")
+	}
+}

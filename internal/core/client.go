@@ -1,0 +1,383 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"spectra/internal/monitor"
+	"spectra/internal/predict"
+	"spectra/internal/solver"
+	"spectra/internal/utility"
+)
+
+// Config assembles a Spectra client.
+type Config struct {
+	// Runtime executes operation components.
+	Runtime Runtime
+	// Monitors is the resource-monitor framework.
+	Monitors *monitor.Set
+	// Network is the network monitor inside Monitors (also addressed
+	// directly for traffic logs and reachability).
+	Network *monitor.NetworkMonitor
+	// Consistency exposes Coda dirty state; may be nil when the client
+	// never modifies files.
+	Consistency ConsistencySource
+	// Servers lists the statically configured candidate servers
+	// (paper §3.2); a discovery Registry may extend it.
+	Servers []string
+	// Registry optionally discovers additional servers; may be nil.
+	Registry Registry
+	// UsageLog persists observations across restarts; may be nil.
+	UsageLog *predict.UsageLog
+	// Models tunes the demand models.
+	Models ModelOptions
+	// Solver tunes the heuristic search.
+	Solver solver.Options
+	// Exhaustive replaces the heuristic solver with exhaustive search
+	// (ablation and oracle runs).
+	Exhaustive bool
+}
+
+// Registry discovers Spectra servers at runtime. The paper designed for a
+// service discovery protocol but shipped static configuration; both are
+// provided here.
+type Registry interface {
+	// Discover returns currently announced server names.
+	Discover() []string
+}
+
+// StaticRegistry is a fixed server list.
+type StaticRegistry []string
+
+// Discover implements Registry.
+func (r StaticRegistry) Discover() []string { return append([]string(nil), r...) }
+
+// Client is the Spectra client: it registers operations, decides how and
+// where they execute, and self-tunes from observed resource usage.
+type Client struct {
+	mu sync.Mutex
+
+	runtime  Runtime
+	monitors *monitor.Set
+	network  *monitor.NetworkMonitor
+	cons     ConsistencySource
+	servers  []string
+	registry Registry
+	usageLog *predict.UsageLog
+
+	modelOpts  ModelOptions
+	solverOpts solver.Options
+	exhaustive bool
+
+	ops    map[string]*Operation
+	nextID uint64
+}
+
+// NewClient assembles a client from the configuration.
+func NewClient(cfg Config) (*Client, error) {
+	if cfg.Runtime == nil {
+		return nil, errors.New("core: config needs a Runtime")
+	}
+	if cfg.Monitors == nil {
+		return nil, errors.New("core: config needs Monitors")
+	}
+	return &Client{
+		runtime:    cfg.Runtime,
+		monitors:   cfg.Monitors,
+		network:    cfg.Network,
+		cons:       cfg.Consistency,
+		servers:    append([]string(nil), cfg.Servers...),
+		registry:   cfg.Registry,
+		usageLog:   cfg.UsageLog,
+		modelOpts:  cfg.Models,
+		solverOpts: cfg.Solver,
+		exhaustive: cfg.Exhaustive,
+		ops:        make(map[string]*Operation),
+	}, nil
+}
+
+// Servers returns the current candidate server list: static configuration
+// plus anything the discovery registry announces.
+func (c *Client) Servers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := append([]string(nil), c.servers...)
+	if c.registry != nil {
+		seen := make(map[string]bool, len(out))
+		for _, s := range out {
+			seen[s] = true
+		}
+		for _, s := range c.registry.Discover() {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// AddServer appends a statically configured server.
+func (c *Client) AddServer(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.servers {
+		if s == name {
+			return
+		}
+	}
+	c.servers = append(c.servers, name)
+}
+
+// Monitors returns the monitor framework.
+func (c *Client) Monitors() *monitor.Set { return c.monitors }
+
+// Runtime returns the execution runtime.
+func (c *Client) Runtime() Runtime { return c.runtime }
+
+// PollServers refreshes the server database: each candidate is polled for
+// a status snapshot, which the remote proxy monitors record. Unreachable
+// servers are marked so; polling errors are reflected in the snapshot
+// rather than returned.
+func (c *Client) PollServers() {
+	for _, server := range c.Servers() {
+		status, err := c.runtime.PollServer(server)
+		if err != nil {
+			c.monitors.UpdatePreds(server, nil)
+			continue
+		}
+		c.monitors.UpdatePreds(server, status)
+	}
+}
+
+// Probe generates fresh traffic toward every candidate server so the
+// passive network monitor has current bandwidth and latency estimates.
+func (c *Client) Probe() {
+	for _, server := range c.Servers() {
+		_ = c.runtime.Probe(server) // failure itself marks unreachability
+	}
+}
+
+// RegisterFidelity registers an operation (paper §3.1): its execution
+// plans, fidelity dimensions, and input parameters. Demand models are
+// created and warmed from the persistent usage log.
+func (c *Client) RegisterFidelity(spec OperationSpec) (*Operation, error) {
+	start := time.Now()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.ops[spec.Name]; ok {
+		return nil, fmt.Errorf("core: operation %q already registered", spec.Name)
+	}
+	op := &Operation{
+		client:         c,
+		spec:           spec,
+		models:         newOpModels(spec.modelFeatureNames(), c.modelOpts, spec.Predictors),
+		fidelityCombos: fidelityCombos(spec.allFidelityDimensions()),
+	}
+	if err := c.usageLog.Replay(spec.Name, op.models.replay); err != nil {
+		return nil, fmt.Errorf("core: replay usage log for %q: %w", spec.Name, err)
+	}
+	op.registerDuration = time.Since(start)
+	c.ops[spec.Name] = op
+	return op, nil
+}
+
+// Operation returns a registered operation.
+func (c *Client) Operation(name string) (*Operation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	op, ok := c.ops[name]
+	return op, ok
+}
+
+// Decision describes how Spectra chose to execute an operation.
+type Decision struct {
+	// Alternative is the chosen server, plan, and fidelity.
+	Alternative solver.Alternative
+	// Predicted is the metric prediction for the chosen alternative.
+	Predicted utility.Prediction
+	// Utility is the chosen alternative's utility.
+	Utility float64
+	// Evaluations counts utility evaluations the solver performed.
+	Evaluations int
+	// Candidates is the size of the decision space considered.
+	Candidates int
+	// Forced is true when the caller dictated the alternative.
+	Forced bool
+	// Overhead breaks down the real (wall-clock) cost of the decision.
+	Overhead BeginOverhead
+	// ReintegratedBytes is the data consistency enforcement pushed to the
+	// file servers before execution.
+	ReintegratedBytes int64
+}
+
+// BeginOverhead is the Figure-10 breakdown of begin_fidelity_op.
+type BeginOverhead struct {
+	// FilePrediction covers file-access prediction and snapshotting of
+	// cache state.
+	FilePrediction time.Duration
+	// Choosing covers solver search over the alternatives.
+	Choosing time.Duration
+	// Other covers the remaining bookkeeping.
+	Other time.Duration
+	// Total is the full begin_fidelity_op duration.
+	Total time.Duration
+}
+
+// errNoAlternative is returned when nothing can execute the operation.
+var errNoAlternative = errors.New("core: no feasible execution alternative")
+
+// BeginFidelityOp decides how and where the operation should execute
+// (paper §3.6) and starts resource observation. The caller must execute
+// according to the returned decision and call End.
+func (c *Client) BeginFidelityOp(op *Operation, params map[string]float64, data string) (*OpContext, error) {
+	return c.begin(op, params, data, nil)
+}
+
+// BeginForced starts an operation with a caller-chosen alternative,
+// bypassing the solver. The validation harness uses it to measure every
+// alternative; consistency is still enforced.
+func (c *Client) BeginForced(op *Operation, alt solver.Alternative, params map[string]float64, data string) (*OpContext, error) {
+	return c.begin(op, params, data, &alt)
+}
+
+func (c *Client) begin(op *Operation, params map[string]float64, data string, forced *solver.Alternative) (*OpContext, error) {
+	wallStart := time.Now()
+	if !op.spec.UsesData {
+		data = ""
+	}
+
+	servers := c.Servers()
+	snap := c.monitors.Snapshot(c.runtime.Now(), servers)
+	est := newEstimator(op, snap, params, data, c.cons)
+
+	var fn utility.Function = utility.Default{
+		Latency:    op.spec.LatencyUtility,
+		Importance: func() float64 { return snap.Battery.Importance },
+	}
+	if op.spec.Utility != nil {
+		fn = op.spec.Utility
+	}
+	eval := func(alt solver.Alternative) float64 {
+		return fn.Utility(est.Predict(alt))
+	}
+
+	var (
+		decision Decision
+		chooseT  time.Duration
+	)
+	if forced != nil {
+		decision = Decision{
+			Alternative: *forced,
+			Predicted:   est.Predict(*forced),
+			Utility:     eval(*forced),
+			Forced:      true,
+			Candidates:  1,
+		}
+		if !decision.Predicted.Feasible {
+			return nil, fmt.Errorf("%w: forced %s", errNoAlternative, forced.Key())
+		}
+	} else {
+		candidates := op.alternatives(servers)
+		if len(candidates) == 0 {
+			return nil, errNoAlternative
+		}
+		chooseStart := time.Now()
+		var res solver.Result
+		if c.exhaustive {
+			res = solver.Exhaustive(candidates, eval)
+		} else {
+			res = solver.Heuristic(candidates, eval, c.solverOpts)
+		}
+		chooseT = time.Since(chooseStart)
+		if !res.Found || res.Utility <= 0 {
+			// Fall back to the best local alternative if the chosen one is
+			// infeasible; if nothing is feasible, report it.
+			res = bestFeasible(candidates, est, eval)
+			if !res.Found {
+				return nil, errNoAlternative
+			}
+		}
+		decision = Decision{
+			Alternative: res.Best,
+			Predicted:   est.Predict(res.Best),
+			Utility:     res.Utility,
+			Evaluations: res.Evaluations,
+			Candidates:  len(candidates),
+		}
+	}
+
+	octx := &OpContext{
+		client:    c,
+		op:        op,
+		id:        c.allocOpID(),
+		decision:  decision,
+		params:    params,
+		data:      data,
+		simStart:  c.runtime.Now(),
+		wallStart: wallStart,
+	}
+
+	// Data consistency: before executing remotely, reintegrate dirty
+	// volumes the operation may read (paper §3.5).
+	if plan, ok := op.planSpec(decision.Alternative.Plan); ok && plan.UsesServer {
+		_, discrete := op.modelQuery(decision.Alternative, params)
+		key := predict.DiscreteKey(discrete)
+		volumes, _ := est.reintegration(key)
+		for _, vol := range volumes {
+			bytes, dur, err := c.runtime.Reintegrate(vol)
+			if err != nil {
+				return nil, fmt.Errorf("core: consistency for %q: %w", op.Name(), err)
+			}
+			octx.decision.ReintegratedBytes += bytes
+			octx.phases.netSeconds += dur.Seconds()
+		}
+	}
+
+	c.monitors.StartOp(octx.id)
+	octx.started = true
+
+	total := time.Since(wallStart)
+	filePredT := est.filePredTime
+	choosing := chooseT - filePredT
+	if choosing < 0 {
+		choosing = 0
+	}
+	octx.decision.Overhead = BeginOverhead{
+		FilePrediction: filePredT,
+		Choosing:       choosing,
+		Other:          total - filePredT - choosing,
+		Total:          total,
+	}
+	return octx, nil
+}
+
+// bestFeasible scans all candidates for the highest-utility feasible one.
+func bestFeasible(candidates []solver.Alternative, est *estimator, eval solver.Evaluator) solver.Result {
+	var res solver.Result
+	for _, alt := range candidates {
+		if !est.Predict(alt).Feasible {
+			continue
+		}
+		u := eval(alt)
+		res.Evaluations++
+		if !res.Found || u > res.Utility {
+			res.Found = true
+			res.Best = alt
+			res.Utility = u
+		}
+	}
+	return res
+}
+
+func (c *Client) allocOpID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	return c.nextID
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strconv"
+
+	"spectra/internal/solver"
+)
+
+// ContinuousFidelity is a continuous fidelity dimension (paper §3.4:
+// "Fidelities and input parameters may be either discrete or continuous").
+// Unlike discrete dimensions, continuous ones are not binned: the demand
+// models regress on the numeric value, so predictions interpolate between
+// observed settings. The solver searches Levels evenly spaced settings in
+// [Min, Max].
+type ContinuousFidelity struct {
+	Name string
+	Min  float64
+	Max  float64
+	// Levels is the number of settings the solver considers; values below
+	// 2 select 5.
+	Levels int
+}
+
+// values enumerates the dimension's search grid.
+func (c ContinuousFidelity) values() []string {
+	levels := c.Levels
+	if levels < 2 {
+		levels = 5
+	}
+	lo, hi := c.Min, c.Max
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	out := make([]string, levels)
+	for i := 0; i < levels; i++ {
+		v := lo + (hi-lo)*float64(i)/float64(levels-1)
+		out[i] = FormatContinuous(v)
+	}
+	return out
+}
+
+// FormatContinuous renders a continuous fidelity value canonically.
+func FormatContinuous(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+// ContinuousValue parses a continuous fidelity setting from a fidelity
+// assignment, for use in application utility and execution code.
+func ContinuousValue(fidelity map[string]string, name string) (float64, bool) {
+	s, ok := fidelity[name]
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// continuousNames returns the operation's continuous dimension names.
+func (s *OperationSpec) continuousNames() map[string]bool {
+	if len(s.ContinuousFidelities) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(s.ContinuousFidelities))
+	for _, c := range s.ContinuousFidelities {
+		out[c.Name] = true
+	}
+	return out
+}
+
+// modelFeatureNames lists the regression features of the operation's
+// demand models: declared input parameters plus continuous fidelity
+// dimensions.
+func (s *OperationSpec) modelFeatureNames() []string {
+	out := append([]string(nil), s.Params...)
+	for _, c := range s.ContinuousFidelities {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// modelQuery splits an alternative into the demand models' inputs: the
+// regression features (input parameters + continuous fidelity values) and
+// the discrete assignment (plan + discrete fidelity dimensions).
+func (o *Operation) modelQuery(alt solver.Alternative, params map[string]float64) (map[string]float64, map[string]string) {
+	cont := o.spec.continuousNames()
+
+	discrete := make(map[string]string, len(alt.Fidelity)+1)
+	features := params
+	if len(cont) > 0 {
+		features = make(map[string]float64, len(params)+len(cont))
+		for k, v := range params {
+			features[k] = v
+		}
+	}
+	for k, v := range alt.Fidelity {
+		if cont[k] {
+			if f, err := strconv.ParseFloat(v, 64); err == nil {
+				features[k] = f
+				continue
+			}
+		}
+		discrete[k] = v
+	}
+	discrete["plan"] = alt.Plan
+	return features, discrete
+}

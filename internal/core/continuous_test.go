@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+	"spectra/internal/solver"
+	"spectra/internal/utility"
+)
+
+// newViewerSetup builds an image-viewer-style workload with a continuous
+// quality fidelity: a remote render returns quality x 400 kB of data, so
+// execution time scales linearly with the chosen quality.
+func newViewerSetup(t *testing.T) (*SimSetup, *simnet.Link, *Operation) {
+	t.Helper()
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    200,
+		Power:       sim.PowerModel{IdleW: 1, BusyW: 10, NetW: 2},
+		OnWallPower: true,
+		Battery:     sim.NewBattery(50_000),
+	})
+	server := sim.NewMachine(sim.MachineConfig{Name: "srv", SpeedMHz: 1000, OnWallPower: true})
+	link := simnet.NewLink(simnet.LinkConfig{
+		Name:         "net",
+		Latency:      5 * time.Millisecond,
+		BandwidthBps: 400_000,
+	})
+	setup, err := NewSimSetup(SimOptions{
+		Host:    host,
+		Servers: []SimServer{{Name: "srv", Machine: server, Link: link}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+		// Payload's length encodes quality in permille of 400 kB.
+		quality := float64(len(payload)) / 1000
+		ctx.Compute(sim.ComputeDemand{IntegerMegacycles: 50 * quality})
+		return make([]byte, int(quality*400_000)), nil
+	}
+	node, _, _ := setup.Env.Server("srv")
+	node.RegisterService("viewer", render)
+	setup.Env.Host().RegisterService("viewer", render)
+
+	op, err := setup.Client.RegisterFidelity(OperationSpec{
+		Name:    "viewer.fetch",
+		Service: "viewer",
+		Plans:   []PlanSpec{{Name: "remote", UsesServer: true}},
+		ContinuousFidelities: []ContinuousFidelity{
+			{Name: "quality", Min: 0.2, Max: 1.0, Levels: 5},
+		},
+		// Views beyond ten seconds are worthless; under half a second they
+		// are fully desirable. (A plain 1/T utility would be scale-free in
+		// quality here: T grows linearly with q, so q/T is constant.)
+		LatencyUtility: utility.DeadlineLatency(500*time.Millisecond, 10*time.Second),
+		FidelityUtility: func(fid map[string]string) float64 {
+			q, ok := ContinuousValue(fid, "quality")
+			if !ok {
+				return 0
+			}
+			return q
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	return setup, link, op
+}
+
+// runViewer executes one fetch at the context's chosen quality.
+func runViewer(t *testing.T, octx *OpContext) Report {
+	t.Helper()
+	q, ok := ContinuousValue(octx.Fidelity(), "quality")
+	if !ok {
+		t.Fatalf("no quality in %v", octx.Fidelity())
+	}
+	if _, err := octx.DoRemoteOp("render", make([]byte, int(q*1000))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestContinuousFidelityEnumeration(t *testing.T) {
+	c := ContinuousFidelity{Name: "q", Min: 0, Max: 1, Levels: 5}
+	vals := c.values()
+	if len(vals) != 5 || vals[0] != "0" || vals[4] != "1" {
+		t.Fatalf("values = %v", vals)
+	}
+	// Reversed bounds are normalized; degenerate Levels default to 5.
+	c2 := ContinuousFidelity{Name: "q", Min: 1, Max: 0}
+	if got := c2.values(); len(got) != 5 || got[0] != "0" {
+		t.Fatalf("normalized values = %v", got)
+	}
+}
+
+func TestContinuousValueParsing(t *testing.T) {
+	fid := map[string]string{"q": "0.75", "bad": "zzz"}
+	if v, ok := ContinuousValue(fid, "q"); !ok || v != 0.75 {
+		t.Fatalf("parse = (%v,%v)", v, ok)
+	}
+	if _, ok := ContinuousValue(fid, "bad"); ok {
+		t.Fatal("garbage parsed")
+	}
+	if _, ok := ContinuousValue(fid, "missing"); ok {
+		t.Fatal("missing key parsed")
+	}
+}
+
+func TestModelQuerySplitsContinuous(t *testing.T) {
+	op := &Operation{spec: OperationSpec{
+		Name:  "op",
+		Plans: []PlanSpec{{Name: "p"}},
+		Fidelities: []FidelityDimension{
+			{Name: "vocab", Values: []string{"full"}},
+		},
+		ContinuousFidelities: []ContinuousFidelity{{Name: "q", Min: 0, Max: 1}},
+		Params:               []string{"len"},
+	}}
+	features, discrete := op.modelQuery(solver.Alternative{
+		Plan:     "p",
+		Fidelity: map[string]string{"vocab": "full", "q": "0.5"},
+	}, map[string]float64{"len": 3})
+	if features["len"] != 3 || features["q"] != 0.5 {
+		t.Fatalf("features = %v", features)
+	}
+	if discrete["vocab"] != "full" || discrete["plan"] != "p" {
+		t.Fatalf("discrete = %v", discrete)
+	}
+	if _, ok := discrete["q"]; ok {
+		t.Fatal("continuous dimension leaked into the discrete bins")
+	}
+}
+
+func TestContinuousQualityAdaptsToBandwidth(t *testing.T) {
+	setup, link, op := newViewerSetup(t)
+
+	// Train the endpoints and midpoint; regression interpolates the rest.
+	for i := 0; i < 4; i++ {
+		for _, q := range []string{"0.2", "0.6", "1"} {
+			octx, err := setup.Client.BeginForced(op, solver.Alternative{
+				Server:   "srv",
+				Plan:     "remote",
+				Fidelity: map[string]string{"quality": q},
+			}, nil, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			runViewer(t, octx)
+		}
+	}
+
+	// Fast link: full quality is cheap (1s at q=1), and fidelity utility
+	// grows with q, so Spectra picks the maximum.
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qFast, _ := ContinuousValue(octx.Fidelity(), "quality")
+	runViewer(t, octx)
+	if qFast != 1 {
+		t.Fatalf("fast-link quality = %v, want 1", qFast)
+	}
+
+	// Slow link: utility = q x 1/T with T ~ q/bw; dropping quality now
+	// pays. Spectra must choose a lower setting.
+	link.ScaleBandwidth(1.0 / 16)
+	for i := 0; i < 45; i++ {
+		setup.Refresh() // flush the passive estimator's window
+	}
+	octx, err = setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSlow, _ := ContinuousValue(octx.Fidelity(), "quality")
+	octx.Abort()
+	if qSlow >= qFast {
+		t.Fatalf("slow-link quality = %v, want below %v", qSlow, qFast)
+	}
+}
+
+func TestContinuousPredictionInterpolates(t *testing.T) {
+	setup, _, op := newViewerSetup(t)
+	// Train only the endpoints.
+	for i := 0; i < 4; i++ {
+		for _, q := range []string{"0.2", "1"} {
+			octx, err := setup.Client.BeginForced(op, solver.Alternative{
+				Server:   "srv",
+				Plan:     "remote",
+				Fidelity: map[string]string{"quality": q},
+			}, nil, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			runViewer(t, octx)
+		}
+	}
+	// Prediction at an untrained midpoint must land between the endpoint
+	// predictions (regression, not binning).
+	predictAt := func(q string) time.Duration {
+		octx, err := setup.Client.BeginForced(op, solver.Alternative{
+			Server:   "srv",
+			Plan:     "remote",
+			Fidelity: map[string]string{"quality": q},
+		}, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := octx.Decision().Predicted.Latency
+		octx.Abort()
+		return d
+	}
+	lo, mid, hi := predictAt("0.2"), predictAt("0.6"), predictAt("1")
+	if !(lo < mid && mid < hi) {
+		t.Fatalf("predictions not interpolating: %v %v %v", lo, mid, hi)
+	}
+	// The midpoint should be near the linear interpolation of endpoints.
+	want := (lo + hi) / 2
+	diff := mid - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.15*float64(want) {
+		t.Fatalf("midpoint %v deviates from interpolation %v", mid, want)
+	}
+}

@@ -1,0 +1,402 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+	"spectra/internal/solver"
+)
+
+// newToySetup builds a 100 MHz client and a 1000 MHz server connected by a
+// fast link, hosting a "toy" service that burns cycles given by the
+// payload length times a work factor.
+func newToySetup(t *testing.T) *SimSetup {
+	t.Helper()
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    100,
+		Power:       sim.PowerModel{IdleW: 1, BusyW: 10, NetW: 2},
+		OnWallPower: true,
+		Battery:     sim.NewBattery(50_000),
+	})
+	server := sim.NewMachine(sim.MachineConfig{
+		Name:        "big",
+		SpeedMHz:    1000,
+		Power:       sim.PowerModel{IdleW: 10, BusyW: 50, NetW: 12},
+		OnWallPower: true,
+	})
+	link := simnet.NewLink(simnet.LinkConfig{
+		Name:         "lan",
+		Latency:      time.Millisecond,
+		BandwidthBps: 1_000_000,
+	})
+	fsLink := simnet.NewLink(simnet.LinkConfig{
+		Name:         "fs",
+		Latency:      time.Millisecond,
+		BandwidthBps: 1_000_000,
+	})
+	setup, err := NewSimSetup(SimOptions{
+		Host:       host,
+		HostFSLink: fsLink,
+		Servers:    []SimServer{{Name: "big", Machine: server, Link: link, FSLink: fsLink}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	work := func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(sim.ComputeDemand{IntegerMegacycles: 500})
+		return []byte("ok"), nil
+	}
+	setup.Env.Host().RegisterService("toy", work)
+	node, _, _ := setup.Env.Server("big")
+	node.RegisterService("toy", work)
+	return setup
+}
+
+func toySpec() OperationSpec {
+	return OperationSpec{
+		Name:    "toy.op",
+		Service: "toy",
+		Plans: []PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+	}
+}
+
+// runToy executes one forced toy op through the proper API.
+func runToy(t *testing.T, setup *SimSetup, op *Operation, alt solver.Alternative) Report {
+	t.Helper()
+	octx, err := setup.Client.BeginForced(op, alt, nil, "")
+	if err != nil {
+		t.Fatalf("BeginForced(%v): %v", alt, err)
+	}
+	if alt.Plan == "remote" {
+		if _, err := octx.DoRemoteOp("run", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := octx.DoLocalOp("run", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRegisterValidation(t *testing.T) {
+	setup := newToySetup(t)
+	if _, err := setup.Client.RegisterFidelity(OperationSpec{}); err == nil {
+		t.Fatal("empty spec must fail")
+	}
+	if _, err := setup.Client.RegisterFidelity(OperationSpec{Name: "x"}); err == nil {
+		t.Fatal("spec without plans must fail")
+	}
+	if _, err := setup.Client.RegisterFidelity(toySpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Client.RegisterFidelity(toySpec()); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if _, ok := setup.Client.Operation("toy.op"); !ok {
+		t.Fatal("operation not found after registration")
+	}
+}
+
+func TestForcedExecutionMeasuresUsage(t *testing.T) {
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+
+	local := runToy(t, setup, op, solver.Alternative{Plan: "local"})
+	if local.Usage.LocalMegacycles != 500 {
+		t.Fatalf("local cycles = %v, want 500", local.Usage.LocalMegacycles)
+	}
+	if local.Elapsed != 5*time.Second {
+		t.Fatalf("local elapsed = %v, want 5s", local.Elapsed)
+	}
+	if !local.Usage.EnergyValid || local.Usage.EnergyJoules <= 0 {
+		t.Fatalf("local energy = %+v", local.Usage)
+	}
+
+	remote := runToy(t, setup, op, solver.Alternative{Server: "big", Plan: "remote"})
+	if remote.Usage.RemoteMegacycles != 500 {
+		t.Fatalf("remote cycles = %v, want 500", remote.Usage.RemoteMegacycles)
+	}
+	if remote.Usage.LocalMegacycles != 0 {
+		t.Fatalf("remote op charged local cycles: %v", remote.Usage.LocalMegacycles)
+	}
+	if remote.Usage.RPCs != 1 || remote.Usage.BytesSent == 0 {
+		t.Fatalf("remote network usage = %+v", remote.Usage)
+	}
+	// 500 Mc on 1000 MHz = 0.5 s plus small transfer times.
+	if remote.Elapsed < 500*time.Millisecond || remote.Elapsed > time.Second {
+		t.Fatalf("remote elapsed = %v", remote.Elapsed)
+	}
+}
+
+func TestSelfTunedDecisionPrefersFasterPlan(t *testing.T) {
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+
+	// Training: observe both plans.
+	for i := 0; i < 4; i++ {
+		runToy(t, setup, op, solver.Alternative{Plan: "local"})
+		runToy(t, setup, op, solver.Alternative{Server: "big", Plan: "remote"})
+	}
+
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := octx.Decision()
+	if d.Alternative.Plan != "remote" || d.Alternative.Server != "big" {
+		t.Fatalf("decision = %+v, want remote on big", d.Alternative)
+	}
+	if d.Predicted.Latency <= 0 || d.Predicted.Latency > 2*time.Second {
+		t.Fatalf("predicted latency = %v", d.Predicted.Latency)
+	}
+	if d.Evaluations == 0 || d.Candidates != 2 {
+		t.Fatalf("decision stats = %+v", d)
+	}
+	if _, err := octx.DoRemoteOp("run", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionFailsOverToLocal(t *testing.T) {
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	for i := 0; i < 3; i++ {
+		runToy(t, setup, op, solver.Alternative{Plan: "local"})
+		runToy(t, setup, op, solver.Alternative{Server: "big", Plan: "remote"})
+	}
+
+	_, link, _ := setup.Env.Server("big")
+	link.SetPartitioned(true)
+	setup.Client.PollServers() // poll fails, marking the server unreachable
+
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Alternative.Plan != "local" {
+		t.Fatalf("decision under partition = %+v", octx.Decision().Alternative)
+	}
+	octx.Abort()
+
+	// Forcing the remote plan under partition must fail feasibility.
+	if _, err := setup.Client.BeginForced(op, solver.Alternative{Server: "big", Plan: "remote"}, nil, ""); !errors.Is(err, errNoAlternative) {
+		t.Fatalf("forced remote under partition: %v", err)
+	}
+}
+
+func TestEnergyImportanceFlipsDecision(t *testing.T) {
+	// Remote is slightly slower here but burns far less client energy;
+	// with an aggressive battery goal Spectra must switch to remote.
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    500,
+		Power:       sim.PowerModel{IdleW: 0.2, BusyW: 10, NetW: 0.5},
+		OnWallPower: false,
+		Battery:     sim.NewBattery(30_000),
+	})
+	server := sim.NewMachine(sim.MachineConfig{
+		Name:        "big",
+		SpeedMHz:    450,
+		Power:       sim.PowerModel{IdleW: 10, BusyW: 50, NetW: 12},
+		OnWallPower: true,
+	})
+	link := simnet.NewLink(simnet.LinkConfig{Name: "lan", Latency: time.Millisecond, BandwidthBps: 2_000_000})
+	setup, err := NewSimSetup(SimOptions{
+		Host:    host,
+		Servers: []SimServer{{Name: "big", Machine: server, Link: link}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(sim.ComputeDemand{IntegerMegacycles: 1000})
+		return []byte("ok"), nil
+	}
+	setup.Env.Host().RegisterService("toy", work)
+	node, _, _ := setup.Env.Server("big")
+	node.RegisterService("toy", work)
+
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	for i := 0; i < 5; i++ {
+		runToy(t, setup, op, solver.Alternative{Plan: "local"})
+		runToy(t, setup, op, solver.Alternative{Server: "big", Plan: "remote"})
+	}
+
+	// Performance mode: local (2.0s) beats remote (~2.2s+transfer).
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Alternative.Plan != "local" {
+		t.Fatalf("performance-mode decision = %+v", octx.Decision().Alternative)
+	}
+	octx.Abort()
+
+	// Energy mode: aggressive lifetime goal raises importance; remote
+	// execution lets the client idle at 0.2 W instead of computing at 10 W.
+	setup.Adaptor.SetImportance(1)
+	octx2, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx2.Decision().Alternative.Plan != "remote" {
+		t.Fatalf("energy-mode decision = %+v", octx2.Decision().Alternative)
+	}
+	octx2.Abort()
+}
+
+func TestBeginOverheadPopulated(t *testing.T) {
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh := octx.Decision().Overhead
+	if oh.Total <= 0 {
+		t.Fatalf("overhead = %+v", oh)
+	}
+	if oh.Total < oh.FilePrediction+oh.Choosing {
+		t.Fatalf("overhead breakdown inconsistent: %+v", oh)
+	}
+	if op.RegisterDuration() <= 0 {
+		t.Fatal("register duration missing")
+	}
+	octx.Abort()
+}
+
+func TestOpContextGuards(t *testing.T) {
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	octx, err := setup.Client.BeginForced(op, solver.Alternative{Plan: "local"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx.DoRemoteOp("run", nil); err == nil {
+		t.Fatal("remote call on local plan must fail")
+	}
+	if _, err := octx.End(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx.End(); !errors.Is(err, errEnded) {
+		t.Fatalf("double End: %v", err)
+	}
+	if _, err := octx.DoLocalOp("run", nil); !errors.Is(err, errEnded) {
+		t.Fatalf("call after End: %v", err)
+	}
+	octx.Abort() // no-op after end
+}
+
+func TestRegistryExtendsServers(t *testing.T) {
+	setup := newToySetup(t)
+	c := setup.Client
+	base := len(c.Servers())
+	c.AddServer("extra")
+	c.AddServer("extra") // idempotent
+	if got := len(c.Servers()); got != base+1 {
+		t.Fatalf("servers = %d, want %d", got, base+1)
+	}
+}
+
+func TestStaticRegistry(t *testing.T) {
+	r := StaticRegistry{"a", "b"}
+	got := r.Discover()
+	if len(got) != 2 || got[0] != "a" {
+		t.Fatalf("discover = %v", got)
+	}
+}
+
+func TestUsageLogWarmsModels(t *testing.T) {
+	dir := t.TempDir()
+
+	build := func() (*SimSetup, *Operation) {
+		host := sim.NewMachine(sim.MachineConfig{
+			Name: "client", SpeedMHz: 100,
+			Power:       sim.PowerModel{IdleW: 1, BusyW: 10, NetW: 2},
+			OnWallPower: true, Battery: sim.NewBattery(50_000),
+		})
+		server := sim.NewMachine(sim.MachineConfig{Name: "big", SpeedMHz: 1000, OnWallPower: true})
+		link := simnet.NewLink(simnet.LinkConfig{Name: "lan", Latency: time.Millisecond, BandwidthBps: 1_000_000})
+		setup, err := NewSimSetup(SimOptions{
+			Host:        host,
+			Servers:     []SimServer{{Name: "big", Machine: server, Link: link}},
+			UsageLogDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+			ctx.Compute(sim.ComputeDemand{IntegerMegacycles: 500})
+			return []byte("ok"), nil
+		}
+		setup.Env.Host().RegisterService("toy", work)
+		node, _, _ := setup.Env.Server("big")
+		node.RegisterService("toy", work)
+		op, err := setup.Client.RegisterFidelity(toySpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return setup, op
+	}
+
+	// First life: train.
+	setup1, op1 := build()
+	setup1.Refresh()
+	for i := 0; i < 4; i++ {
+		runToy(t, setup1, op1, solver.Alternative{Plan: "local"})
+		runToy(t, setup1, op1, solver.Alternative{Server: "big", Plan: "remote"})
+	}
+
+	// Second life: models warmed from the log; first decision is already
+	// informed (remote wins).
+	setup2, op2 := build()
+	setup2.Refresh()
+	octx, err := setup2.Client.BeginFidelityOp(op2, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Alternative.Plan != "remote" {
+		t.Fatalf("warmed decision = %+v", octx.Decision().Alternative)
+	}
+	octx.Abort()
+}

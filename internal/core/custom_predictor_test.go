@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spectra/internal/predict"
+	"spectra/internal/solver"
+)
+
+// analyticCPU is an application-specific predictor (paper §3.4): it knows
+// the exact cycle cost analytically and needs no training at all.
+type analyticCPU struct {
+	perUnit float64
+	// observed counts samples, proving Spectra still feeds the predictor.
+	observed int
+}
+
+func (a *analyticCPU) Observe(predict.Observation) { a.observed++ }
+
+func (a *analyticCPU) Predict(q predict.Query) (float64, bool) {
+	if q.Discrete["plan"] != "remote" {
+		return 0, true
+	}
+	return a.perUnit * q.Params["units"], true
+}
+
+func TestCustomPredictorUsedWithoutTraining(t *testing.T) {
+	setup := newToySetup(t)
+	remoteCPU := &analyticCPU{perUnit: 100}
+
+	// Both CPU predictors are analytic: local execution is known to cost
+	// 500 Mc per unit, remote 100 Mc per unit, so the decision is informed
+	// with zero training.
+	op, err := setup.Client.RegisterFidelity(OperationSpec{
+		Name:    "custom.op",
+		Service: "toy",
+		Plans: []PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+		Params: []string{"units"},
+		Predictors: &CustomPredictors{
+			CPULocal:  &analyticLocalCPU{perUnit: 500},
+			CPURemote: remoteCPU,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+
+	// No training at all: the analytic predictors alone inform the
+	// decision. Remote: 5x100 Mc on a 1000 MHz server ~ 0.5 s; local:
+	// 5x500 Mc on a 100 MHz client ~ 25 s.
+	octx, err := setup.Client.BeginFidelityOp(op, map[string]float64{"units": 5}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := octx.Decision()
+	if d.Alternative.Plan != "remote" {
+		t.Fatalf("decision = %+v, want remote with zero training", d.Alternative)
+	}
+	if d.Predicted.Latency < 400*time.Millisecond || d.Predicted.Latency > time.Second {
+		t.Fatalf("predicted latency = %v, want ~0.5s", d.Predicted.Latency)
+	}
+	if _, err := octx.DoRemoteOp("run", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx.End(); err != nil {
+		t.Fatal(err)
+	}
+	// The custom predictors still receive observations.
+	if remoteCPU.observed == 0 {
+		t.Fatal("custom predictor received no observations")
+	}
+}
+
+// analyticLocalCPU mirrors analyticCPU for the local plan.
+type analyticLocalCPU struct {
+	perUnit  float64
+	observed int
+}
+
+func (a *analyticLocalCPU) Observe(predict.Observation) { a.observed++ }
+
+func (a *analyticLocalCPU) Predict(q predict.Query) (float64, bool) {
+	if q.Discrete["plan"] != "local" {
+		return 0, true
+	}
+	return a.perUnit * q.Params["units"], true
+}
+
+func TestCustomPredictorPartialOverride(t *testing.T) {
+	// Only the byte predictor is overridden; the rest stay self-tuning.
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(OperationSpec{
+		Name:    "partial.op",
+		Service: "toy",
+		Plans: []PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+		Predictors: &CustomPredictors{
+			NetBytes: &analyticCPU{perUnit: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	for i := 0; i < 3; i++ {
+		runToyOp(t, setup, op, solver.Alternative{Plan: "local"})
+		runToyOp(t, setup, op, solver.Alternative{Server: "big", Plan: "remote"})
+	}
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Alternative.Plan != "remote" {
+		t.Fatalf("decision = %+v", octx.Decision().Alternative)
+	}
+	octx.Abort()
+}
+
+// runToyOp is runToy for arbitrary operations registered on the toy setup.
+func runToyOp(t *testing.T, setup *SimSetup, op *Operation, alt solver.Alternative) Report {
+	t.Helper()
+	octx, err := setup.Client.BeginForced(op, alt, nil, "")
+	if err != nil {
+		t.Fatalf("BeginForced(%v): %v", alt, err)
+	}
+	if alt.Plan == "remote" {
+		if _, err := octx.DoRemoteOp("run", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if _, err := octx.DoLocalOp("run", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}

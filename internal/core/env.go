@@ -1,0 +1,329 @@
+// Package core implements Spectra itself: the client that registers
+// application operations, snapshots resource availability through the
+// monitor framework, predicts per-alternative cost with the self-tuning
+// demand models, selects the best execution alternative with the heuristic
+// solver, enforces Coda data consistency for remote execution, and measures
+// the resources every operation consumes to refine its models.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spectra/internal/coda"
+	"spectra/internal/predict"
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+)
+
+// ServiceFunc is an application code component hosted by a Spectra server
+// (a "service"). It receives the operation type and request payload and
+// consumes resources through the ServiceContext.
+type ServiceFunc func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error)
+
+// Node is one machine in the environment: its hardware model, its Coda
+// cache manager, its link to the file servers, and the services it hosts.
+type Node struct {
+	mu sync.Mutex
+
+	machine  *sim.Machine
+	fs       *coda.Client
+	fsLink   *simnet.Link
+	services map[string]ServiceFunc
+}
+
+// NewNode assembles a node.
+func NewNode(machine *sim.Machine, fs *coda.Client, fsLink *simnet.Link) *Node {
+	return &Node{
+		machine:  machine,
+		fs:       fs,
+		fsLink:   fsLink,
+		services: make(map[string]ServiceFunc),
+	}
+}
+
+// Machine returns the node's hardware model.
+func (n *Node) Machine() *sim.Machine { return n.machine }
+
+// Coda returns the node's cache manager.
+func (n *Node) Coda() *coda.Client { return n.fs }
+
+// FSLink returns the node's link to the file servers.
+func (n *Node) FSLink() *simnet.Link { return n.fsLink }
+
+// RegisterService installs a service on the node. Each service would run
+// as a separate process on a real server; here it is a handler invoked with
+// a per-request context.
+func (n *Node) RegisterService(name string, fn ServiceFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.services[name] = fn
+}
+
+// Service looks up a hosted service.
+func (n *Node) Service(name string) (ServiceFunc, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	fn, ok := n.services[name]
+	return fn, ok
+}
+
+// ServiceNames lists hosted services.
+func (n *Node) ServiceNames() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.services))
+	for name := range n.services {
+		out = append(out, name)
+	}
+	return out
+}
+
+// FetchRateBps estimates how fast this node fetches uncached file data.
+func (n *Node) FetchRateBps() float64 {
+	if n.fsLink == nil {
+		return 0
+	}
+	return n.fsLink.EffectiveBandwidthBps()
+}
+
+// EnergyAccount attributes client energy consumption to operations. It
+// keeps counting even on wall power (like the paper's external multimeter),
+// so demand models learn while plugged in; the battery itself only drains
+// when the machine is battery powered.
+type EnergyAccount struct {
+	mu sync.Mutex
+
+	machine    *sim.Machine
+	attributed float64
+}
+
+// NewEnergyAccount returns an account over the client machine.
+func NewEnergyAccount(machine *sim.Machine) *EnergyAccount {
+	return &EnergyAccount{machine: machine}
+}
+
+// AttributedJoules implements monitor.EnergyAccount.
+func (a *EnergyAccount) AttributedJoules() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.attributed
+}
+
+// DrainCompute charges t of computation.
+func (a *EnergyAccount) DrainCompute(t time.Duration) {
+	a.add(a.machine.DrainCompute(t), t, a.machine.Power().BusyW)
+}
+
+// DrainIdle charges t of idle waiting.
+func (a *EnergyAccount) DrainIdle(t time.Duration) {
+	a.add(a.machine.DrainIdle(t), t, a.machine.Power().IdleW)
+}
+
+// DrainNetwork charges t of network activity.
+func (a *EnergyAccount) DrainNetwork(t time.Duration) {
+	a.add(a.machine.DrainNetwork(t), t, a.machine.Power().NetW)
+}
+
+func (a *EnergyAccount) add(joules float64, t time.Duration, watts float64) {
+	if joules <= 0 {
+		// Wall-powered machines report their hypothetical draw; fall back
+		// to computing it so attribution continues while plugged in.
+		joules = watts * sim.Seconds(t)
+		if joules <= 0 {
+			return
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.attributed += joules
+}
+
+// Env is the simulated testbed: a virtual clock, the client (host) node,
+// candidate Spectra servers with their links from the client, and the Coda
+// file servers.
+type Env struct {
+	mu sync.Mutex
+
+	clock       *sim.VirtualClock
+	fileServer  *coda.FileServer
+	host        *Node
+	hostAccount *EnergyAccount
+	servers     map[string]*Node
+	links       map[string]*simnet.Link
+}
+
+// NewEnv creates an environment around the given host node.
+func NewEnv(clock *sim.VirtualClock, fileServer *coda.FileServer, host *Node) *Env {
+	return &Env{
+		clock:       clock,
+		fileServer:  fileServer,
+		host:        host,
+		hostAccount: NewEnergyAccount(host.Machine()),
+		servers:     make(map[string]*Node),
+		links:       make(map[string]*simnet.Link),
+	}
+}
+
+// Clock returns the environment clock.
+func (e *Env) Clock() *sim.VirtualClock { return e.clock }
+
+// FileServer returns the Coda file server.
+func (e *Env) FileServer() *coda.FileServer { return e.fileServer }
+
+// Host returns the client node.
+func (e *Env) Host() *Node { return e.host }
+
+// HostAccount returns the client energy account.
+func (e *Env) HostAccount() *EnergyAccount { return e.hostAccount }
+
+// AddServer registers a candidate Spectra server reachable over link.
+func (e *Env) AddServer(name string, node *Node, link *simnet.Link) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.servers[name] = node
+	e.links[name] = link
+}
+
+// Server returns a server node and its link.
+func (e *Env) Server(name string) (*Node, *simnet.Link, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, ok := e.servers[name]
+	if !ok {
+		return nil, nil, false
+	}
+	return n, e.links[name], true
+}
+
+// ServerNames lists registered servers in deterministic order.
+func (e *Env) ServerNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.servers))
+	for name := range e.servers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ServiceContext is the execution context handed to services. It meters
+// everything the service does so Spectra can observe operation resource
+// usage precisely.
+type ServiceContext struct {
+	clock sim.Clock
+	node  *Node
+	// account is non-nil only when the service runs on the client, whose
+	// energy Spectra meters.
+	account *EnergyAccount
+	// remote marks contexts executing on a server rather than the client.
+	remote bool
+
+	mu    sync.Mutex
+	usage CtxUsage
+}
+
+// CtxUsage is what one service invocation consumed.
+type CtxUsage struct {
+	// Megacycles is effective CPU demand executed (after FP expansion).
+	Megacycles float64
+	// ComputeSeconds is time spent computing.
+	ComputeSeconds float64
+	// FetchSeconds is time spent fetching uncached file data.
+	FetchSeconds float64
+	// Files lists the Coda files accessed.
+	Files []predict.FileAccess
+	// FetchedBytes counts file-server bytes fetched.
+	FetchedBytes int64
+}
+
+// NewServiceContext builds a context for one invocation on node; account
+// may be nil for machines whose energy is not metered.
+func NewServiceContext(clock sim.Clock, node *Node, account *EnergyAccount) *ServiceContext {
+	return &ServiceContext{clock: clock, node: node, account: account, remote: account == nil}
+}
+
+// Machine returns the hosting machine.
+func (c *ServiceContext) Machine() *sim.Machine { return c.node.Machine() }
+
+// Compute consumes CPU, advancing time according to the machine's speed
+// and load and draining client energy when metered.
+func (c *ServiceContext) Compute(d sim.ComputeDemand) {
+	t, eff := c.node.Machine().ComputeTime(d)
+	c.node.Machine().ChargeCycles(eff)
+	c.clock.Sleep(t)
+	if c.account != nil {
+		c.account.DrainCompute(t)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.usage.Megacycles += eff
+	c.usage.ComputeSeconds += sim.Seconds(t)
+}
+
+// ReadFile opens a Coda file, fetching it from the file servers on a miss.
+func (c *ServiceContext) ReadFile(path string) error {
+	res, err := c.node.Coda().Read(path)
+	if err != nil {
+		return fmt.Errorf("core: read %q on %s: %w", path, c.node.Machine().Name(), err)
+	}
+	var fetchT time.Duration
+	if res.FetchedBytes > 0 && c.node.FSLink() != nil {
+		fetchT, err = c.node.FSLink().TransferTime(res.FetchedBytes)
+		if err != nil {
+			return fmt.Errorf("core: fetch %q: %w", path, err)
+		}
+		c.clock.Sleep(fetchT)
+		if c.account != nil {
+			c.account.DrainNetwork(fetchT)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.usage.Files = append(c.usage.Files, predict.FileAccess{
+		Path:      path,
+		SizeBytes: res.SizeBytes,
+		Remote:    c.remote,
+	})
+	c.usage.FetchedBytes += res.FetchedBytes
+	c.usage.FetchSeconds += sim.Seconds(fetchT)
+	return nil
+}
+
+// WriteFile records a whole-file modification of the given size.
+func (c *ServiceContext) WriteFile(path string, sizeBytes int64) error {
+	res, err := c.node.Coda().Write(path, sizeBytes)
+	if err != nil {
+		return fmt.Errorf("core: write %q on %s: %w", path, c.node.Machine().Name(), err)
+	}
+	var sendT time.Duration
+	if res.ThroughBytes > 0 && c.node.FSLink() != nil {
+		sendT, err = c.node.FSLink().TransferTime(res.ThroughBytes)
+		if err != nil {
+			return fmt.Errorf("core: write-through %q: %w", path, err)
+		}
+		c.clock.Sleep(sendT)
+		if c.account != nil {
+			c.account.DrainNetwork(sendT)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Writes are deliberately not recorded as file accesses: the access
+	// predictor estimates fetch cost, and written files are replaced, not
+	// fetched.
+	c.usage.FetchSeconds += sim.Seconds(sendT)
+	return nil
+}
+
+// Usage returns what the invocation consumed so far.
+func (c *ServiceContext) Usage() CtxUsage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := c.usage
+	u.Files = append([]predict.FileAccess(nil), c.usage.Files...)
+	return u
+}

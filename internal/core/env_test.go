@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spectra/internal/coda"
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+)
+
+func newEnvFixture(t *testing.T) (*Env, *coda.FileServer) {
+	t.Helper()
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	fs := coda.NewFileServer()
+	fs.Store("vol", "/coda/a", 100_000)
+
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "host",
+		SpeedMHz:    100,
+		Power:       sim.PowerModel{IdleW: 1, BusyW: 10, NetW: 2},
+		OnWallPower: false,
+		Battery:     sim.NewBattery(10_000),
+	})
+	fsLink := simnet.NewLink(simnet.LinkConfig{
+		Name:         "fs",
+		BandwidthBps: 100_000,
+	})
+	node := NewNode(host, coda.NewClient("host", fs, 0), fsLink)
+	return NewEnv(clock, fs, node), fs
+}
+
+func TestServiceContextComputeAccounting(t *testing.T) {
+	env, _ := newEnvFixture(t)
+	ctx := NewServiceContext(env.Clock(), env.Host(), env.HostAccount())
+
+	before := env.Clock().Now()
+	ctx.Compute(sim.ComputeDemand{IntegerMegacycles: 200})
+	elapsed := env.Clock().Now().Sub(before)
+	if elapsed != 2*time.Second {
+		t.Fatalf("compute advanced %v, want 2s", elapsed)
+	}
+	u := ctx.Usage()
+	if u.Megacycles != 200 || u.ComputeSeconds != 2 {
+		t.Fatalf("usage = %+v", u)
+	}
+	// Busy power on battery: 2s x 10W = 20J drained and attributed.
+	if got := env.HostAccount().AttributedJoules(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("attributed = %v, want 20", got)
+	}
+	if got := env.Host().Machine().Battery().DrainedJoules(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("battery drained = %v, want 20", got)
+	}
+}
+
+func TestServiceContextReadFetchAccounting(t *testing.T) {
+	env, _ := newEnvFixture(t)
+	ctx := NewServiceContext(env.Clock(), env.Host(), env.HostAccount())
+
+	before := env.Clock().Now()
+	if err := ctx.ReadFile("/coda/a"); err != nil {
+		t.Fatal(err)
+	}
+	// 100 KB at 100 KB/s = 1s fetch.
+	if got := env.Clock().Now().Sub(before); got != time.Second {
+		t.Fatalf("fetch advanced %v, want 1s", got)
+	}
+	u := ctx.Usage()
+	if len(u.Files) != 1 || u.Files[0].Path != "/coda/a" || u.Files[0].Remote {
+		t.Fatalf("files = %+v", u.Files)
+	}
+	if u.FetchedBytes != 100_000 || u.FetchSeconds != 1 {
+		t.Fatalf("usage = %+v", u)
+	}
+	// Network power: 1s x 2W.
+	if got := env.HostAccount().AttributedJoules(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("attributed = %v, want 2", got)
+	}
+
+	// Second read: cache hit, no time, no energy.
+	before = env.Clock().Now()
+	if err := ctx.ReadFile("/coda/a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Clock().Now().Sub(before); got != 0 {
+		t.Fatalf("cache hit advanced %v", got)
+	}
+}
+
+func TestServiceContextRemoteFlag(t *testing.T) {
+	env, fs := newEnvFixture(t)
+	serverMachine := sim.NewMachine(sim.MachineConfig{Name: "srv", SpeedMHz: 1000, OnWallPower: true})
+	serverNode := NewNode(serverMachine, coda.NewClient("srv", fs, 0), nil)
+	ctx := NewServiceContext(env.Clock(), serverNode, nil) // nil account = remote
+	if err := ctx.ReadFile("/coda/a"); err != nil {
+		t.Fatal(err)
+	}
+	u := ctx.Usage()
+	if len(u.Files) != 1 || !u.Files[0].Remote {
+		t.Fatalf("remote read not flagged: %+v", u.Files)
+	}
+}
+
+func TestServiceContextWriteAccounting(t *testing.T) {
+	env, fs := newEnvFixture(t)
+	ctx := NewServiceContext(env.Clock(), env.Host(), env.HostAccount())
+
+	// Strong mode: write-through costs a transfer.
+	before := env.Clock().Now()
+	if err := ctx.WriteFile("/coda/a", 50_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Clock().Now().Sub(before); got != 500*time.Millisecond {
+		t.Fatalf("write-through advanced %v, want 500ms", got)
+	}
+	info, err := fs.Lookup("/coda/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SizeBytes != 50_000 {
+		t.Fatalf("server size = %d", info.SizeBytes)
+	}
+	// Writes are not recorded as file accesses.
+	if got := ctx.Usage().Files; len(got) != 0 {
+		t.Fatalf("write recorded as access: %+v", got)
+	}
+
+	// Weak mode: buffered, free.
+	env.Host().Coda().SetMode(coda.Weak)
+	before = env.Clock().Now()
+	if err := ctx.WriteFile("/coda/a", 60_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.Clock().Now().Sub(before); got != 0 {
+		t.Fatalf("buffered write advanced %v", got)
+	}
+	if !env.Host().Coda().IsDirty("/coda/a") {
+		t.Fatal("buffered write not dirty")
+	}
+}
+
+func TestEnergyAccountAttributesOnWallPower(t *testing.T) {
+	machine := sim.NewMachine(sim.MachineConfig{
+		Name:        "m",
+		SpeedMHz:    100,
+		Power:       sim.PowerModel{IdleW: 1, BusyW: 10, NetW: 2},
+		OnWallPower: true,
+		Battery:     sim.NewBattery(1000),
+	})
+	acct := NewEnergyAccount(machine)
+	acct.DrainCompute(time.Second)
+	// Attribution continues on wall power (like the paper's multimeter)...
+	if got := acct.AttributedJoules(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("attributed = %v, want 10", got)
+	}
+	// ...but the battery does not drain.
+	if got := machine.Battery().DrainedJoules(); got != 0 {
+		t.Fatalf("battery drained on wall power: %v", got)
+	}
+}
+
+func TestEnvServerRegistry(t *testing.T) {
+	env, fs := newEnvFixture(t)
+	if _, _, ok := env.Server("ghost"); ok {
+		t.Fatal("ghost server found")
+	}
+	m := sim.NewMachine(sim.MachineConfig{Name: "b", SpeedMHz: 500, OnWallPower: true})
+	link := simnet.NewLink(simnet.LinkConfig{Name: "l", BandwidthBps: 1000})
+	env.AddServer("b", NewNode(m, coda.NewClient("b", fs, 0), nil), link)
+	node, gotLink, ok := env.Server("b")
+	if !ok || node.Machine() != m || gotLink != link {
+		t.Fatal("server lookup wrong")
+	}
+	if names := env.ServerNames(); len(names) != 1 || names[0] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestNodeServiceRegistry(t *testing.T) {
+	env, _ := newEnvFixture(t)
+	node := env.Host()
+	if _, ok := node.Service("missing"); ok {
+		t.Fatal("missing service found")
+	}
+	node.RegisterService("a", func(*ServiceContext, string, []byte) ([]byte, error) { return nil, nil })
+	node.RegisterService("b", func(*ServiceContext, string, []byte) ([]byte, error) { return nil, nil })
+	if _, ok := node.Service("a"); !ok {
+		t.Fatal("service a missing")
+	}
+	names := node.ServiceNames()
+	if len(names) != 2 {
+		t.Fatalf("services = %v", names)
+	}
+}

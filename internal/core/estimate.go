@@ -1,0 +1,251 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"spectra/internal/monitor"
+	"spectra/internal/predict"
+	"spectra/internal/sim"
+	"spectra/internal/solver"
+	"spectra/internal/utility"
+)
+
+// Fallbacks used when no passive network observations exist yet for a
+// reachable server.
+const (
+	defaultBandwidthBps = 125_000
+	defaultLatency      = 10 * time.Millisecond
+)
+
+// estimator turns an execution alternative into a utility.Prediction by
+// matching the operation's demand models against the resource snapshot,
+// following the paper's default utility function (§3.6): execution time is
+// the sum of local and remote CPU time, network transmission time, time to
+// service cache misses, and time to ensure data consistency; energy comes
+// from the operation's energy demand model applied to the predicted phase
+// durations.
+type estimator struct {
+	op     *Operation
+	snap   *monitor.Snapshot
+	params map[string]float64
+	data   string
+	cons   ConsistencySource
+
+	// dirtyVols maps every currently dirty volume to its buffered bytes.
+	dirtyVols map[string]int64
+
+	// candsByKey memoizes file-access predictions per discrete key, and
+	// reintByKey the matching consistency plan.
+	candsByKey map[string][]predict.FileLikelihood
+	reintByKey map[string]reintPlan
+
+	// filePredTime accumulates the wall-clock cost of file predictions,
+	// reported as "file cache prediction" in the Figure-10 breakdown.
+	filePredTime time.Duration
+}
+
+// reintPlan is what consistency enforcement would reintegrate.
+type reintPlan struct {
+	volumes []string
+	bytes   int64
+}
+
+// newEstimator snapshots the dirty-volume state shared by all
+// alternatives; per-alternative file predictions are memoized on demand.
+func newEstimator(op *Operation, snap *monitor.Snapshot, params map[string]float64, data string, cons ConsistencySource) *estimator {
+	e := &estimator{
+		op:         op,
+		snap:       snap,
+		params:     params,
+		data:       data,
+		cons:       cons,
+		dirtyVols:  make(map[string]int64),
+		candsByKey: make(map[string][]predict.FileLikelihood),
+		reintByKey: make(map[string]reintPlan),
+	}
+	if cons != nil {
+		for _, v := range cons.DirtyVolumes() {
+			e.dirtyVols[v] = cons.VolumeDirtyBytes(v)
+		}
+	}
+	return e
+}
+
+// candidates returns the files an execution with the given discrete key
+// may access, memoized per key.
+func (e *estimator) candidates(key string) []predict.FileLikelihood {
+	if cands, ok := e.candsByKey[key]; ok {
+		return cands
+	}
+	start := time.Now()
+	cands := e.op.models.fileCandidates(key, e.data)
+	e.candsByKey[key] = cands
+	e.filePredTime += time.Since(start)
+	return cands
+}
+
+// reintegration returns the volumes (sorted) and total bytes consistency
+// enforcement would reintegrate for a remote-files execution with the
+// given discrete key: dirty volumes containing at least one file with
+// non-zero access likelihood (paper §3.5).
+func (e *estimator) reintegration(key string) ([]string, int64) {
+	if plan, ok := e.reintByKey[key]; ok {
+		return plan.volumes, plan.bytes
+	}
+	var plan reintPlan
+	if len(e.dirtyVols) > 0 && e.cons != nil {
+		need := make(map[string]bool)
+		for _, f := range e.candidates(key) {
+			if !f.Remote {
+				continue // local reads see the buffered copy directly
+			}
+			vol, err := e.cons.VolumeOf(f.Path)
+			if err != nil {
+				continue
+			}
+			if _, dirty := e.dirtyVols[vol]; dirty && !need[vol] {
+				need[vol] = true
+				plan.volumes = append(plan.volumes, vol)
+				plan.bytes += e.dirtyVols[vol]
+			}
+		}
+		sort.Strings(plan.volumes)
+	}
+	e.reintByKey[key] = plan
+	return plan.volumes, plan.bytes
+}
+
+// Predict evaluates one alternative.
+func (e *estimator) Predict(alt solver.Alternative) utility.Prediction {
+	plan, ok := e.op.planSpec(alt.Plan)
+	if !ok {
+		return utility.Prediction{}
+	}
+	if plan.UsesServer && !e.snap.ServerUsable(alt.Server, e.op.spec.Service) {
+		return utility.Prediction{}
+	}
+
+	features, discrete := e.op.modelQuery(alt, e.params)
+	key := predict.DiscreteKey(discrete)
+	q := predict.Query{
+		Params:   features,
+		Discrete: discrete,
+		Data:     e.data,
+	}
+	models := e.op.models
+	localMc, _ := models.cpuLocal.Predict(q)
+	remoteMc, _ := models.cpuRemote.Predict(q)
+	bytes, _ := models.netBytes.Predict(q)
+	rpcs, _ := models.netRPCs.Predict(q)
+
+	var tLocal, tRemote, tNet, tMiss, tReint float64
+
+	if avail := e.snap.LocalCPU.AvailMHz; avail > 0 && localMc > 0 {
+		tLocal = localMc / avail
+	}
+
+	if plan.UsesServer {
+		cpu := e.snap.RemoteCPU[alt.Server]
+		if !cpu.Known || cpu.AvailMHz <= 0 {
+			return utility.Prediction{}
+		}
+		if remoteMc > 0 {
+			tRemote = remoteMc / cpu.AvailMHz
+		}
+		net := e.snap.Network[alt.Server]
+		bw, lat := net.BandwidthBps, net.Latency
+		if !net.Known || bw <= 0 {
+			bw = defaultBandwidthBps
+		}
+		if lat <= 0 {
+			lat = defaultLatency
+		}
+		if bytes > 0 {
+			tNet = bytes / bw
+		}
+		if rpcs > 0 {
+			tNet += rpcs * lat.Seconds()
+		}
+	}
+
+	// Cache-miss time, per accessed file, on the machine predicted to
+	// perform the access (locally-read files against the client cache,
+	// remotely-read files against the chosen server's cache).
+	localMiss, remoteMiss := e.missSeconds(key, alt.Server)
+	tMiss = localMiss + remoteMiss
+
+	// Data-consistency time: reintegration of dirty volumes the operation
+	// may read remotely, needed only for plans that execute remotely.
+	if plan.UsesServer {
+		if _, reintBytes := e.reintegration(key); reintBytes > 0 {
+			rate := e.snap.LocalCache.FetchRateBps
+			if rate <= 0 {
+				rate = defaultBandwidthBps
+			}
+			tReint = float64(reintBytes) / rate
+		}
+	}
+
+	total := tLocal + tRemote + tNet + tMiss + tReint
+
+	// Energy: the learned phase-coefficient model applied to the predicted
+	// phase split. Client network phases: transmission, reintegration, and
+	// local cache-miss fetches; idle phases: remote compute and remote
+	// cache-miss waits.
+	phases := phaseUsage{
+		localSeconds: tLocal,
+		netSeconds:   tNet + tReint + localMiss,
+		idleSeconds:  tRemote + remoteMiss,
+	}
+	energy, _ := models.energy.Predict(phases.features())
+	if energy < 0 {
+		energy = 0
+	}
+
+	return utility.Prediction{
+		Latency:      sim.DurationSeconds(total),
+		EnergyJoules: energy,
+		Fidelity:     e.op.fidelityValue(alt.Fidelity),
+		Feasible:     true,
+	}
+}
+
+// missSeconds estimates time to service cache misses: expected uncached
+// bytes divided by the fetch rate of the machine predicted to perform each
+// access (paper §3.5). It returns the client-side and server-side portions
+// separately because they drain different client power states.
+func (e *estimator) missSeconds(key, server string) (localSec, remoteSec float64) {
+	cands := e.candidates(key)
+	if len(cands) == 0 {
+		return 0, 0
+	}
+	var localBytes, remoteBytes float64
+	for _, f := range cands {
+		cache := e.snap.LocalCache
+		if f.Remote {
+			cache = e.snap.RemoteCache[server]
+		}
+		if cache.Known && cache.Cached[f.Path] {
+			continue
+		}
+		expected := float64(f.SizeBytes) * f.Likelihood
+		if f.Remote {
+			remoteBytes += expected
+		} else {
+			localBytes += expected
+		}
+	}
+	toSeconds := func(bytes float64, cache monitor.CacheAvail) float64 {
+		if bytes <= 0 {
+			return 0
+		}
+		rate := cache.FetchRateBps
+		if rate <= 0 {
+			rate = defaultBandwidthBps
+		}
+		return bytes / rate
+	}
+	return toSeconds(localBytes, e.snap.LocalCache),
+		toSeconds(remoteBytes, e.snap.RemoteCache[server])
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spectra/internal/monitor"
+	"spectra/internal/predict"
+	"spectra/internal/solver"
+)
+
+// TestEstimatorRobustnessProperty feeds the estimator randomly trained
+// models and randomized snapshots: predictions must always be finite,
+// non-negative, and feasible plans must stay feasible.
+func TestEstimatorRobustnessProperty(t *testing.T) {
+	f := func(samples []uint16, availMHz, bwKBps uint16, lat uint8) bool {
+		op := &Operation{
+			spec: OperationSpec{
+				Name:    "prop.op",
+				Service: "svc",
+				Plans: []PlanSpec{
+					{Name: "local"},
+					{Name: "remote", UsesServer: true},
+				},
+			},
+			models: newOpModels(nil, ModelOptions{}, nil),
+		}
+		op.fidelityCombos = fidelityCombos(nil)
+
+		for i, v := range samples {
+			plan := "local"
+			if i%2 == 1 {
+				plan = "remote"
+			}
+			op.models.observe(
+				predict.Record{Discrete: map[string]string{"plan": plan}},
+				phaseUsage{localSeconds: float64(v) / 100},
+				observedUsage{
+					localMegacycles:  float64(v),
+					remoteMegacycles: float64(v) / 2,
+					netBytes:         float64(v) * 10,
+					rpcs:             1,
+					energyJoules:     float64(v) / 50,
+					energyValid:      true,
+				})
+		}
+
+		snap := monitor.NewSnapshot(time.Unix(0, 0))
+		snap.LocalCPU = monitor.CPUAvail{
+			AvailMHz: float64(availMHz%1000) + 1,
+			SpeedMHz: 1000,
+			Known:    true,
+		}
+		snap.LocalCache = monitor.CacheAvail{Known: true, FetchRateBps: 1000}
+		snap.Network["srv"] = monitor.NetAvail{
+			BandwidthBps: float64(bwKBps)*10 + 1,
+			Latency:      time.Duration(lat) * time.Millisecond,
+			Reachable:    true,
+			Known:        true,
+		}
+		snap.RemoteCPU["srv"] = monitor.CPUAvail{AvailMHz: 500, SpeedMHz: 500, Known: true}
+		snap.RemoteCache["srv"] = monitor.CacheAvail{Known: true, FetchRateBps: 1000}
+		snap.Services["srv"] = []string{"svc"}
+
+		est := newEstimator(op, snap, nil, "", nil)
+		for _, alt := range []solver.Alternative{
+			{Plan: "local"},
+			{Server: "srv", Plan: "remote"},
+		} {
+			p := est.Predict(alt)
+			if !p.Feasible {
+				return false
+			}
+			if p.Latency < 0 || p.EnergyJoules < 0 {
+				return false
+			}
+			if math.IsNaN(p.Latency.Seconds()) || math.IsNaN(p.EnergyJoules) ||
+				math.IsInf(p.EnergyJoules, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spectra/internal/monitor"
+	"spectra/internal/predict"
+	"spectra/internal/solver"
+)
+
+// estimatorFixture builds an operation with trained models and a
+// hand-constructed snapshot so predictions can be checked arithmetically.
+type estimatorFixture struct {
+	op   *Operation
+	snap *monitor.Snapshot
+}
+
+func newEstimatorFixture(t *testing.T) *estimatorFixture {
+	t.Helper()
+	op := &Operation{
+		spec: OperationSpec{
+			Name:    "est.op",
+			Service: "svc",
+			Plans: []PlanSpec{
+				{Name: "local"},
+				{Name: "remote", UsesServer: true},
+			},
+		},
+		models: newOpModels(nil, ModelOptions{Decay: 1}, nil),
+	}
+	op.fidelityCombos = fidelityCombos(nil)
+
+	// Train: local plan = 100 Mc local; remote plan = 100 Mc remote,
+	// 1000 bytes, 1 RPC.
+	for i := 0; i < 3; i++ {
+		op.models.observe(predict.Record{Discrete: map[string]string{"plan": "local"}},
+			phaseUsage{localSeconds: 1}, observedUsage{localMegacycles: 100, energyJoules: 10, energyValid: true})
+		op.models.observe(predict.Record{Discrete: map[string]string{"plan": "remote"}},
+			phaseUsage{idleSeconds: 0.1, netSeconds: 0.01},
+			observedUsage{remoteMegacycles: 100, netBytes: 1000, rpcs: 1, energyJoules: 0.5, energyValid: true})
+	}
+
+	snap := monitor.NewSnapshot(time.Unix(0, 0))
+	snap.LocalCPU = monitor.CPUAvail{AvailMHz: 100, SpeedMHz: 100, Known: true}
+	snap.LocalCache = monitor.CacheAvail{Cached: map[string]bool{}, FetchRateBps: 10_000, Known: true}
+	snap.Network["srv"] = monitor.NetAvail{
+		BandwidthBps: 100_000,
+		Latency:      10 * time.Millisecond,
+		Reachable:    true,
+		Known:        true,
+	}
+	snap.RemoteCPU["srv"] = monitor.CPUAvail{AvailMHz: 1000, SpeedMHz: 1000, Known: true}
+	snap.RemoteCache["srv"] = monitor.CacheAvail{Cached: map[string]bool{}, FetchRateBps: 100_000, Known: true}
+	snap.Services["srv"] = []string{"svc"}
+	return &estimatorFixture{op: op, snap: snap}
+}
+
+func TestEstimatorLocalPlanArithmetic(t *testing.T) {
+	f := newEstimatorFixture(t)
+	est := newEstimator(f.op, f.snap, nil, "", nil)
+	p := est.Predict(solver.Alternative{Plan: "local"})
+	if !p.Feasible {
+		t.Fatal("local plan infeasible")
+	}
+	// 100 Mc / 100 MHz = 1 s, nothing else.
+	if math.Abs(p.Latency.Seconds()-1) > 1e-6 {
+		t.Fatalf("local latency = %v, want 1s", p.Latency)
+	}
+	// Energy model: regression on phases; at (1,0,0) it saw 10 J.
+	if math.Abs(p.EnergyJoules-10) > 0.5 {
+		t.Fatalf("local energy = %v, want ~10", p.EnergyJoules)
+	}
+}
+
+func TestEstimatorRemotePlanArithmetic(t *testing.T) {
+	f := newEstimatorFixture(t)
+	est := newEstimator(f.op, f.snap, nil, "", nil)
+	p := est.Predict(solver.Alternative{Server: "srv", Plan: "remote"})
+	if !p.Feasible {
+		t.Fatal("remote plan infeasible")
+	}
+	// 100 Mc / 1000 MHz = 0.1 s; 1000 B / 100 kB/s = 0.01 s; 1 RPC x 10 ms.
+	want := 0.1 + 0.01 + 0.01
+	if math.Abs(p.Latency.Seconds()-want) > 1e-3 {
+		t.Fatalf("remote latency = %v, want %vs", p.Latency, want)
+	}
+}
+
+func TestEstimatorInfeasibleCases(t *testing.T) {
+	f := newEstimatorFixture(t)
+	est := newEstimator(f.op, f.snap, nil, "", nil)
+
+	// Unknown plan.
+	if p := est.Predict(solver.Alternative{Plan: "ghost"}); p.Feasible {
+		t.Fatal("unknown plan feasible")
+	}
+	// Unknown server.
+	if p := est.Predict(solver.Alternative{Server: "ghost", Plan: "remote"}); p.Feasible {
+		t.Fatal("unknown server feasible")
+	}
+	// Unreachable server.
+	f.snap.Network["srv"] = monitor.NetAvail{Reachable: false}
+	if p := est.Predict(solver.Alternative{Server: "srv", Plan: "remote"}); p.Feasible {
+		t.Fatal("unreachable server feasible")
+	}
+	// Reachable but no CPU status.
+	f.snap.Network["srv"] = monitor.NetAvail{Reachable: true, Known: true, BandwidthBps: 1000}
+	f.snap.RemoteCPU["srv"] = monitor.CPUAvail{}
+	if p := est.Predict(solver.Alternative{Server: "srv", Plan: "remote"}); p.Feasible {
+		t.Fatal("statusless server feasible")
+	}
+}
+
+func TestEstimatorMissCost(t *testing.T) {
+	f := newEstimatorFixture(t)
+	// The remote plan reads a 50 kB file on the server.
+	f.op.models.observe(predict.Record{Discrete: map[string]string{"plan": "remote"}},
+		phaseUsage{idleSeconds: 0.1},
+		observedUsage{remoteMegacycles: 100, netBytes: 1000, rpcs: 1,
+			files: []predict.FileAccess{{Path: "/data", SizeBytes: 50_000, Remote: true}}})
+
+	est := newEstimator(f.op, f.snap, nil, "", nil)
+	cold := est.Predict(solver.Alternative{Server: "srv", Plan: "remote"})
+
+	// Warm the server cache: the miss cost disappears.
+	f.snap.RemoteCache["srv"] = monitor.CacheAvail{
+		Cached: map[string]bool{"/data": true}, FetchRateBps: 100_000, Known: true,
+	}
+	est2 := newEstimator(f.op, f.snap, nil, "", nil)
+	warm := est2.Predict(solver.Alternative{Server: "srv", Plan: "remote"})
+
+	// Cold: the file entered the model at likelihood 1 (files start certain
+	// on first access), so the expected fetch is 50 kB / 100 kB/s = 0.5 s.
+	delta := cold.Latency.Seconds() - warm.Latency.Seconds()
+	if math.Abs(delta-0.5) > 1e-3 {
+		t.Fatalf("miss cost = %vs, want 0.5s", delta)
+	}
+}
+
+// fakeCons is a scripted ConsistencySource.
+type fakeCons struct {
+	dirty map[string]int64
+	vols  map[string]string
+}
+
+func (f *fakeCons) DirtyVolumes() []string {
+	var out []string
+	for v := range f.dirty {
+		out = append(out, v)
+	}
+	return out
+}
+
+func (f *fakeCons) VolumeDirtyBytes(v string) int64 { return f.dirty[v] }
+
+func (f *fakeCons) VolumeOf(path string) (string, error) { return f.vols[path], nil }
+
+func TestEstimatorReintegrationCost(t *testing.T) {
+	f := newEstimatorFixture(t)
+	// The remote plan reads /doc (volume "docs") remotely.
+	f.op.models.observe(predict.Record{Discrete: map[string]string{"plan": "remote"}},
+		phaseUsage{idleSeconds: 0.1},
+		observedUsage{remoteMegacycles: 100, netBytes: 1000, rpcs: 1,
+			files: []predict.FileAccess{{Path: "/doc", SizeBytes: 1000, Remote: true}}})
+	// Also a locally-read file in a different dirty volume, which must NOT
+	// trigger reintegration.
+	f.op.models.observe(predict.Record{Discrete: map[string]string{"plan": "local"}},
+		phaseUsage{localSeconds: 1},
+		observedUsage{localMegacycles: 100,
+			files: []predict.FileAccess{{Path: "/scratch", SizeBytes: 500, Remote: false}}})
+
+	cons := &fakeCons{
+		dirty: map[string]int64{"docs": 20_000, "scratch": 9_999},
+		vols:  map[string]string{"/doc": "docs", "/scratch": "scratch"},
+	}
+	est := newEstimator(f.op, f.snap, nil, "", cons)
+
+	// Remote plan: must reintegrate "docs" (20 kB / 10 kB/s = 2 s).
+	vols, bytes := est.reintegration("plan=remote")
+	if len(vols) != 1 || vols[0] != "docs" || bytes != 20_000 {
+		t.Fatalf("reintegration = %v, %d", vols, bytes)
+	}
+	p := est.Predict(solver.Alternative{Server: "srv", Plan: "remote"})
+	base := 0.1 + 0.01 + 0.01 // cpu + bytes + rtt (cache warm below threshold effects)
+	reint := 2.0
+	if math.Abs(p.Latency.Seconds()-(base+reint)) > 0.3 {
+		t.Fatalf("remote latency with reintegration = %v, want ~%vs", p.Latency, base+reint)
+	}
+
+	// Local plan: dirty volumes do not matter.
+	volsLocal, bytesLocal := est.reintegration("plan=local")
+	if len(volsLocal) != 0 || bytesLocal != 0 {
+		t.Fatalf("local reintegration = %v, %d", volsLocal, bytesLocal)
+	}
+}
+
+func TestEstimatorFilePredictionTimeAccounted(t *testing.T) {
+	f := newEstimatorFixture(t)
+	est := newEstimator(f.op, f.snap, nil, "", nil)
+	est.Predict(solver.Alternative{Plan: "local"})
+	if est.filePredTime < 0 {
+		t.Fatal("negative file prediction time")
+	}
+	// Memoized: a second prediction of the same key adds nothing.
+	before := est.filePredTime
+	est.Predict(solver.Alternative{Plan: "local"})
+	if est.filePredTime != before {
+		t.Fatal("memoized candidates recomputed")
+	}
+}

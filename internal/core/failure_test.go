@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"spectra/internal/sim"
+	"spectra/internal/solver"
+)
+
+// TestPartitionMidOperation partitions the link after the decision but
+// before the remote call: the call fails, the operation aborts cleanly, and
+// the next decision routes around the dead server.
+func TestPartitionMidOperation(t *testing.T) {
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	for i := 0; i < 3; i++ {
+		runToy(t, setup, op, solver.Alternative{Plan: "local"})
+		runToy(t, setup, op, solver.Alternative{Server: "big", Plan: "remote"})
+	}
+
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Alternative.Plan != "remote" {
+		t.Fatalf("pre-partition decision = %+v", octx.Decision().Alternative)
+	}
+
+	// The network partitions between decision and execution.
+	_, link, _ := setup.Env.Server("big")
+	link.SetPartitioned(true)
+	if _, err := octx.DoRemoteOp("run", []byte("x")); err == nil {
+		t.Fatal("remote call over a partition succeeded")
+	}
+	octx.Abort()
+
+	// The failed call marked the server unreachable; the next decision
+	// must fall back to local without an explicit poll.
+	octx2, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx2.Decision().Alternative.Plan != "local" {
+		t.Fatalf("post-partition decision = %+v", octx2.Decision().Alternative)
+	}
+	if _, err := octx2.DoLocalOp("run", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx2.End(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healing the link and polling restores remote execution.
+	link.SetPartitioned(false)
+	setup.Refresh()
+	octx3, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx3.Decision().Alternative.Plan != "remote" {
+		t.Fatalf("post-heal decision = %+v", octx3.Decision().Alternative)
+	}
+	octx3.Abort()
+}
+
+// TestLiveServerCrashMidSession kills a live server after training; the
+// client's next remote call fails, and after polling, decisions fall back
+// to local.
+func TestLiveServerCrashMidSession(t *testing.T) {
+	machineAddr := startLiveServerHandle(t)
+	setup := newLiveClient(t, map[string]string{"fast": machineAddr.addr})
+
+	op, err := setup.Client.RegisterFidelity(OperationSpec{
+		Name:    "toy.crash",
+		Service: "toy",
+		Plans: []PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Client.PollServers()
+	setup.Client.Probe()
+
+	run := func(alt solver.Alternative) error {
+		octx, err := setup.Client.BeginForced(op, alt, nil, "")
+		if err != nil {
+			return err
+		}
+		if alt.Plan == "remote" {
+			_, err = octx.DoRemoteOp("run", nil)
+		} else {
+			_, err = octx.DoLocalOp("run", nil)
+		}
+		if err != nil {
+			octx.Abort()
+			return err
+		}
+		_, err = octx.End()
+		return err
+	}
+	for i := 0; i < 2; i++ {
+		if err := run(solver.Alternative{Plan: "local"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(solver.Alternative{Server: "fast", Plan: "remote"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The server crashes.
+	machineAddr.srv.Close()
+	if err := run(solver.Alternative{Server: "fast", Plan: "remote"}); err == nil {
+		t.Fatal("remote call to a dead server succeeded")
+	}
+	setup.Client.PollServers() // confirms unreachability
+
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Alternative.Plan != "local" {
+		t.Fatalf("decision with dead server = %+v", octx.Decision().Alternative)
+	}
+	octx.Abort()
+}
+
+// liveHandle carries a live server and its address for crash tests.
+type liveHandle struct {
+	srv  *Server
+	addr string
+}
+
+func startLiveServerHandle(t *testing.T) liveHandle {
+	t.Helper()
+	machine := sim.NewMachine(sim.MachineConfig{
+		Name:        "fast",
+		SpeedMHz:    1000,
+		OnWallPower: true,
+	})
+	srv := NewServer("fast", NewNode(machine, nil, nil), sim.RealClock{})
+	srv.Register("toy", liveWork)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return liveHandle{srv: srv, addr: addr}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+
+	"spectra/internal/coda"
+	"spectra/internal/energy"
+	"spectra/internal/monitor"
+	"spectra/internal/predict"
+	"spectra/internal/sim"
+	"spectra/internal/solver"
+)
+
+// LiveOptions describes a live (TCP) Spectra client deployment.
+type LiveOptions struct {
+	// Host models the client machine; nil selects a generic laptop-class
+	// model. Live compute is paced by this model's clock rate.
+	Host *sim.Machine
+	// Servers maps server names to spectrad TCP addresses.
+	Servers map[string]string
+	// UsageLogDir enables persistent usage logs when non-empty.
+	UsageLogDir string
+	// Models, Solver, Exhaustive pass through to the client Config.
+	Models     ModelOptions
+	Solver     solver.Options
+	Exhaustive bool
+}
+
+// LiveSetup is an assembled live deployment: the host node, the TCP
+// runtime, the monitor framework, and the Spectra client.
+type LiveSetup struct {
+	Client     *Client
+	Host       *Node
+	Runtime    *NetRuntime
+	Network    *monitor.NetworkMonitor
+	Remote     *monitor.RemoteProxyMonitor
+	Adaptor    *energy.GoalAdaptor
+	Meter      energy.Meter
+	FileServer *coda.FileServer
+}
+
+// NewLiveSetup assembles a live Spectra client talking to spectrad daemons.
+func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) {
+	host := opts.Host
+	if host == nil {
+		host = sim.NewMachine(sim.MachineConfig{
+			Name:        "client",
+			SpeedMHz:    1000,
+			Power:       sim.PowerModel{IdleW: 5, BusyW: 20, NetW: 8},
+			OnWallPower: true,
+			Battery:     sim.NewBattery(200_000),
+		})
+	}
+	battery := host.Battery()
+	if battery == nil {
+		battery = sim.NewBattery(1e9)
+	}
+	fileServer := coda.NewFileServer()
+	hostCoda := coda.NewClient(host.Name(), fileServer, 0)
+	node := NewNode(host, hostCoda, nil)
+
+	network := monitor.NewNetworkMonitor()
+	remote := monitor.NewRemoteProxyMonitor()
+	runtime := NewNetRuntime(node, network)
+
+	meter := energy.NewExactMeter(battery)
+	adaptor := energy.NewGoalAdaptor(sim.RealClock{}, meter)
+
+	monitors := monitor.NewSet(
+		monitor.NewCPUMonitor(host),
+		network,
+		monitor.NewBatteryMonitor(meter, adaptor, runtime.HostAccount(), host),
+		monitor.NewFileCacheMonitor(hostCoda, node.FetchRateBps),
+		remote,
+	)
+
+	var usageLog *predict.UsageLog
+	if opts.UsageLogDir != "" {
+		var err error
+		usageLog, err = predict.NewUsageLog(opts.UsageLogDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var names []string
+	for name, addr := range opts.Servers {
+		if addr == "" {
+			return nil, fmt.Errorf("core: server %q has no address", name)
+		}
+		runtime.AddServer(name, addr)
+		names = append(names, name)
+	}
+
+	client, err := NewClient(Config{
+		Runtime:     runtime,
+		Monitors:    monitors,
+		Network:     network,
+		Consistency: hostCoda,
+		Servers:     names,
+		UsageLog:    usageLog,
+		Models:      opts.Models,
+		Solver:      opts.Solver,
+		Exhaustive:  opts.Exhaustive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LiveSetup{
+		Client:     client,
+		Host:       node,
+		Runtime:    runtime,
+		Network:    network,
+		Remote:     remote,
+		Adaptor:    adaptor,
+		Meter:      meter,
+		FileServer: fileServer,
+	}, nil
+}

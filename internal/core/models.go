@@ -1,0 +1,306 @@
+package core
+
+import (
+	"sync"
+
+	"spectra/internal/predict"
+)
+
+// Resource names used in demand models and usage logs.
+const (
+	resCPULocal  = "cpu.local"
+	resCPURemote = "cpu.remote"
+	resNetBytes  = "net.bytes"
+	resNetRPCs   = "net.rpcs"
+	resEnergy    = "energy"
+	resFiles     = "files"
+)
+
+// Energy-model feature names: the phase durations measured energy is
+// regressed on.
+const (
+	featLocalSeconds = "localSeconds"
+	featNetSeconds   = "netSeconds"
+	featIdleSeconds  = "idleSeconds"
+)
+
+// accessThreshold is the minimum predicted likelihood at which a file is
+// considered "may be accessed" for consistency enforcement.
+const accessThreshold = 1e-3
+
+// CustomPredictors lets an application replace the default numeric demand
+// predictors with its own implementations (paper §3.4: "Spectra also
+// provides an interface through which application-specific predictors may
+// be specified"). Nil fields keep the default predictor for that resource.
+type CustomPredictors struct {
+	// CPULocal predicts client megacycles per execution.
+	CPULocal predict.Numeric
+	// CPURemote predicts server megacycles per execution.
+	CPURemote predict.Numeric
+	// NetBytes predicts client-server bytes moved per execution.
+	NetBytes predict.Numeric
+	// NetRPCs predicts the number of RPC exchanges per execution.
+	NetRPCs predict.Numeric
+}
+
+// ModelOptions tunes the self-tuning demand models; the zero value selects
+// the paper's defaults. The Disable* switches exist for the ablation
+// benchmarks.
+type ModelOptions struct {
+	// Decay overrides the recency decay (0 selects predict.DefaultDecay,
+	// 1 disables recency weighting).
+	Decay float64
+	// DisableParams drops input-parameter regression.
+	DisableParams bool
+	// DisableDataModels drops per-data-object models.
+	DisableDataModels bool
+	// DisableFilePrediction makes the file predictor claim every known
+	// file may be accessed (likelihood 1), removing selective
+	// reintegration and cache-miss estimation.
+	DisableFilePrediction bool
+}
+
+// opModels bundles every demand model for one operation: the four numeric
+// resources, the energy phase model, and the file access predictors
+// (generic plus per-data-object).
+type opModels struct {
+	mu sync.Mutex
+
+	opts ModelOptions
+
+	cpuLocal  predict.Numeric
+	cpuRemote predict.Numeric
+	netBytes  predict.Numeric
+	netRPCs   predict.Numeric
+	energy    *predict.LinearModel
+
+	files       *fileModel
+	filesByData map[string]*fileModel
+}
+
+// fileModel is the file-access predictor for one operation: like the
+// numeric predictor it is binned by the discrete variables (plan and
+// fidelity), with a generic fallback for combinations not yet seen. Binning
+// matters: the full-vocabulary language model is accessed only by
+// full-fidelity recognitions, so a flushed copy must not penalize
+// reduced-fidelity alternatives (paper §4.1's file-cache scenario).
+type fileModel struct {
+	mu sync.Mutex
+
+	decay   float64
+	generic *predict.FilePredictor
+	byKey   map[string]*predict.FilePredictor
+}
+
+func newFileModel(decay float64) *fileModel {
+	return &fileModel{
+		decay:   decay,
+		generic: predict.NewFilePredictorDecay(decay),
+		byKey:   make(map[string]*predict.FilePredictor),
+	}
+}
+
+// observe updates the bin for the execution's discrete key and the generic
+// model.
+func (f *fileModel) observe(key string, files []predict.FileAccess) {
+	f.mu.Lock()
+	bin, ok := f.byKey[key]
+	if !ok {
+		bin = predict.NewFilePredictorDecay(f.decay)
+		f.byKey[key] = bin
+	}
+	f.mu.Unlock()
+	bin.ObserveOp(files)
+	f.generic.ObserveOp(files)
+}
+
+// candidates returns likely-accessed files for the discrete key, falling
+// back to the generic model for keys never executed.
+func (f *fileModel) candidates(key string, threshold float64) []predict.FileLikelihood {
+	f.mu.Lock()
+	bin := f.byKey[key]
+	f.mu.Unlock()
+	if bin != nil {
+		return bin.Candidates(threshold)
+	}
+	return f.generic.Candidates(threshold)
+}
+
+func newOpModels(params []string, opts ModelOptions, custom *CustomPredictors) *opModels {
+	numeric := func(override predict.Numeric) predict.Numeric {
+		if override != nil {
+			return override
+		}
+		size := 0 // default
+		if opts.DisableDataModels {
+			size = -1
+		}
+		return predict.NewDefaultNumeric(predict.Options{
+			Features:      params,
+			Decay:         opts.Decay,
+			DataCacheSize: size,
+			DisableParams: opts.DisableParams,
+		})
+	}
+	if custom == nil {
+		custom = &CustomPredictors{}
+	}
+	decay := opts.Decay
+	if decay == 0 {
+		decay = predict.DefaultDecay
+	}
+	return &opModels{
+		opts:      opts,
+		cpuLocal:  numeric(custom.CPULocal),
+		cpuRemote: numeric(custom.CPURemote),
+		netBytes:  numeric(custom.NetBytes),
+		netRPCs:   numeric(custom.NetRPCs),
+		energy: predict.NewLinearModelDecay(
+			[]string{featLocalSeconds, featNetSeconds, featIdleSeconds}, decay),
+		files:       newFileModel(decay),
+		filesByData: make(map[string]*fileModel),
+	}
+}
+
+// observe folds one completed execution into every model and returns the
+// records to persist. energyValid gates the energy observation.
+func (m *opModels) observe(rec predict.Record, phases phaseUsage, usage observedUsage) []predict.Record {
+	var out []predict.Record
+
+	numeric := func(name string, model predict.Numeric, value float64) {
+		model.Observe(predict.Observation{
+			Params:   rec.Params,
+			Discrete: rec.Discrete,
+			Data:     rec.Data,
+			Value:    value,
+		})
+		r := rec
+		r.Resource = name
+		r.Value = value
+		r.Files = nil
+		out = append(out, r)
+	}
+	numeric(resCPULocal, m.cpuLocal, usage.localMegacycles)
+	numeric(resCPURemote, m.cpuRemote, usage.remoteMegacycles)
+	numeric(resNetBytes, m.netBytes, usage.netBytes)
+	numeric(resNetRPCs, m.netRPCs, usage.rpcs)
+
+	if usage.energyValid {
+		feats := phases.features()
+		m.energy.Observe(feats, usage.energyJoules)
+		r := rec
+		r.Resource = resEnergy
+		r.Params = feats
+		r.Value = usage.energyJoules
+		r.Files = nil
+		out = append(out, r)
+	}
+
+	m.observeFiles(predict.DiscreteKey(rec.Discrete), rec.Data, usage.files)
+	r := rec
+	r.Resource = resFiles
+	r.Value = 0
+	r.Files = usage.files
+	out = append(out, r)
+
+	return out
+}
+
+func (m *opModels) observeFiles(key, data string, files []predict.FileAccess) {
+	m.files.observe(key, files)
+	if data == "" || m.opts.DisableDataModels {
+		return
+	}
+	m.mu.Lock()
+	fm, ok := m.filesByData[data]
+	if !ok {
+		fm = newFileModel(m.opts.Decay)
+		m.filesByData[data] = fm
+	}
+	m.mu.Unlock()
+	fm.observe(key, files)
+}
+
+// replay rebuilds model state from a persisted record.
+func (m *opModels) replay(rec predict.Record) {
+	obs := predict.Observation{
+		Params:   rec.Params,
+		Discrete: rec.Discrete,
+		Data:     rec.Data,
+		Value:    rec.Value,
+	}
+	switch rec.Resource {
+	case resCPULocal:
+		m.cpuLocal.Observe(obs)
+	case resCPURemote:
+		m.cpuRemote.Observe(obs)
+	case resNetBytes:
+		m.netBytes.Observe(obs)
+	case resNetRPCs:
+		m.netRPCs.Observe(obs)
+	case resEnergy:
+		m.energy.Observe(rec.Params, rec.Value)
+	case resFiles:
+		m.observeFiles(predict.DiscreteKey(rec.Discrete), rec.Data, rec.Files)
+	}
+}
+
+// filePredictor selects the data-specific file model when one exists,
+// otherwise the generic model.
+func (m *opModels) filePredictor(data string) *fileModel {
+	if data != "" && !m.opts.DisableDataModels {
+		m.mu.Lock()
+		fm, ok := m.filesByData[data]
+		m.mu.Unlock()
+		if ok {
+			return fm
+		}
+	}
+	return m.files
+}
+
+// fileCandidates lists files an execution with the given discrete key may
+// access (likelihood above threshold). With file prediction disabled,
+// every known file is a candidate at likelihood 1.
+func (m *opModels) fileCandidates(key, data string) []predict.FileLikelihood {
+	if m.opts.DisableFilePrediction {
+		// Ablation: no selective prediction at all — every file the
+		// operation has ever touched, in any bin or data context, counts
+		// as certain to be accessed.
+		cands := m.files.generic.Candidates(accessThreshold)
+		for i := range cands {
+			cands[i].Likelihood = 1
+		}
+		return cands
+	}
+	return m.filePredictor(data).candidates(key, accessThreshold)
+}
+
+// observedUsage is the per-execution measurement fed to observe.
+type observedUsage struct {
+	localMegacycles  float64
+	remoteMegacycles float64
+	netBytes         float64
+	rpcs             float64
+	energyJoules     float64
+	energyValid      bool
+	files            []predict.FileAccess
+}
+
+// phaseUsage tracks how the operation's wall-clock time divided into
+// client-compute, network, and idle-wait phases; measured energy is
+// regressed on these durations so energy predictions track both platform
+// power characteristics and changing conditions.
+type phaseUsage struct {
+	localSeconds float64
+	netSeconds   float64
+	idleSeconds  float64
+}
+
+func (p phaseUsage) features() map[string]float64 {
+	return map[string]float64{
+		featLocalSeconds: p.localSeconds,
+		featNetSeconds:   p.netSeconds,
+		featIdleSeconds:  p.idleSeconds,
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"spectra/internal/predict"
+)
+
+func TestOpModelsObserveAndPredict(t *testing.T) {
+	m := newOpModels([]string{"len"}, ModelOptions{Decay: 1}, nil)
+	rec := predict.Record{
+		Params:   map[string]float64{"len": 2},
+		Discrete: map[string]string{"plan": "local"},
+	}
+	records := m.observe(rec, phaseUsage{localSeconds: 2}, observedUsage{
+		localMegacycles:  200,
+		remoteMegacycles: 0,
+		netBytes:         100,
+		rpcs:             1,
+		energyJoules:     20,
+		energyValid:      true,
+		files:            []predict.FileAccess{{Path: "/f", SizeBytes: 10}},
+	})
+	// One record per numeric resource, plus energy, plus files.
+	if len(records) != 6 {
+		t.Fatalf("records = %d, want 6", len(records))
+	}
+	q := predict.Query{
+		Params:   map[string]float64{"len": 2},
+		Discrete: map[string]string{"plan": "local"},
+	}
+	if got, ok := m.cpuLocal.Predict(q); !ok || math.Abs(got-200) > 1e-6 {
+		t.Fatalf("cpuLocal = (%v,%v)", got, ok)
+	}
+	if got, ok := m.netBytes.Predict(q); !ok || math.Abs(got-100) > 1e-6 {
+		t.Fatalf("netBytes = (%v,%v)", got, ok)
+	}
+	if got, ok := m.energy.Predict(phaseUsage{localSeconds: 2}.features()); !ok || math.Abs(got-20) > 1e-6 {
+		t.Fatalf("energy = (%v,%v)", got, ok)
+	}
+	cands := m.fileCandidates("plan=local", "")
+	if len(cands) != 1 || cands[0].Path != "/f" {
+		t.Fatalf("file candidates = %+v", cands)
+	}
+}
+
+func TestOpModelsSkipsInvalidEnergy(t *testing.T) {
+	m := newOpModels(nil, ModelOptions{Decay: 1}, nil)
+	records := m.observe(predict.Record{}, phaseUsage{}, observedUsage{
+		localMegacycles: 10,
+		energyJoules:    99,
+		energyValid:     false,
+	})
+	for _, r := range records {
+		if r.Resource == resEnergy {
+			t.Fatal("invalid energy was recorded")
+		}
+	}
+	if _, ok := m.energy.Predict(nil); ok {
+		t.Fatal("energy model absorbed an invalid sample")
+	}
+}
+
+func TestOpModelsReplayRoundTrip(t *testing.T) {
+	// Observations run through observe() then replayed into a fresh model
+	// must produce identical predictions.
+	first := newOpModels([]string{"len"}, ModelOptions{Decay: 1}, nil)
+	var log []predict.Record
+	for i := 1; i <= 5; i++ {
+		rec := predict.Record{
+			Params:   map[string]float64{"len": float64(i)},
+			Discrete: map[string]string{"plan": "remote"},
+		}
+		log = append(log, first.observe(rec, phaseUsage{idleSeconds: float64(i)}, observedUsage{
+			remoteMegacycles: float64(100 * i),
+			netBytes:         float64(10 * i),
+			rpcs:             1,
+			energyJoules:     float64(i),
+			energyValid:      true,
+			files:            []predict.FileAccess{{Path: "/f", SizeBytes: 10, Remote: true}},
+		})...)
+	}
+
+	second := newOpModels([]string{"len"}, ModelOptions{Decay: 1}, nil)
+	for _, rec := range log {
+		second.replay(rec)
+	}
+	q := predict.Query{
+		Params:   map[string]float64{"len": 3},
+		Discrete: map[string]string{"plan": "remote"},
+	}
+	a, okA := first.cpuRemote.Predict(q)
+	b, okB := second.cpuRemote.Predict(q)
+	if !okA || !okB || math.Abs(a-b) > 1e-9 {
+		t.Fatalf("replayed cpuRemote %v vs %v", a, b)
+	}
+	ca := first.fileCandidates("plan=remote", "")
+	cb := second.fileCandidates("plan=remote", "")
+	if len(ca) != len(cb) || ca[0].Likelihood != cb[0].Likelihood || !cb[0].Remote {
+		t.Fatalf("replayed file candidates %+v vs %+v", ca, cb)
+	}
+}
+
+func TestFileModelBinsByDiscreteKey(t *testing.T) {
+	fm := newFileModel(1)
+	fm.observe("plan=local;vocab=full", []predict.FileAccess{{Path: "/lm-full", SizeBytes: 100}})
+	fm.observe("plan=local;vocab=reduced", []predict.FileAccess{{Path: "/lm-small", SizeBytes: 10}})
+
+	full := fm.candidates("plan=local;vocab=full", accessThreshold)
+	if len(full) != 1 || full[0].Path != "/lm-full" {
+		t.Fatalf("full bin = %+v", full)
+	}
+	small := fm.candidates("plan=local;vocab=reduced", accessThreshold)
+	if len(small) != 1 || small[0].Path != "/lm-small" {
+		t.Fatalf("reduced bin = %+v", small)
+	}
+	// Unseen bin: the generic model knows both files.
+	generic := fm.candidates("plan=hybrid;vocab=full", accessThreshold)
+	if len(generic) != 2 {
+		t.Fatalf("generic fallback = %+v", generic)
+	}
+}
+
+func TestOpModelsDataSpecificFiles(t *testing.T) {
+	m := newOpModels(nil, ModelOptions{Decay: 1}, nil)
+	m.observe(predict.Record{Data: "small", Discrete: map[string]string{"plan": "remote"}},
+		phaseUsage{}, observedUsage{files: []predict.FileAccess{{Path: "/small.tex", SizeBytes: 1}}})
+	m.observe(predict.Record{Data: "large", Discrete: map[string]string{"plan": "remote"}},
+		phaseUsage{}, observedUsage{files: []predict.FileAccess{{Path: "/large.tex", SizeBytes: 1}}})
+
+	small := m.fileCandidates("plan=remote", "small")
+	if len(small) != 1 || small[0].Path != "/small.tex" {
+		t.Fatalf("small data candidates = %+v", small)
+	}
+	// Unknown data object: generic model sees both.
+	unknown := m.fileCandidates("plan=remote", "new")
+	if len(unknown) != 2 {
+		t.Fatalf("unknown data candidates = %+v", unknown)
+	}
+}
+
+func TestOpModelsAblationSwitches(t *testing.T) {
+	m := newOpModels([]string{"len"}, ModelOptions{
+		Decay:                 1,
+		DisableDataModels:     true,
+		DisableFilePrediction: true,
+	}, nil)
+	m.observe(predict.Record{Data: "doc"}, phaseUsage{}, observedUsage{
+		files: []predict.FileAccess{{Path: "/f", SizeBytes: 10}},
+	})
+	m.observe(predict.Record{Data: "doc"}, phaseUsage{}, observedUsage{files: nil})
+
+	// With file prediction disabled every known file has likelihood 1
+	// even after a miss decayed it.
+	cands := m.fileCandidates("", "doc")
+	if len(cands) != 1 || cands[0].Likelihood != 1 {
+		t.Fatalf("disabled-prediction candidates = %+v", cands)
+	}
+	// Data models disabled: no per-data predictors were created.
+	m.mu.Lock()
+	n := len(m.filesByData)
+	m.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("data models created despite DisableDataModels: %d", n)
+	}
+}
+
+func TestPhaseFeatures(t *testing.T) {
+	p := phaseUsage{localSeconds: 1, netSeconds: 2, idleSeconds: 3}
+	f := p.features()
+	if f[featLocalSeconds] != 1 || f[featNetSeconds] != 2 || f[featIdleSeconds] != 3 {
+		t.Fatalf("features = %v", f)
+	}
+}

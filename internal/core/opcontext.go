@@ -1,0 +1,158 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spectra/internal/monitor"
+	"spectra/internal/predict"
+)
+
+// OpContext is one in-flight operation execution: the handle an
+// application uses between begin_fidelity_op and end_fidelity_op.
+type OpContext struct {
+	client *Client
+	op     *Operation
+	id     uint64
+
+	decision Decision
+	params   map[string]float64
+	data     string
+
+	simStart  time.Time
+	wallStart time.Time
+	phases    phaseUsage
+	started   bool
+	ended     bool
+}
+
+// Decision returns how Spectra chose to execute the operation; the
+// application reads the plan, server, and fidelity from it.
+func (x *OpContext) Decision() Decision { return x.decision }
+
+// ID returns the operation instance identifier.
+func (x *OpContext) ID() uint64 { return x.id }
+
+// Fidelity returns the chosen fidelity assignment.
+func (x *OpContext) Fidelity() map[string]string { return x.decision.Alternative.Fidelity }
+
+// Plan returns the chosen execution plan name.
+func (x *OpContext) Plan() string { return x.decision.Alternative.Plan }
+
+// Server returns the chosen server ("" for purely local execution).
+func (x *OpContext) Server() string { return x.decision.Alternative.Server }
+
+// errEnded guards against use after End.
+var errEnded = errors.New("core: operation already ended")
+
+// DoLocalOp makes an RPC to the local Spectra server (paper §3.1).
+func (x *OpContext) DoLocalOp(optype string, payload []byte) ([]byte, error) {
+	if x.ended {
+		return nil, errEnded
+	}
+	out, rep, err := x.client.runtime.LocalCall(x.op.spec.Service, optype, payload)
+	x.account(rep)
+	if err != nil {
+		return nil, fmt.Errorf("core: do_local_op %q: %w", optype, err)
+	}
+	return out, nil
+}
+
+// DoRemoteOp makes an RPC to the chosen remote Spectra server.
+func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
+	if x.ended {
+		return nil, errEnded
+	}
+	server := x.decision.Alternative.Server
+	if server == "" {
+		return nil, errors.New("core: do_remote_op on a local execution plan")
+	}
+	out, rep, err := x.client.runtime.RemoteCall(server, x.op.spec.Service, optype, payload)
+	x.account(rep)
+	if err != nil {
+		return nil, fmt.Errorf("core: do_remote_op %q on %q: %w", optype, server, err)
+	}
+	return out, nil
+}
+
+// account routes a call report into the monitor framework and the phase
+// tracker.
+func (x *OpContext) account(rep callReport) {
+	x.phases.localSeconds += rep.phases.localSeconds
+	x.phases.netSeconds += rep.phases.netSeconds
+	x.phases.idleSeconds += rep.phases.idleSeconds
+	x.client.monitors.AddUsage(x.id, monitor.Usage{
+		RemoteMegacycles: rep.remoteMegacycles,
+		BytesSent:        rep.bytesSent,
+		BytesReceived:    rep.bytesReceived,
+		RPCs:             rep.rpcs,
+		Files:            rep.files,
+	})
+}
+
+// Report summarizes a completed operation.
+type Report struct {
+	// Usage is the merged measurement from all monitors.
+	Usage monitor.Usage
+	// Elapsed is the operation's duration in runtime time (virtual time in
+	// the simulation), including consistency enforcement.
+	Elapsed time.Duration
+	// Decision echoes how the operation was placed.
+	Decision Decision
+}
+
+// End signals operation completion (end_fidelity_op): measurement stops,
+// the demand models absorb the observation, and the usage log persists it.
+func (x *OpContext) End() (Report, error) {
+	if x.ended {
+		return Report{}, errEnded
+	}
+	x.ended = true
+	if !x.started {
+		return Report{}, errors.New("core: operation never started")
+	}
+
+	usage := x.client.monitors.StopOp(x.id)
+	usage.Elapsed = x.client.runtime.Now().Sub(x.simStart)
+
+	obs := observedUsage{
+		localMegacycles:  usage.LocalMegacycles,
+		remoteMegacycles: usage.RemoteMegacycles,
+		netBytes:         float64(usage.BytesSent + usage.BytesReceived),
+		rpcs:             float64(usage.RPCs),
+		energyJoules:     usage.EnergyJoules,
+		energyValid:      usage.EnergyValid,
+		files:            usage.Files,
+	}
+	features, discrete := x.op.modelQuery(x.decision.Alternative, x.params)
+	rec := predict.Record{
+		Params:   features,
+		Discrete: discrete,
+		Data:     x.data,
+	}
+	records := x.op.models.observe(rec, x.phases, obs)
+	for _, r := range records {
+		if err := x.client.usageLog.Append(x.op.Name(), r); err != nil {
+			return Report{}, fmt.Errorf("core: persist usage: %w", err)
+		}
+	}
+
+	return Report{
+		Usage:    usage,
+		Elapsed:  usage.Elapsed,
+		Decision: x.decision,
+	}, nil
+}
+
+// Abort ends observation without feeding the models, for callers that hit
+// execution errors mid-operation.
+func (x *OpContext) Abort() {
+	if x.ended {
+		return
+	}
+	x.ended = true
+	if x.started {
+		x.client.monitors.StopOp(x.id)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"spectra/internal/solver"
+	"spectra/internal/utility"
+)
+
+// FilePlacement says on which machine an execution plan's file accesses
+// happen, which determines whose cache state matters and whether data
+// consistency must be enforced before execution.
+type FilePlacement int
+
+// File placements.
+const (
+	// FilesLocal means the plan reads files on the client.
+	FilesLocal FilePlacement = iota + 1
+	// FilesRemote means the plan reads files on the chosen server, so
+	// dirty client data it may read must be reintegrated first.
+	FilesRemote
+)
+
+// PlanSpec describes one execution plan: a method of partitioning the
+// operation between local and remote machines.
+type PlanSpec struct {
+	// Name identifies the plan (e.g. "local", "hybrid", "remote").
+	Name string
+	// UsesServer is true when the plan executes anything remotely; such
+	// plans are instantiated once per candidate server.
+	UsesServer bool
+	// Files is an advisory hint about where the plan's file accesses
+	// happen. Spectra learns actual per-file access locations from
+	// observation; the hint documents the application's intent.
+	Files FilePlacement
+}
+
+// FidelityDimension is one discrete fidelity knob.
+type FidelityDimension struct {
+	Name   string
+	Values []string
+}
+
+// OperationSpec statically describes an operation an application registers
+// with Spectra (the register_fidelity call, paper §3.1).
+type OperationSpec struct {
+	// Name identifies the operation, e.g. "janus.recognize".
+	Name string
+	// Service is the Spectra service that executes the operation's remote
+	// components.
+	Service string
+	// Plans are the possible execution plans. At least one is required.
+	Plans []PlanSpec
+	// Fidelities are the discrete fidelity dimensions. May be empty.
+	Fidelities []FidelityDimension
+	// ContinuousFidelities are continuous fidelity dimensions, modeled by
+	// regression rather than binning. May be empty.
+	ContinuousFidelities []ContinuousFidelity
+	// Params names the operation's input parameters: continuous variables
+	// that significantly affect operation complexity.
+	Params []string
+	// LatencyUtility expresses the desirability of execution times; nil
+	// selects 1/T.
+	LatencyUtility utility.LatencyDesirability
+	// FidelityUtility returns the desirability of a fidelity assignment;
+	// nil values every fidelity at 1.
+	FidelityUtility func(fidelity map[string]string) float64
+	// Valid optionally prunes meaningless (plan, fidelity) combinations.
+	Valid func(plan string, fidelity map[string]string) bool
+	// Predictors optionally replaces the default numeric demand
+	// predictors with application-specific ones.
+	Predictors *CustomPredictors
+	// Utility optionally replaces the default utility function entirely
+	// (paper §3.6: "applications may override the default with an
+	// application-specific implementation"). When set, LatencyUtility and
+	// FidelityUtility only affect the prediction fields, not the score.
+	Utility utility.Function
+	// UsesData is true when operations name a data object (e.g. the Latex
+	// input document), enabling data-specific demand models.
+	UsesData bool
+}
+
+func (s *OperationSpec) validate() error {
+	if s.Name == "" {
+		return errors.New("core: operation needs a name")
+	}
+	if len(s.Plans) == 0 {
+		return fmt.Errorf("core: operation %q needs at least one plan", s.Name)
+	}
+	seen := make(map[string]bool, len(s.Plans))
+	for _, p := range s.Plans {
+		if p.Name == "" {
+			return fmt.Errorf("core: operation %q has an unnamed plan", s.Name)
+		}
+		if seen[p.Name] {
+			return fmt.Errorf("core: operation %q has duplicate plan %q", s.Name, p.Name)
+		}
+		seen[p.Name] = true
+	}
+	for _, f := range s.Fidelities {
+		if f.Name == "" || len(f.Values) == 0 {
+			return fmt.Errorf("core: operation %q has a malformed fidelity dimension", s.Name)
+		}
+	}
+	for _, c := range s.ContinuousFidelities {
+		if c.Name == "" {
+			return fmt.Errorf("core: operation %q has an unnamed continuous fidelity", s.Name)
+		}
+	}
+	return nil
+}
+
+// allFidelityDimensions renders discrete and (discretized) continuous
+// dimensions uniformly for enumeration.
+func (s *OperationSpec) allFidelityDimensions() []FidelityDimension {
+	dims := append([]FidelityDimension(nil), s.Fidelities...)
+	for _, c := range s.ContinuousFidelities {
+		dims = append(dims, FidelityDimension{Name: c.Name, Values: c.values()})
+	}
+	return dims
+}
+
+// fidelityCombos enumerates the cartesian product of fidelity dimensions.
+// With no dimensions it yields a single empty assignment.
+func fidelityCombos(dims []FidelityDimension) []map[string]string {
+	combos := []map[string]string{{}}
+	for _, dim := range dims {
+		next := make([]map[string]string, 0, len(combos)*len(dim.Values))
+		for _, base := range combos {
+			for _, v := range dim.Values {
+				m := make(map[string]string, len(base)+1)
+				for k, bv := range base {
+					m[k] = bv
+				}
+				m[dim.Name] = v
+				next = append(next, m)
+			}
+		}
+		combos = next
+	}
+	return combos
+}
+
+// Operation is a registered operation.
+type Operation struct {
+	client *Client
+	spec   OperationSpec
+	models *opModels
+
+	fidelityCombos []map[string]string
+	// registerDuration is the wall-clock cost of register_fidelity,
+	// reported in the Figure-10 overhead table.
+	registerDuration time.Duration
+}
+
+// RegisterDuration returns the wall-clock cost of registering the
+// operation.
+func (o *Operation) RegisterDuration() time.Duration { return o.registerDuration }
+
+// Spec returns the operation's registration.
+func (o *Operation) Spec() OperationSpec { return o.spec }
+
+// Name returns the operation name.
+func (o *Operation) Name() string { return o.spec.Name }
+
+// alternatives enumerates the decision space given the usable servers.
+// Plans that use a server appear once per server; purely local plans once.
+func (o *Operation) alternatives(servers []string) []solver.Alternative {
+	var out []solver.Alternative
+	for _, plan := range o.spec.Plans {
+		targets := []string{""}
+		if plan.UsesServer {
+			if len(servers) == 0 {
+				continue
+			}
+			targets = servers
+		}
+		for _, server := range targets {
+			for _, fid := range o.fidelityCombos {
+				if o.spec.Valid != nil && !o.spec.Valid(plan.Name, fid) {
+					continue
+				}
+				out = append(out, solver.Alternative{
+					Server:   server,
+					Plan:     plan.Name,
+					Fidelity: fid,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// planSpec finds a plan by name.
+func (o *Operation) planSpec(name string) (PlanSpec, bool) {
+	for _, p := range o.spec.Plans {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PlanSpec{}, false
+}
+
+// fidelityValue returns the desirability of a fidelity assignment.
+func (o *Operation) fidelityValue(fid map[string]string) float64 {
+	if o.spec.FidelityUtility == nil {
+		return 1
+	}
+	return o.spec.FidelityUtility(fid)
+}

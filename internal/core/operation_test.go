@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"spectra/internal/utility"
+)
+
+func TestFidelityCombos(t *testing.T) {
+	tests := []struct {
+		name string
+		dims []FidelityDimension
+		want int
+	}{
+		{name: "none", dims: nil, want: 1},
+		{name: "one", dims: []FidelityDimension{{Name: "v", Values: []string{"a", "b"}}}, want: 2},
+		{
+			name: "cartesian",
+			dims: []FidelityDimension{
+				{Name: "x", Values: []string{"1", "2"}},
+				{Name: "y", Values: []string{"1", "2", "3"}},
+			},
+			want: 6,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			combos := fidelityCombos(tt.dims)
+			if len(combos) != tt.want {
+				t.Fatalf("combos = %d, want %d", len(combos), tt.want)
+			}
+			seen := make(map[string]bool, len(combos))
+			for _, c := range combos {
+				key := ""
+				for _, d := range tt.dims {
+					key += c[d.Name] + "|"
+				}
+				if seen[key] {
+					t.Fatalf("duplicate combo %v", c)
+				}
+				seen[key] = true
+			}
+		})
+	}
+}
+
+func TestSpecValidationTable(t *testing.T) {
+	valid := OperationSpec{
+		Name:    "op",
+		Service: "svc",
+		Plans:   []PlanSpec{{Name: "local"}},
+	}
+	tests := []struct {
+		name    string
+		mutate  func(*OperationSpec)
+		wantErr bool
+	}{
+		{name: "valid", mutate: func(*OperationSpec) {}},
+		{name: "no name", mutate: func(s *OperationSpec) { s.Name = "" }, wantErr: true},
+		{name: "no plans", mutate: func(s *OperationSpec) { s.Plans = nil }, wantErr: true},
+		{
+			name:    "unnamed plan",
+			mutate:  func(s *OperationSpec) { s.Plans = []PlanSpec{{}} },
+			wantErr: true,
+		},
+		{
+			name: "duplicate plan",
+			mutate: func(s *OperationSpec) {
+				s.Plans = []PlanSpec{{Name: "p"}, {Name: "p"}}
+			},
+			wantErr: true,
+		},
+		{
+			name: "empty fidelity dim",
+			mutate: func(s *OperationSpec) {
+				s.Fidelities = []FidelityDimension{{Name: "v"}}
+			},
+			wantErr: true,
+		},
+		{
+			name: "unnamed fidelity dim",
+			mutate: func(s *OperationSpec) {
+				s.Fidelities = []FidelityDimension{{Values: []string{"a"}}}
+			},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			spec := valid
+			tt.mutate(&spec)
+			err := spec.validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestAlternativeEnumeration(t *testing.T) {
+	op := &Operation{
+		spec: OperationSpec{
+			Name: "op",
+			Plans: []PlanSpec{
+				{Name: "local"},
+				{Name: "remote", UsesServer: true},
+			},
+			Fidelities: []FidelityDimension{
+				{Name: "q", Values: []string{"hi", "lo"}},
+			},
+		},
+	}
+	op.fidelityCombos = fidelityCombos(op.spec.Fidelities)
+
+	// Two servers: local plan x2 fidelities + remote x 2 servers x 2.
+	alts := op.alternatives([]string{"a", "b"})
+	if len(alts) != 6 {
+		t.Fatalf("alternatives = %d, want 6", len(alts))
+	}
+	// No servers: remote plans disappear.
+	alts = op.alternatives(nil)
+	if len(alts) != 2 {
+		t.Fatalf("alternatives without servers = %d, want 2", len(alts))
+	}
+	for _, a := range alts {
+		if a.Plan != "local" {
+			t.Fatalf("server plan leaked: %+v", a)
+		}
+	}
+}
+
+func TestAlternativeEnumerationValidityFilter(t *testing.T) {
+	op := &Operation{
+		spec: OperationSpec{
+			Name:  "op",
+			Plans: []PlanSpec{{Name: "local"}},
+			Fidelities: []FidelityDimension{
+				{Name: "q", Values: []string{"hi", "lo"}},
+			},
+			Valid: func(plan string, fid map[string]string) bool {
+				return fid["q"] != "lo"
+			},
+		},
+	}
+	op.fidelityCombos = fidelityCombos(op.spec.Fidelities)
+	alts := op.alternatives(nil)
+	if len(alts) != 1 || alts[0].Fidelity["q"] != "hi" {
+		t.Fatalf("filtered alternatives = %+v", alts)
+	}
+}
+
+func TestFidelityValueDefaults(t *testing.T) {
+	op := &Operation{spec: OperationSpec{Name: "op"}}
+	if got := op.fidelityValue(nil); got != 1 {
+		t.Fatalf("default fidelity value = %v, want 1", got)
+	}
+	op.spec.FidelityUtility = func(fid map[string]string) float64 { return 0.25 }
+	if got := op.fidelityValue(nil); got != 0.25 {
+		t.Fatalf("custom fidelity value = %v", got)
+	}
+}
+
+func TestPlanSpecLookup(t *testing.T) {
+	op := &Operation{spec: OperationSpec{
+		Name:  "op",
+		Plans: []PlanSpec{{Name: "a"}, {Name: "b", UsesServer: true}},
+	}}
+	p, ok := op.planSpec("b")
+	if !ok || !p.UsesServer {
+		t.Fatalf("planSpec(b) = %+v, %v", p, ok)
+	}
+	if _, ok := op.planSpec("c"); ok {
+		t.Fatal("missing plan found")
+	}
+}
+
+func TestSpecAccessors(t *testing.T) {
+	op := &Operation{spec: OperationSpec{
+		Name:           "op",
+		Service:        "svc",
+		Plans:          []PlanSpec{{Name: "local"}},
+		LatencyUtility: utility.InverseLatency,
+	}}
+	if op.Name() != "op" || op.Spec().Service != "svc" {
+		t.Fatal("accessors wrong")
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"spectra/internal/sim"
+
+	spectrarpc "spectra/internal/rpc"
+)
+
+// ParallelCall is one branch of a parallel remote phase: the paper's
+// future-work extension (§4.3) — "the three engines could be executed in
+// parallel on different servers". Each branch may target a different
+// server.
+type ParallelCall struct {
+	// Server names the target; "" uses the operation's decided server.
+	Server  string
+	OpType  string
+	Payload []byte
+}
+
+// ParallelRuntime is implemented by runtimes that support parallel remote
+// execution. Both SimRuntime and NetRuntime do.
+type ParallelRuntime interface {
+	// ParallelRemote executes the calls concurrently and returns their
+	// outputs, per-branch usage reports (phases zeroed), and the combined
+	// phase usage of the overlapped execution.
+	ParallelRemote(service string, calls []ParallelCall) ([][]byte, []callReport, phaseUsage, error)
+}
+
+var (
+	_ ParallelRuntime = (*SimRuntime)(nil)
+	_ ParallelRuntime = (*NetRuntime)(nil)
+)
+
+// errNoParallel is returned when the runtime cannot execute in parallel.
+var errNoParallel = errors.New("core: runtime does not support parallel execution")
+
+// DoParallelOps executes several remote operations concurrently,
+// implementing the paper's proposed parallel execution plans. Outputs are
+// returned in call order. Resource usage is accounted per branch; the
+// operation's wall-clock advances by the slowest branch only.
+func (x *OpContext) DoParallelOps(calls []ParallelCall) ([][]byte, error) {
+	if x.ended {
+		return nil, errEnded
+	}
+	if len(calls) == 0 {
+		return nil, errors.New("core: DoParallelOps needs at least one call")
+	}
+	pr, ok := x.client.runtime.(ParallelRuntime)
+	if !ok {
+		return nil, errNoParallel
+	}
+	resolved := make([]ParallelCall, len(calls))
+	for i, c := range calls {
+		if c.Server == "" {
+			c.Server = x.decision.Alternative.Server
+		}
+		if c.Server == "" {
+			return nil, fmt.Errorf("core: parallel call %d has no server", i)
+		}
+		resolved[i] = c
+	}
+	outs, reports, combined, err := pr.ParallelRemote(x.op.spec.Service, resolved)
+	for _, rep := range reports {
+		x.account(rep)
+	}
+	x.phases.localSeconds += combined.localSeconds
+	x.phases.netSeconds += combined.netSeconds
+	x.phases.idleSeconds += combined.idleSeconds
+	if err != nil {
+		return nil, fmt.Errorf("core: parallel ops: %w", err)
+	}
+	return outs, nil
+}
+
+// ParallelRemote implements ParallelRuntime for the simulation: each
+// branch executes against a private clock starting at the current instant;
+// the shared clock then advances by the slowest branch. The client's radio
+// serializes the transfers (network power for their sum) and idles for the
+// remainder of the overlapped window.
+func (r *SimRuntime) ParallelRemote(service string, calls []ParallelCall) ([][]byte, []callReport, phaseUsage, error) {
+	start := r.env.Clock().Now()
+	outs := make([][]byte, len(calls))
+	reports := make([]callReport, len(calls))
+
+	var maxElapsed time.Duration
+	var transferSeconds float64
+	for i, call := range calls {
+		out, rep, elapsed, err := r.parallelBranch(start, service, call)
+		if err != nil {
+			return nil, reports, phaseUsage{}, err
+		}
+		outs[i] = out
+		transferSeconds += rep.phases.netSeconds
+		rep.phases = phaseUsage{} // combined accounting below
+		reports[i] = rep
+		if elapsed > maxElapsed {
+			maxElapsed = elapsed
+		}
+	}
+
+	r.env.Clock().Advance(maxElapsed)
+	idleSeconds := sim.Seconds(maxElapsed) - transferSeconds
+	if idleSeconds < 0 {
+		idleSeconds = 0
+	}
+	r.env.HostAccount().DrainNetwork(sim.DurationSeconds(transferSeconds))
+	r.env.HostAccount().DrainIdle(sim.DurationSeconds(idleSeconds))
+
+	combined := phaseUsage{netSeconds: transferSeconds, idleSeconds: idleSeconds}
+	return outs, reports, combined, nil
+}
+
+// parallelBranch runs one branch against a private clock and returns its
+// report (with per-branch phases still populated for transfer accounting)
+// and total elapsed duration.
+func (r *SimRuntime) parallelBranch(start time.Time, service string, call ParallelCall) ([]byte, callReport, time.Duration, error) {
+	node, link, ok := r.env.Server(call.Server)
+	if !ok {
+		return nil, callReport{}, 0, fmt.Errorf("core: unknown server %q", call.Server)
+	}
+	fn, ok := node.Service(service)
+	if !ok {
+		return nil, callReport{}, 0, fmt.Errorf("core: server %q does not offer service %q", call.Server, service)
+	}
+
+	reqBytes := int64(len(call.Payload) + msgOverheadBytes)
+	upT, err := link.TransferTime(reqBytes)
+	if err != nil {
+		r.setReachable(call.Server, false)
+		return nil, callReport{}, 0, fmt.Errorf("core: send to %q: %w", call.Server, err)
+	}
+
+	branchClock := sim.NewVirtualClock(start.Add(upT))
+	ctx := NewServiceContext(branchClock, node, nil)
+	svcStart := branchClock.Now()
+	out, err := fn(ctx, call.OpType, call.Payload)
+	svcT := branchClock.Now().Sub(svcStart)
+	usage := ctx.Usage()
+	if err != nil {
+		return nil, callReport{}, 0, fmt.Errorf("core: remote %s on %q: %w", service, call.Server, err)
+	}
+
+	respBytes := int64(len(out) + msgOverheadBytes)
+	downT, err := link.TransferTime(respBytes)
+	if err != nil {
+		r.setReachable(call.Server, false)
+		return nil, callReport{}, 0, fmt.Errorf("core: receive from %q: %w", call.Server, err)
+	}
+
+	elapsed := upT + svcT + downT
+	r.recordTraffic(call.Server, reqBytes, upT)
+	r.recordTraffic(call.Server, respBytes, downT)
+	link.RecordTransfer(reqBytes, respBytes)
+	r.setReachable(call.Server, true)
+
+	rep := callReport{
+		bytesSent:        reqBytes,
+		bytesReceived:    respBytes,
+		rpcs:             1,
+		remoteMegacycles: usage.Megacycles,
+		files:            usage.Files,
+		phases:           phaseUsage{netSeconds: sim.Seconds(upT + downT)},
+	}
+	return out, rep, elapsed, nil
+}
+
+// ParallelRemote implements ParallelRuntime for the live runtime: the RPCs
+// genuinely overlap on separate connections.
+func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([][]byte, []callReport, phaseUsage, error) {
+	start := time.Now()
+	outs := make([][]byte, len(calls))
+	reports := make([]callReport, len(calls))
+	errs := make([]error, len(calls))
+
+	var wg sync.WaitGroup
+	for i := range calls {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			call := calls[i]
+			conn, err := r.parallelConn(call.Server, i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer conn.Close()
+			out, usage, err := conn.Call(service, call.OpType, call.Payload)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: remote %s on %q: %w", service, call.Server, err)
+				return
+			}
+			outs[i] = out
+			rep := callReport{
+				bytesSent:     int64(len(call.Payload)) + msgOverheadBytes,
+				bytesReceived: int64(len(out)) + msgOverheadBytes,
+				rpcs:          1,
+			}
+			if usage != nil {
+				rep.remoteMegacycles = usage.CPUMegacycles
+			}
+			reports[i] = rep
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, reports, phaseUsage{}, err
+		}
+	}
+	combined := phaseUsage{idleSeconds: elapsed.Seconds()}
+	r.account.DrainIdle(elapsed)
+	return outs, reports, combined, nil
+}
+
+// parallelConn opens a dedicated connection for one parallel branch so
+// branches do not serialize on the shared per-server connection.
+func (r *NetRuntime) parallelConn(server string, _ int) (*spectrarpc.Client, error) {
+	r.mu.Lock()
+	addr, ok := r.addrs[server]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown server %q", server)
+	}
+	var traffic *spectrarpc.TrafficLog
+	if r.network != nil {
+		traffic = r.network.Log(server)
+	}
+	return spectrarpc.Dial(addr, traffic)
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"time"
+)
+
+// Poller periodically refreshes the client's server database, as the paper
+// describes ("Each client periodically polls servers to obtain a snapshot
+// of resource availability", §3.3.5). It is meant for live deployments;
+// simulations poll explicitly so virtual time stays deterministic.
+type Poller struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartPolling launches a background poller with the given interval.
+// Call Stop to shut it down; the goroutine exits before Stop returns.
+func StartPolling(client *Client, interval time.Duration) *Poller {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	p := &Poller{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		client.PollServers()
+		for {
+			select {
+			case <-ticker.C:
+				client.PollServers()
+			case <-p.stop:
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Stop terminates the poller and waits for its goroutine to exit.
+func (p *Poller) Stop() {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	<-p.done
+}

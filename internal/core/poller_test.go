@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spectra/internal/utility"
+
+	solverpkg "spectra/internal/solver"
+)
+
+func TestPollerRefreshesStatus(t *testing.T) {
+	addr := startLiveServer(t, "polled", 800)
+	setup := newLiveClient(t, map[string]string{"polled": addr})
+
+	poller := StartPolling(setup.Client, 20*time.Millisecond)
+	defer poller.Stop()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if st, ok := setup.Remote.LastStatus("polled"); ok && st.SpeedMHz == 800 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("poller never delivered a status")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	poller.Stop() // idempotent with the deferred Stop
+}
+
+func TestCustomUtilityOverride(t *testing.T) {
+	setup := newToySetup(t)
+	// A perverse application utility that prefers the slowest alternative.
+	op, err := setup.Client.RegisterFidelity(OperationSpec{
+		Name:    "slowlover.op",
+		Service: "toy",
+		Plans: []PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+		Utility: preferSlow{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	for i := 0; i < 3; i++ {
+		runToyOp(t, setup, op, solverpkg.Alternative{Plan: "local"})
+		runToyOp(t, setup, op, solverpkg.Alternative{Server: "big", Plan: "remote"})
+	}
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the default utility the fast remote plan wins (see
+	// TestSelfTunedDecisionPrefersFasterPlan); the override flips it.
+	if octx.Decision().Alternative.Plan != "local" {
+		t.Fatalf("custom utility ignored: %+v", octx.Decision().Alternative)
+	}
+	octx.Abort()
+}
+
+// preferSlow scores alternatives by their predicted latency.
+type preferSlow struct{}
+
+func (preferSlow) Utility(p utility.Prediction) float64 {
+	if !p.Feasible {
+		return 0
+	}
+	return p.Latency.Seconds()
+}

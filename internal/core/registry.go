@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"spectra/internal/sim"
+)
+
+// AnnounceRegistry is a service-discovery registry in the spirit of the
+// discovery protocols the paper cites (INS, SLP): servers announce
+// themselves periodically and disappear from the candidate list when their
+// announcements expire. The paper designed Spectra for dynamic discovery
+// but shipped static configuration (§3.2); both are supported here —
+// configure static servers in Config.Servers and plug an AnnounceRegistry
+// into Config.Registry for the dynamic ones.
+type AnnounceRegistry struct {
+	mu sync.Mutex
+
+	clock   sim.Clock
+	ttl     time.Duration
+	entries map[string]time.Time // server -> expiry
+}
+
+var _ Registry = (*AnnounceRegistry)(nil)
+
+// NewAnnounceRegistry returns a registry whose announcements live for ttl.
+func NewAnnounceRegistry(clock sim.Clock, ttl time.Duration) *AnnounceRegistry {
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	return &AnnounceRegistry{
+		clock:   clock,
+		ttl:     ttl,
+		entries: make(map[string]time.Time),
+	}
+}
+
+// Announce records (or refreshes) a server's presence.
+func (r *AnnounceRegistry) Announce(server string) {
+	if server == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[server] = r.clock.Now().Add(r.ttl)
+}
+
+// Withdraw removes a server immediately.
+func (r *AnnounceRegistry) Withdraw(server string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.entries, server)
+}
+
+// Discover implements Registry: every server with a live announcement, in
+// deterministic order. Expired entries are reaped.
+func (r *AnnounceRegistry) Discover() []string {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for server, expiry := range r.entries {
+		if now.After(expiry) {
+			delete(r.entries, server)
+			continue
+		}
+		out = append(out, server)
+	}
+	sort.Strings(out)
+	return out
+}

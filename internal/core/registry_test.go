@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spectra/internal/sim"
+	"spectra/internal/solver"
+)
+
+func TestAnnounceRegistryLifecycle(t *testing.T) {
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	r := NewAnnounceRegistry(clock, 10*time.Second)
+
+	if got := r.Discover(); len(got) != 0 {
+		t.Fatalf("empty registry discovered %v", got)
+	}
+	r.Announce("beta")
+	r.Announce("alpha")
+	r.Announce("") // ignored
+	if got := r.Discover(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("discover = %v, want [alpha beta]", got)
+	}
+
+	// Refreshing keeps a server alive past the original expiry.
+	clock.Advance(8 * time.Second)
+	r.Announce("alpha")
+	clock.Advance(5 * time.Second) // beta expired (13s), alpha fresh (5s)
+	if got := r.Discover(); len(got) != 1 || got[0] != "alpha" {
+		t.Fatalf("discover after expiry = %v, want [alpha]", got)
+	}
+
+	r.Withdraw("alpha")
+	if got := r.Discover(); len(got) != 0 {
+		t.Fatalf("discover after withdraw = %v", got)
+	}
+}
+
+func TestAnnounceRegistryDefaultTTL(t *testing.T) {
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	r := NewAnnounceRegistry(clock, 0)
+	r.Announce("s")
+	clock.Advance(29 * time.Second)
+	if got := r.Discover(); len(got) != 1 {
+		t.Fatalf("default ttl expired too early: %v", got)
+	}
+	clock.Advance(2 * time.Second)
+	if got := r.Discover(); len(got) != 0 {
+		t.Fatalf("default ttl never expired: %v", got)
+	}
+}
+
+// TestDiscoveryExtendsDecisionSpace wires an AnnounceRegistry into a
+// client: a dynamically announced server becomes a candidate and wins the
+// placement decision; when its announcement lapses the client falls back.
+func TestDiscoveryExtendsDecisionSpace(t *testing.T) {
+	setup := newToySetup(t)
+	registry := NewAnnounceRegistry(setup.Clock, time.Hour)
+
+	// Rebuild the client with the registry and no static servers.
+	client, err := NewClient(Config{
+		Runtime:     setup.Client.Runtime(),
+		Monitors:    setup.Client.Monitors(),
+		Network:     setup.Network,
+		Consistency: setup.Env.Host().Coda(),
+		Registry:    registry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing announced: only the local plan exists.
+	octx, err := client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Candidates != 1 {
+		t.Fatalf("candidates = %d, want 1 before discovery", octx.Decision().Candidates)
+	}
+	octx.Abort()
+
+	// The server announces itself; after a poll it joins the space.
+	registry.Announce("big")
+	client.PollServers()
+	client.Probe()
+	octx, err = client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Candidates != 2 {
+		t.Fatalf("candidates = %d, want 2 after discovery", octx.Decision().Candidates)
+	}
+	octx.Abort()
+
+	// Train so the remote plan wins, proving the discovered server is used.
+	for i := 0; i < 3; i++ {
+		for _, alt := range []solver.Alternative{
+			{Plan: "local"},
+			{Server: "big", Plan: "remote"},
+		} {
+			o, err := client.BeginForced(op, alt, nil, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if alt.Plan == "remote" {
+				if _, err := o.DoRemoteOp("run", []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if _, err := o.DoLocalOp("run", []byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := o.End(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	octx, err = client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := octx.Decision().Alternative; got.Server != "big" {
+		t.Fatalf("decision = %+v, want discovered server", got)
+	}
+	octx.Abort()
+
+	// Withdrawal shrinks the space again.
+	registry.Withdraw("big")
+	octx, err = client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Candidates != 1 {
+		t.Fatalf("candidates after withdrawal = %d, want 1", octx.Decision().Candidates)
+	}
+	octx.Abort()
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"time"
+
+	"spectra/internal/predict"
+	"spectra/internal/wire"
+)
+
+// callReport describes what one LocalCall/RemoteCall consumed, as observed
+// by the runtime. The OpContext routes it into the monitor framework.
+type callReport struct {
+	bytesSent        int64
+	bytesReceived    int64
+	rpcs             int
+	remoteMegacycles float64
+	files            []predict.FileAccess
+	phases           phaseUsage
+}
+
+// Runtime executes operation components and server housekeeping. The
+// simulation runtime models the paper's testbed; the network runtime drives
+// real Spectra servers over TCP.
+type Runtime interface {
+	// Now returns the runtime's notion of current time (virtual in the
+	// simulation), used for operation elapsed-time measurement.
+	Now() time.Time
+
+	// LocalCall executes a service on the client machine (do_local_op).
+	LocalCall(service, optype string, payload []byte) ([]byte, callReport, error)
+
+	// RemoteCall executes a service on the named server (do_remote_op).
+	RemoteCall(server, service, optype string, payload []byte) ([]byte, callReport, error)
+
+	// Reintegrate pushes the client's buffered modifications for a volume
+	// to the file servers, returning the bytes sent and the time it took.
+	Reintegrate(volume string) (int64, time.Duration, error)
+
+	// PollServer fetches a server's resource snapshot.
+	PollServer(server string) (*wire.ServerStatus, error)
+
+	// Probe generates a small and a bulk exchange with the server so the
+	// passive network monitor has fresh observations.
+	Probe(server string) error
+}
+
+// ConsistencySource exposes the Coda state Spectra consults to enforce
+// data consistency (paper §3.5). *coda.Client satisfies it once VolumeOf
+// is available through the environment wrapper.
+type ConsistencySource interface {
+	// DirtyVolumes lists volumes with buffered client modifications.
+	DirtyVolumes() []string
+	// VolumeDirtyBytes is the data a reintegration of the volume would
+	// transfer.
+	VolumeDirtyBytes(volume string) int64
+	// VolumeOf maps a file path to its volume.
+	VolumeOf(path string) (string, error)
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"spectra/internal/monitor"
+	"spectra/internal/predict"
+	"spectra/internal/sim"
+	"spectra/internal/wire"
+
+	spectrarpc "spectra/internal/rpc"
+)
+
+// probeEchoBytes sizes the bulk probe exchange against a live server.
+const probeEchoBytes = 64 * 1024
+
+// NetRuntime executes operations against real Spectra servers over TCP.
+// Local components run on the host node in-process; remote components are
+// RPCs to spectrad daemons, whose responses carry server resource usage.
+// Passive traffic observation feeds the shared network monitor exactly as
+// in the simulation. File state is per-process: as in the paper, a shared
+// distributed file system (Coda) is assumed for cross-machine consistency,
+// which the in-process substrate provides within one process.
+type NetRuntime struct {
+	mu sync.Mutex
+
+	clock   sim.Clock
+	host    *Node
+	account *EnergyAccount
+	network *monitor.NetworkMonitor
+
+	addrs map[string]string
+	conns map[string]*spectrarpc.Client
+}
+
+var _ Runtime = (*NetRuntime)(nil)
+
+// NewNetRuntime builds a live runtime around the host node. The network
+// monitor may be nil.
+func NewNetRuntime(host *Node, network *monitor.NetworkMonitor) *NetRuntime {
+	return &NetRuntime{
+		clock:   sim.RealClock{},
+		host:    host,
+		account: NewEnergyAccount(host.Machine()),
+		network: network,
+		addrs:   make(map[string]string),
+		conns:   make(map[string]*spectrarpc.Client),
+	}
+}
+
+// HostAccount returns the client energy account.
+func (r *NetRuntime) HostAccount() *EnergyAccount { return r.account }
+
+// AddServer maps a server name to its TCP address.
+func (r *NetRuntime) AddServer(name, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addrs[name] = addr
+}
+
+// Close shuts every connection down.
+func (r *NetRuntime) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for name, c := range r.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(r.conns, name)
+	}
+	return first
+}
+
+// Now implements Runtime.
+func (r *NetRuntime) Now() time.Time { return r.clock.Now() }
+
+// LocalCall implements Runtime, identically to the simulation: the service
+// runs on the host node in a metered context.
+func (r *NetRuntime) LocalCall(service, optype string, payload []byte) ([]byte, callReport, error) {
+	fn, ok := r.host.Service(service)
+	if !ok {
+		return nil, callReport{}, fmt.Errorf("core: host does not offer service %q", service)
+	}
+	ctx := NewServiceContext(r.clock, r.host, r.account)
+	out, err := fn(ctx, optype, payload)
+	usage := ctx.Usage()
+	rep := callReport{
+		files: usage.Files,
+		phases: phaseUsage{
+			localSeconds: usage.ComputeSeconds,
+			netSeconds:   usage.FetchSeconds,
+		},
+	}
+	if err != nil {
+		return nil, rep, fmt.Errorf("core: local %s/%s: %w", service, optype, err)
+	}
+	return out, rep, nil
+}
+
+// RemoteCall implements Runtime over TCP.
+func (r *NetRuntime) RemoteCall(server, service, optype string, payload []byte) ([]byte, callReport, error) {
+	conn, err := r.conn(server)
+	if err != nil {
+		return nil, callReport{}, err
+	}
+	start := time.Now()
+	out, usage, err := conn.Call(service, optype, payload)
+	elapsed := time.Since(start)
+	if err != nil {
+		if !isRemoteAppError(err) {
+			r.dropConn(server)
+			r.setReachable(server, false)
+		}
+		return nil, callReport{}, fmt.Errorf("core: remote %s on %q: %w", service, server, err)
+	}
+	r.setReachable(server, true)
+
+	rep := callReport{
+		bytesSent:     int64(len(payload)) + msgOverheadBytes,
+		bytesReceived: int64(len(out)) + msgOverheadBytes,
+		rpcs:          1,
+	}
+	var serverSeconds float64
+	if usage != nil {
+		rep.remoteMegacycles = usage.CPUMegacycles
+		for _, f := range usage.Files {
+			rep.files = append(rep.files, predict.FileAccess{
+				Path:      f.Path,
+				SizeBytes: f.SizeBytes,
+				Remote:    true,
+			})
+		}
+		for _, nv := range usage.Extra {
+			if nv.Name == "computeSeconds" || nv.Name == "fetchSeconds" {
+				serverSeconds += nv.Value
+			}
+		}
+	}
+	// Phase split: the server reports how long it computed; the remainder
+	// of the exchange is attributed to the network.
+	idle := serverSeconds
+	net := elapsed.Seconds() - idle
+	if net < 0 {
+		net = 0
+		idle = elapsed.Seconds()
+	}
+	rep.phases = phaseUsage{netSeconds: net, idleSeconds: idle}
+	r.account.DrainIdle(sim.DurationSeconds(idle))
+	r.account.DrainNetwork(sim.DurationSeconds(net))
+	return out, rep, nil
+}
+
+// Reintegrate implements Runtime against the host's cache manager.
+func (r *NetRuntime) Reintegrate(volume string) (int64, time.Duration, error) {
+	if r.host.Coda() == nil {
+		return 0, 0, nil
+	}
+	start := time.Now()
+	res, err := r.host.Coda().Reintegrate(volume)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: reintegrate %q: %w", volume, err)
+	}
+	return res.BytesSent, time.Since(start), nil
+}
+
+// PollServer implements Runtime.
+func (r *NetRuntime) PollServer(server string) (*wire.ServerStatus, error) {
+	conn, err := r.conn(server)
+	if err != nil {
+		return nil, err
+	}
+	status, err := conn.Status()
+	if err != nil {
+		r.dropConn(server)
+		return nil, fmt.Errorf("core: poll %q: %w", server, err)
+	}
+	return status, nil
+}
+
+// Probe implements Runtime: a ping plus a bulk echo give the passive
+// estimator a latency and a bandwidth observation.
+func (r *NetRuntime) Probe(server string) error {
+	conn, err := r.conn(server)
+	if err != nil {
+		return err
+	}
+	if _, err := conn.Ping(); err != nil {
+		r.dropConn(server)
+		r.setReachable(server, false)
+		return fmt.Errorf("core: probe %q: %w", server, err)
+	}
+	bulk := make([]byte, probeEchoBytes)
+	if _, _, err := conn.Call(EchoService, "echo", bulk); err != nil {
+		r.dropConn(server)
+		r.setReachable(server, false)
+		return fmt.Errorf("core: bulk probe %q: %w", server, err)
+	}
+	r.setReachable(server, true)
+	return nil
+}
+
+// conn returns (dialing if needed) the connection to a server, sharing its
+// traffic log with the network monitor.
+func (r *NetRuntime) conn(server string) (*spectrarpc.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.conns[server]; ok {
+		return c, nil
+	}
+	addr, ok := r.addrs[server]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown server %q", server)
+	}
+	var traffic *spectrarpc.TrafficLog
+	if r.network != nil {
+		traffic = r.network.Log(server)
+	}
+	c, err := spectrarpc.Dial(addr, traffic)
+	if err != nil {
+		r.setReachableLocked(server, false)
+		return nil, fmt.Errorf("core: dial %q: %w", server, err)
+	}
+	r.conns[server] = c
+	r.setReachableLocked(server, true)
+	return c, nil
+}
+
+func (r *NetRuntime) dropConn(server string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.conns[server]; ok {
+		c.Close()
+		delete(r.conns, server)
+	}
+}
+
+func (r *NetRuntime) setReachable(server string, ok bool) {
+	if r.network != nil {
+		r.network.SetReachable(server, ok)
+	}
+}
+
+func (r *NetRuntime) setReachableLocked(server string, ok bool) {
+	// network monitor has its own lock; safe to call while holding r.mu.
+	if r.network != nil {
+		r.network.SetReachable(server, ok)
+	}
+}
+
+// isRemoteAppError distinguishes application-level failures (the service
+// returned an error) from transport failures.
+func isRemoteAppError(err error) bool {
+	var rerr *spectrarpc.RemoteError
+	return errors.As(err, &rerr)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"spectra/internal/monitor"
+	"spectra/internal/rpc"
+	"spectra/internal/sim"
+	"spectra/internal/wire"
+)
+
+// EchoService is the built-in service every Spectra server offers so that
+// clients can probe bandwidth and latency with bulk echo exchanges.
+const EchoService = "_spectra.echo"
+
+// Server is a network-facing Spectra server: it hosts services on a node,
+// executes them in metered contexts, reports per-RPC resource usage back to
+// clients, and publishes resource snapshots for the remote proxy monitors
+// (paper §3.2, §3.3.5). The snapshot is produced by the same modular
+// monitor framework the client uses (paper §3.3: "contained within a
+// modular framework shared by Spectra clients and servers").
+type Server struct {
+	mu sync.Mutex
+
+	name     string
+	node     *Node
+	clock    sim.Clock
+	rpc      *rpc.Server
+	monitors *monitor.Set
+	addr     string
+}
+
+// NewServer wraps a node as a network server.
+func NewServer(name string, node *Node, clock sim.Clock) *Server {
+	s := &Server{
+		name:  name,
+		node:  node,
+		clock: clock,
+		monitors: monitor.NewSet(
+			monitor.NewCPUMonitor(node.Machine()),
+			monitor.NewFileCacheMonitor(serverCache{node: node}, node.FetchRateBps),
+		),
+	}
+	s.rpc = rpc.NewServer(s.status)
+	s.registerAll()
+	s.rpc.Register(EchoService, func(optype string, payload []byte) ([]byte, *wire.UsageReport, error) {
+		return payload, &wire.UsageReport{}, nil
+	})
+	return s
+}
+
+// Node returns the underlying node.
+func (s *Server) Node() *Node { return s.node }
+
+// Register hosts a service on the server (and its node).
+func (s *Server) Register(service string, fn ServiceFunc) {
+	s.node.RegisterService(service, fn)
+	s.rpc.Register(service, s.wrap(service, fn))
+}
+
+// registerAll exposes services already present on the node.
+func (s *Server) registerAll() {
+	for _, name := range s.node.ServiceNames() {
+		fn, ok := s.node.Service(name)
+		if ok {
+			s.rpc.Register(name, s.wrap(name, fn))
+		}
+	}
+}
+
+// wrap adapts a ServiceFunc into an rpc.Handler that meters execution and
+// reports consumption in the RPC response.
+func (s *Server) wrap(service string, fn ServiceFunc) rpc.Handler {
+	return func(optype string, payload []byte) ([]byte, *wire.UsageReport, error) {
+		ctx := NewServiceContext(s.clock, s.node, nil)
+		out, err := fn(ctx, optype, payload)
+		usage := ctx.Usage()
+		report := &wire.UsageReport{
+			CPUMegacycles: usage.Megacycles,
+			Extra: []wire.NamedValue{
+				{Name: "computeSeconds", Value: usage.ComputeSeconds},
+				{Name: "fetchSeconds", Value: usage.FetchSeconds},
+			},
+		}
+		for _, f := range usage.Files {
+			report.Files = append(report.Files, wire.FileUsage{
+				Path:      f.Path,
+				SizeBytes: f.SizeBytes,
+			})
+		}
+		if err != nil {
+			return nil, report, fmt.Errorf("%s/%s: %w", service, optype, err)
+		}
+		return out, report, nil
+	}
+}
+
+// serverCache adapts a node's (possibly nil) cache manager to the monitor
+// framework's CacheSource.
+type serverCache struct {
+	node *Node
+}
+
+// CachedPaths implements monitor.CacheSource.
+func (c serverCache) CachedPaths() map[string]bool {
+	if c.node.Coda() == nil {
+		return nil
+	}
+	return c.node.Coda().CachedPaths()
+}
+
+// status builds the server's resource snapshot through the server-side
+// monitor framework: the CPU monitor contributes a load-smoothed
+// availability estimate, the file-cache monitor the cached-file set.
+func (s *Server) status() *wire.ServerStatus {
+	snap := s.monitors.Snapshot(s.clock.Now(), nil)
+	var cached []string
+	for path := range snap.LocalCache.Cached {
+		cached = append(cached, path)
+	}
+	return &wire.ServerStatus{
+		Name:         s.name,
+		SpeedMHz:     snap.LocalCPU.SpeedMHz,
+		LoadFraction: snap.LocalCPU.LoadFraction,
+		AvailMHz:     snap.LocalCPU.AvailMHz,
+		CachedFiles:  cached,
+		FetchRateBps: snap.LocalCache.FetchRateBps,
+	}
+}
+
+// Listen binds the server and starts serving in the background, returning
+// the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	bound, err := s.rpc.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.addr = bound
+	s.mu.Unlock()
+	return bound, nil
+}
+
+// Addr returns the bound address ("" before Listen).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Close stops the server and waits for connections to drain.
+func (s *Server) Close() error { return s.rpc.Close() }

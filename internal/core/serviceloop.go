@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+// ServiceLoop adapts the paper's service programming model (Figure 2) to
+// Go: a service main loop calls GetOp to block for the next request,
+// processes it, and calls Return on the request — the service_init /
+// service_getop / service_retop cycle. The loop's Handler plugs into
+// Node.RegisterService or Server.Register.
+//
+//	loop := core.NewServiceLoop()
+//	server.Register("myservice", loop.Handler())
+//	go func() {
+//		for {
+//			op, ok := loop.GetOp()       // service_getop
+//			if !ok {
+//				return
+//			}
+//			out, err := handle(op)
+//			op.Return(out, err)          // service_retop
+//		}
+//	}()
+type ServiceLoop struct {
+	reqs chan *ServiceRequest
+
+	mu     sync.Mutex
+	nextID uint64
+	closed bool
+	done   chan struct{}
+}
+
+// ServiceRequest is one operation request delivered to a service loop.
+type ServiceRequest struct {
+	// ID uniquely identifies the request within the loop.
+	ID uint64
+	// OpType is the application-specific operation type; services handling
+	// more than one type multiplex on it.
+	OpType string
+	// Payload is the application-specific input data.
+	Payload []byte
+	// Ctx meters the service's resource consumption.
+	Ctx *ServiceContext
+
+	reply chan serviceReply
+}
+
+type serviceReply struct {
+	out []byte
+	err error
+}
+
+// Return completes the request (service_retop). Calling Return twice is a
+// no-op.
+func (r *ServiceRequest) Return(out []byte, err error) {
+	select {
+	case r.reply <- serviceReply{out: out, err: err}:
+	default:
+	}
+}
+
+// errLoopClosed is returned for requests arriving after Close.
+var errLoopClosed = errors.New("core: service loop closed")
+
+// NewServiceLoop returns a ready loop (service_init).
+func NewServiceLoop() *ServiceLoop {
+	return &ServiceLoop{
+		reqs: make(chan *ServiceRequest),
+		done: make(chan struct{}),
+	}
+}
+
+// Handler returns the ServiceFunc that feeds this loop.
+func (l *ServiceLoop) Handler() ServiceFunc {
+	return func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return nil, errLoopClosed
+		}
+		l.nextID++
+		req := &ServiceRequest{
+			ID:      l.nextID,
+			OpType:  optype,
+			Payload: payload,
+			Ctx:     ctx,
+			reply:   make(chan serviceReply, 1),
+		}
+		l.mu.Unlock()
+
+		select {
+		case l.reqs <- req:
+		case <-l.done:
+			return nil, errLoopClosed
+		}
+		select {
+		case rep := <-req.reply:
+			return rep.out, rep.err
+		case <-l.done:
+			return nil, errLoopClosed
+		}
+	}
+}
+
+// GetOp blocks until a request arrives (service_getop). ok is false once
+// the loop is closed.
+func (l *ServiceLoop) GetOp() (*ServiceRequest, bool) {
+	select {
+	case req := <-l.reqs:
+		return req, true
+	case <-l.done:
+		return nil, false
+	}
+}
+
+// Close shuts the loop down; blocked GetOp and Handler calls return.
+func (l *ServiceLoop) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.done)
+}

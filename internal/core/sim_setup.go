@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"spectra/internal/coda"
+	"spectra/internal/energy"
+	"spectra/internal/monitor"
+	"spectra/internal/predict"
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+	"spectra/internal/solver"
+)
+
+// SimServer describes one candidate server in a simulated testbed.
+type SimServer struct {
+	Name    string
+	Machine *sim.Machine
+	// Link connects the client to this server.
+	Link *simnet.Link
+	// FSLink connects this server to the file servers; nil shares Link.
+	FSLink *simnet.Link
+}
+
+// SimOptions describes a simulated testbed to assemble.
+type SimOptions struct {
+	// Start is the virtual epoch; zero selects a fixed instant.
+	Start time.Time
+	// Host is the client machine; required.
+	Host *sim.Machine
+	// HostFSLink connects the client to the file servers; required for
+	// file-using workloads.
+	HostFSLink *simnet.Link
+	// Servers are the candidate compute servers.
+	Servers []SimServer
+	// Meter selects the battery measurement driver; nil selects the exact
+	// (multimeter-style) meter.
+	Meter func(*sim.Battery) energy.Meter
+	// UsageLogDir enables persistent usage logs when non-empty.
+	UsageLogDir string
+	// Models, Solver, Exhaustive pass through to the client Config.
+	Models     ModelOptions
+	Solver     solver.Options
+	Exhaustive bool
+}
+
+// SimSetup is an assembled simulated deployment: environment, monitors,
+// runtime, and Spectra client, wired the way the paper's testbed was.
+type SimSetup struct {
+	Env        *Env
+	Client     *Client
+	Clock      *sim.VirtualClock
+	FileServer *coda.FileServer
+	Adaptor    *energy.GoalAdaptor
+	Network    *monitor.NetworkMonitor
+	Remote     *monitor.RemoteProxyMonitor
+	Runtime    *SimRuntime
+	Meter      energy.Meter
+}
+
+// NewSimSetup assembles a complete simulated Spectra deployment.
+func NewSimSetup(opts SimOptions) (*SimSetup, error) {
+	if opts.Host == nil {
+		return nil, fmt.Errorf("core: SimOptions needs a Host machine")
+	}
+	start := opts.Start
+	if start.IsZero() {
+		start = time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+	}
+	clock := sim.NewVirtualClock(start)
+	fileServer := coda.NewFileServer()
+
+	hostCoda := coda.NewClient(opts.Host.Name(), fileServer, 0)
+	host := NewNode(opts.Host, hostCoda, opts.HostFSLink)
+	env := NewEnv(clock, fileServer, host)
+
+	var serverNames []string
+	for _, s := range opts.Servers {
+		if s.Machine == nil || s.Link == nil {
+			return nil, fmt.Errorf("core: server %q needs a machine and a link", s.Name)
+		}
+		fsLink := s.FSLink
+		if fsLink == nil {
+			fsLink = s.Link
+		}
+		node := NewNode(s.Machine, coda.NewClient(s.Name, fileServer, 0), fsLink)
+		env.AddServer(s.Name, node, s.Link)
+		serverNames = append(serverNames, s.Name)
+	}
+
+	battery := opts.Host.Battery()
+	if battery == nil {
+		battery = sim.NewBattery(1e9)
+	}
+	meterFn := opts.Meter
+	if meterFn == nil {
+		meterFn = func(b *sim.Battery) energy.Meter { return energy.NewExactMeter(b) }
+	}
+	meter := meterFn(battery)
+	adaptor := energy.NewGoalAdaptor(clock, meter)
+
+	network := monitor.NewNetworkMonitor()
+	remote := monitor.NewRemoteProxyMonitor()
+	monitors := monitor.NewSet(
+		monitor.NewCPUMonitor(opts.Host),
+		network,
+		monitor.NewBatteryMonitor(meter, adaptor, env.HostAccount(), opts.Host),
+		monitor.NewFileCacheMonitor(hostCoda, host.FetchRateBps),
+		remote,
+	)
+
+	var usageLog *predict.UsageLog
+	if opts.UsageLogDir != "" {
+		var err error
+		usageLog, err = predict.NewUsageLog(opts.UsageLogDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	runtime := NewSimRuntime(env, network)
+	client, err := NewClient(Config{
+		Runtime:     runtime,
+		Monitors:    monitors,
+		Network:     network,
+		Consistency: hostCoda,
+		Servers:     serverNames,
+		UsageLog:    usageLog,
+		Models:      opts.Models,
+		Solver:      opts.Solver,
+		Exhaustive:  opts.Exhaustive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SimSetup{
+		Env:        env,
+		Client:     client,
+		Clock:      clock,
+		FileServer: fileServer,
+		Adaptor:    adaptor,
+		Network:    network,
+		Remote:     remote,
+		Runtime:    runtime,
+		Meter:      meter,
+	}, nil
+}
+
+// Refresh polls every server and probes the network, giving the monitors a
+// current view before decisions are made. Call it after changing
+// environment conditions, as the background activity of a live deployment
+// would.
+func (s *SimSetup) Refresh() {
+	s.Client.PollServers()
+	s.Client.Probe()
+	// Sample the local monitors too (e.g. the CPU monitor's smoothed load).
+	s.Client.Monitors().Snapshot(s.Clock.Now(), s.Client.Servers())
+}

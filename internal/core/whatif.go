@@ -1,0 +1,51 @@
+package core
+
+import (
+	"sort"
+
+	"spectra/internal/solver"
+	"spectra/internal/utility"
+)
+
+// ScoredAlternative is one alternative with Spectra's current prediction
+// and utility for it.
+type ScoredAlternative struct {
+	Alternative solver.Alternative
+	Predicted   utility.Prediction
+	Utility     float64
+}
+
+// EvaluateAlternatives scores every execution alternative for the
+// operation under the current resource snapshot, most desirable first —
+// Spectra's reasoning laid open. It performs no execution and starts no
+// measurement; it is the introspection the validation harness uses to rank
+// choices (Figure 8) and a debugging aid for applications.
+func (c *Client) EvaluateAlternatives(op *Operation, params map[string]float64, data string) []ScoredAlternative {
+	if !op.spec.UsesData {
+		data = ""
+	}
+	servers := c.Servers()
+	snap := c.monitors.Snapshot(c.runtime.Now(), servers)
+	est := newEstimator(op, snap, params, data, c.cons)
+
+	var fn utility.Function = utility.Default{
+		Latency:    op.spec.LatencyUtility,
+		Importance: func() float64 { return snap.Battery.Importance },
+	}
+	if op.spec.Utility != nil {
+		fn = op.spec.Utility
+	}
+
+	candidates := op.alternatives(servers)
+	out := make([]ScoredAlternative, 0, len(candidates))
+	for _, alt := range candidates {
+		p := est.Predict(alt)
+		out = append(out, ScoredAlternative{
+			Alternative: alt,
+			Predicted:   p,
+			Utility:     fn.Utility(p),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Utility > out[j].Utility })
+	return out
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"spectra/internal/solver"
+)
+
+func TestEvaluateAlternativesRanksAndMatchesDecision(t *testing.T) {
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	for i := 0; i < 3; i++ {
+		runToy(t, setup, op, solver.Alternative{Plan: "local"})
+		runToy(t, setup, op, solver.Alternative{Server: "big", Plan: "remote"})
+	}
+
+	scored := setup.Client.EvaluateAlternatives(op, nil, "")
+	if len(scored) != 2 {
+		t.Fatalf("scored = %d, want 2", len(scored))
+	}
+	// Descending utility.
+	if scored[0].Utility < scored[1].Utility {
+		t.Fatalf("not sorted: %v then %v", scored[0].Utility, scored[1].Utility)
+	}
+	// The top-ranked alternative matches Spectra's actual decision.
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Alternative.Key() != scored[0].Alternative.Key() {
+		t.Fatalf("decision %s != top-ranked %s",
+			octx.Decision().Alternative.Key(), scored[0].Alternative.Key())
+	}
+	octx.Abort()
+	// Predictions are populated for feasible alternatives.
+	for _, s := range scored {
+		if !s.Predicted.Feasible || s.Predicted.Latency <= 0 {
+			t.Fatalf("prediction missing: %+v", s)
+		}
+	}
+}
+
+func TestEvaluateAlternativesUnderPartition(t *testing.T) {
+	setup := newToySetup(t)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	runToy(t, setup, op, solver.Alternative{Plan: "local"})
+
+	_, link, _ := setup.Env.Server("big")
+	link.SetPartitioned(true)
+	setup.Client.PollServers()
+
+	scored := setup.Client.EvaluateAlternatives(op, nil, "")
+	for _, s := range scored {
+		if s.Alternative.Plan == "remote" {
+			if s.Predicted.Feasible || s.Utility != 0 {
+				t.Fatalf("partitioned remote alternative scored %+v", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spectra/internal/sim"
+)
+
+func TestACPIMeterQuantizes(t *testing.T) {
+	b := sim.NewBattery(36_000) // 10 Wh = 10000 mWh
+	m := NewACPIMeter(b)
+	if m.Name() != "acpi" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	if got := m.RemainingMWH(); got != 10_000 {
+		t.Fatalf("remaining mWh = %v, want 10000", got)
+	}
+	b.Drain(1.8) // half a mWh: quantized away
+	if got := m.RemainingMWH(); got != 9_999 {
+		t.Fatalf("remaining mWh after 0.5mWh drain = %v, want 9999", got)
+	}
+	if got := m.CumulativeJoules(); got != 0 {
+		t.Fatalf("cumulative below quantum = %v, want 0", got)
+	}
+	b.Drain(1.8) // now a full mWh drained
+	if got := m.CumulativeJoules(); math.Abs(got-3.6) > 1e-9 {
+		t.Fatalf("cumulative = %v, want 3.6", got)
+	}
+}
+
+func TestSmartBatteryMeterQuantizes(t *testing.T) {
+	b := sim.NewBattery(3.6 * 3.7 * 1000) // exactly 1000 mAh at 3.7 V
+	m := NewSmartBatteryMeter(b)
+	if m.Name() != "smartbattery" {
+		t.Fatalf("name = %q", m.Name())
+	}
+	if got := m.RemainingMAH(); got != 1000 {
+		t.Fatalf("remaining mAh = %v, want 1000", got)
+	}
+	b.Drain(3.6 * 3.7 * 2.5) // 2.5 mAh
+	if got := m.RemainingMAH(); got != 997 {
+		t.Fatalf("remaining mAh = %v, want 997", got)
+	}
+	wantJ := 3.6 * 3.7 * 2 // quantized to 2 mAh
+	if got := m.CumulativeJoules(); math.Abs(got-wantJ) > 1e-9 {
+		t.Fatalf("cumulative = %v, want %v", got, wantJ)
+	}
+}
+
+func TestExactMeter(t *testing.T) {
+	b := sim.NewBattery(100)
+	m := NewExactMeter(b)
+	b.Drain(12.34)
+	if got := m.RemainingJoules(); math.Abs(got-87.66) > 1e-9 {
+		t.Fatalf("remaining = %v", got)
+	}
+	if got := m.CumulativeJoules(); math.Abs(got-12.34) > 1e-9 {
+		t.Fatalf("cumulative = %v", got)
+	}
+	if m.Name() != "multimeter" {
+		t.Fatalf("name = %q", m.Name())
+	}
+}
+
+func newAdaptor(capacity float64) (*sim.VirtualClock, *sim.Battery, *GoalAdaptor) {
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	b := sim.NewBattery(capacity)
+	return clock, b, NewGoalAdaptor(clock, NewExactMeter(b))
+}
+
+func TestNoGoalMeansZeroImportance(t *testing.T) {
+	_, b, g := newAdaptor(1000)
+	b.Drain(500)
+	if got := g.Update(); got != 0 {
+		t.Fatalf("importance with no goal = %v", got)
+	}
+	if got := g.Importance(); got != 0 {
+		t.Fatalf("Importance() = %v", got)
+	}
+}
+
+func TestAmbitiousGoalSeedsHighImportance(t *testing.T) {
+	// Itsy-class battery (32 kJ) asked to last 10 hours: sustainable rate
+	// ~0.9 W, well under the ~3.2 W reference -> high importance.
+	_, _, g := newAdaptor(32_000)
+	g.SetGoal(10 * time.Hour)
+	if got := g.Importance(); got < 0.5 {
+		t.Fatalf("ambitious-goal seed importance = %v, want >= 0.5", got)
+	}
+	// Trivial goal: a minute on a full battery -> zero-ish importance.
+	_, _, g2 := newAdaptor(32_000)
+	g2.SetGoal(time.Minute)
+	if got := g2.Importance(); got != 0 {
+		t.Fatalf("trivial-goal seed importance = %v, want 0", got)
+	}
+}
+
+func TestFeedbackRaisesImportanceWhenDrainingFast(t *testing.T) {
+	clock, b, g := newAdaptor(10_000)
+	g.SetGoal(10 * time.Hour) // sustainable ~0.28 W
+	start := g.Importance()
+	// Drain at 5 W for a while: far above sustainable.
+	for i := 0; i < 10; i++ {
+		clock.Advance(time.Minute)
+		b.Drain(5 * 60)
+		g.Update()
+	}
+	if got := g.Importance(); got <= start && got != 1 {
+		t.Fatalf("importance did not rise under heavy drain: %v (start %v)", got, start)
+	}
+	if got := g.Importance(); got != 1 {
+		t.Fatalf("importance should saturate at 1, got %v", got)
+	}
+}
+
+func TestFeedbackLowersImportanceWhenDrainingSlow(t *testing.T) {
+	clock, b, g := newAdaptor(100_000)
+	g.SetGoal(10 * time.Hour)
+	seed := g.Importance()
+	if seed <= 0.5 {
+		t.Fatalf("seed importance = %v, want ambitious (> 0.5)", seed)
+	}
+	// Drain at a trickle: 0.1 W, well under sustainable (~2.8 W).
+	for i := 0; i < 20; i++ {
+		clock.Advance(time.Minute)
+		b.Drain(0.1 * 60)
+		g.Update()
+	}
+	if got := g.Importance(); got >= seed {
+		t.Fatalf("importance did not fall under light drain: %v (seed %v)", got, seed)
+	}
+}
+
+func TestSetImportancePinsUntilNewGoal(t *testing.T) {
+	clock, b, g := newAdaptor(100_000)
+	g.SetImportance(0.8)
+	clock.Advance(time.Minute)
+	b.Drain(1)
+	if got := g.Update(); got != 0.8 {
+		t.Fatalf("pinned importance = %v, want 0.8", got)
+	}
+	g.SetGoal(time.Minute) // trivial goal unpins and reseeds
+	if got := g.Update(); got == 0.8 {
+		t.Fatal("SetGoal should unpin importance")
+	}
+}
+
+func TestGoalHorizonPassedClearsImportance(t *testing.T) {
+	clock, b, g := newAdaptor(1000)
+	g.SetGoal(time.Hour)
+	clock.Advance(2 * time.Hour)
+	b.Drain(1)
+	if got := g.Update(); got != 0 {
+		t.Fatalf("importance after goal horizon = %v, want 0", got)
+	}
+}
+
+func TestEmptyBatterySaturatesImportance(t *testing.T) {
+	clock, b, g := newAdaptor(100)
+	g.SetGoal(10 * time.Hour)
+	clock.Advance(time.Minute)
+	b.Drain(1000) // empty
+	if got := g.Update(); got != 1 {
+		t.Fatalf("importance with empty battery = %v, want 1", got)
+	}
+}
+
+func TestClearGoal(t *testing.T) {
+	_, _, g := newAdaptor(1000)
+	g.SetGoal(time.Hour)
+	g.SetGoal(0)
+	if _, ok := g.Goal(); ok {
+		t.Fatal("goal should be cleared")
+	}
+	if got := g.Importance(); got != 0 {
+		t.Fatalf("importance after clearing goal = %v", got)
+	}
+}
+
+func TestSetImportanceClamps(t *testing.T) {
+	_, _, g := newAdaptor(1000)
+	g.SetImportance(4)
+	if got := g.Importance(); got != 1 {
+		t.Fatalf("importance = %v, want 1", got)
+	}
+	g.SetImportance(-2)
+	if got := g.Importance(); got != 0 {
+		t.Fatalf("importance = %v, want 0", got)
+	}
+}
+
+// Property: importance stays in [0,1] under arbitrary drain/advance
+// sequences.
+func TestImportanceBoundedProperty(t *testing.T) {
+	f := func(steps []uint8) bool {
+		clock, b, g := newAdaptor(50_000)
+		g.SetGoal(5 * time.Hour)
+		for _, s := range steps {
+			clock.Advance(time.Duration(s) * time.Second)
+			b.Drain(float64(s))
+			c := g.Update()
+			if c < 0 || c > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+package energy
+
+import (
+	"sync"
+	"time"
+
+	"spectra/internal/sim"
+)
+
+// Default feedback tuning for the goal-directed adaptor.
+const (
+	// defaultGain scales how aggressively c follows the supply/demand
+	// imbalance.
+	defaultGain = 0.5
+	// defaultSmoothing is the EWMA coefficient for the observed drain rate.
+	defaultSmoothing = 0.3
+)
+
+// GoalAdaptor implements goal-directed energy adaptation (Flinn &
+// Satyanarayanan, SOSP'99, used by the paper's battery monitor): the user
+// states how long the battery must last; the adaptor compares the observed
+// discharge rate to the rate the battery can sustain for the remaining goal
+// time and adjusts a global importance parameter c in [0,1]. c = 0 means
+// energy is free (wall power or trivially achievable goal); c = 1 means
+// energy dominates every placement decision.
+type GoalAdaptor struct {
+	mu sync.Mutex
+
+	clock sim.Clock
+	meter Meter
+
+	goal  time.Duration
+	start time.Time
+
+	c           float64
+	gain        float64
+	smoothing   float64
+	rateW       float64 // EWMA of observed drain rate, watts
+	lastUpdate  time.Time
+	lastDrained float64
+	hasGoal     bool
+	// pinned freezes c at its current value until the next SetGoal,
+	// letting experiments hold a fixed energy-importance condition.
+	pinned bool
+}
+
+// NewGoalAdaptor returns an adaptor with no goal set (c = 0).
+func NewGoalAdaptor(clock sim.Clock, meter Meter) *GoalAdaptor {
+	now := clock.Now()
+	return &GoalAdaptor{
+		clock:       clock,
+		meter:       meter,
+		gain:        defaultGain,
+		smoothing:   defaultSmoothing,
+		lastUpdate:  now,
+		lastDrained: meter.CumulativeJoules(),
+	}
+}
+
+// SetGoal states that the battery must last for d starting now. A zero or
+// negative duration clears the goal. The importance parameter is seeded
+// from the ratio of the battery's current sustainable rate to a first
+// drain-rate estimate once updates arrive; until then it starts at the
+// feasibility-based initial value.
+func (g *GoalAdaptor) SetGoal(d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	now := g.clock.Now()
+	g.start = now
+	g.lastUpdate = now
+	g.lastDrained = g.meter.CumulativeJoules()
+	g.pinned = false
+	if d <= 0 {
+		g.hasGoal = false
+		g.goal = 0
+		g.c = 0
+		return
+	}
+	g.hasGoal = true
+	g.goal = d
+	// Seed c from goal ambition: the longer the battery must last relative
+	// to what it could sustain at its platform's typical draw, the higher
+	// the initial importance. Refined by feedback as drain is observed.
+	g.c = seedImportance(g.meter.RemainingJoules(), d)
+}
+
+// seedImportance maps (remaining energy, goal) to an initial c. The
+// reference draw of 1 W per 10 kJ of remaining capacity makes the seed
+// scale-free across the Itsy and laptop batteries.
+func seedImportance(remainingJ float64, goal time.Duration) float64 {
+	if remainingJ <= 0 {
+		return 1
+	}
+	refW := remainingJ / 10_000
+	sustainableW := remainingJ / goal.Seconds()
+	// ratio >= 1: goal is easy at reference draw -> low importance.
+	ratio := sustainableW / refW
+	c := 1 - ratio
+	return clamp01(c)
+}
+
+// Goal returns the current goal and whether one is set.
+func (g *GoalAdaptor) Goal() (time.Duration, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.goal, g.hasGoal
+}
+
+// Importance returns the current energy-conservation importance c in [0,1]
+// without updating the feedback loop.
+func (g *GoalAdaptor) Importance() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.c
+}
+
+// SetImportance overrides c directly and pins it there until the next
+// SetGoal. Experiments use this to hold the "energy is paramount"
+// condition; live deployments rely on Update.
+func (g *GoalAdaptor) SetImportance(c float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.c = clamp01(c)
+	g.pinned = true
+}
+
+// Update observes the discharge since the last call and adjusts c: if the
+// battery is draining faster than the goal can sustain, c rises; if slower,
+// c decays. It returns the new importance.
+func (g *GoalAdaptor) Update() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	if g.pinned {
+		return g.c
+	}
+	if !g.hasGoal {
+		g.c = 0
+		return 0
+	}
+
+	now := g.clock.Now()
+	remainingGoal := g.goal - now.Sub(g.start)
+	if remainingGoal <= 0 {
+		// Goal horizon passed: the battery survived; energy pressure off.
+		g.c = 0
+		return 0
+	}
+	remainingJ := g.meter.RemainingJoules()
+	if remainingJ <= 0 {
+		g.c = 1
+		return 1
+	}
+
+	dt := now.Sub(g.lastUpdate)
+	if dt <= 0 {
+		return g.c // no new information since the last adjustment
+	}
+	drained := g.meter.CumulativeJoules()
+	instRate := (drained - g.lastDrained) / dt.Seconds()
+	if instRate < 0 {
+		instRate = 0
+	}
+	if g.rateW == 0 {
+		g.rateW = instRate
+	} else {
+		g.rateW = g.smoothing*instRate + (1-g.smoothing)*g.rateW
+	}
+	g.lastUpdate = now
+	g.lastDrained = drained
+
+	sustainableW := remainingJ / remainingGoal.Seconds()
+	if g.rateW <= 0 {
+		return g.c // no demand observed yet; keep the seed
+	}
+	imbalance := (g.rateW - sustainableW) / sustainableW
+	g.c = clamp01(g.c + g.gain*imbalance)
+	return g.c
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

@@ -1,0 +1,129 @@
+// Package energy implements Spectra's energy management: the battery
+// measurement drivers (ACPI and SmartBattery styles, paper §3.3.3) and
+// goal-directed adaptation, which turns a user-specified battery-lifetime
+// goal into the energy-conservation importance parameter c in [0,1] used by
+// the utility function.
+package energy
+
+import (
+	"math"
+
+	"spectra/internal/sim"
+)
+
+// Meter abstracts a battery measurement source. The battery monitor is
+// written against this interface so the measurement methodology can be
+// swapped per platform, mirroring the paper's separate ACPI and
+// SmartBattery resource monitors.
+type Meter interface {
+	// Name identifies the measurement methodology.
+	Name() string
+	// RemainingJoules reports the energy left in the battery.
+	RemainingJoules() float64
+	// CumulativeJoules reports total energy drawn since boot; per-operation
+	// energy is measured as a difference of this counter.
+	CumulativeJoules() float64
+}
+
+// ACPIMeter reads a battery through an ACPI-style interface: capacities in
+// milliwatt-hours. Readings are quantized to 1 mWh, as the ACPI tables are.
+type ACPIMeter struct {
+	battery *sim.Battery
+}
+
+var _ Meter = (*ACPIMeter)(nil)
+
+// NewACPIMeter returns an ACPI-style meter over the battery.
+func NewACPIMeter(b *sim.Battery) *ACPIMeter {
+	return &ACPIMeter{battery: b}
+}
+
+// Name implements Meter.
+func (m *ACPIMeter) Name() string { return "acpi" }
+
+// RemainingJoules implements Meter with mWh quantization.
+func (m *ACPIMeter) RemainingJoules() float64 {
+	return mwhToJoules(math.Floor(joulesToMWH(m.battery.RemainingJoules())))
+}
+
+// CumulativeJoules implements Meter with mWh quantization.
+func (m *ACPIMeter) CumulativeJoules() float64 {
+	return mwhToJoules(math.Floor(joulesToMWH(m.battery.DrainedJoules())))
+}
+
+// RemainingMWH reports remaining capacity in milliwatt-hours, as the ACPI
+// battery information table exposes it.
+func (m *ACPIMeter) RemainingMWH() float64 {
+	return math.Floor(joulesToMWH(m.battery.RemainingJoules()))
+}
+
+// SmartBatteryMeter reads a battery through a Smart Battery System
+// interface: charge in milliamp-hours at the pack's nominal voltage,
+// quantized to 1 mAh.
+type SmartBatteryMeter struct {
+	battery *sim.Battery
+}
+
+var _ Meter = (*SmartBatteryMeter)(nil)
+
+// NewSmartBatteryMeter returns a SmartBattery-style meter over the battery.
+func NewSmartBatteryMeter(b *sim.Battery) *SmartBatteryMeter {
+	return &SmartBatteryMeter{battery: b}
+}
+
+// Name implements Meter.
+func (m *SmartBatteryMeter) Name() string { return "smartbattery" }
+
+// RemainingJoules implements Meter with mAh quantization.
+func (m *SmartBatteryMeter) RemainingJoules() float64 {
+	v := m.battery.Voltage()
+	return mahToJoules(math.Floor(joulesToMAH(m.battery.RemainingJoules(), v)), v)
+}
+
+// CumulativeJoules implements Meter with mAh quantization.
+func (m *SmartBatteryMeter) CumulativeJoules() float64 {
+	v := m.battery.Voltage()
+	return mahToJoules(math.Floor(joulesToMAH(m.battery.DrainedJoules(), v)), v)
+}
+
+// RemainingMAH reports remaining charge in milliamp-hours.
+func (m *SmartBatteryMeter) RemainingMAH() float64 {
+	return math.Floor(joulesToMAH(m.battery.RemainingJoules(), m.battery.Voltage()))
+}
+
+// ExactMeter reads the battery without quantization. The paper measured
+// the 560X with a digital multimeter because it lacked energy-management
+// support; this meter plays that role in the Latex and Pangloss
+// experiments.
+type ExactMeter struct {
+	battery *sim.Battery
+}
+
+var _ Meter = (*ExactMeter)(nil)
+
+// NewExactMeter returns an unquantized meter over the battery.
+func NewExactMeter(b *sim.Battery) *ExactMeter {
+	return &ExactMeter{battery: b}
+}
+
+// Name implements Meter.
+func (m *ExactMeter) Name() string { return "multimeter" }
+
+// RemainingJoules implements Meter.
+func (m *ExactMeter) RemainingJoules() float64 { return m.battery.RemainingJoules() }
+
+// CumulativeJoules implements Meter.
+func (m *ExactMeter) CumulativeJoules() float64 { return m.battery.DrainedJoules() }
+
+func joulesToMWH(j float64) float64 { return j / 3.6 }
+
+func mwhToJoules(mwh float64) float64 { return mwh * 3.6 }
+
+func joulesToMAH(j, voltage float64) float64 {
+	if voltage <= 0 {
+		return 0
+	}
+	return j / (3.6 * voltage)
+}
+
+func mahToJoules(mah, voltage float64) float64 { return mah * 3.6 * voltage }

@@ -1,0 +1,124 @@
+package monitor
+
+import (
+	"sync"
+
+	"spectra/internal/energy"
+	"spectra/internal/wire"
+)
+
+// EnergyAccount reports cumulative joules attributed to client activity.
+// In the simulation it plays the role of the paper's external multimeter on
+// the 560X: it keeps counting even on wall power, which lets Spectra learn
+// energy demand while plugged in.
+type EnergyAccount interface {
+	AttributedJoules() float64
+}
+
+// WallPowerSource reports whether the client currently draws wall power.
+type WallPowerSource interface {
+	OnWallPower() bool
+}
+
+// BatteryMonitor measures energy supply and demand (paper §3.3.3).
+// Availability is the remaining battery energy plus the goal-directed
+// importance of energy conservation; demand is the energy attributed to an
+// operation, invalidated when operations overlap because concurrent energy
+// use cannot be separated.
+type BatteryMonitor struct {
+	mu sync.Mutex
+
+	meter   energy.Meter
+	adaptor *energy.GoalAdaptor
+	account EnergyAccount
+	wall    WallPowerSource
+
+	inflight map[uint64]*energyUsage
+}
+
+type energyUsage struct {
+	startJoules float64
+	overlapped  bool
+}
+
+var _ Monitor = (*BatteryMonitor)(nil)
+
+// NewBatteryMonitor returns a monitor reading the given measurement source.
+// The account supplies per-operation attribution; wall may be nil when the
+// platform is always battery powered.
+func NewBatteryMonitor(meter energy.Meter, adaptor *energy.GoalAdaptor, account EnergyAccount, wall WallPowerSource) *BatteryMonitor {
+	return &BatteryMonitor{
+		meter:    meter,
+		adaptor:  adaptor,
+		account:  account,
+		wall:     wall,
+		inflight: make(map[uint64]*energyUsage),
+	}
+}
+
+// Name implements Monitor.
+func (m *BatteryMonitor) Name() string { return "battery:" + m.meter.Name() }
+
+// PredictAvail implements Monitor.
+func (m *BatteryMonitor) PredictAvail(_ []string, snap *Snapshot) {
+	var importance float64
+	if m.adaptor != nil {
+		importance = m.adaptor.Update()
+	}
+	onWall := false
+	if m.wall != nil {
+		onWall = m.wall.OnWallPower()
+	}
+	if onWall {
+		importance = 0
+	}
+	snap.Battery = BatteryAvail{
+		RemainingJoules: m.meter.RemainingJoules(),
+		Importance:      importance,
+		OnWallPower:     onWall,
+	}
+}
+
+// StartOp implements Monitor. Starting a second operation while one is in
+// flight marks both as overlapped; their energy measurements are discarded.
+func (m *BatteryMonitor) StartOp(opID uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	overlapped := len(m.inflight) > 0
+	if overlapped {
+		for _, eu := range m.inflight {
+			eu.overlapped = true
+		}
+	}
+	m.inflight[opID] = &energyUsage{
+		startJoules: m.account.AttributedJoules(),
+		overlapped:  overlapped,
+	}
+}
+
+// StopOp implements Monitor.
+func (m *BatteryMonitor) StopOp(opID uint64, u *Usage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	eu, ok := m.inflight[opID]
+	if !ok {
+		return
+	}
+	delete(m.inflight, opID)
+	if eu.overlapped {
+		return // cannot attribute energy of concurrent operations
+	}
+	delta := m.account.AttributedJoules() - eu.startJoules
+	if delta < 0 {
+		return
+	}
+	u.EnergyJoules += delta
+	u.EnergyValid = true
+}
+
+// AddUsage implements Monitor; server energy is not charged to the client
+// battery.
+func (m *BatteryMonitor) AddUsage(uint64, Usage) {}
+
+// UpdatePreds implements Monitor.
+func (m *BatteryMonitor) UpdatePreds(string, *wire.ServerStatus) {}

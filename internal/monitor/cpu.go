@@ -1,0 +1,103 @@
+package monitor
+
+import (
+	"sync"
+
+	"spectra/internal/wire"
+)
+
+// cpuSmoothing is the EWMA coefficient for the load estimate; recent
+// samples dominate but transient spikes are damped, following the
+// prediction algorithm of Narayanan et al. (paper §3.3.1).
+const cpuSmoothing = 0.5
+
+// CPUSource exposes the local processor statistics the CPU monitor samples,
+// playing the role of Linux's /proc. *sim.Machine satisfies it.
+type CPUSource interface {
+	// SpeedMHz is the processor clock rate.
+	SpeedMHz() float64
+	// LoadFraction is the fraction of cycles recently used by other
+	// processes.
+	LoadFraction() float64
+	// CycleCount is the cumulative megacycles charged to operations,
+	// analogous to per-process CPU counters.
+	CycleCount() float64
+}
+
+// CPUMonitor measures local CPU supply and demand. Availability is the
+// smoothed share of cycles an operation would receive assuming background
+// load stays constant and scheduling is fair; demand is the difference of
+// the operation cycle counter across the operation.
+type CPUMonitor struct {
+	mu sync.Mutex
+
+	src CPUSource
+	// smoothedLoad is the EWMA of sampled load; negative until first
+	// sample.
+	smoothedLoad float64
+	seeded       bool
+	inflight     map[uint64]float64 // opID -> cycle counter at start
+}
+
+var _ Monitor = (*CPUMonitor)(nil)
+
+// NewCPUMonitor returns a monitor over the local processor.
+func NewCPUMonitor(src CPUSource) *CPUMonitor {
+	return &CPUMonitor{
+		src:      src,
+		inflight: make(map[uint64]float64),
+	}
+}
+
+// Name implements Monitor.
+func (m *CPUMonitor) Name() string { return "cpu" }
+
+// PredictAvail implements Monitor: it samples current load, smooths it,
+// and predicts available megacycles per second.
+func (m *CPUMonitor) PredictAvail(_ []string, snap *Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	load := m.src.LoadFraction()
+	if !m.seeded {
+		m.smoothedLoad = load
+		m.seeded = true
+	} else {
+		m.smoothedLoad = cpuSmoothing*load + (1-cpuSmoothing)*m.smoothedLoad
+	}
+	speed := m.src.SpeedMHz()
+	snap.LocalCPU = CPUAvail{
+		AvailMHz:     speed * (1 - m.smoothedLoad),
+		SpeedMHz:     speed,
+		LoadFraction: m.smoothedLoad,
+		Known:        true,
+	}
+}
+
+// StartOp implements Monitor.
+func (m *CPUMonitor) StartOp(opID uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight[opID] = m.src.CycleCount()
+}
+
+// StopOp implements Monitor.
+func (m *CPUMonitor) StopOp(opID uint64, u *Usage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start, ok := m.inflight[opID]
+	if !ok {
+		return
+	}
+	delete(m.inflight, opID)
+	delta := m.src.CycleCount() - start
+	if delta > 0 {
+		u.LocalMegacycles += delta
+	}
+}
+
+// AddUsage implements Monitor; local CPU has no external reports.
+func (m *CPUMonitor) AddUsage(uint64, Usage) {}
+
+// UpdatePreds implements Monitor; local CPU ignores server polls.
+func (m *CPUMonitor) UpdatePreds(string, *wire.ServerStatus) {}

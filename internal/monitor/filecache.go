@@ -1,0 +1,94 @@
+package monitor
+
+import (
+	"sync"
+
+	"spectra/internal/predict"
+	"spectra/internal/wire"
+)
+
+// CacheSource exposes a machine's Coda cache state. *coda.Client
+// satisfies it.
+type CacheSource interface {
+	CachedPaths() map[string]bool
+}
+
+// FetchRateSource estimates the rate at which uncached data arrives from
+// the file servers, in bytes per second.
+type FetchRateSource func() float64
+
+// FileCacheMonitor reports the local Coda cache state and observes which
+// files operations access (paper §3.3.4). File accesses are reported to it
+// by the execution layer through AddUsage, covering both local accesses and
+// those servers report in their RPC responses.
+type FileCacheMonitor struct {
+	mu sync.Mutex
+
+	src       CacheSource
+	fetchRate FetchRateSource
+	inflight  map[uint64][]predict.FileAccess
+}
+
+var _ Monitor = (*FileCacheMonitor)(nil)
+
+// NewFileCacheMonitor returns a monitor over the local cache manager.
+func NewFileCacheMonitor(src CacheSource, fetchRate FetchRateSource) *FileCacheMonitor {
+	return &FileCacheMonitor{
+		src:       src,
+		fetchRate: fetchRate,
+		inflight:  make(map[uint64][]predict.FileAccess),
+	}
+}
+
+// Name implements Monitor.
+func (m *FileCacheMonitor) Name() string { return "filecache" }
+
+// PredictAvail implements Monitor.
+func (m *FileCacheMonitor) PredictAvail(_ []string, snap *Snapshot) {
+	var rate float64
+	if m.fetchRate != nil {
+		rate = m.fetchRate()
+	}
+	snap.LocalCache = CacheAvail{
+		Cached:       m.src.CachedPaths(),
+		FetchRateBps: rate,
+		Known:        true,
+	}
+}
+
+// StartOp implements Monitor.
+func (m *FileCacheMonitor) StartOp(opID uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight[opID] = nil
+}
+
+// StopOp implements Monitor: it returns the names and sizes of files
+// accessed during the operation.
+func (m *FileCacheMonitor) StopOp(opID uint64, u *Usage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	files, ok := m.inflight[opID]
+	if !ok {
+		return
+	}
+	delete(m.inflight, opID)
+	u.Files = append(u.Files, files...)
+}
+
+// AddUsage implements Monitor: the execution layer reports file accesses.
+func (m *FileCacheMonitor) AddUsage(opID uint64, usage Usage) {
+	if len(usage.Files) == 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	files, ok := m.inflight[opID]
+	if !ok {
+		return
+	}
+	m.inflight[opID] = append(files, usage.Files...)
+}
+
+// UpdatePreds implements Monitor.
+func (m *FileCacheMonitor) UpdatePreds(string, *wire.ServerStatus) {}

@@ -1,0 +1,217 @@
+// Package monitor implements Spectra's resource monitors (paper §3.3):
+// modular components that measure the supply of a single resource (or a
+// related set) and observe operation resource demand. Before an operation,
+// Spectra iterates over the monitors to build a resource Snapshot; around
+// execution it calls StartOp/StopOp to measure consumption; server-reported
+// usage arrives through AddUsage; and periodic server polls reach the
+// remote proxy monitors through UpdatePreds.
+package monitor
+
+import (
+	"time"
+
+	"spectra/internal/predict"
+	"spectra/internal/wire"
+)
+
+// Monitor is the common interface all resource monitors implement.
+type Monitor interface {
+	// Name identifies the monitor.
+	Name() string
+	// PredictAvail contributes availability predictions for the listed
+	// candidate servers to the snapshot.
+	PredictAvail(servers []string, snap *Snapshot)
+	// StartOp alerts the monitor that an operation begins.
+	StartOp(opID uint64)
+	// StopOp ends observation and merges measured usage into u.
+	StopOp(opID uint64, u *Usage)
+	// AddUsage accounts externally reported consumption (e.g. from Spectra
+	// servers) for an in-flight operation.
+	AddUsage(opID uint64, u Usage)
+	// UpdatePreds delivers a polled server status snapshot.
+	UpdatePreds(server string, status *wire.ServerStatus)
+}
+
+// Usage aggregates the resources one operation consumed.
+type Usage struct {
+	// LocalMegacycles is CPU demand executed on the client.
+	LocalMegacycles float64
+	// RemoteMegacycles is CPU demand executed on Spectra servers.
+	RemoteMegacycles float64
+	// BytesSent and BytesReceived count client-server RPC traffic.
+	BytesSent     int64
+	BytesReceived int64
+	// RPCs counts request/response exchanges.
+	RPCs int
+	// EnergyJoules is client energy attributed to the operation; valid
+	// only when EnergyValid (concurrent operations are not separable).
+	EnergyJoules float64
+	EnergyValid  bool
+	// Files lists Coda files the operation accessed, on any machine.
+	Files []predict.FileAccess
+	// Elapsed is the wall-clock duration of the operation.
+	Elapsed time.Duration
+}
+
+// Merge folds o into u.
+func (u *Usage) Merge(o Usage) {
+	u.LocalMegacycles += o.LocalMegacycles
+	u.RemoteMegacycles += o.RemoteMegacycles
+	u.BytesSent += o.BytesSent
+	u.BytesReceived += o.BytesReceived
+	u.RPCs += o.RPCs
+	if o.EnergyValid {
+		u.EnergyJoules += o.EnergyJoules
+		u.EnergyValid = true
+	}
+	u.Files = append(u.Files, o.Files...)
+	if o.Elapsed > u.Elapsed {
+		u.Elapsed = o.Elapsed
+	}
+}
+
+// CPUAvail predicts the cycles available to a new operation on a machine.
+type CPUAvail struct {
+	// AvailMHz is megacycles per second the operation would receive.
+	AvailMHz float64
+	// SpeedMHz is the machine's clock rate.
+	SpeedMHz float64
+	// LoadFraction is the smoothed fraction of CPU used by other work.
+	LoadFraction float64
+	// Known is false when no data is available for the machine.
+	Known bool
+}
+
+// NetAvail predicts network conditions toward one server.
+type NetAvail struct {
+	BandwidthBps float64
+	Latency      time.Duration
+	// Reachable is false when the server cannot currently be contacted.
+	Reachable bool
+	// Known is false before any traffic or polls have been observed.
+	Known bool
+}
+
+// BatteryAvail reports energy supply.
+type BatteryAvail struct {
+	RemainingJoules float64
+	// Importance is the goal-directed energy-conservation parameter c.
+	Importance float64
+	// OnWallPower reports whether the client currently draws wall power.
+	OnWallPower bool
+}
+
+// CacheAvail reports file cache state for one machine.
+type CacheAvail struct {
+	// Cached is the set of Coda paths currently cached.
+	Cached map[string]bool
+	// FetchRateBps estimates how fast uncached data arrives from file
+	// servers.
+	FetchRateBps float64
+	// Known is false when cache state is unavailable.
+	Known bool
+}
+
+// Snapshot is a consistent view of local and remote resource availability
+// gathered immediately before placement is decided.
+type Snapshot struct {
+	When time.Time
+
+	LocalCPU   CPUAvail
+	Battery    BatteryAvail
+	LocalCache CacheAvail
+
+	Network     map[string]NetAvail
+	RemoteCPU   map[string]CPUAvail
+	RemoteCache map[string]CacheAvail
+	// Services lists the service names each server offers.
+	Services map[string][]string
+}
+
+// NewSnapshot returns an empty snapshot taken at the given time.
+func NewSnapshot(when time.Time) *Snapshot {
+	return &Snapshot{
+		When:        when,
+		Network:     make(map[string]NetAvail),
+		RemoteCPU:   make(map[string]CPUAvail),
+		RemoteCache: make(map[string]CacheAvail),
+		Services:    make(map[string][]string),
+	}
+}
+
+// ServerUsable reports whether a server is a viable execution target in
+// this snapshot: reachable and offering the service.
+func (s *Snapshot) ServerUsable(server, service string) bool {
+	net, ok := s.Network[server]
+	if !ok || !net.Reachable {
+		return false
+	}
+	services, ok := s.Services[server]
+	if !ok {
+		return false
+	}
+	for _, svc := range services {
+		if svc == service {
+			return true
+		}
+	}
+	return false
+}
+
+// Set is the modular monitor framework shared by Spectra clients and
+// servers: an ordered collection of monitors addressed as a unit.
+type Set struct {
+	monitors []Monitor
+}
+
+// NewSet returns a framework containing the given monitors.
+func NewSet(monitors ...Monitor) *Set {
+	return &Set{monitors: append([]Monitor(nil), monitors...)}
+}
+
+// Add appends a monitor, enabling new measurement capability.
+func (s *Set) Add(m Monitor) { s.monitors = append(s.monitors, m) }
+
+// Monitors returns the monitors in order.
+func (s *Set) Monitors() []Monitor {
+	return append([]Monitor(nil), s.monitors...)
+}
+
+// Snapshot polls every monitor for availability predictions.
+func (s *Set) Snapshot(when time.Time, servers []string) *Snapshot {
+	snap := NewSnapshot(when)
+	for _, m := range s.monitors {
+		m.PredictAvail(servers, snap)
+	}
+	return snap
+}
+
+// StartOp begins observation of an operation on every monitor.
+func (s *Set) StartOp(opID uint64) {
+	for _, m := range s.monitors {
+		m.StartOp(opID)
+	}
+}
+
+// StopOp ends observation and returns the merged usage.
+func (s *Set) StopOp(opID uint64) Usage {
+	var u Usage
+	for _, m := range s.monitors {
+		m.StopOp(opID, &u)
+	}
+	return u
+}
+
+// AddUsage forwards externally reported usage to every monitor.
+func (s *Set) AddUsage(opID uint64, u Usage) {
+	for _, m := range s.monitors {
+		m.AddUsage(opID, u)
+	}
+}
+
+// UpdatePreds forwards a server status to every monitor.
+func (s *Set) UpdatePreds(server string, status *wire.ServerStatus) {
+	for _, m := range s.monitors {
+		m.UpdatePreds(server, status)
+	}
+}

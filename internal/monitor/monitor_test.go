@@ -1,0 +1,336 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"spectra/internal/energy"
+	"spectra/internal/predict"
+	"spectra/internal/rpc"
+	"spectra/internal/sim"
+	"spectra/internal/wire"
+)
+
+func TestUsageMerge(t *testing.T) {
+	u := Usage{LocalMegacycles: 1, BytesSent: 10, RPCs: 1, Elapsed: time.Second}
+	u.Merge(Usage{
+		LocalMegacycles:  2,
+		RemoteMegacycles: 3,
+		BytesSent:        5,
+		BytesReceived:    7,
+		RPCs:             2,
+		EnergyJoules:     4,
+		EnergyValid:      true,
+		Files:            []predict.FileAccess{{Path: "a", SizeBytes: 1}},
+		Elapsed:          2 * time.Second,
+	})
+	if u.LocalMegacycles != 3 || u.RemoteMegacycles != 3 || u.BytesSent != 15 ||
+		u.BytesReceived != 7 || u.RPCs != 3 {
+		t.Fatalf("merged = %+v", u)
+	}
+	if !u.EnergyValid || u.EnergyJoules != 4 {
+		t.Fatalf("energy merge = %+v", u)
+	}
+	if len(u.Files) != 1 || u.Elapsed != 2*time.Second {
+		t.Fatalf("files/elapsed merge = %+v", u)
+	}
+}
+
+func TestCPUMonitorAvailabilityAndSmoothing(t *testing.T) {
+	m := sim.NewMachine(sim.MachineConfig{Name: "m", SpeedMHz: 200})
+	cm := NewCPUMonitor(m)
+	snap := NewSnapshot(time.Unix(0, 0))
+	cm.PredictAvail(nil, snap)
+	if !snap.LocalCPU.Known || snap.LocalCPU.AvailMHz != 200 {
+		t.Fatalf("unloaded avail = %+v", snap.LocalCPU)
+	}
+	// Load appears: one background task -> load 0.5 -> smoothed 0.25.
+	m.SetBackgroundTasks(1)
+	snap2 := NewSnapshot(time.Unix(1, 0))
+	cm.PredictAvail(nil, snap2)
+	if math.Abs(snap2.LocalCPU.LoadFraction-0.25) > 1e-12 {
+		t.Fatalf("smoothed load = %v, want 0.25", snap2.LocalCPU.LoadFraction)
+	}
+	if math.Abs(snap2.LocalCPU.AvailMHz-150) > 1e-9 {
+		t.Fatalf("avail = %v, want 150", snap2.LocalCPU.AvailMHz)
+	}
+	// Repeated sampling converges toward 0.5.
+	for i := 0; i < 20; i++ {
+		cm.PredictAvail(nil, NewSnapshot(time.Unix(int64(2+i), 0)))
+	}
+	snap3 := NewSnapshot(time.Unix(100, 0))
+	cm.PredictAvail(nil, snap3)
+	if math.Abs(snap3.LocalCPU.LoadFraction-0.5) > 1e-3 {
+		t.Fatalf("converged load = %v, want ~0.5", snap3.LocalCPU.LoadFraction)
+	}
+}
+
+func TestCPUMonitorMeasuresOperationCycles(t *testing.T) {
+	m := sim.NewMachine(sim.MachineConfig{Name: "m", SpeedMHz: 200})
+	cm := NewCPUMonitor(m)
+	cm.StartOp(1)
+	m.ChargeCycles(123)
+	var u Usage
+	cm.StopOp(1, &u)
+	if u.LocalMegacycles != 123 {
+		t.Fatalf("local megacycles = %v, want 123", u.LocalMegacycles)
+	}
+	// Unknown op: no-op.
+	var u2 Usage
+	cm.StopOp(99, &u2)
+	if u2.LocalMegacycles != 0 {
+		t.Fatalf("unknown op contributed cycles: %+v", u2)
+	}
+}
+
+func TestNetworkMonitorEstimateAndReachability(t *testing.T) {
+	nm := NewNetworkMonitor()
+	log := nm.Log("serverB")
+	// 100 KB/s, negligible latency.
+	for _, b := range []int64{10_000, 50_000, 200_000} {
+		log.Record(rpc.TrafficObservation{
+			Bytes:   b,
+			Elapsed: time.Duration(float64(b) / 100_000 * float64(time.Second)),
+		})
+	}
+	nm.SetReachable("serverB", true)
+	snap := NewSnapshot(time.Unix(0, 0))
+	nm.PredictAvail([]string{"serverB", "ghost"}, snap)
+
+	b := snap.Network["serverB"]
+	if !b.Known || !b.Reachable {
+		t.Fatalf("serverB avail = %+v", b)
+	}
+	if math.Abs(b.BandwidthBps-100_000)/100_000 > 0.05 {
+		t.Fatalf("bandwidth = %v, want ~100000", b.BandwidthBps)
+	}
+	g := snap.Network["ghost"]
+	if g.Known || g.Reachable {
+		t.Fatalf("ghost avail = %+v", g)
+	}
+}
+
+func TestNetworkMonitorPerOpAccounting(t *testing.T) {
+	nm := NewNetworkMonitor()
+	nm.StartOp(1)
+	nm.AddUsage(1, Usage{BytesSent: 100, BytesReceived: 50, RPCs: 1})
+	nm.AddUsage(1, Usage{BytesSent: 10, BytesReceived: 5, RPCs: 1})
+	nm.AddUsage(2, Usage{BytesSent: 999}) // unknown op ignored
+	var u Usage
+	nm.StopOp(1, &u)
+	if u.BytesSent != 110 || u.BytesReceived != 55 || u.RPCs != 2 {
+		t.Fatalf("usage = %+v", u)
+	}
+}
+
+func TestNetworkMonitorUpdatePreds(t *testing.T) {
+	nm := NewNetworkMonitor()
+	nm.UpdatePreds("s", &wire.ServerStatus{Name: "s"})
+	snap := NewSnapshot(time.Unix(0, 0))
+	nm.PredictAvail([]string{"s"}, snap)
+	if !snap.Network["s"].Reachable {
+		t.Fatal("status poll should mark reachable")
+	}
+	nm.UpdatePreds("s", nil)
+	snap2 := NewSnapshot(time.Unix(1, 0))
+	nm.PredictAvail([]string{"s"}, snap2)
+	if snap2.Network["s"].Reachable {
+		t.Fatal("nil status should mark unreachable")
+	}
+}
+
+// testAccount is a controllable EnergyAccount.
+type testAccount struct{ joules float64 }
+
+func (a *testAccount) AttributedJoules() float64 { return a.joules }
+
+func TestBatteryMonitorAvailability(t *testing.T) {
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	b := sim.NewBattery(10_000)
+	meter := energy.NewExactMeter(b)
+	adaptor := energy.NewGoalAdaptor(clock, meter)
+	adaptor.SetGoal(10 * time.Hour)
+	acct := &testAccount{}
+	bm := NewBatteryMonitor(meter, adaptor, acct, nil)
+
+	snap := NewSnapshot(clock.Now())
+	bm.PredictAvail(nil, snap)
+	if snap.Battery.RemainingJoules != 10_000 {
+		t.Fatalf("remaining = %v", snap.Battery.RemainingJoules)
+	}
+	if snap.Battery.Importance <= 0 {
+		t.Fatalf("importance = %v, want > 0 for ambitious goal", snap.Battery.Importance)
+	}
+}
+
+func TestBatteryMonitorWallPowerZeroesImportance(t *testing.T) {
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	b := sim.NewBattery(10_000)
+	meter := energy.NewExactMeter(b)
+	adaptor := energy.NewGoalAdaptor(clock, meter)
+	adaptor.SetGoal(100 * time.Hour)
+	machine := sim.NewMachine(sim.MachineConfig{Name: "m", OnWallPower: true, Battery: b})
+	bm := NewBatteryMonitor(meter, adaptor, &testAccount{}, machine)
+
+	snap := NewSnapshot(clock.Now())
+	bm.PredictAvail(nil, snap)
+	if !snap.Battery.OnWallPower || snap.Battery.Importance != 0 {
+		t.Fatalf("wall power battery avail = %+v", snap.Battery)
+	}
+}
+
+func TestBatteryMonitorPerOpEnergy(t *testing.T) {
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	b := sim.NewBattery(10_000)
+	meter := energy.NewExactMeter(b)
+	acct := &testAccount{}
+	bm := NewBatteryMonitor(meter, energy.NewGoalAdaptor(clock, meter), acct, nil)
+
+	bm.StartOp(1)
+	acct.joules += 2.5
+	var u Usage
+	bm.StopOp(1, &u)
+	if !u.EnergyValid || u.EnergyJoules != 2.5 {
+		t.Fatalf("energy usage = %+v", u)
+	}
+}
+
+func TestBatteryMonitorConcurrentOpsInvalid(t *testing.T) {
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	b := sim.NewBattery(10_000)
+	meter := energy.NewExactMeter(b)
+	acct := &testAccount{}
+	bm := NewBatteryMonitor(meter, energy.NewGoalAdaptor(clock, meter), acct, nil)
+
+	bm.StartOp(1)
+	bm.StartOp(2) // overlaps with 1
+	acct.joules += 5
+	var u1, u2 Usage
+	bm.StopOp(1, &u1)
+	bm.StopOp(2, &u2)
+	if u1.EnergyValid || u2.EnergyValid {
+		t.Fatalf("concurrent energy marked valid: %+v %+v", u1, u2)
+	}
+}
+
+func TestFileCacheMonitor(t *testing.T) {
+	src := cacheStub{"/coda/a": true}
+	fm := NewFileCacheMonitor(src, func() float64 { return 50_000 })
+	snap := NewSnapshot(time.Unix(0, 0))
+	fm.PredictAvail(nil, snap)
+	if !snap.LocalCache.Known || !snap.LocalCache.Cached["/coda/a"] ||
+		snap.LocalCache.FetchRateBps != 50_000 {
+		t.Fatalf("cache avail = %+v", snap.LocalCache)
+	}
+
+	fm.StartOp(7)
+	fm.AddUsage(7, Usage{Files: []predict.FileAccess{{Path: "/coda/a", SizeBytes: 9}}})
+	fm.AddUsage(7, Usage{Files: []predict.FileAccess{{Path: "/coda/b", SizeBytes: 3}}})
+	var u Usage
+	fm.StopOp(7, &u)
+	if len(u.Files) != 2 {
+		t.Fatalf("files = %+v", u.Files)
+	}
+}
+
+type cacheStub map[string]bool
+
+func (c cacheStub) CachedPaths() map[string]bool { return c }
+
+func TestRemoteProxyMonitor(t *testing.T) {
+	rm := NewRemoteProxyMonitor()
+	rm.UpdatePreds("serverA", &wire.ServerStatus{
+		Name:         "serverA",
+		SpeedMHz:     400,
+		AvailMHz:     300,
+		LoadFraction: 0.25,
+		CachedFiles:  []string{"/coda/x"},
+		FetchRateBps: 10_000,
+		Services:     []string{"latex"},
+	})
+	snap := NewSnapshot(time.Unix(0, 0))
+	rm.PredictAvail([]string{"serverA", "serverB"}, snap)
+
+	a := snap.RemoteCPU["serverA"]
+	if !a.Known || a.AvailMHz != 300 || a.SpeedMHz != 400 {
+		t.Fatalf("serverA cpu = %+v", a)
+	}
+	if !snap.RemoteCache["serverA"].Cached["/coda/x"] {
+		t.Fatalf("serverA cache = %+v", snap.RemoteCache["serverA"])
+	}
+	if got := snap.Services["serverA"]; len(got) != 1 || got[0] != "latex" {
+		t.Fatalf("services = %v", got)
+	}
+	if snap.RemoteCPU["serverB"].Known {
+		t.Fatal("unknown server must not be Known")
+	}
+
+	rm.StartOp(3)
+	rm.AddUsage(3, Usage{RemoteMegacycles: 100})
+	rm.AddUsage(3, Usage{RemoteMegacycles: 50})
+	var u Usage
+	rm.StopOp(3, &u)
+	if u.RemoteMegacycles != 150 {
+		t.Fatalf("remote megacycles = %v", u.RemoteMegacycles)
+	}
+
+	if _, ok := rm.LastStatus("serverA"); !ok {
+		t.Fatal("LastStatus missing")
+	}
+	rm.UpdatePreds("serverA", nil)
+	if _, ok := rm.LastStatus("serverA"); ok {
+		t.Fatal("nil status should clear state")
+	}
+}
+
+func TestSetLifecycle(t *testing.T) {
+	machine := sim.NewMachine(sim.MachineConfig{Name: "m", SpeedMHz: 100})
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	b := sim.NewBattery(1000)
+	meter := energy.NewExactMeter(b)
+	acct := &testAccount{}
+	set := NewSet(
+		NewCPUMonitor(machine),
+		NewNetworkMonitor(),
+		NewBatteryMonitor(meter, energy.NewGoalAdaptor(clock, meter), acct, nil),
+		NewFileCacheMonitor(cacheStub{}, nil),
+		NewRemoteProxyMonitor(),
+	)
+	if len(set.Monitors()) != 5 {
+		t.Fatalf("monitors = %d", len(set.Monitors()))
+	}
+	set.UpdatePreds("s", &wire.ServerStatus{Name: "s", AvailMHz: 1, Services: []string{"svc"}})
+
+	snap := set.Snapshot(clock.Now(), []string{"s"})
+	if !snap.LocalCPU.Known {
+		t.Fatal("snapshot missing local CPU")
+	}
+	if !snap.ServerUsable("s", "svc") {
+		t.Fatal("server s should be usable for svc")
+	}
+	if snap.ServerUsable("s", "other") {
+		t.Fatal("server s must not be usable for unregistered service")
+	}
+	if snap.ServerUsable("ghost", "svc") {
+		t.Fatal("ghost server must not be usable")
+	}
+
+	set.StartOp(1)
+	machine.ChargeCycles(10)
+	acct.joules += 1
+	set.AddUsage(1, Usage{RemoteMegacycles: 5, BytesSent: 3, RPCs: 1})
+	u := set.StopOp(1)
+	if u.LocalMegacycles != 10 || u.RemoteMegacycles != 5 || u.BytesSent != 3 ||
+		!u.EnergyValid || u.EnergyJoules != 1 {
+		t.Fatalf("merged usage = %+v", u)
+	}
+}
+
+func TestSetAdd(t *testing.T) {
+	set := NewSet()
+	set.Add(NewNetworkMonitor())
+	if len(set.Monitors()) != 1 {
+		t.Fatal("Add failed")
+	}
+}

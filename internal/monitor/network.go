@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"sync"
+
+	"spectra/internal/rpc"
+	"spectra/internal/wire"
+)
+
+// NetworkMonitor predicts per-server bandwidth and latency from passive
+// observation of RPC traffic (paper §3.3.2) and accounts bytes and RPC
+// counts per operation. All client-server communication passes through
+// Spectra, so observing demand is a matter of summing what the transport
+// reports via AddUsage.
+type NetworkMonitor struct {
+	mu sync.Mutex
+
+	logs      map[string]*rpc.TrafficLog
+	reachable map[string]bool
+	inflight  map[uint64]*netUsage
+}
+
+type netUsage struct {
+	sent, received int64
+	rpcs           int
+}
+
+var _ Monitor = (*NetworkMonitor)(nil)
+
+// NewNetworkMonitor returns a monitor with no known servers.
+func NewNetworkMonitor() *NetworkMonitor {
+	return &NetworkMonitor{
+		logs:      make(map[string]*rpc.TrafficLog),
+		reachable: make(map[string]bool),
+		inflight:  make(map[uint64]*netUsage),
+	}
+}
+
+// Name implements Monitor.
+func (m *NetworkMonitor) Name() string { return "network" }
+
+// Log returns (creating if needed) the traffic log for a server. The
+// transport records every exchange into it.
+func (m *NetworkMonitor) Log(server string) *rpc.TrafficLog {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.logs[server]
+	if !ok {
+		l = rpc.NewTrafficLog()
+		m.logs[server] = l
+	}
+	return l
+}
+
+// SetReachable records whether a server currently responds; the transport
+// and the status poller call it.
+func (m *NetworkMonitor) SetReachable(server string, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reachable[server] = ok
+}
+
+// PredictAvail implements Monitor.
+func (m *NetworkMonitor) PredictAvail(servers []string, snap *Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range servers {
+		avail := NetAvail{Reachable: m.reachable[s]}
+		if l, ok := m.logs[s]; ok {
+			if est, ok := l.Estimate(); ok {
+				avail.BandwidthBps = est.BandwidthBps
+				avail.Latency = est.Latency
+				avail.Known = true
+			}
+		}
+		snap.Network[s] = avail
+	}
+}
+
+// StartOp implements Monitor.
+func (m *NetworkMonitor) StartOp(opID uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight[opID] = &netUsage{}
+}
+
+// StopOp implements Monitor.
+func (m *NetworkMonitor) StopOp(opID uint64, u *Usage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nu, ok := m.inflight[opID]
+	if !ok {
+		return
+	}
+	delete(m.inflight, opID)
+	u.BytesSent += nu.sent
+	u.BytesReceived += nu.received
+	u.RPCs += nu.rpcs
+}
+
+// AddUsage implements Monitor: the transport reports each exchange's bytes.
+func (m *NetworkMonitor) AddUsage(opID uint64, usage Usage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nu, ok := m.inflight[opID]
+	if !ok {
+		return
+	}
+	nu.sent += usage.BytesSent
+	nu.received += usage.BytesReceived
+	nu.rpcs += usage.RPCs
+}
+
+// UpdatePreds implements Monitor: a successful status poll proves
+// reachability.
+func (m *NetworkMonitor) UpdatePreds(server string, status *wire.ServerStatus) {
+	if status == nil {
+		m.SetReachable(server, false)
+		return
+	}
+	m.SetReachable(server, true)
+}

@@ -1,0 +1,57 @@
+package monitor
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spectra/internal/predict"
+)
+
+// usageFrom builds a Usage from compact random inputs.
+func usageFrom(v [6]uint16, valid bool) Usage {
+	return Usage{
+		LocalMegacycles:  float64(v[0]),
+		RemoteMegacycles: float64(v[1]),
+		BytesSent:        int64(v[2]),
+		BytesReceived:    int64(v[3]),
+		RPCs:             int(v[4] % 10),
+		EnergyJoules:     float64(v[5]) / 10,
+		EnergyValid:      valid,
+		Files:            []predict.FileAccess{{Path: "f", SizeBytes: int64(v[0])}},
+		Elapsed:          time.Duration(v[1]) * time.Millisecond,
+	}
+}
+
+// Property: merging usages is associative for every additive field, and
+// energy validity is the OR of the inputs.
+func TestUsageMergeAssociativityProperty(t *testing.T) {
+	f := func(a, b, c [6]uint16, va, vb, vc bool) bool {
+		left := usageFrom(a, va)
+		left.Merge(usageFrom(b, vb))
+		left.Merge(usageFrom(c, vc))
+
+		bc := usageFrom(b, vb)
+		bc.Merge(usageFrom(c, vc))
+		right := usageFrom(a, va)
+		right.Merge(bc)
+
+		if left.LocalMegacycles != right.LocalMegacycles ||
+			left.RemoteMegacycles != right.RemoteMegacycles ||
+			left.BytesSent != right.BytesSent ||
+			left.BytesReceived != right.BytesReceived ||
+			left.RPCs != right.RPCs ||
+			left.Elapsed != right.Elapsed ||
+			left.EnergyValid != right.EnergyValid ||
+			len(left.Files) != len(right.Files) {
+			return false
+		}
+		if left.EnergyValid != (va || vb || vc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

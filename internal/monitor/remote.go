@@ -1,0 +1,115 @@
+package monitor
+
+import (
+	"sync"
+
+	"spectra/internal/wire"
+)
+
+// RemoteProxyMonitor mirrors the resource monitors running on Spectra
+// servers (paper §3.3.5): clients periodically poll servers for CPU and
+// file-cache snapshots, which arrive here through UpdatePreds; per-RPC
+// server resource consumption arrives through AddUsage and is accumulated
+// until the operation completes.
+type RemoteProxyMonitor struct {
+	mu sync.Mutex
+
+	status   map[string]*wire.ServerStatus
+	inflight map[uint64]float64 // opID -> accumulated remote megacycles
+}
+
+var _ Monitor = (*RemoteProxyMonitor)(nil)
+
+// NewRemoteProxyMonitor returns a proxy with no server state yet.
+func NewRemoteProxyMonitor() *RemoteProxyMonitor {
+	return &RemoteProxyMonitor{
+		status:   make(map[string]*wire.ServerStatus),
+		inflight: make(map[uint64]float64),
+	}
+}
+
+// Name implements Monitor.
+func (m *RemoteProxyMonitor) Name() string { return "remote-proxy" }
+
+// PredictAvail implements Monitor: it publishes the most recent polled
+// snapshot of each candidate server.
+func (m *RemoteProxyMonitor) PredictAvail(servers []string, snap *Snapshot) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range servers {
+		st, ok := m.status[s]
+		if !ok || st == nil {
+			snap.RemoteCPU[s] = CPUAvail{}
+			snap.RemoteCache[s] = CacheAvail{}
+			continue
+		}
+		snap.RemoteCPU[s] = CPUAvail{
+			AvailMHz:     st.AvailMHz,
+			SpeedMHz:     st.SpeedMHz,
+			LoadFraction: st.LoadFraction,
+			Known:        true,
+		}
+		cached := make(map[string]bool, len(st.CachedFiles))
+		for _, f := range st.CachedFiles {
+			cached[f] = true
+		}
+		snap.RemoteCache[s] = CacheAvail{
+			Cached:       cached,
+			FetchRateBps: st.FetchRateBps,
+			Known:        true,
+		}
+		snap.Services[s] = append([]string(nil), st.Services...)
+	}
+}
+
+// StartOp implements Monitor.
+func (m *RemoteProxyMonitor) StartOp(opID uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight[opID] = 0
+}
+
+// StopOp implements Monitor: it reports the operation's total server CPU
+// consumption.
+func (m *RemoteProxyMonitor) StopOp(opID uint64, u *Usage) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mc, ok := m.inflight[opID]
+	if !ok {
+		return
+	}
+	delete(m.inflight, opID)
+	u.RemoteMegacycles += mc
+}
+
+// AddUsage implements Monitor: server usage reports accumulate here.
+func (m *RemoteProxyMonitor) AddUsage(opID uint64, usage Usage) {
+	if usage.RemoteMegacycles <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.inflight[opID]; !ok {
+		return
+	}
+	m.inflight[opID] += usage.RemoteMegacycles
+}
+
+// UpdatePreds implements Monitor.
+func (m *RemoteProxyMonitor) UpdatePreds(server string, status *wire.ServerStatus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if status == nil {
+		delete(m.status, server)
+		return
+	}
+	m.status[server] = status
+}
+
+// LastStatus returns the most recent status for a server, if any.
+func (m *RemoteProxyMonitor) LastStatus(server string) (*wire.ServerStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.status[server]
+	return st, ok
+}

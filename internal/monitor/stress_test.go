@@ -1,0 +1,88 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"spectra/internal/energy"
+	"spectra/internal/rpc"
+	"spectra/internal/sim"
+	"spectra/internal/wire"
+)
+
+// TestSetConcurrentStress hammers the full monitor framework from many
+// goroutines at once — snapshots, operation lifecycles, usage reports, and
+// status polls — verifying nothing corrupts under the race detector and
+// per-operation accounting stays exact.
+func TestSetConcurrentStress(t *testing.T) {
+	machine := sim.NewMachine(sim.MachineConfig{Name: "m", SpeedMHz: 1000})
+	clock := sim.NewVirtualClock(time.Unix(0, 0))
+	battery := sim.NewBattery(1e9)
+	meter := energy.NewExactMeter(battery)
+	acct := &stressAccount{}
+	network := NewNetworkMonitor()
+	set := NewSet(
+		NewCPUMonitor(machine),
+		network,
+		NewBatteryMonitor(meter, energy.NewGoalAdaptor(clock, meter), acct, nil),
+		NewFileCacheMonitor(cacheStub{}, func() float64 { return 1000 }),
+		NewRemoteProxyMonitor(),
+	)
+
+	const (
+		workers = 8
+		opsEach = 50
+	)
+	var wg sync.WaitGroup
+	results := make([][]Usage, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				id := uint64(w*opsEach + i + 1)
+				set.StartOp(id)
+				set.AddUsage(id, Usage{
+					RemoteMegacycles: 10,
+					BytesSent:        100,
+					BytesReceived:    50,
+					RPCs:             1,
+				})
+				set.AddUsage(id, Usage{RemoteMegacycles: 5, RPCs: 1})
+				results[w] = append(results[w], set.StopOp(id))
+			}
+		}(w)
+	}
+	// Concurrent snapshot and poll traffic.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			set.Snapshot(clock.Now(), []string{"s1", "s2"})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			set.UpdatePreds("s1", &wire.ServerStatus{Name: "s1", AvailMHz: 100})
+			network.Log("s1").Record(rpc.TrafficObservation{Bytes: 100, Elapsed: time.Millisecond})
+		}
+	}()
+	wg.Wait()
+
+	for w := range results {
+		if len(results[w]) != opsEach {
+			t.Fatalf("worker %d completed %d ops", w, len(results[w]))
+		}
+		for i, u := range results[w] {
+			if u.RemoteMegacycles != 15 || u.BytesSent != 100 || u.RPCs != 2 {
+				t.Fatalf("worker %d op %d usage = %+v", w, i, u)
+			}
+		}
+	}
+}
+
+type stressAccount struct{}
+
+func (stressAccount) AttributedJoules() float64 { return 0 }

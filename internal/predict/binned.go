@@ -1,0 +1,129 @@
+package predict
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Observation is one measured sample of a resource's usage by an operation.
+type Observation struct {
+	// Params are the continuous inputs: operation input parameters and any
+	// continuous fidelity dimensions (e.g. utterance length in seconds).
+	Params map[string]float64
+	// Discrete are the discrete dimensions, typically fidelity settings
+	// (e.g. vocabulary="full") and the chosen execution plan.
+	Discrete map[string]string
+	// Data optionally names the data object the operation ran on (e.g. the
+	// Latex top-level input file), enabling data-specific models.
+	Data string
+	// Value is the measured resource usage (cycles, bytes, joules, ...).
+	Value float64
+}
+
+// Query describes the prediction point: the same dimensions as an
+// Observation, without a value.
+type Query struct {
+	Params   map[string]float64
+	Discrete map[string]string
+	Data     string
+}
+
+// BinnedPredictor implements the paper's default numeric predictor: it
+// maintains one linear model per combination of discrete values plus a
+// generic model independent of discrete variables, used whenever a specific
+// combination has not yet been encountered.
+type BinnedPredictor struct {
+	mu sync.Mutex
+
+	features []string
+	decay    float64
+	bins     map[string]*LinearModel
+	generic  *LinearModel
+}
+
+// NewBinnedPredictor returns a predictor whose linear models regress over
+// the given continuous features.
+func NewBinnedPredictor(features []string) *BinnedPredictor {
+	return NewBinnedPredictorDecay(features, DefaultDecay)
+}
+
+// NewBinnedPredictorDecay returns a predictor with an explicit recency
+// decay for its models.
+func NewBinnedPredictorDecay(features []string, decay float64) *BinnedPredictor {
+	return &BinnedPredictor{
+		features: append([]string(nil), features...),
+		decay:    decay,
+		bins:     make(map[string]*LinearModel),
+		generic:  NewLinearModelDecay(features, decay),
+	}
+}
+
+// Observe updates both the bin matching the observation's discrete values
+// and the generic model.
+func (p *BinnedPredictor) Observe(o Observation) {
+	key := DiscreteKey(o.Discrete)
+
+	p.mu.Lock()
+	bin, ok := p.bins[key]
+	if !ok {
+		bin = NewLinearModelDecay(p.features, p.decay)
+		p.bins[key] = bin
+	}
+	p.mu.Unlock()
+
+	bin.Observe(o.Params, o.Value)
+	p.generic.Observe(o.Params, o.Value)
+}
+
+// Predict returns the estimate for the query point. It prefers the bin for
+// the query's discrete combination and falls back to the generic model.
+func (p *BinnedPredictor) Predict(q Query) (float64, bool) {
+	key := DiscreteKey(q.Discrete)
+
+	p.mu.Lock()
+	bin := p.bins[key]
+	p.mu.Unlock()
+
+	if bin != nil {
+		if v, ok := bin.Predict(q.Params); ok {
+			return v, true
+		}
+	}
+	return p.generic.Predict(q.Params)
+}
+
+// BinCount returns the number of discrete combinations seen so far.
+func (p *BinnedPredictor) BinCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.bins)
+}
+
+// SampleCount returns the total number of observations absorbed.
+func (p *BinnedPredictor) SampleCount() int {
+	return p.generic.SampleCount()
+}
+
+// DiscreteKey canonicalizes a discrete-value assignment into a stable map
+// key ("k1=v1;k2=v2" with sorted keys). An empty or nil map yields "".
+func DiscreteKey(discrete map[string]string) string {
+	if len(discrete) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(discrete))
+	for k := range discrete {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(discrete[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiscreteKeyCanonical(t *testing.T) {
+	tests := []struct {
+		name string
+		give map[string]string
+		want string
+	}{
+		{name: "nil", give: nil, want: ""},
+		{name: "empty", give: map[string]string{}, want: ""},
+		{name: "single", give: map[string]string{"vocab": "full"}, want: "vocab=full"},
+		{
+			name: "sorted",
+			give: map[string]string{"b": "2", "a": "1"},
+			want: "a=1;b=2",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := DiscreteKey(tt.give); got != tt.want {
+				t.Errorf("DiscreteKey = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBinnedPredictorSeparatesBins(t *testing.T) {
+	p := NewBinnedPredictorDecay(nil, 1)
+	for i := 0; i < 5; i++ {
+		p.Observe(Observation{Discrete: map[string]string{"vocab": "full"}, Value: 100})
+		p.Observe(Observation{Discrete: map[string]string{"vocab": "reduced"}, Value: 10})
+	}
+	full, ok := p.Predict(Query{Discrete: map[string]string{"vocab": "full"}})
+	if !ok || math.Abs(full-100) > 1e-5 {
+		t.Fatalf("full bin = (%v,%v), want 100", full, ok)
+	}
+	red, ok := p.Predict(Query{Discrete: map[string]string{"vocab": "reduced"}})
+	if !ok || math.Abs(red-10) > 1e-5 {
+		t.Fatalf("reduced bin = (%v,%v), want 10", red, ok)
+	}
+	if p.BinCount() != 2 {
+		t.Fatalf("bin count = %d, want 2", p.BinCount())
+	}
+}
+
+func TestBinnedPredictorGenericFallback(t *testing.T) {
+	p := NewBinnedPredictorDecay(nil, 1)
+	p.Observe(Observation{Discrete: map[string]string{"plan": "local"}, Value: 50})
+	p.Observe(Observation{Discrete: map[string]string{"plan": "remote"}, Value: 70})
+	// Never-seen combination: falls back to the generic model (mean 60).
+	got, ok := p.Predict(Query{Discrete: map[string]string{"plan": "hybrid"}})
+	if !ok || math.Abs(got-60) > 1e-5 {
+		t.Fatalf("generic fallback = (%v,%v), want 60", got, ok)
+	}
+}
+
+func TestBinnedPredictorEmpty(t *testing.T) {
+	p := NewBinnedPredictor(nil)
+	if _, ok := p.Predict(Query{}); ok {
+		t.Fatal("empty predictor must not predict")
+	}
+	if p.SampleCount() != 0 {
+		t.Fatal("sample count should be 0")
+	}
+}
+
+func TestBinnedPredictorRegressionWithinBin(t *testing.T) {
+	p := NewBinnedPredictorDecay([]string{"len"}, 1)
+	for l := 1.0; l <= 8; l++ {
+		p.Observe(Observation{
+			Params:   map[string]float64{"len": l},
+			Discrete: map[string]string{"vocab": "full"},
+			Value:    100 * l,
+		})
+		p.Observe(Observation{
+			Params:   map[string]float64{"len": l},
+			Discrete: map[string]string{"vocab": "reduced"},
+			Value:    30 * l,
+		})
+	}
+	got, ok := p.Predict(Query{
+		Params:   map[string]float64{"len": 10},
+		Discrete: map[string]string{"vocab": "reduced"},
+	})
+	if !ok || math.Abs(got-300) > 1e-6 {
+		t.Fatalf("reduced@10 = (%v,%v), want 300", got, ok)
+	}
+}

@@ -1,0 +1,154 @@
+package predict
+
+import (
+	"sort"
+	"sync"
+)
+
+// FilePredictor implements the paper's default file-access predictor
+// (§3.5). For every file an operation has ever touched it maintains a
+// recency-weighted estimate of access likelihood: each execution updates
+// each known file's model with 1 if the file was accessed and 0 otherwise.
+// The resulting per-file values are probabilities that the file will be
+// accessed by the next execution, used both to estimate cache-miss cost and
+// to decide which dirty files must be reintegrated before remote execution.
+type FilePredictor struct {
+	mu sync.Mutex
+
+	decay float64
+	files map[string]*fileStat
+}
+
+type fileStat struct {
+	likelihood float64
+	sizeBytes  int64
+	samples    int
+	remote     bool
+}
+
+// FileAccess describes one file touched by an operation.
+type FileAccess struct {
+	Path string
+	// SizeBytes is the file's size, used to estimate fetch cost.
+	SizeBytes int64
+	// Remote reports whether the access happened on a remote server
+	// rather than the client; miss costs depend on whose cache holds the
+	// file.
+	Remote bool `json:"remote,omitempty"`
+}
+
+// FileLikelihood is a prediction for a single file.
+type FileLikelihood struct {
+	Path       string
+	SizeBytes  int64
+	Likelihood float64
+	// Remote is the location of the most recent observed access.
+	Remote bool
+}
+
+// NewFilePredictor returns a predictor with the default recency decay.
+func NewFilePredictor() *FilePredictor {
+	return NewFilePredictorDecay(DefaultDecay)
+}
+
+// NewFilePredictorDecay returns a predictor with an explicit decay in
+// (0,1].
+func NewFilePredictorDecay(decay float64) *FilePredictor {
+	if decay <= 0 || decay > 1 {
+		decay = DefaultDecay
+	}
+	return &FilePredictor{
+		decay: decay,
+		files: make(map[string]*fileStat),
+	}
+}
+
+// ObserveOp records the set of files one operation execution accessed.
+// Files never seen before enter the model with likelihood 1; files known
+// but not accessed this time decay toward 0.
+func (p *FilePredictor) ObserveOp(accessed []FileAccess) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	seen := make(map[string]bool, len(accessed))
+	for _, a := range accessed {
+		seen[a.Path] = true
+		st, ok := p.files[a.Path]
+		if !ok {
+			st = &fileStat{likelihood: 1}
+			p.files[a.Path] = st
+		} else {
+			st.likelihood = p.decay*st.likelihood + (1 - p.decay)
+		}
+		if a.SizeBytes > 0 {
+			st.sizeBytes = a.SizeBytes
+		}
+		st.remote = a.Remote
+		st.samples++
+	}
+	for path, st := range p.files {
+		if seen[path] {
+			continue
+		}
+		st.likelihood *= p.decay
+		st.samples++
+	}
+}
+
+// Likelihood returns the predicted access probability for a file; unknown
+// files have likelihood 0.
+func (p *FilePredictor) Likelihood(path string) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.files[path]
+	if !ok {
+		return 0
+	}
+	return st.likelihood
+}
+
+// Candidates returns every file with access likelihood at or above the
+// threshold, sorted by path for determinism.
+func (p *FilePredictor) Candidates(threshold float64) []FileLikelihood {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	var out []FileLikelihood
+	for path, st := range p.files {
+		if st.likelihood < threshold {
+			continue
+		}
+		out = append(out, FileLikelihood{
+			Path:       path,
+			SizeBytes:  st.sizeBytes,
+			Likelihood: st.likelihood,
+			Remote:     st.remote,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ExpectedFetchBytes estimates how many bytes must be fetched from file
+// servers to run the operation given the set of locally cached files: for
+// each uncached candidate file it adds size × likelihood (paper §3.5).
+func (p *FilePredictor) ExpectedFetchBytes(cached map[string]bool) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	var total float64
+	for path, st := range p.files {
+		if cached[path] {
+			continue
+		}
+		total += float64(st.sizeBytes) * st.likelihood
+	}
+	return total
+}
+
+// KnownFiles returns the number of files in the model.
+func (p *FilePredictor) KnownFiles() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.files)
+}

@@ -1,0 +1,111 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFilePredictorFirstAccessLikelihoodOne(t *testing.T) {
+	p := NewFilePredictor()
+	p.ObserveOp([]FileAccess{{Path: "/coda/lm.bin", SizeBytes: 277 * 1024}})
+	if got := p.Likelihood("/coda/lm.bin"); got != 1 {
+		t.Fatalf("likelihood = %v, want 1", got)
+	}
+	if got := p.Likelihood("/coda/other"); got != 0 {
+		t.Fatalf("unknown file likelihood = %v, want 0", got)
+	}
+}
+
+func TestFilePredictorDecaysUnaccessed(t *testing.T) {
+	p := NewFilePredictorDecay(0.5)
+	p.ObserveOp([]FileAccess{{Path: "a", SizeBytes: 10}})
+	p.ObserveOp([]FileAccess{{Path: "b", SizeBytes: 20}}) // a not accessed
+	if got := p.Likelihood("a"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("a likelihood = %v, want 0.5", got)
+	}
+	p.ObserveOp([]FileAccess{{Path: "b", SizeBytes: 20}})
+	if got := p.Likelihood("a"); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("a likelihood = %v, want 0.25", got)
+	}
+	// b accessed every time after introduction: stays 1.
+	if got := p.Likelihood("b"); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("b likelihood = %v, want 1", got)
+	}
+}
+
+func TestFilePredictorReaccessRecovers(t *testing.T) {
+	p := NewFilePredictorDecay(0.5)
+	p.ObserveOp([]FileAccess{{Path: "a", SizeBytes: 10}})
+	p.ObserveOp(nil) // a -> 0.5
+	p.ObserveOp([]FileAccess{{Path: "a", SizeBytes: 10}})
+	// 0.5*0.5 + 0.5 = 0.75
+	if got := p.Likelihood("a"); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("a likelihood = %v, want 0.75", got)
+	}
+}
+
+func TestFilePredictorExpectedFetchBytes(t *testing.T) {
+	p := NewFilePredictorDecay(0.5)
+	p.ObserveOp([]FileAccess{
+		{Path: "a", SizeBytes: 1000},
+		{Path: "b", SizeBytes: 500},
+	})
+	cached := map[string]bool{"b": true}
+	// a uncached with likelihood 1 -> 1000 bytes expected.
+	if got := p.ExpectedFetchBytes(cached); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("expected fetch = %v, want 1000", got)
+	}
+	// Everything cached -> 0.
+	if got := p.ExpectedFetchBytes(map[string]bool{"a": true, "b": true}); got != 0 {
+		t.Fatalf("expected fetch with warm cache = %v, want 0", got)
+	}
+}
+
+func TestFilePredictorCandidates(t *testing.T) {
+	p := NewFilePredictorDecay(0.5)
+	p.ObserveOp([]FileAccess{{Path: "z", SizeBytes: 1}, {Path: "a", SizeBytes: 2}})
+	p.ObserveOp([]FileAccess{{Path: "a", SizeBytes: 2}}) // z decays to 0.5
+	got := p.Candidates(0.6)
+	if len(got) != 1 || got[0].Path != "a" {
+		t.Fatalf("candidates(0.6) = %+v, want only a", got)
+	}
+	all := p.Candidates(0)
+	if len(all) != 2 || all[0].Path != "a" || all[1].Path != "z" {
+		t.Fatalf("candidates(0) = %+v, want sorted [a z]", all)
+	}
+	if p.KnownFiles() != 2 {
+		t.Fatalf("known files = %d", p.KnownFiles())
+	}
+}
+
+func TestFilePredictorInvalidDecay(t *testing.T) {
+	p := NewFilePredictorDecay(7)
+	p.ObserveOp([]FileAccess{{Path: "a", SizeBytes: 1}})
+	if p.Likelihood("a") != 1 {
+		t.Fatal("predictor with defaulted decay broken")
+	}
+}
+
+// Property: likelihoods always stay within [0,1].
+func TestFilePredictorBoundedProperty(t *testing.T) {
+	f := func(pattern []bool) bool {
+		p := NewFilePredictorDecay(0.9)
+		p.ObserveOp([]FileAccess{{Path: "f", SizeBytes: 1}})
+		for _, hit := range pattern {
+			if hit {
+				p.ObserveOp([]FileAccess{{Path: "f", SizeBytes: 1}})
+			} else {
+				p.ObserveOp(nil)
+			}
+			l := p.Likelihood("f")
+			if l < 0 || l > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

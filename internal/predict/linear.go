@@ -1,0 +1,218 @@
+// Package predict implements Spectra's self-tuning resource-demand
+// predictors. Spectra observes application resource usage, logs it, and
+// builds models that predict future demand as a function of fidelity and
+// operation input parameters (paper §3.4):
+//
+//   - continuous variables are modeled with recency-weighted linear
+//     regression (LinearModel);
+//   - discrete variables are binned, with a generic fallback model used for
+//     combinations not yet encountered (BinnedPredictor);
+//   - a LRU cache of data-specific models captures per-data-object behaviour
+//     such as Latex documents (DataCache);
+//   - file accesses are modeled with a per-file access-likelihood estimator
+//     (FilePredictor, in file.go).
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// DefaultDecay is the per-sample exponential decay applied to model state so
+// that recent samples dominate, as required for adapting to changes in
+// application behaviour over time.
+const DefaultDecay = 0.95
+
+// _ridge is a small regularizer keeping the normal equations solvable when
+// inputs are collinear or constant.
+const _ridge = 1e-9
+
+// LinearModel is an online, recency-weighted multiple linear regression
+// from a fixed set of continuous features to a resource-usage value.
+// It maintains exponentially decayed sufficient statistics (XᵀWX, XᵀWy) and
+// solves the normal equations at prediction time; with no features it
+// degrades to a decayed mean. The zero value is not usable; construct with
+// NewLinearModel. LinearModel is safe for concurrent use.
+type LinearModel struct {
+	mu sync.Mutex
+
+	features []string
+	decay    float64
+
+	// Sufficient statistics over the augmented feature vector
+	// x = (1, f1, ..., fk).
+	xtx [][]float64 // (k+1) x (k+1)
+	xty []float64   // (k+1)
+	n   float64     // decayed sample count
+	raw int         // undecayed sample count
+}
+
+// NewLinearModel returns a model over the given continuous features using
+// the default recency decay. Feature order is fixed for the model lifetime.
+func NewLinearModel(features []string) *LinearModel {
+	return NewLinearModelDecay(features, DefaultDecay)
+}
+
+// NewLinearModelDecay returns a model with an explicit decay in (0, 1].
+// A decay of 1 disables recency weighting (plain least squares), which the
+// ablation benchmarks use.
+func NewLinearModelDecay(features []string, decay float64) *LinearModel {
+	if decay <= 0 || decay > 1 {
+		decay = DefaultDecay
+	}
+	k := len(features) + 1
+	m := &LinearModel{
+		features: append([]string(nil), features...),
+		decay:    decay,
+		xtx:      make([][]float64, k),
+		xty:      make([]float64, k),
+	}
+	for i := range m.xtx {
+		m.xtx[i] = make([]float64, k)
+	}
+	return m
+}
+
+// Features returns the model's feature names.
+func (m *LinearModel) Features() []string {
+	return append([]string(nil), m.features...)
+}
+
+// SampleCount returns the number of observations the model has absorbed.
+func (m *LinearModel) SampleCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.raw
+}
+
+// Observe updates the model with a sample. Missing features are treated
+// as zero.
+func (m *LinearModel) Observe(params map[string]float64, value float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	x := m.vectorLocked(params)
+	k := len(x)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			m.xtx[i][j] = m.decay*m.xtx[i][j] + x[i]*x[j]
+		}
+		m.xty[i] = m.decay*m.xty[i] + x[i]*value
+	}
+	m.n = m.decay*m.n + 1
+	m.raw++
+}
+
+// Predict returns the model's estimate for the given parameters and whether
+// the model has enough data to predict at all. With fewer samples than
+// features the regression is underdetermined, so the decayed mean is
+// returned instead.
+func (m *LinearModel) Predict(params map[string]float64) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if m.raw == 0 {
+		return 0, false
+	}
+	mean := m.xty[0] / m.n
+	if m.raw <= len(m.features) {
+		return mean, true
+	}
+	beta, ok := m.solveLocked()
+	if !ok {
+		return mean, true
+	}
+	x := m.vectorLocked(params)
+	var y float64
+	for i, b := range beta {
+		y += b * x[i]
+	}
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return mean, true
+	}
+	return y, true
+}
+
+// Coefficients returns the current regression coefficients: the intercept
+// followed by one weight per feature (in Features order). ok is false when
+// the model cannot solve yet (too few or degenerate samples). Intended for
+// introspection and tests; Predict is the evaluation path.
+func (m *LinearModel) Coefficients() ([]float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.raw <= len(m.features) {
+		return nil, false
+	}
+	beta, ok := m.solveLocked()
+	if !ok {
+		return nil, false
+	}
+	return beta, true
+}
+
+// Mean returns the decayed mean of observed values.
+func (m *LinearModel) Mean() (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.raw == 0 {
+		return 0, false
+	}
+	return m.xty[0] / m.n, true
+}
+
+// vectorLocked builds the augmented feature vector (1, f1..fk).
+func (m *LinearModel) vectorLocked(params map[string]float64) []float64 {
+	x := make([]float64, len(m.features)+1)
+	x[0] = 1
+	for i, f := range m.features {
+		x[i+1] = params[f]
+	}
+	return x
+}
+
+// solveLocked solves (XᵀWX + ridge·I) β = XᵀWy by Gaussian elimination with
+// partial pivoting. It reports false if the system is singular.
+func (m *LinearModel) solveLocked() ([]float64, bool) {
+	k := len(m.xty)
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = make([]float64, k+1)
+		copy(a[i], m.xtx[i])
+		a[i][i] += _ridge * m.n
+		a[i][k] = m.xty[i]
+	}
+	for col := 0; col < k; col++ {
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		for r := 0; r < k; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	beta := make([]float64, k)
+	for i := 0; i < k; i++ {
+		beta[i] = a[i][k] / a[i][i]
+	}
+	return beta, true
+}
+
+// String implements fmt.Stringer for debugging.
+func (m *LinearModel) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("LinearModel(features=%v samples=%d)", m.features, m.raw)
+}

@@ -1,0 +1,176 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearModelEmpty(t *testing.T) {
+	m := NewLinearModel([]string{"x"})
+	if _, ok := m.Predict(map[string]float64{"x": 1}); ok {
+		t.Fatal("empty model must not predict")
+	}
+	if _, ok := m.Mean(); ok {
+		t.Fatal("empty model has no mean")
+	}
+}
+
+func TestLinearModelMeanOnlyWithFewSamples(t *testing.T) {
+	m := NewLinearModel([]string{"x"})
+	m.Observe(map[string]float64{"x": 3}, 10)
+	got, ok := m.Predict(map[string]float64{"x": 100})
+	if !ok || got != 10 {
+		t.Fatalf("single-sample prediction = (%v,%v), want (10,true)", got, ok)
+	}
+}
+
+func TestLinearModelRecoversLine(t *testing.T) {
+	// y = 2x + 5, exact fit expected.
+	m := NewLinearModelDecay([]string{"x"}, 1)
+	for x := 0.0; x < 10; x++ {
+		m.Observe(map[string]float64{"x": x}, 2*x+5)
+	}
+	got, ok := m.Predict(map[string]float64{"x": 20})
+	if !ok {
+		t.Fatal("model should predict")
+	}
+	if math.Abs(got-45) > 1e-6 {
+		t.Fatalf("predict(20) = %v, want 45", got)
+	}
+}
+
+func TestLinearModelMultipleFeatures(t *testing.T) {
+	// y = 3a - 2b + 1
+	m := NewLinearModelDecay([]string{"a", "b"}, 1)
+	pts := []struct{ a, b float64 }{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 3}, {5, 1}, {3, 4},
+	}
+	for _, p := range pts {
+		m.Observe(map[string]float64{"a": p.a, "b": p.b}, 3*p.a-2*p.b+1)
+	}
+	got, ok := m.Predict(map[string]float64{"a": 10, "b": 2})
+	if !ok || math.Abs(got-27) > 1e-6 {
+		t.Fatalf("predict = (%v,%v), want 27", got, ok)
+	}
+}
+
+func TestLinearModelConstantInputFallsBackToMean(t *testing.T) {
+	// All x identical: slope underdetermined; ridge keeps it solvable and
+	// the answer should stay near the mean.
+	m := NewLinearModelDecay([]string{"x"}, 1)
+	for i := 0; i < 10; i++ {
+		m.Observe(map[string]float64{"x": 4}, 8)
+	}
+	got, ok := m.Predict(map[string]float64{"x": 4})
+	if !ok || math.Abs(got-8) > 1e-3 {
+		t.Fatalf("constant-input prediction = (%v,%v), want ~8", got, ok)
+	}
+}
+
+func TestLinearModelRecencyWeighting(t *testing.T) {
+	// Behaviour change: old regime y=100, new regime y=10. A decayed model
+	// must end much closer to 10 than an unweighted mean (55).
+	m := NewLinearModelDecay(nil, 0.7)
+	for i := 0; i < 20; i++ {
+		m.Observe(nil, 100)
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe(nil, 10)
+	}
+	got, ok := m.Predict(nil)
+	if !ok {
+		t.Fatal("should predict")
+	}
+	if got > 15 {
+		t.Fatalf("decayed prediction = %v, want close to 10", got)
+	}
+
+	flat := NewLinearModelDecay(nil, 1)
+	for i := 0; i < 20; i++ {
+		flat.Observe(nil, 100)
+	}
+	for i := 0; i < 10; i++ {
+		flat.Observe(nil, 10)
+	}
+	fg, _ := flat.Predict(nil)
+	if math.Abs(fg-70) > 1e-6 {
+		t.Fatalf("unweighted mean = %v, want 70", fg)
+	}
+}
+
+func TestLinearModelInvalidDecayUsesDefault(t *testing.T) {
+	m := NewLinearModelDecay([]string{"x"}, -3)
+	m.Observe(map[string]float64{"x": 1}, 2)
+	if _, ok := m.Predict(map[string]float64{"x": 1}); !ok {
+		t.Fatal("model with defaulted decay should work")
+	}
+}
+
+func TestLinearModelFeaturesCopied(t *testing.T) {
+	feats := []string{"x"}
+	m := NewLinearModel(feats)
+	feats[0] = "mutated"
+	if got := m.Features(); got[0] != "x" {
+		t.Fatalf("features aliased caller slice: %v", got)
+	}
+	got := m.Features()
+	got[0] = "mutated2"
+	if m.Features()[0] != "x" {
+		t.Fatal("Features() exposed internal slice")
+	}
+}
+
+func TestLinearModelCoefficients(t *testing.T) {
+	m := NewLinearModelDecay([]string{"x"}, 1)
+	if _, ok := m.Coefficients(); ok {
+		t.Fatal("empty model exposed coefficients")
+	}
+	for x := 0.0; x < 6; x++ {
+		m.Observe(map[string]float64{"x": x}, 2*x+5)
+	}
+	beta, ok := m.Coefficients()
+	if !ok || len(beta) != 2 {
+		t.Fatalf("coefficients = %v, %v", beta, ok)
+	}
+	if math.Abs(beta[0]-5) > 1e-6 || math.Abs(beta[1]-2) > 1e-6 {
+		t.Fatalf("beta = %v, want [5 2]", beta)
+	}
+}
+
+func TestLinearModelSampleCount(t *testing.T) {
+	m := NewLinearModel(nil)
+	for i := 0; i < 7; i++ {
+		m.Observe(nil, float64(i))
+	}
+	if m.SampleCount() != 7 {
+		t.Fatalf("sample count = %d", m.SampleCount())
+	}
+	if s := m.String(); s == "" {
+		t.Fatal("String empty")
+	}
+}
+
+// Property: predictions on the training input of a perfectly linear
+// relation are finite and bounded by observed extremes within tolerance.
+func TestLinearModelFiniteProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		m := NewLinearModel([]string{"x"})
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Clamp magnitudes so the ridge solver stays well conditioned.
+			v = math.Mod(v, 1e6)
+			m.Observe(map[string]float64{"x": float64(i)}, v)
+		}
+		got, ok := m.Predict(map[string]float64{"x": 1})
+		if !ok {
+			return m.SampleCount() == 0
+		}
+		return !math.IsNaN(got) && !math.IsInf(got, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

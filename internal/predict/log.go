@@ -1,0 +1,108 @@
+package predict
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// UsageLog persists resource-usage observations so that models survive
+// restarts: "Each predictor reads the logged resource usage data and
+// generates a parameterized model of demand" (paper §3.4). Records are
+// JSON lines in one file per operation.
+type UsageLog struct {
+	mu  sync.Mutex
+	dir string
+}
+
+// Record is one logged observation of one resource.
+type Record struct {
+	Resource string             `json:"resource"`
+	Params   map[string]float64 `json:"params,omitempty"`
+	Discrete map[string]string  `json:"discrete,omitempty"`
+	Data     string             `json:"data,omitempty"`
+	Value    float64            `json:"value"`
+	// Files lists accessed files for the file predictor; only present on
+	// "files" records.
+	Files []FileAccess `json:"files,omitempty"`
+}
+
+// NewUsageLog returns a log rooted at dir, creating it if needed.
+// An empty dir disables persistence: Append becomes a no-op and Replay
+// yields nothing.
+func NewUsageLog(dir string) (*UsageLog, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("predict: create log dir: %w", err)
+		}
+	}
+	return &UsageLog{dir: dir}, nil
+}
+
+// Append writes a record to the operation's log file.
+func (l *UsageLog) Append(operation string, rec Record) error {
+	if l == nil || l.dir == "" {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	f, err := os.OpenFile(l.path(operation), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("predict: open log: %w", err)
+	}
+	defer f.Close()
+
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("predict: marshal record: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := f.Write(data); err != nil {
+		return fmt.Errorf("predict: write log: %w", err)
+	}
+	return nil
+}
+
+// Replay invokes fn for every logged record of the operation, in order.
+// A missing log file is not an error. Malformed lines are skipped.
+func (l *UsageLog) Replay(operation string, fn func(Record)) error {
+	if l == nil || l.dir == "" {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	f, err := os.Open(l.path(operation))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("predict: open log: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		fn(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("predict: read log: %w", err)
+	}
+	return nil
+}
+
+// path maps an operation name to its log file, sanitizing separators.
+func (l *UsageLog) path(operation string) string {
+	safe := strings.NewReplacer("/", "_", string(filepath.Separator), "_", "..", "_").Replace(operation)
+	return filepath.Join(l.dir, safe+".log")
+}

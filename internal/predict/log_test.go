@@ -1,0 +1,120 @@
+package predict
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestUsageLogAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewUsageLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Resource: "cpu", Value: 100, Params: map[string]float64{"len": 2}},
+		{Resource: "energy", Value: 1.5, Discrete: map[string]string{"plan": "hybrid"}},
+		{Resource: "files", Files: []FileAccess{{Path: "a", SizeBytes: 9}}},
+	}
+	for _, r := range recs {
+		if err := l.Append("speech/recognize", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Record
+	if err := l.Replay("speech/recognize", func(r Record) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3", len(got))
+	}
+	if got[0].Resource != "cpu" || got[0].Value != 100 || got[0].Params["len"] != 2 {
+		t.Fatalf("record 0 = %+v", got[0])
+	}
+	if got[1].Discrete["plan"] != "hybrid" {
+		t.Fatalf("record 1 = %+v", got[1])
+	}
+	if len(got[2].Files) != 1 || got[2].Files[0].Path != "a" {
+		t.Fatalf("record 2 = %+v", got[2])
+	}
+}
+
+func TestUsageLogMissingFile(t *testing.T) {
+	l, err := NewUsageLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	if err := l.Replay("never-logged", func(Record) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("callback invoked for missing log")
+	}
+}
+
+func TestUsageLogDisabled(t *testing.T) {
+	l, err := NewUsageLog("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("op", Record{Resource: "cpu", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Replay("op", func(Record) { t.Fatal("unexpected record") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageLogSkipsMalformedLines(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewUsageLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("op", Record{Resource: "cpu", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the log with a garbage line, then append another record.
+	f, err := os.OpenFile(filepath.Join(dir, "op.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := l.Append("op", Record{Resource: "cpu", Value: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var vals []float64
+	if err := l.Replay("op", func(r Record) { vals = append(vals, r.Value) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("replayed values = %v, want [1 2]", vals)
+	}
+}
+
+func TestUsageLogSanitizesOperationNames(t *testing.T) {
+	dir := t.TempDir()
+	l, err := NewUsageLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("../escape/attempt", Record{Resource: "cpu", Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("log dir entries = %d, want 1", len(entries))
+	}
+	// The file must live directly inside dir, not above it.
+	if filepath.Dir(filepath.Join(dir, entries[0].Name())) != dir {
+		t.Fatal("log escaped its directory")
+	}
+}

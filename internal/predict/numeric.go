@@ -1,0 +1,155 @@
+package predict
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultDataCacheSize bounds the LRU cache of data-specific models.
+const DefaultDataCacheSize = 32
+
+// Numeric is the interface implemented by numeric demand predictors.
+// Applications may supply their own implementation (paper §3.4); the
+// default is DefaultNumeric.
+type Numeric interface {
+	// Observe records a measured sample.
+	Observe(Observation)
+	// Predict estimates usage at the query point. ok is false when the
+	// predictor has no basis for an estimate yet.
+	Predict(Query) (value float64, ok bool)
+}
+
+// Options configures a DefaultNumeric predictor.
+type Options struct {
+	// Features are the continuous regression features.
+	Features []string
+	// Decay is the recency decay in (0,1]; 0 selects DefaultDecay.
+	Decay float64
+	// DataCacheSize bounds the LRU of data-specific models; 0 selects
+	// DefaultDataCacheSize, negative disables data-specific models.
+	DataCacheSize int
+	// DisableParams drops the continuous features (ablation: the models
+	// reduce to decayed means per discrete bin).
+	DisableParams bool
+}
+
+// DefaultNumeric is the paper's default predictor: a binned, recency-
+// weighted linear model plus an LRU cache of data-specific models keyed by
+// data-object name. When a query names a data object with a cached model,
+// the data-specific prediction wins; otherwise the general model is used.
+type DefaultNumeric struct {
+	mu sync.Mutex
+
+	features  []string
+	decay     float64
+	general   *BinnedPredictor
+	cacheSize int
+	byData    map[string]*list.Element
+	lru       *list.List // of *dataEntry, front = most recent
+}
+
+type dataEntry struct {
+	name  string
+	model *BinnedPredictor
+}
+
+var _ Numeric = (*DefaultNumeric)(nil)
+
+// NewDefaultNumeric constructs the default predictor.
+func NewDefaultNumeric(opts Options) *DefaultNumeric {
+	features := opts.Features
+	if opts.DisableParams {
+		features = nil
+	}
+	decay := opts.Decay
+	if decay == 0 {
+		decay = DefaultDecay
+	}
+	size := opts.DataCacheSize
+	if size == 0 {
+		size = DefaultDataCacheSize
+	}
+	return &DefaultNumeric{
+		features:  append([]string(nil), features...),
+		decay:     decay,
+		general:   NewBinnedPredictorDecay(features, decay),
+		cacheSize: size,
+		byData:    make(map[string]*list.Element),
+		lru:       list.New(),
+	}
+}
+
+// Observe records the sample in the general model and, when the observation
+// names a data object, in that object's data-specific model.
+func (p *DefaultNumeric) Observe(o Observation) {
+	p.general.Observe(o)
+	if o.Data == "" || p.cacheSize < 0 {
+		return
+	}
+	p.dataModel(o.Data, true).Observe(o)
+}
+
+// Predict uses the data-specific model when one is cached for the query's
+// data object and has samples, otherwise the general model.
+func (p *DefaultNumeric) Predict(q Query) (float64, bool) {
+	if q.Data != "" && p.cacheSize >= 0 {
+		if m := p.dataModel(q.Data, false); m != nil {
+			if v, ok := m.Predict(q); ok {
+				return v, true
+			}
+		}
+	}
+	return p.general.Predict(q)
+}
+
+// DataModelCount returns the number of cached data-specific models.
+func (p *DefaultNumeric) DataModelCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+// HasDataModel reports whether a model is cached for the given data object
+// without affecting LRU order.
+func (p *DefaultNumeric) HasDataModel(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.byData[name]
+	return ok
+}
+
+// dataModel returns the model for a data object, creating (and possibly
+// evicting) when create is set. A lookup moves the entry to the LRU front.
+func (p *DefaultNumeric) dataModel(name string, create bool) *BinnedPredictor {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if el, ok := p.byData[name]; ok {
+		p.lru.MoveToFront(el)
+		entry, _ := el.Value.(*dataEntry)
+		if entry == nil {
+			return nil
+		}
+		return entry.model
+	}
+	if !create {
+		return nil
+	}
+	entry := &dataEntry{
+		name:  name,
+		model: NewBinnedPredictorDecay(p.features, p.decay),
+	}
+	p.byData[name] = p.lru.PushFront(entry)
+	for p.lru.Len() > p.cacheSize {
+		oldest := p.lru.Back()
+		if oldest == nil {
+			break
+		}
+		p.lru.Remove(oldest)
+		old, _ := oldest.Value.(*dataEntry)
+		if old != nil {
+			delete(p.byData, old.name)
+		}
+	}
+	return entry.model
+}

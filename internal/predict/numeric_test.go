@@ -1,0 +1,110 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestDefaultNumericGeneralModel(t *testing.T) {
+	p := NewDefaultNumeric(Options{Decay: 1})
+	p.Observe(Observation{Value: 10})
+	p.Observe(Observation{Value: 20})
+	got, ok := p.Predict(Query{})
+	if !ok || math.Abs(got-15) > 1e-5 {
+		t.Fatalf("predict = (%v,%v), want 15", got, ok)
+	}
+}
+
+func TestDefaultNumericDataSpecificWins(t *testing.T) {
+	p := NewDefaultNumeric(Options{Decay: 1})
+	// General behaviour: cheap documents.
+	for i := 0; i < 10; i++ {
+		p.Observe(Observation{Data: "small.tex", Value: 100})
+	}
+	// One expensive document.
+	for i := 0; i < 10; i++ {
+		p.Observe(Observation{Data: "big.tex", Value: 5000})
+	}
+	big, ok := p.Predict(Query{Data: "big.tex"})
+	if !ok || math.Abs(big-5000) > 1e-4 {
+		t.Fatalf("big.tex = (%v,%v), want 5000", big, ok)
+	}
+	small, ok := p.Predict(Query{Data: "small.tex"})
+	if !ok || math.Abs(small-100) > 1e-5 {
+		t.Fatalf("small.tex = (%v,%v), want 100", small, ok)
+	}
+	// Unknown document: general model (mean of everything).
+	unknown, ok := p.Predict(Query{Data: "new.tex"})
+	if !ok || math.Abs(unknown-2550) > 1e-4 {
+		t.Fatalf("new.tex = (%v,%v), want 2550", unknown, ok)
+	}
+}
+
+func TestDefaultNumericLRUEviction(t *testing.T) {
+	p := NewDefaultNumeric(Options{Decay: 1, DataCacheSize: 3})
+	for i := 0; i < 5; i++ {
+		p.Observe(Observation{Data: fmt.Sprintf("doc%d", i), Value: float64(i)})
+	}
+	if got := p.DataModelCount(); got != 3 {
+		t.Fatalf("cached models = %d, want 3", got)
+	}
+	if p.HasDataModel("doc0") || p.HasDataModel("doc1") {
+		t.Fatal("oldest models should have been evicted")
+	}
+	for _, d := range []string{"doc2", "doc3", "doc4"} {
+		if !p.HasDataModel(d) {
+			t.Fatalf("expected model for %s", d)
+		}
+	}
+}
+
+func TestDefaultNumericLRUTouchOnPredict(t *testing.T) {
+	p := NewDefaultNumeric(Options{Decay: 1, DataCacheSize: 2})
+	p.Observe(Observation{Data: "a", Value: 1})
+	p.Observe(Observation{Data: "b", Value: 2})
+	// Touch "a" so "b" becomes the eviction victim.
+	if _, ok := p.Predict(Query{Data: "a"}); !ok {
+		t.Fatal("predict a failed")
+	}
+	p.Observe(Observation{Data: "c", Value: 3})
+	if !p.HasDataModel("a") || p.HasDataModel("b") || !p.HasDataModel("c") {
+		t.Fatalf("LRU order wrong: a=%v b=%v c=%v",
+			p.HasDataModel("a"), p.HasDataModel("b"), p.HasDataModel("c"))
+	}
+}
+
+func TestDefaultNumericDataModelsDisabled(t *testing.T) {
+	p := NewDefaultNumeric(Options{Decay: 1, DataCacheSize: -1})
+	p.Observe(Observation{Data: "x", Value: 42})
+	if p.DataModelCount() != 0 {
+		t.Fatal("data models should be disabled")
+	}
+	got, ok := p.Predict(Query{Data: "x"})
+	if !ok || math.Abs(got-42) > 1e-5 {
+		t.Fatalf("general prediction = (%v,%v)", got, ok)
+	}
+}
+
+func TestDefaultNumericDisableParams(t *testing.T) {
+	p := NewDefaultNumeric(Options{Features: []string{"len"}, Decay: 1, DisableParams: true})
+	for l := 1.0; l <= 6; l++ {
+		p.Observe(Observation{Params: map[string]float64{"len": l}, Value: 10 * l})
+	}
+	// Without parameters the prediction is the mean (35), not 10*len.
+	got, ok := p.Predict(Query{Params: map[string]float64{"len": 10}})
+	if !ok || math.Abs(got-35) > 1e-5 {
+		t.Fatalf("param-disabled prediction = (%v,%v), want 35", got, ok)
+	}
+}
+
+func TestDefaultNumericParamsEnable(t *testing.T) {
+	p := NewDefaultNumeric(Options{Features: []string{"len"}, Decay: 1})
+	for l := 1.0; l <= 6; l++ {
+		p.Observe(Observation{Params: map[string]float64{"len": l}, Value: 10 * l})
+	}
+	got, ok := p.Predict(Query{Params: map[string]float64{"len": 10}})
+	if !ok || math.Abs(got-100) > 1e-6 {
+		t.Fatalf("parameterized prediction = (%v,%v), want 100", got, ok)
+	}
+}

@@ -1,0 +1,161 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spectra/internal/wire"
+)
+
+// RemoteError is a server-side failure returned through the RPC layer.
+type RemoteError struct {
+	Service string
+	Msg     string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error from %q: %s", e.Service, e.Msg)
+}
+
+// Client is a connection to one Spectra server. Calls are serialized over a
+// single TCP connection, matching the paper's sequential execution model.
+// Every exchange is recorded in the traffic log for passive network
+// monitoring.
+type Client struct {
+	mu sync.Mutex
+
+	addr    string
+	conn    net.Conn
+	nextID  uint64
+	traffic *TrafficLog
+	timeout time.Duration
+}
+
+// Dial connects to a Spectra server. The traffic log may be shared with a
+// network monitor; pass nil to create a private one.
+func Dial(addr string, traffic *TrafficLog) (*Client, error) {
+	if traffic == nil {
+		traffic = NewTrafficLog()
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
+	}
+	return &Client{
+		addr:    addr,
+		conn:    conn,
+		traffic: traffic,
+		timeout: 30 * time.Second,
+	}, nil
+}
+
+// SetTimeout sets the per-exchange deadline.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.timeout = d
+	}
+}
+
+// Addr returns the server address.
+func (c *Client) Addr() string { return c.addr }
+
+// Traffic returns the client's traffic log.
+func (c *Client) Traffic() *TrafficLog { return c.traffic }
+
+// Close shuts the connection down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Call invokes a service operation and returns the response payload and
+// the server's usage report.
+func (c *Client) Call(service, optype string, payload []byte) ([]byte, *wire.UsageReport, error) {
+	reply, err := c.exchange(&wire.Message{
+		Type:    wire.MsgRequest,
+		Service: service,
+		OpType:  optype,
+		Payload: payload,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if reply.Err != "" {
+		return nil, reply.Usage, &RemoteError{Service: service, Msg: reply.Err}
+	}
+	return reply.Payload, reply.Usage, nil
+}
+
+// Status fetches the server's resource snapshot.
+func (c *Client) Status() (*wire.ServerStatus, error) {
+	reply, err := c.exchange(&wire.Message{Type: wire.MsgStatus})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Status == nil {
+		return nil, errors.New("rpc: empty status reply")
+	}
+	return reply.Status, nil
+}
+
+// Ping performs a minimal round trip, seeding the latency estimate.
+func (c *Client) Ping() (time.Duration, error) {
+	start := time.Now()
+	if _, err := c.exchange(&wire.Message{Type: wire.MsgPing}); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// exchange sends one message and reads the matching reply, recording the
+// traffic observation.
+func (c *Client) exchange(msg *wire.Message) (*wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if c.conn == nil {
+		return nil, errors.New("rpc: client closed")
+	}
+	c.nextID++
+	msg.ID = c.nextID
+
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("rpc: set deadline: %w", err)
+		}
+	}
+
+	start := time.Now()
+	sent, err := wire.WriteMessage(c.conn, msg)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		reply, received, err := wire.ReadMessage(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		if reply.ID != msg.ID {
+			// Stale reply from an abandoned exchange; skip it.
+			continue
+		}
+		c.traffic.Record(TrafficObservation{
+			Bytes:   int64(sent + received),
+			Elapsed: time.Since(start),
+			When:    time.Now(),
+		})
+		return reply, nil
+	}
+}

@@ -1,0 +1,49 @@
+package rpc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property: for exchanges synthesized from any positive (bandwidth,
+// latency) pair, the estimator recovers a non-negative latency and a
+// bandwidth within 10% of truth, regardless of the transfer-size mix.
+func TestTrafficEstimateRecoversLinkProperty(t *testing.T) {
+	f := func(bwSeed, latSeed uint16, sizes [8]uint16) bool {
+		bw := float64(bwSeed%2000)*100 + 1000 // 1 kB/s .. 201 kB/s
+		lat := time.Duration(latSeed%100+1) * time.Millisecond
+
+		l := NewTrafficLog()
+		distinct := make(map[int64]bool)
+		for _, s := range sizes {
+			bytes := int64(s)*64 + 64 // 64 B .. ~4 MB
+			distinct[bytes] = true
+			elapsed := lat + time.Duration(float64(bytes)/bw*float64(time.Second))
+			l.Record(TrafficObservation{Bytes: bytes, Elapsed: elapsed})
+		}
+		est, ok := l.Estimate()
+		if !ok {
+			return false
+		}
+		if est.Latency < 0 {
+			return false
+		}
+		if len(distinct) < 2 {
+			// A single transfer size cannot separate latency from
+			// bandwidth; only well-definedness is required.
+			return est.BandwidthBps >= 0
+		}
+		if est.BandwidthBps <= 0 {
+			return false
+		}
+		rel := (est.BandwidthBps - bw) / bw
+		if rel < 0 {
+			rel = -rel
+		}
+		return rel < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"spectra/internal/wire"
+)
+
+// Handler executes one service request on a Spectra server. It returns the
+// response payload and a report of the resources consumed, which the server
+// attaches to the RPC response (paper §3.3.5).
+type Handler func(optype string, payload []byte) ([]byte, *wire.UsageReport, error)
+
+// StatusFunc produces the server's current resource snapshot.
+type StatusFunc func() *wire.ServerStatus
+
+// Server accepts Spectra RPC connections and dispatches requests to
+// registered service handlers. Each connection is served by its own
+// goroutine; Close stops the listener and waits for them to drain.
+type Server struct {
+	mu       sync.Mutex
+	services map[string]Handler
+	status   StatusFunc
+
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer returns a server with no services registered.
+func NewServer(status StatusFunc) *Server {
+	return &Server{
+		services: make(map[string]Handler),
+		status:   status,
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Register adds a service. Registering an existing name replaces it.
+func (s *Server) Register(service string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.services[service] = h
+}
+
+// Services returns the registered service names.
+func (s *Server) Services() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.services))
+	for name := range s.services {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Listen binds the server to addr (e.g. "127.0.0.1:0") and starts
+// accepting connections in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("rpc: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("rpc: server closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, closes open connections, and waits for all
+// serving goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	for {
+		msg, _, err := wire.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		reply := s.handle(msg)
+		if reply == nil {
+			continue
+		}
+		if _, err := wire.WriteMessage(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(msg *wire.Message) *wire.Message {
+	switch msg.Type {
+	case wire.MsgPing:
+		return &wire.Message{Type: wire.MsgPong, ID: msg.ID}
+	case wire.MsgStatus:
+		reply := &wire.Message{Type: wire.MsgStatusReply, ID: msg.ID}
+		if s.status != nil {
+			st := s.status()
+			if st != nil {
+				st.Services = s.Services()
+			}
+			reply.Status = st
+		}
+		return reply
+	case wire.MsgRequest:
+		return s.handleRequest(msg)
+	default:
+		return &wire.Message{
+			Type: wire.MsgResponse,
+			ID:   msg.ID,
+			Err:  fmt.Sprintf("unexpected message type %v", msg.Type),
+		}
+	}
+}
+
+func (s *Server) handleRequest(msg *wire.Message) *wire.Message {
+	s.mu.Lock()
+	h, ok := s.services[msg.Service]
+	s.mu.Unlock()
+
+	reply := &wire.Message{Type: wire.MsgResponse, ID: msg.ID, Service: msg.Service}
+	if !ok {
+		reply.Err = fmt.Sprintf("unknown service %q", msg.Service)
+		return reply
+	}
+	out, usage, err := h(msg.OpType, msg.Payload)
+	if err != nil {
+		reply.Err = err.Error()
+		return reply
+	}
+	reply.Payload = out
+	reply.Usage = usage
+	return reply
+}

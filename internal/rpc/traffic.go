@@ -1,0 +1,171 @@
+// Package rpc provides Spectra's remote procedure call layer: a TCP client
+// and server speaking the wire protocol, plus the passive traffic log the
+// network monitor uses to estimate bandwidth and latency without active
+// probing (paper §3.3.2): short exchanges approximate round-trip time,
+// large transfers approximate throughput.
+package rpc
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Default traffic-log tuning.
+const (
+	// DefaultLogWindow is how many recent observations the estimator keeps.
+	DefaultLogWindow = 128
+	// smallExchangeBytes is the size below which an exchange is treated as
+	// a pure round-trip sample.
+	smallExchangeBytes = 1024
+)
+
+// TrafficObservation records one request/response exchange.
+type TrafficObservation struct {
+	// Bytes is the total bytes moved (sent + received).
+	Bytes int64
+	// Elapsed is the wall-clock duration of the exchange.
+	Elapsed time.Duration
+	// When is the completion time.
+	When time.Time
+}
+
+// Estimate is the network monitor's view of a path.
+type Estimate struct {
+	BandwidthBps float64
+	Latency      time.Duration
+	// Samples is the number of observations behind the estimate.
+	Samples int
+}
+
+// TrafficLog accumulates passive observations of exchanges with one peer
+// and fits t = latency + bytes/bandwidth over a sliding window by least
+// squares. It is safe for concurrent use.
+type TrafficLog struct {
+	mu sync.Mutex
+
+	window int
+	obs    []TrafficObservation
+	next   int
+	filled bool
+}
+
+// NewTrafficLog returns a log with the default window.
+func NewTrafficLog() *TrafficLog { return NewTrafficLogWindow(DefaultLogWindow) }
+
+// NewTrafficLogWindow returns a log keeping the given number of recent
+// observations.
+func NewTrafficLogWindow(window int) *TrafficLog {
+	if window <= 0 {
+		window = DefaultLogWindow
+	}
+	return &TrafficLog{
+		window: window,
+		obs:    make([]TrafficObservation, window),
+	}
+}
+
+// Record adds one exchange observation.
+func (l *TrafficLog) Record(o TrafficObservation) {
+	if o.Bytes < 0 || o.Elapsed <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obs[l.next] = o
+	l.next++
+	if l.next == l.window {
+		l.next = 0
+		l.filled = true
+	}
+}
+
+// Len returns the number of stored observations.
+func (l *TrafficLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lenLocked()
+}
+
+func (l *TrafficLog) lenLocked() int {
+	if l.filled {
+		return l.window
+	}
+	return l.next
+}
+
+// Estimate fits the window and returns bandwidth/latency. ok is false with
+// fewer than two observations or a degenerate fit.
+func (l *TrafficLog) Estimate() (Estimate, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	n := l.lenLocked()
+	if n == 0 {
+		return Estimate{}, false
+	}
+
+	// Least squares of elapsed-seconds on bytes.
+	var sb, st, sbb, sbt float64
+	for i := 0; i < n; i++ {
+		o := l.obs[i]
+		b := float64(o.Bytes)
+		t := o.Elapsed.Seconds()
+		sb += b
+		st += t
+		sbb += b * b
+		sbt += b * t
+	}
+	fn := float64(n)
+	meanT := st / fn
+	meanB := sb / fn
+
+	denom := sbb - sb*sb/fn
+	if n < 2 || denom < 1e-9 {
+		// All transfers the same size: cannot separate latency from
+		// bandwidth. Treat small exchanges as latency-only, otherwise
+		// attribute everything to bandwidth.
+		if meanB < smallExchangeBytes {
+			return Estimate{
+				BandwidthBps: 0,
+				Latency:      time.Duration(meanT * float64(time.Second)),
+				Samples:      n,
+			}, true
+		}
+		if meanT <= 0 {
+			return Estimate{}, false
+		}
+		return Estimate{BandwidthBps: meanB / meanT, Samples: n}, true
+	}
+
+	slope := (sbt - sb*st/fn) / denom
+	intercept := meanT - slope*meanB
+
+	var est Estimate
+	est.Samples = n
+	if intercept > 0 {
+		est.Latency = time.Duration(intercept * float64(time.Second))
+	}
+	switch {
+	case slope > 1e-12:
+		est.BandwidthBps = 1 / slope
+	case meanT > 0 && meanB > 0:
+		est.BandwidthBps = meanB / meanT
+	}
+	if math.IsInf(est.BandwidthBps, 0) || math.IsNaN(est.BandwidthBps) {
+		est.BandwidthBps = 0
+	}
+	return est, true
+}
+
+// Totals returns the sum of bytes and elapsed time across the window,
+// useful for tests and diagnostics.
+func (l *TrafficLog) Totals() (bytes int64, elapsed time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := 0; i < l.lenLocked(); i++ {
+		bytes += l.obs[i].Bytes
+		elapsed += l.obs[i].Elapsed
+	}
+	return bytes, elapsed
+}

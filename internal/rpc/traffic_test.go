@@ -1,0 +1,125 @@
+package rpc
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTrafficLogEmpty(t *testing.T) {
+	l := NewTrafficLog()
+	if _, ok := l.Estimate(); ok {
+		t.Fatal("empty log must not estimate")
+	}
+	if l.Len() != 0 {
+		t.Fatal("len should be 0")
+	}
+}
+
+func TestTrafficLogRecoversLinkParameters(t *testing.T) {
+	// Synthesize exchanges over a 100 KB/s link with 20 ms RTT.
+	const (
+		bw  = 100_000.0
+		rtt = 20 * time.Millisecond
+	)
+	l := NewTrafficLog()
+	for _, bytes := range []int64{200, 500, 10_000, 50_000, 100_000, 300_000} {
+		elapsed := rtt + time.Duration(float64(bytes)/bw*float64(time.Second))
+		l.Record(TrafficObservation{Bytes: bytes, Elapsed: elapsed})
+	}
+	est, ok := l.Estimate()
+	if !ok {
+		t.Fatal("should estimate")
+	}
+	if math.Abs(est.BandwidthBps-bw)/bw > 0.05 {
+		t.Fatalf("bandwidth = %v, want ~%v", est.BandwidthBps, bw)
+	}
+	if d := est.Latency - rtt; d < -2*time.Millisecond || d > 2*time.Millisecond {
+		t.Fatalf("latency = %v, want ~%v", est.Latency, rtt)
+	}
+	if est.Samples != 6 {
+		t.Fatalf("samples = %d", est.Samples)
+	}
+}
+
+func TestTrafficLogSmallExchangesOnly(t *testing.T) {
+	l := NewTrafficLog()
+	for i := 0; i < 5; i++ {
+		l.Record(TrafficObservation{Bytes: 100, Elapsed: 30 * time.Millisecond})
+	}
+	est, ok := l.Estimate()
+	if !ok {
+		t.Fatal("should estimate")
+	}
+	if est.Latency != 30*time.Millisecond {
+		t.Fatalf("latency = %v, want 30ms", est.Latency)
+	}
+	if est.BandwidthBps != 0 {
+		t.Fatalf("bandwidth from latency-only data = %v", est.BandwidthBps)
+	}
+}
+
+func TestTrafficLogUniformBulkOnly(t *testing.T) {
+	l := NewTrafficLog()
+	for i := 0; i < 4; i++ {
+		l.Record(TrafficObservation{Bytes: 100_000, Elapsed: time.Second})
+	}
+	est, ok := l.Estimate()
+	if !ok {
+		t.Fatal("should estimate")
+	}
+	if math.Abs(est.BandwidthBps-100_000) > 1 {
+		t.Fatalf("bandwidth = %v, want 100000", est.BandwidthBps)
+	}
+}
+
+func TestTrafficLogIgnoresInvalid(t *testing.T) {
+	l := NewTrafficLog()
+	l.Record(TrafficObservation{Bytes: -1, Elapsed: time.Second})
+	l.Record(TrafficObservation{Bytes: 10, Elapsed: 0})
+	if l.Len() != 0 {
+		t.Fatalf("invalid observations stored: %d", l.Len())
+	}
+}
+
+func TestTrafficLogWindowWraps(t *testing.T) {
+	l := NewTrafficLogWindow(4)
+	// Old regime: slow link.
+	for i := 0; i < 4; i++ {
+		l.Record(TrafficObservation{Bytes: 100_000, Elapsed: 10 * time.Second})
+	}
+	// New regime: fast link fully replaces the window.
+	for i := 0; i < 4; i++ {
+		l.Record(TrafficObservation{Bytes: 100_000, Elapsed: time.Second})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("window len = %d, want 4", l.Len())
+	}
+	est, ok := l.Estimate()
+	if !ok {
+		t.Fatal("should estimate")
+	}
+	if math.Abs(est.BandwidthBps-100_000) > 1 {
+		t.Fatalf("post-wrap bandwidth = %v, want 100000", est.BandwidthBps)
+	}
+}
+
+func TestTrafficLogTotals(t *testing.T) {
+	l := NewTrafficLog()
+	l.Record(TrafficObservation{Bytes: 10, Elapsed: time.Second})
+	l.Record(TrafficObservation{Bytes: 20, Elapsed: 2 * time.Second})
+	bytes, elapsed := l.Totals()
+	if bytes != 30 || elapsed != 3*time.Second {
+		t.Fatalf("totals = (%d, %v)", bytes, elapsed)
+	}
+}
+
+func TestTrafficLogDefaultWindow(t *testing.T) {
+	l := NewTrafficLogWindow(-1)
+	for i := 0; i < DefaultLogWindow+10; i++ {
+		l.Record(TrafficObservation{Bytes: 10, Elapsed: time.Millisecond})
+	}
+	if l.Len() != DefaultLogWindow {
+		t.Fatalf("len = %d, want %d", l.Len(), DefaultLogWindow)
+	}
+}

@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"fmt"
+
+	"spectra/internal/apps/latex"
+	"spectra/internal/core"
+	"spectra/internal/solver"
+	"spectra/internal/testbed"
+)
+
+// Latex scenario names (Figures 5, 6, and 7).
+const (
+	LatexBaseline    = "baseline"
+	LatexFileCache   = "filecache"
+	LatexReintegrate = "reintegrate"
+	LatexEnergy      = "energy"
+)
+
+// LatexScenarios lists the four data sets of Figures 5 and 6 in paper
+// order.
+func LatexScenarios() []string {
+	return []string{LatexBaseline, LatexFileCache, LatexReintegrate, LatexEnergy}
+}
+
+// latexTrainingRounds mirrors the paper's 20 training executions.
+const latexTrainingRounds = 5
+
+func latexAlternatives() []solver.Alternative {
+	return []solver.Alternative{
+		{Plan: latex.PlanLocal},
+		{Server: "serverA", Plan: latex.PlanRemote},
+		{Server: "serverB", Plan: latex.PlanRemote},
+	}
+}
+
+func latexLabel(a solver.Alternative) string {
+	if a.Plan == latex.PlanLocal {
+		return "local"
+	}
+	return a.Server
+}
+
+// LatexResult bundles one document's scenario sweep.
+type LatexResult struct {
+	Document latex.Document
+	Results  []ScenarioResult
+}
+
+// RunLatex reproduces Figures 5-7: the small and large documents under the
+// four scenarios, measuring both time and energy.
+func RunLatex(opts testbed.Options) ([]LatexResult, error) {
+	var out []LatexResult
+	for _, doc := range []latex.Document{latex.SmallDocument(), latex.LargeDocument()} {
+		lr := LatexResult{Document: doc}
+		for _, name := range LatexScenarios() {
+			r, err := runLatexScenario(name, doc, opts)
+			if err != nil {
+				return nil, fmt.Errorf("latex %s %s: %w", doc.Name, name, err)
+			}
+			lr.Results = append(lr.Results, r)
+		}
+		out = append(out, lr)
+	}
+	return out, nil
+}
+
+func runLatexScenario(name string, doc latex.Document, opts testbed.Options) (ScenarioResult, error) {
+	tb, err := testbed.NewLaptop(opts)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	app, err := latex.Install(tb.Setup)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	tb.Setup.Refresh()
+
+	// Training: both documents across all alternatives (paper: "We first
+	// executed Latex 20 times").
+	for i := 0; i < latexTrainingRounds; i++ {
+		for _, d := range []latex.Document{latex.SmallDocument(), latex.LargeDocument()} {
+			for _, alt := range latexAlternatives() {
+				if _, err := app.CompileForced(alt, d); err != nil {
+					return ScenarioResult{}, fmt.Errorf("training: %w", err)
+				}
+			}
+		}
+	}
+
+	scenarioPrepare, err := applyLatexScenario(name, tb, app)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	// Normalize client state between trials: background reintegration (as
+	// Coda would perform while idle) clears buffered DVI writes so each
+	// trial starts with exactly the scenario's intended dirty state.
+	prepare := func() error {
+		if _, err := tb.Setup.Env.Host().Coda().ReintegrateAll(); err != nil {
+			return err
+		}
+		if scenarioPrepare != nil {
+			return scenarioPrepare()
+		}
+		return nil
+	}
+
+	res := ScenarioResult{Scenario: name}
+	run := func(alt solver.Alternative) (core.Report, error) {
+		return app.CompileForced(alt, doc)
+	}
+	for _, alt := range latexAlternatives() {
+		m, err := measure(alt, latexLabel(alt), run, prepare)
+		if err != nil {
+			return ScenarioResult{}, err
+		}
+		res.Bars = append(res.Bars, m)
+	}
+
+	if err := prepare(); err != nil {
+		return ScenarioResult{}, err
+	}
+	chosenRep, err := app.Compile(doc)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	chosen := chosenRep.Decision.Alternative
+	m, err := measure(chosen, "spectra", func(solver.Alternative) (core.Report, error) {
+		return app.Compile(doc)
+	}, prepare)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
+	res.Spectra = m
+	for i := range res.Bars {
+		if res.Bars[i].Alternative.Key() == chosen.Key() {
+			res.Bars[i].Chosen = true
+		}
+	}
+	return res, nil
+}
+
+// applyLatexScenario mutates the testbed and returns an optional per-trial
+// preparation step (the reintegrate scenarios must re-modify the input
+// before every trial, because a remote trial reintegrates it).
+func applyLatexScenario(name string, tb *testbed.Laptop, app *latex.App) (func() error, error) {
+	small := latex.SmallDocument()
+	touch := func() error { return app.TouchInput(small) }
+	switch name {
+	case LatexBaseline:
+		return nil, nil
+	case LatexFileCache:
+		// Server B loses every input file from its cache; trials executed
+		// on B refetch them, so each trial re-evicts and refreshes the
+		// polled cache state.
+		nodeB, _, ok := tb.Setup.Env.Server("serverB")
+		if !ok {
+			return nil, fmt.Errorf("serverB missing")
+		}
+		evict := func() error {
+			for _, d := range []latex.Document{latex.SmallDocument(), latex.LargeDocument()} {
+				for _, in := range d.Inputs {
+					nodeB.Coda().Evict(in.Path)
+				}
+			}
+			tb.Setup.Refresh()
+			return nil
+		}
+		return evict, evict()
+	case LatexReintegrate:
+		// The small document's 70 KB input is modified on the client.
+		if err := touch(); err != nil {
+			return nil, err
+		}
+		return touch, nil
+	case LatexEnergy:
+		// Reintegrate scenario plus battery power and a very aggressive
+		// lifetime goal (paper §4.2).
+		if err := touch(); err != nil {
+			return nil, err
+		}
+		tb.X560.SetWallPower(false)
+		tb.Setup.Adaptor.SetImportance(0.95)
+		tb.Setup.Refresh()
+		return touch, nil
+	default:
+		return nil, fmt.Errorf("unknown latex scenario %q", name)
+	}
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"spectra/internal/apps/janus"
+	"spectra/internal/solver"
+	"spectra/internal/testbed"
+)
+
+// TestGoalDirectedAdaptationExtendsLifetime validates the system's central
+// energy claim (paper §2.1, §3.3.3): with a battery-lifetime goal set, the
+// goal-directed feedback raises the energy-conservation importance c when
+// the battery drains too fast, Spectra shifts work off the client, and the
+// battery lasts substantially longer than without adaptation.
+func TestGoalDirectedAdaptationExtendsLifetime(t *testing.T) {
+	// run simulates a user recognizing one phrase every 20 virtual seconds
+	// until the battery dies or the horizon passes, returning the achieved
+	// lifetime.
+	run := func(adaptive bool) (time.Duration, map[string]int) {
+		tb, err := testbed.NewSpeech(testbed.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := janus.Install(tb.Setup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Setup.Refresh()
+		for i := 0; i < 2; i++ {
+			for _, alt := range speechAlternatives() {
+				if _, err := app.RecognizeForced(alt, 2); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		// A small battery so the experiment concludes quickly: 600 J.
+		// Continuous hybrid use drains ~2.5 J per op plus ~0.2 W idle.
+		battery := tb.Itsy.Battery()
+		battery.Drain(battery.RemainingJoules() - 600)
+		tb.Itsy.SetWallPower(false)
+		start := tb.Setup.Clock.Now()
+		if adaptive {
+			tb.Setup.Adaptor.SetGoal(2 * time.Hour)
+		}
+
+		const horizon = 4 * time.Hour
+		plans := make(map[string]int)
+		for battery.RemainingJoules() > 1 {
+			if tb.Setup.Clock.Now().Sub(start) > horizon {
+				break
+			}
+			rep, err := app.Recognize(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans[rep.Decision.Alternative.Plan]++
+			// Idle until the next phrase, draining idle power.
+			tb.Setup.Clock.Advance(20 * time.Second)
+			tb.Setup.Env.HostAccount().DrainIdle(20 * time.Second)
+		}
+		return tb.Setup.Clock.Now().Sub(start), plans
+	}
+
+	fixed, fixedPlans := run(false)
+	adaptive, adaptivePlans := run(true)
+
+	// Without a goal (c = 0) Spectra optimizes performance only and keeps
+	// choosing the hybrid plan, burning client CPU.
+	if fixedPlans["hybrid"] == 0 {
+		t.Fatalf("performance mode never chose hybrid: %v", fixedPlans)
+	}
+	// With the goal the feedback loop pushes execution fully remote.
+	if adaptivePlans["remote"] == 0 {
+		t.Fatalf("adaptive mode never chose remote: %v", adaptivePlans)
+	}
+	// And the battery lasts meaningfully longer.
+	if adaptive < fixed*5/4 {
+		t.Fatalf("adaptation extended lifetime only %v -> %v (want >= +25%%), plans %v vs %v",
+			fixed, adaptive, fixedPlans, adaptivePlans)
+	}
+}
+
+// TestLifetimeGoalMet checks the dual condition: when the goal is modest,
+// the adaptor relaxes c and Spectra returns to faster plans rather than
+// conserving forever.
+func TestLifetimeGoalRelaxesWhenEasy(t *testing.T) {
+	tb, err := testbed.NewSpeech(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := janus.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	for i := 0; i < 2; i++ {
+		for _, alt := range speechAlternatives() {
+			if _, err := app.RecognizeForced(alt, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	tb.Itsy.SetWallPower(false)
+	// Trivial goal on a full 32 kJ battery: ten minutes.
+	tb.Setup.Adaptor.SetGoal(10 * time.Minute)
+
+	var last solver.Alternative
+	for i := 0; i < 10; i++ {
+		rep, err := app.Recognize(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = rep.Decision.Alternative
+		tb.Setup.Clock.Advance(30 * time.Second)
+		tb.Setup.Env.HostAccount().DrainIdle(30 * time.Second)
+	}
+	// With energy pressure near zero, the fastest plan (hybrid) wins.
+	if last.Plan != janus.PlanHybrid {
+		t.Fatalf("easy-goal decision = %+v, want hybrid", last)
+	}
+	if c := tb.Setup.Adaptor.Importance(); c > 0.3 {
+		t.Fatalf("importance under easy goal = %v, want near 0", c)
+	}
+}

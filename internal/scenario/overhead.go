@@ -1,0 +1,237 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"spectra/internal/core"
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+	"spectra/internal/solver"
+	"spectra/internal/testbed"
+)
+
+// OverheadServerCounts are the configurations of Figure 10.
+var OverheadServerCounts = []int{0, 1, 5}
+
+// overheadIterations is how many null operations are averaged per
+// configuration.
+const overheadIterations = 100
+
+// OverheadResult is one column of Figure 10: the wall-clock cost of
+// Spectra's API calls around a null operation.
+type OverheadResult struct {
+	Servers int
+	// FullCache marks the variant where the operation's file model knows
+	// thousands of files, the condition under which the paper measured
+	// file-cache prediction ballooning to 359.6 ms.
+	FullCache bool
+
+	Register       time.Duration
+	Begin          time.Duration
+	FilePrediction time.Duration
+	Choosing       time.Duration
+	BeginOther     time.Duration
+	DoLocal        time.Duration
+	End            time.Duration
+	Total          time.Duration
+	// Candidates is the size of the decision space searched.
+	Candidates int
+}
+
+// fullCacheFiles is how many files the full-cache variant tracks.
+const fullCacheFiles = 2000
+
+// RunOverhead reproduces Figure 10: a null operation measured with 0, 1,
+// and 5 candidate servers, plus a 1-server variant whose file model tracks
+// thousands of files (the paper's "cache is full" case, where file-cache
+// prediction dominated at 359.6 ms).
+func RunOverhead(opts testbed.Options) ([]OverheadResult, error) {
+	var out []OverheadResult
+	for _, n := range OverheadServerCounts {
+		r, err := runOverheadConfig(n, false, opts)
+		if err != nil {
+			return nil, fmt.Errorf("overhead with %d servers: %w", n, err)
+		}
+		out = append(out, r)
+	}
+	r, err := runOverheadConfig(1, true, opts)
+	if err != nil {
+		return nil, fmt.Errorf("overhead with full cache: %w", err)
+	}
+	out = append(out, r)
+	return out, nil
+}
+
+func runOverheadConfig(serverCount int, fullCache bool, opts testbed.Options) (OverheadResult, error) {
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    500,
+		Power:       sim.PowerModel{IdleW: 5, BusyW: 15, NetW: 7},
+		OnWallPower: true,
+		Battery:     sim.NewBattery(100_000),
+	})
+	var servers []core.SimServer
+	for i := 0; i < serverCount; i++ {
+		servers = append(servers, core.SimServer{
+			Name: fmt.Sprintf("server%d", i),
+			Machine: sim.NewMachine(sim.MachineConfig{
+				Name:        fmt.Sprintf("server%d", i),
+				SpeedMHz:    1000,
+				OnWallPower: true,
+			}),
+			Link: simnet.NewLink(simnet.LinkConfig{
+				Name:         fmt.Sprintf("lan%d", i),
+				Latency:      time.Millisecond,
+				BandwidthBps: testbed.LANBps,
+			}),
+		})
+	}
+	setup, err := core.NewSimSetup(core.SimOptions{
+		Host:       host,
+		Servers:    servers,
+		Models:     opts.Models,
+		Solver:     opts.Solver,
+		Exhaustive: opts.Exhaustive,
+	})
+	if err != nil {
+		return OverheadResult{}, err
+	}
+
+	null := func(ctx *core.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		return nil, nil
+	}
+	setup.Env.Host().RegisterService("null", null)
+	for _, s := range servers {
+		node, _, _ := setup.Env.Server(s.Name)
+		node.RegisterService("null", null)
+	}
+
+	op, err := setup.Client.RegisterFidelity(core.OperationSpec{
+		Name:    "null.op",
+		Service: "null",
+		Plans: []core.PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+	})
+	if err != nil {
+		return OverheadResult{}, err
+	}
+	setup.Refresh()
+
+	if fullCache {
+		// A file-heavy training execution: the operation's file-access
+		// model now tracks thousands of files, so every begin must
+		// evaluate all of them when predicting cache-miss costs.
+		fileOp := func(ctx *core.ServiceContext, optype string, payload []byte) ([]byte, error) {
+			for i := 0; i < fullCacheFiles; i++ {
+				if err := ctx.ReadFile(fmt.Sprintf("/coda/bulk/f%04d", i)); err != nil {
+					return nil, err
+				}
+			}
+			return nil, nil
+		}
+		for i := 0; i < fullCacheFiles; i++ {
+			setup.FileServer.Store("bulk", fmt.Sprintf("/coda/bulk/f%04d", i), 1024)
+		}
+		setup.Env.Host().RegisterService("null", fileOp)
+		octx, err := setup.Client.BeginForced(op,
+			solver.Alternative{Plan: "local"}, nil, "")
+		if err != nil {
+			return OverheadResult{}, err
+		}
+		if _, err := octx.DoLocalOp("train", nil); err != nil {
+			return OverheadResult{}, err
+		}
+		if _, err := octx.End(); err != nil {
+			return OverheadResult{}, err
+		}
+		setup.Env.Host().RegisterService("null", null) // back to null work
+	}
+
+	res := OverheadResult{
+		Servers:   serverCount,
+		FullCache: fullCache,
+		Register:  op.RegisterDuration(),
+	}
+	for i := 0; i < overheadIterations; i++ {
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			return OverheadResult{}, err
+		}
+		oh := octx.Decision().Overhead
+		res.Begin += oh.Total
+		res.FilePrediction += oh.FilePrediction
+		res.Choosing += oh.Choosing
+		res.BeginOther += oh.Other
+		res.Candidates = octx.Decision().Candidates
+
+		doStart := time.Now()
+		if octx.Plan() == "remote" {
+			_, err = octx.DoRemoteOp("null", nil)
+		} else {
+			_, err = octx.DoLocalOp("null", nil)
+		}
+		if err != nil {
+			return OverheadResult{}, err
+		}
+		res.DoLocal += time.Since(doStart)
+
+		endStart := time.Now()
+		if _, err := octx.End(); err != nil {
+			return OverheadResult{}, err
+		}
+		res.End += time.Since(endStart)
+	}
+	div := func(d time.Duration) time.Duration { return d / overheadIterations }
+	res.Begin = div(res.Begin)
+	res.FilePrediction = div(res.FilePrediction)
+	res.Choosing = div(res.Choosing)
+	res.BeginOther = div(res.BeginOther)
+	res.DoLocal = div(res.DoLocal)
+	res.End = div(res.End)
+	res.Total = res.Begin + res.DoLocal + res.End
+	return res, nil
+}
+
+// FormatOverhead renders Figure 10 as a text table.
+func FormatOverhead(results []OverheadResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 10 — Spectra overhead (null operation)\n")
+	fmt.Fprintf(&b, "%-28s", "activity")
+	for _, r := range results {
+		label := fmt.Sprintf("%d server(s)", r.Servers)
+		if r.FullCache {
+			label = "full cache"
+		}
+		fmt.Fprintf(&b, "%14s", label)
+	}
+	b.WriteByte('\n')
+	row := func(label string, pick func(OverheadResult) time.Duration) {
+		fmt.Fprintf(&b, "%-28s", label)
+		for _, r := range results {
+			fmt.Fprintf(&b, "%14s", fmtDur(pick(r)))
+		}
+		b.WriteByte('\n')
+	}
+	row("register_fidelity", func(r OverheadResult) time.Duration { return r.Register })
+	row("begin_fidelity_op", func(r OverheadResult) time.Duration { return r.Begin })
+	row("  file cache prediction", func(r OverheadResult) time.Duration { return r.FilePrediction })
+	row("  choosing alternative", func(r OverheadResult) time.Duration { return r.Choosing })
+	row("  other activity", func(r OverheadResult) time.Duration { return r.BeginOther })
+	row("do_local_op", func(r OverheadResult) time.Duration { return r.DoLocal })
+	row("end_fidelity_op", func(r OverheadResult) time.Duration { return r.End })
+	row("total per operation", func(r OverheadResult) time.Duration { return r.Total })
+	fmt.Fprintf(&b, "%-28s", "candidates searched")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%14d", r.Candidates)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+}

@@ -1,0 +1,239 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"spectra/internal/apps/pangloss"
+	"spectra/internal/core"
+	"spectra/internal/testbed"
+	"spectra/internal/utility"
+)
+
+// Pangloss scenario names (Figures 8 and 9).
+const (
+	PanglossBaseline  = "baseline"
+	PanglossFileCache = "filecache"
+	PanglossCPU       = "cpu"
+)
+
+// PanglossScenarios lists the three data sets of Figures 8 and 9.
+func PanglossScenarios() []string {
+	return []string{PanglossBaseline, PanglossFileCache, PanglossCPU}
+}
+
+// PanglossTestSentences are the five sentences translated after training,
+// in words.
+var PanglossTestSentences = []float64{4, 8, 12, 26, 34}
+
+// panglossTrainingSentences stands in for the paper's 129-sentence
+// training set: every alternative is exercised at several lengths.
+var panglossTrainingSentences = []float64{4, 10, 20, 34}
+
+// SentenceResult is one bar of Figures 8 and 9.
+type SentenceResult struct {
+	Words float64
+	// Percentile ranks Spectra's choice among all alternatives by achieved
+	// utility; 100 means the best choice.
+	Percentile float64
+	// RelativeUtility is Spectra's achieved utility divided by the
+	// zero-overhead oracle's (Figure 9).
+	RelativeUtility float64
+	// Chosen describes the selected alternative.
+	Chosen string
+	// OracleBest describes the best alternative by measurement.
+	OracleBest string
+}
+
+// PanglossResult is one scenario's sweep over the five test sentences.
+type PanglossResult struct {
+	Scenario  string
+	Sentences []SentenceResult
+}
+
+// MeanRelativeUtility averages relative utility across sentences.
+func (r PanglossResult) MeanRelativeUtility() float64 {
+	if len(r.Sentences) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Sentences {
+		sum += s.RelativeUtility
+	}
+	return sum / float64(len(r.Sentences))
+}
+
+// RunPangloss reproduces Figures 8 and 9.
+func RunPangloss(opts testbed.Options) ([]PanglossResult, error) {
+	var out []PanglossResult
+	for _, name := range PanglossScenarios() {
+		r, err := runPanglossScenario(name, opts)
+		if err != nil {
+			return nil, fmt.Errorf("pangloss %s: %w", name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func runPanglossScenario(name string, opts testbed.Options) (PanglossResult, error) {
+	tb, err := testbed.NewLaptop(opts)
+	if err != nil {
+		return PanglossResult{}, err
+	}
+	app, err := pangloss.Install(tb.Setup)
+	if err != nil {
+		return PanglossResult{}, err
+	}
+	tb.Setup.Refresh()
+
+	alts := pangloss.AllAlternatives(tb.Setup.Client.Servers())
+	for _, words := range panglossTrainingSentences {
+		for _, alt := range alts {
+			if _, err := app.TranslateForced(alt, words); err != nil {
+				return PanglossResult{}, fmt.Errorf("training: %w", err)
+			}
+		}
+	}
+
+	prepare, err := applyPanglossScenario(name, tb)
+	if err != nil {
+		return PanglossResult{}, err
+	}
+
+	res := PanglossResult{Scenario: name}
+	latU := utility.DeadlineLatency(pangloss.BestLatency, pangloss.WorstLatency)
+	achieved := func(rep core.Report) float64 {
+		return latU(rep.Elapsed) * pangloss.FidelityValue(rep.Decision.Alternative.Fidelity)
+	}
+
+	for _, words := range PanglossTestSentences {
+		// Oracle: measure every alternative's achieved utility.
+		utilities := make([]float64, 0, len(alts))
+		bestU, bestLabel := -1.0, ""
+		for _, alt := range alts {
+			if prepare != nil {
+				if err := prepare(); err != nil {
+					return PanglossResult{}, err
+				}
+			}
+			rep, err := app.TranslateForced(alt, words)
+			if err != nil {
+				return PanglossResult{}, fmt.Errorf("oracle %v: %w", alt, err)
+			}
+			u := achieved(rep)
+			utilities = append(utilities, u)
+			if u > bestU {
+				bestU = u
+				bestLabel = alt.Key()
+			}
+		}
+
+		// Spectra's choice, with overhead, on the same sentence.
+		if prepare != nil {
+			if err := prepare(); err != nil {
+				return PanglossResult{}, err
+			}
+		}
+		rep, err := app.Translate(words)
+		if err != nil {
+			return PanglossResult{}, err
+		}
+		got := achieved(rep)
+
+		better := 0
+		for _, u := range utilities {
+			if u > got {
+				better++
+			}
+		}
+		n := len(utilities)
+		sr := SentenceResult{
+			Words:      words,
+			Percentile: 100 * float64(n-better) / float64(n),
+			Chosen:     rep.Decision.Alternative.Key(),
+			OracleBest: bestLabel,
+		}
+		if bestU > 0 {
+			sr.RelativeUtility = got / bestU
+		} else {
+			sr.RelativeUtility = 1 // everything is worthless; no regret
+		}
+		res.Sentences = append(res.Sentences, sr)
+	}
+	return res, nil
+}
+
+// applyPanglossScenario mutates the testbed and returns an optional
+// per-trial preparation step (the evicted EBMT corpus must be re-evicted
+// after any trial that refetches it).
+func applyPanglossScenario(name string, tb *testbed.Laptop) (func() error, error) {
+	switch name {
+	case PanglossBaseline:
+		return nil, nil
+	case PanglossFileCache:
+		// The 12 MB EBMT corpus is evicted from server B's cache; trials
+		// that ran EBMT on B refetched it, so every trial re-evicts and
+		// refreshes the polled cache state.
+		nodeB, _, ok := tb.Setup.Env.Server("serverB")
+		if !ok {
+			return nil, fmt.Errorf("serverB missing")
+		}
+		evict := func() error {
+			nodeB.Coda().Evict(pangloss.EBMTFile)
+			tb.Setup.Refresh()
+			return nil
+		}
+		return evict, evict()
+	case PanglossCPU:
+		// File-cache scenario plus two CPU-intensive processes on server A.
+		prepare, err := applyPanglossScenario(PanglossFileCache, tb)
+		if err != nil {
+			return nil, err
+		}
+		tb.ServerA.SetBackgroundTasks(2)
+		for i := 0; i < 8; i++ {
+			tb.Setup.Refresh()
+		}
+		return prepare, nil
+	default:
+		return nil, fmt.Errorf("unknown pangloss scenario %q", name)
+	}
+}
+
+// FormatPangloss renders Figures 8 and 9 as text tables.
+func FormatPangloss(results []PanglossResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — accuracy percentile of Spectra's choice\n")
+	fmt.Fprintf(&b, "%-12s", "sentence")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%12s", r.Scenario)
+	}
+	b.WriteByte('\n')
+	for i, words := range PanglossTestSentences {
+		fmt.Fprintf(&b, "%-12s", fmt.Sprintf("%dw", int(words)))
+		for _, r := range results {
+			fmt.Fprintf(&b, "%12.0f", r.Sentences[i].Percentile)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\nFigure 9 — utility relative to zero-overhead oracle\n")
+	fmt.Fprintf(&b, "%-12s", "sentence")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%12s", r.Scenario)
+	}
+	b.WriteByte('\n')
+	for i, words := range PanglossTestSentences {
+		fmt.Fprintf(&b, "%-12s", fmt.Sprintf("%dw", int(words)))
+		for _, r := range results {
+			fmt.Fprintf(&b, "%12.2f", r.Sentences[i].RelativeUtility)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-12s", "mean")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%12.2f", r.MeanRelativeUtility())
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,155 @@
+// Package scenario reproduces the paper's validation (§4): it constructs
+// the testbeds, trains Spectra, applies each resource-availability
+// scenario, measures every execution alternative, asks Spectra to choose,
+// and reports the same rows and series the paper's figures show.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"spectra/internal/core"
+	"spectra/internal/solver"
+)
+
+// Trials is how many times each alternative is measured; the paper used
+// five. The simulation is deterministic, so the mean equals each trial,
+// but the methodology is preserved.
+const Trials = 3
+
+// Measurement is one bar of a figure: an alternative's measured execution
+// time and client energy.
+type Measurement struct {
+	Alternative solver.Alternative
+	// Label is the figure's bar label (e.g. "hybrid/full").
+	Label string
+	// Elapsed is the mean measured execution time.
+	Elapsed time.Duration
+	// EnergyJoules is the mean measured client energy.
+	EnergyJoules float64
+	// Feasible is false when the alternative cannot execute in this
+	// scenario (e.g. remote plans during a partition).
+	Feasible bool
+	// Chosen marks the alternative Spectra selected ("S" in the figures).
+	Chosen bool
+}
+
+// ScenarioResult is one data set of a figure: every alternative measured
+// under one resource-availability scenario, plus Spectra's run.
+type ScenarioResult struct {
+	Scenario string
+	Bars     []Measurement
+	// Spectra is the measurement of the run where Spectra chose (the
+	// figures' last bar, which includes decision overhead).
+	Spectra Measurement
+}
+
+// BestIndex returns the index of the fastest feasible bar.
+func (r ScenarioResult) BestIndex() int {
+	best := -1
+	for i, b := range r.Bars {
+		if !b.Feasible {
+			continue
+		}
+		if best < 0 || b.Elapsed < r.Bars[best].Elapsed {
+			best = i
+		}
+	}
+	return best
+}
+
+// ChosenIndex returns the index of Spectra's chosen bar, or -1.
+func (r ScenarioResult) ChosenIndex() int {
+	for i, b := range r.Bars {
+		if b.Chosen {
+			return i
+		}
+	}
+	return -1
+}
+
+// runner measures one alternative once; implemented per application.
+type runner func(alt solver.Alternative) (core.Report, error)
+
+// measure runs an alternative Trials times and averages.
+func measure(alt solver.Alternative, label string, run runner, prepare func() error) (Measurement, error) {
+	m := Measurement{Alternative: alt, Label: label}
+	var totalT time.Duration
+	var totalE float64
+	for i := 0; i < Trials; i++ {
+		if prepare != nil {
+			if err := prepare(); err != nil {
+				return m, err
+			}
+		}
+		rep, err := run(alt)
+		if err != nil {
+			if isInfeasible(err) {
+				return m, nil // bar absent in this scenario
+			}
+			return m, err
+		}
+		totalT += rep.Elapsed
+		totalE += rep.Usage.EnergyJoules
+	}
+	m.Feasible = true
+	m.Elapsed = totalT / Trials
+	m.EnergyJoules = totalE / Trials
+	return m, nil
+}
+
+func isInfeasible(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no feasible execution alternative")
+}
+
+// FormatTimeTable renders scenario results as the paper's execution-time
+// figures do: one row per alternative, columns per scenario.
+func FormatTimeTable(title string, results []ScenarioResult) string {
+	return formatTable(title+" — execution time", results, func(m Measurement) string {
+		if !m.Feasible {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fs", m.Elapsed.Seconds())
+	})
+}
+
+// FormatEnergyTable renders scenario results as the energy figures do.
+func FormatEnergyTable(title string, results []ScenarioResult) string {
+	return formatTable(title+" — energy usage", results, func(m Measurement) string {
+		if !m.Feasible {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fJ", m.EnergyJoules)
+	})
+}
+
+func formatTable(title string, results []ScenarioResult, cell func(Measurement) string) string {
+	if len(results) == 0 {
+		return title + ": no data\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-24s", "alternative")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%14s", r.Scenario)
+	}
+	b.WriteByte('\n')
+	for i, bar := range results[0].Bars {
+		fmt.Fprintf(&b, "%-24s", bar.Label)
+		for _, r := range results {
+			mark := " "
+			if r.Bars[i].Chosen {
+				mark = "*"
+			}
+			fmt.Fprintf(&b, "%13s%s", cell(r.Bars[i]), mark)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-24s", "spectra (with overhead)")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%13s ", cell(r.Spectra))
+	}
+	b.WriteString("\n('*' marks Spectra's choice)\n")
+	return b.String()
+}

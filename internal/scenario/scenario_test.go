@@ -1,0 +1,303 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"spectra/internal/apps/janus"
+	"spectra/internal/apps/latex"
+	"spectra/internal/testbed"
+)
+
+// TestSpeechFigures reproduces Figures 3 and 4 and checks every shape the
+// paper reports for the speech workload.
+func TestSpeechFigures(t *testing.T) {
+	results, err := RunSpeech(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("scenarios = %d, want 5", len(results))
+	}
+	byName := make(map[string]ScenarioResult, len(results))
+	for _, r := range results {
+		byName[r.Scenario] = r
+	}
+	barByLabel := func(r ScenarioResult, label string) Measurement {
+		for _, b := range r.Bars {
+			if b.Label == label {
+				return b
+			}
+		}
+		t.Fatalf("%s: no bar %q", r.Scenario, label)
+		return Measurement{}
+	}
+
+	base := byName[SpeechBaseline]
+	// Local execution is 3-9x slower than hybrid and remote (Figure 3).
+	localFull := barByLabel(base, "local/full")
+	hybridFull := barByLabel(base, "hybrid/full")
+	remoteFull := barByLabel(base, "remote/full")
+	for _, other := range []Measurement{hybridFull, remoteFull} {
+		ratio := float64(localFull.Elapsed) / float64(other.Elapsed)
+		if ratio < 3 || ratio > 9 {
+			t.Errorf("baseline local/offload ratio = %.1f, want 3-9", ratio)
+		}
+	}
+	// Baseline choice: hybrid plan, full vocabulary.
+	if !hybridFull.Chosen {
+		t.Errorf("baseline chose %v, want hybrid/full", base.ChosenIndex())
+	}
+
+	// Energy scenario: remote/full chosen; hybrid costs more energy than
+	// remote (Figure 4).
+	en := byName[SpeechEnergy]
+	if !barByLabel(en, "remote/full").Chosen {
+		t.Errorf("energy scenario chose wrong alternative")
+	}
+	if barByLabel(en, "hybrid/full").EnergyJoules <= barByLabel(en, "remote/full").EnergyJoules {
+		t.Errorf("hybrid energy %.2fJ should exceed remote %.2fJ",
+			barByLabel(en, "hybrid/full").EnergyJoules,
+			barByLabel(en, "remote/full").EnergyJoules)
+	}
+
+	// Network scenario: hybrid/full chosen; remote noticeably slower than
+	// at baseline.
+	nw := byName[SpeechNetwork]
+	if !barByLabel(nw, "hybrid/full").Chosen {
+		t.Errorf("network scenario chose wrong alternative")
+	}
+	if barByLabel(nw, "remote/full").Elapsed <= remoteFull.Elapsed {
+		t.Errorf("halved bandwidth did not slow remote execution")
+	}
+
+	// CPU scenario: remote plan chosen (local computation got expensive).
+	cpu := byName[SpeechCPU]
+	if !barByLabel(cpu, "remote/full").Chosen && !barByLabel(cpu, "remote/reduced").Chosen {
+		t.Errorf("cpu scenario did not choose a remote plan")
+	}
+
+	// File-cache scenario: remote/hybrid infeasible (partition); Spectra
+	// picks reduced-quality local recognition; full-quality local is about
+	// 3x slower.
+	fc := byName[SpeechFileCache]
+	if barByLabel(fc, "hybrid/full").Feasible || barByLabel(fc, "remote/full").Feasible {
+		t.Errorf("partitioned scenario still ran remote plans")
+	}
+	if !barByLabel(fc, "local/reduced").Chosen {
+		t.Errorf("file-cache scenario chose wrong alternative")
+	}
+	slow := float64(barByLabel(fc, "local/full").Elapsed)
+	fast := float64(barByLabel(fc, "local/reduced").Elapsed)
+	if ratio := slow / fast; ratio < 2 || ratio > 6 {
+		t.Errorf("full/reduced ratio under cache miss = %.1f, want ~3", ratio)
+	}
+
+	// Spectra's own run should be close to its chosen bar (low overhead).
+	for _, r := range results {
+		idx := r.ChosenIndex()
+		if idx < 0 {
+			t.Errorf("%s: no chosen bar", r.Scenario)
+			continue
+		}
+		chosen := r.Bars[idx]
+		if r.Spectra.Elapsed > chosen.Elapsed*3/2 {
+			t.Errorf("%s: Spectra run %v much slower than chosen bar %v",
+				r.Scenario, r.Spectra.Elapsed, chosen.Elapsed)
+		}
+	}
+
+	// Table rendering sanity.
+	tbl := FormatTimeTable("Figure 3", results)
+	if !strings.Contains(tbl, "hybrid/full") || !strings.Contains(tbl, "baseline") {
+		t.Errorf("table rendering broken:\n%s", tbl)
+	}
+}
+
+// TestLatexFigures reproduces Figures 5-7 and checks the reported shapes.
+func TestLatexFigures(t *testing.T) {
+	results, err := RunLatex(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("documents = %d, want 2", len(results))
+	}
+	for _, lr := range results {
+		byName := make(map[string]ScenarioResult)
+		for _, r := range lr.Results {
+			byName[r.Scenario] = r
+		}
+		bar := func(r ScenarioResult, label string) Measurement {
+			for _, b := range r.Bars {
+				if b.Label == label {
+					return b
+				}
+			}
+			t.Fatalf("no bar %q", label)
+			return Measurement{}
+		}
+		small := lr.Document.Name == latex.SmallDocument().Name
+
+		// Baseline: server B (faster CPU) chosen for both documents.
+		base := byName[LatexBaseline]
+		if !bar(base, "serverB").Chosen {
+			t.Errorf("%s baseline chose wrong server", lr.Document.Name)
+		}
+		if bar(base, "serverB").Elapsed >= bar(base, "serverA").Elapsed {
+			t.Errorf("%s baseline: B not faster than A", lr.Document.Name)
+		}
+
+		// File cache: B's cold cache flips the choice to A.
+		fc := byName[LatexFileCache]
+		if !bar(fc, "serverA").Chosen {
+			t.Errorf("%s file-cache scenario chose wrong server", lr.Document.Name)
+		}
+		if bar(fc, "serverB").Elapsed <= bar(base, "serverB").Elapsed {
+			t.Errorf("%s: cold cache did not slow server B", lr.Document.Name)
+		}
+
+		// Reintegrate: local for the small document (remote must pay
+		// reintegration); still B for the large one (modified file not
+		// predicted to be needed).
+		re := byName[LatexReintegrate]
+		if small {
+			if !bar(re, "local").Chosen {
+				t.Errorf("small reintegrate scenario chose wrong plan")
+			}
+			if bar(re, "serverB").Elapsed <= bar(base, "serverB").Elapsed {
+				t.Errorf("reintegration did not slow remote execution")
+			}
+		} else {
+			if !bar(re, "serverB").Chosen {
+				t.Errorf("large reintegrate scenario chose wrong server")
+			}
+		}
+
+		// Energy: B chosen for both; for the small document B is slower
+		// than local but uses less energy (Figure 7a).
+		en := byName[LatexEnergy]
+		if !bar(en, "serverB").Chosen {
+			t.Errorf("%s energy scenario chose wrong server", lr.Document.Name)
+		}
+		if small {
+			if bar(en, "serverB").Elapsed <= bar(en, "local").Elapsed {
+				t.Errorf("small energy: B should be slower than local")
+			}
+			if bar(en, "serverB").EnergyJoules >= bar(en, "local").EnergyJoules {
+				t.Errorf("small energy: B (%.1fJ) should use less energy than local (%.1fJ)",
+					bar(en, "serverB").EnergyJoules, bar(en, "local").EnergyJoules)
+			}
+			if bar(en, "serverB").EnergyJoules >= bar(en, "serverA").EnergyJoules {
+				t.Errorf("small energy: B should use less energy than A")
+			}
+		} else {
+			// Large document: B saves both time and energy.
+			if bar(en, "serverB").Elapsed >= bar(en, "local").Elapsed ||
+				bar(en, "serverB").EnergyJoules >= bar(en, "local").EnergyJoules {
+				t.Errorf("large energy: B should beat local on both metrics")
+			}
+		}
+	}
+}
+
+// TestPanglossFigures reproduces Figures 8 and 9.
+func TestPanglossFigures(t *testing.T) {
+	results, err := RunPangloss(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("scenarios = %d, want 3", len(results))
+	}
+	var totalRel float64
+	var n int
+	for _, r := range results {
+		if len(r.Sentences) != len(PanglossTestSentences) {
+			t.Fatalf("%s: %d sentences", r.Scenario, len(r.Sentences))
+		}
+		for _, s := range r.Sentences {
+			if s.Percentile < 50 {
+				t.Errorf("%s %vw: percentile %.0f too low (chose %s, best %s)",
+					r.Scenario, s.Words, s.Percentile, s.Chosen, s.OracleBest)
+			}
+			totalRel += s.RelativeUtility
+			n++
+		}
+	}
+	// Paper: "Spectra did an excellent job for Pangloss-Lite, achieving on
+	// average 91% of the best utility."
+	if mean := totalRel / float64(n); mean < 0.85 {
+		t.Errorf("mean relative utility = %.2f, want >= 0.85", mean)
+	}
+	out := FormatPangloss(results)
+	if !strings.Contains(out, "Figure 8") || !strings.Contains(out, "Figure 9") {
+		t.Errorf("rendering broken:\n%s", out)
+	}
+}
+
+// TestOverheadFigure reproduces Figure 10.
+func TestOverheadFigure(t *testing.T) {
+	results, err := RunOverhead(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("configs = %d, want 3 server counts + full cache", len(results))
+	}
+	for i, r := range results[:3] {
+		if r.Servers != OverheadServerCounts[i] {
+			t.Errorf("config %d servers = %d", i, r.Servers)
+		}
+		if r.Total <= 0 || r.Begin <= 0 {
+			t.Errorf("%d servers: zero overhead measured: %+v", r.Servers, r)
+		}
+		wantCands := 1 + r.Servers
+		if r.Candidates != wantCands {
+			t.Errorf("%d servers: candidates = %d, want %d", r.Servers, r.Candidates, wantCands)
+		}
+	}
+	// The full-cache variant must show file-cache prediction dominating
+	// the equivalent 1-server configuration, the paper's pathological case.
+	full := results[3]
+	if !full.FullCache {
+		t.Fatalf("last config should be the full-cache variant: %+v", full)
+	}
+	if full.FilePrediction <= results[1].FilePrediction {
+		t.Errorf("full-cache file prediction %v not above 1-server %v",
+			full.FilePrediction, results[1].FilePrediction)
+	}
+	// More candidate servers => more alternatives searched; total overhead
+	// must not shrink dramatically (the paper's growth is dominated by
+	// choosing among alternatives).
+	if results[2].Choosing < results[0].Choosing {
+		t.Errorf("choosing with 5 servers (%v) below 0 servers (%v)",
+			results[2].Choosing, results[0].Choosing)
+	}
+	out := FormatOverhead(results)
+	if !strings.Contains(out, "begin_fidelity_op") {
+		t.Errorf("rendering broken:\n%s", out)
+	}
+}
+
+// TestSpeechAlternativesCoverFigure ensures the bar set matches the
+// figure's six alternatives.
+func TestSpeechAlternativesCoverFigure(t *testing.T) {
+	alts := speechAlternatives()
+	if len(alts) != 6 {
+		t.Fatalf("alternatives = %d, want 6", len(alts))
+	}
+	seen := make(map[string]bool)
+	for _, a := range alts {
+		seen[speechLabel(a)] = true
+	}
+	for _, want := range []string{
+		"local/full", "local/reduced", "hybrid/full",
+		"hybrid/reduced", "remote/full", "remote/reduced",
+	} {
+		if !seen[want] {
+			t.Errorf("missing alternative %s", want)
+		}
+	}
+	_ = janus.Spec() // keep import meaningful if labels change
+}

@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"spectra/internal/apps/janus"
+	"spectra/internal/apps/latex"
+	"spectra/internal/apps/pangloss"
+	"spectra/internal/testbed"
+	"spectra/internal/workload"
+)
+
+// TestSoakSpeechUnderChurn drives hundreds of recognitions while the
+// environment churns — load appearing and disappearing, the link
+// degrading, the server partitioning and healing, the battery draining —
+// and requires every operation to complete with a feasible decision.
+func TestSoakSpeechUnderChurn(t *testing.T) {
+	tb, err := testbed.NewSpeech(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := janus.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+
+	// Brief training so early decisions are informed.
+	for _, length := range workload.Utterances(1, 5) {
+		for _, alt := range speechAlternatives() {
+			if _, err := app.RecognizeForced(alt, length); err != nil {
+				t.Fatalf("training: %v", err)
+			}
+		}
+	}
+
+	rng := workload.NewRNG(99)
+	lengths := workload.Utterances(2, 200)
+	plans := make(map[string]int)
+	for i, length := range lengths {
+		// Churn the environment every 20 operations.
+		if i%20 == 10 {
+			switch rng.Intn(5) {
+			case 0:
+				tb.Itsy.SetBackgroundTasks(rng.Intn(3))
+			case 1:
+				tb.Serial.SetBandwidthBps(float64(7_000 + rng.Intn(20_000)))
+			case 2:
+				tb.Serial.SetPartitioned(!tb.Serial.Partitioned())
+			case 3:
+				tb.Itsy.SetWallPower(!tb.Itsy.OnWallPower())
+			case 4:
+				tb.Setup.Adaptor.SetImportance(rng.Float64() * 0.8)
+			}
+			tb.Setup.Refresh()
+		}
+		rep, err := app.Recognize(length)
+		if err != nil {
+			t.Fatalf("op %d (len %v): %v", i, length, err)
+		}
+		if rep.Elapsed <= 0 || rep.Elapsed > 5*time.Minute {
+			t.Fatalf("op %d elapsed = %v", i, rep.Elapsed)
+		}
+		plans[rep.Decision.Alternative.Plan]++
+	}
+	// The churn must actually exercise more than one plan.
+	if len(plans) < 2 {
+		t.Fatalf("soak used only plans %v", plans)
+	}
+}
+
+// TestSoakLaptopMixedWorkload interleaves translations and compiles, with
+// document edits arriving stochastically, over a churning laptop testbed.
+func TestSoakLaptopMixedWorkload(t *testing.T) {
+	tb, err := testbed.NewLaptop(testbed.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	texApp, err := latex.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panApp, err := pangloss.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+
+	// Light training for both applications.
+	for _, alt := range latexAlternatives() {
+		for _, doc := range []latex.Document{latex.SmallDocument(), latex.LargeDocument()} {
+			if _, err := texApp.CompileForced(alt, doc); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, alt := range pangloss.AllAlternatives(tb.Setup.Client.Servers()) {
+		if _, err := panApp.TranslateForced(alt, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := workload.NewRNG(7)
+	sentences := workload.Sentences(8, 150, 40)
+	edits := workload.EditPattern(9, 150, 0.2)
+	small := latex.SmallDocument()
+
+	for i := 0; i < 150; i++ {
+		if i%25 == 12 {
+			switch rng.Intn(4) {
+			case 0:
+				tb.ServerA.SetBackgroundTasks(rng.Intn(4))
+			case 1:
+				tb.ServerB.SetBackgroundTasks(rng.Intn(2))
+			case 2:
+				nodeB, _, _ := tb.Setup.Env.Server("serverB")
+				nodeB.Coda().Evict(pangloss.EBMTFile)
+			case 3:
+				tb.X560.SetWallPower(!tb.X560.OnWallPower())
+			}
+			tb.Setup.Refresh()
+		}
+
+		if edits[i] {
+			if err := texApp.TouchInput(small); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%3 == 0 {
+			doc := small
+			if rng.Intn(2) == 1 {
+				doc = latex.LargeDocument()
+			}
+			rep, err := texApp.Compile(doc)
+			if err != nil {
+				t.Fatalf("compile %d: %v", i, err)
+			}
+			if rep.Elapsed <= 0 {
+				t.Fatalf("compile %d elapsed = %v", i, rep.Elapsed)
+			}
+		} else {
+			rep, err := panApp.Translate(sentences[i])
+			if err != nil {
+				t.Fatalf("translate %d (%vw): %v", i, sentences[i], err)
+			}
+			if rep.Elapsed <= 0 {
+				t.Fatalf("translate %d elapsed = %v", i, rep.Elapsed)
+			}
+		}
+	}
+
+	// The system must remain internally consistent: no volume stuck dirty
+	// beyond the latest edit, and the models still predict.
+	if dirty := tb.Setup.Env.Host().Coda().DirtyVolumes(); len(dirty) > 2 {
+		t.Fatalf("dirty volumes accumulated: %v", dirty)
+	}
+}

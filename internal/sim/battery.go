@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Battery models a client battery. It tracks remaining energy in joules and
+// a short history of discharge so that the two battery "drivers" (ACPI-style
+// and SmartBattery-style, see internal/energy) can report remaining capacity
+// and recent drain rate the way the paper's battery monitor consumed them.
+type Battery struct {
+	mu sync.Mutex
+
+	capacityJ  float64
+	remainingJ float64
+	drainedJ   float64 // cumulative discharge since construction
+
+	// voltage is used by the SmartBattery driver to convert between
+	// joules and milliamp-hours.
+	voltage float64
+}
+
+// NewBattery returns a full battery with the given capacity in joules.
+// A typical Itsy v2.2 battery stores roughly 9 Wh (~32 kJ); a ThinkPad 560X
+// battery roughly 39 Wh (~140 kJ).
+func NewBattery(capacityJoules float64) *Battery {
+	if capacityJoules <= 0 {
+		capacityJoules = 1
+	}
+	return &Battery{
+		capacityJ:  capacityJoules,
+		remainingJ: capacityJoules,
+		voltage:    3.7,
+	}
+}
+
+// SetVoltage sets the nominal voltage used for mAh conversions.
+func (b *Battery) SetVoltage(v float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v > 0 {
+		b.voltage = v
+	}
+}
+
+// Voltage returns the nominal voltage.
+func (b *Battery) Voltage() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.voltage
+}
+
+// CapacityJoules returns the battery's full capacity.
+func (b *Battery) CapacityJoules() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.capacityJ
+}
+
+// RemainingJoules returns the energy left in the battery.
+func (b *Battery) RemainingJoules() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remainingJ
+}
+
+// DrainedJoules returns the cumulative energy drawn from the battery.
+// The battery monitor measures per-operation energy as the difference of
+// this counter before and after the operation.
+func (b *Battery) DrainedJoules() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.drainedJ
+}
+
+// Drain removes energy from the battery, clamping at empty.
+func (b *Battery) Drain(joules float64) {
+	if joules <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drainedJ += joules
+	b.remainingJ -= joules
+	if b.remainingJ < 0 {
+		b.remainingJ = 0
+	}
+}
+
+// Recharge restores energy, clamping at capacity.
+func (b *Battery) Recharge(joules float64) {
+	if joules <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.remainingJ += joules
+	if b.remainingJ > b.capacityJ {
+		b.remainingJ = b.capacityJ
+	}
+}
+
+// FractionRemaining returns remaining/capacity in [0,1].
+func (b *Battery) FractionRemaining() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remainingJ / b.capacityJ
+}
+
+// IsEmpty reports whether the battery is exhausted.
+func (b *Battery) IsEmpty() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remainingJ <= 0
+}
+
+// LifetimeAt returns how long the battery lasts at a constant draw.
+func (b *Battery) LifetimeAt(watts float64) time.Duration {
+	if watts <= 0 {
+		return time.Duration(1<<62 - 1)
+	}
+	return DurationSeconds(b.RemainingJoules() / watts)
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBatteryDrainAndRecharge(t *testing.T) {
+	b := NewBattery(100)
+	if b.RemainingJoules() != 100 || b.CapacityJoules() != 100 {
+		t.Fatal("new battery should be full")
+	}
+	b.Drain(30)
+	if got := b.RemainingJoules(); got != 70 {
+		t.Fatalf("remaining = %v, want 70", got)
+	}
+	if got := b.DrainedJoules(); got != 30 {
+		t.Fatalf("drained = %v, want 30", got)
+	}
+	b.Recharge(10)
+	if got := b.RemainingJoules(); got != 80 {
+		t.Fatalf("after recharge remaining = %v, want 80", got)
+	}
+	b.Recharge(1000)
+	if got := b.RemainingJoules(); got != 100 {
+		t.Fatalf("recharge must clamp at capacity, got %v", got)
+	}
+}
+
+func TestBatteryClampsAtEmpty(t *testing.T) {
+	b := NewBattery(10)
+	b.Drain(25)
+	if got := b.RemainingJoules(); got != 0 {
+		t.Fatalf("remaining = %v, want 0", got)
+	}
+	if !b.IsEmpty() {
+		t.Fatal("battery should report empty")
+	}
+	// Cumulative drain still records the full request, like a coulomb
+	// counter that kept integrating.
+	if got := b.DrainedJoules(); got != 25 {
+		t.Fatalf("drained = %v, want 25", got)
+	}
+}
+
+func TestBatteryIgnoresNonPositive(t *testing.T) {
+	b := NewBattery(50)
+	b.Drain(-5)
+	b.Recharge(-5)
+	b.Drain(0)
+	if b.RemainingJoules() != 50 || b.DrainedJoules() != 0 {
+		t.Fatal("non-positive amounts must be ignored")
+	}
+}
+
+func TestBatteryFractionAndLifetime(t *testing.T) {
+	b := NewBattery(200)
+	b.Drain(50)
+	if got := b.FractionRemaining(); got != 0.75 {
+		t.Fatalf("fraction = %v, want 0.75", got)
+	}
+	if got := b.LifetimeAt(3); got != DurationSeconds(50) {
+		t.Fatalf("lifetime at 3W = %v, want 50s", got)
+	}
+	if got := b.LifetimeAt(0); got < 100*365*24*time.Hour {
+		t.Fatalf("lifetime at 0W should be effectively infinite, got %v", got)
+	}
+}
+
+func TestBatteryVoltage(t *testing.T) {
+	b := NewBattery(10)
+	if b.Voltage() != 3.7 {
+		t.Fatalf("default voltage = %v", b.Voltage())
+	}
+	b.SetVoltage(12)
+	if b.Voltage() != 12 {
+		t.Fatalf("voltage = %v, want 12", b.Voltage())
+	}
+	b.SetVoltage(-1)
+	if b.Voltage() != 12 {
+		t.Fatal("invalid voltage must be ignored")
+	}
+}
+
+// Property: for any sequence of drains, remaining stays within [0, capacity]
+// and drained equals the sum of positive requests.
+func TestBatteryInvariantsProperty(t *testing.T) {
+	f := func(amounts []int16) bool {
+		const cap = 1000.0
+		b := NewBattery(cap)
+		var wantDrained float64
+		for _, a := range amounts {
+			j := float64(a)
+			b.Drain(j)
+			if j > 0 {
+				wantDrained += j
+			}
+		}
+		rem := b.RemainingJoules()
+		return rem >= 0 && rem <= cap && b.DrainedJoules() == wantDrained
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package sim provides the simulated hardware substrate used to reproduce
+// the Spectra testbed: a virtual clock, machine models with CPU speed and
+// power characteristics, and batteries. The paper's experiments ran on a
+// Compaq Itsy v2.2, an IBM T20, an IBM 560X, and two compute servers; this
+// package models those platforms analytically so that the resource monitors
+// observe the same supply/demand signals the real hardware produced.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the time source used throughout the simulation. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+
+	// Sleep advances (virtual clock) or waits (real clock) for d.
+	// Negative durations are treated as zero.
+	Sleep(d time.Duration)
+}
+
+// VirtualClock is a deterministic Clock that only moves when Sleep or
+// Advance is called. The zero value is not usable; construct with
+// NewVirtualClock.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+var _ Clock = (*VirtualClock)(nil)
+
+// NewVirtualClock returns a virtual clock starting at the given instant.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances virtual time by d without blocking.
+func (c *VirtualClock) Sleep(d time.Duration) {
+	c.Advance(d)
+}
+
+// Advance moves virtual time forward by d. Negative durations are ignored.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// RealClock is a Clock backed by the system clock.
+type RealClock struct{}
+
+var _ Clock = RealClock{}
+
+// Now returns time.Now().
+func (RealClock) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (RealClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// Seconds converts a duration to floating-point seconds.
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+// DurationSeconds converts floating-point seconds to a duration.
+func DurationSeconds(s float64) time.Duration {
+	if s <= 0 {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}

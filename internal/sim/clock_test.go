@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualClockAdvance(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	c := NewVirtualClock(start)
+	if got := c.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	c.Advance(3 * time.Second)
+	if got := c.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("after Advance, Now() = %v", got)
+	}
+}
+
+func TestVirtualClockSleepAdvances(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0))
+	c.Sleep(time.Minute)
+	if got := c.Now().Sub(time.Unix(0, 0)); got != time.Minute {
+		t.Fatalf("Sleep advanced %v, want 1m", got)
+	}
+}
+
+func TestVirtualClockNegativeAdvanceIgnored(t *testing.T) {
+	c := NewVirtualClock(time.Unix(100, 0))
+	c.Advance(-time.Hour)
+	c.Sleep(-time.Second)
+	if got := c.Now(); !got.Equal(time.Unix(100, 0)) {
+		t.Fatalf("negative advance moved clock to %v", got)
+	}
+}
+
+func TestVirtualClockConcurrentAdvance(t *testing.T) {
+	c := NewVirtualClock(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Advance(time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if got := c.Now().Sub(time.Unix(0, 0)); got != 50*time.Millisecond {
+		t.Fatalf("concurrent advances produced %v, want 50ms", got)
+	}
+}
+
+func TestRealClockMonotonicish(t *testing.T) {
+	var c RealClock
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock moved backwards: %v then %v", a, b)
+	}
+}
+
+func TestDurationSecondsRoundTrip(t *testing.T) {
+	tests := []struct {
+		give float64
+		want time.Duration
+	}{
+		{give: 0, want: 0},
+		{give: -1, want: 0},
+		{give: 1.5, want: 1500 * time.Millisecond},
+		{give: 0.001, want: time.Millisecond},
+	}
+	for _, tt := range tests {
+		if got := DurationSeconds(tt.give); got != tt.want {
+			t.Errorf("DurationSeconds(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+	if got := Seconds(2500 * time.Millisecond); got != 2.5 {
+		t.Errorf("Seconds = %v, want 2.5", got)
+	}
+}

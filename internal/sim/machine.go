@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Machine models a computer in the testbed: its CPU, its power draw, and
+// its background load. Compute demand is expressed in megacycles so that the
+// same application demand numbers can be replayed against machines of
+// different speeds, exactly as Spectra's history-based CPU predictions do.
+type Machine struct {
+	mu sync.Mutex
+
+	name string
+	// speedMHz is the processor clock in MHz (megacycles per second).
+	speedMHz float64
+	// fpPenalty multiplies floating-point cycle demand. The Itsy's SA-1100
+	// emulates floating point in software; the paper attributes the 3-9x
+	// local slowdown of Janus to this penalty.
+	fpPenalty float64
+	// backgroundTasks is the number of CPU-bound competing processes.
+	// Operations receive a fair share 1/(backgroundTasks+1) of the CPU.
+	backgroundTasks int
+
+	power PowerModel
+	// onWallPower reports whether the machine is externally powered.
+	onWallPower bool
+	battery     *Battery
+
+	// cycleCount accumulates megacycles executed on behalf of operations,
+	// analogous to the per-process counters Spectra reads from /proc.
+	cycleCount float64
+}
+
+// PowerModel describes a platform's power draw in watts. Values are drawn
+// from published measurements of the Itsy v2.2 and ThinkPad 560X class
+// hardware; only their ratios matter to Spectra's decisions.
+type PowerModel struct {
+	// IdleW is the draw when the CPU is idle (e.g. waiting on a server).
+	IdleW float64
+	// BusyW is the draw during computation.
+	BusyW float64
+	// NetW is the draw while actively transmitting or receiving.
+	NetW float64
+}
+
+// MachineConfig configures a Machine.
+type MachineConfig struct {
+	Name            string
+	SpeedMHz        float64
+	FPPenalty       float64 // <1 values are treated as 1 (hardware FPU)
+	BackgroundTasks int
+	Power           PowerModel
+	OnWallPower     bool
+	Battery         *Battery
+}
+
+// NewMachine constructs a machine from the given configuration.
+func NewMachine(cfg MachineConfig) *Machine {
+	if cfg.SpeedMHz <= 0 {
+		cfg.SpeedMHz = 100
+	}
+	if cfg.FPPenalty < 1 {
+		cfg.FPPenalty = 1
+	}
+	return &Machine{
+		name:            cfg.Name,
+		speedMHz:        cfg.SpeedMHz,
+		fpPenalty:       cfg.FPPenalty,
+		backgroundTasks: cfg.BackgroundTasks,
+		power:           cfg.Power,
+		onWallPower:     cfg.OnWallPower,
+		battery:         cfg.Battery,
+	}
+}
+
+// Name returns the machine's name.
+func (m *Machine) Name() string { return m.name }
+
+// SpeedMHz returns the processor clock in MHz.
+func (m *Machine) SpeedMHz() float64 { return m.speedMHz }
+
+// FPPenalty returns the floating-point emulation multiplier (1 for
+// hardware floating point).
+func (m *Machine) FPPenalty() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fpPenalty
+}
+
+// Power returns the machine's power model.
+func (m *Machine) Power() PowerModel { return m.power }
+
+// OnWallPower reports whether the machine is externally powered.
+func (m *Machine) OnWallPower() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.onWallPower
+}
+
+// SetWallPower switches the machine between wall and battery power.
+func (m *Machine) SetWallPower(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onWallPower = on
+}
+
+// Battery returns the machine's battery, or nil for machines without one.
+func (m *Machine) Battery() *Battery { return m.battery }
+
+// SetBackgroundTasks sets the number of CPU-bound competing processes, as
+// the paper's CPU scenario does by starting background jobs.
+func (m *Machine) SetBackgroundTasks(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.backgroundTasks = n
+}
+
+// BackgroundTasks returns the number of CPU-bound competing processes.
+func (m *Machine) BackgroundTasks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.backgroundTasks
+}
+
+// LoadFraction returns the fraction of CPU cycles consumed by processes
+// other than the operation, the statistic the CPU monitor samples.
+func (m *Machine) LoadFraction() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := float64(m.backgroundTasks)
+	return n / (n + 1)
+}
+
+// FairShare returns the fraction of the CPU an operation receives assuming
+// background load stays constant and scheduling is fair, per the prediction
+// algorithm of Narayanan et al. used by the paper's CPU monitor.
+func (m *Machine) FairShare() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return 1 / (float64(m.backgroundTasks) + 1)
+}
+
+// AvailableMHz returns the predicted megacycles per second available to a
+// newly started operation.
+func (m *Machine) AvailableMHz() float64 {
+	return m.speedMHz * m.FairShare()
+}
+
+// ComputeTime returns how long executing the given demand takes on this
+// machine at its current load, and the effective megacycles charged to the
+// operation (after floating-point emulation expansion).
+func (m *Machine) ComputeTime(d ComputeDemand) (time.Duration, float64) {
+	eff := m.EffectiveMegacycles(d)
+	if eff <= 0 {
+		return 0, 0
+	}
+	avail := m.AvailableMHz()
+	return DurationSeconds(eff / avail), eff
+}
+
+// EffectiveMegacycles returns the cycle demand after applying the machine's
+// floating-point emulation penalty.
+func (m *Machine) EffectiveMegacycles(d ComputeDemand) float64 {
+	fp := m.FPPenalty()
+	eff := d.IntegerMegacycles + d.FloatMegacycles*fp
+	if eff < 0 {
+		return 0
+	}
+	return eff
+}
+
+// ChargeCycles records megacycles executed on behalf of operations. The CPU
+// monitor reads the counter before and after an operation.
+func (m *Machine) ChargeCycles(megacycles float64) {
+	if megacycles <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cycleCount += megacycles
+}
+
+// CycleCount returns the accumulated operation megacycles.
+func (m *Machine) CycleCount() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cycleCount
+}
+
+// DrainCompute discharges the battery for t of computation, if the machine
+// is battery powered. It returns the energy consumed in joules.
+func (m *Machine) DrainCompute(t time.Duration) float64 {
+	return m.drain(m.power.BusyW, t)
+}
+
+// DrainIdle discharges the battery for t of idle waiting.
+func (m *Machine) DrainIdle(t time.Duration) float64 {
+	return m.drain(m.power.IdleW, t)
+}
+
+// DrainNetwork discharges the battery for t of network activity.
+func (m *Machine) DrainNetwork(t time.Duration) float64 {
+	return m.drain(m.power.NetW, t)
+}
+
+func (m *Machine) drain(watts float64, t time.Duration) float64 {
+	if t <= 0 || watts <= 0 {
+		return 0
+	}
+	joules := watts * Seconds(t)
+	if m.OnWallPower() || m.battery == nil {
+		return joules
+	}
+	m.battery.Drain(joules)
+	return joules
+}
+
+// ComputeDemand expresses an application component's CPU demand in
+// megacycles, split by instruction mix so that software floating-point
+// platforms can be modeled.
+type ComputeDemand struct {
+	IntegerMegacycles float64
+	FloatMegacycles   float64
+}
+
+// Add returns the sum of two demands.
+func (d ComputeDemand) Add(o ComputeDemand) ComputeDemand {
+	return ComputeDemand{
+		IntegerMegacycles: d.IntegerMegacycles + o.IntegerMegacycles,
+		FloatMegacycles:   d.FloatMegacycles + o.FloatMegacycles,
+	}
+}
+
+// Scale returns the demand multiplied by f.
+func (d ComputeDemand) Scale(f float64) ComputeDemand {
+	return ComputeDemand{
+		IntegerMegacycles: d.IntegerMegacycles * f,
+		FloatMegacycles:   d.FloatMegacycles * f,
+	}
+}
+
+// Total returns the raw (unpenalized) megacycles.
+func (d ComputeDemand) Total() float64 {
+	return d.IntegerMegacycles + d.FloatMegacycles
+}
+
+// String implements fmt.Stringer.
+func (d ComputeDemand) String() string {
+	return fmt.Sprintf("%.1fMc(int)+%.1fMc(fp)", d.IntegerMegacycles, d.FloatMegacycles)
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMachineDefaults(t *testing.T) {
+	m := NewMachine(MachineConfig{Name: "m"})
+	if m.SpeedMHz() <= 0 {
+		t.Fatal("default speed must be positive")
+	}
+	if m.FPPenalty() != 1 {
+		t.Fatalf("default FP penalty = %v, want 1", m.FPPenalty())
+	}
+}
+
+func TestComputeTimeScalesWithSpeed(t *testing.T) {
+	slow := NewMachine(MachineConfig{Name: "slow", SpeedMHz: 100})
+	fast := NewMachine(MachineConfig{Name: "fast", SpeedMHz: 400})
+	d := ComputeDemand{IntegerMegacycles: 200}
+	ts, _ := slow.ComputeTime(d)
+	tf, _ := fast.ComputeTime(d)
+	if ts != 2*time.Second {
+		t.Fatalf("slow time = %v, want 2s", ts)
+	}
+	if tf != 500*time.Millisecond {
+		t.Fatalf("fast time = %v, want 500ms", tf)
+	}
+}
+
+func TestFPPenaltyAppliesOnlyToFloatCycles(t *testing.T) {
+	m := NewMachine(MachineConfig{Name: "itsy", SpeedMHz: 100, FPPenalty: 4})
+	d := ComputeDemand{IntegerMegacycles: 100, FloatMegacycles: 100}
+	eff := m.EffectiveMegacycles(d)
+	if eff != 500 {
+		t.Fatalf("effective megacycles = %v, want 500", eff)
+	}
+	hw := NewMachine(MachineConfig{Name: "hw", SpeedMHz: 100})
+	if got := hw.EffectiveMegacycles(d); got != 200 {
+		t.Fatalf("hardware-FP effective megacycles = %v, want 200", got)
+	}
+}
+
+func TestBackgroundLoadFairShare(t *testing.T) {
+	m := NewMachine(MachineConfig{Name: "m", SpeedMHz: 300})
+	if got := m.FairShare(); got != 1 {
+		t.Fatalf("unloaded fair share = %v", got)
+	}
+	m.SetBackgroundTasks(2)
+	if got := m.FairShare(); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("fair share with 2 competitors = %v, want 1/3", got)
+	}
+	if got := m.LoadFraction(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("load fraction = %v, want 2/3", got)
+	}
+	if got := m.AvailableMHz(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("available MHz = %v, want 100", got)
+	}
+	m.SetBackgroundTasks(-1)
+	if got := m.BackgroundTasks(); got != 0 {
+		t.Fatalf("negative background tasks stored as %d", got)
+	}
+}
+
+func TestComputeTimeUnderLoad(t *testing.T) {
+	m := NewMachine(MachineConfig{Name: "m", SpeedMHz: 100})
+	m.SetBackgroundTasks(1)
+	d, eff := m.ComputeTime(ComputeDemand{IntegerMegacycles: 100})
+	if d != 2*time.Second {
+		t.Fatalf("loaded compute time = %v, want 2s", d)
+	}
+	if eff != 100 {
+		t.Fatalf("effective cycles = %v, want 100", eff)
+	}
+}
+
+func TestDrainRespectsWallPower(t *testing.T) {
+	b := NewBattery(1000)
+	m := NewMachine(MachineConfig{
+		Name:        "m",
+		SpeedMHz:    100,
+		Power:       PowerModel{IdleW: 1, BusyW: 10, NetW: 2},
+		OnWallPower: true,
+		Battery:     b,
+	})
+	if j := m.DrainCompute(time.Second); j != 10 {
+		t.Fatalf("wall-power drain reported %v J, want 10", j)
+	}
+	if got := b.RemainingJoules(); got != 1000 {
+		t.Fatalf("battery drained on wall power: %v", got)
+	}
+	m.SetWallPower(false)
+	if j := m.DrainCompute(2 * time.Second); j != 20 {
+		t.Fatalf("battery drain reported %v J, want 20", j)
+	}
+	if got := b.RemainingJoules(); got != 980 {
+		t.Fatalf("battery remaining = %v, want 980", got)
+	}
+	if j := m.DrainIdle(time.Second); j != 1 {
+		t.Fatalf("idle drain = %v, want 1", j)
+	}
+	if j := m.DrainNetwork(time.Second); j != 2 {
+		t.Fatalf("net drain = %v, want 2", j)
+	}
+}
+
+func TestChargeCyclesAccumulates(t *testing.T) {
+	m := NewMachine(MachineConfig{Name: "m", SpeedMHz: 100})
+	m.ChargeCycles(10)
+	m.ChargeCycles(-5) // ignored
+	m.ChargeCycles(2.5)
+	if got := m.CycleCount(); got != 12.5 {
+		t.Fatalf("cycle count = %v, want 12.5", got)
+	}
+}
+
+func TestComputeDemandArithmetic(t *testing.T) {
+	a := ComputeDemand{IntegerMegacycles: 1, FloatMegacycles: 2}
+	b := ComputeDemand{IntegerMegacycles: 3, FloatMegacycles: 4}
+	sum := a.Add(b)
+	if sum.IntegerMegacycles != 4 || sum.FloatMegacycles != 6 {
+		t.Fatalf("Add = %+v", sum)
+	}
+	sc := a.Scale(2)
+	if sc.IntegerMegacycles != 2 || sc.FloatMegacycles != 4 {
+		t.Fatalf("Scale = %+v", sc)
+	}
+	if a.Total() != 3 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	if s := a.String(); s == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+// Property: compute time is monotone non-decreasing in demand and
+// non-increasing in machine speed.
+func TestComputeTimeMonotonicityProperty(t *testing.T) {
+	f := func(intMc, fpMc uint16, speed uint8) bool {
+		mhz := float64(speed%200) + 50
+		m1 := NewMachine(MachineConfig{Name: "a", SpeedMHz: mhz})
+		m2 := NewMachine(MachineConfig{Name: "b", SpeedMHz: mhz * 2})
+		d := ComputeDemand{
+			IntegerMegacycles: float64(intMc),
+			FloatMegacycles:   float64(fpMc),
+		}
+		bigger := d.Add(ComputeDemand{IntegerMegacycles: 1})
+		t1, _ := m1.ComputeTime(d)
+		t1b, _ := m1.ComputeTime(bigger)
+		t2, _ := m2.ComputeTime(d)
+		return t1b >= t1 && t2 <= t1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlatformPresets(t *testing.T) {
+	tests := []struct {
+		name    string
+		machine *Machine
+		mhz     float64
+		fp      float64
+	}{
+		{name: "itsy", machine: NewItsy(), mhz: 206, fp: 4},
+		{name: "t20", machine: NewT20(), mhz: 700, fp: 1},
+		{name: "560x", machine: New560X(), mhz: 233, fp: 1},
+		{name: "serverA", machine: NewServerA(), mhz: 400, fp: 1},
+		{name: "serverB", machine: NewServerB(), mhz: 933, fp: 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.machine.Name() != tt.name {
+				t.Errorf("name = %q, want %q", tt.machine.Name(), tt.name)
+			}
+			if tt.machine.SpeedMHz() != tt.mhz {
+				t.Errorf("speed = %v, want %v", tt.machine.SpeedMHz(), tt.mhz)
+			}
+			if tt.machine.FPPenalty() != tt.fp {
+				t.Errorf("fp penalty = %v, want %v", tt.machine.FPPenalty(), tt.fp)
+			}
+		})
+	}
+	if NewItsy().Battery() == nil || New560X().Battery() == nil {
+		t.Error("clients must have batteries")
+	}
+	if NewT20().Battery() != nil {
+		t.Error("T20 server should not have a battery")
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+// Preset machine configurations for the hardware platforms used in the
+// paper's evaluation. Absolute power numbers follow published measurements
+// of the platforms; Spectra only depends on their relative magnitudes.
+
+// NewItsy returns a model of the Compaq Itsy v2.2 pocket computer:
+// 206 MHz StrongARM SA-1100 with software floating-point emulation and a
+// small (~9 Wh) Smart Battery. The floating-point penalty is calibrated so
+// that Janus local recognition lands 3-9x slower than hybrid/remote, as in
+// Figure 3 of the paper.
+func NewItsy() *Machine {
+	return NewMachine(MachineConfig{
+		Name:      "itsy",
+		SpeedMHz:  206,
+		FPPenalty: 4.0,
+		Power: PowerModel{
+			IdleW: 0.2,
+			BusyW: 1.5,
+			NetW:  0.25, // serial line: barely above idle
+		},
+		OnWallPower: true,
+		Battery:     NewBattery(32_000),
+	})
+}
+
+// NewT20 returns a model of the IBM ThinkPad T20 used as the speech
+// compute server: 700 MHz Pentium III with hardware floating point.
+func NewT20() *Machine {
+	return NewMachine(MachineConfig{
+		Name:        "t20",
+		SpeedMHz:    700,
+		Power:       PowerModel{IdleW: 10, BusyW: 24, NetW: 12},
+		OnWallPower: true,
+	})
+}
+
+// New560X returns a model of the IBM ThinkPad 560X client used for the
+// Latex and Pangloss-Lite experiments: 233 MHz Pentium MMX.
+func New560X() *Machine {
+	return NewMachine(MachineConfig{
+		Name:     "560x",
+		SpeedMHz: 233,
+		Power: PowerModel{
+			IdleW: 7,
+			BusyW: 16,
+			NetW:  9, // idle CPU + active WaveLAN
+		},
+		OnWallPower: true,
+		Battery:     NewBattery(140_000),
+	})
+}
+
+// NewServerA returns a model of remote server A: 400 MHz Pentium II.
+func NewServerA() *Machine {
+	return NewMachine(MachineConfig{
+		Name:        "serverA",
+		SpeedMHz:    400,
+		Power:       PowerModel{IdleW: 20, BusyW: 45, NetW: 22},
+		OnWallPower: true,
+	})
+}
+
+// NewServerB returns a model of remote server B: 933 MHz Pentium III.
+func NewServerB() *Machine {
+	return NewMachine(MachineConfig{
+		Name:        "serverB",
+		SpeedMHz:    933,
+		Power:       PowerModel{IdleW: 25, BusyW: 60, NetW: 27},
+		OnWallPower: true,
+	})
+}

@@ -1,0 +1,219 @@
+// Package simnet models the network links of the Spectra testbed: the
+// serial line between the Itsy and the T20, and the shared 2 Mb/s wireless
+// network connecting the 560X to servers A and B and to the Coda file
+// servers. A link turns byte counts into transfer durations; the passive
+// network monitor recovers bandwidth and latency estimates from the
+// resulting traffic observations, just as it would from real RPC logs.
+package simnet
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"spectra/internal/sim"
+)
+
+// ErrPartitioned is returned when a transfer is attempted over a
+// partitioned link.
+var ErrPartitioned = errors.New("simnet: link partitioned")
+
+// Link models a point-to-point network path.
+type Link struct {
+	mu sync.Mutex
+
+	name string
+	// latency is the one-way propagation delay.
+	latency time.Duration
+	// bandwidthBps is the raw link bandwidth in bytes per second.
+	bandwidthBps float64
+	// contention is the fraction of bandwidth consumed by other hosts
+	// sharing the medium, in [0,1).
+	contention float64
+	// partitioned marks the link as down.
+	partitioned bool
+
+	// bytesSent/bytesReceived account traffic crossing the link.
+	bytesSent     int64
+	bytesReceived int64
+}
+
+// LinkConfig configures a Link.
+type LinkConfig struct {
+	Name         string
+	Latency      time.Duration
+	BandwidthBps float64
+	Contention   float64
+}
+
+// NewLink constructs a link.
+func NewLink(cfg LinkConfig) *Link {
+	if cfg.BandwidthBps <= 0 {
+		cfg.BandwidthBps = 1
+	}
+	if cfg.Contention < 0 {
+		cfg.Contention = 0
+	}
+	if cfg.Contention >= 1 {
+		cfg.Contention = 0.99
+	}
+	return &Link{
+		name:         cfg.Name,
+		latency:      cfg.Latency,
+		bandwidthBps: cfg.BandwidthBps,
+		contention:   cfg.Contention,
+	}
+}
+
+// NewSerialLink returns a model of the Itsy-T20 serial line: 115.2 kb/s
+// with negligible propagation delay.
+func NewSerialLink() *Link {
+	return NewLink(LinkConfig{
+		Name:         "serial",
+		Latency:      5 * time.Millisecond,
+		BandwidthBps: 14_400, // 115.2 kb/s
+	})
+}
+
+// NewWireless2Mb returns a model of the shared 2 Mb/s wireless network used
+// in the Latex and Pangloss experiments. Effective throughput of the 2 Mb/s
+// WaveLAN generation was well under the nominal rate; 160 KB/s matches
+// published measurements.
+func NewWireless2Mb() *Link {
+	return NewLink(LinkConfig{
+		Name:         "wireless",
+		Latency:      8 * time.Millisecond,
+		BandwidthBps: 160_000,
+	})
+}
+
+// Name returns the link's name.
+func (l *Link) Name() string { return l.name }
+
+// Latency returns the one-way propagation delay.
+func (l *Link) Latency() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.latency
+}
+
+// SetLatency changes the one-way propagation delay.
+func (l *Link) SetLatency(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if d >= 0 {
+		l.latency = d
+	}
+}
+
+// RTT returns the round-trip time.
+func (l *Link) RTT() time.Duration { return 2 * l.Latency() }
+
+// BandwidthBps returns the raw link bandwidth in bytes per second.
+func (l *Link) BandwidthBps() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bandwidthBps
+}
+
+// SetBandwidthBps changes the raw bandwidth, as the paper's network
+// scenario does by halving it.
+func (l *Link) SetBandwidthBps(bps float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if bps > 0 {
+		l.bandwidthBps = bps
+	}
+}
+
+// ScaleBandwidth multiplies the raw bandwidth by f (>0).
+func (l *Link) ScaleBandwidth(f float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f > 0 {
+		l.bandwidthBps *= f
+	}
+}
+
+// SetContention sets the fraction of bandwidth used by other hosts.
+func (l *Link) SetContention(f float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case f < 0:
+		l.contention = 0
+	case f >= 1:
+		l.contention = 0.99
+	default:
+		l.contention = f
+	}
+}
+
+// EffectiveBandwidthBps returns the bandwidth available to this host after
+// contention, the quantity the network monitor ultimately estimates.
+func (l *Link) EffectiveBandwidthBps() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bandwidthBps * (1 - l.contention)
+}
+
+// SetPartitioned marks the link up or down.
+func (l *Link) SetPartitioned(down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.partitioned = down
+}
+
+// Partitioned reports whether the link is down.
+func (l *Link) Partitioned() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.partitioned
+}
+
+// TransferTime returns how long moving n bytes one way takes, including
+// one propagation delay. It returns ErrPartitioned if the link is down.
+func (l *Link) TransferTime(n int64) (time.Duration, error) {
+	if l.Partitioned() {
+		return 0, ErrPartitioned
+	}
+	if n < 0 {
+		n = 0
+	}
+	bw := l.EffectiveBandwidthBps()
+	return l.Latency() + sim.DurationSeconds(float64(n)/bw), nil
+}
+
+// RoundTripTime returns the duration of a request/response exchange that
+// sends sendBytes and receives recvBytes, including both propagation
+// delays.
+func (l *Link) RoundTripTime(sendBytes, recvBytes int64) (time.Duration, error) {
+	up, err := l.TransferTime(sendBytes)
+	if err != nil {
+		return 0, err
+	}
+	down, err := l.TransferTime(recvBytes)
+	if err != nil {
+		return 0, err
+	}
+	return up + down, nil
+}
+
+// RecordTransfer accounts traffic over the link.
+func (l *Link) RecordTransfer(sent, received int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if sent > 0 {
+		l.bytesSent += sent
+	}
+	if received > 0 {
+		l.bytesReceived += received
+	}
+}
+
+// Traffic returns the cumulative bytes sent and received over the link.
+func (l *Link) Traffic() (sent, received int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesSent, l.bytesReceived
+}

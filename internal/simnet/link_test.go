@@ -1,0 +1,151 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransferTimeBasic(t *testing.T) {
+	l := NewLink(LinkConfig{Name: "l", Latency: 10 * time.Millisecond, BandwidthBps: 1000})
+	d, err := l.TransferTime(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10*time.Millisecond + 2*time.Second
+	if d != want {
+		t.Fatalf("transfer time = %v, want %v", d, want)
+	}
+}
+
+func TestTransferTimeZeroAndNegativeBytes(t *testing.T) {
+	l := NewLink(LinkConfig{Name: "l", Latency: time.Millisecond, BandwidthBps: 1000})
+	d0, err := l.TransferTime(0)
+	if err != nil || d0 != time.Millisecond {
+		t.Fatalf("zero-byte transfer = %v, %v", d0, err)
+	}
+	dn, err := l.TransferTime(-10)
+	if err != nil || dn != time.Millisecond {
+		t.Fatalf("negative-byte transfer = %v, %v", dn, err)
+	}
+}
+
+func TestPartitionedLink(t *testing.T) {
+	l := NewLink(LinkConfig{Name: "l", BandwidthBps: 1000})
+	l.SetPartitioned(true)
+	if _, err := l.TransferTime(10); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", err)
+	}
+	if _, err := l.RoundTripTime(1, 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("round trip on partitioned link: %v", err)
+	}
+	l.SetPartitioned(false)
+	if _, err := l.TransferTime(10); err != nil {
+		t.Fatalf("healed link still failing: %v", err)
+	}
+}
+
+func TestContentionReducesBandwidth(t *testing.T) {
+	l := NewLink(LinkConfig{Name: "l", BandwidthBps: 1000})
+	if got := l.EffectiveBandwidthBps(); got != 1000 {
+		t.Fatalf("effective bw = %v", got)
+	}
+	l.SetContention(0.5)
+	if got := l.EffectiveBandwidthBps(); got != 500 {
+		t.Fatalf("effective bw under contention = %v, want 500", got)
+	}
+	l.SetContention(2) // clamped
+	if got := l.EffectiveBandwidthBps(); got < 1 || got > 1000 {
+		t.Fatalf("clamped contention gave bw %v", got)
+	}
+	l.SetContention(-1)
+	if got := l.EffectiveBandwidthBps(); got != 1000 {
+		t.Fatalf("negative contention gave bw %v", got)
+	}
+}
+
+func TestScaleAndSetBandwidth(t *testing.T) {
+	l := NewLink(LinkConfig{Name: "l", BandwidthBps: 1000})
+	l.ScaleBandwidth(0.5)
+	if got := l.BandwidthBps(); got != 500 {
+		t.Fatalf("scaled bw = %v, want 500", got)
+	}
+	l.ScaleBandwidth(-2) // ignored
+	if got := l.BandwidthBps(); got != 500 {
+		t.Fatalf("negative scale changed bw to %v", got)
+	}
+	l.SetBandwidthBps(250)
+	if got := l.BandwidthBps(); got != 250 {
+		t.Fatalf("set bw = %v, want 250", got)
+	}
+	l.SetBandwidthBps(0) // ignored
+	if got := l.BandwidthBps(); got != 250 {
+		t.Fatalf("zero bw accepted: %v", got)
+	}
+}
+
+func TestRoundTripTime(t *testing.T) {
+	l := NewLink(LinkConfig{Name: "l", Latency: 5 * time.Millisecond, BandwidthBps: 1000})
+	d, err := l.RoundTripTime(500, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10*time.Millisecond + 2*time.Second
+	if d != want {
+		t.Fatalf("round trip = %v, want %v", d, want)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	l := NewLink(LinkConfig{Name: "l", BandwidthBps: 1000})
+	l.RecordTransfer(100, 200)
+	l.RecordTransfer(-5, 50)
+	sent, recv := l.Traffic()
+	if sent != 100 || recv != 250 {
+		t.Fatalf("traffic = (%d,%d), want (100,250)", sent, recv)
+	}
+}
+
+func TestLinkPresets(t *testing.T) {
+	serial := NewSerialLink()
+	wifi := NewWireless2Mb()
+	if serial.BandwidthBps() >= wifi.BandwidthBps() {
+		t.Fatal("serial link must be slower than wireless")
+	}
+	if serial.Name() != "serial" || wifi.Name() != "wireless" {
+		t.Fatal("preset names wrong")
+	}
+}
+
+func TestLatencySetter(t *testing.T) {
+	l := NewLink(LinkConfig{Name: "l", BandwidthBps: 1000, Latency: time.Millisecond})
+	l.SetLatency(3 * time.Millisecond)
+	if l.Latency() != 3*time.Millisecond {
+		t.Fatalf("latency = %v", l.Latency())
+	}
+	if l.RTT() != 6*time.Millisecond {
+		t.Fatalf("rtt = %v", l.RTT())
+	}
+	l.SetLatency(-time.Second)
+	if l.Latency() != 3*time.Millisecond {
+		t.Fatal("negative latency accepted")
+	}
+}
+
+// Property: transfer time is monotone in byte count and never below latency.
+func TestTransferTimeMonotoneProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		l := NewLink(LinkConfig{Name: "l", Latency: time.Millisecond, BandwidthBps: 50_000})
+		small, big := int64(a%1_000_000), int64(b%1_000_000)
+		if small > big {
+			small, big = big, small
+		}
+		ts, err1 := l.TransferTime(small)
+		tb, err2 := l.TransferTime(big)
+		return err1 == nil && err2 == nil && ts <= tb && ts >= l.Latency()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package solver searches the space of execution alternatives — candidate
+// server × execution plan × fidelity — for the one maximizing utility.
+// Spectra uses a heuristic solver (after Narayanan et al.) that is not
+// guaranteed to find the optimum but evaluates far fewer alternatives than
+// exhaustive search; the package also provides the exhaustive oracle used
+// by the paper's validation to rank Spectra's choices (Figures 8 and 9).
+package solver
+
+import (
+	"sort"
+
+	"spectra/internal/predict"
+)
+
+// Alternative is one point in the decision space.
+type Alternative struct {
+	// Server names the remote server used, or "" for purely local plans.
+	Server string
+	// Plan names the execution plan (e.g. "local", "hybrid", "remote", or
+	// an engine-placement assignment for Pangloss-style apps).
+	Plan string
+	// Fidelity assigns each discrete fidelity dimension a value.
+	Fidelity map[string]string
+}
+
+// FidelityKey returns a canonical string for the fidelity assignment.
+func (a Alternative) FidelityKey() string { return predict.DiscreteKey(a.Fidelity) }
+
+// Key returns a canonical identity string for the alternative.
+func (a Alternative) Key() string {
+	return a.Server + "|" + a.Plan + "|" + a.FidelityKey()
+}
+
+// Evaluator returns the utility of an alternative. Implementations are
+// expected to be deterministic within one solve.
+type Evaluator func(Alternative) float64
+
+// Result reports the outcome of a search.
+type Result struct {
+	Best Alternative
+	// Utility is the best alternative's utility.
+	Utility float64
+	// Evaluations counts utility-function calls performed.
+	Evaluations int
+	// Found is false when the space was empty.
+	Found bool
+}
+
+// Exhaustive evaluates every alternative and returns the best. Ties are
+// broken toward the earlier candidate, so candidate order is significant
+// and should be deterministic.
+func Exhaustive(candidates []Alternative, eval Evaluator) Result {
+	var res Result
+	for _, alt := range candidates {
+		u := eval(alt)
+		res.Evaluations++
+		if !res.Found || u > res.Utility {
+			res.Found = true
+			res.Best = alt
+			res.Utility = u
+		}
+	}
+	return res
+}
+
+// Ranked returns all alternatives sorted by descending utility, with their
+// utilities. The validation harness uses it to compute the percentile rank
+// of Spectra's choice.
+func Ranked(candidates []Alternative, eval Evaluator) ([]Alternative, []float64) {
+	type scored struct {
+		alt Alternative
+		u   float64
+	}
+	all := make([]scored, len(candidates))
+	for i, alt := range candidates {
+		all[i] = scored{alt: alt, u: eval(alt)}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].u > all[j].u })
+	alts := make([]Alternative, len(all))
+	utils := make([]float64, len(all))
+	for i, s := range all {
+		alts[i] = s.alt
+		utils[i] = s.u
+	}
+	return alts, utils
+}
+
+// Options tunes the heuristic search.
+type Options struct {
+	// Restarts is the number of distinct start points; 0 selects 3.
+	Restarts int
+	// MaxSteps bounds hill-climbing steps per restart; 0 selects 32.
+	MaxSteps int
+}
+
+// Heuristic performs deterministic multi-start hill climbing over the
+// candidate list. The neighborhood of an alternative is every candidate
+// differing from it in exactly one dimension (server, plan, or fidelity),
+// plus coupled plan+fidelity moves on the same server — applications such
+// as Pangloss-Lite tie a fidelity dimension (an engine being enabled) to a
+// plan dimension (that engine's placement), and a search restricted to
+// single-dimension moves cannot cross between such regions. Start points
+// are spread evenly through the candidate list so restarts cover distant
+// regions of the space.
+func Heuristic(candidates []Alternative, eval Evaluator, opts Options) Result {
+	if len(candidates) == 0 {
+		return Result{}
+	}
+	restarts := opts.Restarts
+	if restarts <= 0 {
+		restarts = 3
+	}
+	if restarts > len(candidates) {
+		restarts = len(candidates)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 32
+	}
+
+	nb := buildNeighborhoods(candidates)
+	cache := make(map[string]float64, len(candidates))
+	var res Result
+	evalCached := func(i int) float64 {
+		key := candidates[i].Key()
+		if u, ok := cache[key]; ok {
+			return u
+		}
+		u := eval(candidates[i])
+		res.Evaluations++
+		cache[key] = u
+		return u
+	}
+
+	for r := 0; r < restarts; r++ {
+		cur := r * len(candidates) / restarts
+		curU := evalCached(cur)
+		for step := 0; step < maxSteps; step++ {
+			bestN, bestU := -1, curU
+			for _, n := range nb[cur] {
+				if u := evalCached(n); u > bestU {
+					bestN, bestU = n, u
+				}
+			}
+			if bestN < 0 {
+				break // local maximum
+			}
+			cur, curU = bestN, bestU
+		}
+		if !res.Found || curU > res.Utility {
+			res.Found = true
+			res.Best = candidates[cur]
+			res.Utility = curU
+		}
+	}
+	return res
+}
+
+// buildNeighborhoods computes, for each candidate, the indices of its
+// neighbors: candidates differing in exactly one dimension, or in both
+// plan and fidelity with the same server (coupled moves).
+func buildNeighborhoods(candidates []Alternative) [][]int {
+	type dims struct{ server, plan, fid string }
+	ds := make([]dims, len(candidates))
+	for i, a := range candidates {
+		ds[i] = dims{server: a.Server, plan: a.Plan, fid: a.FidelityKey()}
+	}
+	nb := make([][]int, len(candidates))
+	for i := range candidates {
+		for j := range candidates {
+			if i == j {
+				continue
+			}
+			sameServer := ds[i].server == ds[j].server
+			samePlan := ds[i].plan == ds[j].plan
+			sameFid := ds[i].fid == ds[j].fid
+			diff := 0
+			if !sameServer {
+				diff++
+			}
+			if !samePlan {
+				diff++
+			}
+			if !sameFid {
+				diff++
+			}
+			if diff == 1 || (sameServer && !samePlan && !sameFid) {
+				nb[i] = append(nb[i], j)
+			}
+		}
+	}
+	return nb
+}

@@ -1,0 +1,189 @@
+package solver
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// space builds a full grid of servers × plans × fidelity values.
+func space(servers, plans, fids []string) []Alternative {
+	var out []Alternative
+	for _, s := range servers {
+		for _, p := range plans {
+			for _, f := range fids {
+				out = append(out, Alternative{
+					Server:   s,
+					Plan:     p,
+					Fidelity: map[string]string{"vocab": f},
+				})
+			}
+		}
+	}
+	return out
+}
+
+func TestExhaustiveFindsOptimum(t *testing.T) {
+	cands := space([]string{"a", "b"}, []string{"local", "remote"}, []string{"full", "reduced"})
+	eval := func(a Alternative) float64 {
+		u := 1.0
+		if a.Server == "b" {
+			u += 2
+		}
+		if a.Plan == "remote" {
+			u += 1
+		}
+		if a.Fidelity["vocab"] == "full" {
+			u += 0.5
+		}
+		return u
+	}
+	res := Exhaustive(cands, eval)
+	if !res.Found {
+		t.Fatal("no result")
+	}
+	if res.Best.Server != "b" || res.Best.Plan != "remote" || res.Best.Fidelity["vocab"] != "full" {
+		t.Fatalf("best = %+v", res.Best)
+	}
+	if res.Utility != 4.5 {
+		t.Fatalf("utility = %v", res.Utility)
+	}
+	if res.Evaluations != len(cands) {
+		t.Fatalf("evaluations = %d, want %d", res.Evaluations, len(cands))
+	}
+}
+
+func TestExhaustiveEmpty(t *testing.T) {
+	res := Exhaustive(nil, func(Alternative) float64 { return 1 })
+	if res.Found {
+		t.Fatal("empty space should not find")
+	}
+	res = Heuristic(nil, func(Alternative) float64 { return 1 }, Options{})
+	if res.Found {
+		t.Fatal("heuristic on empty space should not find")
+	}
+}
+
+func TestHeuristicMatchesExhaustiveOnSeparableUtility(t *testing.T) {
+	cands := space(
+		[]string{"", "a", "b"},
+		[]string{"local", "hybrid", "remote"},
+		[]string{"full", "reduced"},
+	)
+	// Separable utility: hill climbing must reach the global optimum.
+	eval := func(a Alternative) float64 {
+		u := 0.0
+		switch a.Server {
+		case "a":
+			u += 1
+		case "b":
+			u += 3
+		}
+		switch a.Plan {
+		case "hybrid":
+			u += 2
+		case "remote":
+			u += 1
+		}
+		if a.Fidelity["vocab"] == "full" {
+			u += 1
+		}
+		return u
+	}
+	ex := Exhaustive(cands, eval)
+	h := Heuristic(cands, eval, Options{})
+	if h.Utility != ex.Utility {
+		t.Fatalf("heuristic utility %v != exhaustive %v (best %+v)", h.Utility, ex.Utility, h.Best)
+	}
+}
+
+func TestHeuristicEvaluatesFewerOnLargeSpace(t *testing.T) {
+	var servers, plans, fids []string
+	for i := 0; i < 8; i++ {
+		servers = append(servers, fmt.Sprintf("s%d", i))
+		plans = append(plans, fmt.Sprintf("p%d", i))
+		fids = append(fids, fmt.Sprintf("f%d", i))
+	}
+	cands := space(servers, plans, fids) // 512 alternatives
+	eval := func(a Alternative) float64 {
+		return float64(len(a.Server) + len(a.Plan)*2)
+	}
+	h := Heuristic(cands, eval, Options{})
+	if h.Evaluations >= len(cands) {
+		t.Fatalf("heuristic evaluated %d of %d alternatives", h.Evaluations, len(cands))
+	}
+}
+
+func TestHeuristicRespectsRestartBounds(t *testing.T) {
+	cands := space([]string{"a"}, []string{"p"}, []string{"f"})
+	res := Heuristic(cands, func(Alternative) float64 { return 1 }, Options{Restarts: 100})
+	if !res.Found || res.Utility != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRankedOrdersDescending(t *testing.T) {
+	cands := space([]string{"a", "b", "c"}, []string{"p"}, []string{"f"})
+	eval := func(a Alternative) float64 {
+		switch a.Server {
+		case "a":
+			return 1
+		case "b":
+			return 3
+		default:
+			return 2
+		}
+	}
+	alts, utils := Ranked(cands, eval)
+	if len(alts) != 3 {
+		t.Fatalf("ranked %d", len(alts))
+	}
+	if alts[0].Server != "b" || alts[1].Server != "c" || alts[2].Server != "a" {
+		t.Fatalf("order = %v %v %v", alts[0].Server, alts[1].Server, alts[2].Server)
+	}
+	if utils[0] < utils[1] || utils[1] < utils[2] {
+		t.Fatalf("utilities not descending: %v", utils)
+	}
+}
+
+func TestAlternativeKeys(t *testing.T) {
+	a := Alternative{Server: "s", Plan: "p", Fidelity: map[string]string{"b": "2", "a": "1"}}
+	if a.FidelityKey() != "a=1;b=2" {
+		t.Fatalf("fidelity key = %q", a.FidelityKey())
+	}
+	if a.Key() != "s|p|a=1;b=2" {
+		t.Fatalf("key = %q", a.Key())
+	}
+}
+
+// Property: the heuristic never returns an alternative with utility above
+// the exhaustive optimum, and always returns a member of the space.
+func TestHeuristicSoundProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		cands := space([]string{"", "a", "b"}, []string{"l", "h", "r"}, []string{"x", "y"})
+		eval := func(a Alternative) float64 {
+			// Arbitrary but deterministic non-separable utility.
+			h := seed
+			for _, c := range a.Key() {
+				h = h*31 + uint32(c)
+			}
+			return float64(h % 1000)
+		}
+		ex := Exhaustive(cands, eval)
+		hr := Heuristic(cands, eval, Options{})
+		if hr.Utility > ex.Utility {
+			return false
+		}
+		found := false
+		for _, c := range cands {
+			if c.Key() == hr.Best.Key() {
+				found = true
+				break
+			}
+		}
+		return found && eval(hr.Best) == hr.Utility
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

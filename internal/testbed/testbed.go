@@ -1,0 +1,162 @@
+// Package testbed assembles the two hardware configurations of the paper's
+// evaluation as simulated Spectra deployments:
+//
+//   - the speech testbed (§4.1): an Itsy v2.2 pocket computer client and an
+//     IBM T20 compute server joined by a serial link;
+//   - the laptop testbed (§4.2-4.3): an IBM 560X client and two compute
+//     servers (A: 400 MHz P-II, B: 933 MHz P-III) on a shared 2 Mb/s
+//     wireless network, with wired file servers.
+package testbed
+
+import (
+	"time"
+
+	"spectra/internal/coda"
+	"spectra/internal/core"
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+	"spectra/internal/solver"
+)
+
+// Link calibration shared by the testbeds.
+const (
+	// SerialBps is the Itsy-T20 serial line payload rate (115.2 kb/s).
+	SerialBps = 14_400
+	// WirelessBps is the shared 2 Mb/s wireless network's effective rate.
+	WirelessBps = 160_000
+	// LANBps is the wired path from compute servers to file servers.
+	LANBps = 1_250_000
+)
+
+// Options tunes testbed construction.
+type Options struct {
+	// UsageLogDir enables persistent usage logs when non-empty.
+	UsageLogDir string
+	// Models passes model ablation switches through.
+	Models core.ModelOptions
+	// Solver tunes the heuristic search.
+	Solver solver.Options
+	// Exhaustive replaces the heuristic solver with the oracle.
+	Exhaustive bool
+}
+
+// Speech is the assembled speech-recognition testbed.
+type Speech struct {
+	Setup *core.SimSetup
+	// Itsy is the client machine; T20 the compute server.
+	Itsy *sim.Machine
+	T20  *sim.Machine
+	// Serial is the client-server link; FSSerial the client's path to the
+	// file servers (which the partition scenario leaves up).
+	Serial   *simnet.Link
+	FSSerial *simnet.Link
+}
+
+// NewSpeech builds the Itsy + T20 testbed.
+func NewSpeech(opts Options) (*Speech, error) {
+	itsy := sim.NewItsy()
+	t20 := sim.NewT20()
+	serial := simnet.NewSerialLink()
+	fsSerial := simnet.NewLink(simnet.LinkConfig{
+		Name:         "fs-serial",
+		Latency:      5 * time.Millisecond,
+		BandwidthBps: SerialBps,
+	})
+	t20LAN := simnet.NewLink(simnet.LinkConfig{
+		Name:         "t20-lan",
+		Latency:      time.Millisecond,
+		BandwidthBps: LANBps,
+	})
+	setup, err := core.NewSimSetup(core.SimOptions{
+		Host:       itsy,
+		HostFSLink: fsSerial,
+		Servers: []core.SimServer{
+			{Name: "t20", Machine: t20, Link: serial, FSLink: t20LAN},
+		},
+		UsageLogDir: opts.UsageLogDir,
+		Models:      opts.Models,
+		Solver:      opts.Solver,
+		Exhaustive:  opts.Exhaustive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Speech{
+		Setup:    setup,
+		Itsy:     itsy,
+		T20:      t20,
+		Serial:   serial,
+		FSSerial: fsSerial,
+	}, nil
+}
+
+// Laptop is the assembled document-preparation / translation testbed.
+type Laptop struct {
+	Setup *core.SimSetup
+	// X560 is the client; ServerA and ServerB the compute servers.
+	X560    *sim.Machine
+	ServerA *sim.Machine
+	ServerB *sim.Machine
+	// Wireless links carry client traffic; WirelessFS is the client's path
+	// to the file servers over the same shared medium.
+	WirelessA  *simnet.Link
+	WirelessB  *simnet.Link
+	WirelessFS *simnet.Link
+}
+
+// NewLaptop builds the 560X + servers A/B testbed. The client is weakly
+// connected (wireless), so its file modifications buffer in Coda until
+// Spectra forces reintegration; the wired servers are strongly connected.
+func NewLaptop(opts Options) (*Laptop, error) {
+	x560 := sim.New560X()
+	serverA := sim.NewServerA()
+	serverB := sim.NewServerB()
+
+	wireless := func(name string) *simnet.Link {
+		return simnet.NewLink(simnet.LinkConfig{
+			Name:         name,
+			Latency:      8 * time.Millisecond,
+			BandwidthBps: WirelessBps,
+		})
+	}
+	lan := func(name string) *simnet.Link {
+		return simnet.NewLink(simnet.LinkConfig{
+			Name:         name,
+			Latency:      time.Millisecond,
+			BandwidthBps: LANBps,
+		})
+	}
+	wa, wb, wfs := wireless("wireless-a"), wireless("wireless-b"), wireless("wireless-fs")
+	// The wireless medium is shared (paper: "a shared 2 Mb/s wireless
+	// network"); file-server traffic competes with the compute-server
+	// paths, halving the effective reintegration and fetch rate.
+	wfs.SetContention(0.5)
+
+	setup, err := core.NewSimSetup(core.SimOptions{
+		Host:       x560,
+		HostFSLink: wfs,
+		Servers: []core.SimServer{
+			{Name: "serverA", Machine: serverA, Link: wa, FSLink: lan("lan-a")},
+			{Name: "serverB", Machine: serverB, Link: wb, FSLink: lan("lan-b")},
+		},
+		UsageLogDir: opts.UsageLogDir,
+		Models:      opts.Models,
+		Solver:      opts.Solver,
+		Exhaustive:  opts.Exhaustive,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The wireless client buffers writes; Spectra reintegrates on demand.
+	setup.Env.Host().Coda().SetMode(coda.Weak)
+
+	return &Laptop{
+		Setup:      setup,
+		X560:       x560,
+		ServerA:    serverA,
+		ServerB:    serverB,
+		WirelessA:  wa,
+		WirelessB:  wb,
+		WirelessFS: wfs,
+	}, nil
+}

@@ -1,0 +1,73 @@
+package testbed
+
+import (
+	"testing"
+
+	"spectra/internal/coda"
+)
+
+func TestSpeechTestbed(t *testing.T) {
+	tb, err := NewSpeech(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Itsy.SpeedMHz() != 206 || tb.T20.SpeedMHz() != 700 {
+		t.Fatalf("machines = %v/%v MHz", tb.Itsy.SpeedMHz(), tb.T20.SpeedMHz())
+	}
+	if tb.Itsy.FPPenalty() <= 1 {
+		t.Fatal("Itsy must have a floating-point emulation penalty")
+	}
+	if tb.Serial.BandwidthBps() != SerialBps {
+		t.Fatalf("serial bw = %v", tb.Serial.BandwidthBps())
+	}
+	node, link, ok := tb.Setup.Env.Server("t20")
+	if !ok || node == nil || link != tb.Serial {
+		t.Fatal("t20 server wiring wrong")
+	}
+	// The T20 fetches from file servers over its LAN, not the serial line.
+	if node.FetchRateBps() <= float64(SerialBps) {
+		t.Fatalf("t20 fetch rate = %v, want LAN-class", node.FetchRateBps())
+	}
+	if got := tb.Setup.Env.ServerNames(); len(got) != 1 || got[0] != "t20" {
+		t.Fatalf("servers = %v", got)
+	}
+}
+
+func TestLaptopTestbed(t *testing.T) {
+	tb, err := NewLaptop(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.X560.SpeedMHz() != 233 || tb.ServerA.SpeedMHz() != 400 || tb.ServerB.SpeedMHz() != 933 {
+		t.Fatal("machine speeds wrong")
+	}
+	// The client is weakly connected: its writes buffer.
+	if tb.Setup.Env.Host().Coda().Mode() != coda.Weak {
+		t.Fatal("laptop client should be weakly connected")
+	}
+	// The shared wireless medium halves the file-server path's bandwidth.
+	if tb.WirelessFS.EffectiveBandwidthBps() >= float64(WirelessBps) {
+		t.Fatalf("fs wireless effective bw = %v, want contended", tb.WirelessFS.EffectiveBandwidthBps())
+	}
+	names := tb.Setup.Env.ServerNames()
+	if len(names) != 2 || names[0] != "serverA" || names[1] != "serverB" {
+		t.Fatalf("servers = %v", names)
+	}
+	// Servers fetch over wired LAN.
+	for _, name := range names {
+		node, _, _ := tb.Setup.Env.Server(name)
+		if node.FetchRateBps() != LANBps {
+			t.Fatalf("%s fetch rate = %v, want %v", name, node.FetchRateBps(), LANBps)
+		}
+	}
+}
+
+func TestTestbedOptionsPassThrough(t *testing.T) {
+	tb, err := NewSpeech(Options{UsageLogDir: t.TempDir(), Exhaustive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Setup.Client == nil {
+		t.Fatal("client missing")
+	}
+}

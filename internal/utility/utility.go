@@ -1,0 +1,152 @@
+// Package utility implements Spectra's utility functions (paper §3.6).
+// The solver evaluates execution alternatives by their impact on the three
+// user metrics — execution time, energy usage, and fidelity — each weighted
+// by its current importance, and returns the product of the weighted
+// values.
+package utility
+
+import (
+	"math"
+	"time"
+)
+
+// DefaultEnergyExponent is the constant k in the weighted energy term
+// (1/E)^(k·c); the paper uses 10.
+const DefaultEnergyExponent = 10
+
+// Prediction carries the context-independent metric values the utility
+// function weighs: predicted execution time, predicted energy usage, and
+// the application-assigned desirability of the alternative's fidelity.
+type Prediction struct {
+	Latency time.Duration
+	// EnergyJoules is the predicted client energy consumption.
+	EnergyJoules float64
+	// Fidelity is the application's desirability of the fidelity setting,
+	// typically in (0, 1].
+	Fidelity float64
+	// Feasible is false for alternatives that cannot execute at all (e.g.
+	// remote plans while partitioned); their utility is zero.
+	Feasible bool
+}
+
+// Function scores a prediction; higher is better. Applications may override
+// the default with their own implementation.
+type Function interface {
+	Utility(Prediction) float64
+}
+
+// LatencyDesirability expresses how desirable an execution time is, in
+// (0, 1] ideally. Applications must provide one (paper: "Spectra requires
+// each application to provide a function that expresses the desirability of
+// different latency values").
+type LatencyDesirability func(time.Duration) float64
+
+// ImportanceSource yields the current energy-conservation importance c in
+// [0,1], normally a GoalAdaptor.
+type ImportanceSource func() float64
+
+// Default is the paper's default utility function: the product of the
+// application's latency desirability, the weighted energy term (1/E)^(k·c),
+// and the fidelity desirability.
+type Default struct {
+	// Latency maps predicted execution time to desirability; nil selects
+	// InverseLatency.
+	Latency LatencyDesirability
+	// Importance yields c; nil means c = 0 (energy ignored).
+	Importance ImportanceSource
+	// K is the energy exponent constant; 0 selects DefaultEnergyExponent.
+	K float64
+}
+
+var _ Function = Default{}
+
+// Utility implements Function.
+func (d Default) Utility(p Prediction) float64 {
+	if !p.Feasible {
+		return 0
+	}
+	latFn := d.Latency
+	if latFn == nil {
+		latFn = InverseLatency
+	}
+	u := latFn(p.Latency)
+	if u < 0 {
+		u = 0
+	}
+
+	var c float64
+	if d.Importance != nil {
+		c = clamp01(d.Importance())
+	}
+	u *= EnergyTerm(p.EnergyJoules, c, d.K)
+
+	fid := p.Fidelity
+	if fid < 0 {
+		fid = 0
+	}
+	u *= fid
+	if math.IsNaN(u) || math.IsInf(u, 0) {
+		return 0
+	}
+	return u
+}
+
+// EnergyTerm computes the weighted energy component (1/E)^(k·c). When c is
+// 0 energy does not affect utility at all; when c is 1 it dominates. Energy
+// below one millijoule is clamped to keep the term finite.
+func EnergyTerm(joules, c, k float64) float64 {
+	if k <= 0 {
+		k = DefaultEnergyExponent
+	}
+	c = clamp01(c)
+	if c == 0 {
+		return 1
+	}
+	if joules < 1e-3 {
+		joules = 1e-3
+	}
+	return math.Pow(1/joules, k*c)
+}
+
+// InverseLatency is the 1/T desirability used by Janus and Latex: an
+// operation that takes twice as long is half as desirable. Latencies under
+// one millisecond are clamped.
+func InverseLatency(t time.Duration) float64 {
+	s := t.Seconds()
+	if s < 1e-3 {
+		s = 1e-3
+	}
+	return 1 / s
+}
+
+// DeadlineLatency returns a desirability function in the style of
+// Pangloss-Lite: 1 at or below best, 0 at or beyond worst, and linear in
+// between. (The paper prints the interpolation as (T−0.5)/(5−0.5), which
+// increases with T; desirability must decrease, so the intended
+// (worst−T)/(worst−best) is used here.)
+func DeadlineLatency(best, worst time.Duration) LatencyDesirability {
+	if worst <= best {
+		worst = best + time.Nanosecond
+	}
+	return func(t time.Duration) float64 {
+		switch {
+		case t <= best:
+			return 1
+		case t >= worst:
+			return 0
+		default:
+			return float64(worst-t) / float64(worst-best)
+		}
+	}
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

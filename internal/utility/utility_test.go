@@ -1,0 +1,149 @@
+package utility
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestInverseLatency(t *testing.T) {
+	if got := InverseLatency(2 * time.Second); got != 0.5 {
+		t.Fatalf("1/T(2s) = %v", got)
+	}
+	if got := InverseLatency(500 * time.Millisecond); got != 2 {
+		t.Fatalf("1/T(0.5s) = %v", got)
+	}
+	// Clamped below 1 ms.
+	if got := InverseLatency(0); got != 1000 {
+		t.Fatalf("1/T(0) = %v, want 1000", got)
+	}
+}
+
+func TestDeadlineLatency(t *testing.T) {
+	f := DeadlineLatency(500*time.Millisecond, 5*time.Second)
+	tests := []struct {
+		give time.Duration
+		want float64
+	}{
+		{give: 100 * time.Millisecond, want: 1},
+		{give: 500 * time.Millisecond, want: 1},
+		{give: 5 * time.Second, want: 0},
+		{give: 10 * time.Second, want: 0},
+		{give: 2750 * time.Millisecond, want: 0.5},
+	}
+	for _, tt := range tests {
+		if got := f(tt.give); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("f(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestDeadlineLatencyDegenerate(t *testing.T) {
+	f := DeadlineLatency(time.Second, time.Second)
+	if got := f(500 * time.Millisecond); got != 1 {
+		t.Fatalf("below best = %v", got)
+	}
+	if got := f(2 * time.Second); got != 0 {
+		t.Fatalf("beyond worst = %v", got)
+	}
+}
+
+func TestEnergyTermZeroImportance(t *testing.T) {
+	if got := EnergyTerm(100, 0, 10); got != 1 {
+		t.Fatalf("c=0 term = %v, want 1", got)
+	}
+}
+
+func TestEnergyTermPenalizesHighEnergy(t *testing.T) {
+	low := EnergyTerm(1, 0.5, 10)
+	high := EnergyTerm(10, 0.5, 10)
+	if high >= low {
+		t.Fatalf("energy term not decreasing: E=1 -> %v, E=10 -> %v", low, high)
+	}
+	// c=1, k=10: (1/10)^10
+	if got := EnergyTerm(10, 1, 10); math.Abs(got-1e-10)/1e-10 > 1e-9 {
+		t.Fatalf("term = %v, want 1e-10", got)
+	}
+}
+
+func TestEnergyTermClampsTinyEnergy(t *testing.T) {
+	got := EnergyTerm(0, 1, 10)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("term for zero energy = %v", got)
+	}
+}
+
+func TestDefaultUtilityProduct(t *testing.T) {
+	u := Default{Importance: func() float64 { return 0 }}
+	p := Prediction{Latency: 2 * time.Second, EnergyJoules: 5, Fidelity: 0.5, Feasible: true}
+	// 1/2 × 1 × 0.5 = 0.25
+	if got := u.Utility(p); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("utility = %v, want 0.25", got)
+	}
+}
+
+func TestDefaultUtilityInfeasible(t *testing.T) {
+	u := Default{}
+	p := Prediction{Latency: time.Second, EnergyJoules: 1, Fidelity: 1, Feasible: false}
+	if got := u.Utility(p); got != 0 {
+		t.Fatalf("infeasible utility = %v, want 0", got)
+	}
+}
+
+func TestDefaultUtilityEnergyTradeoff(t *testing.T) {
+	// With c=1, a slower but cheaper alternative must win; with c=0 the
+	// faster one must win. This is the hybrid-vs-remote speech tradeoff.
+	fast := Prediction{Latency: 2 * time.Second, EnergyJoules: 3, Fidelity: 1, Feasible: true}
+	slow := Prediction{Latency: 3 * time.Second, EnergyJoules: 1, Fidelity: 1, Feasible: true}
+
+	perf := Default{Importance: func() float64 { return 0 }}
+	if perf.Utility(fast) <= perf.Utility(slow) {
+		t.Fatal("with c=0 the faster alternative must win")
+	}
+	save := Default{Importance: func() float64 { return 1 }}
+	if save.Utility(slow) <= save.Utility(fast) {
+		t.Fatal("with c=1 the cheaper alternative must win")
+	}
+}
+
+func TestDefaultUtilityCustomLatency(t *testing.T) {
+	u := Default{Latency: DeadlineLatency(time.Second, 3*time.Second)}
+	p := Prediction{Latency: 2 * time.Second, EnergyJoules: 1, Fidelity: 1, Feasible: true}
+	if got := u.Utility(p); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("utility = %v, want 0.5", got)
+	}
+}
+
+func TestDefaultUtilityNegativeFidelityClamped(t *testing.T) {
+	u := Default{}
+	p := Prediction{Latency: time.Second, EnergyJoules: 1, Fidelity: -3, Feasible: true}
+	if got := u.Utility(p); got != 0 {
+		t.Fatalf("utility = %v, want 0", got)
+	}
+}
+
+// Property: utility is finite, non-negative, monotone non-increasing in
+// latency and in energy (at fixed everything else).
+func TestDefaultUtilityMonotoneProperty(t *testing.T) {
+	imp := 0.7
+	u := Default{Importance: func() float64 { return imp }}
+	f := func(latMs uint16, joulesQ uint16, fidQ uint8) bool {
+		lat := time.Duration(latMs) * time.Millisecond
+		joules := float64(joulesQ) / 100
+		fid := float64(fidQ%101) / 100
+		p := Prediction{Latency: lat, EnergyJoules: joules, Fidelity: fid, Feasible: true}
+		base := u.Utility(p)
+		if base < 0 || math.IsNaN(base) || math.IsInf(base, 0) {
+			return false
+		}
+		slower := p
+		slower.Latency += time.Second
+		costlier := p
+		costlier.EnergyJoules += 10
+		return u.Utility(slower) <= base+1e-12 && u.Utility(costlier) <= base+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

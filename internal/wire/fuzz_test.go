@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzReadMessage hardens the frame decoder against arbitrary input: it
+// must never panic and never claim to have consumed more bytes than it was
+// given. Run with `go test -fuzz FuzzReadMessage ./internal/wire`.
+func FuzzReadMessage(f *testing.F) {
+	// Seed with valid frames and near-misses.
+	var valid bytes.Buffer
+	if _, err := WriteMessage(&valid, &Message{Type: MsgRequest, ID: 1, Service: "s"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 3, '{', '}', '!'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, n, err := ReadMessage(bytes.NewReader(data))
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if err == nil && msg == nil {
+			t.Fatal("nil message without error")
+		}
+	})
+}
+
+// FuzzRoundTrip checks encode/decode symmetry for arbitrary payloads.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("payload"), "service", "optype", uint64(7))
+	f.Fuzz(func(t *testing.T, payload []byte, service, optype string, id uint64) {
+		if !utf8.ValidString(service) || !utf8.ValidString(optype) {
+			// The JSON wire format requires string fields to be valid
+			// UTF-8 (see the Message doc); invalid sequences would be
+			// replaced with U+FFFD on the wire.
+			t.Skip("invalid UTF-8 identifiers are outside the protocol")
+		}
+		var buf bytes.Buffer
+		in := &Message{
+			Type:    MsgRequest,
+			ID:      id,
+			Service: service,
+			OpType:  optype,
+			Payload: payload,
+		}
+		if _, err := WriteMessage(&buf, in); err != nil {
+			if len(payload) > MaxMessageBytes/2 {
+				return // oversized input may legitimately fail
+			}
+			t.Fatal(err)
+		}
+		out, _, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ID != id || out.Service != service || out.OpType != optype ||
+			!bytes.Equal(out.Payload, payload) {
+			t.Fatalf("round trip mismatch: %+v", out)
+		}
+	})
+}

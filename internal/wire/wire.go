@@ -1,0 +1,157 @@
+// Package wire defines the Spectra wire protocol: length-prefixed JSON
+// messages exchanged between Spectra clients and servers. Byte counts are
+// reported to callers so the network monitor can passively estimate
+// bandwidth and latency from observed traffic, as the paper's RPC package
+// does (§3.3.2).
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxMessageBytes bounds a single message to protect servers from
+// malformed or hostile length prefixes.
+const MaxMessageBytes = 64 << 20 // 64 MiB
+
+// ErrMessageTooLarge indicates a frame exceeding MaxMessageBytes.
+var ErrMessageTooLarge = errors.New("wire: message too large")
+
+// MsgType identifies a message's role in the protocol.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgRequest MsgType = iota + 1
+	MsgResponse
+	MsgStatus
+	MsgStatusReply
+	MsgPing
+	MsgPong
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRequest:
+		return "request"
+	case MsgResponse:
+		return "response"
+	case MsgStatus:
+		return "status"
+	case MsgStatusReply:
+		return "status-reply"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Message is the protocol envelope. String fields (Service, OpType, Err)
+// must be valid UTF-8: the JSON encoding replaces invalid sequences with
+// U+FFFD, so they would not survive a round trip. Payload is arbitrary
+// binary data (base64 on the wire).
+type Message struct {
+	Type    MsgType `json:"type"`
+	ID      uint64  `json:"id"`
+	Service string  `json:"service,omitempty"`
+	OpType  string  `json:"optype,omitempty"`
+	Payload []byte  `json:"payload,omitempty"`
+	// Err carries a server-side error string on responses.
+	Err string `json:"err,omitempty"`
+	// Usage reports server resource consumption for the RPC, which the
+	// client forwards to its remote proxy monitors via AddUsage.
+	Usage *UsageReport `json:"usage,omitempty"`
+	// Status carries a server resource snapshot on status replies.
+	Status *ServerStatus `json:"status,omitempty"`
+}
+
+// UsageReport describes the resources one RPC consumed on a server.
+type UsageReport struct {
+	CPUMegacycles float64      `json:"cpuMegacycles"`
+	Files         []FileUsage  `json:"files,omitempty"`
+	Extra         []NamedValue `json:"extra,omitempty"`
+}
+
+// FileUsage records one file accessed during an RPC.
+type FileUsage struct {
+	Path      string `json:"path"`
+	SizeBytes int64  `json:"sizeBytes"`
+	// FetchedBytes is how much had to be fetched from file servers.
+	FetchedBytes int64 `json:"fetchedBytes,omitempty"`
+}
+
+// NamedValue is an extensible resource measurement.
+type NamedValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// ServerStatus is the resource snapshot a Spectra server publishes; clients
+// poll it periodically and feed it to the remote proxy monitors (§3.3.5).
+type ServerStatus struct {
+	Name string `json:"name"`
+	// SpeedMHz is the server CPU clock.
+	SpeedMHz float64 `json:"speedMHz"`
+	// LoadFraction is the fraction of CPU recently used by other work.
+	LoadFraction float64 `json:"loadFraction"`
+	// AvailMHz is the predicted megacycles/second for a new operation.
+	AvailMHz float64 `json:"availMHz"`
+	// CachedFiles lists Coda files cached at the server.
+	CachedFiles []string `json:"cachedFiles,omitempty"`
+	// FetchRateBps estimates the server's fetch rate from file servers.
+	FetchRateBps float64 `json:"fetchRateBps"`
+	// Services lists the service names this server can execute.
+	Services []string `json:"services,omitempty"`
+}
+
+// WriteMessage frames and writes a message, returning the bytes put on the
+// wire (including the length prefix).
+func WriteMessage(w io.Writer, m *Message) (int, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return 0, fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(body) > MaxMessageBytes {
+		return 0, ErrMessageTooLarge
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	n, err := w.Write(buf)
+	if err != nil {
+		return n, fmt.Errorf("wire: write: %w", err)
+	}
+	return n, nil
+}
+
+// ReadMessage reads one framed message, returning it and the bytes
+// consumed from the wire.
+func ReadMessage(r io.Reader) (*Message, int, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("wire: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxMessageBytes {
+		return nil, 4, ErrMessageTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, 4, fmt.Errorf("wire: read body: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, 4 + int(n), fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return &m, 4 + int(n), nil
+}

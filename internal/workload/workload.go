@@ -1,0 +1,108 @@
+// Package workload provides deterministic workload generators for the
+// evaluation harness, examples, and soak tests: utterance lengths for the
+// speech recognizer, sentence lengths for the translator, and edit
+// patterns for the document workload. All generators are seeded and
+// reproducible — the simulation substrate is deterministic and the
+// workloads must be too.
+package workload
+
+import (
+	"math"
+)
+
+// RNG is a small deterministic generator (SplitMix64) so workloads do not
+// depend on math/rand ordering across Go versions.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Zipf returns a value in [1, n] following a Zipf-like distribution with
+// exponent s > 0; small values dominate, as sentence and utterance lengths
+// do in real corpora.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 1
+	}
+	// Inverse-CDF sampling over the discrete Zipf mass function.
+	var norm float64
+	for k := 1; k <= n; k++ {
+		norm += 1 / math.Pow(float64(k), s)
+	}
+	target := r.Float64() * norm
+	var acc float64
+	for k := 1; k <= n; k++ {
+		acc += 1 / math.Pow(float64(k), s)
+		if acc >= target {
+			return k
+		}
+	}
+	return n
+}
+
+// Utterances generates n speech utterance lengths in seconds, clustered
+// around typical command phrases (1-3 s).
+func Utterances(seed uint64, n int) []float64 {
+	r := NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Round((1.0+2.0*r.Float64())*10) / 10
+	}
+	return out
+}
+
+// Sentences generates n translation sentence lengths in words with a
+// Zipf-like skew toward short sentences, capped at maxWords.
+func Sentences(seed uint64, n, maxWords int) []float64 {
+	r := NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(2 + r.Zipf(maxWords-2, 1.1))
+	}
+	return out
+}
+
+// EditPattern says whether the user edited the document before each of n
+// compile runs, with the given edit probability.
+func EditPattern(seed uint64, n int, editProb float64) []bool {
+	r := NewRNG(seed)
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.Float64() < editProb
+	}
+	return out
+}

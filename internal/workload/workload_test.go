@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+		if n := r.Intn(7); n < 0 || n >= 7 {
+			t.Fatalf("Intn(7) = %v", n)
+		}
+		if u := r.Uniform(2, 5); u < 2 || u >= 5 {
+			t.Fatalf("Uniform = %v", u)
+		}
+	}
+	if r.Intn(0) != 0 {
+		t.Fatal("Intn(0) should be 0")
+	}
+	if r.Uniform(5, 2) != 5 {
+		t.Fatal("degenerate Uniform should return lo")
+	}
+}
+
+func TestZipfSkewsSmall(t *testing.T) {
+	r := NewRNG(7)
+	counts := make(map[int]int)
+	const draws = 5000
+	for i := 0; i < draws; i++ {
+		k := r.Zipf(50, 1.1)
+		if k < 1 || k > 50 {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[1] <= counts[10] {
+		t.Fatalf("Zipf not skewed: count(1)=%d count(10)=%d", counts[1], counts[10])
+	}
+	if r.Zipf(1, 1.1) != 1 {
+		t.Fatal("Zipf(1) should be 1")
+	}
+}
+
+func TestUtterances(t *testing.T) {
+	u := Utterances(1, 50)
+	if len(u) != 50 {
+		t.Fatalf("len = %d", len(u))
+	}
+	for _, s := range u {
+		if s < 1 || s > 3 {
+			t.Fatalf("utterance length %v out of [1,3]", s)
+		}
+	}
+	u2 := Utterances(1, 50)
+	for i := range u {
+		if u[i] != u2[i] {
+			t.Fatal("utterances not reproducible")
+		}
+	}
+}
+
+func TestSentences(t *testing.T) {
+	s := Sentences(2, 100, 40)
+	short, long := 0, 0
+	for _, w := range s {
+		if w < 2 || w > 40 {
+			t.Fatalf("sentence %v out of range", w)
+		}
+		if w <= 10 {
+			short++
+		} else {
+			long++
+		}
+	}
+	if short <= long {
+		t.Fatalf("sentence lengths not skewed short: %d short, %d long", short, long)
+	}
+}
+
+func TestEditPattern(t *testing.T) {
+	always := EditPattern(3, 20, 1.0)
+	for _, e := range always {
+		if !e {
+			t.Fatal("probability 1 produced a non-edit")
+		}
+	}
+	never := EditPattern(3, 20, 0)
+	for _, e := range never {
+		if e {
+			t.Fatal("probability 0 produced an edit")
+		}
+	}
+}
+
+// Property: generators never panic and respect bounds for arbitrary seeds.
+func TestGeneratorBoundsProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		count := int(n%32) + 1
+		for _, u := range Utterances(seed, count) {
+			if u < 1 || u > 3 {
+				return false
+			}
+		}
+		for _, w := range Sentences(seed, count, 30) {
+			if w < 2 || w > 30 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

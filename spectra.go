@@ -1,0 +1,271 @@
+// Package spectra is the public API of this Spectra reproduction: a
+// self-tuning remote execution system for battery-powered pervasive-
+// computing clients, after Flinn, Park & Satyanarayanan, "Balancing
+// Performance, Energy, and Quality in Pervasive Computing" (ICDCS 2002).
+//
+// Applications register operations — coarse-grained code components with a
+// set of execution plans (local / remote / hybrid partitions), discrete
+// fidelity dimensions, and input parameters. For every execution, Spectra
+// snapshots resource availability through its modular monitors (CPU,
+// network, battery, file cache, and remote proxies), predicts each
+// alternative's execution time and energy from self-tuned demand models,
+// and selects the alternative maximizing a utility function that balances
+// performance, energy conservation (weighted by a goal-directed importance
+// parameter), and application fidelity. Before remote execution it
+// enforces data consistency with the Coda-style file system substrate.
+//
+// The typical flow mirrors the paper's API (Figure 1):
+//
+//	setup, _ := spectra.NewSimSetup(spectra.SimOptions{...})
+//	op, _ := setup.Client.RegisterFidelity(spec)      // register_fidelity
+//	octx, _ := setup.Client.BeginFidelityOp(op, p, "") // begin_fidelity_op
+//	out, _ := octx.DoLocalOp("optype", payload)        // do_local_op
+//	out, _ = octx.DoRemoteOp("optype", payload)        // do_remote_op
+//	report, _ := octx.End()                            // end_fidelity_op
+//
+// Two runtimes are provided: a deterministic simulation of the paper's
+// testbeds (NewSimSetup) and a live TCP mode (NewLiveSetup plus the
+// spectrad daemon) for real remote execution.
+package spectra
+
+import (
+	"spectra/internal/coda"
+	"spectra/internal/core"
+	"spectra/internal/energy"
+	"spectra/internal/monitor"
+	"spectra/internal/predict"
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+	"spectra/internal/solver"
+	"spectra/internal/utility"
+)
+
+// Core client API.
+type (
+	// Client is the Spectra client: it registers operations, decides how
+	// and where they execute, and self-tunes from observed usage.
+	Client = core.Client
+	// Config assembles a Client from explicit components.
+	Config = core.Config
+	// Operation is a registered operation.
+	Operation = core.Operation
+	// OperationSpec statically describes an operation (register_fidelity).
+	OperationSpec = core.OperationSpec
+	// PlanSpec describes one execution plan.
+	PlanSpec = core.PlanSpec
+	// FidelityDimension is one discrete fidelity knob.
+	FidelityDimension = core.FidelityDimension
+	// ContinuousFidelity is a continuous fidelity dimension, modeled by
+	// regression rather than binning.
+	ContinuousFidelity = core.ContinuousFidelity
+	// OpContext is an in-flight operation (begin_fidelity_op ... End).
+	OpContext = core.OpContext
+	// Report summarizes a completed operation.
+	Report = core.Report
+	// Decision describes how Spectra chose to execute an operation.
+	Decision = core.Decision
+	// ScoredAlternative is one alternative with its current prediction and
+	// utility, from Client.EvaluateAlternatives.
+	ScoredAlternative = core.ScoredAlternative
+	// Advisor reports when the best alternative for an operation changes
+	// (Odyssey-style upcalls).
+	Advisor = core.Advisor
+	// BeginOverhead breaks down the wall-clock cost of a decision.
+	BeginOverhead = core.BeginOverhead
+	// ModelOptions tunes the self-tuning demand models.
+	ModelOptions = core.ModelOptions
+	// CustomPredictors replaces default demand predictors with
+	// application-specific ones.
+	CustomPredictors = core.CustomPredictors
+	// NumericPredictor is the interface application-specific demand
+	// predictors implement.
+	NumericPredictor = predict.Numeric
+	// PredictObservation / PredictQuery are the predictor data types.
+	PredictObservation = predict.Observation
+	PredictQuery       = predict.Query
+	// Registry discovers Spectra servers at runtime.
+	Registry = core.Registry
+	// StaticRegistry is a fixed server list.
+	StaticRegistry = core.StaticRegistry
+	// AnnounceRegistry is an expiring announcement-based discovery
+	// registry.
+	AnnounceRegistry = core.AnnounceRegistry
+	// ParallelCall is one branch of a parallel remote phase (the paper's
+	// future-work extension).
+	ParallelCall = core.ParallelCall
+)
+
+// NewAnnounceRegistry returns a discovery registry whose announcements
+// live for ttl.
+var NewAnnounceRegistry = core.NewAnnounceRegistry
+
+// ContinuousValue parses a continuous fidelity setting from a fidelity
+// assignment.
+var ContinuousValue = core.ContinuousValue
+
+// Poller periodically refreshes a live client's server database.
+type Poller = core.Poller
+
+// StartPolling launches a background server poller for live deployments.
+var StartPolling = core.StartPolling
+
+// FormatContinuous renders a continuous fidelity value canonically.
+var FormatContinuous = core.FormatContinuous
+
+// Execution environments and services.
+type (
+	// Node is one machine: hardware model, cache manager, services.
+	Node = core.Node
+	// Env is a simulated testbed.
+	Env = core.Env
+	// ServiceFunc is an application code component hosted by a server.
+	ServiceFunc = core.ServiceFunc
+	// ServiceContext meters a service invocation's resource consumption.
+	ServiceContext = core.ServiceContext
+	// ServiceLoop adapts the paper's service_getop/service_retop loop.
+	ServiceLoop = core.ServiceLoop
+	// ServiceRequest is one request delivered to a ServiceLoop.
+	ServiceRequest = core.ServiceRequest
+	// Server is a network-facing Spectra server (the spectrad core).
+	Server = core.Server
+	// SimOptions / SimServer / SimSetup assemble simulated deployments.
+	SimOptions = core.SimOptions
+	SimServer  = core.SimServer
+	SimSetup   = core.SimSetup
+	// LiveOptions / LiveSetup assemble live TCP deployments.
+	LiveOptions = core.LiveOptions
+	LiveSetup   = core.LiveSetup
+	// NetRuntime executes operations against live spectrad servers.
+	NetRuntime = core.NetRuntime
+	// SimRuntime executes operations against the simulated testbed.
+	SimRuntime = core.SimRuntime
+)
+
+// Decision-space and utility types.
+type (
+	// Alternative is one point in the decision space: server, plan,
+	// fidelity.
+	Alternative = solver.Alternative
+	// Prediction carries predicted time, energy, and fidelity value.
+	Prediction = utility.Prediction
+	// UtilityFunction scores predictions; applications may override the
+	// default.
+	UtilityFunction = utility.Function
+	// LatencyDesirability maps execution time to desirability.
+	LatencyDesirability = utility.LatencyDesirability
+	// GoalAdaptor implements goal-directed energy adaptation.
+	GoalAdaptor = energy.GoalAdaptor
+	// Machine models a computer's CPU and power characteristics.
+	Machine = sim.Machine
+	// MachineConfig configures a Machine.
+	MachineConfig = sim.MachineConfig
+	// ComputeDemand expresses CPU demand in megacycles.
+	ComputeDemand = sim.ComputeDemand
+	// Battery models a client battery.
+	Battery = sim.Battery
+	// Link models a network path.
+	Link = simnet.Link
+	// LinkConfig configures a Link.
+	LinkConfig = simnet.LinkConfig
+	// FileAccess describes one file touched by an operation.
+	FileAccess = predict.FileAccess
+	// MonitorSet is the modular resource-monitor framework.
+	MonitorSet = monitor.Set
+	// Snapshot is a resource-availability snapshot.
+	Snapshot = monitor.Snapshot
+	// Usage aggregates the resources one operation consumed.
+	Usage = monitor.Usage
+)
+
+// File-system substrate types.
+type (
+	// FileServer is a Coda-style file server holding volumes of files.
+	FileServer = coda.FileServer
+	// CacheManager is a per-machine Coda cache manager ("Venus").
+	CacheManager = coda.Client
+	// ConnectionMode is a cache manager's connectivity level.
+	ConnectionMode = coda.ConnectionMode
+	// HoardProfile is a per-client set of hoard entries: paths kept cached
+	// by priority, Coda-style.
+	HoardProfile = coda.HoardProfile
+	// HoardEntry is one line of a hoard profile.
+	HoardEntry = coda.HoardEntry
+)
+
+// NewHoardProfile returns an empty hoard profile.
+var NewHoardProfile = coda.NewHoardProfile
+
+// Connection modes: strongly connected clients write through; weakly
+// connected clients buffer modifications for reintegration; disconnected
+// clients serve only cache hits.
+const (
+	Strong       = coda.Strong
+	Weak         = coda.Weak
+	Disconnected = coda.Disconnected
+)
+
+// File placements (advisory plan hints).
+const (
+	FilesLocal  = core.FilesLocal
+	FilesRemote = core.FilesRemote
+)
+
+// NewClient assembles a client from explicit components.
+func NewClient(cfg Config) (*Client, error) { return core.NewClient(cfg) }
+
+// NewSimSetup assembles a simulated Spectra deployment.
+func NewSimSetup(opts SimOptions) (*SimSetup, error) { return core.NewSimSetup(opts) }
+
+// NewLiveSetup assembles a live Spectra client talking to spectrad
+// daemons over TCP.
+func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) { return core.NewLiveSetup(opts) }
+
+// NewServer wraps a node as a network-facing Spectra server.
+func NewServer(name string, node *Node, clock Clock) *Server {
+	return core.NewServer(name, node, clock)
+}
+
+// NewNode assembles a machine node.
+var NewNode = core.NewNode
+
+// NewServiceContext builds a metered execution context on a node; account
+// handling is internal, so pass nil unless embedding in a custom runtime.
+var NewServiceContext = core.NewServiceContext
+
+// NewServiceLoop returns a paper-style service main loop.
+func NewServiceLoop() *ServiceLoop { return core.NewServiceLoop() }
+
+// Clock is the time source abstraction (virtual in simulations, real in
+// live deployments).
+type Clock = sim.Clock
+
+// RealClock is the system clock.
+type RealClock = sim.RealClock
+
+// VirtualClock is the deterministic simulation clock.
+type VirtualClock = sim.VirtualClock
+
+// NewMachine constructs a machine model.
+func NewMachine(cfg MachineConfig) *Machine { return sim.NewMachine(cfg) }
+
+// NewBattery returns a full battery of the given capacity in joules.
+func NewBattery(capacityJoules float64) *Battery { return sim.NewBattery(capacityJoules) }
+
+// NewLink constructs a network link model.
+func NewLink(cfg LinkConfig) *Link { return simnet.NewLink(cfg) }
+
+// Preset machine models of the paper's testbed.
+var (
+	NewItsy    = sim.NewItsy
+	NewT20     = sim.NewT20
+	New560X    = sim.New560X
+	NewServerA = sim.NewServerA
+	NewServerB = sim.NewServerB
+)
+
+// InverseLatency is the 1/T latency desirability used by Janus and Latex.
+var InverseLatency = utility.InverseLatency
+
+// DeadlineLatency builds a Pangloss-style best/worst deadline
+// desirability.
+var DeadlineLatency = utility.DeadlineLatency

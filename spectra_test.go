@@ -1,0 +1,232 @@
+// End-to-end tests of the public API, written the way a downstream user
+// would use the package.
+package spectra_test
+
+import (
+	"testing"
+	"time"
+
+	"spectra"
+)
+
+// newPublicSetup assembles a deployment purely through the public API.
+func newPublicSetup(t *testing.T) *spectra.SimSetup {
+	t.Helper()
+	client := spectra.NewMachine(spectra.MachineConfig{
+		Name:        "handheld",
+		SpeedMHz:    200,
+		OnWallPower: true,
+		Battery:     spectra.NewBattery(50_000),
+	})
+	server := spectra.NewMachine(spectra.MachineConfig{
+		Name:        "server",
+		SpeedMHz:    2000,
+		OnWallPower: true,
+	})
+	link := spectra.NewLink(spectra.LinkConfig{
+		Name:         "lan",
+		Latency:      2 * time.Millisecond,
+		BandwidthBps: 1 << 20,
+	})
+	setup, err := spectra.NewSimSetup(spectra.SimOptions{
+		Host:    client,
+		Servers: []spectra.SimServer{{Name: "server", Machine: server, Link: link}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: 400})
+		return []byte("out"), nil
+	}
+	setup.Env.Host().RegisterService("svc", work)
+	if node, _, ok := setup.Env.Server("server"); ok {
+		node.RegisterService("svc", work)
+	}
+	return setup
+}
+
+func publicSpec() spectra.OperationSpec {
+	return spectra.OperationSpec{
+		Name:    "public.op",
+		Service: "svc",
+		Plans: []spectra.PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+		LatencyUtility: spectra.InverseLatency,
+	}
+}
+
+func TestPublicAPIFlow(t *testing.T) {
+	setup := newPublicSetup(t)
+	op, err := setup.Client.RegisterFidelity(publicSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+
+	for i := 0; i < 3; i++ {
+		for _, alt := range []spectra.Alternative{
+			{Plan: "local"},
+			{Server: "server", Plan: "remote"},
+		} {
+			octx, err := setup.Client.BeginForced(op, alt, nil, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if alt.Plan == "remote" {
+				_, err = octx.DoRemoteOp("run", nil)
+			} else {
+				_, err = octx.DoLocalOp("run", nil)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := octx.End(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := octx.Decision()
+	if d.Alternative.Plan != "remote" {
+		t.Fatalf("decision = %+v, want remote", d.Alternative)
+	}
+	if d.Predicted.Latency <= 0 || !d.Predicted.Feasible {
+		t.Fatalf("prediction = %+v", d.Predicted)
+	}
+	out, err := octx.DoRemoteOp("run", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "out" {
+		t.Fatalf("output = %q", out)
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Usage.RemoteMegacycles != 400 {
+		t.Fatalf("usage = %+v", rep.Usage)
+	}
+}
+
+func TestPublicCodaTypes(t *testing.T) {
+	setup := newPublicSetup(t)
+	fs := setup.FileServer
+	fs.Store("vol", "/coda/file", 1000)
+	cm := setup.Env.Host().Coda()
+	cm.SetMode(spectra.Weak)
+	if cm.Mode() != spectra.Weak {
+		t.Fatalf("mode = %v", cm.Mode())
+	}
+	if _, err := cm.Write("/coda/file", 1200); err != nil {
+		t.Fatal(err)
+	}
+	if got := cm.DirtyVolumes(); len(got) != 1 || got[0] != "vol" {
+		t.Fatalf("dirty volumes = %v", got)
+	}
+}
+
+func TestPublicGoalAdaptation(t *testing.T) {
+	setup := newPublicSetup(t)
+	setup.Adaptor.SetGoal(10 * time.Hour)
+	if c := setup.Adaptor.Importance(); c < 0 || c > 1 {
+		t.Fatalf("importance = %v", c)
+	}
+}
+
+func TestPublicAnnounceRegistry(t *testing.T) {
+	reg := spectra.NewAnnounceRegistry(spectra.RealClock{}, time.Minute)
+	reg.Announce("dynamic-server")
+	if got := reg.Discover(); len(got) != 1 || got[0] != "dynamic-server" {
+		t.Fatalf("discover = %v", got)
+	}
+}
+
+func TestPublicParallelOps(t *testing.T) {
+	setup := newPublicSetup(t)
+	op, err := setup.Client.RegisterFidelity(publicSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+	octx, err := setup.Client.BeginForced(op,
+		spectra.Alternative{Server: "server", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := octx.DoParallelOps([]spectra.ParallelCall{
+		{OpType: "run"},
+		{OpType: "run"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("outputs = %d", len(outs))
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Usage.RemoteMegacycles != 800 {
+		t.Fatalf("usage = %+v", rep.Usage)
+	}
+}
+
+func TestPublicLiveMode(t *testing.T) {
+	serverMachine := spectra.NewMachine(spectra.MachineConfig{
+		Name: "live", SpeedMHz: 1000, OnWallPower: true,
+	})
+	node := spectra.NewNode(serverMachine, nil, nil)
+	srv := spectra.NewServer("live", node, spectra.RealClock{})
+	srv.Register("svc", func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: 10})
+		return []byte("live"), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	setup, err := spectra.NewLiveSetup(spectra.LiveOptions{
+		Servers: map[string]string{"live": addr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Runtime.Close()
+
+	op, err := setup.Client.RegisterFidelity(spectra.OperationSpec{
+		Name:    "live.op",
+		Service: "svc",
+		Plans:   []spectra.PlanSpec{{Name: "remote", UsesServer: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Client.PollServers()
+
+	octx, err := setup.Client.BeginForced(op,
+		spectra.Alternative{Server: "live", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := octx.DoRemoteOp("run", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "live" {
+		t.Fatalf("output = %q", out)
+	}
+	if _, err := octx.End(); err != nil {
+		t.Fatal(err)
+	}
+}
