@@ -38,6 +38,12 @@ type Config struct {
 	// Exhaustive replaces the heuristic solver with exhaustive search
 	// (ablation and oracle runs).
 	Exhaustive bool
+	// Failover tunes transparent re-execution after transient remote
+	// failures (see FailoverOptions); the zero value enables it.
+	Failover FailoverOptions
+	// Health tunes the per-server circuit breaker feeding server
+	// availability into the decision space; the zero value enables it.
+	Health HealthOptions
 }
 
 // Registry discovers Spectra servers at runtime. The paper designed for a
@@ -70,6 +76,8 @@ type Client struct {
 	modelOpts  ModelOptions
 	solverOpts solver.Options
 	exhaustive bool
+	failover   FailoverOptions
+	health     *HealthTracker
 
 	ops    map[string]*Operation
 	nextID uint64
@@ -94,6 +102,8 @@ func NewClient(cfg Config) (*Client, error) {
 		modelOpts:  cfg.Models,
 		solverOpts: cfg.Solver,
 		exhaustive: cfg.Exhaustive,
+		failover:   cfg.Failover,
+		health:     NewHealthTracker(cfg.Health),
 		ops:        make(map[string]*Operation),
 	}, nil
 }
@@ -137,26 +147,46 @@ func (c *Client) Monitors() *monitor.Set { return c.monitors }
 // Runtime returns the execution runtime.
 func (c *Client) Runtime() Runtime { return c.runtime }
 
+// Health returns the per-server health tracker.
+func (c *Client) Health() *HealthTracker { return c.health }
+
 // PollServers refreshes the server database: each candidate is polled for
 // a status snapshot, which the remote proxy monitors record. Unreachable
 // servers are marked so; polling errors are reflected in the snapshot
-// rather than returned.
+// rather than returned. Servers quarantined by the health tracker are
+// skipped until their quarantine elapses, at which point the poll doubles
+// as the half-open probe: success re-adopts the server, failure renews
+// the quarantine.
 func (c *Client) PollServers() {
 	for _, server := range c.Servers() {
-		status, err := c.runtime.PollServer(server)
-		if err != nil {
+		if !c.health.Usable(server, c.runtime.Now()) {
 			c.monitors.UpdatePreds(server, nil)
 			continue
 		}
+		status, err := c.runtime.PollServer(server)
+		if err != nil {
+			c.health.RecordFailure(server, c.runtime.Now())
+			c.monitors.UpdatePreds(server, nil)
+			continue
+		}
+		c.health.RecordSuccess(server)
 		c.monitors.UpdatePreds(server, status)
 	}
 }
 
 // Probe generates fresh traffic toward every candidate server so the
 // passive network monitor has current bandwidth and latency estimates.
+// Like PollServers it respects and feeds the health tracker.
 func (c *Client) Probe() {
 	for _, server := range c.Servers() {
-		_ = c.runtime.Probe(server) // failure itself marks unreachability
+		if !c.health.Usable(server, c.runtime.Now()) {
+			continue
+		}
+		if err := c.runtime.Probe(server); err != nil {
+			c.health.RecordFailure(server, c.runtime.Now())
+			continue
+		}
+		c.health.RecordSuccess(server)
 	}
 }
 
@@ -254,15 +284,10 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 
 	servers := c.Servers()
 	snap := c.monitors.Snapshot(c.runtime.Now(), servers)
+	c.applyHealth(snap, servers)
 	est := newEstimator(op, snap, params, data, c.cons)
 
-	var fn utility.Function = utility.Default{
-		Latency:    op.spec.LatencyUtility,
-		Importance: func() float64 { return snap.Battery.Importance },
-	}
-	if op.spec.Utility != nil {
-		fn = op.spec.Utility
-	}
+	fn := c.utilityFn(op, snap)
 	eval := func(alt solver.Alternative) float64 {
 		return fn.Utility(est.Predict(alt))
 	}
@@ -355,6 +380,31 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 		Total:          total,
 	}
 	return octx, nil
+}
+
+// utilityFn returns the operation's utility function over the snapshot.
+func (c *Client) utilityFn(op *Operation, snap *monitor.Snapshot) utility.Function {
+	if op.spec.Utility != nil {
+		return op.spec.Utility
+	}
+	return utility.Default{
+		Latency:    op.spec.LatencyUtility,
+		Importance: func() float64 { return snap.Battery.Importance },
+	}
+}
+
+// applyHealth folds the health tracker's verdicts into a snapshot:
+// quarantined servers are marked unreachable, removing them from the
+// solver's decision space until their half-open probe succeeds.
+func (c *Client) applyHealth(snap *monitor.Snapshot, servers []string) {
+	now := c.runtime.Now()
+	for _, s := range servers {
+		if !c.health.Usable(s, now) {
+			na := snap.Network[s]
+			na.Reachable = false
+			snap.Network[s] = na
+		}
+	}
 }
 
 // bestFeasible scans all candidates for the highest-utility feasible one.

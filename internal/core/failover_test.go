@@ -1,0 +1,407 @@
+package core
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+	"spectra/internal/solver"
+	"spectra/internal/wire"
+)
+
+// newFailoverSetup builds a client and two equal servers, with the given
+// failover and health tuning, hosting "toy" everywhere so every rung of
+// the recovery ladder is available.
+func newFailoverSetup(t *testing.T, fo FailoverOptions, h HealthOptions) *SimSetup {
+	t.Helper()
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    100,
+		Power:       sim.PowerModel{IdleW: 1, BusyW: 10, NetW: 2},
+		OnWallPower: true,
+		Battery:     sim.NewBattery(50_000),
+	})
+	mkServer := func(name string) SimServer {
+		return SimServer{
+			Name: name,
+			Machine: sim.NewMachine(sim.MachineConfig{
+				Name: name, SpeedMHz: 1000, OnWallPower: true,
+			}),
+			Link: simnet.NewLink(simnet.LinkConfig{
+				Name: "lan-" + name, Latency: time.Millisecond, BandwidthBps: 1_000_000,
+			}),
+		}
+	}
+	setup, err := NewSimSetup(SimOptions{
+		Host:     host,
+		Servers:  []SimServer{mkServer("s1"), mkServer("s2")},
+		Failover: fo,
+		Health:   h,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(sim.ComputeDemand{IntegerMegacycles: 500})
+		return []byte("ok"), nil
+	}
+	setup.Env.Host().RegisterService("toy", work)
+	for _, s := range []string{"s1", "s2"} {
+		node, _, _ := setup.Env.Server(s)
+		node.RegisterService("toy", work)
+	}
+	return setup
+}
+
+// trainBoth teaches the demand models both plans on both servers.
+func trainBoth(t *testing.T, setup *SimSetup, op *Operation) {
+	t.Helper()
+	setup.Refresh()
+	for i := 0; i < 2; i++ {
+		runToy(t, setup, op, solver.Alternative{Plan: "local"})
+		runToy(t, setup, op, solver.Alternative{Server: "s1", Plan: "remote"})
+		runToy(t, setup, op, solver.Alternative{Server: "s2", Plan: "remote"})
+	}
+}
+
+// TestFailoverToNextBestServer partitions the decided server's link between
+// decision and execution: the call must transparently re-plan onto the
+// surviving server, without degrading to local execution.
+func TestFailoverToNextBestServer(t *testing.T) {
+	setup := newFailoverSetup(t, FailoverOptions{}, HealthOptions{})
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainBoth(t, setup, op)
+
+	octx, err := setup.Client.BeginForced(op, solver.Alternative{Server: "s1", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, link, _ := setup.Env.Server("s1")
+	link.SetPartitioned(true)
+
+	out, err := octx.DoRemoteOp("run", []byte("x"))
+	if err != nil {
+		t.Fatalf("failover did not absorb the partition: %v", err)
+	}
+	if string(out) != "ok" {
+		t.Fatalf("out = %q", out)
+	}
+	if octx.Server() != "s2" {
+		t.Fatalf("adopted server = %q, want s2", octx.Server())
+	}
+
+	// A second call in the same operation goes straight to the adopted
+	// server — no repeated failover.
+	if _, err := octx.DoRemoteOp("run", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatalf("remote-to-remote failover must not degrade: %+v", rep)
+	}
+	if len(rep.Failovers) != 1 {
+		t.Fatalf("failovers = %+v, want exactly one", rep.Failovers)
+	}
+	ev := rep.Failovers[0]
+	if ev.From != "s1" || ev.To != "s2" || ev.OpType != "run" || ev.Cause == "" {
+		t.Fatalf("failover event = %+v", ev)
+	}
+	if n := setup.Client.Health().ConsecutiveFailures("s1"); n != 1 {
+		t.Fatalf("s1 consecutive failures = %d, want 1", n)
+	}
+	if setup.Client.Health().State("s2") != HealthClosed {
+		t.Fatalf("s2 health = %v", setup.Client.Health().State("s2"))
+	}
+}
+
+// TestFailoverBudgetAndDisable exercises the two error paths: every rung
+// exhausted with local fallback forbidden, and failover disabled outright.
+func TestFailoverBudgetAndDisable(t *testing.T) {
+	setup := newFailoverSetup(t, FailoverOptions{NoLocalFallback: true}, HealthOptions{})
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainBoth(t, setup, op)
+
+	for _, s := range []string{"s1", "s2"} {
+		_, link, _ := setup.Env.Server(s)
+		link.SetPartitioned(true)
+	}
+	octx, err := setup.Client.BeginForced(op, solver.Alternative{Server: "s1", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx.DoRemoteOp("run", []byte("x")); err == nil {
+		t.Fatal("every server partitioned and no local fallback: must fail")
+	}
+	octx.Abort()
+
+	disabled := newFailoverSetup(t, FailoverOptions{MaxAttempts: -1}, HealthOptions{})
+	op2, err := disabled.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disabled.Refresh()
+	_, link, _ := disabled.Env.Server("s1")
+	link.SetPartitioned(true)
+	octx2, err := disabled.Client.BeginForced(op2, solver.Alternative{Server: "s1", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx2.DoRemoteOp("run", []byte("x")); err == nil {
+		t.Fatal("failover disabled: the partition must surface")
+	}
+	octx2.Abort()
+}
+
+// TestParallelBranchFailover partitions one of the two servers used by a
+// parallel phase: the surviving branch's result is kept and the failed
+// branch is re-executed on the healthy server.
+func TestParallelBranchFailover(t *testing.T) {
+	setup := newFailoverSetup(t, FailoverOptions{}, HealthOptions{})
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainBoth(t, setup, op)
+
+	octx, err := setup.Client.BeginForced(op, solver.Alternative{Server: "s1", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s2 dies mid-phase: its branch partitions, s1's branch survives.
+	_, link2, _ := setup.Env.Server("s2")
+	link2.SetPartitioned(true)
+
+	outs, err := octx.DoParallelOps([]ParallelCall{
+		{Server: "s1", OpType: "run", Payload: []byte("a")},
+		{Server: "s2", OpType: "run", Payload: []byte("b")},
+	})
+	if err != nil {
+		t.Fatalf("parallel failover did not absorb the partition: %v", err)
+	}
+	if len(outs) != 2 || string(outs[0]) != "ok" || string(outs[1]) != "ok" {
+		t.Fatalf("outputs = %q", outs)
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded {
+		t.Fatalf("branch failover onto s1 must not degrade: %+v", rep)
+	}
+	if len(rep.Failovers) != 1 || rep.Failovers[0].From != "s2" || rep.Failovers[0].To != "s1" {
+		t.Fatalf("failovers = %+v", rep.Failovers)
+	}
+}
+
+// TestHealthQuarantineAndReadoption drives a server through the breaker
+// lifecycle end to end: repeated failures open it, polls skip it while
+// quarantined, and a successful poll after healing re-adopts it.
+func TestHealthQuarantineAndReadoption(t *testing.T) {
+	setup := newFailoverSetup(t, FailoverOptions{}, HealthOptions{FailureThreshold: 3, Quarantine: 30 * time.Second})
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainBoth(t, setup, op)
+	health := setup.Client.Health()
+
+	// One operation-driven failure plus failed polls push s1 past the
+	// threshold and open the breaker.
+	_, link, _ := setup.Env.Server("s1")
+	link.SetPartitioned(true)
+	octxF, err := setup.Client.BeginForced(op, solver.Alternative{Server: "s1", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octxF.DoRemoteOp("run", []byte("x")); err != nil {
+		t.Fatalf("failover must absorb the partition: %v", err)
+	}
+	if _, err := octxF.End(); err != nil {
+		t.Fatal(err)
+	}
+	setup.Client.PollServers()
+	setup.Client.PollServers()
+	if health.State("s1") != HealthOpen {
+		t.Fatalf("s1 health after 3 failures = %v, want open", health.State("s1"))
+	}
+
+	// While quarantined, decisions must not place work on s1 even though
+	// the link (from the client's stale view) might look fine.
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Alternative.Server == "s1" {
+		t.Fatalf("quarantined server chosen: %+v", octx.Decision().Alternative)
+	}
+	octx.Abort()
+
+	// Healing the link alone is not enough — the quarantine must elapse
+	// first; then the next poll doubles as the half-open probe and the
+	// server is re-adopted.
+	link.SetPartitioned(false)
+	setup.Clock.Advance(31 * time.Second)
+	setup.Refresh()
+	if health.State("s1") != HealthClosed {
+		t.Fatalf("s1 health after heal + poll = %v, want closed", health.State("s1"))
+	}
+	octx2, err := setup.Client.BeginForced(op, solver.Alternative{Server: "s1", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx2.DoRemoteOp("run", []byte("x")); err != nil {
+		t.Fatalf("re-adopted server must serve again: %v", err)
+	}
+	if _, err := octx2.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpContextIdempotency covers the End/Abort lifecycle edge cases: End
+// after Abort, double Abort, double End, Abort after End, and Abort on a
+// never-started operation.
+func TestOpContextIdempotency(t *testing.T) {
+	setup := newFailoverSetup(t, FailoverOptions{}, HealthOptions{})
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+
+	// Abort, then Abort again, then End.
+	octx, err := setup.Client.BeginForced(op, solver.Alternative{Plan: "local"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	octx.Abort()
+	octx.Abort() // idempotent
+	if _, err := octx.End(); err != errAborted {
+		t.Fatalf("End after Abort = %v, want errAborted", err)
+	}
+	if _, err := octx.End(); err != errAborted {
+		t.Fatalf("second End after Abort = %v, want errAborted", err)
+	}
+	if _, err := octx.DoLocalOp("run", nil); err != errEnded {
+		t.Fatalf("DoLocalOp after Abort = %v, want errEnded", err)
+	}
+
+	// End, then End again, then Abort.
+	octx2, err := setup.Client.BeginForced(op, solver.Alternative{Plan: "local"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx2.DoLocalOp("run", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx2.End(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := octx2.End(); err != errEnded {
+		t.Fatalf("double End = %v, want errEnded", err)
+	}
+	octx2.Abort() // no-op after End
+
+	// Abort on a never-started zero-value context must not panic.
+	var never OpContext
+	never.Abort()
+	never.Abort()
+}
+
+// TestGarbageFrameServerLive points the live runtime at a server that
+// answers status polls correctly but writes garbage instead of wire frames
+// for service calls: the call must classify as transient and recover
+// locally rather than surfacing a protocol error.
+func TestGarbageFrameServerLive(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					msg, _, err := wire.ReadMessage(c)
+					if err != nil {
+						return
+					}
+					switch msg.Type {
+					case wire.MsgStatus:
+						reply := &wire.Message{
+							Type: wire.MsgStatusReply,
+							ID:   msg.ID,
+							Status: &wire.ServerStatus{
+								Name:     "garbage",
+								SpeedMHz: 1000,
+								AvailMHz: 1000,
+								Services: []string{"toy"},
+							},
+						}
+						if _, err := wire.WriteMessage(c, reply); err != nil {
+							return
+						}
+					case wire.MsgPing:
+						if _, err := wire.WriteMessage(c, &wire.Message{Type: wire.MsgPong, ID: msg.ID}); err != nil {
+							return
+						}
+					default:
+						c.Write([]byte("!!!! this is not a wire frame !!!!"))
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+
+	setup := newLiveClient(t, map[string]string{"garbage": ln.Addr().String()})
+	setup.Client.PollServers()
+	op, err := setup.Client.RegisterFidelity(OperationSpec{
+		Name:    "toy.garbage",
+		Service: "toy",
+		Plans: []PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	octx, err := setup.Client.BeginForced(op, solver.Alternative{Server: "garbage", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := octx.DoRemoteOp("run", []byte("x"))
+	if err != nil {
+		t.Fatalf("garbage frames must trigger failover, got error: %v", err)
+	}
+	if string(out) != "done" {
+		t.Fatalf("out = %q, want local liveWork output", out)
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || len(rep.Failovers) != 1 || rep.Failovers[0].To != "" {
+		t.Fatalf("report = %+v, want degraded local recovery", rep)
+	}
+	if n := setup.Client.Health().ConsecutiveFailures("garbage"); n != 1 {
+		t.Fatalf("garbage server failures = %d, want 1", n)
+	}
+}

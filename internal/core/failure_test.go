@@ -8,8 +8,9 @@ import (
 )
 
 // TestPartitionMidOperation partitions the link after the decision but
-// before the remote call: the call fails, the operation aborts cleanly, and
-// the next decision routes around the dead server.
+// before the remote call: failover recovers the call on the client (the
+// host offers the service), the application sees no error, and the next
+// decision routes around the dead server.
 func TestPartitionMidOperation(t *testing.T) {
 	setup := newToySetup(t)
 	op, err := setup.Client.RegisterFidelity(toySpec())
@@ -30,13 +31,24 @@ func TestPartitionMidOperation(t *testing.T) {
 		t.Fatalf("pre-partition decision = %+v", octx.Decision().Alternative)
 	}
 
-	// The network partitions between decision and execution.
+	// The network partitions between decision and execution. Failover
+	// re-executes the call locally: the application sees output, not an
+	// error, and the report records the degraded recovery.
 	_, link, _ := setup.Env.Server("big")
 	link.SetPartitioned(true)
-	if _, err := octx.DoRemoteOp("run", []byte("x")); err == nil {
-		t.Fatal("remote call over a partition succeeded")
+	if _, err := octx.DoRemoteOp("run", []byte("x")); err != nil {
+		t.Fatalf("failover did not absorb the partition: %v", err)
 	}
-	octx.Abort()
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatalf("report not marked degraded: %+v", rep)
+	}
+	if len(rep.Failovers) != 1 || rep.Failovers[0].From != "big" || rep.Failovers[0].To != "" {
+		t.Fatalf("failover events = %+v", rep.Failovers)
+	}
 
 	// The failed call marked the server unreachable; the next decision
 	// must fall back to local without an explicit poll.
@@ -68,8 +80,8 @@ func TestPartitionMidOperation(t *testing.T) {
 }
 
 // TestLiveServerCrashMidSession kills a live server after training; the
-// client's next remote call fails, and after polling, decisions fall back
-// to local.
+// client's next remote call is transparently recovered on the client, and
+// after polling, decisions fall back to local.
 func TestLiveServerCrashMidSession(t *testing.T) {
 	machineAddr := startLiveServerHandle(t)
 	setup := newLiveClient(t, map[string]string{"fast": machineAddr.addr})
@@ -88,10 +100,10 @@ func TestLiveServerCrashMidSession(t *testing.T) {
 	setup.Client.PollServers()
 	setup.Client.Probe()
 
-	run := func(alt solver.Alternative) error {
+	run := func(alt solver.Alternative) (Report, error) {
 		octx, err := setup.Client.BeginForced(op, alt, nil, "")
 		if err != nil {
-			return err
+			return Report{}, err
 		}
 		if alt.Plan == "remote" {
 			_, err = octx.DoRemoteOp("run", nil)
@@ -100,24 +112,28 @@ func TestLiveServerCrashMidSession(t *testing.T) {
 		}
 		if err != nil {
 			octx.Abort()
-			return err
+			return Report{}, err
 		}
-		_, err = octx.End()
-		return err
+		return octx.End()
 	}
 	for i := 0; i < 2; i++ {
-		if err := run(solver.Alternative{Plan: "local"}); err != nil {
+		if _, err := run(solver.Alternative{Plan: "local"}); err != nil {
 			t.Fatal(err)
 		}
-		if err := run(solver.Alternative{Server: "fast", Plan: "remote"}); err != nil {
+		if _, err := run(solver.Alternative{Server: "fast", Plan: "remote"}); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	// The server crashes.
+	// The server crashes. The next remote call fails over to the client:
+	// no application-visible error, a degraded report.
 	machineAddr.srv.Close()
-	if err := run(solver.Alternative{Server: "fast", Plan: "remote"}); err == nil {
-		t.Fatal("remote call to a dead server succeeded")
+	rep, err := run(solver.Alternative{Server: "fast", Plan: "remote"})
+	if err != nil {
+		t.Fatalf("failover did not absorb the crash: %v", err)
+	}
+	if !rep.Degraded || len(rep.Failovers) != 1 || rep.Failovers[0].To != "" {
+		t.Fatalf("report after crash = %+v", rep)
 	}
 	setup.Client.PollServers() // confirms unreachability
 

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// HealthState is a server's position in the circuit-breaker lifecycle.
+type HealthState int
+
+// Health states.
+const (
+	// HealthClosed is the healthy state: the server participates in the
+	// decision space normally.
+	HealthClosed HealthState = iota
+	// HealthOpen quarantines a server after repeated consecutive
+	// failures: it is excluded from decisions and from routine polling
+	// until the quarantine elapses.
+	HealthOpen
+	// HealthHalfOpen admits probe traffic after quarantine: the next
+	// success closes the circuit, the next failure reopens it.
+	HealthHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s HealthState) String() string {
+	switch s {
+	case HealthClosed:
+		return "closed"
+	case HealthOpen:
+		return "open"
+	case HealthHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthOptions tunes the per-server health tracker.
+type HealthOptions struct {
+	// FailureThreshold is how many consecutive failures quarantine a
+	// server; 0 selects 3. Negative disables tracking.
+	FailureThreshold int
+	// Quarantine is how long an open server is excluded before one probe
+	// is allowed through (half-open); 0 selects 30s. The duration is
+	// measured on the runtime clock — virtual time in simulations.
+	Quarantine time.Duration
+}
+
+func (o HealthOptions) threshold() int {
+	if o.FailureThreshold == 0 {
+		return 3
+	}
+	return o.FailureThreshold
+}
+
+func (o HealthOptions) quarantine() time.Duration {
+	if o.Quarantine <= 0 {
+		return 30 * time.Second
+	}
+	return o.Quarantine
+}
+
+func (o HealthOptions) disabled() bool { return o.FailureThreshold < 0 }
+
+// HealthTracker is a small per-server circuit breaker (paper-adjacent: the
+// cyber-foraging literature treats surrogate unreliability as the central
+// operational hazard). Failures of remote calls, polls, and probes count
+// against a server; enough consecutive failures quarantine it so the
+// solver stops considering it, and after the quarantine a half-open probe
+// decides whether to re-adopt it.
+type HealthTracker struct {
+	mu sync.Mutex
+
+	opts    HealthOptions
+	servers map[string]*serverHealth
+}
+
+type serverHealth struct {
+	state    HealthState
+	failures int
+	openedAt time.Time
+}
+
+// NewHealthTracker returns a tracker with every server healthy.
+func NewHealthTracker(opts HealthOptions) *HealthTracker {
+	return &HealthTracker{opts: opts, servers: make(map[string]*serverHealth)}
+}
+
+func (h *HealthTracker) get(server string) *serverHealth {
+	sh, ok := h.servers[server]
+	if !ok {
+		sh = &serverHealth{}
+		h.servers[server] = sh
+	}
+	return sh
+}
+
+// RecordSuccess notes a successful exchange with the server, closing the
+// circuit and resetting the failure count.
+func (h *HealthTracker) RecordSuccess(server string) {
+	if h == nil || h.opts.disabled() {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh := h.get(server)
+	sh.state = HealthClosed
+	sh.failures = 0
+}
+
+// RecordFailure notes a failed exchange at the given instant. Reaching the
+// consecutive-failure threshold — or failing the half-open probe — opens
+// the circuit.
+func (h *HealthTracker) RecordFailure(server string, now time.Time) {
+	if h == nil || h.opts.disabled() {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh := h.get(server)
+	sh.failures++
+	if sh.state == HealthHalfOpen || sh.failures >= h.opts.threshold() {
+		sh.state = HealthOpen
+		sh.openedAt = now
+	}
+}
+
+// Usable reports whether the server may be used at the given instant. An
+// open server becomes usable again once its quarantine elapses — the
+// transition to half-open happens here, so the next exchange doubles as
+// the probe.
+func (h *HealthTracker) Usable(server string, now time.Time) bool {
+	if h == nil || h.opts.disabled() {
+		return true
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh, ok := h.servers[server]
+	if !ok {
+		return true
+	}
+	switch sh.state {
+	case HealthOpen:
+		if now.Sub(sh.openedAt) >= h.opts.quarantine() {
+			sh.state = HealthHalfOpen
+			return true
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// State returns the server's current circuit state.
+func (h *HealthTracker) State(server string) HealthState {
+	if h == nil || h.opts.disabled() {
+		return HealthClosed
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh, ok := h.servers[server]
+	if !ok {
+		return HealthClosed
+	}
+	return sh.state
+}
+
+// ConsecutiveFailures returns the server's current failure streak.
+func (h *HealthTracker) ConsecutiveFailures(server string) int {
+	if h == nil || h.opts.disabled() {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sh, ok := h.servers[server]
+	if !ok {
+		return 0
+	}
+	return sh.failures
+}
+
+// Quarantined lists servers currently open (still inside quarantine as of
+// now), sorted for determinism.
+func (h *HealthTracker) Quarantined(now time.Time) []string {
+	if h == nil || h.opts.disabled() {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for name, sh := range h.servers {
+		if sh.state == HealthOpen && now.Sub(sh.openedAt) < h.opts.quarantine() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHealthTrackerLifecycle walks the full circuit-breaker lifecycle:
+// closed → open after threshold consecutive failures → still quarantined
+// before the window elapses → half-open probe afterwards → reopened by a
+// failed probe → closed by a successful one.
+func TestHealthTrackerLifecycle(t *testing.T) {
+	h := NewHealthTracker(HealthOptions{FailureThreshold: 3, Quarantine: 30 * time.Second})
+	now := time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	if !h.Usable("s", now) || h.State("s") != HealthClosed {
+		t.Fatalf("fresh server not closed/usable")
+	}
+
+	// Two failures stay closed; an interleaved success resets the streak.
+	h.RecordFailure("s", now)
+	h.RecordFailure("s", now)
+	if h.State("s") != HealthClosed {
+		t.Fatalf("state after 2 failures = %v", h.State("s"))
+	}
+	h.RecordSuccess("s")
+	if h.ConsecutiveFailures("s") != 0 {
+		t.Fatalf("success did not reset the streak")
+	}
+
+	// Three consecutive failures open the circuit.
+	for i := 0; i < 3; i++ {
+		h.RecordFailure("s", now)
+	}
+	if h.State("s") != HealthOpen {
+		t.Fatalf("state after threshold = %v", h.State("s"))
+	}
+	if h.Usable("s", now.Add(29*time.Second)) {
+		t.Fatal("server usable inside quarantine")
+	}
+	if got := h.Quarantined(now.Add(10 * time.Second)); len(got) != 1 || got[0] != "s" {
+		t.Fatalf("quarantined = %v", got)
+	}
+
+	// Quarantine elapses: the next Usable admits the half-open probe.
+	probeTime := now.Add(31 * time.Second)
+	if !h.Usable("s", probeTime) {
+		t.Fatal("server not usable after quarantine")
+	}
+	if h.State("s") != HealthHalfOpen {
+		t.Fatalf("state after quarantine = %v", h.State("s"))
+	}
+
+	// A failed probe reopens immediately, restarting the quarantine.
+	h.RecordFailure("s", probeTime)
+	if h.State("s") != HealthOpen {
+		t.Fatalf("state after failed probe = %v", h.State("s"))
+	}
+	if h.Usable("s", probeTime.Add(29*time.Second)) {
+		t.Fatal("server usable inside second quarantine")
+	}
+
+	// A successful probe closes the circuit.
+	if !h.Usable("s", probeTime.Add(31*time.Second)) {
+		t.Fatal("server not usable after second quarantine")
+	}
+	h.RecordSuccess("s")
+	if h.State("s") != HealthClosed {
+		t.Fatalf("state after successful probe = %v", h.State("s"))
+	}
+	if h.Usable("s", probeTime.Add(31*time.Second)) != true {
+		t.Fatal("closed server not usable")
+	}
+}
+
+// TestHealthTrackerDisabled verifies a negative threshold turns the
+// tracker into a no-op, and that a nil tracker is safe.
+func TestHealthTrackerDisabled(t *testing.T) {
+	h := NewHealthTracker(HealthOptions{FailureThreshold: -1})
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		h.RecordFailure("s", now)
+	}
+	if !h.Usable("s", now) || h.State("s") != HealthClosed {
+		t.Fatal("disabled tracker quarantined a server")
+	}
+
+	var nilTracker *HealthTracker
+	nilTracker.RecordFailure("s", now)
+	nilTracker.RecordSuccess("s")
+	if !nilTracker.Usable("s", now) {
+		t.Fatal("nil tracker not usable")
+	}
+}

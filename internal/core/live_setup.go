@@ -24,6 +24,10 @@ type LiveOptions struct {
 	Models     ModelOptions
 	Solver     solver.Options
 	Exhaustive bool
+	// Failover and Health tune transparent recovery and server health
+	// tracking; zero values enable both with defaults.
+	Failover FailoverOptions
+	Health   HealthOptions
 }
 
 // LiveSetup is an assembled live deployment: the host node, the TCP
@@ -102,6 +106,8 @@ func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) {
 		Models:      opts.Models,
 		Solver:      opts.Solver,
 		Exhaustive:  opts.Exhaustive,
+		Failover:    opts.Failover,
+		Health:      opts.Health,
 	})
 	if err != nil {
 		return nil, err

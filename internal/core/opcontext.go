@@ -25,6 +25,14 @@ type OpContext struct {
 	phases    phaseUsage
 	started   bool
 	ended     bool
+	aborted   bool
+
+	// failovers records transparent recoveries performed mid-operation;
+	// degraded marks executions that left the decided plan (e.g. a remote
+	// component ran locally), whose observations are not representative
+	// and are therefore withheld from the demand models.
+	failovers []FailoverEvent
+	degraded  bool
 }
 
 // Decision returns how Spectra chose to execute the operation; the
@@ -40,11 +48,15 @@ func (x *OpContext) Fidelity() map[string]string { return x.decision.Alternative
 // Plan returns the chosen execution plan name.
 func (x *OpContext) Plan() string { return x.decision.Alternative.Plan }
 
-// Server returns the chosen server ("" for purely local execution).
+// Server returns the chosen server ("" for purely local execution). After
+// a mid-operation failover it names the server actually in use.
 func (x *OpContext) Server() string { return x.decision.Alternative.Server }
 
 // errEnded guards against use after End.
 var errEnded = errors.New("core: operation already ended")
+
+// errAborted guards against End after Abort.
+var errAborted = errors.New("core: operation aborted")
 
 // DoLocalOp makes an RPC to the local Spectra server (paper §3.1).
 func (x *OpContext) DoLocalOp(optype string, payload []byte) ([]byte, error) {
@@ -59,7 +71,12 @@ func (x *OpContext) DoLocalOp(optype string, payload []byte) ([]byte, error) {
 	return out, nil
 }
 
-// DoRemoteOp makes an RPC to the chosen remote Spectra server.
+// DoRemoteOp makes an RPC to the chosen remote Spectra server. A transient
+// failure — broken connection, timeout, partitioned link — is recovered
+// inside Spectra: the call is re-planned onto the next-best server from
+// the current decision space (bounded by the failover budget) and finally
+// onto the client itself, so the application only sees an error when every
+// placement is exhausted. Recoveries are recorded in the Report.
 func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 	if x.ended {
 		return nil, errEnded
@@ -70,8 +87,24 @@ func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 	}
 	out, rep, err := x.client.runtime.RemoteCall(server, x.op.spec.Service, optype, payload)
 	x.account(rep)
-	if err != nil {
+	if err == nil {
+		x.client.health.RecordSuccess(server)
+		return out, nil
+	}
+	if x.client.failover.disabled() || !isTransientExec(err) {
 		return nil, fmt.Errorf("core: do_remote_op %q on %q: %w", optype, server, err)
+	}
+	x.client.noteRemoteFailure(server)
+	out, ranOn, degraded, err := x.failRemote(optype, payload, server, err)
+	if err != nil {
+		return nil, err
+	}
+	if degraded {
+		x.degraded = true
+	} else {
+		// Subsequent calls of this operation go straight to the adopted
+		// server, and End's observation is attributed to it.
+		x.decision.Alternative.Server = ranOn
 	}
 	return out, nil
 }
@@ -98,13 +131,26 @@ type Report struct {
 	// Elapsed is the operation's duration in runtime time (virtual time in
 	// the simulation), including consistency enforcement.
 	Elapsed time.Duration
-	// Decision echoes how the operation was placed.
+	// Decision echoes how the operation was placed. After a failover the
+	// alternative's Server is the one actually adopted.
 	Decision Decision
+	// Failovers records transparent recoveries performed mid-operation;
+	// empty when execution went as decided.
+	Failovers []FailoverEvent
+	// Degraded is true when recovery left the decided plan (a remote
+	// component executed on the client); such executions are not fed to
+	// the demand models.
+	Degraded bool
 }
 
 // End signals operation completion (end_fidelity_op): measurement stops,
 // the demand models absorb the observation, and the usage log persists it.
+// End is idempotent: calling it again — or after Abort — returns an error
+// without side effects.
 func (x *OpContext) End() (Report, error) {
+	if x.aborted {
+		return Report{}, errAborted
+	}
 	if x.ended {
 		return Report{}, errEnded
 	}
@@ -116,43 +162,52 @@ func (x *OpContext) End() (Report, error) {
 	usage := x.client.monitors.StopOp(x.id)
 	usage.Elapsed = x.client.runtime.Now().Sub(x.simStart)
 
-	obs := observedUsage{
-		localMegacycles:  usage.LocalMegacycles,
-		remoteMegacycles: usage.RemoteMegacycles,
-		netBytes:         float64(usage.BytesSent + usage.BytesReceived),
-		rpcs:             float64(usage.RPCs),
-		energyJoules:     usage.EnergyJoules,
-		energyValid:      usage.EnergyValid,
-		files:            usage.Files,
-	}
-	features, discrete := x.op.modelQuery(x.decision.Alternative, x.params)
-	rec := predict.Record{
-		Params:   features,
-		Discrete: discrete,
-		Data:     x.data,
-	}
-	records := x.op.models.observe(rec, x.phases, obs)
-	for _, r := range records {
-		if err := x.client.usageLog.Append(x.op.Name(), r); err != nil {
-			return Report{}, fmt.Errorf("core: persist usage: %w", err)
+	// Degraded executions (failover left the decided plan) are not
+	// representative of the alternative's cost; withhold them from the
+	// demand models and the persistent log.
+	if !x.degraded {
+		obs := observedUsage{
+			localMegacycles:  usage.LocalMegacycles,
+			remoteMegacycles: usage.RemoteMegacycles,
+			netBytes:         float64(usage.BytesSent + usage.BytesReceived),
+			rpcs:             float64(usage.RPCs),
+			energyJoules:     usage.EnergyJoules,
+			energyValid:      usage.EnergyValid,
+			files:            usage.Files,
+		}
+		features, discrete := x.op.modelQuery(x.decision.Alternative, x.params)
+		rec := predict.Record{
+			Params:   features,
+			Discrete: discrete,
+			Data:     x.data,
+		}
+		records := x.op.models.observe(rec, x.phases, obs)
+		for _, r := range records {
+			if err := x.client.usageLog.Append(x.op.Name(), r); err != nil {
+				return Report{}, fmt.Errorf("core: persist usage: %w", err)
+			}
 		}
 	}
 
 	return Report{
-		Usage:    usage,
-		Elapsed:  usage.Elapsed,
-		Decision: x.decision,
+		Usage:     usage,
+		Elapsed:   usage.Elapsed,
+		Decision:  x.decision,
+		Failovers: append([]FailoverEvent(nil), x.failovers...),
+		Degraded:  x.degraded,
 	}, nil
 }
 
 // Abort ends observation without feeding the models, for callers that hit
-// execution errors mid-operation.
+// execution errors mid-operation. Abort is fully idempotent: calling it
+// twice, after End, or on an operation that never started is a no-op.
 func (x *OpContext) Abort() {
 	if x.ended {
 		return
 	}
 	x.ended = true
-	if x.started {
+	x.aborted = true
+	if x.started && x.client != nil {
 		x.client.monitors.StopOp(x.id)
 	}
 }

@@ -22,13 +22,22 @@ type ParallelCall struct {
 	Payload []byte
 }
 
+// parallelResult is one branch's outcome: output or error, plus the usage
+// actually incurred (partial on failure).
+type parallelResult struct {
+	out []byte
+	rep callReport
+	err error
+}
+
 // ParallelRuntime is implemented by runtimes that support parallel remote
 // execution. Both SimRuntime and NetRuntime do.
 type ParallelRuntime interface {
-	// ParallelRemote executes the calls concurrently and returns their
-	// outputs, per-branch usage reports (phases zeroed), and the combined
-	// phase usage of the overlapped execution.
-	ParallelRemote(service string, calls []ParallelCall) ([][]byte, []callReport, phaseUsage, error)
+	// ParallelRemote executes the calls concurrently and returns per-branch
+	// results (outputs or errors, with per-branch usage reports whose phases
+	// are zeroed) and the combined phase usage of the overlapped execution.
+	// One failed branch does not abort the others.
+	ParallelRemote(service string, calls []ParallelCall) ([]parallelResult, phaseUsage)
 }
 
 var (
@@ -42,7 +51,11 @@ var errNoParallel = errors.New("core: runtime does not support parallel executio
 // DoParallelOps executes several remote operations concurrently,
 // implementing the paper's proposed parallel execution plans. Outputs are
 // returned in call order. Resource usage is accounted per branch; the
-// operation's wall-clock advances by the slowest branch only.
+// operation's wall-clock advances by the slowest branch only. A branch
+// that fails transiently — its server died or its link partitioned
+// mid-phase — does not fail the phase: the surviving branches' results are
+// kept and the failed branch is re-executed through the failover ladder
+// (next-best server, then the client itself).
 func (x *OpContext) DoParallelOps(calls []ParallelCall) ([][]byte, error) {
 	if x.ended {
 		return nil, errEnded
@@ -64,15 +77,33 @@ func (x *OpContext) DoParallelOps(calls []ParallelCall) ([][]byte, error) {
 		}
 		resolved[i] = c
 	}
-	outs, reports, combined, err := pr.ParallelRemote(x.op.spec.Service, resolved)
-	for _, rep := range reports {
-		x.account(rep)
+	results, combined := pr.ParallelRemote(x.op.spec.Service, resolved)
+	for _, res := range results {
+		x.account(res.rep)
 	}
 	x.phases.localSeconds += combined.localSeconds
 	x.phases.netSeconds += combined.netSeconds
 	x.phases.idleSeconds += combined.idleSeconds
-	if err != nil {
-		return nil, fmt.Errorf("core: parallel ops: %w", err)
+
+	outs := make([][]byte, len(calls))
+	for i, res := range results {
+		if res.err == nil {
+			outs[i] = res.out
+			x.client.health.RecordSuccess(resolved[i].Server)
+			continue
+		}
+		if x.client.failover.disabled() || !isTransientExec(res.err) {
+			return nil, fmt.Errorf("core: parallel ops: %w", res.err)
+		}
+		x.client.noteRemoteFailure(resolved[i].Server)
+		out, _, degraded, err := x.failRemote(resolved[i].OpType, resolved[i].Payload, resolved[i].Server, res.err)
+		if err != nil {
+			return nil, fmt.Errorf("core: parallel ops: %w", err)
+		}
+		if degraded {
+			x.degraded = true
+		}
+		outs[i] = out
 	}
 	return outs, nil
 }
@@ -81,23 +112,19 @@ func (x *OpContext) DoParallelOps(calls []ParallelCall) ([][]byte, error) {
 // branch executes against a private clock starting at the current instant;
 // the shared clock then advances by the slowest branch. The client's radio
 // serializes the transfers (network power for their sum) and idles for the
-// remainder of the overlapped window.
-func (r *SimRuntime) ParallelRemote(service string, calls []ParallelCall) ([][]byte, []callReport, phaseUsage, error) {
+// remainder of the overlapped window. Failed branches contribute the usage
+// they incurred before failing.
+func (r *SimRuntime) ParallelRemote(service string, calls []ParallelCall) ([]parallelResult, phaseUsage) {
 	start := r.env.Clock().Now()
-	outs := make([][]byte, len(calls))
-	reports := make([]callReport, len(calls))
+	results := make([]parallelResult, len(calls))
 
 	var maxElapsed time.Duration
 	var transferSeconds float64
 	for i, call := range calls {
 		out, rep, elapsed, err := r.parallelBranch(start, service, call)
-		if err != nil {
-			return nil, reports, phaseUsage{}, err
-		}
-		outs[i] = out
 		transferSeconds += rep.phases.netSeconds
 		rep.phases = phaseUsage{} // combined accounting below
-		reports[i] = rep
+		results[i] = parallelResult{out: out, rep: rep, err: err}
 		if elapsed > maxElapsed {
 			maxElapsed = elapsed
 		}
@@ -112,12 +139,13 @@ func (r *SimRuntime) ParallelRemote(service string, calls []ParallelCall) ([][]b
 	r.env.HostAccount().DrainIdle(sim.DurationSeconds(idleSeconds))
 
 	combined := phaseUsage{netSeconds: transferSeconds, idleSeconds: idleSeconds}
-	return outs, reports, combined, nil
+	return results, combined
 }
 
 // parallelBranch runs one branch against a private clock and returns its
 // report (with per-branch phases still populated for transfer accounting)
-// and total elapsed duration.
+// and total elapsed duration. On failure it returns the usage and time the
+// branch consumed before the fault.
 func (r *SimRuntime) parallelBranch(start time.Time, service string, call ParallelCall) ([]byte, callReport, time.Duration, error) {
 	node, link, ok := r.env.Server(call.Server)
 	if !ok {
@@ -141,15 +169,25 @@ func (r *SimRuntime) parallelBranch(start time.Time, service string, call Parall
 	out, err := fn(ctx, call.OpType, call.Payload)
 	svcT := branchClock.Now().Sub(svcStart)
 	usage := ctx.Usage()
+	partial := callReport{
+		bytesSent:        reqBytes,
+		rpcs:             1,
+		remoteMegacycles: usage.Megacycles,
+		phases:           phaseUsage{netSeconds: sim.Seconds(upT)},
+	}
 	if err != nil {
-		return nil, callReport{}, 0, fmt.Errorf("core: remote %s on %q: %w", service, call.Server, err)
+		r.recordTraffic(call.Server, reqBytes, upT)
+		link.RecordTransfer(reqBytes, 0)
+		return nil, partial, upT + svcT, fmt.Errorf("core: remote %s on %q: %w", service, call.Server, err)
 	}
 
 	respBytes := int64(len(out) + msgOverheadBytes)
 	downT, err := link.TransferTime(respBytes)
 	if err != nil {
 		r.setReachable(call.Server, false)
-		return nil, callReport{}, 0, fmt.Errorf("core: receive from %q: %w", call.Server, err)
+		r.recordTraffic(call.Server, reqBytes, upT)
+		link.RecordTransfer(reqBytes, 0)
+		return nil, partial, upT + svcT, fmt.Errorf("core: receive from %q: %w", call.Server, err)
 	}
 
 	elapsed := upT + svcT + downT
@@ -170,12 +208,11 @@ func (r *SimRuntime) parallelBranch(start time.Time, service string, call Parall
 }
 
 // ParallelRemote implements ParallelRuntime for the live runtime: the RPCs
-// genuinely overlap on separate connections.
-func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([][]byte, []callReport, phaseUsage, error) {
+// genuinely overlap on separate connections. A failed branch leaves its
+// error in place without aborting its siblings.
+func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([]parallelResult, phaseUsage) {
 	start := time.Now()
-	outs := make([][]byte, len(calls))
-	reports := make([]callReport, len(calls))
-	errs := make([]error, len(calls))
+	results := make([]parallelResult, len(calls))
 
 	var wg sync.WaitGroup
 	for i := range calls {
@@ -185,16 +222,18 @@ func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([][]b
 			call := calls[i]
 			conn, err := r.parallelConn(call.Server, i)
 			if err != nil {
-				errs[i] = err
+				results[i].err = err
 				return
 			}
 			defer conn.Close()
 			out, usage, err := conn.Call(service, call.OpType, call.Payload)
 			if err != nil {
-				errs[i] = fmt.Errorf("core: remote %s on %q: %w", service, call.Server, err)
+				if !isRemoteAppError(err) {
+					r.setReachable(call.Server, false)
+				}
+				results[i].err = fmt.Errorf("core: remote %s on %q: %w", service, call.Server, err)
 				return
 			}
-			outs[i] = out
 			rep := callReport{
 				bytesSent:     int64(len(call.Payload)) + msgOverheadBytes,
 				bytesReceived: int64(len(out)) + msgOverheadBytes,
@@ -203,20 +242,15 @@ func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([][]b
 			if usage != nil {
 				rep.remoteMegacycles = usage.CPUMegacycles
 			}
-			reports[i] = rep
+			results[i] = parallelResult{out: out, rep: rep}
 		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	for _, err := range errs {
-		if err != nil {
-			return nil, reports, phaseUsage{}, err
-		}
-	}
 	combined := phaseUsage{idleSeconds: elapsed.Seconds()}
 	r.account.DrainIdle(elapsed)
-	return outs, reports, combined, nil
+	return results, combined
 }
 
 // parallelConn opens a dedicated connection for one parallel branch so

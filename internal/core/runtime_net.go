@@ -78,6 +78,13 @@ func (r *NetRuntime) Close() error {
 // Now implements Runtime.
 func (r *NetRuntime) Now() time.Time { return r.clock.Now() }
 
+// HostService reports whether the client node offers the service, which
+// makes local failover possible.
+func (r *NetRuntime) HostService(service string) bool {
+	_, ok := r.host.Service(service)
+	return ok
+}
+
 // LocalCall implements Runtime, identically to the simulation: the service
 // runs on the host node in a metered context.
 func (r *NetRuntime) LocalCall(service, optype string, payload []byte) ([]byte, callReport, error) {

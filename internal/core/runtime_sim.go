@@ -43,6 +43,13 @@ func NewSimRuntime(env *Env, network *monitor.NetworkMonitor) *SimRuntime {
 // Now implements Runtime.
 func (r *SimRuntime) Now() time.Time { return r.env.Clock().Now() }
 
+// HostService reports whether the client node offers the service, which
+// makes local failover possible.
+func (r *SimRuntime) HostService(service string) bool {
+	_, ok := r.env.Host().Service(service)
+	return ok
+}
+
 // LocalCall implements Runtime: the service runs on the host with the
 // host's energy metered as busy/network power.
 func (r *SimRuntime) LocalCall(service, optype string, payload []byte) ([]byte, callReport, error) {

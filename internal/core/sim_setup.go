@@ -43,6 +43,10 @@ type SimOptions struct {
 	Models     ModelOptions
 	Solver     solver.Options
 	Exhaustive bool
+	// Failover and Health tune transparent recovery and server health
+	// tracking; zero values enable both with defaults.
+	Failover FailoverOptions
+	Health   HealthOptions
 }
 
 // SimSetup is an assembled simulated deployment: environment, monitors,
@@ -130,6 +134,8 @@ func NewSimSetup(opts SimOptions) (*SimSetup, error) {
 		Models:      opts.Models,
 		Solver:      opts.Solver,
 		Exhaustive:  opts.Exhaustive,
+		Failover:    opts.Failover,
+		Health:      opts.Health,
 	})
 	if err != nil {
 		return nil, err

@@ -26,15 +26,9 @@ func (c *Client) EvaluateAlternatives(op *Operation, params map[string]float64, 
 	}
 	servers := c.Servers()
 	snap := c.monitors.Snapshot(c.runtime.Now(), servers)
+	c.applyHealth(snap, servers)
 	est := newEstimator(op, snap, params, data, c.cons)
-
-	var fn utility.Function = utility.Default{
-		Latency:    op.spec.LatencyUtility,
-		Importance: func() float64 { return snap.Battery.Importance },
-	}
-	if op.spec.Utility != nil {
-		fn = op.spec.Utility
-	}
+	fn := c.utilityFn(op, snap)
 
 	candidates := op.alternatives(servers)
 	out := make([]ScoredAlternative, 0, len(candidates))

@@ -25,6 +25,14 @@ func (e *RemoteError) Error() string {
 // single TCP connection, matching the paper's sequential execution model.
 // Every exchange is recorded in the traffic log for passive network
 // monitoring.
+//
+// The client is self-healing: when an exchange fails at the transport
+// level — dial failure, timeout, broken or desynchronized stream — the
+// connection is closed and the next call dials a fresh one, so a single
+// fault never poisons the stream for subsequent exchanges. Idempotent
+// exchanges (Ping, Status) additionally retry with capped exponential
+// backoff and jitter; Call does not retry, because service operations are
+// not idempotent in general — callers fail over instead.
 type Client struct {
 	mu sync.Mutex
 
@@ -33,24 +41,43 @@ type Client struct {
 	nextID  uint64
 	traffic *TrafficLog
 	timeout time.Duration
+
+	closed  bool
+	redials int
+	retry   RetryPolicy
+	rng     splitMix
+	// sleep is swapped out by tests to observe backoff without waiting.
+	sleep func(time.Duration)
 }
 
 // Dial connects to a Spectra server. The traffic log may be shared with a
-// network monitor; pass nil to create a private one.
+// network monitor; pass nil to create a private one. A failed initial dial
+// is returned as a *TransportError; the returned client is nil and must
+// not be used.
 func Dial(addr string, traffic *TrafficLog) (*Client, error) {
+	c := NewClient(addr, traffic)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(); err != nil {
+		return nil, err
+	}
+	c.redials = 0 // the initial dial is not a redial
+	return c, nil
+}
+
+// NewClient returns a client that dials lazily: the first exchange (and
+// any exchange after a transport fault) establishes the connection.
+func NewClient(addr string, traffic *TrafficLog) *Client {
 	if traffic == nil {
 		traffic = NewTrafficLog()
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
-	}
 	return &Client{
 		addr:    addr,
-		conn:    conn,
 		traffic: traffic,
 		timeout: 30 * time.Second,
-	}, nil
+		rng:     splitMix{state: 0x5eed5eed},
+		sleep:   time.Sleep,
+	}
 }
 
 // SetTimeout sets the per-exchange deadline.
@@ -62,16 +89,31 @@ func (c *Client) SetTimeout(d time.Duration) {
 	}
 }
 
+// SetRetryPolicy tunes automatic retries of idempotent exchanges.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = p
+}
+
 // Addr returns the server address.
 func (c *Client) Addr() string { return c.addr }
 
 // Traffic returns the client's traffic log.
 func (c *Client) Traffic() *TrafficLog { return c.traffic }
 
-// Close shuts the connection down.
+// Redials counts reconnections performed after transport faults.
+func (c *Client) Redials() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redials
+}
+
+// Close shuts the connection down. A closed client never redials.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}
@@ -81,7 +123,9 @@ func (c *Client) Close() error {
 }
 
 // Call invokes a service operation and returns the response payload and
-// the server's usage report.
+// the server's usage report. Transport failures are returned as
+// *TransportError without retrying: service operations are not idempotent,
+// so recovery (retry or failover) is the caller's decision.
 func (c *Client) Call(service, optype string, payload []byte) ([]byte, *wire.UsageReport, error) {
 	reply, err := c.exchange(&wire.Message{
 		Type:    wire.MsgRequest,
@@ -98,9 +142,12 @@ func (c *Client) Call(service, optype string, payload []byte) ([]byte, *wire.Usa
 	return reply.Payload, reply.Usage, nil
 }
 
-// Status fetches the server's resource snapshot.
+// Status fetches the server's resource snapshot, retrying transient
+// transport faults per the retry policy (the exchange is idempotent).
 func (c *Client) Status() (*wire.ServerStatus, error) {
-	reply, err := c.exchange(&wire.Message{Type: wire.MsgStatus})
+	reply, err := c.exchangeRetry(func() *wire.Message {
+		return &wire.Message{Type: wire.MsgStatus}
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -110,46 +157,96 @@ func (c *Client) Status() (*wire.ServerStatus, error) {
 	return reply.Status, nil
 }
 
-// Ping performs a minimal round trip, seeding the latency estimate.
+// Ping performs a minimal round trip, seeding the latency estimate. Like
+// Status it is idempotent and retries transient faults.
 func (c *Client) Ping() (time.Duration, error) {
 	start := time.Now()
-	if _, err := c.exchange(&wire.Message{Type: wire.MsgPing}); err != nil {
+	if _, err := c.exchangeRetry(func() *wire.Message {
+		return &wire.Message{Type: wire.MsgPing}
+	}); err != nil {
 		return 0, err
 	}
 	return time.Since(start), nil
 }
 
+// exchangeRetry performs an idempotent exchange, retrying transient
+// transport faults with capped exponential backoff and jitter. msg is a
+// constructor because each attempt needs a fresh message (IDs are
+// assigned per attempt).
+func (c *Client) exchangeRetry(msg func() *wire.Message) (*wire.Message, error) {
+	c.mu.Lock()
+	policy := c.retry
+	c.mu.Unlock()
+	attempts := policy.attempts()
+
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.mu.Lock()
+			d := policy.delay(i-1, &c.rng)
+			sleep := c.sleep
+			c.mu.Unlock()
+			sleep(d)
+		}
+		reply, err := c.exchange(msg())
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		if !IsTransient(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
 // exchange sends one message and reads the matching reply, recording the
-// traffic observation.
+// traffic observation. Any transport fault closes the connection — after a
+// timeout or partial read/write the stream is desynchronized and replies
+// would no longer line up with requests — so the next exchange redials.
 func (c *Client) exchange(msg *wire.Message) (*wire.Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	if c.conn == nil {
-		return nil, errors.New("rpc: client closed")
+	if err := c.ensureConnLocked(); err != nil {
+		return nil, err
 	}
 	c.nextID++
 	msg.ID = c.nextID
 
 	if c.timeout > 0 {
 		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, fmt.Errorf("rpc: set deadline: %w", err)
+			c.breakConnLocked()
+			return nil, &TransportError{Op: "deadline", Addr: c.addr, Err: err}
 		}
 	}
 
 	start := time.Now()
 	sent, err := wire.WriteMessage(c.conn, msg)
 	if err != nil {
-		return nil, err
+		c.breakConnLocked()
+		return nil, &TransportError{Op: "write", Addr: c.addr, Err: err}
 	}
 	for {
 		reply, received, err := wire.ReadMessage(c.conn)
 		if err != nil {
-			return nil, err
+			c.breakConnLocked()
+			return nil, &TransportError{Op: "read", Addr: c.addr, Err: err}
+		}
+		if reply.ID < msg.ID {
+			// Stale reply from an abandoned exchange on this connection;
+			// skip it and keep reading.
+			continue
 		}
 		if reply.ID != msg.ID {
-			// Stale reply from an abandoned exchange; skip it.
-			continue
+			// A reply from the future means the stream is desynchronized;
+			// nothing read from it can be trusted.
+			c.breakConnLocked()
+			return nil, &TransportError{
+				Op:   "desync",
+				Addr: c.addr,
+				Err:  fmt.Errorf("reply id %d for request %d", reply.ID, msg.ID),
+			}
 		}
 		c.traffic.Record(TrafficObservation{
 			Bytes:   int64(sent + received),
@@ -157,5 +254,32 @@ func (c *Client) exchange(msg *wire.Message) (*wire.Message, error) {
 			When:    time.Now(),
 		})
 		return reply, nil
+	}
+}
+
+// ensureConnLocked dials if no healthy connection exists. The caller holds
+// c.mu.
+func (c *Client) ensureConnLocked() error {
+	if c.closed {
+		return errors.New("rpc: client closed")
+	}
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return &TransportError{Op: "dial", Addr: c.addr, Err: err}
+	}
+	c.conn = conn
+	c.redials++
+	return nil
+}
+
+// breakConnLocked discards a poisoned connection so the next exchange
+// redials instead of reading garbage frames. The caller holds c.mu.
+func (c *Client) breakConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
 	}
 }

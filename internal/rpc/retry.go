@@ -1,0 +1,127 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// TransportError marks a transport-level failure of an exchange: the
+// connection could not be established, broke mid-exchange, timed out, or
+// the stream desynchronized. Transport errors are transient — the client
+// closes the offending connection and redials on the next call — and a
+// caller may safely retry idempotent exchanges or fail the work over to a
+// different server. Contrast RemoteError, which reports that the exchange
+// completed and the remote application itself failed.
+type TransportError struct {
+	// Op names the failing stage ("dial", "write", "read", "desync").
+	Op string
+	// Addr is the server address.
+	Addr string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("rpc: transport %s %s: %v", e.Op, e.Addr, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// IsTransient reports whether an RPC failure is worth retrying or failing
+// over: transport faults are, remote application errors are not.
+func IsTransient(err error) bool {
+	var terr *TransportError
+	return errors.As(err, &terr)
+}
+
+// IsRemote reports whether an RPC failure is a remote application error —
+// the exchange itself succeeded and the service returned a failure, so a
+// retry on the same or a different server would fail identically.
+func IsRemote(err error) bool {
+	var rerr *RemoteError
+	return errors.As(err, &rerr)
+}
+
+// RetryPolicy bounds automatic retries of idempotent exchanges (Ping and
+// Status). Each retry waits BaseDelay·Multiplier^n, capped at MaxDelay,
+// with a deterministic jitter fraction subtracted so synchronized clients
+// do not retry in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries; 0 selects 3. 1 disables
+	// retrying.
+	MaxAttempts int
+	// BaseDelay is the wait before the first retry; 0 selects 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth; 0 selects 2s.
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor; 0 selects 2.
+	Multiplier float64
+	// JitterFraction in [0,1) randomly shrinks each delay by up to that
+	// fraction; 0 selects 0.2. Negative disables jitter.
+	JitterFraction float64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts <= 0 {
+		return 3
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the backoff before retry number n (0-based), drawing
+// jitter from the supplied generator.
+func (p RetryPolicy) delay(n int, rng *splitMix) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	mult := p.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 0; i < n; i++ {
+		d *= mult
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	jitter := p.JitterFraction
+	if jitter == 0 {
+		jitter = 0.2
+	}
+	if jitter > 0 && rng != nil {
+		if jitter >= 1 {
+			jitter = 0.99
+		}
+		d *= 1 - jitter*rng.float64()
+	}
+	return time.Duration(d)
+}
+
+// splitMix is a tiny deterministic generator (SplitMix64) for retry
+// jitter, so behavior does not depend on math/rand ordering.
+type splitMix struct{ state uint64 }
+
+func (r *splitMix) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitMix) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}

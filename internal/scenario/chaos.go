@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"spectra/internal/apps/janus"
+	"spectra/internal/apps/pangloss"
+	"spectra/internal/core"
+	"spectra/internal/simnet"
+	"spectra/internal/testbed"
+	"spectra/internal/workload"
+)
+
+// ChaosOptions tunes a chaos soak: a trained workload driven while the
+// fault injectors perturb every client-server link. The soak's contract is
+// the paper's promise under failure — applications delegate placement and
+// never see transient infrastructure faults.
+type ChaosOptions struct {
+	// Seed drives both the workload and the fault injectors; runs with the
+	// same seed replay the same faults. 0 selects a fixed default.
+	Seed uint64
+	// DropRate is the probability that any one transfer is dropped
+	// (injected transient RPC fault). Default 0.2 — the acceptance bar.
+	DropRate float64
+	// SpikeRate and SpikeLatency add congestion bursts to transfers.
+	SpikeRate    float64
+	SpikeLatency time.Duration
+	// Ops is how many application operations the soak drives after
+	// training; 0 selects 120.
+	Ops int
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Seed == 0 {
+		o.Seed = 0xc4a05
+	}
+	if o.DropRate == 0 {
+		o.DropRate = 0.2
+	}
+	if o.Ops == 0 {
+		o.Ops = 120
+	}
+	return o
+}
+
+// ChaosResult summarizes a chaos soak. Every operation completed — a soak
+// that observes an application-visible error returns that error instead of
+// a result.
+type ChaosResult struct {
+	// Ops is how many operations ran under injected faults.
+	Ops int
+	// Failovers counts transparent recoveries across all operations.
+	Failovers int
+	// Degraded counts operations that fell back to client-local execution.
+	Degraded int
+	// InjectedDrops is how many transfers the injectors actually dropped.
+	InjectedDrops int64
+	// BaselineMean and ChaosMean are the mean operation latencies without
+	// and with injected faults.
+	BaselineMean time.Duration
+	ChaosMean    time.Duration
+	// ServerReadopted reports whether the server killed mid-soak was
+	// quarantined and then re-adopted after its link healed (laptop soak
+	// only; true trivially otherwise).
+	ServerReadopted bool
+}
+
+// Inflation is the latency ratio chaos/baseline.
+func (r ChaosResult) Inflation() float64 {
+	if r.BaselineMean <= 0 {
+		return 0
+	}
+	return float64(r.ChaosMean) / float64(r.BaselineMean)
+}
+
+// RunSpeechChaos soaks the speech testbed: Janus recognitions with the
+// serial link dropping DropRate of all transfers. With a single compute
+// server, every absorbed fault degrades to local execution — the ladder's
+// terminal rung.
+func RunSpeechChaos(opts ChaosOptions) (ChaosResult, error) {
+	opts = opts.withDefaults()
+	tb, err := testbed.NewSpeech(testbed.Options{})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	app, err := janus.Install(tb.Setup)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	tb.Setup.Refresh()
+	for _, length := range workload.Utterances(1, 5) {
+		for _, alt := range speechAlternatives() {
+			if _, err := app.RecognizeForced(alt, length); err != nil {
+				return ChaosResult{}, fmt.Errorf("training: %w", err)
+			}
+		}
+	}
+
+	lengths := workload.Utterances(opts.Seed, 2*opts.Ops)
+	res := ChaosResult{Ops: opts.Ops, ServerReadopted: true}
+
+	// Baseline: the same workload prefix, no faults.
+	var baseline time.Duration
+	for _, length := range lengths[:opts.Ops] {
+		rep, err := app.Recognize(length)
+		if err != nil {
+			return ChaosResult{}, fmt.Errorf("baseline op: %w", err)
+		}
+		baseline += rep.Elapsed
+	}
+	res.BaselineMean = baseline / time.Duration(opts.Ops)
+
+	inj := simnet.NewFaultInjector(simnet.FaultConfig{
+		Seed:         opts.Seed,
+		DropRate:     opts.DropRate,
+		SpikeRate:    opts.SpikeRate,
+		SpikeLatency: opts.SpikeLatency,
+	})
+	tb.Serial.SetFaultInjector(inj)
+
+	var chaos time.Duration
+	for i, length := range lengths[opts.Ops:] {
+		if i%20 == 10 {
+			tb.Setup.Refresh()
+		}
+		rep, err := app.Recognize(length)
+		if err != nil {
+			return ChaosResult{}, fmt.Errorf("chaos op %d: %w", i, err)
+		}
+		chaos += rep.Elapsed
+		res.Failovers += len(rep.Failovers)
+		if rep.Degraded {
+			res.Degraded++
+		}
+	}
+	res.ChaosMean = chaos / time.Duration(opts.Ops)
+	res.InjectedDrops = inj.Drops()
+	return res, nil
+}
+
+// RunLaptopChaos soaks the laptop testbed: Pangloss translations with both
+// wireless compute links dropping DropRate of all transfers, plus a
+// scripted kill of serverB mid-soak. It verifies the full recovery story:
+// faults are absorbed (by re-planning onto the surviving server or the
+// client), the killed server is quarantined, and once its link heals and
+// the quarantine elapses it is re-adopted.
+func RunLaptopChaos(opts ChaosOptions) (ChaosResult, error) {
+	opts = opts.withDefaults()
+	tb, err := testbed.NewLaptop(testbed.Options{
+		Health: core.HealthOptions{FailureThreshold: 3, Quarantine: 30 * time.Second},
+	})
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	app, err := pangloss.Install(tb.Setup)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	tb.Setup.Refresh()
+	for _, alt := range pangloss.AllAlternatives(tb.Setup.Client.Servers()) {
+		if _, err := app.TranslateForced(alt, 10); err != nil {
+			return ChaosResult{}, fmt.Errorf("training: %w", err)
+		}
+	}
+
+	sentences := workload.Sentences(opts.Seed+1, 2*opts.Ops, 40)
+	res := ChaosResult{Ops: opts.Ops}
+
+	var baseline time.Duration
+	for _, words := range sentences[:opts.Ops] {
+		rep, err := app.Translate(words)
+		if err != nil {
+			return ChaosResult{}, fmt.Errorf("baseline op: %w", err)
+		}
+		baseline += rep.Elapsed
+	}
+	res.BaselineMean = baseline / time.Duration(opts.Ops)
+
+	mkInj := func(seed uint64) *simnet.FaultInjector {
+		return simnet.NewFaultInjector(simnet.FaultConfig{
+			Seed:         seed,
+			DropRate:     opts.DropRate,
+			SpikeRate:    opts.SpikeRate,
+			SpikeLatency: opts.SpikeLatency,
+		})
+	}
+	injA, injB := mkInj(opts.Seed), mkInj(opts.Seed+1)
+	tb.WirelessA.SetFaultInjector(injA)
+	tb.WirelessB.SetFaultInjector(injB)
+
+	// Kill serverB a third of the way in; heal it at two thirds, scaling
+	// the window to the workload's own (virtual) duration. The flap
+	// schedule is evaluated against the virtual clock, so the outage hits
+	// whatever transfer is in flight when the clock passes it — including
+	// mid-operation.
+	injB.SetClock(tb.Setup.Clock.Now)
+	soakDur := time.Duration(opts.Ops) * res.BaselineMean
+	killAt := tb.Setup.Clock.Now().Add(soakDur / 3)
+	healAt := tb.Setup.Clock.Now().Add(2 * soakDur / 3)
+	injB.Schedule([]simnet.FlapEvent{
+		{At: killAt, Down: true},
+		{At: healAt, Down: false},
+	})
+
+	var chaos time.Duration
+	for i, words := range sentences[opts.Ops:] {
+		if i%20 == 10 {
+			tb.Setup.Refresh()
+		}
+		rep, err := app.Translate(words)
+		if err != nil {
+			return ChaosResult{}, fmt.Errorf("chaos op %d: %w", i, err)
+		}
+		chaos += rep.Elapsed
+		res.Failovers += len(rep.Failovers)
+		if rep.Degraded {
+			res.Degraded++
+		}
+	}
+	res.ChaosMean = chaos / time.Duration(opts.Ops)
+	res.InjectedDrops = injA.Drops() + injB.Drops()
+
+	// Re-adoption: the fault storm ends, the heal event is consumed, any
+	// remaining quarantine elapses, and the next poll must bring serverB
+	// back into the decision space.
+	if now := tb.Setup.Clock.Now(); now.Before(healAt) {
+		tb.Setup.Clock.Advance(healAt.Sub(now) + time.Second)
+	}
+	tb.WirelessB.TransferTime(1) // consume the heal flap event
+	tb.WirelessA.SetFaultInjector(nil)
+	tb.WirelessB.SetFaultInjector(nil)
+	tb.Setup.Clock.Advance(31 * time.Second)
+	tb.Setup.Refresh()
+	health := tb.Setup.Client.Health()
+	res.ServerReadopted = health.State("serverB") == core.HealthClosed
+	return res, nil
+}

@@ -1,0 +1,57 @@
+package scenario
+
+import "testing"
+
+// TestChaosSpeechZeroVisibleErrors is the acceptance soak for the speech
+// testbed: 20% of all serial-link transfers are dropped, yet every
+// recognition must complete (RunSpeechChaos returns an error on the first
+// application-visible failure) with bounded latency inflation.
+func TestChaosSpeechZeroVisibleErrors(t *testing.T) {
+	res, err := RunSpeechChaos(ChaosOptions{})
+	if err != nil {
+		t.Fatalf("chaos soak surfaced an error: %v", err)
+	}
+	if res.InjectedDrops == 0 {
+		t.Fatal("injector dropped nothing — the soak tested nothing")
+	}
+	if res.Failovers == 0 {
+		t.Fatal("no transparent recoveries recorded under 20% drops")
+	}
+	// Local execution on the Itsy runs 3-9x slower than remote on the T20,
+	// so degraded recoveries legitimately stretch the mean; 6x bounds it.
+	if infl := res.Inflation(); infl > 6 {
+		t.Fatalf("latency inflation = %.2fx (baseline %v, chaos %v)",
+			infl, res.BaselineMean, res.ChaosMean)
+	}
+	t.Logf("speech chaos: %d ops, %d drops, %d failovers (%d degraded), inflation %.2fx",
+		res.Ops, res.InjectedDrops, res.Failovers, res.Degraded, res.Inflation())
+}
+
+// TestChaosLaptopKillAndReadopt is the acceptance soak for the laptop
+// testbed: both wireless links drop 20% of transfers, serverB is killed
+// mid-soak and healed later. Every translation must complete, the dead
+// server must be routed around, and after healing it must rejoin the
+// decision space.
+func TestChaosLaptopKillAndReadopt(t *testing.T) {
+	res, err := RunLaptopChaos(ChaosOptions{})
+	if err != nil {
+		t.Fatalf("chaos soak surfaced an error: %v", err)
+	}
+	if res.InjectedDrops == 0 {
+		t.Fatal("injectors dropped nothing — the soak tested nothing")
+	}
+	if res.Failovers == 0 {
+		t.Fatal("no transparent recoveries recorded under 20% drops + kill")
+	}
+	if !res.ServerReadopted {
+		t.Fatal("serverB was not re-adopted after its link healed")
+	}
+	// The surviving server keeps remote plans viable, so inflation stays
+	// moderate even with a third of the soak under a dead serverB.
+	if infl := res.Inflation(); infl > 6 {
+		t.Fatalf("latency inflation = %.2fx (baseline %v, chaos %v)",
+			infl, res.BaselineMean, res.ChaosMean)
+	}
+	t.Logf("laptop chaos: %d ops, %d drops, %d failovers (%d degraded), inflation %.2fx, readopted=%v",
+		res.Ops, res.InjectedDrops, res.Failovers, res.Degraded, res.Inflation(), res.ServerReadopted)
+}

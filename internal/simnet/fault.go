@@ -1,0 +1,152 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrInjectedFault is the cause of a transfer dropped by a FaultInjector.
+// Spectra classifies it as transient: the same call may succeed on another
+// placement or on retry.
+var ErrInjectedFault = errors.New("simnet: injected fault")
+
+// FaultConfig tunes a link's fault injector. The zero value injects
+// nothing.
+type FaultConfig struct {
+	// Seed initializes the deterministic RNG; 0 selects a fixed default so
+	// identical configurations replay identical fault sequences.
+	Seed uint64
+	// DropRate is the probability in [0,1] that a transfer fails with
+	// ErrInjectedFault.
+	DropRate float64
+	// SpikeRate is the probability in [0,1] that a transfer incurs
+	// SpikeLatency of extra delay (a congestion burst).
+	SpikeRate float64
+	// SpikeLatency is the extra one-way delay added to spiked transfers.
+	SpikeLatency time.Duration
+}
+
+// FlapEvent is one step of a scripted link outage: at time At the link
+// goes down (Down=true) or heals (Down=false).
+type FlapEvent struct {
+	At   time.Time
+	Down bool
+}
+
+// FaultInjector perturbs a link's transfers deterministically: probabilistic
+// drops, latency spikes, and scripted partition flaps. All randomness comes
+// from a SplitMix64 stream seeded at construction, so a simulation with the
+// same seed observes the same faults at the same transfers — failures are
+// reproducible, which is what makes the chaos scenarios assertable.
+type FaultInjector struct {
+	mu sync.Mutex
+
+	cfg   FaultConfig
+	state uint64
+
+	// now supplies the (virtual) current time for evaluating the flap
+	// schedule; nil disables scripted flaps.
+	now   func() time.Time
+	flaps []FlapEvent
+	// flapIdx is the first schedule entry not yet consumed.
+	flapIdx int
+
+	drops  int64
+	spikes int64
+}
+
+// NewFaultInjector builds an injector from the configuration.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x9e3779b97f4a7c15
+	}
+	return &FaultInjector{cfg: cfg, state: cfg.Seed}
+}
+
+// SetClock supplies the time source used to evaluate the flap schedule —
+// the simulation's virtual clock.
+func (f *FaultInjector) SetClock(now func() time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = now
+}
+
+// Schedule installs a scripted flap sequence, replacing any previous one.
+// Events are applied in time order as the clock passes them.
+func (f *FaultInjector) Schedule(events []FlapEvent) {
+	sorted := append([]FlapEvent(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At.Before(sorted[j].At) })
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flaps = sorted
+	f.flapIdx = 0
+}
+
+// Drops returns how many transfers the injector has dropped.
+func (f *FaultInjector) Drops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.drops
+}
+
+// Spikes returns how many transfers the injector has delayed.
+func (f *FaultInjector) Spikes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.spikes
+}
+
+// flapState consumes all schedule entries at or before the current time and
+// returns the partition state the link should adopt. ok is false when no
+// entry has newly fired.
+func (f *FaultInjector) flapState() (down, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.now == nil || f.flapIdx >= len(f.flaps) {
+		return false, false
+	}
+	now := f.now()
+	for f.flapIdx < len(f.flaps) && !f.flaps[f.flapIdx].At.After(now) {
+		down = f.flaps[f.flapIdx].Down
+		ok = true
+		f.flapIdx++
+	}
+	return down, ok
+}
+
+// perturb decides one transfer's fate: dropped, spiked, or untouched.
+func (f *FaultInjector) perturb() (extra time.Duration, drop bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.DropRate > 0 && f.float64Locked() < f.cfg.DropRate {
+		f.drops++
+		return 0, true
+	}
+	if f.cfg.SpikeRate > 0 && f.float64Locked() < f.cfg.SpikeRate {
+		f.spikes++
+		return f.cfg.SpikeLatency, false
+	}
+	return 0, false
+}
+
+// nextLocked advances the SplitMix64 stream.
+func (f *FaultInjector) nextLocked() uint64 {
+	f.state += 0x9e3779b97f4a7c15
+	z := f.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64Locked returns a uniform sample in [0,1).
+func (f *FaultInjector) float64Locked() float64 {
+	return float64(f.nextLocked()>>11) / float64(1<<53)
+}
+
+// dropError wraps ErrInjectedFault with the link's name.
+func dropError(link string) error {
+	return fmt.Errorf("simnet: drop on %q: %w", link, ErrInjectedFault)
+}

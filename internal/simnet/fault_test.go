@@ -1,0 +1,131 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func testLink() *Link {
+	return NewLink(LinkConfig{Name: "test", Latency: time.Millisecond, BandwidthBps: 1_000_000})
+}
+
+// TestFaultInjectorDeterministicDrops verifies that two injectors with the
+// same seed drop exactly the same transfers — failure sequences replay.
+func TestFaultInjectorDeterministicDrops(t *testing.T) {
+	run := func() []bool {
+		l := testLink()
+		l.SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 42, DropRate: 0.3}))
+		pattern := make([]bool, 200)
+		for i := range pattern {
+			_, err := l.TransferTime(1000)
+			pattern[i] = err != nil
+			if err != nil && !errors.Is(err, ErrInjectedFault) {
+				t.Fatalf("drop error = %v, want ErrInjectedFault", err)
+			}
+		}
+		return pattern
+	}
+	a, b := run(), run()
+	drops := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequences diverge at transfer %d", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	// 30% of 200 = 60 expected; allow a generous band.
+	if drops < 30 || drops > 100 {
+		t.Fatalf("drops = %d out of 200 at rate 0.3", drops)
+	}
+
+	// A different seed produces a different sequence.
+	l := testLink()
+	l.SetFaultInjector(NewFaultInjector(FaultConfig{Seed: 7, DropRate: 0.3}))
+	same := true
+	for i := range a {
+		_, err := l.TransferTime(1000)
+		if (err != nil) != a[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// TestFaultInjectorSpikes verifies latency spikes stretch transfers without
+// failing them, and that counters account both fault kinds.
+func TestFaultInjectorSpikes(t *testing.T) {
+	l := testLink()
+	base, err := l.TransferTime(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewFaultInjector(FaultConfig{Seed: 9, SpikeRate: 1.0, SpikeLatency: 250 * time.Millisecond})
+	l.SetFaultInjector(inj)
+	spiked, err := l.TransferTime(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spiked != base+250*time.Millisecond {
+		t.Fatalf("spiked transfer = %v, want %v", spiked, base+250*time.Millisecond)
+	}
+	if inj.Spikes() != 1 || inj.Drops() != 0 {
+		t.Fatalf("counters = %d spikes / %d drops", inj.Spikes(), inj.Drops())
+	}
+
+	inj2 := NewFaultInjector(FaultConfig{Seed: 9, DropRate: 1.0})
+	l.SetFaultInjector(inj2)
+	if _, err := l.TransferTime(1000); !errors.Is(err, ErrInjectedFault) {
+		t.Fatalf("err = %v, want ErrInjectedFault", err)
+	}
+	if inj2.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", inj2.Drops())
+	}
+}
+
+// TestFaultInjectorFlapSchedule scripts an outage window: the link
+// partitions when the clock passes the down event and heals at the up
+// event, without any manual SetPartitioned calls.
+func TestFaultInjectorFlapSchedule(t *testing.T) {
+	epoch := time.Date(2002, 7, 1, 0, 0, 0, 0, time.UTC)
+	now := epoch
+	inj := NewFaultInjector(FaultConfig{})
+	inj.SetClock(func() time.Time { return now })
+	inj.Schedule([]FlapEvent{
+		{At: epoch.Add(10 * time.Second), Down: true},
+		{At: epoch.Add(20 * time.Second), Down: false},
+	})
+	l := testLink()
+	l.SetFaultInjector(inj)
+
+	if _, err := l.TransferTime(1000); err != nil {
+		t.Fatalf("before the outage: %v", err)
+	}
+	now = epoch.Add(11 * time.Second)
+	if _, err := l.TransferTime(1000); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("inside the outage: %v, want ErrPartitioned", err)
+	}
+	// Still down until the heal event fires.
+	now = epoch.Add(19 * time.Second)
+	if _, err := l.TransferTime(1000); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("still inside the outage: %v, want ErrPartitioned", err)
+	}
+	now = epoch.Add(21 * time.Second)
+	if _, err := l.TransferTime(1000); err != nil {
+		t.Fatalf("after the heal: %v", err)
+	}
+
+	// A clock jump across both events lands on the final state.
+	inj.Schedule([]FlapEvent{
+		{At: epoch.Add(30 * time.Second), Down: true},
+		{At: epoch.Add(40 * time.Second), Down: false},
+	})
+	now = epoch.Add(50 * time.Second)
+	if _, err := l.TransferTime(1000); err != nil {
+		t.Fatalf("after jumping past down+up: %v", err)
+	}
+}

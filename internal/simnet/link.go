@@ -33,6 +33,9 @@ type Link struct {
 	// partitioned marks the link as down.
 	partitioned bool
 
+	// faults perturbs transfers when non-nil (chaos testing).
+	faults *FaultInjector
+
 	// bytesSent/bytesReceived account traffic crossing the link.
 	bytesSent     int64
 	bytesReceived int64
@@ -171,17 +174,48 @@ func (l *Link) Partitioned() bool {
 	return l.partitioned
 }
 
+// SetFaultInjector attaches (or with nil detaches) a fault injector; every
+// subsequent transfer consults it for drops, latency spikes, and scripted
+// partition flaps.
+func (l *Link) SetFaultInjector(f *FaultInjector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.faults = f
+}
+
+// Faults returns the attached fault injector, or nil.
+func (l *Link) Faults() *FaultInjector {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.faults
+}
+
 // TransferTime returns how long moving n bytes one way takes, including
-// one propagation delay. It returns ErrPartitioned if the link is down.
+// one propagation delay. It returns ErrPartitioned if the link is down and
+// ErrInjectedFault when an attached fault injector drops the transfer.
 func (l *Link) TransferTime(n int64) (time.Duration, error) {
+	f := l.Faults()
+	if f != nil {
+		if down, ok := f.flapState(); ok {
+			l.SetPartitioned(down)
+		}
+	}
 	if l.Partitioned() {
 		return 0, ErrPartitioned
 	}
 	if n < 0 {
 		n = 0
 	}
+	var extra time.Duration
+	if f != nil {
+		ex, drop := f.perturb()
+		if drop {
+			return 0, dropError(l.name)
+		}
+		extra = ex
+	}
 	bw := l.EffectiveBandwidthBps()
-	return l.Latency() + sim.DurationSeconds(float64(n)/bw), nil
+	return l.Latency() + extra + sim.DurationSeconds(float64(n)/bw), nil
 }
 
 // RoundTripTime returns the duration of a request/response exchange that

@@ -38,6 +38,10 @@ type Options struct {
 	Solver solver.Options
 	// Exhaustive replaces the heuristic solver with the oracle.
 	Exhaustive bool
+	// Failover and Health tune transparent recovery and server health
+	// tracking; zero values enable both with defaults.
+	Failover core.FailoverOptions
+	Health   core.HealthOptions
 }
 
 // Speech is the assembled speech-recognition testbed.
@@ -77,6 +81,8 @@ func NewSpeech(opts Options) (*Speech, error) {
 		Models:      opts.Models,
 		Solver:      opts.Solver,
 		Exhaustive:  opts.Exhaustive,
+		Failover:    opts.Failover,
+		Health:      opts.Health,
 	})
 	if err != nil {
 		return nil, err
@@ -143,6 +149,8 @@ func NewLaptop(opts Options) (*Laptop, error) {
 		Models:      opts.Models,
 		Solver:      opts.Solver,
 		Exhaustive:  opts.Exhaustive,
+		Failover:    opts.Failover,
+		Health:      opts.Health,
 	})
 	if err != nil {
 		return nil, err

@@ -34,6 +34,7 @@ import (
 	"spectra/internal/energy"
 	"spectra/internal/monitor"
 	"spectra/internal/predict"
+	"spectra/internal/rpc"
 	"spectra/internal/sim"
 	"spectra/internal/simnet"
 	"spectra/internal/solver"
@@ -94,6 +95,45 @@ type (
 	// future-work extension).
 	ParallelCall = core.ParallelCall
 )
+
+// Fault tolerance: transparent failover, server health tracking, and fault
+// injection for chaos testing.
+type (
+	// FailoverOptions tunes transparent recovery of failed remote calls
+	// (next-best server, then local fallback); the zero value enables it.
+	FailoverOptions = core.FailoverOptions
+	// FailoverEvent records one transparent recovery, reported in Report.
+	FailoverEvent = core.FailoverEvent
+	// HealthOptions tunes the per-server circuit breaker; the zero value
+	// enables it.
+	HealthOptions = core.HealthOptions
+	// HealthTracker is the per-server health state machine, reachable via
+	// Client.Health.
+	HealthTracker = core.HealthTracker
+	// HealthState is a server's breaker state.
+	HealthState = core.HealthState
+	// RetryPolicy tunes RPC-level retry with exponential backoff for
+	// idempotent exchanges.
+	RetryPolicy = rpc.RetryPolicy
+	// FaultInjector perturbs a simulated link deterministically: drops,
+	// latency spikes, scripted flaps.
+	FaultInjector = simnet.FaultInjector
+	// FaultConfig configures a FaultInjector.
+	FaultConfig = simnet.FaultConfig
+	// FlapEvent is one step of a scripted link outage.
+	FlapEvent = simnet.FlapEvent
+)
+
+// Server health states: closed (healthy), open (quarantined after repeated
+// failures), half-open (probing after quarantine).
+const (
+	HealthClosed   = core.HealthClosed
+	HealthOpen     = core.HealthOpen
+	HealthHalfOpen = core.HealthHalfOpen
+)
+
+// NewFaultInjector builds a deterministic link fault injector.
+var NewFaultInjector = simnet.NewFaultInjector
 
 // NewAnnounceRegistry returns a discovery registry whose announcements
 // live for ttl.
