@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"spectra/internal/monitor"
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 	"spectra/internal/solver"
 	"spectra/internal/utility"
@@ -44,6 +45,10 @@ type Config struct {
 	// Health tunes the per-server circuit breaker feeding server
 	// availability into the decision space; the zero value enables it.
 	Health HealthOptions
+	// Obs enables observability: metrics, decision traces, and
+	// predictor-accuracy accounting. Nil disables all of it at the cost of
+	// one nil test per event.
+	Obs *obs.Observer
 }
 
 // Registry discovers Spectra servers at runtime. The paper designed for a
@@ -79,6 +84,8 @@ type Client struct {
 	failover   FailoverOptions
 	health     *HealthTracker
 
+	hooks obsHooks
+
 	ops    map[string]*Operation
 	nextID uint64
 }
@@ -91,7 +98,7 @@ func NewClient(cfg Config) (*Client, error) {
 	if cfg.Monitors == nil {
 		return nil, errors.New("core: config needs Monitors")
 	}
-	return &Client{
+	c := &Client{
 		runtime:    cfg.Runtime,
 		monitors:   cfg.Monitors,
 		network:    cfg.Network,
@@ -104,8 +111,17 @@ func NewClient(cfg Config) (*Client, error) {
 		exhaustive: cfg.Exhaustive,
 		failover:   cfg.Failover,
 		health:     NewHealthTracker(cfg.Health),
+		hooks:      newObsHooks(cfg.Obs),
 		ops:        make(map[string]*Operation),
-	}, nil
+	}
+	if cfg.Obs != nil && cfg.Obs.Registry != nil {
+		c.health.OnTransition = c.hooks.healthTransition(
+			cfg.Obs.Registry.Counter(obs.MHealthOpened),
+			cfg.Obs.Registry.Counter(obs.MHealthClosed),
+		)
+		c.modelOpts.Metrics = cfg.Obs.Registry
+	}
+	return c, nil
 }
 
 // Servers returns the current candidate server list: static configuration
@@ -158,6 +174,10 @@ func (c *Client) Health() *HealthTracker { return c.health }
 // as the half-open probe: success re-adopts the server, failure renews
 // the quarantine.
 func (c *Client) PollServers() {
+	var start time.Time
+	if c.hooks.pollSeconds != nil {
+		start = time.Now()
+	}
 	for _, server := range c.Servers() {
 		if !c.health.Usable(server, c.runtime.Now()) {
 			c.monitors.UpdatePreds(server, nil)
@@ -165,12 +185,17 @@ func (c *Client) PollServers() {
 		}
 		status, err := c.runtime.PollServer(server)
 		if err != nil {
+			c.hooks.pollErrors.Inc()
 			c.health.RecordFailure(server, c.runtime.Now())
 			c.monitors.UpdatePreds(server, nil)
 			continue
 		}
 		c.health.RecordSuccess(server)
 		c.monitors.UpdatePreds(server, status)
+	}
+	c.hooks.pollCycles.Inc()
+	if c.hooks.pollSeconds != nil {
+		c.hooks.pollSeconds.Observe(time.Since(start).Seconds())
 	}
 }
 
@@ -207,6 +232,7 @@ func (c *Client) RegisterFidelity(spec OperationSpec) (*Operation, error) {
 		client:         c,
 		spec:           spec,
 		models:         newOpModels(spec.modelFeatureNames(), c.modelOpts, spec.Predictors),
+		acc:            c.hooks.o.AccuracyFor(spec.Name),
 		fidelityCombos: fidelityCombos(spec.allFidelityDimensions()),
 	}
 	if err := c.usageLog.Replay(spec.Name, op.models.replay); err != nil {
@@ -278,6 +304,7 @@ func (c *Client) BeginForced(op *Operation, alt solver.Alternative, params map[s
 
 func (c *Client) begin(op *Operation, params map[string]float64, data string, forced *solver.Alternative) (*OpContext, error) {
 	wallStart := time.Now()
+	c.hooks.opBegin.Inc()
 	if !op.spec.UsesData {
 		data = ""
 	}
@@ -292,14 +319,54 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 		return fn.Utility(est.Predict(alt))
 	}
 
+	// With a trace sink attached, the evaluator additionally records every
+	// distinct alternative it scores, with the per-resource demand behind
+	// each prediction. traceSeen dedups by identity key: the solver may
+	// revisit an alternative across restarts (its own cache dedups real
+	// evaluations, but forced runs and fallback scans bypass it).
 	var (
-		decision Decision
-		chooseT  time.Duration
+		tr        *obs.DecisionTrace
+		traceSeen map[string]int
+	)
+	if c.hooks.o.TraceOn() {
+		tr = &obs.DecisionTrace{
+			Operation: op.Name(),
+			Begin:     c.runtime.Now(),
+			Forced:    forced != nil,
+			Snapshot:  summarizeSnapshot(snap, servers),
+		}
+		traceSeen = make(map[string]int)
+		eval = func(alt solver.Alternative) float64 {
+			pred, dem := est.PredictDetail(alt)
+			u := fn.Utility(pred)
+			if _, ok := traceSeen[alt.Key()]; !ok {
+				traceSeen[alt.Key()] = len(tr.Evaluated)
+				tr.Evaluated = append(tr.Evaluated, obs.EvaluatedAlternative{
+					Server:        alt.Server,
+					Plan:          alt.Plan,
+					Fidelity:      alt.Fidelity,
+					Demand:        dem,
+					FidelityValue: pred.Fidelity,
+					Utility:       u,
+					Feasible:      pred.Feasible,
+				})
+			}
+			return u
+		}
+	}
+
+	var (
+		decision  Decision
+		chooseT   time.Duration
+		demand    obs.ResourceDemand
+		demandSet bool
 	)
 	if forced != nil {
+		c.hooks.opForced.Inc()
+		pred, dem := est.PredictDetail(*forced)
 		decision = Decision{
 			Alternative: *forced,
-			Predicted:   est.Predict(*forced),
+			Predicted:   pred,
 			Utility:     eval(*forced),
 			Forced:      true,
 			Candidates:  1,
@@ -307,6 +374,7 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 		if !decision.Predicted.Feasible {
 			return nil, fmt.Errorf("%w: forced %s", errNoAlternative, forced.Key())
 		}
+		demand, demandSet = dem, true
 	} else {
 		candidates := op.alternatives(servers)
 		if len(candidates) == 0 {
@@ -328,24 +396,47 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 				return nil, errNoAlternative
 			}
 		}
+		c.hooks.solverEvals.Add(int64(res.Evaluations))
+		c.hooks.solverRestarts.Add(int64(res.Restarts))
+		c.hooks.candidates.Observe(float64(len(candidates)))
+		pred, dem := est.PredictDetail(res.Best)
 		decision = Decision{
 			Alternative: res.Best,
-			Predicted:   est.Predict(res.Best),
+			Predicted:   pred,
 			Utility:     res.Utility,
 			Evaluations: res.Evaluations,
 			Candidates:  len(candidates),
 		}
+		demand, demandSet = dem, true
+		if tr != nil {
+			tr.Candidates = len(candidates)
+			tr.Evaluations = res.Evaluations
+			tr.Restarts = res.Restarts
+			c.oracleRank(tr, traceSeen, candidates)
+		}
 	}
 
 	octx := &OpContext{
-		client:    c,
-		op:        op,
-		id:        c.allocOpID(),
-		decision:  decision,
-		params:    params,
-		data:      data,
-		simStart:  c.runtime.Now(),
-		wallStart: wallStart,
+		client:     c,
+		op:         op,
+		id:         c.allocOpID(),
+		decision:   decision,
+		params:     params,
+		data:       data,
+		simStart:   c.runtime.Now(),
+		wallStart:  wallStart,
+		trace:      tr,
+		predDemand: demand,
+		predValid:  demandSet,
+	}
+	if tr != nil {
+		tr.OpID = octx.id
+		if tr.Candidates == 0 {
+			tr.Candidates = decision.Candidates
+		}
+		if i, ok := traceSeen[decision.Alternative.Key()]; ok {
+			tr.Chosen = tr.Evaluated[i]
+		}
 	}
 
 	// Data consistency: before executing remotely, reintegrate dirty
@@ -379,7 +470,42 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 		Other:          total - filePredT - choosing,
 		Total:          total,
 	}
+	if tr != nil {
+		tr.ReintegratedBytes = octx.decision.ReintegratedBytes
+	}
+	c.hooks.beginSeconds.Observe(total.Seconds())
 	return octx, nil
+}
+
+// oracleRank computes the Figure-8 metric when the exhaustive oracle
+// decides with tracing on: the percentile rank the heuristic solver's
+// choice would have achieved among all candidates. The oracle has already
+// evaluated (and the trace recorded) every candidate, so the heuristic is
+// replayed against those memoized utilities at zero additional model cost.
+func (c *Client) oracleRank(tr *obs.DecisionTrace, seen map[string]int, candidates []solver.Alternative) {
+	if !c.exhaustive || len(tr.Evaluated) == 0 {
+		return
+	}
+	memo := func(a solver.Alternative) float64 {
+		if i, ok := seen[a.Key()]; ok {
+			return tr.Evaluated[i].Utility
+		}
+		return -1
+	}
+	h := solver.Heuristic(candidates, memo, c.solverOpts)
+	if !h.Found {
+		return
+	}
+	better := 0
+	for _, ev := range tr.Evaluated {
+		if ev.Utility > h.Utility {
+			better++
+		}
+	}
+	pct := 100 * float64(len(tr.Evaluated)-better) / float64(len(tr.Evaluated))
+	tr.OracleRan = true
+	tr.HeuristicRankPct = pct
+	c.hooks.rankPct.Observe(pct)
 }
 
 // utilityFn returns the operation's utility function over the snapshot.

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"spectra/internal/monitor"
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 	"spectra/internal/sim"
 	"spectra/internal/solver"
@@ -118,12 +119,21 @@ func (e *estimator) reintegration(key string) ([]string, int64) {
 
 // Predict evaluates one alternative.
 func (e *estimator) Predict(alt solver.Alternative) utility.Prediction {
+	pred, _ := e.PredictDetail(alt)
+	return pred
+}
+
+// PredictDetail evaluates one alternative and additionally returns the
+// per-resource demand breakdown behind the prediction, recorded in decision
+// traces and compared against actual usage at End. For infeasible
+// alternatives both values are zero.
+func (e *estimator) PredictDetail(alt solver.Alternative) (utility.Prediction, obs.ResourceDemand) {
 	plan, ok := e.op.planSpec(alt.Plan)
 	if !ok {
-		return utility.Prediction{}
+		return utility.Prediction{}, obs.ResourceDemand{}
 	}
 	if plan.UsesServer && !e.snap.ServerUsable(alt.Server, e.op.spec.Service) {
-		return utility.Prediction{}
+		return utility.Prediction{}, obs.ResourceDemand{}
 	}
 
 	features, discrete := e.op.modelQuery(alt, e.params)
@@ -148,7 +158,7 @@ func (e *estimator) Predict(alt solver.Alternative) utility.Prediction {
 	if plan.UsesServer {
 		cpu := e.snap.RemoteCPU[alt.Server]
 		if !cpu.Known || cpu.AvailMHz <= 0 {
-			return utility.Prediction{}
+			return utility.Prediction{}, obs.ResourceDemand{}
 		}
 		if remoteMc > 0 {
 			tRemote = remoteMc / cpu.AvailMHz
@@ -203,12 +213,25 @@ func (e *estimator) Predict(alt solver.Alternative) utility.Prediction {
 		energy = 0
 	}
 
+	dem := obs.ResourceDemand{
+		LocalMegacycles: localMc,
+		LatencySeconds:  total,
+		EnergyJoules:    energy,
+	}
+	if plan.UsesServer {
+		// Remote resources are demanded only by plans that use a server;
+		// for local plans the raw model outputs are not part of the
+		// prediction and would distort the per-resource error accounting.
+		dem.RemoteMegacycles = remoteMc
+		dem.NetBytes = bytes
+		dem.RPCs = rpcs
+	}
 	return utility.Prediction{
 		Latency:      sim.DurationSeconds(total),
 		EnergyJoules: energy,
 		Fidelity:     e.op.fidelityValue(alt.Fidelity),
 		Feasible:     true,
-	}
+	}, dem
 }
 
 // missSeconds estimates time to service cache misses: expected uncached

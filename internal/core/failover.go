@@ -168,7 +168,8 @@ func (x *OpContext) failRemote(optype string, payload []byte, failed string, cau
 	return nil, "", false, fmt.Errorf("core: do_remote_op %q on %q: %w", optype, failed, cause)
 }
 
-// recordFailover appends a failover event to the operation's report.
+// recordFailover appends a failover event to the operation's report and
+// counts it in the metrics registry.
 func (x *OpContext) recordFailover(optype, from, to string, cause error) {
 	msg := ""
 	if cause != nil {
@@ -180,4 +181,8 @@ func (x *OpContext) recordFailover(optype, from, to string, cause error) {
 		To:     to,
 		Cause:  msg,
 	})
+	x.client.hooks.failoverEvents.Inc()
+	if to == "" {
+		x.client.hooks.failoverLocal.Inc()
+	}
 }

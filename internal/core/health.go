@@ -75,6 +75,12 @@ type HealthTracker struct {
 
 	opts    HealthOptions
 	servers map[string]*serverHealth
+
+	// OnTransition, when non-nil, is called after every state change with
+	// the server name and both states. It runs under the tracker's lock:
+	// keep it fast and never call back into the tracker. Set it before the
+	// tracker is shared across goroutines.
+	OnTransition func(server string, from, to HealthState)
 }
 
 type serverHealth struct {
@@ -106,8 +112,12 @@ func (h *HealthTracker) RecordSuccess(server string) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	sh := h.get(server)
+	from := sh.state
 	sh.state = HealthClosed
 	sh.failures = 0
+	if from != HealthClosed && h.OnTransition != nil {
+		h.OnTransition(server, from, HealthClosed)
+	}
 }
 
 // RecordFailure notes a failed exchange at the given instant. Reaching the
@@ -122,8 +132,12 @@ func (h *HealthTracker) RecordFailure(server string, now time.Time) {
 	sh := h.get(server)
 	sh.failures++
 	if sh.state == HealthHalfOpen || sh.failures >= h.opts.threshold() {
+		from := sh.state
 		sh.state = HealthOpen
 		sh.openedAt = now
+		if from != HealthOpen && h.OnTransition != nil {
+			h.OnTransition(server, from, HealthOpen)
+		}
 	}
 }
 
@@ -145,6 +159,9 @@ func (h *HealthTracker) Usable(server string, now time.Time) bool {
 	case HealthOpen:
 		if now.Sub(sh.openedAt) >= h.opts.quarantine() {
 			sh.state = HealthHalfOpen
+			if h.OnTransition != nil {
+				h.OnTransition(server, HealthOpen, HealthHalfOpen)
+			}
 			return true
 		}
 		return false

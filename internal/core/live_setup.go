@@ -6,6 +6,7 @@ import (
 	"spectra/internal/coda"
 	"spectra/internal/energy"
 	"spectra/internal/monitor"
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 	"spectra/internal/sim"
 	"spectra/internal/solver"
@@ -28,6 +29,9 @@ type LiveOptions struct {
 	// tracking; zero values enable both with defaults.
 	Failover FailoverOptions
 	Health   HealthOptions
+	// Obs enables metrics, decision traces, and prediction-accuracy
+	// accounting; nil disables observability.
+	Obs *obs.Observer
 }
 
 // LiveSetup is an assembled live deployment: the host node, the TCP
@@ -96,6 +100,11 @@ func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) {
 		names = append(names, name)
 	}
 
+	if opts.Obs != nil {
+		monitors.SetMetrics(opts.Obs.Registry)
+		runtime.SetMetrics(opts.Obs.Registry)
+	}
+
 	client, err := NewClient(Config{
 		Runtime:     runtime,
 		Monitors:    monitors,
@@ -108,6 +117,7 @@ func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) {
 		Exhaustive:  opts.Exhaustive,
 		Failover:    opts.Failover,
 		Health:      opts.Health,
+		Obs:         opts.Obs,
 	})
 	if err != nil {
 		return nil, err

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 )
 
@@ -58,6 +59,9 @@ type ModelOptions struct {
 	// file may be accessed (likelihood 1), removing selective
 	// reintegration and cache-miss estimation.
 	DisableFilePrediction bool
+	// Metrics, when non-nil, receives model-selection hit counters from
+	// the default numeric predictors. NewClient fills it from Config.Obs.
+	Metrics *obs.Registry
 }
 
 // opModels bundles every demand model for one operation: the four numeric
@@ -140,6 +144,7 @@ func newOpModels(params []string, opts ModelOptions, custom *CustomPredictors) *
 			Decay:         opts.Decay,
 			DataCacheSize: size,
 			DisableParams: opts.DisableParams,
+			Metrics:       opts.Metrics,
 		})
 	}
 	if custom == nil {

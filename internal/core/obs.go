@@ -1,0 +1,103 @@
+package core
+
+import (
+	"time"
+
+	"spectra/internal/monitor"
+	"spectra/internal/obs"
+)
+
+// obsHooks holds pre-resolved metric handles so the client's hot path never
+// touches the registry map. All handles are nil when no observer is
+// configured; nil handles are no-ops, so call sites need no guards and the
+// disabled path costs a single nil test per event.
+type obsHooks struct {
+	o *obs.Observer
+
+	opBegin, opEnd, opAbort, opForced, opDegraded *obs.Counter
+	solverEvals, solverRestarts                   *obs.Counter
+	failoverEvents, failoverLocal                 *obs.Counter
+	pollCycles, pollErrors                        *obs.Counter
+
+	beginSeconds, pollSeconds *obs.Histogram
+	rankPct, candidates       *obs.Histogram
+}
+
+func newObsHooks(o *obs.Observer) obsHooks {
+	h := obsHooks{o: o}
+	if o == nil || o.Registry == nil {
+		return h
+	}
+	r := o.Registry
+	obs.RegisterCoreMetrics(r)
+	h.opBegin = r.Counter(obs.MOpBegin)
+	h.opEnd = r.Counter(obs.MOpEnd)
+	h.opAbort = r.Counter(obs.MOpAbort)
+	h.opForced = r.Counter(obs.MOpForced)
+	h.opDegraded = r.Counter(obs.MOpDegraded)
+	h.solverEvals = r.Counter(obs.MSolverEvaluations)
+	h.solverRestarts = r.Counter(obs.MSolverRestarts)
+	h.failoverEvents = r.Counter(obs.MFailoverEvents)
+	h.failoverLocal = r.Counter(obs.MFailoverLocal)
+	h.pollCycles = r.Counter(obs.MPollCycles)
+	h.pollErrors = r.Counter(obs.MPollErrors)
+	h.beginSeconds = r.Histogram(obs.MBeginSeconds, obs.DefaultLatencyBuckets)
+	h.pollSeconds = r.Histogram(obs.MPollSeconds, obs.DefaultLatencyBuckets)
+	h.rankPct = r.Histogram(obs.MSolverRankPct, obs.DefaultPercentBuckets)
+	h.candidates = r.Histogram(obs.MSolverCandidates, obs.DefaultCountBuckets)
+	return h
+}
+
+// healthTransition feeds circuit-breaker state changes into the registry.
+// Installed as HealthTracker.OnTransition, so it runs under the tracker's
+// lock — counter increments are lock-free atomics, which keeps that safe.
+func (h obsHooks) healthTransition(opened, closed *obs.Counter) func(string, HealthState, HealthState) {
+	return func(_ string, from, to HealthState) {
+		switch {
+		case to == HealthOpen && from != HealthOpen:
+			opened.Inc()
+		case to == HealthClosed && from != HealthClosed:
+			closed.Inc()
+		}
+	}
+}
+
+// summarizeSnapshot reduces a monitor snapshot to the plain values recorded
+// in a decision trace.
+func summarizeSnapshot(snap *monitor.Snapshot, servers []string) obs.SnapshotSummary {
+	sum := obs.SnapshotSummary{
+		When:              snap.When,
+		LocalCPUAvailMHz:  snap.LocalCPU.AvailMHz,
+		LocalLoadFraction: snap.LocalCPU.LoadFraction,
+		BatteryJoules:     snap.Battery.RemainingJoules,
+		EnergyImportance:  snap.Battery.Importance,
+		OnWallPower:       snap.Battery.OnWallPower,
+	}
+	if len(servers) > 0 {
+		sum.Servers = make(map[string]obs.ServerAvail, len(servers))
+		for _, s := range servers {
+			net := snap.Network[s]
+			cpu := snap.RemoteCPU[s]
+			sum.Servers[s] = obs.ServerAvail{
+				Reachable:    net.Reachable,
+				CPUAvailMHz:  cpu.AvailMHz,
+				BandwidthBps: net.BandwidthBps,
+				LatencyMs:    float64(net.Latency) / float64(time.Millisecond),
+			}
+		}
+	}
+	return sum
+}
+
+// traceFailovers converts the op context's failover events into trace
+// records.
+func traceFailovers(events []FailoverEvent) []obs.FailoverRecord {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make([]obs.FailoverRecord, len(events))
+	for i, e := range events {
+		out[i] = obs.FailoverRecord{OpType: e.OpType, From: e.From, To: e.To, Cause: e.Cause}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"spectra/internal/obs"
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+)
+
+// newBenchSetup is newToySetup for benchmarks, with an optional observer.
+func newBenchSetup(b *testing.B, o *obs.Observer) (*SimSetup, *Operation) {
+	b.Helper()
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    100,
+		Power:       sim.PowerModel{IdleW: 1, BusyW: 10, NetW: 2},
+		OnWallPower: true,
+		Battery:     sim.NewBattery(50_000),
+	})
+	server := sim.NewMachine(sim.MachineConfig{
+		Name:        "big",
+		SpeedMHz:    1000,
+		Power:       sim.PowerModel{IdleW: 10, BusyW: 50, NetW: 12},
+		OnWallPower: true,
+	})
+	link := simnet.NewLink(simnet.LinkConfig{
+		Name:         "lan",
+		Latency:      time.Millisecond,
+		BandwidthBps: 1_000_000,
+	})
+	setup, err := NewSimSetup(SimOptions{
+		Host:    host,
+		Servers: []SimServer{{Name: "big", Machine: server, Link: link}},
+		Obs:     o,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	work := func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(sim.ComputeDemand{IntegerMegacycles: 50})
+		return []byte("ok"), nil
+	}
+	setup.Env.Host().RegisterService("toy", work)
+	node, _, _ := setup.Env.Server("big")
+	node.RegisterService("toy", work)
+
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	setup.Refresh()
+	// One warm-up op so the models have data and the solver takes its
+	// steady-state path.
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := octx.DoLocalOp("run", []byte("x")); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := octx.End(); err != nil {
+		b.Fatal(err)
+	}
+	return setup, op
+}
+
+// benchBeginEnd measures the full Begin + DoLocalOp + End decision path.
+func benchBeginEnd(b *testing.B, o *obs.Observer) {
+	setup, op := newBenchSetup(b, o)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := octx.DoLocalOp("run", nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := octx.End(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBeginEndNoObserver is the baseline: no observability at all.
+func BenchmarkBeginEndNoObserver(b *testing.B) {
+	benchBeginEnd(b, nil)
+}
+
+// BenchmarkBeginEndMetricsOnly attaches an Observer with metrics and
+// accuracy accounting but no trace sink — the acceptance criterion is that
+// this stays within 2% of the baseline.
+func BenchmarkBeginEndMetricsOnly(b *testing.B) {
+	benchBeginEnd(b, obs.NewObserver())
+}
+
+// BenchmarkBeginEndTracing additionally constructs a full decision trace
+// per operation (bounded in-memory sink).
+func BenchmarkBeginEndTracing(b *testing.B) {
+	o := obs.NewObserver()
+	o.Sink = obs.NewMemorySink(128)
+	benchBeginEnd(b, o)
+}

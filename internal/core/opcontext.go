@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"spectra/internal/monitor"
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 )
 
@@ -33,6 +34,14 @@ type OpContext struct {
 	// and are therefore withheld from the demand models.
 	failovers []FailoverEvent
 	degraded  bool
+
+	// trace, when non-nil, accumulates the decision trace emitted at End
+	// or Abort. predDemand is the chosen alternative's per-resource
+	// predicted demand (valid when predValid), kept even without a sink so
+	// prediction-error accounting works metrics-only.
+	trace      *obs.DecisionTrace
+	predDemand obs.ResourceDemand
+	predValid  bool
 }
 
 // Decision returns how Spectra chose to execute the operation; the
@@ -166,7 +175,7 @@ func (x *OpContext) End() (Report, error) {
 	// representative of the alternative's cost; withhold them from the
 	// demand models and the persistent log.
 	if !x.degraded {
-		obs := observedUsage{
+		measured := observedUsage{
 			localMegacycles:  usage.LocalMegacycles,
 			remoteMegacycles: usage.RemoteMegacycles,
 			netBytes:         float64(usage.BytesSent + usage.BytesReceived),
@@ -181,13 +190,19 @@ func (x *OpContext) End() (Report, error) {
 			Discrete: discrete,
 			Data:     x.data,
 		}
-		records := x.op.models.observe(rec, x.phases, obs)
+		records := x.op.models.observe(rec, x.phases, measured)
 		for _, r := range records {
 			if err := x.client.usageLog.Append(x.op.Name(), r); err != nil {
 				return Report{}, fmt.Errorf("core: persist usage: %w", err)
 			}
 		}
 	}
+
+	x.client.hooks.opEnd.Inc()
+	if x.degraded {
+		x.client.hooks.opDegraded.Inc()
+	}
+	x.finishObservation(usage)
 
 	return Report{
 		Usage:     usage,
@@ -209,5 +224,79 @@ func (x *OpContext) Abort() {
 	x.aborted = true
 	if x.started && x.client != nil {
 		x.client.monitors.StopOp(x.id)
+	}
+	if x.client != nil {
+		x.client.hooks.opAbort.Inc()
+	}
+	if tr := x.trace; tr != nil && x.client != nil {
+		tr.End = x.client.runtime.Now()
+		tr.Aborted = true
+		tr.Failovers = traceFailovers(x.failovers)
+		tr.Degraded = x.degraded
+		x.client.hooks.o.Emit(tr)
+	}
+}
+
+// finishObservation completes observability at End: it computes
+// per-resource prediction error from the decision's predicted demand,
+// feeds the accuracy tracker (representative executions only), and emits
+// the decision trace.
+func (x *OpContext) finishObservation(usage monitor.Usage) {
+	if x.op.acc == nil && x.trace == nil {
+		return
+	}
+	var errs map[string]float64
+	if x.predValid {
+		// A fixed-size list keeps the metrics-only path allocation-free;
+		// the map is built only when a trace wants it.
+		type resErr struct {
+			res string
+			err float64
+		}
+		list := [6]resErr{
+			{obs.ResCPULocal, obs.RelativeError(x.predDemand.LocalMegacycles, usage.LocalMegacycles)},
+			{obs.ResCPURemote, obs.RelativeError(x.predDemand.RemoteMegacycles, usage.RemoteMegacycles)},
+			{obs.ResNetBytes, obs.RelativeError(x.predDemand.NetBytes, float64(usage.BytesSent+usage.BytesReceived))},
+			{obs.ResNetRPCs, obs.RelativeError(x.predDemand.RPCs, float64(usage.RPCs))},
+			{obs.ResLatency, obs.RelativeError(x.predDemand.LatencySeconds, usage.Elapsed.Seconds())},
+		}
+		n := 5
+		if usage.EnergyValid {
+			list[n] = resErr{obs.ResEnergy, obs.RelativeError(x.predDemand.EnergyJoules, usage.EnergyJoules)}
+			n++
+		}
+		// Degraded executions did not run the decided plan; their usage
+		// says nothing about the predictor, so keep them out of the rolling
+		// accuracy (the trace still shows the raw comparison).
+		if !x.degraded {
+			for i := 0; i < n; i++ {
+				x.op.acc.Observe(list[i].res, list[i].err)
+			}
+		}
+		if x.trace != nil {
+			errs = make(map[string]float64, n)
+			for i := 0; i < n; i++ {
+				errs[list[i].res] = list[i].err
+			}
+		}
+	}
+
+	if tr := x.trace; tr != nil {
+		tr.End = x.client.runtime.Now()
+		tr.Actual = obs.ResourceUsage{
+			LocalMegacycles:  usage.LocalMegacycles,
+			RemoteMegacycles: usage.RemoteMegacycles,
+			BytesSent:        usage.BytesSent,
+			BytesReceived:    usage.BytesReceived,
+			RPCs:             usage.RPCs,
+			EnergyJoules:     usage.EnergyJoules,
+			EnergyValid:      usage.EnergyValid,
+			ElapsedSeconds:   usage.Elapsed.Seconds(),
+			Files:            len(usage.Files),
+		}
+		tr.PredictionError = errs
+		tr.Failovers = traceFailovers(x.failovers)
+		tr.Degraded = x.degraded
+		x.client.hooks.o.Emit(tr)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"spectra/internal/obs"
 	"spectra/internal/solver"
 	"spectra/internal/utility"
 )
@@ -148,6 +149,9 @@ type Operation struct {
 	client *Client
 	spec   OperationSpec
 	models *opModels
+	// acc feeds per-resource prediction error to the observer; nil (a
+	// no-op handle) when observability is off.
+	acc *obs.OpAccuracy
 
 	fidelityCombos []map[string]string
 	// registerDuration is the wall-clock cost of register_fidelity,

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"spectra/internal/monitor"
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 	"spectra/internal/sim"
 	"spectra/internal/wire"
@@ -34,6 +35,9 @@ type NetRuntime struct {
 
 	addrs map[string]string
 	conns map[string]*spectrarpc.Client
+
+	// metrics, when non-nil, is attached to every dialed RPC client.
+	metrics *obs.Registry
 }
 
 var _ Runtime = (*NetRuntime)(nil)
@@ -59,6 +63,17 @@ func (r *NetRuntime) AddServer(name, addr string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.addrs[name] = addr
+}
+
+// SetMetrics attaches the metrics registry to every current and future RPC
+// connection (retry/redial counts, call latency).
+func (r *NetRuntime) SetMetrics(reg *obs.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = reg
+	for _, c := range r.conns {
+		c.SetMetrics(reg)
+	}
 }
 
 // Close shuts every connection down.
@@ -230,6 +245,9 @@ func (r *NetRuntime) conn(server string) (*spectrarpc.Client, error) {
 	if err != nil {
 		r.setReachableLocked(server, false)
 		return nil, fmt.Errorf("core: dial %q: %w", server, err)
+	}
+	if r.metrics != nil {
+		c.SetMetrics(r.metrics)
 	}
 	r.conns[server] = c
 	r.setReachableLocked(server, true)

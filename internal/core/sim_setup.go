@@ -7,6 +7,7 @@ import (
 	"spectra/internal/coda"
 	"spectra/internal/energy"
 	"spectra/internal/monitor"
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 	"spectra/internal/sim"
 	"spectra/internal/simnet"
@@ -47,6 +48,9 @@ type SimOptions struct {
 	// tracking; zero values enable both with defaults.
 	Failover FailoverOptions
 	Health   HealthOptions
+	// Obs enables metrics, decision traces, and prediction-accuracy
+	// accounting; nil disables observability.
+	Obs *obs.Observer
 }
 
 // SimSetup is an assembled simulated deployment: environment, monitors,
@@ -123,6 +127,10 @@ func NewSimSetup(opts SimOptions) (*SimSetup, error) {
 		}
 	}
 
+	if opts.Obs != nil {
+		monitors.SetMetrics(opts.Obs.Registry)
+	}
+
 	runtime := NewSimRuntime(env, network)
 	client, err := NewClient(Config{
 		Runtime:     runtime,
@@ -136,6 +144,7 @@ func NewSimSetup(opts SimOptions) (*SimSetup, error) {
 		Exhaustive:  opts.Exhaustive,
 		Failover:    opts.Failover,
 		Health:      opts.Health,
+		Obs:         opts.Obs,
 	})
 	if err != nil {
 		return nil, err

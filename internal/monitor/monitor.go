@@ -10,6 +10,7 @@ package monitor
 import (
 	"time"
 
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 	"spectra/internal/wire"
 )
@@ -162,6 +163,14 @@ func (s *Snapshot) ServerUsable(server, service string) bool {
 // servers: an ordered collection of monitors addressed as a unit.
 type Set struct {
 	monitors []Monitor
+	// snapSeconds times Snapshot calls; a nil handle is a no-op.
+	snapSeconds *obs.Histogram
+}
+
+// SetMetrics attaches the metrics registry: every Snapshot records its
+// wall-clock duration. A nil registry detaches.
+func (s *Set) SetMetrics(reg *obs.Registry) {
+	s.snapSeconds = reg.Histogram(obs.MSnapshotSeconds, obs.DefaultLatencyBuckets)
 }
 
 // NewSet returns a framework containing the given monitors.
@@ -179,9 +188,18 @@ func (s *Set) Monitors() []Monitor {
 
 // Snapshot polls every monitor for availability predictions.
 func (s *Set) Snapshot(when time.Time, servers []string) *Snapshot {
+	// Gate the clock reads, not just the observation: Snapshot runs on
+	// every decision, and time.Now is the only cost when metrics are off.
+	var start time.Time
+	if s.snapSeconds != nil {
+		start = time.Now()
+	}
 	snap := NewSnapshot(when)
 	for _, m := range s.monitors {
 		m.PredictAvail(servers, snap)
+	}
+	if s.snapSeconds != nil {
+		s.snapSeconds.Observe(time.Since(start).Seconds())
 	}
 	return snap
 }

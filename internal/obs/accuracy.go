@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultAccuracyDecay is the per-sample exponential decay of the rolling
+// relative-error estimates, matching the demand models' recency weighting.
+const DefaultAccuracyDecay = 0.95
+
+// AccuracyStat is the exported rolling accuracy of one (operation,
+// resource) pair.
+type AccuracyStat struct {
+	// Operation and Resource identify the predictor stream.
+	Operation string `json:"operation"`
+	Resource  string `json:"resource"`
+	// MeanRelativeError is the recency-weighted mean of the symmetric
+	// relative error (see RelativeError), in [0, 1].
+	MeanRelativeError float64 `json:"meanRelativeError"`
+	// Samples counts observations absorbed.
+	Samples int `json:"samples"`
+}
+
+// AccuracyTracker maintains rolling per-operation, per-resource relative
+// prediction-error estimates, fed from decision traces at EndFidelityOp.
+// It is safe for concurrent use.
+type AccuracyTracker struct {
+	mu    sync.Mutex
+	decay float64
+	stats map[string]*accStat // key: op + "\x00" + resource
+}
+
+type accStat struct {
+	op, resource string
+	sum          float64 // decayed error sum
+	weight       float64 // decayed sample count
+	samples      int
+}
+
+// NewAccuracyTracker returns a tracker with an explicit decay in (0,1];
+// out-of-range values select DefaultAccuracyDecay.
+func NewAccuracyTracker(decay float64) *AccuracyTracker {
+	if decay <= 0 || decay > 1 {
+		decay = DefaultAccuracyDecay
+	}
+	return &AccuracyTracker{decay: decay, stats: make(map[string]*accStat)}
+}
+
+// Observe absorbs one relative-error sample for the operation and resource
+// and returns the updated rolling mean.
+func (a *AccuracyTracker) Observe(op, resource string, relErr float64) float64 {
+	return a.observeStat(a.stat(op, resource), relErr)
+}
+
+// stat returns (creating if needed) the cell for one pair. Cells are stable
+// once created, so callers may cache the pointer to skip the key
+// construction and map lookup on later observations.
+func (a *AccuracyTracker) stat(op, resource string) *accStat {
+	if a == nil {
+		return nil
+	}
+	key := op + "\x00" + resource
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, ok := a.stats[key]
+	if !ok {
+		st = &accStat{op: op, resource: resource}
+		a.stats[key] = st
+	}
+	return st
+}
+
+// observeStat folds one sample into a cell under the tracker lock and
+// returns the updated rolling mean.
+func (a *AccuracyTracker) observeStat(st *accStat, relErr float64) float64 {
+	if relErr < 0 {
+		relErr = -relErr
+	}
+	if a == nil || st == nil {
+		return relErr
+	}
+	a.mu.Lock()
+	st.sum = a.decay*st.sum + relErr
+	st.weight = a.decay*st.weight + 1
+	st.samples++
+	mean := st.sum / st.weight
+	a.mu.Unlock()
+	return mean
+}
+
+// RelativeError returns the rolling mean relative error for the operation
+// and resource; ok is false before any observation.
+func (a *AccuracyTracker) RelativeError(op, resource string) (mean float64, samples int, ok bool) {
+	if a == nil {
+		return 0, 0, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st, found := a.stats[op+"\x00"+resource]
+	if !found || st.weight == 0 {
+		return 0, 0, false
+	}
+	return st.sum / st.weight, st.samples, true
+}
+
+// OpAccuracy is a per-operation handle feeding relative-error samples to
+// the tracker and the registry gauges without per-call allocation: the
+// stat cell and gauge for each resource are resolved once and cached, so
+// the End hot path costs one small-map lookup, one lock, and an atomic
+// store per resource. A nil handle is a no-op.
+type OpAccuracy struct {
+	o  *Observer
+	op string
+
+	mu     sync.Mutex
+	stats  map[string]*accStat
+	gauges map[string]*Gauge
+}
+
+// AccuracyFor returns the error-feeding handle for one operation; nil (a
+// no-op handle) when neither accuracy accounting nor metrics are enabled.
+func (o *Observer) AccuracyFor(op string) *OpAccuracy {
+	if o == nil || (o.Accuracy == nil && o.Registry == nil) {
+		return nil
+	}
+	return &OpAccuracy{
+		o:      o,
+		op:     op,
+		stats:  make(map[string]*accStat),
+		gauges: make(map[string]*Gauge),
+	}
+}
+
+// Observe absorbs one relative-error sample for a resource.
+func (h *OpAccuracy) Observe(resource string, relErr float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	st, ok := h.stats[resource]
+	if !ok {
+		st = h.o.Accuracy.stat(h.op, resource)
+		h.stats[resource] = st
+	}
+	g, ok := h.gauges[resource]
+	if !ok {
+		g = h.o.relErrGauge(h.op, resource)
+		h.gauges[resource] = g
+	}
+	h.mu.Unlock()
+	g.Set(h.o.Accuracy.observeStat(st, relErr))
+}
+
+// Snapshot exports every tracked pair, sorted by operation then resource
+// for determinism.
+func (a *AccuracyTracker) Snapshot() []AccuracyStat {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	out := make([]AccuracyStat, 0, len(a.stats))
+	for _, st := range a.stats {
+		mean := 0.0
+		if st.weight > 0 {
+			mean = st.sum / st.weight
+		}
+		out = append(out, AccuracyStat{
+			Operation:         st.op,
+			Resource:          st.resource,
+			MeanRelativeError: mean,
+			Samples:           st.samples,
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Operation != out[j].Operation {
+			return out[i].Operation < out[j].Operation
+		}
+		return out[i].Resource < out[j].Resource
+	})
+	return out
+}

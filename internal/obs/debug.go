@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux returns an HTTP mux exposing the registry and the Go
+// profiler:
+//
+//	/debug/metrics     — registry snapshot as JSON
+//	/debug/accuracy    — predictor-accuracy snapshot as JSON (when acc != nil)
+//	/debug/pprof/...   — the standard net/http/pprof handlers
+//
+// Either argument may be nil; the corresponding routes are simply absent.
+func NewDebugMux(reg *Registry, acc *AccuracyTracker) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/debug/metrics", reg.Handler())
+	}
+	if acc != nil {
+		mux.HandleFunc("/debug/accuracy", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			writeJSON(w, acc.Snapshot())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug endpoint on addr (e.g. "127.0.0.1:0") and
+// returns the bound address and a shutdown function. It is optional: tests
+// and embedded deployments can mount NewDebugMux themselves.
+func ServeDebug(addr string, reg *Registry, acc *AccuracyTracker) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewDebugMux(reg, acc)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestDebugMuxRoutes(t *testing.T) {
+	o := NewObserver()
+	o.Registry.Counter(MOpBegin).Add(3)
+	o.Accuracy.Observe("janus", ResCPULocal, 0.5)
+
+	srv := httptest.NewServer(NewDebugMux(o.Registry, o.Accuracy))
+	defer srv.Close()
+
+	var snap RegistrySnapshot
+	getJSON(t, srv.URL+"/debug/metrics", &snap)
+	if snap.Counters[MOpBegin] != 3 {
+		t.Fatalf("%s = %d, want 3", MOpBegin, snap.Counters[MOpBegin])
+	}
+
+	var acc []AccuracyStat
+	getJSON(t, srv.URL+"/debug/accuracy", &acc)
+	if len(acc) != 1 || acc[0].Operation != "janus" || acc[0].MeanRelativeError != 0.5 {
+		t.Fatalf("accuracy endpoint = %+v", acc)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	addr, closeFn, err := ServeDebug("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	var snap RegistrySnapshot
+	getJSON(t, "http://"+addr+"/debug/metrics", &snap)
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status = %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}

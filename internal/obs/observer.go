@@ -1,0 +1,158 @@
+package obs
+
+import "sync"
+
+// Canonical metric names. Instrumented packages resolve these once and hold
+// the handles, so the hot path never touches the registry map.
+const (
+	// Operation lifecycle.
+	MOpBegin    = "spectra.op.begin.total"
+	MOpEnd      = "spectra.op.end.total"
+	MOpAbort    = "spectra.op.abort.total"
+	MOpForced   = "spectra.op.forced.total"
+	MOpDegraded = "spectra.op.degraded.total"
+	// MBeginSeconds is the wall-clock cost of one begin_fidelity_op.
+	MBeginSeconds = "spectra.op.begin.seconds"
+
+	// Solver.
+	MSolverEvaluations = "spectra.solver.evaluations.total"
+	MSolverRestarts    = "spectra.solver.restarts.total"
+	MSolverCandidates  = "spectra.solver.candidates"
+	// MSolverRankPct ranks the heuristic's choice among all candidates when
+	// the exhaustive oracle runs (100 = the heuristic found the optimum).
+	MSolverRankPct = "spectra.solver.rank.pct"
+
+	// Failover and health.
+	MFailoverEvents = "spectra.failover.events.total"
+	MFailoverLocal  = "spectra.failover.local.total"
+	MHealthOpened   = "spectra.health.opened.total"
+	MHealthClosed   = "spectra.health.closed.total"
+
+	// Server polling (the paper's periodic server database refresh).
+	MPollCycles  = "spectra.poll.cycles.total"
+	MPollErrors  = "spectra.poll.errors.total"
+	MPollSeconds = "spectra.poll.seconds"
+
+	// Monitor framework.
+	MSnapshotSeconds = "spectra.monitor.snapshot.seconds"
+
+	// RPC transport.
+	MRPCRetries     = "spectra.rpc.retries.total"
+	MRPCRedials     = "spectra.rpc.redials.total"
+	MRPCCallSeconds = "spectra.rpc.call.seconds"
+
+	// Demand-predictor model selection (which model answered a query).
+	MPredictHitBin     = "spectra.predict.hits.bin.total"
+	MPredictHitGeneric = "spectra.predict.hits.generic.total"
+	MPredictHitData    = "spectra.predict.hits.data.total"
+	MPredictMiss       = "spectra.predict.miss.total"
+
+	// RelErrPrefix prefixes per-operation, per-resource rolling relative
+	// prediction error gauges: spectra.predict.relerr.<operation>.<resource>.
+	RelErrPrefix = "spectra.predict.relerr."
+)
+
+// Default histogram bucket sets.
+var (
+	// DefaultLatencyBuckets covers microseconds to tens of seconds.
+	DefaultLatencyBuckets = []float64{
+		1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 2.5, 10, 60,
+	}
+	// DefaultCountBuckets covers small cardinalities (candidate-space
+	// sizes, evaluation counts).
+	DefaultCountBuckets = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}
+	// DefaultPercentBuckets covers percentile metrics.
+	DefaultPercentBuckets = []float64{10, 25, 50, 75, 90, 95, 99, 100}
+)
+
+// Observer bundles the three observability facilities Spectra plumbs
+// through its setups: the metrics registry, an optional decision-trace
+// sink, and the predictor-accuracy tracker. A nil *Observer disables
+// everything; a non-nil Observer with a nil Sink keeps metrics and
+// accuracy accounting but skips trace construction entirely.
+type Observer struct {
+	// Registry receives all metrics; nil disables them.
+	Registry *Registry
+	// Sink receives one DecisionTrace per operation; nil disables tracing.
+	Sink TraceSink
+	// Accuracy accumulates rolling prediction error; nil disables it.
+	Accuracy *AccuracyTracker
+
+	// relErrGauges caches the per-(operation, resource) error gauges so the
+	// End hot path skips the registry lock and name concatenation.
+	relErrGauges sync.Map // op + "\x00" + resource -> *Gauge
+}
+
+// NewObserver returns an observer with a fresh registry (core metric names
+// pre-registered so the JSON endpoint lists them at zero) and accuracy
+// tracker, and no trace sink. Attach a sink by setting Sink.
+func NewObserver() *Observer {
+	o := &Observer{
+		Registry: NewRegistry(),
+		Accuracy: NewAccuracyTracker(DefaultAccuracyDecay),
+	}
+	RegisterCoreMetrics(o.Registry)
+	return o
+}
+
+// RegisterCoreMetrics eagerly creates every fixed-name Spectra metric so
+// exports list them (at zero) before the first event.
+func RegisterCoreMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, name := range []string{
+		MOpBegin, MOpEnd, MOpAbort, MOpForced, MOpDegraded,
+		MSolverEvaluations, MSolverRestarts,
+		MFailoverEvents, MFailoverLocal,
+		MHealthOpened, MHealthClosed,
+		MPollCycles, MPollErrors,
+		MRPCRetries, MRPCRedials,
+		MPredictHitBin, MPredictHitGeneric, MPredictHitData, MPredictMiss,
+	} {
+		r.Counter(name)
+	}
+	r.Histogram(MBeginSeconds, DefaultLatencyBuckets)
+	r.Histogram(MSolverCandidates, DefaultCountBuckets)
+	r.Histogram(MSolverRankPct, DefaultPercentBuckets)
+	r.Histogram(MPollSeconds, DefaultLatencyBuckets)
+	r.Histogram(MSnapshotSeconds, DefaultLatencyBuckets)
+	r.Histogram(MRPCCallSeconds, DefaultLatencyBuckets)
+}
+
+// TraceOn reports whether decision traces should be constructed.
+func (o *Observer) TraceOn() bool { return o != nil && o.Sink != nil }
+
+// Emit forwards a completed trace to the sink, if any.
+func (o *Observer) Emit(t *DecisionTrace) {
+	if o != nil && o.Sink != nil {
+		o.Sink.Emit(t)
+	}
+}
+
+// ObservePredictionError feeds one operation's per-resource relative errors
+// into the accuracy tracker and the per-pair registry gauges.
+func (o *Observer) ObservePredictionError(op string, errs map[string]float64) {
+	if o == nil || len(errs) == 0 {
+		return
+	}
+	for res, e := range errs {
+		mean := o.Accuracy.Observe(op, res, e)
+		o.relErrGauge(op, res).Set(mean)
+	}
+}
+
+// relErrGauge returns (caching) the rolling-error gauge for one pair; nil
+// (a no-op handle) when metrics are disabled.
+func (o *Observer) relErrGauge(op, res string) *Gauge {
+	if o.Registry == nil {
+		return nil
+	}
+	key := op + "\x00" + res
+	if g, ok := o.relErrGauges.Load(key); ok {
+		return g.(*Gauge)
+	}
+	g := o.Registry.Gauge(RelErrPrefix + op + "." + res)
+	o.relErrGauges.Store(key, g)
+	return g
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should read 0")
+	}
+	g := r.Gauge("x")
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge should read 0")
+	}
+	h := r.Histogram("x", DefaultLatencyBuckets)
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatal("nil histogram should read 0")
+	}
+	var o *Observer
+	if o.TraceOn() {
+		t.Fatal("nil observer must not trace")
+	}
+	o.Emit(&DecisionTrace{})
+	o.ObservePredictionError("op", map[string]float64{"r": 1})
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 5 {
+		t.Fatalf("count = %d, want 5", snap.Count)
+	}
+	if snap.Sum != 1053.5 {
+		t.Fatalf("sum = %v, want 1053.5", snap.Sum)
+	}
+	// Cumulative: ≤1 → 2 samples, ≤10 → 3, ≤100 → 4; 1000 overflows.
+	want := []uint64{2, 3, 4}
+	for i, b := range snap.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket le=%v count = %d, want %d", b.UpperBound, b.Count, want[i])
+		}
+	}
+}
+
+func TestRegistryJSONEndpoint(t *testing.T) {
+	r := NewRegistry()
+	RegisterCoreMetrics(r)
+	r.Counter(MOpBegin).Add(7)
+	r.Histogram(MBeginSeconds, DefaultLatencyBuckets).Observe(0.002)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var snap RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters[MOpBegin] != 7 {
+		t.Fatalf("%s = %d, want 7", MOpBegin, snap.Counters[MOpBegin])
+	}
+	// Eagerly registered names are present at zero.
+	for _, name := range []string{MSolverEvaluations, MFailoverEvents, MRPCRetries} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Fatalf("counter %s missing from JSON export", name)
+		}
+	}
+	if snap.Histograms[MBeginSeconds].Count != 1 {
+		t.Fatalf("histogram %s count = %d, want 1", MBeginSeconds, snap.Histograms[MBeginSeconds].Count)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", DefaultCountBuckets).Observe(float64(j % 30))
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("shared counter = %d, want 8000", got)
+	}
+}

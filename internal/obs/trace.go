@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Resource names used in demand breakdowns and prediction-error maps. They
+// match the resource names of the demand models and usage logs.
+const (
+	ResCPULocal  = "cpu.local"
+	ResCPURemote = "cpu.remote"
+	ResNetBytes  = "net.bytes"
+	ResNetRPCs   = "net.rpcs"
+	ResLatency   = "latency"
+	ResEnergy    = "energy"
+)
+
+// ResourceDemand is one alternative's predicted per-resource demand: the
+// raw model outputs plus the derived latency and energy predictions.
+type ResourceDemand struct {
+	// LocalMegacycles / RemoteMegacycles are predicted CPU demand.
+	LocalMegacycles  float64 `json:"localMegacycles"`
+	RemoteMegacycles float64 `json:"remoteMegacycles"`
+	// NetBytes is predicted client-server traffic; RPCs predicted exchange
+	// count.
+	NetBytes float64 `json:"netBytes"`
+	RPCs     float64 `json:"rpcs"`
+	// LatencySeconds / EnergyJoules are the derived execution-time and
+	// client-energy predictions.
+	LatencySeconds float64 `json:"latencySeconds"`
+	EnergyJoules   float64 `json:"energyJoules"`
+}
+
+// EvaluatedAlternative records one solver-evaluated point of the decision
+// space with its prediction and utility.
+type EvaluatedAlternative struct {
+	Server   string            `json:"server,omitempty"`
+	Plan     string            `json:"plan"`
+	Fidelity map[string]string `json:"fidelity,omitempty"`
+	// Demand is the per-resource predicted demand.
+	Demand ResourceDemand `json:"demand"`
+	// FidelityValue is the desirability of the fidelity assignment.
+	FidelityValue float64 `json:"fidelityValue"`
+	// Utility is the alternative's score under the operation's utility
+	// function.
+	Utility float64 `json:"utility"`
+	// Feasible is false when the alternative could not execute (server
+	// unreachable, no CPU estimate, ...).
+	Feasible bool `json:"feasible"`
+}
+
+// ServerAvail summarizes one server's availability in a snapshot.
+type ServerAvail struct {
+	Reachable    bool    `json:"reachable"`
+	CPUAvailMHz  float64 `json:"cpuAvailMHz"`
+	BandwidthBps float64 `json:"bandwidthBps"`
+	LatencyMs    float64 `json:"latencyMs"`
+}
+
+// SnapshotSummary is the resource-availability snapshot a decision was made
+// against, reduced to plain values.
+type SnapshotSummary struct {
+	When              time.Time              `json:"when"`
+	LocalCPUAvailMHz  float64                `json:"localCpuAvailMHz"`
+	LocalLoadFraction float64                `json:"localLoadFraction"`
+	BatteryJoules     float64                `json:"batteryJoules"`
+	EnergyImportance  float64                `json:"energyImportance"`
+	OnWallPower       bool                   `json:"onWallPower"`
+	Servers           map[string]ServerAvail `json:"servers,omitempty"`
+}
+
+// ResourceUsage is what an operation actually consumed.
+type ResourceUsage struct {
+	LocalMegacycles  float64 `json:"localMegacycles"`
+	RemoteMegacycles float64 `json:"remoteMegacycles"`
+	BytesSent        int64   `json:"bytesSent"`
+	BytesReceived    int64   `json:"bytesReceived"`
+	RPCs             int     `json:"rpcs"`
+	EnergyJoules     float64 `json:"energyJoules"`
+	EnergyValid      bool    `json:"energyValid"`
+	ElapsedSeconds   float64 `json:"elapsedSeconds"`
+	Files            int     `json:"files"`
+}
+
+// FailoverRecord is one transparent mid-operation recovery.
+type FailoverRecord struct {
+	OpType string `json:"opType"`
+	From   string `json:"from"`
+	// To is the adopted server; "" means local fallback.
+	To    string `json:"to"`
+	Cause string `json:"cause,omitempty"`
+}
+
+// DecisionTrace is the full record of one operation: the snapshot the
+// decision saw, every alternative the solver evaluated, the choice, and —
+// once the operation ends — actual usage, per-resource prediction error,
+// and any failovers. A trace is emitted to the TraceSink exactly once, at
+// End or Abort.
+type DecisionTrace struct {
+	// OpID is the operation instance identifier.
+	OpID uint64 `json:"opId"`
+	// Operation is the registered operation name.
+	Operation string `json:"operation"`
+	// Begin is the decision instant on the runtime clock (virtual time in
+	// simulations).
+	Begin time.Time `json:"begin"`
+	// Forced marks oracle/validation runs where the caller dictated the
+	// alternative.
+	Forced bool `json:"forced,omitempty"`
+	// Candidates is the size of the decision space; Evaluations the number
+	// of utility-function calls the solver spent on it.
+	Candidates  int `json:"candidates"`
+	Evaluations int `json:"evaluations"`
+	// Restarts counts hill-climbing restarts (0 for exhaustive search).
+	Restarts int `json:"restarts,omitempty"`
+	// Snapshot is the resource availability the decision was based on.
+	Snapshot SnapshotSummary `json:"snapshot"`
+	// Evaluated lists every distinct alternative the solver scored.
+	Evaluated []EvaluatedAlternative `json:"evaluated"`
+	// Chosen is the selected alternative (also present in Evaluated).
+	Chosen EvaluatedAlternative `json:"chosen"`
+	// OracleRan marks decisions made by the exhaustive oracle; when set,
+	// HeuristicRankPct is the percentile rank the heuristic solver's choice
+	// would have achieved among all candidates (the Figure 8 metric,
+	// computed from the oracle's cached evaluations at no extra cost).
+	OracleRan        bool    `json:"oracleRan,omitempty"`
+	HeuristicRankPct float64 `json:"heuristicRankPct,omitempty"`
+	// ReintegratedBytes is consistency-enforcement work done before
+	// execution.
+	ReintegratedBytes int64 `json:"reintegratedBytes,omitempty"`
+
+	// End is the completion instant; Aborted marks operations that ended
+	// via Abort (no usage fed to the models, Actual/PredictionError empty).
+	End     time.Time `json:"end"`
+	Aborted bool      `json:"aborted,omitempty"`
+	// Actual is the measured usage; PredictionError maps resource names to
+	// the symmetric relative error |p-a|/max(|p|,|a|) between predicted and
+	// actual (energy present only when the measurement was attributable).
+	Actual          ResourceUsage      `json:"actual"`
+	PredictionError map[string]float64 `json:"predictionError,omitempty"`
+	// Failovers lists transparent recoveries; Degraded marks executions
+	// that left the decided plan.
+	Failovers []FailoverRecord `json:"failovers,omitempty"`
+	Degraded  bool             `json:"degraded,omitempty"`
+}
+
+// TraceSink receives completed decision traces. Emit is called exactly once
+// per operation, at End or Abort, from the goroutine running the operation;
+// implementations must be safe for concurrent use and should return
+// quickly (buffer or drop rather than block the hot path).
+type TraceSink interface {
+	Emit(*DecisionTrace)
+}
+
+// MemorySink is a TraceSink that retains traces in memory, primarily for
+// tests and interactive debugging.
+type MemorySink struct {
+	mu sync.Mutex
+	// cap bounds retention; 0 keeps everything.
+	cap    int
+	traces []*DecisionTrace
+}
+
+// NewMemorySink returns a sink retaining at most capTraces traces (the most
+// recent are kept); capTraces <= 0 retains everything.
+func NewMemorySink(capTraces int) *MemorySink {
+	return &MemorySink{cap: capTraces}
+}
+
+// Emit implements TraceSink.
+func (s *MemorySink) Emit(t *DecisionTrace) {
+	if t == nil {
+		return
+	}
+	s.mu.Lock()
+	s.traces = append(s.traces, t)
+	if s.cap > 0 && len(s.traces) > s.cap {
+		s.traces = append(s.traces[:0], s.traces[len(s.traces)-s.cap:]...)
+	}
+	s.mu.Unlock()
+}
+
+// Traces returns the retained traces, oldest first.
+func (s *MemorySink) Traces() []*DecisionTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*DecisionTrace(nil), s.traces...)
+}
+
+// Len returns the number of retained traces.
+func (s *MemorySink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.traces)
+}
+
+// RelativeError is the symmetric relative error |predicted-actual| divided
+// by max(|predicted|, |actual|): 0 for a perfect prediction, 1 when one
+// side is zero and the other is not, and 0 when both are zero. Bounded in
+// [0, 1] for same-signed values, it is robust to near-zero actuals, which
+// plain relative error is not.
+func RelativeError(predicted, actual float64) float64 {
+	if predicted == actual {
+		return 0
+	}
+	ap, aa := predicted, actual
+	if ap < 0 {
+		ap = -ap
+	}
+	if aa < 0 {
+		aa = -aa
+	}
+	denom := ap
+	if aa > denom {
+		denom = aa
+	}
+	if denom == 0 {
+		return 0
+	}
+	diff := predicted - actual
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff / denom
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct {
+		p, a, want float64
+	}{
+		{0, 0, 0},
+		{10, 10, 0},
+		{10, 0, 1},
+		{0, 10, 1},
+		{5, 10, 0.5},
+		{10, 5, 0.5},
+		{-4, 4, 2}, // opposite signs exceed 1 by design
+	}
+	for _, c := range cases {
+		if got := RelativeError(c.p, c.a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RelativeError(%v, %v) = %v, want %v", c.p, c.a, got, c.want)
+		}
+	}
+}
+
+func TestMemorySinkUnbounded(t *testing.T) {
+	s := NewMemorySink(0)
+	for i := 0; i < 5; i++ {
+		s.Emit(&DecisionTrace{OpID: uint64(i)})
+	}
+	s.Emit(nil) // ignored
+	if s.Len() != 5 {
+		t.Fatalf("len = %d, want 5", s.Len())
+	}
+	traces := s.Traces()
+	if traces[0].OpID != 0 || traces[4].OpID != 4 {
+		t.Fatal("traces not in emission order")
+	}
+}
+
+func TestMemorySinkCapKeepsNewest(t *testing.T) {
+	s := NewMemorySink(3)
+	for i := 0; i < 10; i++ {
+		s.Emit(&DecisionTrace{OpID: uint64(i)})
+	}
+	traces := s.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("len = %d, want 3", len(traces))
+	}
+	for i, want := range []uint64{7, 8, 9} {
+		if traces[i].OpID != want {
+			t.Fatalf("traces[%d].OpID = %d, want %d", i, traces[i].OpID, want)
+		}
+	}
+}
+
+func TestAccuracyTracker(t *testing.T) {
+	a := NewAccuracyTracker(1) // no decay: plain mean
+	a.Observe("speech", ResCPULocal, 0.2)
+	a.Observe("speech", ResCPULocal, 0.4)
+	a.Observe("speech", ResNetBytes, 0.1)
+	mean, n, ok := a.RelativeError("speech", ResCPULocal)
+	if !ok || n != 2 || math.Abs(mean-0.3) > 1e-12 {
+		t.Fatalf("RelativeError = (%v, %d, %v), want (0.3, 2, true)", mean, n, ok)
+	}
+	if _, _, ok := a.RelativeError("speech", ResEnergy); ok {
+		t.Fatal("untracked pair should report ok=false")
+	}
+	snap := a.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(snap))
+	}
+	if snap[0].Resource != ResCPULocal || snap[1].Resource != ResNetBytes {
+		t.Fatal("snapshot not sorted by resource")
+	}
+
+	var nilTracker *AccuracyTracker
+	nilTracker.Observe("x", "y", 1)
+	if _, _, ok := nilTracker.RelativeError("x", "y"); ok {
+		t.Fatal("nil tracker must report ok=false")
+	}
+	if nilTracker.Snapshot() != nil {
+		t.Fatal("nil tracker snapshot must be nil")
+	}
+}
+
+func TestObserverPredictionErrorGauges(t *testing.T) {
+	o := NewObserver()
+	o.ObservePredictionError("janus", map[string]float64{ResCPULocal: 0.25})
+	g := o.Registry.Gauge(RelErrPrefix + "janus." + ResCPULocal)
+	if g.Value() != 0.25 {
+		t.Fatalf("relerr gauge = %v, want 0.25", g.Value())
+	}
+	mean, n, ok := o.Accuracy.RelativeError("janus", ResCPULocal)
+	if !ok || n != 1 || mean != 0.25 {
+		t.Fatalf("accuracy = (%v, %d, %v), want (0.25, 1, true)", mean, n, ok)
+	}
+}

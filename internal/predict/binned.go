@@ -76,9 +76,30 @@ func (p *BinnedPredictor) Observe(o Observation) {
 	p.generic.Observe(o.Params, o.Value)
 }
 
+// Source identifies which model answered a prediction query.
+type Source int
+
+const (
+	// SourceNone means no model could answer.
+	SourceNone Source = iota
+	// SourceBin means the discrete-combination bin answered.
+	SourceBin
+	// SourceGeneric means the discrete-independent fallback answered.
+	SourceGeneric
+	// SourceData means a data-specific model answered (DefaultNumeric).
+	SourceData
+)
+
 // Predict returns the estimate for the query point. It prefers the bin for
 // the query's discrete combination and falls back to the generic model.
 func (p *BinnedPredictor) Predict(q Query) (float64, bool) {
+	v, _, ok := p.PredictSource(q)
+	return v, ok
+}
+
+// PredictSource is Predict plus the model that produced the answer, for
+// observability of bin-vs-generic hit rates.
+func (p *BinnedPredictor) PredictSource(q Query) (float64, Source, bool) {
 	key := DiscreteKey(q.Discrete)
 
 	p.mu.Lock()
@@ -87,10 +108,13 @@ func (p *BinnedPredictor) Predict(q Query) (float64, bool) {
 
 	if bin != nil {
 		if v, ok := bin.Predict(q.Params); ok {
-			return v, true
+			return v, SourceBin, true
 		}
 	}
-	return p.generic.Predict(q.Params)
+	if v, ok := p.generic.Predict(q.Params); ok {
+		return v, SourceGeneric, true
+	}
+	return 0, SourceNone, false
 }
 
 // BinCount returns the number of discrete combinations seen so far.

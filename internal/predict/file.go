@@ -19,6 +19,14 @@ type FilePredictor struct {
 	files map[string]*fileStat
 }
 
+// PruneEpsilon is the likelihood below which a decayed file is dropped
+// from the model. It sits well under the reintegration/candidate threshold
+// used by the client (1e-3), so pruning never changes a prediction that
+// anything consumes; without it the map grows without bound as operations
+// touch churning file sets (a file accessed once is otherwise remembered —
+// and decayed — forever).
+const PruneEpsilon = 1e-4
+
 type fileStat struct {
 	likelihood float64
 	sizeBytes  int64
@@ -92,6 +100,9 @@ func (p *FilePredictor) ObserveOp(accessed []FileAccess) {
 		}
 		st.likelihood *= p.decay
 		st.samples++
+		if st.likelihood < PruneEpsilon {
+			delete(p.files, path)
+		}
 	}
 }
 

@@ -1,0 +1,55 @@
+package predict
+
+import (
+	"testing"
+
+	"spectra/internal/obs"
+)
+
+func TestBinnedPredictSource(t *testing.T) {
+	p := NewBinnedPredictor(nil)
+	if _, src, ok := p.PredictSource(Query{}); ok || src != SourceNone {
+		t.Fatalf("empty predictor: src=%v ok=%v, want SourceNone/false", src, ok)
+	}
+	p.Observe(Observation{Discrete: map[string]string{"f": "a"}, Value: 10})
+	if _, src, ok := p.PredictSource(Query{Discrete: map[string]string{"f": "a"}}); !ok || src != SourceBin {
+		t.Fatalf("matching bin: src=%v ok=%v, want SourceBin/true", src, ok)
+	}
+	if _, src, ok := p.PredictSource(Query{Discrete: map[string]string{"f": "b"}}); !ok || src != SourceGeneric {
+		t.Fatalf("unseen bin: src=%v ok=%v, want SourceGeneric/true", src, ok)
+	}
+}
+
+func TestDefaultNumericHitCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewDefaultNumeric(Options{Metrics: reg})
+
+	p.Predict(Query{}) // nothing observed yet: miss
+	if got := reg.Counter(obs.MPredictMiss).Value(); got != 1 {
+		t.Fatalf("miss = %d, want 1", got)
+	}
+
+	p.Observe(Observation{Discrete: map[string]string{"f": "a"}, Value: 4})
+	p.Predict(Query{Discrete: map[string]string{"f": "a"}})
+	if got := reg.Counter(obs.MPredictHitBin).Value(); got != 1 {
+		t.Fatalf("bin hits = %d, want 1", got)
+	}
+	p.Predict(Query{Discrete: map[string]string{"f": "zzz"}})
+	if got := reg.Counter(obs.MPredictHitGeneric).Value(); got != 1 {
+		t.Fatalf("generic hits = %d, want 1", got)
+	}
+
+	p.Observe(Observation{Data: "doc1", Value: 7})
+	p.Predict(Query{Data: "doc1"})
+	if got := reg.Counter(obs.MPredictHitData).Value(); got != 1 {
+		t.Fatalf("data hits = %d, want 1", got)
+	}
+}
+
+func TestDefaultNumericNoMetricsStillWorks(t *testing.T) {
+	p := NewDefaultNumeric(Options{})
+	p.Observe(Observation{Value: 3})
+	if v, ok := p.Predict(Query{}); !ok || v < 2.99 || v > 3.01 {
+		t.Fatalf("predict = (%v, %v), want (≈3, true)", v, ok)
+	}
+}

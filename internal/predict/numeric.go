@@ -3,6 +3,8 @@ package predict
 import (
 	"container/list"
 	"sync"
+
+	"spectra/internal/obs"
 )
 
 // DefaultDataCacheSize bounds the LRU cache of data-specific models.
@@ -31,6 +33,9 @@ type Options struct {
 	// DisableParams drops the continuous features (ablation: the models
 	// reduce to decayed means per discrete bin).
 	DisableParams bool
+	// Metrics, when non-nil, receives model-selection hit counters
+	// (data-specific vs bin vs generic vs miss) for every Predict call.
+	Metrics *obs.Registry
 }
 
 // DefaultNumeric is the paper's default predictor: a binned, recency-
@@ -46,6 +51,10 @@ type DefaultNumeric struct {
 	cacheSize int
 	byData    map[string]*list.Element
 	lru       *list.List // of *dataEntry, front = most recent
+
+	// Pre-resolved hit counters; nil handles are no-ops, so the unmetered
+	// path costs one nil test per Predict.
+	hitData, hitBin, hitGeneric, miss *obs.Counter
 }
 
 type dataEntry struct {
@@ -69,7 +78,7 @@ func NewDefaultNumeric(opts Options) *DefaultNumeric {
 	if size == 0 {
 		size = DefaultDataCacheSize
 	}
-	return &DefaultNumeric{
+	p := &DefaultNumeric{
 		features:  append([]string(nil), features...),
 		decay:     decay,
 		general:   NewBinnedPredictorDecay(features, decay),
@@ -77,6 +86,13 @@ func NewDefaultNumeric(opts Options) *DefaultNumeric {
 		byData:    make(map[string]*list.Element),
 		lru:       list.New(),
 	}
+	if opts.Metrics != nil {
+		p.hitData = opts.Metrics.Counter(obs.MPredictHitData)
+		p.hitBin = opts.Metrics.Counter(obs.MPredictHitBin)
+		p.hitGeneric = opts.Metrics.Counter(obs.MPredictHitGeneric)
+		p.miss = opts.Metrics.Counter(obs.MPredictMiss)
+	}
+	return p
 }
 
 // Observe records the sample in the general model and, when the observation
@@ -92,14 +108,32 @@ func (p *DefaultNumeric) Observe(o Observation) {
 // Predict uses the data-specific model when one is cached for the query's
 // data object and has samples, otherwise the general model.
 func (p *DefaultNumeric) Predict(q Query) (float64, bool) {
+	v, src, ok := p.PredictSource(q)
+	switch src {
+	case SourceData:
+		p.hitData.Inc()
+	case SourceBin:
+		p.hitBin.Inc()
+	case SourceGeneric:
+		p.hitGeneric.Inc()
+	default:
+		p.miss.Inc()
+	}
+	return v, ok
+}
+
+// PredictSource is Predict plus the model that answered: a data-specific
+// model, the matching discrete bin of the general model, its generic
+// fallback, or none. It does not touch the hit counters.
+func (p *DefaultNumeric) PredictSource(q Query) (float64, Source, bool) {
 	if q.Data != "" && p.cacheSize >= 0 {
 		if m := p.dataModel(q.Data, false); m != nil {
 			if v, ok := m.Predict(q); ok {
-				return v, true
+				return v, SourceData, true
 			}
 		}
 	}
-	return p.general.Predict(q)
+	return p.general.PredictSource(q)
 }
 
 // DataModelCount returns the number of cached data-specific models.

@@ -1,0 +1,68 @@
+package predict
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Regression: before pruning, every file ever observed stayed in the model
+// forever — 10k unique files across a churning workload meant 10k map
+// entries decayed on every subsequent ObserveOp.
+func TestFilePredictorBoundedUnderChurn(t *testing.T) {
+	p := NewFilePredictor()
+	const unique = 10000
+	for i := 0; i < unique; i++ {
+		p.ObserveOp([]FileAccess{{Path: fmt.Sprintf("/churn/f%05d", i), SizeBytes: 1024}})
+	}
+	// With decay d, a file untouched for n ops has likelihood ≈ d^n (its
+	// entry likelihood starts at 1); it must be pruned once below epsilon.
+	// After 10k churn ops almost all of the early files are long gone.
+	if n := p.KnownFiles(); n >= unique/10 {
+		t.Fatalf("model holds %d files after %d-unique-file churn; pruning is not bounding it", n, unique)
+	}
+	// Recent files must still be there with meaningful likelihoods.
+	last := fmt.Sprintf("/churn/f%05d", unique-1)
+	if p.Likelihood(last) != 1 {
+		t.Fatalf("most recent file likelihood = %v, want 1", p.Likelihood(last))
+	}
+}
+
+func TestFilePredictorPruneBelowEpsilon(t *testing.T) {
+	p := NewFilePredictorDecay(0.5)
+	p.ObserveOp([]FileAccess{{Path: "/a", SizeBytes: 10}})
+	// Decay /a by observing ops that don't touch it: 0.5^n < 1e-4 at n=14.
+	for i := 0; i < 14; i++ {
+		p.ObserveOp([]FileAccess{{Path: "/b"}})
+	}
+	if got := p.Likelihood("/a"); got != 0 {
+		t.Fatalf("likelihood(/a) = %v, want 0 (pruned)", got)
+	}
+	if p.KnownFiles() != 1 {
+		t.Fatalf("known files = %d, want 1 (/b only)", p.KnownFiles())
+	}
+	// A pruned file that is accessed again re-enters like a new file.
+	p.ObserveOp([]FileAccess{{Path: "/a"}})
+	if p.Likelihood("/a") != 1 {
+		t.Fatalf("re-observed likelihood = %v, want 1", p.Likelihood("/a"))
+	}
+}
+
+// Pruning must never remove a file whose likelihood is still above the
+// client's reintegration/candidate threshold (1e-3 > PruneEpsilon).
+func TestFilePredictorPruneKeepsCandidates(t *testing.T) {
+	p := NewFilePredictorDecay(0.9)
+	p.ObserveOp([]FileAccess{{Path: "/keep", SizeBytes: 100}})
+	for i := 0; i < 20; i++ { // 0.9^20 ≈ 0.12, far above epsilon
+		p.ObserveOp([]FileAccess{{Path: "/other"}})
+	}
+	cands := p.Candidates(1e-3)
+	found := false
+	for _, c := range cands {
+		if c.Path == "/keep" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/keep missing from candidates %v", cands)
+	}
+}

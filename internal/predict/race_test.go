@@ -1,0 +1,90 @@
+package predict
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"spectra/internal/obs"
+)
+
+// Stress the predictors with interleaved readers and writers. Run with
+// -race (the CI race job does); without it the test still checks basic
+// liveness and sane outputs under concurrency.
+func TestConcurrentPredictorStress(t *testing.T) {
+	const (
+		writers = 4
+		readers = 4
+		iters   = 300
+	)
+
+	lm := NewLinearModel([]string{"x"})
+	bp := NewBinnedPredictor([]string{"x"})
+	fp := NewFilePredictor()
+	dn := NewDefaultNumeric(Options{
+		Features: []string{"x"},
+		Metrics:  obs.NewRegistry(),
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				x := float64(i % 50)
+				lm.Observe(map[string]float64{"x": x}, 2*x+1)
+				bp.Observe(Observation{
+					Params:   map[string]float64{"x": x},
+					Discrete: map[string]string{"fid": fmt.Sprintf("f%d", i%3)},
+					Value:    3 * x,
+				})
+				dn.Observe(Observation{
+					Params: map[string]float64{"x": x},
+					Data:   fmt.Sprintf("d%d", i%8),
+					Value:  x,
+				})
+				fp.ObserveOp([]FileAccess{
+					{Path: fmt.Sprintf("/w%d/f%d", w, i%20), SizeBytes: 512},
+				})
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				x := float64(i % 50)
+				lm.Predict(map[string]float64{"x": x})
+				bp.PredictSource(Query{
+					Params:   map[string]float64{"x": x},
+					Discrete: map[string]string{"fid": fmt.Sprintf("f%d", i%3)},
+				})
+				dn.Predict(Query{
+					Params: map[string]float64{"x": x},
+					Data:   fmt.Sprintf("d%d", i%8),
+				})
+				fp.Likelihood(fmt.Sprintf("/w%d/f%d", r%writers, i%20))
+				fp.Candidates(1e-3)
+				fp.ExpectedFetchBytes(nil)
+				if i%25 == 0 {
+					bp.BinCount()
+					dn.DataModelCount()
+					fp.KnownFiles()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if bp.BinCount() == 0 || bp.SampleCount() == 0 {
+		t.Fatal("binned predictor absorbed no samples")
+	}
+	if fp.KnownFiles() == 0 {
+		t.Fatal("file predictor lost all files")
+	}
+	if v, ok := lm.Predict(map[string]float64{"x": 10}); !ok || v <= 0 {
+		t.Fatalf("linear model predict = (%v, %v)", v, ok)
+	}
+}

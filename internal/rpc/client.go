@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"spectra/internal/obs"
 	"spectra/internal/wire"
 )
 
@@ -48,6 +49,14 @@ type Client struct {
 	rng     splitMix
 	// sleep is swapped out by tests to observe backoff without waiting.
 	sleep func(time.Duration)
+
+	// Observability handles (nil-safe no-ops when unset). everDialed
+	// distinguishes reconnections from the first dial, which is not a
+	// redial worth alerting on.
+	mRetries     *obs.Counter
+	mRedials     *obs.Counter
+	mCallSeconds *obs.Histogram
+	everDialed   bool
 }
 
 // Dial connects to a Spectra server. The traffic log may be shared with a
@@ -94,6 +103,16 @@ func (c *Client) SetRetryPolicy(p RetryPolicy) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.retry = p
+}
+
+// SetMetrics attaches the metrics registry: retry and redial counts plus
+// per-exchange latency flow into it. A nil registry detaches.
+func (c *Client) SetMetrics(reg *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mRetries = reg.Counter(obs.MRPCRetries)
+	c.mRedials = reg.Counter(obs.MRPCRedials)
+	c.mCallSeconds = reg.Histogram(obs.MRPCCallSeconds, obs.DefaultLatencyBuckets)
 }
 
 // Addr returns the server address.
@@ -176,12 +195,14 @@ func (c *Client) Ping() (time.Duration, error) {
 func (c *Client) exchangeRetry(msg func() *wire.Message) (*wire.Message, error) {
 	c.mu.Lock()
 	policy := c.retry
+	retries := c.mRetries
 	c.mu.Unlock()
 	attempts := policy.attempts()
 
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
+			retries.Inc()
 			c.mu.Lock()
 			d := policy.delay(i-1, &c.rng)
 			sleep := c.sleep
@@ -248,11 +269,13 @@ func (c *Client) exchange(msg *wire.Message) (*wire.Message, error) {
 				Err:  fmt.Errorf("reply id %d for request %d", reply.ID, msg.ID),
 			}
 		}
+		elapsed := time.Since(start)
 		c.traffic.Record(TrafficObservation{
 			Bytes:   int64(sent + received),
-			Elapsed: time.Since(start),
+			Elapsed: elapsed,
 			When:    time.Now(),
 		})
+		c.mCallSeconds.Observe(elapsed.Seconds())
 		return reply, nil
 	}
 }
@@ -272,6 +295,10 @@ func (c *Client) ensureConnLocked() error {
 	}
 	c.conn = conn
 	c.redials++
+	if c.everDialed {
+		c.mRedials.Inc()
+	}
+	c.everDialed = true
 	return nil
 }
 

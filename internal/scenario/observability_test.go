@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"spectra/internal/apps/janus"
+	"spectra/internal/obs"
+	"spectra/internal/testbed"
+)
+
+// TestDecisionTraceAndMetricsEndpoint is the observability acceptance
+// scenario: a speech-testbed Janus run with an Observer attached must yield
+// a complete decision trace (snapshot, evaluated alternatives with
+// per-resource demand, chosen alternative, actual usage, prediction error)
+// and a metrics endpoint exposing the core operation/solver/failover/rpc
+// counters.
+func TestDecisionTraceAndMetricsEndpoint(t *testing.T) {
+	sink := obs.NewMemorySink(256)
+	observer := obs.NewObserver()
+	observer.Sink = sink
+
+	tb, err := testbed.NewSpeech(testbed.Options{Obs: observer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := janus.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+
+	// Train across all alternatives so the models can predict demand.
+	for _, length := range speechTrainingPhrases {
+		for _, alt := range speechAlternatives() {
+			if _, err := app.RecognizeForced(alt, length); err != nil {
+				t.Fatalf("training: %v", err)
+			}
+		}
+	}
+
+	// The measured run: Spectra decides, with tracing on.
+	before := sink.Len()
+	rep, err := app.Recognize(speechTestPhrase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := sink.Traces()
+	if len(traces) != before+1 {
+		t.Fatalf("traces = %d, want %d (one per completed op)", len(traces), before+1)
+	}
+	tr := traces[len(traces)-1]
+
+	// Identity and decision shape.
+	if tr.Operation != janus.OperationName {
+		t.Errorf("trace operation = %q, want %q", tr.Operation, janus.OperationName)
+	}
+	if tr.Forced {
+		t.Error("decision trace marked Forced for a solver-made decision")
+	}
+	if tr.Candidates < 2 {
+		t.Errorf("candidates = %d, want >= 2", tr.Candidates)
+	}
+	if tr.Evaluations <= 0 {
+		t.Errorf("evaluations = %d, want > 0", tr.Evaluations)
+	}
+
+	// Snapshot: the decision must have seen the local CPU and the t20
+	// server.
+	if tr.Snapshot.LocalCPUAvailMHz <= 0 {
+		t.Errorf("snapshot local CPU avail = %v, want > 0", tr.Snapshot.LocalCPUAvailMHz)
+	}
+	srv, ok := tr.Snapshot.Servers["t20"]
+	if !ok {
+		t.Fatalf("snapshot servers = %v, want t20 present", tr.Snapshot.Servers)
+	}
+	if !srv.Reachable || srv.BandwidthBps <= 0 {
+		t.Errorf("t20 avail = %+v, want reachable with bandwidth", srv)
+	}
+
+	// Evaluated alternatives: at least two distinct points of the decision
+	// space, each with a per-resource predicted demand.
+	if len(tr.Evaluated) < 2 {
+		t.Fatalf("evaluated alternatives = %d, want >= 2", len(tr.Evaluated))
+	}
+	sawDemand := false
+	for _, ev := range tr.Evaluated {
+		if ev.Plan == "" {
+			t.Errorf("evaluated alternative without plan: %+v", ev)
+		}
+		d := ev.Demand
+		if d.LocalMegacycles > 0 || d.RemoteMegacycles > 0 || d.NetBytes > 0 ||
+			d.LatencySeconds > 0 || d.EnergyJoules > 0 {
+			sawDemand = true
+		}
+	}
+	if !sawDemand {
+		t.Error("no evaluated alternative carries non-zero predicted demand")
+	}
+
+	// Chosen alternative matches the report's decision.
+	dec := rep.Decision.Alternative
+	if tr.Chosen.Plan != dec.Plan || tr.Chosen.Server != dec.Server {
+		t.Errorf("chosen = %s/%s, decision = %s/%s",
+			tr.Chosen.Server, tr.Chosen.Plan, dec.Server, dec.Plan)
+	}
+	if tr.Chosen.Utility <= 0 {
+		t.Errorf("chosen utility = %v, want > 0", tr.Chosen.Utility)
+	}
+
+	// Actual usage and per-resource prediction error are recorded at End.
+	if tr.End.Before(tr.Begin) {
+		t.Errorf("end %v before begin %v", tr.End, tr.Begin)
+	}
+	if tr.Actual.ElapsedSeconds <= 0 {
+		t.Errorf("actual elapsed = %v, want > 0", tr.Actual.ElapsedSeconds)
+	}
+	if tr.Actual.LocalMegacycles <= 0 && tr.Actual.RemoteMegacycles <= 0 {
+		t.Errorf("actual usage has no CPU demand: %+v", tr.Actual)
+	}
+	if len(tr.PredictionError) == 0 {
+		t.Fatal("trace has no per-resource prediction error")
+	}
+	if _, ok := tr.PredictionError[obs.ResLatency]; !ok {
+		t.Errorf("prediction error %v missing %s", tr.PredictionError, obs.ResLatency)
+	}
+	for res, e := range tr.PredictionError {
+		if e < 0 || e > 1 {
+			t.Errorf("prediction error %s = %v, want within [0, 1]", res, e)
+		}
+	}
+
+	// The accuracy tracker saw the same errors.
+	if mean, n, ok := observer.Accuracy.RelativeError(janus.OperationName, obs.ResLatency); !ok || n <= 0 || mean < 0 {
+		t.Errorf("accuracy tracker: mean=%v n=%v ok=%v, want observations", mean, n, ok)
+	}
+
+	// The metrics endpoint exposes operation, solver, failover, and rpc
+	// counters (failover/rpc at zero here, but present).
+	ts := httptest.NewServer(observer.Registry.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		obs.MOpBegin, obs.MOpEnd, obs.MSolverEvaluations,
+		obs.MFailoverEvents, obs.MRPCRetries,
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("metrics endpoint missing counter %s", name)
+		}
+	}
+	ops := int64(len(speechTrainingPhrases)*len(speechAlternatives()) + 1)
+	if got := snap.Counters[obs.MOpBegin]; got != ops {
+		t.Errorf("%s = %d, want %d", obs.MOpBegin, got, ops)
+	}
+	if got := snap.Counters[obs.MOpEnd]; got != ops {
+		t.Errorf("%s = %d, want %d", obs.MOpEnd, got, ops)
+	}
+	if got := snap.Counters[obs.MSolverEvaluations]; got <= 0 {
+		t.Errorf("%s = %d, want > 0", obs.MSolverEvaluations, got)
+	}
+	if hist, ok := snap.Histograms[obs.MBeginSeconds]; !ok || hist.Count != uint64(ops) {
+		t.Errorf("%s count = %v ok=%v, want %d", obs.MBeginSeconds, hist.Count, ok, ops)
+	}
+}
+
+// TestForcedRunsAreTracedAndMarked checks that oracle/validation runs are
+// traced with the Forced flag and a single evaluated alternative.
+func TestForcedRunsAreTracedAndMarked(t *testing.T) {
+	sink := obs.NewMemorySink(8)
+	observer := obs.NewObserver()
+	observer.Sink = sink
+
+	tb, err := testbed.NewSpeech(testbed.Options{Obs: observer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := janus.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+
+	alt := speechAlternatives()[0]
+	if _, err := app.RecognizeForced(alt, speechTestPhrase); err != nil {
+		t.Fatal(err)
+	}
+	traces := sink.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if !tr.Forced {
+		t.Error("forced run not marked Forced")
+	}
+	if len(tr.Evaluated) != 1 {
+		t.Errorf("forced run evaluated %d alternatives, want 1", len(tr.Evaluated))
+	}
+	if tr.Chosen.Plan != alt.Plan {
+		t.Errorf("chosen plan = %q, want %q", tr.Chosen.Plan, alt.Plan)
+	}
+}

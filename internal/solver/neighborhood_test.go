@@ -1,0 +1,140 @@
+package solver
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func resetNeighborhoodCache() {
+	nbMu.Lock()
+	nbCache = map[string][][]int{}
+	nbOrder = nil
+	nbMu.Unlock()
+}
+
+func TestNeighborhoodMemoization(t *testing.T) {
+	resetNeighborhoodCache()
+	// Large enough to clear nbCacheMinCandidates: small spaces bypass the
+	// cache because direct construction is cheaper than the key.
+	cands := space([]string{"a", "b"}, []string{"l", "h", "r"}, []string{"w", "x", "y"})
+
+	nb1 := buildNeighborhoods(cands)
+	nb2 := buildNeighborhoods(cands)
+	if &nb1[0] != &nb2[0] {
+		t.Fatal("second build did not reuse the memoized structure")
+	}
+	if !reflect.DeepEqual(nb1, computeNeighborhoods(cands)) {
+		t.Fatal("memoized structure differs from a fresh computation")
+	}
+
+	// A different candidate set must not collide.
+	other := space([]string{"a", "c"}, []string{"l", "h", "r"}, []string{"w", "x", "y"})
+	nbOther := buildNeighborhoods(other)
+	if reflect.DeepEqual(nb1, nbOther) == (len(cands) == len(other)) && &nb1[0] == &nbOther[0] {
+		t.Fatal("distinct candidate sets shared a cache entry")
+	}
+	if !reflect.DeepEqual(nbOther, computeNeighborhoods(other)) {
+		t.Fatal("second set's memoized structure is wrong")
+	}
+}
+
+func TestNeighborhoodSmallSpaceBypassesCache(t *testing.T) {
+	resetNeighborhoodCache()
+	cands := space([]string{"a"}, []string{"l", "r"}, []string{"x", "y"}) // 4 < min
+	nb := buildNeighborhoods(cands)
+	if !reflect.DeepEqual(nb, computeNeighborhoods(cands)) {
+		t.Fatal("bypassed build returned a wrong structure")
+	}
+	nbMu.Lock()
+	n := len(nbCache)
+	nbMu.Unlock()
+	if n != 0 {
+		t.Fatalf("small space was cached (%d entries); direct construction is cheaper", n)
+	}
+}
+
+func TestNeighborhoodCacheBounded(t *testing.T) {
+	resetNeighborhoodCache()
+	for i := 0; i < neighborhoodCacheCap*2; i++ {
+		cands := space([]string{fmt.Sprintf("s%d", i), "t"},
+			[]string{"l", "h", "r"}, []string{"w", "x", "y"})
+		buildNeighborhoods(cands)
+	}
+	nbMu.Lock()
+	n, ord := len(nbCache), len(nbOrder)
+	nbMu.Unlock()
+	if n > neighborhoodCacheCap || ord > neighborhoodCacheCap {
+		t.Fatalf("cache grew to %d entries (order %d), cap %d", n, ord, neighborhoodCacheCap)
+	}
+}
+
+func TestNeighborhoodConcurrentBuild(t *testing.T) {
+	resetNeighborhoodCache()
+	cands := space([]string{"a", "b", "c"}, []string{"l", "h", "r"}, []string{"x", "y"}) // 18 >= min
+	done := make(chan [][]int, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- buildNeighborhoods(cands) }()
+	}
+	want := computeNeighborhoods(cands)
+	for i := 0; i < 8; i++ {
+		if got := <-done; !reflect.DeepEqual(got, want) {
+			t.Fatal("concurrent build returned a wrong structure")
+		}
+	}
+}
+
+// panglossSpace approximates Pangloss-Lite's decision space: three engines
+// with client/server placement plus two discrete fidelity knobs — a few
+// hundred alternatives.
+func panglossSpace() []Alternative {
+	var out []Alternative
+	for _, srv := range []string{"", "serverA", "serverB"} {
+		for p := 0; p < 8; p++ { // 2^3 engine placements
+			plan := fmt.Sprintf("place%03b", p)
+			for _, res := range []string{"low", "med", "high"} {
+				for _, poly := range []string{"1k", "10k", "40k"} {
+					out = append(out, Alternative{
+						Server: srv,
+						Plan:   plan,
+						Fidelity: map[string]string{
+							"resolution": res,
+							"polygons":   poly,
+						},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func BenchmarkHeuristicPanglossCold(b *testing.B) {
+	cands := panglossSpace()
+	eval := func(a Alternative) float64 { return float64(len(a.Server) + len(a.Plan)) }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		resetNeighborhoodCache()
+		Heuristic(cands, eval, Options{})
+	}
+}
+
+func BenchmarkHeuristicPanglossWarm(b *testing.B) {
+	cands := panglossSpace()
+	eval := func(a Alternative) float64 { return float64(len(a.Server) + len(a.Plan)) }
+	resetNeighborhoodCache()
+	Heuristic(cands, eval, Options{}) // prime the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Heuristic(cands, eval, Options{})
+	}
+}
+
+func BenchmarkComputeNeighborhoodsPangloss(b *testing.B) {
+	cands := panglossSpace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		computeNeighborhoods(cands)
+	}
+}

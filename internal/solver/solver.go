@@ -8,6 +8,8 @@ package solver
 
 import (
 	"sort"
+	"strings"
+	"sync"
 
 	"spectra/internal/predict"
 )
@@ -42,6 +44,9 @@ type Result struct {
 	Utility float64
 	// Evaluations counts utility-function calls performed.
 	Evaluations int
+	// Restarts counts hill-climbing restarts actually run (0 for
+	// exhaustive search).
+	Restarts int
 	// Found is false when the space was empty.
 	Found bool
 }
@@ -64,9 +69,12 @@ func Exhaustive(candidates []Alternative, eval Evaluator) Result {
 }
 
 // Ranked returns all alternatives sorted by descending utility, with their
-// utilities. The validation harness uses it to compute the percentile rank
-// of Spectra's choice.
-func Ranked(candidates []Alternative, eval Evaluator) ([]Alternative, []float64) {
+// utilities and 1-based competition ranks: alternatives with equal utility
+// share the best rank of their group (1, 1, 3, ...), so an alternative tied
+// with the optimum ranks first rather than being penalized by sort order.
+// The validation harness uses it to compute the percentile rank of
+// Spectra's choice.
+func Ranked(candidates []Alternative, eval Evaluator) ([]Alternative, []float64, []int) {
 	type scored struct {
 		alt Alternative
 		u   float64
@@ -78,11 +86,17 @@ func Ranked(candidates []Alternative, eval Evaluator) ([]Alternative, []float64)
 	sort.SliceStable(all, func(i, j int) bool { return all[i].u > all[j].u })
 	alts := make([]Alternative, len(all))
 	utils := make([]float64, len(all))
+	ranks := make([]int, len(all))
 	for i, s := range all {
 		alts[i] = s.alt
 		utils[i] = s.u
+		if i > 0 && utils[i] == utils[i-1] {
+			ranks[i] = ranks[i-1]
+		} else {
+			ranks[i] = i + 1
+		}
 	}
-	return alts, utils
+	return alts, utils, ranks
 }
 
 // Options tunes the heuristic search.
@@ -133,6 +147,7 @@ func Heuristic(candidates []Alternative, eval Evaluator, opts Options) Result {
 	}
 
 	for r := 0; r < restarts; r++ {
+		res.Restarts++
 		cur := r * len(candidates) / restarts
 		curU := evalCached(cur)
 		for step := 0; step < maxSteps; step++ {
@@ -156,10 +171,67 @@ func Heuristic(candidates []Alternative, eval Evaluator, opts Options) Result {
 	return res
 }
 
-// buildNeighborhoods computes, for each candidate, the indices of its
+// neighborhoodCacheCap bounds the memoized neighborhood structures. Real
+// deployments register a handful of operations, each with a stable
+// candidate set, so a small cap covers them all; the bound only matters if
+// candidate sets churn (servers appearing and disappearing).
+const neighborhoodCacheCap = 32
+
+// nbCacheMinCandidates is the space size below which memoization is not
+// worth it: for a handful of candidates the O(n²) construction is cheaper
+// than building the cache key, so small solves bypass the cache entirely.
+const nbCacheMinCandidates = 16
+
+var (
+	nbMu    sync.Mutex
+	nbCache = map[string][][]int{}
+	// nbOrder tracks insertion order for eviction.
+	nbOrder []string
+)
+
+// buildNeighborhoods returns the neighborhood structure for a candidate
+// list, memoized per canonical candidate-set key. The structure depends
+// only on the candidates' identity keys — not on utilities or resource
+// state — and its O(n²) construction dominated solve time on large spaces
+// (Pangloss-Lite has hundreds of candidates), so repeated solves over the
+// same operation reuse it. The returned slices are shared and must be
+// treated as immutable.
+func buildNeighborhoods(candidates []Alternative) [][]int {
+	if len(candidates) < nbCacheMinCandidates {
+		return computeNeighborhoods(candidates)
+	}
+	keys := make([]string, len(candidates))
+	for i, a := range candidates {
+		keys[i] = a.Key()
+	}
+	setKey := strings.Join(keys, "\x00")
+
+	nbMu.Lock()
+	if nb, ok := nbCache[setKey]; ok {
+		nbMu.Unlock()
+		return nb
+	}
+	nbMu.Unlock()
+
+	nb := computeNeighborhoods(candidates)
+
+	nbMu.Lock()
+	if _, ok := nbCache[setKey]; !ok {
+		if len(nbOrder) >= neighborhoodCacheCap {
+			delete(nbCache, nbOrder[0])
+			nbOrder = nbOrder[1:]
+		}
+		nbCache[setKey] = nb
+		nbOrder = append(nbOrder, setKey)
+	}
+	nbMu.Unlock()
+	return nb
+}
+
+// computeNeighborhoods computes, for each candidate, the indices of its
 // neighbors: candidates differing in exactly one dimension, or in both
 // plan and fidelity with the same server (coupled moves).
-func buildNeighborhoods(candidates []Alternative) [][]int {
+func computeNeighborhoods(candidates []Alternative) [][]int {
 	type dims struct{ server, plan, fid string }
 	ds := make([]dims, len(candidates))
 	for i, a := range candidates {

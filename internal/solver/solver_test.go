@@ -134,7 +134,7 @@ func TestRankedOrdersDescending(t *testing.T) {
 			return 2
 		}
 	}
-	alts, utils := Ranked(cands, eval)
+	alts, utils, ranks := Ranked(cands, eval)
 	if len(alts) != 3 {
 		t.Fatalf("ranked %d", len(alts))
 	}
@@ -143,6 +143,29 @@ func TestRankedOrdersDescending(t *testing.T) {
 	}
 	if utils[0] < utils[1] || utils[1] < utils[2] {
 		t.Fatalf("utilities not descending: %v", utils)
+	}
+	if ranks[0] != 1 || ranks[1] != 2 || ranks[2] != 3 {
+		t.Fatalf("ranks = %v, want [1 2 3]", ranks)
+	}
+}
+
+func TestRankedTiesShareBestRank(t *testing.T) {
+	cands := space([]string{"a", "b", "c", "d"}, []string{"p"}, []string{"f"})
+	// b and c tie at the top; a and d tie at the bottom.
+	eval := func(a Alternative) float64 {
+		switch a.Server {
+		case "b", "c":
+			return 5
+		default:
+			return 1
+		}
+	}
+	_, utils, ranks := Ranked(cands, eval)
+	want := []int{1, 1, 3, 3}
+	for i := range want {
+		if ranks[i] != want[i] {
+			t.Fatalf("ranks = %v (utils %v), want %v", ranks, utils, want)
+		}
 	}
 }
 

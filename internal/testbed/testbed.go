@@ -13,6 +13,7 @@ import (
 
 	"spectra/internal/coda"
 	"spectra/internal/core"
+	"spectra/internal/obs"
 	"spectra/internal/sim"
 	"spectra/internal/simnet"
 	"spectra/internal/solver"
@@ -42,6 +43,9 @@ type Options struct {
 	// tracking; zero values enable both with defaults.
 	Failover core.FailoverOptions
 	Health   core.HealthOptions
+	// Obs enables metrics, decision traces, and prediction-accuracy
+	// accounting; nil disables observability.
+	Obs *obs.Observer
 }
 
 // Speech is the assembled speech-recognition testbed.
@@ -83,6 +87,7 @@ func NewSpeech(opts Options) (*Speech, error) {
 		Exhaustive:  opts.Exhaustive,
 		Failover:    opts.Failover,
 		Health:      opts.Health,
+		Obs:         opts.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -151,6 +156,7 @@ func NewLaptop(opts Options) (*Laptop, error) {
 		Exhaustive:  opts.Exhaustive,
 		Failover:    opts.Failover,
 		Health:      opts.Health,
+		Obs:         opts.Obs,
 	})
 	if err != nil {
 		return nil, err

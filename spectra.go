@@ -33,6 +33,7 @@ import (
 	"spectra/internal/core"
 	"spectra/internal/energy"
 	"spectra/internal/monitor"
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 	"spectra/internal/rpc"
 	"spectra/internal/sim"
@@ -123,6 +124,51 @@ type (
 	// FlapEvent is one step of a scripted link outage.
 	FlapEvent = simnet.FlapEvent
 )
+
+// Observability: metrics, per-operation decision traces, and predictor
+// accuracy accounting. Attach an Observer through SimOptions.Obs /
+// LiveOptions.Obs (or testbed.Options.Obs) to enable; a nil Observer costs
+// nothing on the decision path.
+type (
+	// Observer bundles the metrics registry, the decision-trace sink, and
+	// the prediction-accuracy tracker.
+	Observer = obs.Observer
+	// MetricsRegistry holds named counters, gauges, and histograms and
+	// serves them as JSON. (Not to be confused with Registry, the server
+	// discovery interface.)
+	MetricsRegistry = obs.Registry
+	// TraceSink receives one DecisionTrace per completed operation.
+	TraceSink = obs.TraceSink
+	// DecisionTrace records everything Spectra considered and observed for
+	// one operation: the resource snapshot, every evaluated alternative
+	// with its predicted demand and utility, the chosen alternative, the
+	// actual usage, and per-resource prediction error.
+	DecisionTrace = obs.DecisionTrace
+	// EvaluatedAlternative is one solver-scored point of the decision
+	// space inside a DecisionTrace.
+	EvaluatedAlternative = obs.EvaluatedAlternative
+	// ResourceDemand is a per-resource predicted demand vector.
+	ResourceDemand = obs.ResourceDemand
+	// MemoryTraceSink is a bounded in-memory TraceSink (newest kept).
+	MemoryTraceSink = obs.MemorySink
+	// AccuracyTracker maintains rolling per-operation, per-resource
+	// relative prediction error.
+	AccuracyTracker = obs.AccuracyTracker
+)
+
+// NewObserver returns an Observer with a fresh metrics registry and
+// accuracy tracker and no trace sink.
+var NewObserver = obs.NewObserver
+
+// NewMemoryTraceSink returns a TraceSink retaining the newest max traces.
+var NewMemoryTraceSink = obs.NewMemorySink
+
+// NewDebugMux returns an http.Handler exposing /debug/metrics,
+// /debug/accuracy, and /debug/pprof/*.
+var NewDebugMux = obs.NewDebugMux
+
+// ServeDebug serves a debug mux on addr in a background goroutine.
+var ServeDebug = obs.ServeDebug
 
 // Server health states: closed (healthy), open (quarantined after repeated
 // failures), half-open (probing after quarantine).
