@@ -8,37 +8,52 @@
 // demand — useful for exercising a live deployment with spectractl or the
 // daemon example.
 //
+// The daemon is observable: every handled request is counted, timed, and
+// recorded as a trace with queue/exec/respond spans; resource telemetry is
+// sampled into a bounded time-series history; and an optional flight
+// recorder appends each trace as a JSON line with size-based rotation.
+// SIGTERM/SIGINT shut down gracefully: the RPC listener drains, the debug
+// listener closes, and the flight recorder is flushed before exit.
+//
 // Usage:
 //
 //	spectrad -addr :7009 -name serverB -mhz 933
+//	spectrad -addr :7009 -debug 127.0.0.1:6060 -flight /var/tmp/spectrad.jsonl
 package main
 
 import (
-	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"spectra"
+	"spectra/internal/monitor"
+	"spectra/internal/obs"
+	"spectra/internal/wire"
 )
 
 func main() {
 	var (
-		addr = flag.String("addr", "127.0.0.1:7009", "TCP address to listen on")
-		name = flag.String("name", "spectrad", "server name published in status snapshots")
-		mhz  = flag.Float64("mhz", 1000, "modeled CPU clock in MHz (paces spectra.work)")
+		addr      = flag.String("addr", "127.0.0.1:7009", "TCP address to listen on")
+		name      = flag.String("name", "spectrad", "server name published in status snapshots")
+		mhz       = flag.Float64("mhz", 1000, "modeled CPU clock in MHz (paces spectra.work)")
+		debugAddr = flag.String("debug", "", "serve /debug endpoints on this address (empty = off)")
+		flight    = flag.String("flight", "", "flight recorder: append traces to this JSONL file (empty = off)")
+		flightMB  = flag.Int64("flight-max-mb", 8, "rotate the flight recorder at this size")
+		sample    = flag.Duration("telemetry", time.Second, "resource telemetry sampling interval (0 = off)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *name, *mhz); err != nil {
+	if err := run(*addr, *name, *mhz, *debugAddr, *flight, *flightMB, *sample); err != nil {
 		fmt.Fprintln(os.Stderr, "spectrad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, name string, mhz float64) error {
+func run(addr, name string, mhz float64, debugAddr, flight string, flightMB int64, sample time.Duration) error {
 	machine := spectra.NewMachine(spectra.MachineConfig{
 		Name:        name,
 		SpeedMHz:    mhz,
@@ -47,6 +62,45 @@ func run(addr, name string, mhz float64) error {
 	node := spectra.NewNode(machine, nil, nil)
 	srv := spectra.NewServer(name, node, spectra.RealClock{})
 	srv.Register("spectra.work", workService)
+
+	// Observability: request metrics, retained traces for /debug/traces,
+	// an optional JSONL flight recorder, and a resource time-series.
+	o := spectra.NewObserver()
+	mem := spectra.NewMemoryTraceSink(256)
+	mem.AttachMetrics(o.Registry)
+	var recorder *obs.JSONLSink
+	if flight != "" {
+		var err error
+		recorder, err = obs.NewJSONLSink(flight, obs.JSONLSinkOptions{MaxBytes: flightMB << 20})
+		if err != nil {
+			return err
+		}
+		recorder.AttachMetrics(o.Registry)
+	}
+	if recorder != nil {
+		o.Sink = obs.MultiSink(mem, recorder)
+	} else {
+		o.Sink = mem
+	}
+	o.TimeSeries = obs.NewTimeSeriesRecorder(0)
+	srv.SetObserver(o)
+
+	stopTelemetry := func() {}
+	if sample > 0 {
+		stopTelemetry = monitor.StartTelemetry(srv.Monitors(), o.TimeSeries, monitor.TelemetryOptions{
+			Interval: sample,
+		})
+	}
+
+	closeDebug := func() error { return nil }
+	if debugAddr != "" {
+		bound, stop, err := o.ServeDebug(debugAddr)
+		if err != nil {
+			return err
+		}
+		closeDebug = stop
+		fmt.Printf("spectrad %q debug endpoint on http://%s/debug/metrics\n", name, bound)
+	}
 
 	bound, err := srv.Listen(addr)
 	if err != nil {
@@ -58,18 +112,38 @@ func run(addr, name string, mhz float64) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Println("spectrad: shutting down")
-	return srv.Close()
+	return shutdown(srv, recorder, stopTelemetry, closeDebug)
 }
 
-// workService burns the megacycles encoded in the request's first eight
-// bytes (big endian); a ninth byte of 1 marks the demand as floating-point.
-func workService(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
-	if len(payload) < 8 {
-		return nil, fmt.Errorf("spectra.work: payload needs 8-byte megacycle header")
+// shutdown drains the server and flushes observability state: the RPC
+// listener closes first (no new traces), then telemetry and the debug
+// listener stop, and finally the flight recorder is flushed and closed so
+// every emitted trace reaches disk.
+func shutdown(srv *spectra.Server, recorder *obs.JSONLSink, stopTelemetry func(), closeDebug func() error) error {
+	err := srv.Close()
+	stopTelemetry()
+	if derr := closeDebug(); err == nil {
+		err = derr
 	}
-	mc := float64(binary.BigEndian.Uint64(payload))
+	if recorder != nil {
+		if ferr := recorder.Close(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// workService burns the megacycles encoded in the request (see
+// wire.WorkRequest): eight big-endian bytes of megacycles plus a
+// floating-point flag byte.
+func workService(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+	req, err := wire.DecodeWorkRequest(payload)
+	if err != nil {
+		return nil, fmt.Errorf("spectra.work: %w", err)
+	}
+	mc := float64(req.Megacycles)
 	demand := spectra.ComputeDemand{IntegerMegacycles: mc}
-	if len(payload) > 8 && payload[8] == 1 {
+	if req.FloatingPoint {
 		demand = spectra.ComputeDemand{FloatMegacycles: mc}
 	}
 	ctx.Compute(demand)

@@ -309,10 +309,28 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 		data = ""
 	}
 
+	// With a trace sink attached, a span recorder times the phases of the
+	// decision (and later of execution); nil otherwise, so every recording
+	// call below is a no-op and the untraced path stays allocation-free.
+	var rec *obs.SpanRecorder
+	if c.hooks.o.TraceOn() {
+		rec = obs.NewSpanRecorder(c.runtime.Now)
+	}
+
 	servers := c.Servers()
+	spPredict := rec.Start(obs.SpanPredict, -1)
 	snap := c.monitors.Snapshot(c.runtime.Now(), servers)
 	c.applyHealth(snap, servers)
 	est := newEstimator(op, snap, params, data, c.cons)
+	rec.EndSpan(spPredict)
+
+	// Every decision snapshot enters the resource time-series history (when
+	// a recorder is attached), so post-hoc analysis can line a decision up
+	// against what the monitors reported before and after it.
+	var snapSeq uint64
+	if ts := c.hooks.o.Timeline(); ts != nil {
+		snapSeq = monitor.RecordSnapshot(ts, snap, servers)
+	}
 
 	fn := c.utilityFn(op, snap)
 	eval := func(alt solver.Alternative) float64 {
@@ -330,10 +348,11 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 	)
 	if c.hooks.o.TraceOn() {
 		tr = &obs.DecisionTrace{
-			Operation: op.Name(),
-			Begin:     c.runtime.Now(),
-			Forced:    forced != nil,
-			Snapshot:  summarizeSnapshot(snap, servers),
+			Operation:   op.Name(),
+			Begin:       c.runtime.Now(),
+			Forced:      forced != nil,
+			Snapshot:    summarizeSnapshot(snap, servers),
+			SnapshotSeq: snapSeq,
 		}
 		traceSeen = make(map[string]int)
 		eval = func(alt solver.Alternative) float64 {
@@ -380,6 +399,7 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 		if len(candidates) == 0 {
 			return nil, errNoAlternative
 		}
+		spSolve := rec.Start(obs.SpanSolve, -1)
 		chooseStart := time.Now()
 		var res solver.Result
 		if c.exhaustive {
@@ -393,9 +413,11 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 			// infeasible; if nothing is feasible, report it.
 			res = bestFeasible(candidates, est, eval)
 			if !res.Found {
+				rec.EndSpan(spSolve)
 				return nil, errNoAlternative
 			}
 		}
+		rec.EndSpan(spSolve)
 		c.hooks.solverEvals.Add(int64(res.Evaluations))
 		c.hooks.solverRestarts.Add(int64(res.Restarts))
 		c.hooks.candidates.Observe(float64(len(candidates)))
@@ -428,6 +450,7 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 		trace:      tr,
 		predDemand: demand,
 		predValid:  demandSet,
+		spans:      rec,
 	}
 	if tr != nil {
 		tr.OpID = octx.id
@@ -445,13 +468,18 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 		_, discrete := op.modelQuery(decision.Alternative, params)
 		key := predict.DiscreteKey(discrete)
 		volumes, _ := est.reintegration(key)
-		for _, vol := range volumes {
-			bytes, dur, err := c.runtime.Reintegrate(vol)
-			if err != nil {
-				return nil, fmt.Errorf("core: consistency for %q: %w", op.Name(), err)
+		if len(volumes) > 0 {
+			spRe := rec.Start(obs.SpanReintegrate, -1)
+			for _, vol := range volumes {
+				bytes, dur, err := c.runtime.Reintegrate(vol)
+				if err != nil {
+					rec.EndSpan(spRe)
+					return nil, fmt.Errorf("core: consistency for %q: %w", op.Name(), err)
+				}
+				octx.decision.ReintegratedBytes += bytes
+				octx.phases.netSeconds += dur.Seconds()
 			}
-			octx.decision.ReintegratedBytes += bytes
-			octx.phases.netSeconds += dur.Seconds()
+			rec.EndSpan(spRe)
 		}
 	}
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 
+	"spectra/internal/obs"
 	"spectra/internal/simnet"
 	"spectra/internal/solver"
 
@@ -141,7 +142,7 @@ func (x *OpContext) failRemote(optype string, payload []byte, failed string, cau
 			break
 		}
 		tried[next] = true
-		out, rep, rerr := c.runtime.RemoteCall(next, service, optype, payload)
+		out, rep, rerr := x.remoteCall(next, optype, payload)
 		x.account(rep)
 		if rerr == nil {
 			c.health.RecordSuccess(next)
@@ -157,7 +158,9 @@ func (x *OpContext) failRemote(optype string, payload []byte, failed string, cau
 	}
 
 	if !c.failover.NoLocalFallback && c.hostOffers(service) {
+		sp := x.spans.Start(obs.SpanLocal, -1)
 		out, rep, lerr := c.runtime.LocalCall(service, optype, payload)
+		x.spans.EndSpan(sp)
 		x.account(rep)
 		if lerr == nil {
 			x.recordFailover(optype, failed, "", cause)

@@ -8,6 +8,7 @@ import (
 	"spectra/internal/monitor"
 	"spectra/internal/obs"
 	"spectra/internal/predict"
+	"spectra/internal/wire"
 )
 
 // OpContext is one in-flight operation execution: the handle an
@@ -42,6 +43,9 @@ type OpContext struct {
 	trace      *obs.DecisionTrace
 	predDemand obs.ResourceDemand
 	predValid  bool
+	// spans records the operation's phase tree; nil (all methods no-op)
+	// when tracing is off, keeping the untraced path allocation-free.
+	spans *obs.SpanRecorder
 }
 
 // Decision returns how Spectra chose to execute the operation; the
@@ -72,7 +76,9 @@ func (x *OpContext) DoLocalOp(optype string, payload []byte) ([]byte, error) {
 	if x.ended {
 		return nil, errEnded
 	}
+	sp := x.spans.Start(obs.SpanLocal, -1)
 	out, rep, err := x.client.runtime.LocalCall(x.op.spec.Service, optype, payload)
+	x.spans.EndSpan(sp)
 	x.account(rep)
 	if err != nil {
 		return nil, fmt.Errorf("core: do_local_op %q: %w", optype, err)
@@ -94,7 +100,7 @@ func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 	if server == "" {
 		return nil, errors.New("core: do_remote_op on a local execution plan")
 	}
-	out, rep, err := x.client.runtime.RemoteCall(server, x.op.spec.Service, optype, payload)
+	out, rep, err := x.remoteCall(server, optype, payload)
 	x.account(rep)
 	if err == nil {
 		x.client.health.RecordSuccess(server)
@@ -116,6 +122,25 @@ func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 		x.decision.Alternative.Server = ranOn
 	}
 	return out, nil
+}
+
+// remoteCall wraps Runtime.RemoteCall with span recording: an rpc span
+// covers the exchange, the trace context rides the request, and the
+// server's (already rebased) spans are grafted under the rpc span. With
+// tracing off it degenerates to a plain RemoteCall — no context, no spans,
+// no allocations.
+func (x *OpContext) remoteCall(server, optype string, payload []byte) ([]byte, callReport, error) {
+	sp := x.spans.Start(obs.SpanRPC, -1)
+	var tc *wire.TraceContext
+	if sp >= 0 {
+		tc = &wire.TraceContext{TraceID: x.id, SpanID: uint64(sp)}
+	}
+	out, rep, err := x.client.runtime.RemoteCall(server, x.op.spec.Service, optype, payload, tc)
+	if sp >= 0 {
+		x.spans.Attach(sp, rep.serverSpans)
+		x.spans.EndSpan(sp)
+	}
+	return out, rep, err
 }
 
 // account routes a call report into the monitor framework and the phase
@@ -233,6 +258,7 @@ func (x *OpContext) Abort() {
 		tr.Aborted = true
 		tr.Failovers = traceFailovers(x.failovers)
 		tr.Degraded = x.degraded
+		tr.Spans = x.spans.Spans()
 		x.client.hooks.o.Emit(tr)
 	}
 }
@@ -297,6 +323,7 @@ func (x *OpContext) finishObservation(usage monitor.Usage) {
 		tr.PredictionError = errs
 		tr.Failovers = traceFailovers(x.failovers)
 		tr.Degraded = x.degraded
+		tr.Spans = x.spans.Spans()
 		x.client.hooks.o.Emit(tr)
 	}
 }

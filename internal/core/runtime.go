@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"spectra/internal/obs"
 	"spectra/internal/predict"
 	"spectra/internal/wire"
 )
@@ -16,6 +17,10 @@ type callReport struct {
 	remoteMegacycles float64
 	files            []predict.FileAccess
 	phases           phaseUsage
+	// serverSpans are server-side spans of a traced RemoteCall, already
+	// rebased onto the client timeline (Parent -1, Origin = server name);
+	// the OpContext attaches them under its rpc span. Nil when untraced.
+	serverSpans []obs.Span
 }
 
 // Runtime executes operation components and server housekeeping. The
@@ -30,7 +35,10 @@ type Runtime interface {
 	LocalCall(service, optype string, payload []byte) ([]byte, callReport, error)
 
 	// RemoteCall executes a service on the named server (do_remote_op).
-	RemoteCall(server, service, optype string, payload []byte) ([]byte, callReport, error)
+	// tc, when non-nil, propagates the operation's trace context to the
+	// server; the runtime returns the server's spans in the callReport,
+	// rebased onto the client timeline.
+	RemoteCall(server, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, callReport, error)
 
 	// Reintegrate pushes the client's buffered modifications for a volume
 	// to the file servers, returning the bytes sent and the time it took.

@@ -123,14 +123,16 @@ func (r *NetRuntime) LocalCall(service, optype string, payload []byte) ([]byte, 
 	return out, rep, nil
 }
 
-// RemoteCall implements Runtime over TCP.
-func (r *NetRuntime) RemoteCall(server, service, optype string, payload []byte) ([]byte, callReport, error) {
+// RemoteCall implements Runtime over TCP. Traced calls (tc != nil) carry
+// the trace context to the server; the server's span records return on the
+// response and are rebased onto the client timeline (see rpc.RebaseSpans).
+func (r *NetRuntime) RemoteCall(server, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, callReport, error) {
 	conn, err := r.conn(server)
 	if err != nil {
 		return nil, callReport{}, err
 	}
 	start := time.Now()
-	out, usage, err := conn.Call(service, optype, payload)
+	out, usage, spans, err := conn.CallTraced(service, optype, payload, tc)
 	elapsed := time.Since(start)
 	if err != nil {
 		if !isRemoteAppError(err) {
@@ -145,6 +147,9 @@ func (r *NetRuntime) RemoteCall(server, service, optype string, payload []byte) 
 		bytesSent:     int64(len(payload)) + msgOverheadBytes,
 		bytesReceived: int64(len(out)) + msgOverheadBytes,
 		rpcs:          1,
+	}
+	if tc != nil {
+		rep.serverSpans = spectrarpc.RebaseSpans(server, start, elapsed, spans)
 	}
 	var serverSeconds float64
 	if usage != nil {

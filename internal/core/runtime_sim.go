@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"spectra/internal/monitor"
+	"spectra/internal/obs"
 	"spectra/internal/rpc"
 	"spectra/internal/sim"
 	"spectra/internal/wire"
@@ -76,7 +77,9 @@ func (r *SimRuntime) LocalCall(service, optype string, payload []byte) ([]byte, 
 // RemoteCall implements Runtime: the request crosses the link, the service
 // runs on the server machine while the client idles, and the response
 // returns. Both transfers are recorded as passive traffic observations.
-func (r *SimRuntime) RemoteCall(server, service, optype string, payload []byte) ([]byte, callReport, error) {
+// Traced calls (tc != nil) additionally return the server-side spans; the
+// simulation shares one virtual clock, so they are exact, not rebased.
+func (r *SimRuntime) RemoteCall(server, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, callReport, error) {
 	node, link, ok := r.env.Server(server)
 	if !ok {
 		return nil, callReport{}, fmt.Errorf("core: unknown server %q", server)
@@ -116,11 +119,24 @@ func (r *SimRuntime) RemoteCall(server, service, optype string, payload []byte) 
 		r.setReachable(server, false)
 		return nil, callReport{}, fmt.Errorf("core: receive from %q: %w", server, err)
 	}
+	respStart := clock.Now()
 	clock.Sleep(downT)
 	r.env.HostAccount().DrainNetwork(downT)
 	r.recordTraffic(server, respBytes, downT)
 	link.RecordTransfer(0, respBytes)
 	r.setReachable(server, true)
+
+	var serverSpans []obs.Span
+	if tc != nil {
+		// The simulated server dispatches immediately (no queueing model),
+		// so the queue span is zero-length at the service start.
+		svcEnd := svcStart.Add(svcT)
+		serverSpans = []obs.Span{
+			{ID: 0, Parent: -1, Name: obs.SpanServerQueue, Origin: server, Start: svcStart, End: svcStart},
+			{ID: 1, Parent: -1, Name: obs.SpanServerExec, Origin: server, Start: svcStart, End: svcEnd},
+			{ID: 2, Parent: -1, Name: obs.SpanServerRespond, Origin: server, Start: respStart, End: respStart.Add(downT)},
+		}
+	}
 
 	rep := callReport{
 		bytesSent:        reqBytes,
@@ -132,6 +148,7 @@ func (r *SimRuntime) RemoteCall(server, service, optype string, payload []byte) 
 			netSeconds:  sim.Seconds(upT + downT),
 			idleSeconds: sim.Seconds(svcT),
 		},
+		serverSpans: serverSpans,
 	}
 	return out, rep, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"spectra/internal/monitor"
+	"spectra/internal/obs"
 	"spectra/internal/rpc"
 	"spectra/internal/sim"
 	"spectra/internal/wire"
@@ -52,6 +53,22 @@ func NewServer(name string, node *Node, clock sim.Clock) *Server {
 
 // Node returns the underlying node.
 func (s *Server) Node() *Node { return s.node }
+
+// Monitors returns the server-side monitor framework (CPU and file-cache
+// monitors), so daemons can sample it into a telemetry recorder.
+func (s *Server) Monitors() *monitor.Set { return s.monitors }
+
+// SetObserver enables server-side observability: request counts, execution
+// latency, per-request traces with queue/exec/respond spans (through the
+// RPC layer), and snapshot timing in the monitor framework.
+func (s *Server) SetObserver(o *obs.Observer) {
+	if o == nil {
+		s.rpc.SetObserver("", nil)
+		return
+	}
+	s.rpc.SetObserver(s.name, o)
+	s.monitors.SetMetrics(o.Registry)
+}
 
 // Register hosts a service on the server (and its node).
 func (s *Server) Register(service string, fn ServiceFunc) {

@@ -1,0 +1,103 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"spectra/internal/obs"
+)
+
+// Time-series names RecordSnapshot emits. Per-server series are prefixed
+// "server.<name>.".
+const (
+	TSLocalCPUAvailMHz = "local.cpu.availMHz"
+	TSLocalCPULoad     = "local.cpu.load"
+	TSBatteryJoules    = "battery.joules"
+	TSEnergyImportance = "battery.importance"
+)
+
+// RecordSnapshot writes one monitor snapshot into the time-series recorder
+// as a single batch, returning the batch sequence number (0 when the
+// recorder is nil). Decision traces store the number (SnapshotSeq) so a
+// decision can be located in the surrounding resource history.
+func RecordSnapshot(ts *obs.TimeSeriesRecorder, snap *Snapshot, servers []string) uint64 {
+	if ts == nil || snap == nil {
+		return 0
+	}
+	values := map[string]float64{
+		TSLocalCPUAvailMHz: snap.LocalCPU.AvailMHz,
+		TSLocalCPULoad:     snap.LocalCPU.LoadFraction,
+		TSBatteryJoules:    snap.Battery.RemainingJoules,
+		TSEnergyImportance: snap.Battery.Importance,
+	}
+	for _, s := range servers {
+		net := snap.Network[s]
+		reachable := 0.0
+		if net.Reachable {
+			reachable = 1.0
+		}
+		values["server."+s+".reachable"] = reachable
+		values["server."+s+".bandwidthBps"] = net.BandwidthBps
+		values["server."+s+".latencyMs"] = float64(net.Latency) / float64(time.Millisecond)
+		values["server."+s+".cpu.availMHz"] = snap.RemoteCPU[s].AvailMHz
+	}
+	return ts.Record(snap.When, values)
+}
+
+// TelemetryOptions tunes the background resource sampler.
+type TelemetryOptions struct {
+	// Interval between samples; <= 0 selects one second.
+	Interval time.Duration
+	// Servers, when non-nil, supplies the candidate servers whose proxy
+	// series are sampled alongside the local resources.
+	Servers func() []string
+	// Now, when non-nil, replaces time.Now as the sample timestamp source
+	// (simulations pass the virtual clock).
+	Now func() time.Time
+}
+
+func (o TelemetryOptions) interval() time.Duration {
+	if o.Interval <= 0 {
+		return time.Second
+	}
+	return o.Interval
+}
+
+// StartTelemetry samples the monitor set into the time-series recorder at
+// a fixed interval until the returned stop function is called, so resource
+// history accumulates between decisions, not just at them. stop blocks
+// until the sampler goroutine has exited and is safe to call twice.
+func StartTelemetry(set *Set, ts *obs.TimeSeriesRecorder, opts TelemetryOptions) (stop func()) {
+	if set == nil || ts == nil {
+		return func() {}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(opts.interval())
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				var servers []string
+				if opts.Servers != nil {
+					servers = opts.Servers()
+				}
+				RecordSnapshot(ts, set.Snapshot(now(), servers), servers)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentEmitAndDebugReads hammers the observer from both sides —
+// operations emitting traces, metrics, and telemetry while HTTP readers
+// scrape every debug endpoint — and relies on -race to catch unsynchronized
+// access.
+func TestConcurrentEmitAndDebugReads(t *testing.T) {
+	mem := NewMemorySink(32)
+	o := NewObserver()
+	mem.AttachMetrics(o.Registry)
+	o.Sink = mem
+	o.TimeSeries = NewTimeSeriesRecorder(64)
+
+	ts := httptest.NewServer(o.DebugMux())
+	defer ts.Close()
+
+	const writers, readers, rounds = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctr := o.Registry.Counter(MOpEnd)
+			for i := 0; i < rounds; i++ {
+				begin := time.Unix(int64(i), 0)
+				o.Emit(&DecisionTrace{
+					OpID:      uint64(w*rounds + i),
+					Operation: "concurrent-op",
+					Begin:     begin,
+					End:       begin.Add(time.Millisecond),
+					Spans: []Span{
+						{ID: 0, Parent: -1, Name: SpanSolve, Start: begin, End: begin.Add(time.Millisecond)},
+					},
+				})
+				ctr.Inc()
+				o.TimeSeries.RecordValue("load", begin, float64(i))
+				o.Accuracy.Observe("concurrent-op", ResLatency, 0.1)
+			}
+		}(w)
+	}
+	paths := []string{
+		"/debug/metrics", "/debug/traces", "/debug/traces?op=concurrent-op&n=5",
+		"/debug/timeseries", "/debug/timeseries?series=load&n=3", "/debug/accuracy",
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := ts.Client().Get(ts.URL + paths[(r+i)%len(paths)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					t.Errorf("GET %s: %d", paths[(r+i)%len(paths)], resp.StatusCode)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	if got := mem.Len(); got != 32 {
+		t.Errorf("retained %d traces, want cap 32", got)
+	}
+	wantDropped := int64(writers*rounds - 32)
+	if got := mem.Dropped(); got != wantDropped {
+		t.Errorf("dropped = %d, want %d", got, wantDropped)
+	}
+	if got := o.Registry.Counter(MTracesDropped).Value(); got != wantDropped {
+		t.Errorf("%s = %d, want %d", MTracesDropped, got, wantDropped)
+	}
+}

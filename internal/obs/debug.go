@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // NewDebugMux returns an HTTP mux exposing the registry and the Go
@@ -34,6 +35,48 @@ func NewDebugMux(reg *Registry, acc *AccuracyTracker) *http.ServeMux {
 	return mux
 }
 
+// DebugMux returns the observer's full debug surface: everything
+// NewDebugMux serves, plus
+//
+//	/debug/timeseries  — resource time-series history (when TimeSeries != nil)
+//	/debug/traces      — retained decision traces (when Sink retains, i.e.
+//	                     implements TraceStore); ?n=N tails the newest N and
+//	                     ?op=NAME filters by operation
+func (o *Observer) DebugMux() *http.ServeMux {
+	if o == nil {
+		return NewDebugMux(nil, nil)
+	}
+	mux := NewDebugMux(o.Registry, o.Accuracy)
+	if o.TimeSeries != nil {
+		mux.Handle("/debug/timeseries", o.TimeSeries.Handler())
+	}
+	if store, ok := o.Sink.(TraceStore); ok {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			traces := store.Traces()
+			if op := req.URL.Query().Get("op"); op != "" {
+				kept := traces[:0:0]
+				for _, t := range traces {
+					if t.Operation == op {
+						kept = append(kept, t)
+					}
+				}
+				traces = kept
+			}
+			if s := req.URL.Query().Get("n"); s != "" {
+				if n, err := strconv.Atoi(s); err == nil && n > 0 && n < len(traces) {
+					traces = traces[len(traces)-n:]
+				}
+			}
+			if traces == nil {
+				traces = []*DecisionTrace{}
+			}
+			writeJSON(w, traces)
+		})
+	}
+	return mux
+}
+
 // ServeDebug starts the debug endpoint on addr (e.g. "127.0.0.1:0") and
 // returns the bound address and a shutdown function. It is optional: tests
 // and embedded deployments can mount NewDebugMux themselves.
@@ -43,6 +86,18 @@ func ServeDebug(addr string, reg *Registry, acc *AccuracyTracker) (string, func(
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: NewDebugMux(reg, acc)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// ServeDebug starts the observer's full debug surface (DebugMux) on addr
+// and returns the bound address and a shutdown function.
+func (o *Observer) ServeDebug(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: o.DebugMux()}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// JSONLSinkOptions tunes the flight recorder.
+type JSONLSinkOptions struct {
+	// MaxBytes rotates the file when it would exceed this size; <= 0
+	// selects 8 MiB.
+	MaxBytes int64
+	// MaxFiles bounds rotated files kept next to the live one (path.1 is
+	// the newest rotation); <= 0 selects 3.
+	MaxFiles int
+}
+
+func (o JSONLSinkOptions) maxBytes() int64 {
+	if o.MaxBytes <= 0 {
+		return 8 << 20
+	}
+	return o.MaxBytes
+}
+
+func (o JSONLSinkOptions) maxFiles() int {
+	if o.MaxFiles <= 0 {
+		return 3
+	}
+	return o.MaxFiles
+}
+
+// JSONLSink is a flight recorder: a TraceSink that appends each completed
+// DecisionTrace as one JSON line to a file, rotating by size. Emit never
+// blocks on anything but the write itself and never fails the caller:
+// write and marshal errors count traces as dropped instead.
+type JSONLSink struct {
+	mu   sync.Mutex
+	path string
+	opts JSONLSinkOptions
+
+	f      *os.File
+	size   int64
+	closed bool
+
+	emitted int64
+	dropped int64
+	// mDropped, when attached, mirrors the dropped count as a metric.
+	mDropped *Counter
+}
+
+// NewJSONLSink opens (appending) the flight-recorder file at path.
+func NewJSONLSink(path string, opts JSONLSinkOptions) (*JSONLSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open flight recorder: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: stat flight recorder: %w", err)
+	}
+	return &JSONLSink{path: path, opts: opts, f: f, size: st.Size()}, nil
+}
+
+// AttachMetrics mirrors the sink's dropped-trace count into the registry
+// (MTracesDropped). A nil registry detaches.
+func (s *JSONLSink) AttachMetrics(reg *Registry) {
+	s.mu.Lock()
+	s.mDropped = reg.Counter(MTracesDropped)
+	s.mu.Unlock()
+}
+
+// Path returns the live file's path.
+func (s *JSONLSink) Path() string { return s.path }
+
+// Emit implements TraceSink.
+func (s *JSONLSink) Emit(t *DecisionTrace) {
+	if t == nil {
+		return
+	}
+	line, err := json.Marshal(t)
+	if err != nil {
+		s.drop(1)
+		return
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.f == nil {
+		s.dropLocked(1)
+		return
+	}
+	if s.size+int64(len(line)) > s.opts.maxBytes() && s.size > 0 {
+		if err := s.rotateLocked(); err != nil {
+			s.dropLocked(1)
+			return
+		}
+	}
+	n, err := s.f.Write(line)
+	s.size += int64(n)
+	if err != nil {
+		s.dropLocked(1)
+		return
+	}
+	s.emitted++
+}
+
+// rotateLocked shifts path.(i) to path.(i+1), dropping the oldest, then
+// moves the live file to path.1 and starts a fresh one.
+func (s *JSONLSink) rotateLocked() error {
+	s.f.Close()
+	s.f = nil
+	maxFiles := s.opts.maxFiles()
+	os.Remove(fmt.Sprintf("%s.%d", s.path, maxFiles))
+	for i := maxFiles - 1; i >= 1; i-- {
+		os.Rename(fmt.Sprintf("%s.%d", s.path, i), fmt.Sprintf("%s.%d", s.path, i+1))
+	}
+	if err := os.Rename(s.path, s.path+".1"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	s.f = f
+	s.size = 0
+	return nil
+}
+
+func (s *JSONLSink) drop(n int64) {
+	s.mu.Lock()
+	s.dropLocked(n)
+	s.mu.Unlock()
+}
+
+func (s *JSONLSink) dropLocked(n int64) {
+	s.dropped += n
+	s.mDropped.Add(n)
+}
+
+// Emitted counts traces successfully written.
+func (s *JSONLSink) Emitted() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.emitted
+}
+
+// Dropped counts traces lost to marshal or write failures (or emission
+// after Close).
+func (s *JSONLSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Flush forces buffered data to stable storage.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Sync()
+}
+
+// Close flushes and closes the file; later Emits count as dropped.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f = nil
+	return err
+}
+
+// ReadTraceFile loads a flight-recorder JSONL file. Unparsable lines — a
+// process may die mid-write — are skipped and counted, not fatal.
+func ReadTraceFile(path string) (traces []*DecisionTrace, skipped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var t DecisionTrace
+		if json.Unmarshal([]byte(line), &t) != nil {
+			skipped++
+			continue
+		}
+		traces = append(traces, &t)
+	}
+	if err := sc.Err(); err != nil {
+		return traces, skipped, err
+	}
+	return traces, skipped, nil
+}

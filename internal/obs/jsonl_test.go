@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testTrace(id uint64) *DecisionTrace {
+	begin := time.Unix(int64(id), 0)
+	return &DecisionTrace{
+		OpID:      id,
+		Operation: "op",
+		Begin:     begin,
+		End:       begin.Add(time.Second),
+	}
+}
+
+func TestJSONLSinkRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	sink, err := NewJSONLSink(path, JSONLSinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		sink.Emit(testTrace(i))
+	}
+	if sink.Emitted() != 3 || sink.Dropped() != 0 {
+		t.Fatalf("emitted=%d dropped=%d, want 3/0", sink.Emitted(), sink.Dropped())
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	traces, skipped, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(traces) != 3 {
+		t.Fatalf("read %d traces (%d skipped), want 3/0", len(traces), skipped)
+	}
+	if traces[0].OpID != 1 || traces[2].OpID != 3 {
+		t.Fatalf("order lost: %d...%d", traces[0].OpID, traces[2].OpID)
+	}
+	// Appending survives reopen.
+	sink2, err := NewJSONLSink(path, JSONLSinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2.Emit(testTrace(4))
+	sink2.Close()
+	traces, _, err = ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 4 {
+		t.Fatalf("after reopen read %d traces, want 4", len(traces))
+	}
+}
+
+func TestJSONLSinkRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	// Tiny limit: every trace line (~100 bytes) forces a rotation.
+	sink, err := NewJSONLSink(path, JSONLSinkOptions{MaxBytes: 150, MaxFiles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		sink.Emit(testTrace(i))
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Emitted() != 6 {
+		t.Fatalf("emitted = %d, want 6", sink.Emitted())
+	}
+	// Live file plus at most MaxFiles rotations; no path.3.
+	for _, p := range []string{path, path + ".1", path + ".2"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("expected %s to exist: %v", p, err)
+		}
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Errorf("rotation kept more than MaxFiles: %v", err)
+	}
+	// The newest trace is in the live file.
+	traces, _, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 || traces[len(traces)-1].OpID != 6 {
+		t.Fatalf("live file missing newest trace: %+v", traces)
+	}
+}
+
+func TestJSONLSinkClosedDrops(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	sink, err := NewJSONLSink(path, JSONLSinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	sink.AttachMetrics(reg)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sink.Emit(testTrace(1))
+	if sink.Dropped() != 1 {
+		t.Fatalf("dropped = %d after emit-on-closed, want 1", sink.Dropped())
+	}
+	if got := reg.Counter(MTracesDropped).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MTracesDropped, got)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestReadTraceFileSkipsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flight.jsonl")
+	content := `{"opId":1,"operation":"op","begin":"2002-07-02T00:00:00Z","end":"2002-07-02T00:00:01Z","snapshot":{"when":"2002-07-02T00:00:00Z"},"evaluated":null,"chosen":{"plan":"local","demand":{"localMegacycles":0,"remoteMegacycles":0,"netBytes":0,"rpcs":0,"latencySeconds":0,"energyJoules":0},"fidelityValue":0,"utility":0,"feasible":true},"candidates":0,"evaluations":0,"actual":{"localMegacycles":0,"remoteMegacycles":0,"bytesSent":0,"bytesReceived":0,"rpcs":0,"energyJoules":0,"energyValid":false,"elapsedSeconds":0,"files":0}}
+not json at all
+{"opId":2,"operation":"op","begin":"2002-07-02T00:00:02Z","end":"2002-07-02T00:00:03Z"
+{"opId":3,"operation":"op"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traces, skipped, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 2 || skipped != 2 {
+		t.Fatalf("read %d traces %d skipped, want 2/2", len(traces), skipped)
+	}
+	if traces[0].OpID != 1 || traces[1].OpID != 3 {
+		t.Fatalf("wrong traces survived: %d, %d", traces[0].OpID, traces[1].OpID)
+	}
+}

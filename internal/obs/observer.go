@@ -41,6 +41,14 @@ const (
 	MRPCRedials     = "spectra.rpc.redials.total"
 	MRPCCallSeconds = "spectra.rpc.call.seconds"
 
+	// Trace pipeline.
+	MTracesDropped = "spectra.traces.dropped.total"
+
+	// Server-side request handling (spectrad).
+	MServerRequests    = "spectra.server.requests.total"
+	MServerErrors      = "spectra.server.errors.total"
+	MServerExecSeconds = "spectra.server.exec.seconds"
+
 	// Demand-predictor model selection (which model answered a query).
 	MPredictHitBin     = "spectra.predict.hits.bin.total"
 	MPredictHitGeneric = "spectra.predict.hits.generic.total"
@@ -77,6 +85,11 @@ type Observer struct {
 	Sink TraceSink
 	// Accuracy accumulates rolling prediction error; nil disables it.
 	Accuracy *AccuracyTracker
+	// TimeSeries, when non-nil, retains a bounded history of resource
+	// snapshots: every decision snapshot is recorded into it (traces point
+	// at the batch via SnapshotSeq), and a background sampler can feed it
+	// between decisions (monitor.StartTelemetry).
+	TimeSeries *TimeSeriesRecorder
 
 	// relErrGauges caches the per-(operation, resource) error gauges so the
 	// End hot path skips the registry lock and name concatenation.
@@ -109,6 +122,7 @@ func RegisterCoreMetrics(r *Registry) {
 		MPollCycles, MPollErrors,
 		MRPCRetries, MRPCRedials,
 		MPredictHitBin, MPredictHitGeneric, MPredictHitData, MPredictMiss,
+		MTracesDropped,
 	} {
 		r.Counter(name)
 	}
@@ -122,6 +136,14 @@ func RegisterCoreMetrics(r *Registry) {
 
 // TraceOn reports whether decision traces should be constructed.
 func (o *Observer) TraceOn() bool { return o != nil && o.Sink != nil }
+
+// Timeline returns the resource time-series recorder, nil-safely.
+func (o *Observer) Timeline() *TimeSeriesRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.TimeSeries
+}
 
 // Emit forwards a completed trace to the sink, if any.
 func (o *Observer) Emit(t *DecisionTrace) {

@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Canonical span names. Client-side spans mark the phases of one operation
+// (prediction, solver search, consistency enforcement, execution); the
+// server-prefixed spans are emitted by the remote Spectra server and
+// stitched under the rpc span that carried the request.
+const (
+	SpanPredict     = "predict"
+	SpanSolve       = "solve"
+	SpanReintegrate = "reintegrate"
+	SpanRPC         = "rpc"
+	SpanLocal       = "local"
+
+	SpanServerQueue   = "server.queue"
+	SpanServerExec    = "server.exec"
+	SpanServerRespond = "server.respond"
+)
+
+// Span is one timed phase of an operation. Spans form a tree through
+// Parent (an index into the trace's span slice; -1 marks a root). Start and
+// End are on the runtime clock — virtual time in simulations — while
+// WallNanos records the real (wall-clock) duration, which is the honest
+// cost of phases like prediction and solving that consume no virtual time.
+type Span struct {
+	ID     int    `json:"id"`
+	Parent int    `json:"parent"`
+	Name   string `json:"name"`
+	// Origin names the process that recorded the span: "" for the client,
+	// the server name for spans shipped back across the RPC boundary.
+	Origin string    `json:"origin,omitempty"`
+	Start  time.Time `json:"start"`
+	End    time.Time `json:"end"`
+	// WallNanos is the span's wall-clock duration in nanoseconds; 0 when
+	// the runtime clock is already wall time.
+	WallNanos int64 `json:"wallNanos,omitempty"`
+}
+
+// Duration is the span's length on the runtime clock.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Cost is the span's effective duration for ranking: the runtime-clock
+// duration, or the wall-clock duration when it is larger (phases that take
+// zero virtual time still cost real time).
+func (s Span) Cost() time.Duration {
+	d := s.Duration()
+	if w := time.Duration(s.WallNanos); w > d {
+		return w
+	}
+	return d
+}
+
+// SpanRecorder accumulates the span tree of one in-flight operation. A nil
+// recorder is a no-op on every method — the untraced path allocates and
+// records nothing — so call sites need no guards. It is safe for concurrent
+// use (parallel execution plans record branch spans concurrently).
+type SpanRecorder struct {
+	mu  sync.Mutex
+	now func() time.Time
+
+	spans []Span
+	// wallStart remembers each open span's wall-clock start so EndSpan can
+	// fill WallNanos.
+	wallStart []time.Time
+}
+
+// NewSpanRecorder returns a recorder reading the runtime clock through now.
+func NewSpanRecorder(now func() time.Time) *SpanRecorder {
+	return &SpanRecorder{now: now}
+}
+
+// Start opens a span and returns its ID (-1 on a nil recorder). parent is
+// the enclosing span's ID, or -1 for a root span.
+func (r *SpanRecorder) Start(name string, parent int) int {
+	if r == nil {
+		return -1
+	}
+	r.mu.Lock()
+	id := len(r.spans)
+	r.spans = append(r.spans, Span{
+		ID:     id,
+		Parent: parent,
+		Name:   name,
+		Start:  r.now(),
+	})
+	r.wallStart = append(r.wallStart, time.Now())
+	r.mu.Unlock()
+	return id
+}
+
+// EndSpan closes a span. Unknown IDs (including -1 from a nil-recorder
+// Start) are ignored.
+func (r *SpanRecorder) EndSpan(id int) {
+	if r == nil || id < 0 {
+		return
+	}
+	r.mu.Lock()
+	if id < len(r.spans) {
+		r.spans[id].End = r.now()
+		r.spans[id].WallNanos = time.Since(r.wallStart[id]).Nanoseconds()
+	}
+	r.mu.Unlock()
+}
+
+// Attach grafts externally recorded spans (e.g. server-side spans returned
+// across the RPC boundary) under parent, remapping their IDs and parents
+// into this recorder's ID space. Children whose Parent is -1 become direct
+// children of parent; internal parent links are preserved.
+func (r *SpanRecorder) Attach(parent int, children []Span) {
+	if r == nil || len(children) == 0 {
+		return
+	}
+	r.mu.Lock()
+	base := len(r.spans)
+	for i, c := range children {
+		c.ID = base + i
+		if c.Parent < 0 {
+			c.Parent = parent
+		} else {
+			c.Parent += base
+		}
+		r.spans = append(r.spans, c)
+		r.wallStart = append(r.wallStart, time.Time{})
+	}
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, in creation order.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecorderTree(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	rec := NewSpanRecorder(clock)
+
+	root := rec.Start(SpanPredict, -1)
+	now = now.Add(10 * time.Millisecond)
+	rec.EndSpan(root)
+
+	parent := rec.Start(SpanRPC, -1)
+	now = now.Add(5 * time.Millisecond)
+	child := rec.Start(SpanServerExec, parent)
+	now = now.Add(20 * time.Millisecond)
+	rec.EndSpan(child)
+	rec.EndSpan(parent)
+
+	spans := rec.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[0].Name != SpanPredict || spans[0].Parent != -1 {
+		t.Errorf("span 0 = %+v, want root predict", spans[0])
+	}
+	if spans[0].Duration() != 10*time.Millisecond {
+		t.Errorf("predict duration = %v, want 10ms", spans[0].Duration())
+	}
+	if spans[2].Parent != parent {
+		t.Errorf("exec parent = %d, want %d", spans[2].Parent, parent)
+	}
+	if spans[1].Duration() != 25*time.Millisecond {
+		t.Errorf("rpc duration = %v, want 25ms", spans[1].Duration())
+	}
+}
+
+// TestSpanRecorderNil pins the nil-recorder contract: every method is a
+// no-op, Start returns -1, and nothing panics — the untraced path needs no
+// guards and no allocations.
+func TestSpanRecorderNil(t *testing.T) {
+	var rec *SpanRecorder
+	if id := rec.Start(SpanSolve, -1); id != -1 {
+		t.Fatalf("nil Start = %d, want -1", id)
+	}
+	rec.EndSpan(-1)
+	rec.EndSpan(3)
+	rec.Attach(0, []Span{{Name: SpanServerExec}})
+	if s := rec.Spans(); s != nil {
+		t.Fatalf("nil Spans = %v, want nil", s)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		id := rec.Start(SpanSolve, -1)
+		rec.EndSpan(id)
+	})
+	if allocs != 0 {
+		t.Errorf("nil recorder allocates %v per Start/End, want 0", allocs)
+	}
+}
+
+// TestSpanRecorderAttach checks the ID remapping when server-side spans are
+// grafted under a client rpc span: roots become children of the rpc span,
+// internal parent links shift by the base offset.
+func TestSpanRecorderAttach(t *testing.T) {
+	base := time.Unix(2000, 0)
+	rec := NewSpanRecorder(func() time.Time { return base })
+	rpcSpan := rec.Start(SpanRPC, -1)
+
+	server := []Span{
+		{ID: 0, Parent: -1, Name: SpanServerQueue, Origin: "srv"},
+		{ID: 1, Parent: -1, Name: SpanServerExec, Origin: "srv"},
+		{ID: 2, Parent: 1, Name: "exec.child", Origin: "srv"},
+	}
+	rec.Attach(rpcSpan, server)
+	rec.EndSpan(rpcSpan)
+
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if s.ID != i {
+			t.Errorf("span %d has ID %d", i, s.ID)
+		}
+	}
+	if spans[1].Parent != rpcSpan || spans[2].Parent != rpcSpan {
+		t.Errorf("server roots parented to %d/%d, want %d", spans[1].Parent, spans[2].Parent, rpcSpan)
+	}
+	if spans[3].Parent != spans[2].ID {
+		t.Errorf("exec.child parent = %d, want %d", spans[3].Parent, spans[2].ID)
+	}
+	if spans[1].Origin != "srv" {
+		t.Errorf("origin lost in attach: %+v", spans[1])
+	}
+}
+
+func TestSpanCostPrefersWall(t *testing.T) {
+	begin := time.Unix(0, 0)
+	s := Span{Start: begin, End: begin, WallNanos: int64(3 * time.Millisecond)}
+	if s.Cost() != 3*time.Millisecond {
+		t.Errorf("zero-virtual-time span cost = %v, want 3ms", s.Cost())
+	}
+	s = Span{Start: begin, End: begin.Add(time.Second), WallNanos: int64(time.Millisecond)}
+	if s.Cost() != time.Second {
+		t.Errorf("virtual-dominated span cost = %v, want 1s", s.Cost())
+	}
+}
+
+// TestSpanRecorderConcurrent exercises the recorder from parallel branches
+// (run with -race).
+func TestSpanRecorderConcurrent(t *testing.T) {
+	rec := NewSpanRecorder(time.Now)
+	root := rec.Start(SpanSolve, -1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				id := rec.Start(SpanRPC, root)
+				rec.Attach(id, []Span{{Parent: -1, Name: SpanServerExec}})
+				rec.EndSpan(id)
+				_ = rec.Spans()
+			}
+		}()
+	}
+	wg.Wait()
+	rec.EndSpan(root)
+	spans := rec.Spans()
+	want := 1 + 8*100*2
+	if len(spans) != want {
+		t.Fatalf("spans = %d, want %d", len(spans), want)
+	}
+	for i, s := range spans {
+		if s.ID != i {
+			t.Fatalf("span %d has ID %d after concurrent recording", i, s.ID)
+		}
+		if s.Parent >= i {
+			t.Fatalf("span %d parented forward to %d", i, s.Parent)
+		}
+	}
+}

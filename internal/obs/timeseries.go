@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// DefaultTimeSeriesCap bounds each series' retained points when the
+// recorder is built with a non-positive capacity.
+const DefaultTimeSeriesCap = 1024
+
+// TimeSeriesPoint is one sampled value of a named resource series.
+type TimeSeriesPoint struct {
+	// Seq is the batch sequence number the point was recorded under;
+	// points recorded by the same Record call share it, and decision
+	// traces reference it via SnapshotSeq.
+	Seq   uint64    `json:"seq"`
+	When  time.Time `json:"when"`
+	Value float64   `json:"value"`
+}
+
+// TimeSeriesRecorder retains a bounded ring of timestamped samples per
+// resource series — the history behind /debug/timeseries. Writers are the
+// decision path (every snapshot the solver consumes) and the background
+// telemetry sampler; both are cheap: a mutex, a map lookup per series, and
+// a ring slot overwrite once warm.
+type TimeSeriesRecorder struct {
+	mu     sync.Mutex
+	cap    int
+	seq    uint64
+	series map[string]*tsRing
+}
+
+// tsRing is one series' bounded history.
+type tsRing struct {
+	buf  []TimeSeriesPoint
+	head int // next write position
+	n    int // points stored
+}
+
+func (r *tsRing) push(p TimeSeriesPoint) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = p
+		r.n++
+		return
+	}
+	r.buf[r.head] = p
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+func (r *tsRing) points() []TimeSeriesPoint {
+	out := make([]TimeSeriesPoint, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// NewTimeSeriesRecorder returns a recorder retaining at most capPerSeries
+// points per series (DefaultTimeSeriesCap when <= 0).
+func NewTimeSeriesRecorder(capPerSeries int) *TimeSeriesRecorder {
+	if capPerSeries <= 0 {
+		capPerSeries = DefaultTimeSeriesCap
+	}
+	return &TimeSeriesRecorder{
+		cap:    capPerSeries,
+		series: make(map[string]*tsRing),
+	}
+}
+
+// Record appends one sample to every named series under a single batch
+// sequence number, which it returns. Traces store the number so a decision
+// can be lined up against the history that surrounds it.
+func (r *TimeSeriesRecorder) Record(when time.Time, values map[string]float64) uint64 {
+	if r == nil || len(values) == 0 {
+		return 0
+	}
+	r.mu.Lock()
+	r.seq++
+	seq := r.seq
+	for name, v := range values {
+		r.pushLocked(name, TimeSeriesPoint{Seq: seq, When: when, Value: v})
+	}
+	r.mu.Unlock()
+	return seq
+}
+
+// RecordValue appends one sample to one series under its own batch number.
+func (r *TimeSeriesRecorder) RecordValue(name string, when time.Time, v float64) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	r.seq++
+	seq := r.seq
+	r.pushLocked(name, TimeSeriesPoint{Seq: seq, When: when, Value: v})
+	r.mu.Unlock()
+	return seq
+}
+
+func (r *TimeSeriesRecorder) pushLocked(name string, p TimeSeriesPoint) {
+	ring, ok := r.series[name]
+	if !ok {
+		ring = &tsRing{buf: make([]TimeSeriesPoint, r.cap)}
+		r.series[name] = ring
+	}
+	ring.push(p)
+}
+
+// Names returns the recorded series names, sorted.
+func (r *TimeSeriesRecorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.series))
+	for name := range r.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Series returns one series' retained points, oldest first.
+func (r *TimeSeriesRecorder) Series(name string) []TimeSeriesPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ring, ok := r.series[name]
+	if !ok {
+		return nil
+	}
+	return ring.points()
+}
+
+// Snapshot returns every series' retained points, oldest first.
+func (r *TimeSeriesRecorder) Snapshot() map[string][]TimeSeriesPoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]TimeSeriesPoint, len(r.series))
+	for name, ring := range r.series {
+		out[name] = ring.points()
+	}
+	return out
+}
+
+// Handler serves the recorder as JSON. Without parameters it returns every
+// series; ?series=NAME restricts to one, and ?n=N keeps only each series'
+// newest N points.
+func (r *TimeSeriesRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		tail := func(pts []TimeSeriesPoint) []TimeSeriesPoint {
+			if n > 0 && len(pts) > n {
+				return pts[len(pts)-n:]
+			}
+			return pts
+		}
+		if name := req.URL.Query().Get("series"); name != "" {
+			writeJSON(w, map[string][]TimeSeriesPoint{name: tail(r.Series(name))})
+			return
+		}
+		snap := r.Snapshot()
+		for name, pts := range snap {
+			snap[name] = tail(pts)
+		}
+		writeJSON(w, snap)
+	})
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesRecordBatch(t *testing.T) {
+	r := NewTimeSeriesRecorder(16)
+	when := time.Unix(100, 0)
+	seq := r.Record(when, map[string]float64{"a": 1, "b": 2})
+	if seq != 1 {
+		t.Fatalf("first batch seq = %d, want 1", seq)
+	}
+	seq = r.Record(when.Add(time.Second), map[string]float64{"a": 3})
+	if seq != 2 {
+		t.Fatalf("second batch seq = %d, want 2", seq)
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v, want [a b]", names)
+	}
+	a := r.Series("a")
+	if len(a) != 2 || a[0].Value != 1 || a[1].Value != 3 {
+		t.Fatalf("series a = %+v", a)
+	}
+	// Points of one batch share the sequence number.
+	b := r.Series("b")
+	if len(b) != 1 || b[0].Seq != a[0].Seq {
+		t.Fatalf("batch seq mismatch: a=%+v b=%+v", a, b)
+	}
+	if r.Series("missing") != nil {
+		t.Fatal("unknown series should return nil")
+	}
+}
+
+// TestTimeSeriesRingWrap fills a small ring past capacity and checks that
+// only the newest points survive, oldest first.
+func TestTimeSeriesRingWrap(t *testing.T) {
+	r := NewTimeSeriesRecorder(4)
+	when := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		r.RecordValue("x", when.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	pts := r.Series("x")
+	if len(pts) != 4 {
+		t.Fatalf("retained %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(6 + i); p.Value != want {
+			t.Errorf("point %d = %v, want %v", i, p.Value, want)
+		}
+	}
+	if !pts[0].When.Before(pts[3].When) {
+		t.Error("points not oldest-first after wrap")
+	}
+}
+
+func TestTimeSeriesDefaultCap(t *testing.T) {
+	r := NewTimeSeriesRecorder(0)
+	when := time.Unix(0, 0)
+	for i := 0; i < DefaultTimeSeriesCap+10; i++ {
+		r.RecordValue("x", when, float64(i))
+	}
+	if got := len(r.Series("x")); got != DefaultTimeSeriesCap {
+		t.Fatalf("retained %d, want default cap %d", got, DefaultTimeSeriesCap)
+	}
+}
+
+func TestTimeSeriesHandler(t *testing.T) {
+	r := NewTimeSeriesRecorder(8)
+	when := time.Unix(50, 0)
+	for i := 0; i < 6; i++ {
+		r.Record(when.Add(time.Duration(i)*time.Second), map[string]float64{
+			"cpu": float64(i), "net": float64(10 * i),
+		})
+	}
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+
+	fetch := func(path string) map[string][]TimeSeriesPoint {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string][]TimeSeriesPoint
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	all := fetch("")
+	if len(all) != 2 || len(all["cpu"]) != 6 {
+		t.Fatalf("all = %d series, cpu = %d points", len(all), len(all["cpu"]))
+	}
+	one := fetch("?series=cpu&n=2")
+	if len(one) != 1 || len(one["cpu"]) != 2 {
+		t.Fatalf("filtered = %v", one)
+	}
+	if one["cpu"][1].Value != 5 {
+		t.Fatalf("tail did not keep newest: %+v", one["cpu"])
+	}
+}

@@ -129,6 +129,12 @@ type DecisionTrace struct {
 	// ReintegratedBytes is consistency-enforcement work done before
 	// execution.
 	ReintegratedBytes int64 `json:"reintegratedBytes,omitempty"`
+	// SnapshotSeq points into the resource time-series history (see
+	// TimeSeriesRecorder): the batch sequence number under which the
+	// snapshot this decision saw was recorded, so post-hoc analysis can
+	// read what the monitors reported before and after. 0 when no
+	// time-series recorder was attached.
+	SnapshotSeq uint64 `json:"snapshotSeq,omitempty"`
 
 	// End is the completion instant; Aborted marks operations that ended
 	// via Abort (no usage fed to the models, Actual/PredictionError empty).
@@ -143,6 +149,11 @@ type DecisionTrace struct {
 	// that left the decided plan.
 	Failovers []FailoverRecord `json:"failovers,omitempty"`
 	Degraded  bool             `json:"degraded,omitempty"`
+	// Spans is the operation's phase tree: client-side predict, solve,
+	// reintegrate, rpc, and local spans plus any server-side spans stitched
+	// in across the RPC boundary (Origin names the server). Empty when span
+	// recording was off.
+	Spans []Span `json:"spans,omitempty"`
 }
 
 // TraceSink receives completed decision traces. Emit is called exactly once
@@ -153,19 +164,39 @@ type TraceSink interface {
 	Emit(*DecisionTrace)
 }
 
+// TraceStore is a TraceSink that retains traces for later inspection; the
+// debug endpoint serves /debug/traces from any sink that implements it.
+type TraceStore interface {
+	TraceSink
+	// Traces returns the retained traces, oldest first.
+	Traces() []*DecisionTrace
+}
+
 // MemorySink is a TraceSink that retains traces in memory, primarily for
-// tests and interactive debugging.
+// tests, interactive debugging, and the /debug/traces endpoint.
 type MemorySink struct {
 	mu sync.Mutex
 	// cap bounds retention; 0 keeps everything.
-	cap    int
-	traces []*DecisionTrace
+	cap     int
+	traces  []*DecisionTrace
+	dropped int64
+	// mDropped, when attached, mirrors the dropped count as a metric.
+	mDropped *Counter
 }
 
 // NewMemorySink returns a sink retaining at most capTraces traces (the most
 // recent are kept); capTraces <= 0 retains everything.
 func NewMemorySink(capTraces int) *MemorySink {
 	return &MemorySink{cap: capTraces}
+}
+
+// AttachMetrics mirrors the sink's dropped-trace count into the registry
+// (MTracesDropped), so eviction is visible in /debug/metrics rather than
+// silent. A nil registry detaches.
+func (s *MemorySink) AttachMetrics(reg *Registry) {
+	s.mu.Lock()
+	s.mDropped = reg.Counter(MTracesDropped)
+	s.mu.Unlock()
 }
 
 // Emit implements TraceSink.
@@ -176,6 +207,9 @@ func (s *MemorySink) Emit(t *DecisionTrace) {
 	s.mu.Lock()
 	s.traces = append(s.traces, t)
 	if s.cap > 0 && len(s.traces) > s.cap {
+		evicted := len(s.traces) - s.cap
+		s.dropped += int64(evicted)
+		s.mDropped.Add(int64(evicted))
 		s.traces = append(s.traces[:0], s.traces[len(s.traces)-s.cap:]...)
 	}
 	s.mu.Unlock()
@@ -193,6 +227,49 @@ func (s *MemorySink) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.traces)
+}
+
+// Dropped counts traces evicted to stay within the retention cap.
+func (s *MemorySink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// MultiSink fans each trace out to every given sink (nils are skipped).
+// It retains nothing itself, but implements TraceStore by delegating to
+// the first member that does — so a MemorySink + JSONLSink pair still
+// serves /debug/traces.
+func MultiSink(sinks ...TraceSink) TraceSink {
+	out := make(multiSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 1 {
+		return out[0]
+	}
+	return out
+}
+
+type multiSink []TraceSink
+
+// Emit implements TraceSink.
+func (m multiSink) Emit(t *DecisionTrace) {
+	for _, s := range m {
+		s.Emit(t)
+	}
+}
+
+// Traces implements TraceStore through the first retaining member.
+func (m multiSink) Traces() []*DecisionTrace {
+	for _, s := range m {
+		if store, ok := s.(TraceStore); ok {
+			return store.Traces()
+		}
+	}
+	return nil
 }
 
 // RelativeError is the symmetric relative error |predicted-actual| divided

@@ -146,19 +146,30 @@ func (c *Client) Close() error {
 // *TransportError without retrying: service operations are not idempotent,
 // so recovery (retry or failover) is the caller's decision.
 func (c *Client) Call(service, optype string, payload []byte) ([]byte, *wire.UsageReport, error) {
+	out, usage, _, err := c.CallTraced(service, optype, payload, nil)
+	return out, usage, err
+}
+
+// CallTraced is Call with trace propagation: tc (which may be nil) rides
+// the request so the server executes under the client's trace, and the
+// server's span records for the request ride back on the response. Span
+// offsets are relative to the server's receipt of the request, on the
+// server's clock; RebaseSpans converts them to client-timeline spans.
+func (c *Client) CallTraced(service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, *wire.UsageReport, []wire.SpanRecord, error) {
 	reply, err := c.exchange(&wire.Message{
 		Type:    wire.MsgRequest,
 		Service: service,
 		OpType:  optype,
 		Payload: payload,
+		Trace:   tc,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if reply.Err != "" {
-		return nil, reply.Usage, &RemoteError{Service: service, Msg: reply.Err}
+		return nil, reply.Usage, reply.Spans, &RemoteError{Service: service, Msg: reply.Err}
 	}
-	return reply.Payload, reply.Usage, nil
+	return reply.Payload, reply.Usage, reply.Spans, nil
 }
 
 // Status fetches the server's resource snapshot, retrying transient

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"spectra/internal/obs"
 	"spectra/internal/wire"
 )
 
@@ -29,6 +31,15 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
 	closed   bool
+
+	// Observability (see SetObserver). obsName labels server-side spans;
+	// sink receives one thin DecisionTrace per handled request; the metric
+	// handles are nil-safe no-ops when unset.
+	obsName      string
+	sink         obs.TraceSink
+	mRequests    *obs.Counter
+	mErrors      *obs.Counter
+	mExecSeconds *obs.Histogram
 }
 
 // NewServer returns a server with no services registered.
@@ -37,6 +48,29 @@ func NewServer(status StatusFunc) *Server {
 		services: make(map[string]Handler),
 		status:   status,
 		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// SetObserver enables server-side observability: requests are counted and
+// timed in the observer's registry, and each handled request is emitted to
+// the observer's trace sink as a thin DecisionTrace (OpID = the caller's
+// trace ID when one was propagated, Operation = "service/optype") carrying
+// the queue/exec/respond spans — the server's own flight-recorder view of
+// the work clients sent it. name labels the spans' Origin. A nil observer
+// detaches.
+func (s *Server) SetObserver(name string, o *obs.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o == nil {
+		s.obsName, s.sink, s.mRequests, s.mErrors, s.mExecSeconds = "", nil, nil, nil, nil
+		return
+	}
+	s.obsName = name
+	s.sink = o.Sink
+	if o.Registry != nil {
+		s.mRequests = o.Registry.Counter(obs.MServerRequests)
+		s.mErrors = o.Registry.Counter(obs.MServerErrors)
+		s.mExecSeconds = o.Registry.Histogram(obs.MServerExecSeconds, obs.DefaultLatencyBuckets)
 	}
 }
 
@@ -133,7 +167,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
-		reply := s.handle(msg)
+		recv := time.Now()
+		reply := s.handle(msg, recv)
 		if reply == nil {
 			continue
 		}
@@ -143,7 +178,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-func (s *Server) handle(msg *wire.Message) *wire.Message {
+func (s *Server) handle(msg *wire.Message, recv time.Time) *wire.Message {
 	switch msg.Type {
 	case wire.MsgPing:
 		return &wire.Message{Type: wire.MsgPong, ID: msg.ID}
@@ -158,7 +193,7 @@ func (s *Server) handle(msg *wire.Message) *wire.Message {
 		}
 		return reply
 	case wire.MsgRequest:
-		return s.handleRequest(msg)
+		return s.handleRequest(msg, recv)
 	default:
 		return &wire.Message{
 			Type: wire.MsgResponse,
@@ -168,22 +203,73 @@ func (s *Server) handle(msg *wire.Message) *wire.Message {
 	}
 }
 
-func (s *Server) handleRequest(msg *wire.Message) *wire.Message {
+func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message {
 	s.mu.Lock()
 	h, ok := s.services[msg.Service]
+	name, sink := s.obsName, s.sink
+	reqs, errsC, execH := s.mRequests, s.mErrors, s.mExecSeconds
 	s.mu.Unlock()
 
 	reply := &wire.Message{Type: wire.MsgResponse, ID: msg.ID, Service: msg.Service}
 	if !ok {
 		reply.Err = fmt.Sprintf("unknown service %q", msg.Service)
+		errsC.Inc()
 		return reply
+	}
+
+	// Timestamps are taken only when someone will consume them: a traced
+	// request needs span records, an observed server wants metrics and its
+	// own trace. The plain path stays clock-free beyond recv.
+	traced := msg.Trace != nil
+	observed := sink != nil || reqs != nil
+	var dispatch, execEnd time.Time
+	if traced || observed {
+		dispatch = time.Now()
 	}
 	out, usage, err := h(msg.OpType, msg.Payload)
+	if traced || observed {
+		execEnd = time.Now()
+	}
 	if err != nil {
 		reply.Err = err.Error()
-		return reply
+		reply.Usage = usage
+	} else {
+		reply.Payload = out
+		reply.Usage = usage
 	}
-	reply.Payload = out
-	reply.Usage = usage
+
+	if traced || observed {
+		respondEnd := time.Now()
+		queueNs := dispatch.Sub(recv).Nanoseconds()
+		execNs := execEnd.Sub(dispatch).Nanoseconds()
+		recs := []wire.SpanRecord{
+			{Name: obs.SpanServerQueue, StartOffsetNs: 0, DurationNs: queueNs},
+			{Name: obs.SpanServerExec, StartOffsetNs: queueNs, DurationNs: execNs},
+			{Name: obs.SpanServerRespond, StartOffsetNs: queueNs + execNs, DurationNs: respondEnd.Sub(execEnd).Nanoseconds()},
+		}
+		if traced {
+			reply.Trace = msg.Trace
+			reply.Spans = recs
+		}
+		reqs.Inc()
+		if err != nil {
+			errsC.Inc()
+		}
+		execH.Observe(execEnd.Sub(dispatch).Seconds())
+		if sink != nil {
+			var traceID uint64
+			if traced {
+				traceID = msg.Trace.TraceID
+			}
+			sink.Emit(&obs.DecisionTrace{
+				OpID:      traceID,
+				Operation: msg.Service + "/" + msg.OpType,
+				Begin:     recv,
+				End:       respondEnd,
+				Aborted:   err != nil,
+				Spans:     RebaseSpans(name, recv, 0, recs),
+			})
+		}
+	}
 	return reply
 }

@@ -1,0 +1,49 @@
+package rpc
+
+import (
+	"time"
+
+	"spectra/internal/obs"
+	"spectra/internal/wire"
+)
+
+// RebaseSpans converts server-side span records onto the client's
+// timeline. Records are offsets from the server's receipt of the request,
+// on the server's clock; without synchronized clocks the client knows only
+// when it sent the request (start) and how long the whole exchange took
+// (elapsed). The unaccounted time — elapsed minus the server's busy window
+// — is the two network legs, assumed symmetric, so the server's receipt is
+// placed at start + slack/2. The placement error is bounded by the
+// (typically small) request/response transfer-time asymmetry; durations
+// are exact. Origin labels the spans with the server's name; Parent is -1,
+// for SpanRecorder.Attach to remap under the carrying rpc span.
+func RebaseSpans(origin string, start time.Time, elapsed time.Duration, recs []wire.SpanRecord) []obs.Span {
+	if len(recs) == 0 {
+		return nil
+	}
+	var serverNs int64
+	for _, rec := range recs {
+		if end := rec.StartOffsetNs + rec.DurationNs; end > serverNs {
+			serverNs = end
+		}
+	}
+	slack := elapsed.Nanoseconds() - serverNs
+	if slack < 0 {
+		slack = 0
+	}
+	base := start.Add(time.Duration(slack / 2))
+	out := make([]obs.Span, len(recs))
+	for i, rec := range recs {
+		s := base.Add(time.Duration(rec.StartOffsetNs))
+		out[i] = obs.Span{
+			ID:        i,
+			Parent:    -1,
+			Name:      rec.Name,
+			Origin:    origin,
+			Start:     s,
+			End:       s.Add(time.Duration(rec.DurationNs)),
+			WallNanos: rec.DurationNs,
+		}
+	}
+	return out
+}

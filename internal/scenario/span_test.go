@@ -1,0 +1,268 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spectra/internal/apps/pangloss"
+	"spectra/internal/obs"
+	"spectra/internal/testbed"
+	"spectra/internal/workload"
+)
+
+// TestRemoteOperationSpanTree is the span-tracing acceptance scenario: a
+// remote Pangloss translation must yield one stitched span tree covering
+// both sides of the RPC boundary — client-side predict, solve, and rpc
+// spans plus server-side exec spans shipped back in the RPC response, with
+// the server spans parented under the rpc span that carried the request.
+func TestRemoteOperationSpanTree(t *testing.T) {
+	sink := obs.NewMemorySink(0) // retain everything, including training runs
+	observer := obs.NewObserver()
+	observer.Sink = sink
+
+	tb, err := testbed.NewLaptop(testbed.Options{Obs: observer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := pangloss.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+
+	for _, words := range panglossTrainingSentences {
+		for _, alt := range pangloss.AllAlternatives(tb.Setup.Client.Servers()) {
+			if _, err := app.TranslateForced(alt, words); err != nil {
+				t.Fatalf("training: %v", err)
+			}
+		}
+	}
+
+	// Load the client's CPU so remote execution wins deterministically.
+	tb.X560.SetBackgroundTasks(4)
+	for i := 0; i < 8; i++ {
+		tb.Setup.Refresh()
+	}
+
+	before := sink.Len()
+	rep, err := app.Translate(26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := rep.Decision.Alternative.Server
+	if server == "" {
+		t.Fatalf("solver chose local under a loaded client CPU: %+v", rep.Decision.Alternative)
+	}
+
+	traces := sink.Traces()
+	if len(traces) != before+1 {
+		t.Fatalf("traces = %d, want %d", len(traces), before+1)
+	}
+	tr := traces[len(traces)-1]
+	if len(tr.Spans) == 0 {
+		t.Fatal("remote operation's trace has no spans")
+	}
+
+	byName := map[string][]obs.Span{}
+	for _, s := range tr.Spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	for _, name := range []string{obs.SpanPredict, obs.SpanSolve, obs.SpanRPC} {
+		if len(byName[name]) == 0 {
+			t.Errorf("span tree missing client-side %s span: %v", name, spanNames(tr.Spans))
+		}
+	}
+	execs := byName[obs.SpanServerExec]
+	if len(execs) == 0 {
+		t.Fatalf("span tree missing server-side exec span: %v", spanNames(tr.Spans))
+	}
+
+	// Server spans carry the server's name and are stitched under a
+	// client-side rpc span, inside the operation's time window.
+	for _, exec := range execs {
+		if exec.Origin != server {
+			t.Errorf("server exec origin = %q, want %q", exec.Origin, server)
+		}
+		if exec.Parent < 0 || exec.Parent >= len(tr.Spans) {
+			t.Fatalf("server exec parent %d out of range", exec.Parent)
+		}
+		parent := tr.Spans[exec.Parent]
+		if parent.Name != obs.SpanRPC {
+			t.Errorf("server exec parented under %q, want %q", parent.Name, obs.SpanRPC)
+		}
+		if exec.Start.Before(tr.Begin) || exec.End.After(tr.End) {
+			t.Errorf("server exec [%v, %v] outside operation [%v, %v]",
+				exec.Start, exec.End, tr.Begin, tr.End)
+		}
+		// In the simulation both sides share the virtual clock, so the
+		// stitched exec span nests exactly inside its rpc span.
+		if exec.Start.Before(parent.Start) || exec.End.After(parent.End) {
+			t.Errorf("server exec [%v, %v] escapes its rpc span [%v, %v]",
+				exec.Start, exec.End, parent.Start, parent.End)
+		}
+	}
+
+	// The span IDs are the spans' indices and every parent precedes its
+	// children — the invariant the trace tooling's tree rendering relies on.
+	for i, s := range tr.Spans {
+		if s.ID != i {
+			t.Fatalf("span %d has ID %d", i, s.ID)
+		}
+		if s.Parent >= i {
+			t.Fatalf("span %d parented forward to %d", i, s.Parent)
+		}
+	}
+
+	// Predict and solve consume no virtual time but report wall cost.
+	for _, name := range []string{obs.SpanPredict, obs.SpanSolve} {
+		for _, s := range byName[name] {
+			if s.Cost() <= 0 {
+				t.Errorf("%s span cost = %v, want > 0", name, s.Cost())
+			}
+		}
+	}
+}
+
+// TestObservabilitySoak drives a churning translation workload with full
+// observability on — span tracing, flight recorder, resource telemetry —
+// and checks the recorded JSONL file reads back complete. CI sets
+// SPECTRA_TRACE_FILE to keep the file and upload it as an artifact;
+// locally it lands in the test's temp dir.
+func TestObservabilitySoak(t *testing.T) {
+	path := os.Getenv("SPECTRA_TRACE_FILE")
+	if path == "" {
+		path = filepath.Join(t.TempDir(), "soak-traces.jsonl")
+	}
+	recorder, err := obs.NewJSONLSink(path, obs.JSONLSinkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := obs.NewMemorySink(32)
+	observer := obs.NewObserver()
+	mem.AttachMetrics(observer.Registry)
+	recorder.AttachMetrics(observer.Registry)
+	observer.Sink = obs.MultiSink(mem, recorder)
+	observer.TimeSeries = obs.NewTimeSeriesRecorder(256)
+
+	tb, err := testbed.NewLaptop(testbed.Options{Obs: observer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := pangloss.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	for _, alt := range pangloss.AllAlternatives(tb.Setup.Client.Servers()) {
+		if _, err := app.TranslateForced(alt, 10); err != nil {
+			t.Fatalf("training: %v", err)
+		}
+	}
+	trained := recorder.Emitted()
+
+	rng := workload.NewRNG(17)
+	sentences := workload.Sentences(11, 120, 40)
+	for i, words := range sentences {
+		if i%15 == 7 {
+			switch rng.Intn(3) {
+			case 0:
+				tb.X560.SetBackgroundTasks(rng.Intn(5))
+			case 1:
+				tb.ServerA.SetBackgroundTasks(rng.Intn(3))
+			case 2:
+				tb.WirelessB.SetPartitioned(!tb.WirelessB.Partitioned())
+			}
+			tb.Setup.Refresh()
+		}
+		if _, err := app.Translate(words); err != nil {
+			t.Fatalf("translate %d (%vw): %v", i, words, err)
+		}
+	}
+
+	if err := recorder.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if recorder.Dropped() != 0 {
+		t.Errorf("flight recorder dropped %d traces", recorder.Dropped())
+	}
+	traces, skipped, err := obs.ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("flight recorder produced %d unparsable lines", skipped)
+	}
+	want := int(trained) + len(sentences)
+	if len(traces) < want {
+		t.Fatalf("flight recorder holds %d traces, want >= %d", len(traces), want)
+	}
+	withSpans := 0
+	for _, tr := range traces {
+		if len(tr.Spans) > 0 {
+			withSpans++
+		}
+	}
+	if withSpans == 0 {
+		t.Fatal("no recorded trace carries spans")
+	}
+	// The background resource history accumulated alongside the decisions.
+	if len(observer.TimeSeries.Names()) == 0 {
+		t.Error("no resource time-series recorded")
+	}
+}
+
+func spanNames(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TestLocalOperationSpanTree checks the local path: a solver-made local
+// decision yields predict, solve, and local spans and no server spans.
+func TestLocalOperationSpanTree(t *testing.T) {
+	sink := obs.NewMemorySink(64)
+	observer := obs.NewObserver()
+	observer.Sink = sink
+
+	tb, err := testbed.NewLaptop(testbed.Options{Obs: observer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := pangloss.Install(tb.Setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Setup.Refresh()
+	for _, alt := range pangloss.AllAlternatives(nil) {
+		if _, err := app.TranslateForced(alt, 4); err != nil {
+			t.Fatalf("training: %v", err)
+		}
+	}
+
+	// Partition both servers: only local alternatives remain feasible.
+	tb.WirelessA.SetPartitioned(true)
+	tb.WirelessB.SetPartitioned(true)
+	tb.Setup.Refresh()
+
+	rep, err := app.Translate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Decision.Alternative.Server != "" {
+		t.Fatalf("partitioned run went remote: %+v", rep.Decision.Alternative)
+	}
+	tr := sink.Traces()[sink.Len()-1]
+	byName := map[string]int{}
+	for _, s := range tr.Spans {
+		byName[s.Name]++
+	}
+	if byName[obs.SpanPredict] == 0 || byName[obs.SpanSolve] == 0 || byName[obs.SpanLocal] == 0 {
+		t.Errorf("local span tree incomplete: %v", spanNames(tr.Spans))
+	}
+	if byName[obs.SpanServerExec] != 0 || byName[obs.SpanRPC] != 0 {
+		t.Errorf("local run recorded remote spans: %v", spanNames(tr.Spans))
+	}
+}

@@ -32,6 +32,38 @@ func FuzzReadMessage(f *testing.F) {
 	})
 }
 
+// FuzzTraceRoundTrip checks encode/decode symmetry for the trace-context
+// field and server-side span records under arbitrary values.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), "server.exec", int64(10), int64(500))
+	f.Add(uint64(0), uint64(0), "", int64(-1), int64(0))
+	f.Fuzz(func(t *testing.T, traceID, spanID uint64, name string, startNs, durNs int64) {
+		if !utf8.ValidString(name) {
+			t.Skip("invalid UTF-8 identifiers are outside the protocol")
+		}
+		var buf bytes.Buffer
+		in := &Message{
+			Type:  MsgResponse,
+			ID:    1,
+			Trace: &TraceContext{TraceID: traceID, SpanID: spanID},
+			Spans: []SpanRecord{{Name: name, StartOffsetNs: startNs, DurationNs: durNs}},
+		}
+		if _, err := WriteMessage(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Trace == nil || *out.Trace != *in.Trace {
+			t.Fatalf("trace = %+v, want %+v", out.Trace, in.Trace)
+		}
+		if len(out.Spans) != 1 || out.Spans[0] != in.Spans[0] {
+			t.Fatalf("spans = %+v, want %+v", out.Spans, in.Spans)
+		}
+	})
+}
+
 // FuzzRoundTrip checks encode/decode symmetry for arbitrary payloads.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte("payload"), "service", "optype", uint64(7))

@@ -70,6 +70,34 @@ type Message struct {
 	Usage *UsageReport `json:"usage,omitempty"`
 	// Status carries a server resource snapshot on status replies.
 	Status *ServerStatus `json:"status,omitempty"`
+	// Trace propagates the client's trace context on requests; the server
+	// echoes it on the response so spans can be stitched.
+	Trace *TraceContext `json:"trace,omitempty"`
+	// Spans carries the server-side span records of a traced request on the
+	// response, as offsets from the server's receipt of the request.
+	Spans []SpanRecord `json:"spans,omitempty"`
+}
+
+// TraceContext identifies the client-side trace (and the span within it)
+// that a request executes under. Servers treat it as opaque: they echo it
+// back and emit SpanRecords for the work done on its behalf.
+type TraceContext struct {
+	// TraceID is the client's operation instance identifier.
+	TraceID uint64 `json:"traceId"`
+	// SpanID is the client-side rpc span the server's spans nest under.
+	SpanID uint64 `json:"spanId"`
+}
+
+// SpanRecord is one server-side span, expressed relative to the server's
+// receipt of the request so the client can rebase it onto its own timeline
+// without synchronized clocks.
+type SpanRecord struct {
+	Name string `json:"name"`
+	// StartOffsetNs is the span's start, in nanoseconds after the server
+	// read the request off the wire.
+	StartOffsetNs int64 `json:"startOffsetNs"`
+	// DurationNs is the span's length in nanoseconds.
+	DurationNs int64 `json:"durationNs"`
 }
 
 // UsageReport describes the resources one RPC consumed on a server.
@@ -109,6 +137,42 @@ type ServerStatus struct {
 	FetchRateBps float64 `json:"fetchRateBps"`
 	// Services lists the service names this server can execute.
 	Services []string `json:"services,omitempty"`
+}
+
+// WorkRequestBytes is the fixed encoded size of a WorkRequest.
+const WorkRequestBytes = 9
+
+// WorkRequest is the payload of the built-in "spectra.work" benchmark
+// service: a CPU demand in megacycles, optionally marked floating-point.
+// spectrad hosts the service and spectractl exercises it; both sides share
+// this encoding instead of hand-rolling the framing.
+type WorkRequest struct {
+	Megacycles    uint64
+	FloatingPoint bool
+}
+
+// Encode serializes the request: eight big-endian bytes of megacycles plus
+// a floating-point flag byte.
+func (w WorkRequest) Encode() []byte {
+	buf := make([]byte, WorkRequestBytes)
+	binary.BigEndian.PutUint64(buf, w.Megacycles)
+	if w.FloatingPoint {
+		buf[8] = 1
+	}
+	return buf
+}
+
+// DecodeWorkRequest parses an encoded work request. For compatibility with
+// old clients the flag byte may be absent.
+func DecodeWorkRequest(p []byte) (WorkRequest, error) {
+	if len(p) < 8 {
+		return WorkRequest{}, fmt.Errorf("wire: work request needs 8-byte megacycle header, got %d bytes", len(p))
+	}
+	w := WorkRequest{Megacycles: binary.BigEndian.Uint64(p)}
+	if len(p) > 8 && p[8] == 1 {
+		w.FloatingPoint = true
+	}
+	return w, nil
 }
 
 // WriteMessage frames and writes a message, returning the bytes put on the

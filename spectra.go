@@ -154,6 +154,25 @@ type (
 	// AccuracyTracker maintains rolling per-operation, per-resource
 	// relative prediction error.
 	AccuracyTracker = obs.AccuracyTracker
+	// Span is one timed phase of an operation (predict, solve, rpc,
+	// server-side exec, ...) inside a DecisionTrace's span tree.
+	Span = obs.Span
+	// TraceStore is a TraceSink that retains traces for later inspection
+	// (MemoryTraceSink implements it; the debug endpoint serves it).
+	TraceStore = obs.TraceStore
+	// TimeSeriesRecorder keeps a bounded history of timestamped resource
+	// samples per series, served at /debug/timeseries.
+	TimeSeriesRecorder = obs.TimeSeriesRecorder
+	// TimeSeriesPoint is one sample in a TimeSeriesRecorder series.
+	TimeSeriesPoint = obs.TimeSeriesPoint
+	// JSONLSink is a flight recorder: a TraceSink appending each trace as a
+	// JSON line with size-based rotation.
+	JSONLSink = obs.JSONLSink
+	// JSONLSinkOptions tunes JSONLSink rotation.
+	JSONLSinkOptions = obs.JSONLSinkOptions
+	// TelemetryOptions tunes the background resource sampler started by
+	// StartTelemetry.
+	TelemetryOptions = monitor.TelemetryOptions
 )
 
 // NewObserver returns an Observer with a fresh metrics registry and
@@ -169,6 +188,28 @@ var NewDebugMux = obs.NewDebugMux
 
 // ServeDebug serves a debug mux on addr in a background goroutine.
 var ServeDebug = obs.ServeDebug
+
+// NewTimeSeriesRecorder returns a resource-telemetry ring keeping at most
+// capPerSeries points per series (<= 0 selects the default, 1024).
+var NewTimeSeriesRecorder = obs.NewTimeSeriesRecorder
+
+// NewJSONLSink opens (appending) a flight-recorder trace file.
+var NewJSONLSink = obs.NewJSONLSink
+
+// ReadTraceFile reads decision traces back from a flight-recorder file,
+// skipping unparsable lines.
+var ReadTraceFile = obs.ReadTraceFile
+
+// MultiTraceSink fans each trace out to every given sink.
+var MultiTraceSink = obs.MultiSink
+
+// StartTelemetry samples a monitor set into a TimeSeriesRecorder at a fixed
+// interval until the returned stop function is called.
+var StartTelemetry = monitor.StartTelemetry
+
+// RecordSnapshot writes one monitor snapshot into a TimeSeriesRecorder as a
+// single batch, returning the batch sequence number.
+var RecordSnapshot = monitor.RecordSnapshot
 
 // Server health states: closed (healthy), open (quarantined after repeated
 // failures), half-open (probing after quarantine).
