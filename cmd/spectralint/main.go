@@ -1,0 +1,163 @@
+// Command spectralint runs Spectra's static-analysis suite — the
+// invariants the compiler cannot see: virtual-clock discipline in
+// deterministic packages, nil-receiver guards on observability handles,
+// no blocking under mutexes, a coherent metric namespace, and classified
+// errors at the RPC boundary.
+//
+// Usage:
+//
+//	go run ./cmd/spectralint [-json report.json] [packages...]
+//
+// With no packages it lints ./.... It prints one line per finding
+// (file:line:col: analyzer: message), honors //lint:allow suppressions,
+// and exits 1 if any finding survives, 2 on a load failure — so CI can
+// gate on it. -json additionally writes a machine-readable report for
+// artifact upload.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"spectra/internal/lint"
+	"spectra/internal/lint/analysis"
+	"spectra/internal/lint/load"
+)
+
+func main() {
+	os.Exit(Main(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// finding is one surviving diagnostic, in report form.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// report is the -json output document.
+type report struct {
+	// Packages is how many packages were analyzed.
+	Packages int `json:"packages"`
+	// Findings are the surviving diagnostics, in file order.
+	Findings []finding `json:"findings"`
+	// Suppressed counts diagnostics silenced by //lint:allow directives.
+	Suppressed int `json:"suppressed"`
+}
+
+// Main is the testable entry point: it lints the given patterns relative
+// to dir and returns the process exit code.
+func Main(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spectralint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonPath := fs.String("json", "", "write a JSON report to this `file`")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := load.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "spectralint: %v\n", err)
+		return 2
+	}
+
+	rep := report{Packages: len(prog.Roots)}
+	suite := lint.Suite()
+	for _, pkg := range prog.Roots {
+		sup := analysis.CollectSuppressions(prog.Fset, pkg.Files)
+		for _, a := range suite {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(stderr, "spectralint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
+				return 2
+			}
+			for _, d := range pass.Diagnostics() {
+				pos := prog.Fset.Position(d.Pos)
+				if sup.Allows(a.Name, pos) {
+					rep.Suppressed++
+					continue
+				}
+				rep.Findings = append(rep.Findings, finding{
+					File:     relPath(dir, pos.Filename),
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+		}
+	}
+
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		a, b := rep.Findings[i], rep.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	for _, f := range rep.Findings {
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	fmt.Fprintf(stdout, "spectralint: %d package(s), %d finding(s), %d suppressed\n",
+		rep.Packages, len(rep.Findings), rep.Suppressed)
+
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, rep); err != nil {
+			fmt.Fprintf(stderr, "spectralint: %v\n", err)
+			return 2
+		}
+	}
+	if len(rep.Findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens filename relative to dir when possible, for stable,
+// readable report paths.
+func relPath(dir, filename string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filename
+	}
+	rel, err := filepath.Rel(abs, filename)
+	if err != nil || rel == "" || rel[0] == '.' && len(rel) > 1 && rel[1] == '.' {
+		return filename
+	}
+	return rel
+}
+
+// writeReport writes the JSON report document.
+func writeReport(path string, rep report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,101 @@
+// Package errclass keeps errors crossing the RPC boundary classified.
+// Spectra's retry, failover, and circuit-breaker logic branches on error
+// class (rpc.IsTransient / rpc.IsRemote): a fresh, anonymous error built
+// with errors.New or fmt.Errorf at a return site in the RPC package is
+// invisible to that logic — it is neither transient (no retry, no
+// failover) nor remote, so callers silently fall into the most
+// conservative path and overhead accounting skews (cf. the fast cyber
+// foraging literature's dependence on accurate failure attribution).
+//
+// Rule: inside the configured packages, a return statement must not
+// return a direct errors.New(...) or fmt.Errorf(...) call. Classify the
+// failure instead: wrap it in one of the classification types
+// (*TransportError, *RemoteError), or declare a package-level sentinel
+// (var ErrX = errors.New(...)) so the class is nameable and testable with
+// errors.Is. Constructions nested inside a classification wrapper —
+// &TransportError{Err: fmt.Errorf(...)} — are fine: the wrapper carries
+// the class.
+package errclass
+
+import (
+	"go/ast"
+
+	"spectra/internal/lint/analysis"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// Packages lists the import paths forming the classified boundary
+	// (exact match), typically the RPC transport package.
+	Packages []string
+}
+
+// rawConstructors build anonymous, unclassified errors.
+var rawConstructors = map[string]bool{
+	"errors.New": true,
+	"fmt.Errorf": true,
+}
+
+// New returns the analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	pkgs := make(map[string]bool, len(cfg.Packages))
+	for _, p := range cfg.Packages {
+		pkgs[p] = true
+	}
+	return &analysis.Analyzer{
+		Name: "errclass",
+		Doc: "errors returned inside the RPC boundary must be classified " +
+			"(*TransportError, *RemoteError, or a named sentinel), never a " +
+			"bare errors.New/fmt.Errorf, so retry and circuit-breaker logic " +
+			"can see the error class",
+		Run: func(pass *analysis.Pass) error {
+			if !pkgs[pass.Pkg.Path()] {
+				return nil
+			}
+			for _, file := range pass.Files {
+				for _, decl := range file.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Body == nil {
+						continue
+					}
+					checkBody(pass, fn.Body)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// checkBody flags raw error constructions returned from fn's own body.
+// Function literals are checked too: closures inside the boundary return
+// across it just as easily.
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			call, ok := unparen(res).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			name := analysis.FullName(pass.FuncFor(call.Fun))
+			if rawConstructors[name] {
+				pass.Reportf(call.Pos(),
+					"unclassified error (%s) returned across the rpc boundary; wrap it in *TransportError/*RemoteError or return a named sentinel so IsTransient/IsRemote can classify it", name)
+			}
+		}
+		return true
+	})
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,21 @@
+package errclass_test
+
+import (
+	"testing"
+
+	"spectra/internal/lint/errclass"
+	"spectra/internal/lint/linttest"
+)
+
+func TestBoundary(t *testing.T) {
+	a := errclass.New(errclass.Config{
+		Packages: []string{"spectra/internal/lint/errclass/testdata/src/boundary"},
+	})
+	linttest.Run(t, a, "./testdata/src/boundary")
+}
+
+// TestOutsideBoundary: with no configured packages the analyzer is inert.
+func TestOutsideBoundary(t *testing.T) {
+	a := errclass.New(errclass.Config{})
+	linttest.Run(t, a, "./testdata/src/clean")
+}

@@ -1,0 +1,58 @@
+// Package boundary is a golden package for the errclass analyzer: it
+// models an RPC transport whose returned errors must carry a class.
+package boundary
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultError is the classification wrapper (cf. rpc.TransportError).
+type FaultError struct {
+	Op  string
+	Err error
+}
+
+// Error implements error.
+func (e *FaultError) Error() string { return e.Op + ": " + e.Err.Error() }
+
+// Unwrap exposes the cause.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// ErrClosed is a named sentinel: package-level construction is fine, the
+// name makes the class testable with errors.Is.
+var ErrClosed = errors.New("boundary: closed")
+
+func bad() error {
+	return errors.New("boundary: transient glitch") // want `unclassified error \(errors\.New\) returned across the rpc boundary`
+}
+
+func badf(code int) error {
+	return fmt.Errorf("boundary: code %d", code) // want `unclassified error \(fmt\.Errorf\) returned across the rpc boundary`
+}
+
+// badClosure: closures inside the boundary return across it just as
+// easily as named functions.
+func badClosure() error {
+	f := func() error {
+		return errors.New("boundary: from closure") // want `unclassified error \(errors\.New\)`
+	}
+	return f()
+}
+
+// wrapped is the sanctioned pattern: the raw construction is nested
+// inside the classification wrapper, which carries the class.
+func wrapped(code int) error {
+	return &FaultError{Op: "call", Err: fmt.Errorf("code %d", code)}
+}
+
+// sentinel returns a nameable, classifiable error.
+func sentinel() error {
+	return ErrClosed
+}
+
+// allowed carries the escape hatch.
+func allowed() error {
+	//lint:allow errclass golden test of the suppression path
+	return errors.New("boundary: annotated")
+}

@@ -1,0 +1,9 @@
+// Package clean returns raw errors outside any configured boundary: the
+// errclass analyzer must stay silent here.
+package clean
+
+import "errors"
+
+func plain() error {
+	return errors.New("clean: anything goes outside the boundary")
+}

@@ -1,0 +1,222 @@
+// Package load turns `go list` package metadata into type-checked syntax
+// trees for the lint suite. It is a minimal stand-in for
+// golang.org/x/tools/go/packages built only on the standard library: the
+// go command enumerates the import closure in dependency order
+// (`go list -deps -json`), and go/types checks each package from source,
+// resolving imports against the packages checked before it.
+//
+// Checked packages are cached per process (keyed by source directory), so
+// repeated loads — every analyzer test loads its golden package — pay for
+// the standard-library closure only once.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// Package is one type-checked package.
+type Package struct {
+	// ImportPath is the package's canonical import path.
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Files is the parsed syntax of the package's non-test Go files.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info is the type resolution for Files (nil for dependency-only
+	// packages, which are loaded solely so their importers resolve).
+	Info *types.Info
+}
+
+// Program is the result of one Load: the requested root packages in
+// dependency order, sharing one file set.
+type Program struct {
+	// Fset is the file set shared by every package in the program.
+	Fset *token.FileSet
+	// Roots are the packages matched by the load patterns, in dependency
+	// order (imported packages come before their importers).
+	Roots []*Package
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// cacheEntry is one checked package in the process-wide cache.
+type cacheEntry struct {
+	pkg *Package
+}
+
+var (
+	mu sync.Mutex
+	// fset is global so cached packages from earlier loads keep valid
+	// positions in later programs.
+	fset = token.NewFileSet()
+	// byDir caches checked packages by absolute source directory. Keying by
+	// directory (not import path) keeps distinct temporary test modules
+	// that reuse an import path from colliding.
+	byDir = make(map[string]*cacheEntry)
+)
+
+// Load lists patterns (e.g. "./...") relative to dir, then parses and
+// type-checks every package in the import closure, dependencies first.
+func Load(dir string, patterns ...string) (*Program, error) {
+	mu.Lock()
+	defer mu.Unlock()
+
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{Fset: fset}
+	// byPath maps import paths to checked packages for this program's
+	// importer. Seeded from the cache as entries resolve.
+	byPath := make(map[string]*Package, len(entries))
+	imp := &mapImporter{pkgs: byPath}
+
+	for _, e := range entries {
+		if e.ImportPath == "unsafe" {
+			continue
+		}
+		isRoot := !e.DepOnly
+		absDir, err := filepath.Abs(e.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if ce, ok := byDir[absDir]; ok && (!isRoot || ce.pkg.Info != nil) {
+			byPath[e.ImportPath] = ce.pkg
+			if isRoot {
+				prog.Roots = append(prog.Roots, ce.pkg)
+			}
+			continue
+		}
+		pkg, err := check(e, absDir, isRoot, imp)
+		if err != nil {
+			return nil, err
+		}
+		byDir[absDir] = &cacheEntry{pkg: pkg}
+		byPath[e.ImportPath] = pkg
+		if isRoot {
+			prog.Roots = append(prog.Roots, pkg)
+		}
+	}
+	return prog, nil
+}
+
+// goList runs `go list -deps -json` and decodes the entry stream. Cgo is
+// disabled so the pure-Go fallback file sets are listed and everything
+// type-checks without a C toolchain.
+func goList(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{
+		"list", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Standard,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// check parses and type-checks one package. Roots get full type
+// resolution info and comment-bearing syntax; dependencies are checked
+// only deeply enough to export their API.
+func check(e listEntry, absDir string, isRoot bool, imp types.Importer) (*Package, error) {
+	mode := parser.SkipObjectResolution
+	if isRoot {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(absDir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", e.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	var info *types.Info
+	if isRoot {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", e.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: e.ImportPath,
+		Dir:        absDir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// mapImporter resolves imports against the packages checked so far.
+type mapImporter struct {
+	pkgs map[string]*Package
+}
+
+// Import implements types.Importer.
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := m.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	// The standard library vendors golang.org/x dependencies: the entry is
+	// listed as vendor/golang.org/x/..., but sources import the bare path.
+	if p, ok := m.pkgs["vendor/"+path]; ok {
+		return p.Types, nil
+	}
+	return nil, fmt.Errorf("load: import %q not in dependency closure", path)
+}

@@ -1,0 +1,60 @@
+package load
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot is the repo root relative to this package's directory, where
+// `go test` runs the binary.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestLoadSinglePackage(t *testing.T) {
+	prog, err := Load(moduleRoot(t), "./internal/obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(prog.Roots))
+	}
+	p := prog.Roots[0]
+	if p.ImportPath != "spectra/internal/obs" {
+		t.Fatalf("import path = %q", p.ImportPath)
+	}
+	if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+		t.Fatalf("root package missing types, info, or files: %+v", p)
+	}
+	// Roots are parsed with comments so analyzers can see directives.
+	commented := false
+	for _, f := range p.Files {
+		if len(f.Comments) > 0 {
+			commented = true
+			break
+		}
+	}
+	if !commented {
+		t.Fatal("root package parsed without comments")
+	}
+}
+
+func TestLoadWildcard(t *testing.T) {
+	prog, err := Load(moduleRoot(t), "./internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Roots) < 5 {
+		t.Fatalf("roots = %d, want >= 5 analyzer packages", len(prog.Roots))
+	}
+	for _, p := range prog.Roots {
+		if p.Info == nil {
+			t.Errorf("%s: loaded as root without full type info", p.ImportPath)
+		}
+	}
+}

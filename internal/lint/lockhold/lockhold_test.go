@@ -1,0 +1,15 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"spectra/internal/lint/linttest"
+	"spectra/internal/lint/lockhold"
+)
+
+func TestLockHold(t *testing.T) {
+	a := lockhold.New(lockhold.Config{
+		Blocking: []string{"spectra/internal/lint/lockhold/testdata/src/locks.remoteCall"},
+	})
+	linttest.Run(t, a, "./testdata/src/locks")
+}

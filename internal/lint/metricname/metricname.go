@@ -1,0 +1,185 @@
+// Package metricname keeps Spectra's metric namespace coherent so
+// dashboards never drift from the code. Two rules:
+//
+//  1. Format: every string constant beginning with "spectra." must match
+//     the dotted-lowercase convention spectra.<seg>.<seg>... (segments of
+//     [a-z0-9_]; a trailing dot marks a name prefix such as
+//     obs.RelErrPrefix).
+//  2. Registration: a constant name passed to Registry.Counter / Gauge /
+//     Histogram must resolve to a name declared in the registry package
+//     (internal/obs), either exactly or by a declared prefix. Undeclared
+//     literals at instrumentation sites are exactly how a renamed metric
+//     silently vanishes from dashboards.
+//
+// The analyzer is stateful across one driver run: when it visits the
+// registry package it records every "spectra."-prefixed string constant as
+// declared; the driver's dependency-order traversal guarantees the
+// registry package is seen before its importers. Dynamically built names
+// (prefix + variable) are outside rule 2's reach and are skipped.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+	"strings"
+
+	"spectra/internal/lint/analysis"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// RegistryPkg is the import path whose "spectra."-prefixed string
+	// constants define the metric namespace.
+	RegistryPkg string
+	// RegisterFuncs are the metric-handle constructors (types.Func.FullName
+	// form) whose first argument is a metric name; nil selects
+	// DefaultRegisterFuncs rewritten against RegistryPkg.
+	RegisterFuncs []string
+	// Preregistered seeds the declared-name set, for tests or for names
+	// minted outside the registry package.
+	Preregistered []string
+}
+
+// DefaultRegisterFuncs are the Registry methods taking a metric name,
+// relative to the registry package path.
+var DefaultRegisterFuncs = []string{
+	"(*%s.Registry).Counter",
+	"(*%s.Registry).Gauge",
+	"(*%s.Registry).Histogram",
+}
+
+// namePattern is the dotted-lowercase convention; an optional trailing
+// dot marks a prefix constant.
+var namePattern = regexp.MustCompile(`^spectra(\.[a-z0-9_]+)+\.?$`)
+
+// nameShaped matches literals that are plausibly intended as metric
+// names: "spectra." followed only by name-ish characters. Literals with
+// spaces, format verbs, or other punctuation (error messages, prose) are
+// not metric names and are left alone.
+var nameShaped = regexp.MustCompile(`^spectra\.[A-Za-z0-9_.]+$`)
+
+// New returns the analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	registerFuncs := make(map[string]bool)
+	if cfg.RegisterFuncs == nil {
+		for _, tmpl := range DefaultRegisterFuncs {
+			registerFuncs[strings.Replace(tmpl, "%s", cfg.RegistryPkg, 1)] = true
+		}
+	} else {
+		for _, name := range cfg.RegisterFuncs {
+			registerFuncs[name] = true
+		}
+	}
+	declared := make(map[string]bool)
+	var prefixes []string
+	for _, name := range cfg.Preregistered {
+		if p, ok := strings.CutSuffix(name, "."); ok {
+			prefixes = append(prefixes, p+".")
+			continue
+		}
+		declared[name] = true
+	}
+	return &analysis.Analyzer{
+		Name: "metricname",
+		Doc: "metric name literals must follow the spectra.-prefixed " +
+			"dotted-lowercase convention and resolve to a name declared in " +
+			"the metrics registry package",
+		Run: func(pass *analysis.Pass) error {
+			inRegistry := pass.Pkg.Path() == cfg.RegistryPkg
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.BasicLit:
+						checkFormat(pass, n)
+					case *ast.CallExpr:
+						if !inRegistry {
+							checkRegistered(pass, n, registerFuncs, declared, prefixes)
+						}
+					}
+					return true
+				})
+				if inRegistry {
+					collectDeclared(pass, file, declared, &prefixes)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// checkFormat enforces rule 1 on any spectra.-prefixed string literal.
+func checkFormat(pass *analysis.Pass, lit *ast.BasicLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	s := constant.StringVal(tv.Value)
+	if !nameShaped.MatchString(s) {
+		return
+	}
+	if !namePattern.MatchString(s) {
+		pass.Reportf(lit.Pos(),
+			"metric name %q violates the spectra.-prefixed dotted-lowercase convention (segments of [a-z0-9_])", s)
+	}
+}
+
+// collectDeclared records the registry package's string constants.
+func collectDeclared(pass *analysis.Pass, file *ast.File, declared map[string]bool, prefixes *[]string) {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				c, ok := pass.TypesInfo.Defs[name].(interface{ Val() constant.Value })
+				if !ok {
+					continue
+				}
+				v := c.Val()
+				if v == nil || v.Kind() != constant.String {
+					continue
+				}
+				s := constant.StringVal(v)
+				if !strings.HasPrefix(s, "spectra.") {
+					continue
+				}
+				if strings.HasSuffix(s, ".") {
+					*prefixes = append(*prefixes, s)
+				} else {
+					declared[s] = true
+				}
+			}
+		}
+	}
+}
+
+// checkRegistered enforces rule 2 at metric-handle constructor calls.
+func checkRegistered(pass *analysis.Pass, call *ast.CallExpr, registerFuncs, declared map[string]bool, prefixes []string) {
+	f := pass.FuncFor(call.Fun)
+	if f == nil || !registerFuncs[analysis.FullName(f)] || len(call.Args) == 0 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		// Dynamically built names (prefix + variable) are unverifiable
+		// here; the format rule still covers their constant parts.
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if declared[name] {
+		return
+	}
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return
+		}
+	}
+	pass.Reportf(call.Args[0].Pos(),
+		"metric name %q is not declared in the metrics registry package; add a named constant there (or use an existing one) so dashboards track renames", name)
+}

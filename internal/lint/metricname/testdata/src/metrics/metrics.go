@@ -1,0 +1,26 @@
+// Package metrics is the golden registry package for the metricname
+// analyzer: its spectra.-prefixed string constants define the namespace,
+// and its Registry type carries the constructor methods the analyzer
+// watches (the shape of internal/obs, minus everything irrelevant).
+package metrics
+
+// Declared names. A trailing dot declares a prefix, like obs.RelErrPrefix.
+const (
+	MOps    = "spectra.golden.ops.total"
+	MLatSec = "spectra.golden.latency.seconds"
+	Prefix  = "spectra.golden.relerr."
+
+	MBadCase = "spectra.golden.BadSegment" // want `violates the spectra\.-prefixed dotted-lowercase convention`
+)
+
+// Registry is the constructor surface.
+type Registry struct{}
+
+// Counter returns a handle for the named counter.
+func (r *Registry) Counter(name string) int { return 0 }
+
+// Gauge returns a handle for the named gauge.
+func (r *Registry) Gauge(name string) int { return 0 }
+
+// Histogram returns a handle for the named histogram.
+func (r *Registry) Histogram(name string, bounds []float64) int { return 0 }

@@ -1,0 +1,36 @@
+// Package use is the golden instrumentation package for the metricname
+// analyzer: it registers metrics against the golden registry package.
+package use
+
+import "spectra/internal/lint/metricname/testdata/src/metrics"
+
+var reg = &metrics.Registry{}
+
+// localName is well-formed but declared here, not in the registry
+// package — exactly how a renamed metric drifts off the dashboards.
+const localName = "spectra.golden.local.total"
+
+var (
+	// Referencing registry constants is the sanctioned pattern.
+	a = reg.Counter(metrics.MOps)
+	b = reg.Histogram(metrics.MLatSec, nil)
+
+	// A literal is fine as long as it resolves to a declared name.
+	c = reg.Counter("spectra.golden.ops.total")
+
+	// Prefix-declared names admit any suffix (per-operation gauges).
+	d = reg.Gauge(metrics.Prefix + "op.cpu")
+
+	e = reg.Counter("spectra.golden.unknown.total") // want `not declared in the metrics registry package`
+	f = reg.Counter(localName)                      // want `not declared in the metrics registry package`
+
+	//lint:allow metricname golden test of the suppression path
+	g = reg.Counter("spectra.golden.adhoc.total")
+)
+
+// malformed violates the format rule regardless of registration.
+const malformed = "spectra.golden.Mixed_Case" // want `violates the spectra\.-prefixed dotted-lowercase convention`
+
+// prose is spectra.-prefixed but not name-shaped: error strings and log
+// messages are none of the analyzer's business.
+const prose = "spectra.golden: something went wrong"

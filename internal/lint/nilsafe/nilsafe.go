@@ -1,0 +1,210 @@
+// Package nilsafe enforces the observability layer's "nil observer ≈ zero
+// cost" contract (DESIGN.md §7): every exported method of a type marked
+// nil-callable must tolerate a nil receiver, so instrumented code can hold
+// nil handles and skip all bookkeeping without per-call guards.
+//
+// A type opts in with a //lint:nilsafe directive in its declaration doc
+// comment. For each exported method on such a type the analyzer requires:
+//
+//   - a pointer receiver (value receivers dereference at the call site,
+//     so a nil pointer panics before the body runs), and
+//   - a leading nil-receiver guard: either a first statement of the form
+//     `if r == nil { ...; return }` (the nil test may be one operand of
+//     the condition), or a single `return <expr>` whose expression tests
+//     the receiver against nil (e.g. `return r != nil && r.on`).
+//
+// Methods with unnamed receivers never touch the receiver and pass
+// trivially. Methods that are nil-safe by delegation can carry an
+// explicit //lint:allow nilsafe with a justification.
+package nilsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spectra/internal/lint/analysis"
+)
+
+// Marker is the doc-comment directive that opts a type into the check.
+const Marker = "//lint:nilsafe"
+
+// New returns the analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "nilsafe",
+		Doc: "exported methods on types marked //lint:nilsafe must begin " +
+			"with a nil-receiver guard so nil handles stay no-ops",
+		Run: run,
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	marked := markedTypes(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 || !fn.Name.IsExported() {
+				continue
+			}
+			named := receiverNamed(pass, fn)
+			if named == nil || !marked[named.Obj()] {
+				continue
+			}
+			checkMethod(pass, fn)
+		}
+	}
+	return nil
+}
+
+// markedTypes collects the type objects whose declarations carry the
+// //lint:nilsafe directive.
+func markedTypes(pass *analysis.Pass) map[types.Object]bool {
+	marked := make(map[types.Object]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasMarker(gd.Doc) && !hasMarker(ts.Doc) {
+					continue
+				}
+				if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+					marked[obj] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverNamed resolves a method's receiver to its named type, seeing
+// through one level of pointer.
+func receiverNamed(pass *analysis.Pass, fn *ast.FuncDecl) *types.Named {
+	field := fn.Recv.List[0]
+	tv, ok := pass.TypesInfo.Types[field.Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// checkMethod verifies one exported method of a marked type.
+func checkMethod(pass *analysis.Pass, fn *ast.FuncDecl) {
+	field := fn.Recv.List[0]
+	if _, isPtr := field.Type.(*ast.StarExpr); !isPtr {
+		pass.Reportf(fn.Name.Pos(),
+			"nil-callable type: exported method %s must use a pointer receiver (a value receiver panics on nil before the body runs)",
+			fn.Name.Name)
+		return
+	}
+	// An unnamed (or blank) receiver is never dereferenced.
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		return
+	}
+	recv := pass.TypesInfo.Defs[field.Names[0]]
+	if recv == nil || fn.Body == nil || len(fn.Body.List) == 0 {
+		return
+	}
+	if guards(pass, fn.Body.List[0], recv) {
+		return
+	}
+	pass.Reportf(fn.Name.Pos(),
+		"nil-callable type: exported method %s must begin with a nil-receiver guard (if %s == nil { ... })",
+		fn.Name.Name, field.Names[0].Name)
+}
+
+// guards reports whether stmt is an accepted nil-receiver guard for recv.
+func guards(pass *analysis.Pass, stmt ast.Stmt, recv types.Object) bool {
+	switch s := stmt.(type) {
+	case *ast.IfStmt:
+		return s.Init == nil && testsNil(pass, s.Cond, recv) && terminates(s.Body)
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			if testsNil(pass, res, recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// testsNil reports whether expr contains a `recv == nil` or `recv != nil`
+// comparison.
+func testsNil(pass *analysis.Pass, expr ast.Expr, recv types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		if isRecv(pass, be.X, recv) && isNil(pass, be.Y) ||
+			isRecv(pass, be.Y, recv) && isNil(pass, be.X) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isRecv(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recv
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNilObj := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNilObj
+}
+
+// terminates reports whether a guard body ends the method early: its last
+// statement is a return (or the body is a lone panic).
+func terminates(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package nilsafe_test
+
+import (
+	"testing"
+
+	"spectra/internal/lint/linttest"
+	"spectra/internal/lint/nilsafe"
+)
+
+func TestMarkedType(t *testing.T) {
+	linttest.Run(t, nilsafe.New(), "./testdata/src/handles")
+}

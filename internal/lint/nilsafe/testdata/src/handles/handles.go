@@ -1,0 +1,74 @@
+// Package handles is a golden package for the nilsafe analyzer: Tally
+// models an obs-style metric handle whose nil value must be a no-op.
+package handles
+
+// Tally is a nil-callable counter.
+//
+//lint:nilsafe
+type Tally struct {
+	n int64
+}
+
+// Inc carries the canonical leading guard.
+func (t *Tally) Inc() {
+	if t == nil {
+		return
+	}
+	t.n++
+}
+
+// Nonzero uses the return-expression guard form.
+func (t *Tally) Nonzero() bool { return t != nil && t.n != 0 }
+
+// MustInc guards by panicking with a better message than the nil deref.
+func (t *Tally) MustInc() {
+	if t == nil {
+		panic("nil Tally")
+	}
+	t.n++
+}
+
+// Doc never touches the receiver: an unnamed receiver passes trivially.
+func (*Tally) Doc() string { return "tally" }
+
+// Add is missing the guard entirely.
+func (t *Tally) Add(n int64) { // want `exported method Add must begin with a nil-receiver guard`
+	t.n += n
+}
+
+// Peek dereferences at the call site before the body can guard.
+func (t Tally) Peek() int64 { // want `exported method Peek must use a pointer receiver`
+	return t.n
+}
+
+// Reset guards too late: the receiver is touched first.
+func (t *Tally) Reset() { // want `exported method Reset must begin with a nil-receiver guard`
+	old := t.n
+	_ = old
+	if t == nil {
+		return
+	}
+	t.n = 0
+}
+
+// Value is nil-safe by delegation to Nonzero and Inc's guard style; the
+// annotation is the sanctioned escape hatch for that pattern.
+//
+//lint:allow nilsafe golden test of the suppression path
+func (t *Tally) Value() int64 {
+	if !t.Nonzero() {
+		return 0
+	}
+	return t.n
+}
+
+// reset is unexported: internal helpers may assume a checked receiver.
+func (t *Tally) reset() { t.n = 0 }
+
+// Loose is not marked nil-callable, so its methods are unconstrained.
+type Loose struct {
+	n int64
+}
+
+// Bump has no guard and needs none.
+func (l *Loose) Bump() { l.n++ }

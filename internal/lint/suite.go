@@ -1,0 +1,64 @@
+// Package lint assembles Spectra's analyzer suite with the repository's
+// invariants baked in: which packages are deterministic, where the metric
+// registry lives, which calls block, and where the classified error
+// boundary sits. cmd/spectralint runs this suite; tests under
+// internal/lint/* exercise each analyzer against golden packages.
+package lint
+
+import (
+	"spectra/internal/lint/analysis"
+	"spectra/internal/lint/errclass"
+	"spectra/internal/lint/lockhold"
+	"spectra/internal/lint/metricname"
+	"spectra/internal/lint/nilsafe"
+	"spectra/internal/lint/virtualclock"
+)
+
+// DeterministicPkgs are the packages whose code must read time only
+// through the injected clock: the simulated substrate, the decision
+// engine (solver, predictors), the network model, the scenario drivers
+// that replay the paper's experiments, and the observability layer whose
+// spans timestamp simulated operations. The live runtime (core's wall
+// paths, rpc, monitor sampling, the daemons) is exempt; the one place the
+// wall clock legitimately enters deterministic code — sim.RealClock — is
+// annotated with //lint:allow virtualclock.
+var DeterministicPkgs = []string{
+	"spectra/internal/sim",
+	"spectra/internal/solver",
+	"spectra/internal/predict",
+	"spectra/internal/simnet",
+	"spectra/internal/scenario",
+	"spectra/internal/obs",
+}
+
+// BlockingCalls are operations that must never run under a held mutex,
+// beyond lockhold's built-ins (channel ops, selects, time.Sleep,
+// WaitGroup.Wait): the RPC client's exchanges each hold the connection
+// for a full network round trip, Server.Close waits for serving
+// goroutines, and net.Dial blocks on connection establishment.
+var BlockingCalls = []string{
+	"(*spectra/internal/rpc.Client).Call",
+	"(*spectra/internal/rpc.Client).CallTraced",
+	"(*spectra/internal/rpc.Client).Status",
+	"(*spectra/internal/rpc.Client).Ping",
+	"(*spectra/internal/rpc.Server).Close",
+	"net.Dial",
+}
+
+// RegistryPkg declares the metric namespace (the M* constants).
+const RegistryPkg = "spectra/internal/obs"
+
+// ClassifiedPkgs form the error-classification boundary.
+var ClassifiedPkgs = []string{"spectra/internal/rpc"}
+
+// Suite returns the analyzers configured for this repository, in the
+// order the driver runs them.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		virtualclock.New(virtualclock.Config{DeterministicPkgs: DeterministicPkgs}),
+		nilsafe.New(),
+		lockhold.New(lockhold.Config{Blocking: BlockingCalls}),
+		metricname.New(metricname.Config{RegistryPkg: RegistryPkg}),
+		errclass.New(errclass.Config{Packages: ClassifiedPkgs}),
+	}
+}

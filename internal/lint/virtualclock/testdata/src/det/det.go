@@ -1,0 +1,40 @@
+// Package det is a golden package for the virtualclock analyzer: it
+// stands in for a deterministic package that must read time only through
+// an injected clock.
+package det
+
+import "time"
+
+// now reads the wall clock directly.
+func now() time.Time {
+	return time.Now() // want `wall clock in deterministic package: time\.Now`
+}
+
+// block exercises the sleeping and timer entry points.
+func block() {
+	time.Sleep(time.Millisecond)    // want `time\.Sleep breaks sim reproducibility`
+	<-time.After(time.Millisecond)  // want `time\.After breaks sim reproducibility`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer breaks sim reproducibility`
+	t.Stop()
+}
+
+// since uses the derived readers, which call time.Now internally.
+func since(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since breaks sim reproducibility`
+}
+
+// sleepFn shows that bare references are flagged, not just calls: storing
+// the function smuggles the wall clock past a call-site-only check.
+var sleepFn = time.Sleep // want `time\.Sleep breaks sim reproducibility`
+
+// methodsAreFine: time.Time.After is pure arithmetic on an existing
+// timestamp, not a clock read.
+func methodsAreFine(a, b time.Time) bool {
+	return a.After(b) && b.Sub(a) > 0
+}
+
+// allowed is the sanctioned adapter pattern (cf. sim.RealClock).
+func allowed() time.Time {
+	//lint:allow virtualclock golden test of the suppression path
+	return time.Now()
+}

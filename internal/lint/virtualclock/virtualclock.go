@@ -1,0 +1,97 @@
+// Package virtualclock enforces Spectra's determinism invariant: code on
+// the simulation path must read time through the injected clock
+// (sim.Clock), never the wall clock. The paper's self-tuning loop only
+// reproduces run-for-run if every timestamp a simulation observes comes
+// from the virtual clock; a single time.Now in a predictor or solver
+// corrupts logged demand histories in ways no test notices until results
+// drift (cf. Sesame's silent model degradation on bad timestamps).
+package virtualclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spectra/internal/lint/analysis"
+)
+
+// Config tunes the analyzer.
+type Config struct {
+	// DeterministicPkgs lists import paths (exact or prefix, a trailing
+	// "/..." marks a prefix) whose code must not touch the wall clock.
+	DeterministicPkgs []string
+	// Forbidden is the set of time-package functions to flag; nil selects
+	// DefaultForbidden.
+	Forbidden []string
+}
+
+// DefaultForbidden is the set of wall-clock entry points in package time.
+// Since and Until are included: both read time.Now internally.
+var DefaultForbidden = []string{
+	"Now", "Sleep", "After", "AfterFunc", "Tick",
+	"NewTimer", "NewTicker", "Since", "Until",
+}
+
+// New returns the analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	forbidden := cfg.Forbidden
+	if forbidden == nil {
+		forbidden = DefaultForbidden
+	}
+	bad := make(map[string]bool, len(forbidden))
+	for _, name := range forbidden {
+		bad[name] = true
+	}
+	return &analysis.Analyzer{
+		Name: "virtualclock",
+		Doc: "forbids wall-clock reads (time.Now, time.Sleep, timers) in " +
+			"deterministic packages; route time through the injected sim.Clock " +
+			"or annotate live-only paths with //lint:allow virtualclock",
+		Run: func(pass *analysis.Pass) error {
+			if !matchPkg(cfg.DeterministicPkgs, pass.Pkg.Path()) {
+				return nil
+			}
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					f := pass.FuncFor(sel)
+					if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" {
+						return true
+					}
+					// Only package-level functions read the wall clock;
+					// methods like time.Time.After are pure arithmetic.
+					if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+						return true
+					}
+					if bad[f.Name()] {
+						pass.Reportf(sel.Pos(),
+							"wall clock in deterministic package: time.%s breaks sim reproducibility; use the injected sim.Clock",
+							f.Name())
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// matchPkg reports whether path matches any pattern (exact, or prefix for
+// patterns ending in "/...").
+func matchPkg(patterns []string, path string) bool {
+	for _, p := range patterns {
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+			if path == prefix || strings.HasPrefix(path, prefix+"/") {
+				return true
+			}
+			continue
+		}
+		if path == p {
+			return true
+		}
+	}
+	return false
+}

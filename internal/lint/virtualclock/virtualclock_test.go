@@ -1,0 +1,66 @@
+package virtualclock_test
+
+import (
+	"testing"
+
+	"spectra/internal/lint/analysis"
+	"spectra/internal/lint/linttest"
+	"spectra/internal/lint/load"
+	"spectra/internal/lint/virtualclock"
+)
+
+const goldenPath = "spectra/internal/lint/virtualclock/testdata/src/det"
+
+func TestDeterministicPackage(t *testing.T) {
+	a := virtualclock.New(virtualclock.Config{
+		DeterministicPkgs: []string{goldenPath},
+	})
+	linttest.Run(t, a, "./testdata/src/det")
+}
+
+// runOnGolden runs an analyzer over the golden package directly, without
+// the want-comment machinery, and returns its diagnostics.
+func runOnGolden(t *testing.T, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	prog, err := load.Load(".", "./testdata/src/det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Roots) != 1 {
+		t.Fatalf("roots = %d, want 1", len(prog.Roots))
+	}
+	pkg := prog.Roots[0]
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      prog.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return pass.Diagnostics()
+}
+
+// TestExemptPackage reruns the same golden sources with a config that does
+// not list them as deterministic: every finding must vanish, proving the
+// analyzer is scoped and will not fire on the live runtime.
+func TestExemptPackage(t *testing.T) {
+	a := virtualclock.New(virtualclock.Config{
+		DeterministicPkgs: []string{"spectra/internal/some/other/pkg"},
+	})
+	if diags := runOnGolden(t, a); len(diags) != 0 {
+		t.Fatalf("exempt package produced %d findings, want 0", len(diags))
+	}
+}
+
+// TestPrefixPattern checks the "/..." form of DeterministicPkgs.
+func TestPrefixPattern(t *testing.T) {
+	a := virtualclock.New(virtualclock.Config{
+		DeterministicPkgs: []string{"spectra/internal/lint/virtualclock/..."},
+	})
+	if diags := runOnGolden(t, a); len(diags) == 0 {
+		t.Fatal("prefix pattern did not match the golden package")
+	}
+}

@@ -24,7 +24,10 @@ type AccuracyStat struct {
 
 // AccuracyTracker maintains rolling per-operation, per-resource relative
 // prediction-error estimates, fed from decision traces at EndFidelityOp.
-// It is safe for concurrent use.
+// It is safe for concurrent use; a nil tracker absorbs nothing and reports
+// no statistics.
+//
+//lint:nilsafe
 type AccuracyTracker struct {
 	mu    sync.Mutex
 	decay float64
@@ -49,6 +52,8 @@ func NewAccuracyTracker(decay float64) *AccuracyTracker {
 
 // Observe absorbs one relative-error sample for the operation and resource
 // and returns the updated rolling mean.
+//
+//lint:allow nilsafe nil-safe by delegation: stat and observeStat both guard
 func (a *AccuracyTracker) Observe(op, resource string, relErr float64) float64 {
 	return a.observeStat(a.stat(op, resource), relErr)
 }
@@ -109,6 +114,8 @@ func (a *AccuracyTracker) RelativeError(op, resource string) (mean float64, samp
 // stat cell and gauge for each resource are resolved once and cached, so
 // the End hot path costs one small-map lookup, one lock, and an atomic
 // store per resource. A nil handle is a no-op.
+//
+//lint:nilsafe
 type OpAccuracy struct {
 	o  *Observer
 	op string

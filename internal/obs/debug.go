@@ -92,6 +92,8 @@ func ServeDebug(addr string, reg *Registry, acc *AccuracyTracker) (string, func(
 
 // ServeDebug starts the observer's full debug surface (DebugMux) on addr
 // and returns the bound address and a shutdown function.
+//
+//lint:allow nilsafe nil-safe by delegation: DebugMux carries the guard
 func (o *Observer) ServeDebug(addr string) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

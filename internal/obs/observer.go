@@ -78,6 +78,8 @@ var (
 // sink, and the predictor-accuracy tracker. A nil *Observer disables
 // everything; a non-nil Observer with a nil Sink keeps metrics and
 // accuracy accounting but skips trace construction entirely.
+//
+//lint:nilsafe
 type Observer struct {
 	// Registry receives all metrics; nil disables them.
 	Registry *Registry
@@ -123,10 +125,12 @@ func RegisterCoreMetrics(r *Registry) {
 		MRPCRetries, MRPCRedials,
 		MPredictHitBin, MPredictHitGeneric, MPredictHitData, MPredictMiss,
 		MTracesDropped,
+		MServerRequests, MServerErrors,
 	} {
 		r.Counter(name)
 	}
 	r.Histogram(MBeginSeconds, DefaultLatencyBuckets)
+	r.Histogram(MServerExecSeconds, DefaultLatencyBuckets)
 	r.Histogram(MSolverCandidates, DefaultCountBuckets)
 	r.Histogram(MSolverRankPct, DefaultPercentBuckets)
 	r.Histogram(MPollSeconds, DefaultLatencyBuckets)
@@ -147,9 +151,10 @@ func (o *Observer) Timeline() *TimeSeriesRecorder {
 
 // Emit forwards a completed trace to the sink, if any.
 func (o *Observer) Emit(t *DecisionTrace) {
-	if o != nil && o.Sink != nil {
-		o.Sink.Emit(t)
+	if o == nil || o.Sink == nil {
+		return
 	}
+	o.Sink.Emit(t)
 }
 
 // ObservePredictionError feeds one operation's per-resource relative errors

@@ -54,10 +54,22 @@ func (s Span) Cost() time.Duration {
 	return d
 }
 
+// wallNow is the wall-clock source for WallNanos. Spans deliberately
+// record honest wall-clock cost alongside runtime-clock timestamps — in a
+// simulation the runtime clock stands still during prediction and solving,
+// so the wall duration is the only true cost signal (see the Span doc) —
+// making this obs's single sanctioned wall-clock read. Deterministic tests
+// can stub it.
+//
+//lint:allow virtualclock spans record honest wall-clock cost even in sims
+var wallNow = time.Now
+
 // SpanRecorder accumulates the span tree of one in-flight operation. A nil
 // recorder is a no-op on every method — the untraced path allocates and
 // records nothing — so call sites need no guards. It is safe for concurrent
 // use (parallel execution plans record branch spans concurrently).
+//
+//lint:nilsafe
 type SpanRecorder struct {
 	mu  sync.Mutex
 	now func() time.Time
@@ -87,7 +99,7 @@ func (r *SpanRecorder) Start(name string, parent int) int {
 		Name:   name,
 		Start:  r.now(),
 	})
-	r.wallStart = append(r.wallStart, time.Now())
+	r.wallStart = append(r.wallStart, wallNow())
 	r.mu.Unlock()
 	return id
 }
@@ -101,7 +113,7 @@ func (r *SpanRecorder) EndSpan(id int) {
 	r.mu.Lock()
 	if id < len(r.spans) {
 		r.spans[id].End = r.now()
-		r.spans[id].WallNanos = time.Since(r.wallStart[id]).Nanoseconds()
+		r.spans[id].WallNanos = wallNow().Sub(r.wallStart[id]).Nanoseconds()
 	}
 	r.mu.Unlock()
 }

@@ -26,7 +26,11 @@ type TimeSeriesPoint struct {
 // resource series — the history behind /debug/timeseries. Writers are the
 // decision path (every snapshot the solver consumes) and the background
 // telemetry sampler; both are cheap: a mutex, a map lookup per series, and
-// a ring slot overwrite once warm.
+// a ring slot overwrite once warm. A nil recorder records nothing and
+// returns empty results — Observer.Timeline hands one out when telemetry
+// is disabled, so every method must tolerate it.
+//
+//lint:nilsafe
 type TimeSeriesRecorder struct {
 	mu     sync.Mutex
 	cap    int
@@ -112,6 +116,9 @@ func (r *TimeSeriesRecorder) pushLocked(name string, p TimeSeriesPoint) {
 
 // Names returns the recorded series names, sorted.
 func (r *TimeSeriesRecorder) Names() []string {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]string, 0, len(r.series))
@@ -124,6 +131,9 @@ func (r *TimeSeriesRecorder) Names() []string {
 
 // Series returns one series' retained points, oldest first.
 func (r *TimeSeriesRecorder) Series(name string) []TimeSeriesPoint {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	ring, ok := r.series[name]
@@ -135,6 +145,9 @@ func (r *TimeSeriesRecorder) Series(name string) []TimeSeriesPoint {
 
 // Snapshot returns every series' retained points, oldest first.
 func (r *TimeSeriesRecorder) Snapshot() map[string][]TimeSeriesPoint {
+	if r == nil {
+		return map[string][]TimeSeriesPoint{}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string][]TimeSeriesPoint, len(r.series))
@@ -147,6 +160,8 @@ func (r *TimeSeriesRecorder) Snapshot() map[string][]TimeSeriesPoint {
 // Handler serves the recorder as JSON. Without parameters it returns every
 // series; ?series=NAME restricts to one, and ?n=N keeps only each series'
 // newest N points.
+//
+//lint:allow nilsafe nil-safe by delegation: the closure only calls Series and Snapshot
 func (r *TimeSeriesRecorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

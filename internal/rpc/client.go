@@ -1,7 +1,6 @@
 package rpc
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -182,7 +181,7 @@ func (c *Client) Status() (*wire.ServerStatus, error) {
 		return nil, err
 	}
 	if reply.Status == nil {
-		return nil, errors.New("rpc: empty status reply")
+		return nil, &TransportError{Op: "status", Addr: c.addr, Err: errEmptyStatus}
 	}
 	return reply.Status, nil
 }
@@ -295,7 +294,7 @@ func (c *Client) exchange(msg *wire.Message) (*wire.Message, error) {
 // c.mu.
 func (c *Client) ensureConnLocked() error {
 	if c.closed {
-		return errors.New("rpc: client closed")
+		return ErrClientClosed
 	}
 	if c.conn != nil {
 		return nil

@@ -30,6 +30,22 @@ func (e *TransportError) Error() string {
 // Unwrap exposes the cause for errors.Is/As.
 func (e *TransportError) Unwrap() error { return e.Err }
 
+// Sentinel errors: named, classified terminal states of the endpoint
+// lifecycles. They are deliberately neither transport nor remote errors —
+// a closed endpoint is permanent, so retry and failover must not engage —
+// and callers can test for them with errors.Is.
+var (
+	// ErrClientClosed reports an exchange attempted on a Close()d client.
+	ErrClientClosed = errors.New("rpc: client closed")
+	// ErrServerClosed reports Listen called on a Close()d server.
+	ErrServerClosed = errors.New("rpc: server closed")
+)
+
+// errEmptyStatus is the cause carried by the *TransportError returned when
+// a status exchange completes without a status payload (a protocol
+// violation: the stream cannot be trusted).
+var errEmptyStatus = errors.New("empty status reply")
+
 // IsTransient reports whether an RPC failure is worth retrying or failing
 // over: transport faults are, remote application errors are not.
 func IsTransient(err error) bool {

@@ -1,7 +1,6 @@
 package rpc
 
 import (
-	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -97,13 +96,13 @@ func (s *Server) Services() []string {
 func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("rpc: listen: %w", err)
+		return "", &TransportError{Op: "listen", Addr: addr, Err: err}
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		ln.Close()
-		return "", errors.New("rpc: server closed")
+		return "", ErrServerClosed
 	}
 	s.listener = ln
 	s.mu.Unlock()

@@ -43,6 +43,13 @@ type OverheadResult struct {
 // fullCacheFiles is how many files the full-cache variant tracks.
 const fullCacheFiles = 2000
 
+// overheadClock times the do/end phases of Figure 10. The measurement is
+// deliberately wall-clock — the figure reports the real cost of Spectra's
+// API around a null operation, which consumes no virtual time — but it is
+// routed through the clock interface so deterministic tests can inject a
+// virtual clock and assert on the accounting instead of the hardware.
+var overheadClock sim.Clock = sim.RealClock{}
+
 // RunOverhead reproduces Figure 10: a null operation measured with 0, 1,
 // and 5 candidate servers, plus a 1-server variant whose file model tracks
 // thousands of files (the paper's "cache is full" case, where file-cache
@@ -168,7 +175,7 @@ func runOverheadConfig(serverCount int, fullCache bool, opts testbed.Options) (O
 		res.BeginOther += oh.Other
 		res.Candidates = octx.Decision().Candidates
 
-		doStart := time.Now()
+		doStart := overheadClock.Now()
 		if octx.Plan() == "remote" {
 			_, err = octx.DoRemoteOp("null", nil)
 		} else {
@@ -177,13 +184,13 @@ func runOverheadConfig(serverCount int, fullCache bool, opts testbed.Options) (O
 		if err != nil {
 			return OverheadResult{}, err
 		}
-		res.DoLocal += time.Since(doStart)
+		res.DoLocal += overheadClock.Now().Sub(doStart)
 
-		endStart := time.Now()
+		endStart := overheadClock.Now()
 		if _, err := octx.End(); err != nil {
 			return OverheadResult{}, err
 		}
-		res.End += time.Since(endStart)
+		res.End += overheadClock.Now().Sub(endStart)
 	}
 	div := func(d time.Duration) time.Duration { return d / overheadIterations }
 	res.Begin = div(res.Begin)
