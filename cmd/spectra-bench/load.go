@@ -1,0 +1,280 @@
+// Load harness: spectra-bench -load measures end-to-end operation
+// throughput through the full live stack — decision path, connection
+// pool, RPC, usage feedback — against an in-process spectrad-equivalent
+// server. It exists to quantify the concurrency of the client→server
+// path: with -pool 1 it reproduces the old single-connection
+// serialization, with -pool N it demonstrates genuinely overlapping
+// remote operations.
+//
+// Output is a single JSON object (stdout, plus -out FILE), the first
+// trajectory point of the BENCH_*.json series:
+//
+//	{
+//	  "durationSec": 2.0, "concurrency": 16, "poolSize": 4, "rate": 0,
+//	  "ops": 812, "errors": 0, "shed": 0, "opsPerSec": 406.0,
+//	  "latencyMs": {"p50": 38.9, "p95": 41.2, "p99": 44.0,
+//	                "mean": 39.3, "max": 51.7}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spectra"
+
+	spectrarpc "spectra/internal/rpc"
+)
+
+// loadConfig parameterizes one throughput run.
+type loadConfig struct {
+	// Duration is the measured window (after warm-up).
+	Duration time.Duration
+	// Concurrency is the number of closed-loop worker goroutines.
+	Concurrency int
+	// PoolSize caps connections per server; 1 is the serialized baseline.
+	PoolSize int
+	// Rate switches to open-loop arrivals at this many ops/sec; 0 keeps
+	// the closed loop. Arrivals finding every worker busy are shed.
+	Rate float64
+	// WorkMc is the per-operation server CPU demand in megacycles; at the
+	// server's ServerMHz model this sets the service time.
+	WorkMc float64
+	// ServerMHz is the in-process server's modeled clock.
+	ServerMHz float64
+	// MaxConcurrent/MaxQueue apply server admission control when
+	// MaxConcurrent > 0; overload sheds are counted, not errored.
+	MaxConcurrent int
+	MaxQueue      int
+	// Out writes the JSON result to this file as well as stdout.
+	Out string
+}
+
+// loadResult is the harness's JSON output.
+type loadResult struct {
+	DurationSec float64      `json:"durationSec"`
+	Concurrency int          `json:"concurrency"`
+	PoolSize    int          `json:"poolSize"`
+	Rate        float64      `json:"rate"`
+	Ops         int64        `json:"ops"`
+	Errors      int64        `json:"errors"`
+	Shed        int64        `json:"shed"`
+	OpsPerSec   float64      `json:"opsPerSec"`
+	Latency     latencyStats `json:"latencyMs"`
+}
+
+type latencyStats struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// runLoad stands up an in-process server, drives it with concurrent
+// operations through a live client for cfg.Duration, and reports
+// throughput and latency percentiles.
+func runLoad(cfg loadConfig) (loadResult, error) {
+	res := loadResult{
+		DurationSec: cfg.Duration.Seconds(),
+		Concurrency: cfg.Concurrency,
+		PoolSize:    cfg.PoolSize,
+		Rate:        cfg.Rate,
+	}
+
+	machine := spectra.NewMachine(spectra.MachineConfig{
+		Name:        "bench-server",
+		SpeedMHz:    cfg.ServerMHz,
+		OnWallPower: true,
+	})
+	node := spectra.NewNode(machine, nil, nil)
+	srv := spectra.NewServer("bench-server", node, spectra.RealClock{})
+	srv.Register("bench.work", func(ctx *spectra.ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(spectra.ComputeDemand{IntegerMegacycles: cfg.WorkMc})
+		return []byte("done"), nil
+	})
+	if cfg.MaxConcurrent > 0 {
+		srv.SetLimits(spectra.ServerLimits{
+			MaxConcurrent: cfg.MaxConcurrent,
+			MaxQueue:      cfg.MaxQueue,
+		})
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+
+	setup, err := spectra.NewLiveSetup(spectra.LiveOptions{
+		Servers:  map[string]string{"bench": addr},
+		PoolSize: cfg.PoolSize,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer setup.Runtime.Close()
+
+	op, err := setup.Client.RegisterFidelity(spectra.OperationSpec{
+		Name:    "bench.load",
+		Service: "bench.work",
+		Plans:   []spectra.PlanSpec{{Name: "remote", UsesServer: true}},
+	})
+	if err != nil {
+		return res, err
+	}
+	setup.Client.PollServers()
+	setup.Client.Probe()
+
+	runOnce := func() error {
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			return err
+		}
+		if _, err := octx.DoRemoteOp("run", []byte("x")); err != nil {
+			octx.Abort()
+			return err
+		}
+		_, err = octx.End()
+		return err
+	}
+
+	// Warm up: train the predictors and fill the connection pool so the
+	// measured window sees steady state, not dial and cold-model costs.
+	warm := cfg.Concurrency
+	if warm < 4 {
+		warm = 4
+	}
+	for i := 0; i < warm; i++ {
+		if err := runOnce(); err != nil {
+			return res, fmt.Errorf("warm-up: %w", err)
+		}
+	}
+
+	var (
+		ops, errs, shed atomic.Int64
+		latMu           sync.Mutex
+		latencies       []time.Duration
+	)
+	record := func(d time.Duration, err error) {
+		switch {
+		case err == nil:
+			ops.Add(1)
+			latMu.Lock()
+			latencies = append(latencies, d)
+			latMu.Unlock()
+		case spectrarpc.IsOverloaded(err):
+			shed.Add(1)
+		default:
+			errs.Add(1)
+		}
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+
+	// Open loop: a dispatcher paces arrivals; an arrival that finds no
+	// free worker is shed client-side (the queue would otherwise hide the
+	// server's true capacity).
+	var arrivals chan struct{}
+	if cfg.Rate > 0 {
+		arrivals = make(chan struct{}, cfg.Concurrency)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(arrivals)
+			tick := time.NewTicker(time.Duration(float64(time.Second) / cfg.Rate))
+			defer tick.Stop()
+			for time.Now().Before(deadline) {
+				<-tick.C
+				select {
+				case arrivals <- struct{}{}:
+				default:
+					shed.Add(1)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if arrivals != nil {
+				for range arrivals {
+					t0 := time.Now()
+					err := runOnce()
+					record(time.Since(t0), err)
+				}
+				return
+			}
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				err := runOnce()
+				record(time.Since(t0), err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.Ops = ops.Load()
+	res.Errors = errs.Load()
+	res.Shed = shed.Load()
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	res.Latency = summarize(latencies)
+	return res, nil
+}
+
+// summarize computes latency percentiles in milliseconds.
+func summarize(lats []time.Duration) latencyStats {
+	if len(lats) == 0 {
+		return latencyStats{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	ms := func(d time.Duration) float64 {
+		return math.Round(float64(d)/float64(time.Millisecond)*1000) / 1000
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	return latencyStats{
+		P50:  ms(pct(0.50)),
+		P95:  ms(pct(0.95)),
+		P99:  ms(pct(0.99)),
+		Mean: ms(sum / time.Duration(len(lats))),
+		Max:  ms(lats[len(lats)-1]),
+	}
+}
+
+// emitLoad writes the result as JSON to stdout and, if requested, to a
+// file (the BENCH_load.json trajectory point).
+func emitLoad(res loadResult, out string) error {
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if _, err := os.Stdout.Write(buf); err != nil {
+		return err
+	}
+	if out != "" {
+		if err := os.WriteFile(out, buf, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -8,12 +8,19 @@
 //	spectra-bench -fig 3      # one figure (3-10)
 //	spectra-bench -exhaustive # use the exhaustive solver instead of the
 //	                          # heuristic (oracle decision quality)
+//
+// It also hosts the live throughput harness (see load.go):
+//
+//	spectra-bench -load                       # 16 workers, pooled
+//	spectra-bench -load -pool 1               # serialized baseline
+//	spectra-bench -load -rate 200 -out BENCH_load.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"spectra/internal/scenario"
 	"spectra/internal/testbed"
@@ -22,7 +29,38 @@ import (
 func main() {
 	fig := flag.Int("fig", 0, "figure to reproduce (3-10); 0 runs all")
 	exhaustive := flag.Bool("exhaustive", false, "replace the heuristic solver with exhaustive search")
+	load := flag.Bool("load", false, "run the live throughput harness instead of the figures")
+	duration := flag.Duration("duration", 2*time.Second, "load: measured window")
+	concurrency := flag.Int("concurrency", 16, "load: concurrent client operations")
+	pool := flag.Int("pool", 0, "load: connections per server (0 = default, 1 = serialized baseline)")
+	rate := flag.Float64("rate", 0, "load: open-loop arrival rate in ops/sec (0 = closed loop)")
+	workMc := flag.Float64("work-mc", 10, "load: per-op server demand in megacycles")
+	serverMHz := flag.Float64("server-mhz", 1000, "load: in-process server clock model")
+	maxConc := flag.Int("max-concurrent", 0, "load: server admission limit (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 0, "load: server queue bound before shedding")
+	out := flag.String("out", "", "load: also write the JSON result to this file")
 	flag.Parse()
+
+	if *load {
+		res, err := runLoad(loadConfig{
+			Duration:      *duration,
+			Concurrency:   *concurrency,
+			PoolSize:      *pool,
+			Rate:          *rate,
+			WorkMc:        *workMc,
+			ServerMHz:     *serverMHz,
+			MaxConcurrent: *maxConc,
+			MaxQueue:      *maxQueue,
+		})
+		if err == nil {
+			err = emitLoad(res, *out)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spectra-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opts := testbed.Options{Exhaustive: *exhaustive}
 	if err := run(*fig, opts); err != nil {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 
 	"spectra/internal/testbed"
 )
@@ -33,5 +34,47 @@ func TestRunLatexFigure(t *testing.T) {
 func TestRunPanglossFigureExhaustive(t *testing.T) {
 	if err := run(8, testbed.Options{Exhaustive: true}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunLoadSmoke(t *testing.T) {
+	res, err := runLoad(loadConfig{
+		Duration:    200 * time.Millisecond,
+		Concurrency: 4,
+		PoolSize:    2,
+		WorkMc:      5,
+		ServerMHz:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("load run completed zero operations")
+	}
+	if res.Errors != 0 {
+		t.Fatalf("load run hit %d errors", res.Errors)
+	}
+	if res.Latency.P50 <= 0 || res.Latency.Max < res.Latency.P99 {
+		t.Fatalf("implausible latency stats: %+v", res.Latency)
+	}
+	if res.OpsPerSec <= 0 {
+		t.Fatalf("ops/sec not computed: %+v", res)
+	}
+}
+
+func TestRunLoadOpenLoop(t *testing.T) {
+	res, err := runLoad(loadConfig{
+		Duration:    200 * time.Millisecond,
+		Concurrency: 2,
+		PoolSize:    2,
+		Rate:        100,
+		WorkMc:      5,
+		ServerMHz:   1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("open-loop run completed zero operations")
 	}
 }

@@ -44,16 +44,19 @@ func main() {
 		flight    = flag.String("flight", "", "flight recorder: append traces to this JSONL file (empty = off)")
 		flightMB  = flag.Int64("flight-max-mb", 8, "rotate the flight recorder at this size")
 		sample    = flag.Duration("telemetry", time.Second, "resource telemetry sampling interval (0 = off)")
+		maxConc   = flag.Int("max-concurrent", 0, "admission control: max requests executing at once (0 = unlimited)")
+		maxQueue  = flag.Int("max-queue", 0, "admission control: max requests waiting for a worker before shedding")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *name, *mhz, *debugAddr, *flight, *flightMB, *sample); err != nil {
+	limits := spectra.ServerLimits{MaxConcurrent: *maxConc, MaxQueue: *maxQueue}
+	if err := run(*addr, *name, *mhz, *debugAddr, *flight, *flightMB, *sample, limits); err != nil {
 		fmt.Fprintln(os.Stderr, "spectrad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, name string, mhz float64, debugAddr, flight string, flightMB int64, sample time.Duration) error {
+func run(addr, name string, mhz float64, debugAddr, flight string, flightMB int64, sample time.Duration, limits spectra.ServerLimits) error {
 	machine := spectra.NewMachine(spectra.MachineConfig{
 		Name:        name,
 		SpeedMHz:    mhz,
@@ -62,6 +65,9 @@ func run(addr, name string, mhz float64, debugAddr, flight string, flightMB int6
 	node := spectra.NewNode(machine, nil, nil)
 	srv := spectra.NewServer(name, node, spectra.RealClock{})
 	srv.Register("spectra.work", workService)
+	if limits.MaxConcurrent > 0 {
+		srv.SetLimits(limits)
+	}
 
 	// Observability: request metrics, retained traces for /debug/traces,
 	// an optional JSONL flight recorder, and a resource time-series.

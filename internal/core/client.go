@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spectra/internal/monitor"
@@ -49,6 +51,13 @@ type Config struct {
 	// predictor-accuracy accounting. Nil disables all of it at the cost of
 	// one nil test per event.
 	Obs *obs.Observer
+	// SnapshotTTL caches the decision snapshot for this long, so N
+	// concurrent BeginFidelityOps share one monitors.Snapshot instead of
+	// issuing N remote-status fan-outs. 0 disables caching (every Begin
+	// snapshots afresh — the right choice for deterministic simulation,
+	// where virtual time may not advance between Begins). Live setups
+	// default this to a few tens of milliseconds (see LiveOptions).
+	SnapshotTTL time.Duration
 }
 
 // Registry discovers Spectra servers at runtime. The paper designed for a
@@ -86,8 +95,21 @@ type Client struct {
 
 	hooks obsHooks
 
+	// Decision snapshot cache (see Config.SnapshotTTL). Guarded by snapMu,
+	// not c.mu: a cache fill calls into the monitor framework (remote proxy
+	// reads), and Begin must not contend with the server-list mutex for it.
+	// A cached snapshot is shared read-only by every Begin that hits it;
+	// applyHealth runs once at fill time, so it is never mutated after
+	// publication.
+	snapTTL time.Duration
+	snapMu  sync.Mutex
+	snapKey string
+	snapAt  time.Time
+	snapVal *monitor.Snapshot
+	snapSeq uint64
+
 	ops    map[string]*Operation
-	nextID uint64
+	nextID atomic.Uint64
 }
 
 // NewClient assembles a client from the configuration.
@@ -112,6 +134,7 @@ func NewClient(cfg Config) (*Client, error) {
 		failover:   cfg.Failover,
 		health:     NewHealthTracker(cfg.Health),
 		hooks:      newObsHooks(cfg.Obs),
+		snapTTL:    cfg.SnapshotTTL,
 		ops:        make(map[string]*Operation),
 	}
 	if cfg.Obs != nil && cfg.Obs.Registry != nil {
@@ -319,18 +342,9 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 
 	servers := c.Servers()
 	spPredict := rec.Start(obs.SpanPredict, -1)
-	snap := c.monitors.Snapshot(c.runtime.Now(), servers)
-	c.applyHealth(snap, servers)
+	snap, snapSeq := c.snapshotFor(servers)
 	est := newEstimator(op, snap, params, data, c.cons)
 	rec.EndSpan(spPredict)
-
-	// Every decision snapshot enters the resource time-series history (when
-	// a recorder is attached), so post-hoc analysis can line a decision up
-	// against what the monitors reported before and after it.
-	var snapSeq uint64
-	if ts := c.hooks.o.Timeline(); ts != nil {
-		snapSeq = monitor.RecordSnapshot(ts, snap, servers)
-	}
 
 	fn := c.utilityFn(op, snap)
 	eval := func(alt solver.Alternative) float64 {
@@ -547,6 +561,45 @@ func (c *Client) utilityFn(op *Operation, snap *monitor.Snapshot) utility.Functi
 	}
 }
 
+// snapshotFor returns the decision snapshot for a Begin, plus its
+// time-series sequence number (0 when no recorder is attached). With a
+// positive SnapshotTTL, concurrent Begins within the window share one
+// snapshot — monitors are consulted once, the time-series records one
+// batch, and health verdicts are folded in at fill time so the published
+// snapshot is immutable. With TTL disabled every call fills afresh.
+func (c *Client) snapshotFor(servers []string) (*monitor.Snapshot, uint64) {
+	now := c.runtime.Now()
+	if c.snapTTL <= 0 {
+		snap := c.monitors.Snapshot(now, servers)
+		c.applyHealth(snap, servers)
+		return snap, c.recordSnapshot(snap, servers)
+	}
+	key := strings.Join(servers, "\x00")
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	age := now.Sub(c.snapAt)
+	if c.snapVal != nil && c.snapKey == key && age >= 0 && age < c.snapTTL {
+		c.hooks.snapCacheHits.Inc()
+		return c.snapVal, c.snapSeq
+	}
+	c.hooks.snapCacheMisses.Inc()
+	snap := c.monitors.Snapshot(now, servers)
+	c.applyHealth(snap, servers)
+	c.snapVal, c.snapKey, c.snapAt = snap, key, now
+	c.snapSeq = c.recordSnapshot(snap, servers)
+	return snap, c.snapSeq
+}
+
+// recordSnapshot enters a decision snapshot into the resource time-series
+// history (when a recorder is attached), so post-hoc analysis can line a
+// decision up against what the monitors reported before and after it.
+func (c *Client) recordSnapshot(snap *monitor.Snapshot, servers []string) uint64 {
+	if ts := c.hooks.o.Timeline(); ts != nil {
+		return monitor.RecordSnapshot(ts, snap, servers)
+	}
+	return 0
+}
+
 // applyHealth folds the health tracker's verdicts into a snapshot:
 // quarantined servers are marked unreachable, removing them from the
 // solver's decision space until their half-open probe succeeds.
@@ -580,8 +633,5 @@ func bestFeasible(candidates []solver.Alternative, est *estimator, eval solver.E
 }
 
 func (c *Client) allocOpID() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.nextID++
-	return c.nextID
+	return c.nextID.Add(1)
 }

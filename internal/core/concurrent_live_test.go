@@ -1,0 +1,193 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"spectra/internal/coda"
+	"spectra/internal/obs"
+	"spectra/internal/sim"
+	"spectra/internal/solver"
+)
+
+// stressWork is lighter than liveWork so the stress loop's local-fallback
+// executions (10 Mc at 100 MHz = 100 ms) stay cheap.
+func stressWork(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+	ctx.Compute(sim.ComputeDemand{IntegerMegacycles: 10})
+	return []byte("done"), nil
+}
+
+// startStressServer is startLiveServer without the automatic cleanup, so
+// the test can kill it mid-stress to inject pool faults.
+func startStressServer(t *testing.T, name string, mhz float64) (*Server, string) {
+	t.Helper()
+	machine := sim.NewMachine(sim.MachineConfig{
+		Name:        name,
+		SpeedMHz:    mhz,
+		OnWallPower: true,
+	})
+	node := NewNode(machine, coda.NewClient(name, coda.NewFileServer(), 0), nil)
+	srv := NewServer(name, node, sim.RealClock{})
+	srv.Register("toy", stressWork)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, addr
+}
+
+// TestLiveConcurrentOperations drives many goroutines through the full
+// BeginFidelityOp/DoRemoteOp/End path on the live runtime — pooled
+// connections, shared snapshot cache, concurrent predictor updates — then
+// kills a server mid-stress so pooled connections fault and operations
+// recover through the failover ladder. Run under -race, the test is the
+// decision path's concurrency certificate.
+func TestLiveConcurrentOperations(t *testing.T) {
+	srvA, addrA := startStressServer(t, "a", 1000)
+	srvB, addrB := startStressServer(t, "b", 1000)
+	defer srvB.Close()
+	aKilled := false
+	defer func() {
+		if !aKilled {
+			srvA.Close()
+		}
+	}()
+
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    100,
+		Power:       sim.PowerModel{IdleW: 2, BusyW: 10, NetW: 3},
+		OnWallPower: true,
+		Battery:     sim.NewBattery(100_000),
+	})
+	o := obs.NewObserver()
+	setup, err := NewLiveSetup(LiveOptions{
+		Host:    host,
+		Servers: map[string]string{"a": addrA, "b": addrB},
+		Obs:     o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Runtime.Close()
+	setup.Host.RegisterService("toy", stressWork)
+
+	op, err := setup.Client.RegisterFidelity(OperationSpec{
+		Name:    "toy.stress",
+		Service: "toy",
+		Plans: []PlanSpec{
+			{Name: "local"},
+			{Name: "remote", UsesServer: true},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Client.PollServers()
+	setup.Client.Probe()
+
+	// Train both plans so the solver has informed demand models.
+	for _, alt := range []solver.Alternative{
+		{Plan: "local"},
+		{Server: "a", Plan: "remote"},
+		{Server: "b", Plan: "remote"},
+	} {
+		octx, err := setup.Client.BeginForced(op, alt, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alt.Plan == "remote" {
+			_, err = octx.DoRemoteOp("run", []byte("x"))
+		} else {
+			_, err = octx.DoLocalOp("run", []byte("x"))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := octx.End(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const goroutines = 8
+	runWave := func(iters int, forced *solver.Alternative) {
+		t.Helper()
+		var wg sync.WaitGroup
+		var completed atomic.Int64
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					var octx *OpContext
+					var err error
+					if forced != nil {
+						octx, err = setup.Client.BeginForced(op, *forced, nil, "")
+						if err != nil {
+							// The forced server has already been marked
+							// unreachable by a sibling's transport fault; fall
+							// through to a free decision so the operation
+							// still completes end to end.
+							octx, err = setup.Client.BeginFidelityOp(op, nil, "")
+						}
+					} else {
+						octx, err = setup.Client.BeginFidelityOp(op, nil, "")
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if octx.Decision().Alternative.Plan == "remote" {
+						_, err = octx.DoRemoteOp("run", []byte("x"))
+					} else {
+						_, err = octx.DoLocalOp("run", []byte("x"))
+					}
+					if err != nil {
+						t.Error(err)
+						octx.Abort()
+						return
+					}
+					if _, err := octx.End(); err != nil {
+						t.Error(err)
+						return
+					}
+					completed.Add(1)
+				}
+			}()
+		}
+		// Concurrent polling and probing, as the background poller would do
+		// in production, stresses the snapshot path from a second angle.
+		pollDone := make(chan struct{})
+		go func() {
+			defer close(pollDone)
+			for i := 0; i < 3; i++ {
+				setup.Client.PollServers()
+				setup.Client.Probe()
+			}
+		}()
+		wg.Wait()
+		<-pollDone
+		if got := completed.Load(); got != int64(goroutines*iters) {
+			t.Fatalf("completed %d/%d operations", got, goroutines*iters)
+		}
+	}
+
+	// Wave 1: healthy cluster, solver decides freely.
+	runWave(4, nil)
+
+	// Kill server "a": its pooled connections fault on next use. Forcing the
+	// decision onto the dead server makes every goroutine exercise
+	// eviction + transparent failover (to "b" or the local fallback).
+	srvA.Close()
+	aKilled = true
+	runWave(2, &solver.Alternative{Server: "a", Plan: "remote"})
+
+	evicted := o.Registry.Counter(obs.MPoolEvicted).Value()
+	if evicted == 0 {
+		t.Fatal("killing a server evicted no pooled connections")
+	}
+	if hits := o.Registry.Counter(obs.MSnapCacheHits).Value(); hits == 0 {
+		t.Fatal("concurrent Begins never shared a cached snapshot")
+	}
+}

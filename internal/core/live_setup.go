@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"spectra/internal/coda"
 	"spectra/internal/energy"
@@ -10,6 +11,8 @@ import (
 	"spectra/internal/predict"
 	"spectra/internal/sim"
 	"spectra/internal/solver"
+
+	spectrarpc "spectra/internal/rpc"
 )
 
 // LiveOptions describes a live (TCP) Spectra client deployment.
@@ -32,7 +35,21 @@ type LiveOptions struct {
 	// Obs enables metrics, decision traces, and prediction-accuracy
 	// accounting; nil disables observability.
 	Obs *obs.Observer
+	// PoolSize caps concurrent connections per server; 0 selects
+	// rpc.DefaultPoolSize. 1 reproduces the old single-connection
+	// serialization (useful as a benchmark baseline).
+	PoolSize int
+	// SnapshotTTL caches the decision snapshot so concurrent Begins share
+	// one monitor fan-out. 0 selects DefaultSnapshotTTL; negative disables
+	// caching.
+	SnapshotTTL time.Duration
 }
+
+// DefaultSnapshotTTL is the live decision-snapshot cache window: long
+// enough that a burst of concurrent Begins shares one snapshot, short
+// enough that decisions never act on stale load or reachability (well
+// under the server poll interval).
+const DefaultSnapshotTTL = 25 * time.Millisecond
 
 // LiveSetup is an assembled live deployment: the host node, the TCP
 // runtime, the monitor framework, and the Spectra client.
@@ -100,9 +117,18 @@ func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) {
 		names = append(names, name)
 	}
 
+	runtime.SetPoolOptions(spectrarpc.PoolOptions{Size: opts.PoolSize})
 	if opts.Obs != nil {
 		monitors.SetMetrics(opts.Obs.Registry)
 		runtime.SetMetrics(opts.Obs.Registry)
+	}
+
+	snapTTL := opts.SnapshotTTL
+	switch {
+	case snapTTL == 0:
+		snapTTL = DefaultSnapshotTTL
+	case snapTTL < 0:
+		snapTTL = 0
 	}
 
 	client, err := NewClient(Config{
@@ -118,6 +144,7 @@ func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) {
 		Failover:    opts.Failover,
 		Health:      opts.Health,
 		Obs:         opts.Obs,
+		SnapshotTTL: snapTTL,
 	})
 	if err != nil {
 		return nil, err

@@ -18,6 +18,7 @@ type obsHooks struct {
 	solverEvals, solverRestarts                   *obs.Counter
 	failoverEvents, failoverLocal                 *obs.Counter
 	pollCycles, pollErrors                        *obs.Counter
+	snapCacheHits, snapCacheMisses                *obs.Counter
 
 	beginSeconds, pollSeconds *obs.Histogram
 	rankPct, candidates       *obs.Histogram
@@ -41,6 +42,8 @@ func newObsHooks(o *obs.Observer) obsHooks {
 	h.failoverLocal = r.Counter(obs.MFailoverLocal)
 	h.pollCycles = r.Counter(obs.MPollCycles)
 	h.pollErrors = r.Counter(obs.MPollErrors)
+	h.snapCacheHits = r.Counter(obs.MSnapCacheHits)
+	h.snapCacheMisses = r.Counter(obs.MSnapCacheMisses)
 	h.beginSeconds = r.Histogram(obs.MBeginSeconds, obs.DefaultLatencyBuckets)
 	h.pollSeconds = r.Histogram(obs.MPollSeconds, obs.DefaultLatencyBuckets)
 	h.rankPct = r.Histogram(obs.MSolverRankPct, obs.DefaultPercentBuckets)

@@ -216,10 +216,8 @@ func (x *OpContext) End() (Report, error) {
 			Data:     x.data,
 		}
 		records := x.op.models.observe(rec, x.phases, measured)
-		for _, r := range records {
-			if err := x.client.usageLog.Append(x.op.Name(), r); err != nil {
-				return Report{}, fmt.Errorf("core: persist usage: %w", err)
-			}
+		if err := x.client.usageLog.AppendAll(x.op.Name(), records); err != nil {
+			return Report{}, fmt.Errorf("core: persist usage: %w", err)
 		}
 	}
 

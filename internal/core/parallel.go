@@ -207,9 +207,15 @@ func (r *SimRuntime) parallelBranch(start time.Time, service string, call Parall
 	return out, rep, elapsed, nil
 }
 
-// ParallelRemote implements ParallelRuntime for the live runtime: the RPCs
-// genuinely overlap on separate connections. A failed branch leaves its
-// error in place without aborting its siblings.
+// ParallelRemote implements ParallelRuntime for the live runtime: branches
+// check pooled connections out of each target server's pool, so the RPCs
+// genuinely overlap without dialing throwaway sockets. A failed branch
+// leaves its error in place without aborting its siblings.
+//
+// Energy accounting mirrors the sim path: the client radio serializes the
+// transfers, so the network phase is the per-branch transfer seconds summed
+// (bytes over the measured link estimate, plus per-exchange latency) and
+// the CPU idles for the rest of the overlapped window.
 func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([]parallelResult, phaseUsage) {
 	start := time.Now()
 	results := make([]parallelResult, len(calls))
@@ -220,15 +226,14 @@ func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([]par
 		go func(i int) {
 			defer wg.Done()
 			call := calls[i]
-			conn, err := r.parallelConn(call.Server, i)
+			pool, err := r.pool(call.Server)
 			if err != nil {
 				results[i].err = err
 				return
 			}
-			defer conn.Close()
-			out, usage, err := conn.Call(service, call.OpType, call.Payload)
+			out, usage, err := pool.Call(service, call.OpType, call.Payload)
 			if err != nil {
-				if !isRemoteAppError(err) {
+				if !isRemoteAppError(err) && !spectrarpc.IsOverloaded(err) {
 					r.setReachable(call.Server, false)
 				}
 				results[i].err = fmt.Errorf("core: remote %s on %q: %w", service, call.Server, err)
@@ -248,23 +253,41 @@ func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([]par
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	combined := phaseUsage{idleSeconds: elapsed.Seconds()}
-	r.account.DrainIdle(elapsed)
+	netSeconds := r.parallelTransferSeconds(calls, results)
+	idleSeconds := elapsed.Seconds() - netSeconds
+	if idleSeconds < 0 {
+		// The link estimate says the transfers alone outlast the window;
+		// trust the wall clock and book the whole window to the radio.
+		netSeconds = elapsed.Seconds()
+		idleSeconds = 0
+	}
+	combined := phaseUsage{netSeconds: netSeconds, idleSeconds: idleSeconds}
+	r.account.DrainNetwork(sim.DurationSeconds(netSeconds))
+	r.account.DrainIdle(sim.DurationSeconds(idleSeconds))
 	return results, combined
 }
 
-// parallelConn opens a dedicated connection for one parallel branch so
-// branches do not serialize on the shared per-server connection.
-func (r *NetRuntime) parallelConn(server string, _ int) (*spectrarpc.Client, error) {
-	r.mu.Lock()
-	addr, ok := r.addrs[server]
-	r.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("core: unknown server %q", server)
+// parallelTransferSeconds estimates how long the client radio spent moving
+// the branches' bytes: each branch's request+response size over its link's
+// measured bandwidth, plus one round trip of latency per exchange. Branches
+// whose link has no estimate yet (or that failed before transferring)
+// contribute nothing — the time is then attributed to idle, which matches
+// the old behavior until the passive monitor warms up.
+func (r *NetRuntime) parallelTransferSeconds(calls []ParallelCall, results []parallelResult) float64 {
+	if r.network == nil {
+		return 0
 	}
-	var traffic *spectrarpc.TrafficLog
-	if r.network != nil {
-		traffic = r.network.Log(server)
+	var total float64
+	for i := range results {
+		if results[i].err != nil {
+			continue
+		}
+		est, ok := r.network.Log(calls[i].Server).Estimate()
+		if !ok || est.BandwidthBps <= 0 {
+			continue
+		}
+		bytes := results[i].rep.bytesSent + results[i].rep.bytesReceived
+		total += float64(bytes)/est.BandwidthBps + est.Latency.Seconds()
 	}
-	return spectrarpc.Dial(addr, traffic)
+	return total
 }

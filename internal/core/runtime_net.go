@@ -33,10 +33,11 @@ type NetRuntime struct {
 	account *EnergyAccount
 	network *monitor.NetworkMonitor
 
-	addrs map[string]string
-	conns map[string]*spectrarpc.Client
+	addrs    map[string]string
+	pools    map[string]*spectrarpc.Pool
+	poolOpts spectrarpc.PoolOptions
 
-	// metrics, when non-nil, is attached to every dialed RPC client.
+	// metrics, when non-nil, is attached to every connection pool.
 	metrics *obs.Registry
 }
 
@@ -51,7 +52,7 @@ func NewNetRuntime(host *Node, network *monitor.NetworkMonitor) *NetRuntime {
 		account: NewEnergyAccount(host.Machine()),
 		network: network,
 		addrs:   make(map[string]string),
-		conns:   make(map[string]*spectrarpc.Client),
+		pools:   make(map[string]*spectrarpc.Pool),
 	}
 }
 
@@ -65,27 +66,36 @@ func (r *NetRuntime) AddServer(name, addr string) {
 	r.addrs[name] = addr
 }
 
-// SetMetrics attaches the metrics registry to every current and future RPC
-// connection (retry/redial counts, call latency).
+// SetPoolOptions tunes the per-server connection pools. It applies to
+// pools created afterward, so call it before the first remote exchange
+// (NewLiveSetup does).
+func (r *NetRuntime) SetPoolOptions(opts spectrarpc.PoolOptions) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.poolOpts = opts
+}
+
+// SetMetrics attaches the metrics registry to every current and future
+// connection pool (pool churn, retry/redial counts, call latency).
 func (r *NetRuntime) SetMetrics(reg *obs.Registry) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.metrics = reg
-	for _, c := range r.conns {
-		c.SetMetrics(reg)
+	for _, p := range r.pools {
+		p.SetMetrics(reg)
 	}
 }
 
-// Close shuts every connection down.
+// Close shuts every connection pool down.
 func (r *NetRuntime) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var first error
-	for name, c := range r.conns {
-		if err := c.Close(); err != nil && first == nil {
+	for name, p := range r.pools {
+		if err := p.Close(); err != nil && first == nil {
 			first = err
 		}
-		delete(r.conns, name)
+		delete(r.pools, name)
 	}
 	return first
 }
@@ -127,16 +137,19 @@ func (r *NetRuntime) LocalCall(service, optype string, payload []byte) ([]byte, 
 // the trace context to the server; the server's span records return on the
 // response and are rebased onto the client timeline (see rpc.RebaseSpans).
 func (r *NetRuntime) RemoteCall(server, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, callReport, error) {
-	conn, err := r.conn(server)
+	pool, err := r.pool(server)
 	if err != nil {
 		return nil, callReport{}, err
 	}
 	start := time.Now()
-	out, usage, spans, err := conn.CallTraced(service, optype, payload, tc)
+	out, usage, spans, err := pool.CallTraced(service, optype, payload, tc)
 	elapsed := time.Since(start)
 	if err != nil {
-		if !isRemoteAppError(err) {
-			r.dropConn(server)
+		// A transport fault means the server cannot be contacted; an
+		// admission-control shed means the opposite — the server answered,
+		// it is just saturated — so only the former flips reachability. The
+		// pool already evicted the faulted connection.
+		if !isRemoteAppError(err) && !spectrarpc.IsOverloaded(err) {
 			r.setReachable(server, false)
 		}
 		return nil, callReport{}, fmt.Errorf("core: remote %s on %q: %w", service, server, err)
@@ -196,47 +209,52 @@ func (r *NetRuntime) Reintegrate(volume string) (int64, time.Duration, error) {
 
 // PollServer implements Runtime.
 func (r *NetRuntime) PollServer(server string) (*wire.ServerStatus, error) {
-	conn, err := r.conn(server)
+	pool, err := r.pool(server)
 	if err != nil {
 		return nil, err
 	}
-	status, err := conn.Status()
+	status, err := pool.Status()
 	if err != nil {
-		r.dropConn(server)
+		if !isRemoteAppError(err) && !spectrarpc.IsOverloaded(err) {
+			r.setReachable(server, false)
+		}
 		return nil, fmt.Errorf("core: poll %q: %w", server, err)
 	}
+	r.setReachable(server, true)
 	return status, nil
 }
 
 // Probe implements Runtime: a ping plus a bulk echo give the passive
 // estimator a latency and a bandwidth observation.
 func (r *NetRuntime) Probe(server string) error {
-	conn, err := r.conn(server)
+	pool, err := r.pool(server)
 	if err != nil {
 		return err
 	}
-	if _, err := conn.Ping(); err != nil {
-		r.dropConn(server)
+	if _, err := pool.Ping(); err != nil {
 		r.setReachable(server, false)
 		return fmt.Errorf("core: probe %q: %w", server, err)
 	}
 	bulk := make([]byte, probeEchoBytes)
-	if _, _, err := conn.Call(EchoService, "echo", bulk); err != nil {
-		r.dropConn(server)
-		r.setReachable(server, false)
+	if _, _, err := pool.Call(EchoService, "echo", bulk); err != nil {
+		if !spectrarpc.IsOverloaded(err) {
+			r.setReachable(server, false)
+		}
 		return fmt.Errorf("core: bulk probe %q: %w", server, err)
 	}
 	r.setReachable(server, true)
 	return nil
 }
 
-// conn returns (dialing if needed) the connection to a server, sharing its
-// traffic log with the network monitor.
-func (r *NetRuntime) conn(server string) (*spectrarpc.Client, error) {
+// pool returns (creating if needed) the server's connection pool, sharing
+// its traffic log with the network monitor. Creation never dials —
+// connections are established lazily by the first exchanges to need them,
+// and faulted connections are evicted and replaced inside the pool.
+func (r *NetRuntime) pool(server string) (*spectrarpc.Pool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if c, ok := r.conns[server]; ok {
-		return c, nil
+	if p, ok := r.pools[server]; ok {
+		return p, nil
 	}
 	addr, ok := r.addrs[server]
 	if !ok {
@@ -246,36 +264,15 @@ func (r *NetRuntime) conn(server string) (*spectrarpc.Client, error) {
 	if r.network != nil {
 		traffic = r.network.Log(server)
 	}
-	c, err := spectrarpc.Dial(addr, traffic)
-	if err != nil {
-		r.setReachableLocked(server, false)
-		return nil, fmt.Errorf("core: dial %q: %w", server, err)
-	}
+	p := spectrarpc.NewPool(addr, traffic, r.poolOpts)
 	if r.metrics != nil {
-		c.SetMetrics(r.metrics)
+		p.SetMetrics(r.metrics)
 	}
-	r.conns[server] = c
-	r.setReachableLocked(server, true)
-	return c, nil
-}
-
-func (r *NetRuntime) dropConn(server string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if c, ok := r.conns[server]; ok {
-		c.Close()
-		delete(r.conns, server)
-	}
+	r.pools[server] = p
+	return p, nil
 }
 
 func (r *NetRuntime) setReachable(server string, ok bool) {
-	if r.network != nil {
-		r.network.SetReachable(server, ok)
-	}
-}
-
-func (r *NetRuntime) setReachableLocked(server string, ok bool) {
-	// network monitor has its own lock; safe to call while holding r.mu.
 	if r.network != nil {
 		r.network.SetReachable(server, ok)
 	}

@@ -70,6 +70,12 @@ func (s *Server) SetObserver(o *obs.Observer) {
 	s.monitors.SetMetrics(o.Registry)
 }
 
+// SetLimits installs admission control on the RPC layer: at most
+// MaxConcurrent requests execute at once, at most MaxQueue more wait, and
+// the rest are shed with classified overload rejections that clients fail
+// over. Call before Listen.
+func (s *Server) SetLimits(l rpc.ServerLimits) { s.rpc.SetLimits(l) }
+
 // Register hosts a service on the server (and its node).
 func (s *Server) Register(service string, fn ServiceFunc) {
 	s.node.RegisterService(service, fn)

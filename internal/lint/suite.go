@@ -34,13 +34,18 @@ var DeterministicPkgs = []string{
 // BlockingCalls are operations that must never run under a held mutex,
 // beyond lockhold's built-ins (channel ops, selects, time.Sleep,
 // WaitGroup.Wait): the RPC client's exchanges each hold the connection
-// for a full network round trip, Server.Close waits for serving
-// goroutines, and net.Dial blocks on connection establishment.
+// for a full network round trip — and the pooled variants may additionally
+// wait for a free connection — Server.Close waits for serving goroutines,
+// and net.Dial blocks on connection establishment.
 var BlockingCalls = []string{
 	"(*spectra/internal/rpc.Client).Call",
 	"(*spectra/internal/rpc.Client).CallTraced",
 	"(*spectra/internal/rpc.Client).Status",
 	"(*spectra/internal/rpc.Client).Ping",
+	"(*spectra/internal/rpc.Pool).Call",
+	"(*spectra/internal/rpc.Pool).CallTraced",
+	"(*spectra/internal/rpc.Pool).Status",
+	"(*spectra/internal/rpc.Pool).Ping",
 	"(*spectra/internal/rpc.Server).Close",
 	"net.Dial",
 }

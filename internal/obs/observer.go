@@ -41,6 +41,13 @@ const (
 	MRPCRedials     = "spectra.rpc.redials.total"
 	MRPCCallSeconds = "spectra.rpc.call.seconds"
 
+	// Connection pool (per-server pooled RPC clients).
+	MPoolCreated   = "spectra.rpc.pool.created.total"
+	MPoolEvicted   = "spectra.rpc.pool.evicted.total"
+	MPoolWaits     = "spectra.rpc.pool.waits.total"
+	MPoolExhausted = "spectra.rpc.pool.exhausted.total"
+	MPoolInUse     = "spectra.rpc.pool.inuse"
+
 	// Trace pipeline.
 	MTracesDropped = "spectra.traces.dropped.total"
 
@@ -48,6 +55,15 @@ const (
 	MServerRequests    = "spectra.server.requests.total"
 	MServerErrors      = "spectra.server.errors.total"
 	MServerExecSeconds = "spectra.server.exec.seconds"
+
+	// Server admission control (bounded worker pool + wait queue).
+	MServerQueueDepth       = "spectra.server.queue.depth"
+	MServerQueueRejected    = "spectra.server.queue.rejected.total"
+	MServerQueueWaitSeconds = "spectra.server.queue.wait.seconds"
+
+	// Decision snapshot cache (short-TTL sharing across concurrent Begins).
+	MSnapCacheHits   = "spectra.monitor.snapshot.cache.hits.total"
+	MSnapCacheMisses = "spectra.monitor.snapshot.cache.misses.total"
 
 	// Demand-predictor model selection (which model answered a query).
 	MPredictHitBin     = "spectra.predict.hits.bin.total"
@@ -123,12 +139,17 @@ func RegisterCoreMetrics(r *Registry) {
 		MHealthOpened, MHealthClosed,
 		MPollCycles, MPollErrors,
 		MRPCRetries, MRPCRedials,
+		MPoolCreated, MPoolEvicted, MPoolWaits, MPoolExhausted,
 		MPredictHitBin, MPredictHitGeneric, MPredictHitData, MPredictMiss,
 		MTracesDropped,
-		MServerRequests, MServerErrors,
+		MServerRequests, MServerErrors, MServerQueueRejected,
+		MSnapCacheHits, MSnapCacheMisses,
 	} {
 		r.Counter(name)
 	}
+	r.Gauge(MPoolInUse)
+	r.Gauge(MServerQueueDepth)
+	r.Histogram(MServerQueueWaitSeconds, DefaultLatencyBuckets)
 	r.Histogram(MBeginSeconds, DefaultLatencyBuckets)
 	r.Histogram(MServerExecSeconds, DefaultLatencyBuckets)
 	r.Histogram(MSolverCandidates, DefaultCountBuckets)

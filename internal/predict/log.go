@@ -14,9 +14,15 @@ import (
 // restarts: "Each predictor reads the logged resource usage data and
 // generates a parameterized model of demand" (paper §3.4). Records are
 // JSON lines in one file per operation.
+//
+// Locking is per operation, matching the one-file-per-operation layout:
+// concurrent Ends of different operations append to different files and
+// never contend, while appends and replays of the same operation serialize
+// so lines stay whole and ordered.
 type UsageLog struct {
-	mu  sync.Mutex
-	dir string
+	mu    sync.Mutex // guards locks map only
+	locks map[string]*sync.Mutex
+	dir   string
 }
 
 // Record is one logged observation of one resource.
@@ -40,29 +46,57 @@ func NewUsageLog(dir string) (*UsageLog, error) {
 			return nil, fmt.Errorf("predict: create log dir: %w", err)
 		}
 	}
-	return &UsageLog{dir: dir}, nil
+	return &UsageLog{dir: dir, locks: make(map[string]*sync.Mutex)}, nil
+}
+
+// opLock returns the mutex guarding one operation's log file.
+func (l *UsageLog) opLock(operation string) *sync.Mutex {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.locks == nil {
+		l.locks = make(map[string]*sync.Mutex)
+	}
+	m, ok := l.locks[operation]
+	if !ok {
+		m = new(sync.Mutex)
+		l.locks[operation] = m
+	}
+	return m
 }
 
 // Append writes a record to the operation's log file.
 func (l *UsageLog) Append(operation string, rec Record) error {
-	if l == nil || l.dir == "" {
+	return l.AppendAll(operation, []Record{rec})
+}
+
+// AppendAll writes a batch of records to the operation's log file in one
+// open/write/close, holding only that operation's lock. End uses it to
+// flush an operation's whole observation set without reopening the file
+// per record.
+func (l *UsageLog) AppendAll(operation string, recs []Record) error {
+	if l == nil || l.dir == "" || len(recs) == 0 {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	var buf []byte
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("predict: marshal record: %w", err)
+		}
+		buf = append(buf, data...)
+		buf = append(buf, '\n')
+	}
+
+	m := l.opLock(operation)
+	m.Lock()
+	defer m.Unlock()
 
 	f, err := os.OpenFile(l.path(operation), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("predict: open log: %w", err)
 	}
 	defer f.Close()
-
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("predict: marshal record: %w", err)
-	}
-	data = append(data, '\n')
-	if _, err := f.Write(data); err != nil {
+	if _, err := f.Write(buf); err != nil {
 		return fmt.Errorf("predict: write log: %w", err)
 	}
 	return nil
@@ -74,8 +108,9 @@ func (l *UsageLog) Replay(operation string, fn func(Record)) error {
 	if l == nil || l.dir == "" {
 		return nil
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	m := l.opLock(operation)
+	m.Lock()
+	defer m.Unlock()
 
 	f, err := os.Open(l.path(operation))
 	if err != nil {

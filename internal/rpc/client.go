@@ -83,9 +83,17 @@ func NewClient(addr string, traffic *TrafficLog) *Client {
 		addr:    addr,
 		traffic: traffic,
 		timeout: 30 * time.Second,
-		rng:     splitMix{state: 0x5eed5eed},
+		rng:     splitMix{state: jitterSeed(addr, 0)},
 		sleep:   time.Sleep,
 	}
+}
+
+// reseedJitter re-derives the backoff jitter stream with a salt, so pooled
+// clients sharing one address do not back off in lockstep with each other.
+func (c *Client) reseedJitter(salt uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rng = splitMix{state: jitterSeed(c.addr, salt)}
 }
 
 // SetTimeout sets the per-exchange deadline.
@@ -164,6 +172,13 @@ func (c *Client) CallTraced(service, optype string, payload []byte, tc *wire.Tra
 	})
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if reply.Code == wire.CodeOverloaded {
+		// Admission-control shed: the exchange completed and the connection
+		// is healthy, but the server refused the work. Classified separately
+		// from RemoteError so failover engages and from TransportError so
+		// pools do not evict a good connection.
+		return nil, reply.Usage, reply.Spans, &OverloadError{Addr: c.addr}
 	}
 	if reply.Err != "" {
 		return nil, reply.Usage, reply.Spans, &RemoteError{Service: service, Msg: reply.Err}

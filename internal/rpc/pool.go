@@ -1,0 +1,330 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"spectra/internal/obs"
+	"spectra/internal/wire"
+)
+
+// Pool sentinel errors. Like the client/server lifecycle sentinels they are
+// deliberately unclassified: a closed pool is permanent and exhaustion is a
+// local admission decision, so neither should engage transport-level retry.
+var (
+	// ErrPoolClosed reports a checkout attempted on a Close()d pool.
+	ErrPoolClosed = errors.New("rpc: pool closed")
+	// ErrPoolExhausted reports a checkout rejected because every connection
+	// was busy and the waiter cap was reached.
+	ErrPoolExhausted = errors.New("rpc: pool exhausted")
+)
+
+// DefaultPoolSize is the connection cap used when PoolOptions.Size is zero.
+const DefaultPoolSize = 4
+
+// PoolOptions tunes a connection pool.
+type PoolOptions struct {
+	// Size caps the number of live connections; 0 selects DefaultPoolSize.
+	Size int
+	// MaxWaiters caps how many checkouts may block waiting for a connection
+	// when the pool is at capacity; 0 means unlimited, negative means no
+	// waiting (immediate ErrPoolExhausted at capacity).
+	MaxWaiters int
+	// Timeout is the per-exchange deadline applied to pooled clients; 0
+	// keeps the client default.
+	Timeout time.Duration
+	// Retry is the retry policy applied to pooled clients' idempotent
+	// exchanges.
+	Retry RetryPolicy
+}
+
+func (o PoolOptions) size() int {
+	if o.Size <= 0 {
+		return DefaultPoolSize
+	}
+	return o.Size
+}
+
+// Pool is a bounded set of RPC clients to one server, letting independent
+// operations overlap their exchanges instead of serializing on a single
+// connection's mutex. Connections are created lazily (each Client dials on
+// first use), checked out per call, and checked back in afterward; a
+// transport fault evicts the faulty connection so its slot is re-created
+// fresh, while application errors and admission-control sheds return the
+// connection — which is healthy — to the idle set.
+//
+// The pool never holds its mutex across network I/O: checkout and checkin
+// only move *Client values between slices, and the exchange itself runs on
+// the checked-out client outside the pool lock. Waiting for a free
+// connection uses a sync.Cond, which releases the lock while blocked.
+type Pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	addr    string
+	traffic *TrafficLog
+	opts    PoolOptions
+
+	idle    []*Client // connections ready for checkout
+	live    int       // connections existing (idle + checked out)
+	waiters int       // checkouts blocked in cond.Wait
+	seq     uint64    // jitter-seed salt for the next created client
+	evicted int       // connections discarded after transport faults
+	closed  bool
+
+	// Observability handles (nil-safe no-ops when unset).
+	registry   *obs.Registry
+	mCreated   *obs.Counter
+	mEvicted   *obs.Counter
+	mWaits     *obs.Counter
+	mExhausted *obs.Counter
+	gInUse     *obs.Gauge
+}
+
+// NewPool returns a pool of lazily dialed connections to addr. The traffic
+// log may be shared with a network monitor; pass nil to create a private
+// one. No connection is dialed until the first call needs one.
+func NewPool(addr string, traffic *TrafficLog, opts PoolOptions) *Pool {
+	if traffic == nil {
+		traffic = NewTrafficLog()
+	}
+	p := &Pool{
+		addr:    addr,
+		traffic: traffic,
+		opts:    opts,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Addr returns the server address.
+func (p *Pool) Addr() string { return p.addr }
+
+// Traffic returns the shared traffic log.
+func (p *Pool) Traffic() *TrafficLog { return p.traffic }
+
+// Size returns the pool's connection cap.
+func (p *Pool) Size() int { return p.opts.size() }
+
+// SetMetrics attaches the metrics registry: connection churn, waiter
+// pressure, and in-use depth flow into it. A nil registry detaches.
+func (p *Pool) SetMetrics(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.registry = reg
+	p.mCreated = reg.Counter(obs.MPoolCreated)
+	p.mEvicted = reg.Counter(obs.MPoolEvicted)
+	p.mWaits = reg.Counter(obs.MPoolWaits)
+	p.mExhausted = reg.Counter(obs.MPoolExhausted)
+	p.gInUse = reg.Gauge(obs.MPoolInUse)
+	for _, c := range p.idle {
+		c.SetMetrics(reg)
+	}
+}
+
+// SetTimeout sets the per-exchange deadline for all connections, current
+// and future.
+func (p *Pool) SetTimeout(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d > 0 {
+		p.opts.Timeout = d
+	}
+	for _, c := range p.idle {
+		c.SetTimeout(d)
+	}
+}
+
+// SetRetryPolicy tunes automatic retries of idempotent exchanges for all
+// connections, current and future.
+func (p *Pool) SetRetryPolicy(policy RetryPolicy) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.opts.Retry = policy
+	for _, c := range p.idle {
+		c.SetRetryPolicy(policy)
+	}
+}
+
+// PoolStats is a point-in-time view of pool occupancy, for tests and
+// debugging.
+type PoolStats struct {
+	// Live counts existing connections (idle + checked out).
+	Live int
+	// Idle counts connections ready for checkout.
+	Idle int
+	// Waiters counts checkouts blocked waiting for a free connection.
+	Waiters int
+	// Created counts every connection the pool has made.
+	Created int
+	// Evicted counts connections discarded after transport faults.
+	Evicted int
+}
+
+// Stats returns current occupancy counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Live:    p.live,
+		Idle:    len(p.idle),
+		Waiters: p.waiters,
+		Created: int(p.seq),
+		Evicted: p.evicted,
+	}
+}
+
+// Close shuts the pool down: idle connections are closed immediately,
+// blocked checkouts fail with ErrPoolClosed, and connections currently
+// checked out are closed at checkin.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	idle := p.idle
+	p.idle = nil
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	var err error
+	for _, c := range idle {
+		if cerr := c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// checkout returns a connection for exclusive use. It prefers an idle
+// connection, creates one if below the cap, and otherwise blocks until a
+// checkin frees one (or fails with ErrPoolExhausted when the waiter cap is
+// reached). The matching checkin must always follow.
+func (p *Pool) checkout() (*Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	waited := false
+	for {
+		if p.closed {
+			return nil, ErrPoolClosed
+		}
+		if n := len(p.idle); n > 0 {
+			c := p.idle[n-1]
+			p.idle[n-1] = nil
+			p.idle = p.idle[:n-1]
+			p.gInUse.Set(float64(p.live - len(p.idle)))
+			return c, nil
+		}
+		if p.live < p.opts.size() {
+			c := p.newClientLocked()
+			p.live++
+			p.gInUse.Set(float64(p.live - len(p.idle)))
+			return c, nil
+		}
+		if p.opts.MaxWaiters < 0 || (p.opts.MaxWaiters > 0 && p.waiters >= p.opts.MaxWaiters) {
+			p.mExhausted.Inc()
+			return nil, ErrPoolExhausted
+		}
+		if !waited {
+			waited = true
+			p.mWaits.Inc()
+		}
+		p.waiters++
+		p.cond.Wait()
+		p.waiters--
+	}
+}
+
+// newClientLocked creates a connection slot. The client dials lazily, so no
+// network I/O happens here under the pool lock. The caller holds p.mu.
+func (p *Pool) newClientLocked() *Client {
+	c := NewClient(p.addr, p.traffic)
+	// Pooled siblings share an address; salt the jitter seed so their
+	// backoff streams stay decorrelated.
+	c.reseedJitter(p.seq)
+	p.seq++
+	if p.opts.Timeout > 0 {
+		c.SetTimeout(p.opts.Timeout)
+	}
+	c.SetRetryPolicy(p.opts.Retry)
+	if p.registry != nil {
+		c.SetMetrics(p.registry)
+	}
+	p.mCreated.Inc()
+	return c
+}
+
+// checkin returns a connection after use. err is the call's outcome: a
+// transport fault evicts the connection (its stream cannot be trusted and
+// the slot is better served by a fresh dial), anything else — success,
+// remote application errors, admission-control sheds — returns it to the
+// idle set. Closing the evicted or drained client happens outside the pool
+// lock.
+func (p *Pool) checkin(c *Client, err error) {
+	var terr *TransportError
+	evict := errors.As(err, &terr)
+
+	p.mu.Lock()
+	if p.closed {
+		p.live--
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	if evict {
+		p.live--
+		p.evicted++
+		p.mEvicted.Inc()
+		p.gInUse.Set(float64(p.live - len(p.idle)))
+		// A freed slot lets a waiter create a fresh connection.
+		p.cond.Signal()
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.gInUse.Set(float64(p.live - len(p.idle)))
+	p.cond.Signal()
+	p.mu.Unlock()
+}
+
+// Call invokes a service operation on a pooled connection. Semantics match
+// (*Client).Call: transport failures return *TransportError without
+// retrying, remote failures return *RemoteError, admission-control sheds
+// return *OverloadError.
+func (p *Pool) Call(service, optype string, payload []byte) ([]byte, *wire.UsageReport, error) {
+	out, usage, _, err := p.CallTraced(service, optype, payload, nil)
+	return out, usage, err
+}
+
+// CallTraced is Call with trace propagation, matching (*Client).CallTraced.
+func (p *Pool) CallTraced(service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, *wire.UsageReport, []wire.SpanRecord, error) {
+	c, err := p.checkout()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, usage, spans, err := c.CallTraced(service, optype, payload, tc)
+	p.checkin(c, err)
+	return out, usage, spans, err
+}
+
+// Status fetches the server's resource snapshot on a pooled connection.
+func (p *Pool) Status() (*wire.ServerStatus, error) {
+	c, err := p.checkout()
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Status()
+	p.checkin(c, err)
+	return st, err
+}
+
+// Ping performs a minimal round trip on a pooled connection.
+func (p *Pool) Ping() (time.Duration, error) {
+	c, err := p.checkout()
+	if err != nil {
+		return 0, err
+	}
+	d, err := c.Ping()
+	p.checkin(c, err)
+	return d, err
+}

@@ -46,11 +46,40 @@ var (
 // violation: the stream cannot be trusted).
 var errEmptyStatus = errors.New("empty status reply")
 
+// OverloadError reports that the server shed the request at admission
+// control: its worker pool and wait queue were full, so the request was
+// never executed. The exchange itself succeeded — the connection is
+// healthy — but the work should be retried later or failed over to a less
+// loaded placement.
+type OverloadError struct {
+	// Addr is the overloaded server's address.
+	Addr string
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("rpc: server %s overloaded, request shed", e.Addr)
+}
+
+// IsOverloaded reports whether an RPC failure is an admission-control
+// rejection. Overload is transient (IsTransient is also true) but, unlike
+// a transport fault, says nothing about the connection's health — pools
+// must not evict on it, and reachability tracking must not mark the
+// server down.
+func IsOverloaded(err error) bool {
+	var oerr *OverloadError
+	return errors.As(err, &oerr)
+}
+
 // IsTransient reports whether an RPC failure is worth retrying or failing
-// over: transport faults are, remote application errors are not.
+// over: transport faults and admission-control rejections are, remote
+// application errors are not.
 func IsTransient(err error) bool {
 	var terr *TransportError
-	return errors.As(err, &terr)
+	if errors.As(err, &terr) {
+		return true
+	}
+	return IsOverloaded(err)
 }
 
 // IsRemote reports whether an RPC failure is a remote application error —
@@ -124,6 +153,29 @@ func (p RetryPolicy) delay(n int, rng *splitMix) time.Duration {
 		d *= 1 - jitter*rng.float64()
 	}
 	return time.Duration(d)
+}
+
+// jitterSeed derives a deterministic per-endpoint jitter seed (FNV-1a over
+// the address, mixed with a salt for pooled siblings). Seeding from the
+// address decorrelates backoff across a fleet of clients: with a shared
+// constant seed, every client recovering from the same outage would sleep
+// identical jittered delays and hammer the server in lockstep.
+func jitterSeed(addr string, salt uint64) uint64 {
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= fnvPrime
+	}
+	// One SplitMix64 round over the salt scatters pooled siblings that
+	// share an address into distinct jitter streams.
+	z := h + (salt+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // splitMix is a tiny deterministic generator (SplitMix64) for retry

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spectra/internal/obs"
@@ -18,6 +19,22 @@ type Handler func(optype string, payload []byte) ([]byte, *wire.UsageReport, err
 // StatusFunc produces the server's current resource snapshot.
 type StatusFunc func() *wire.ServerStatus
 
+// ServerLimits bounds concurrent request execution. With pooled clients a
+// single peer can push many requests at once; the worker bound keeps the
+// server's measured compute honest (unbounded concurrency would thrash the
+// very CPU signal the client's predictors rely on), and the queue bound
+// sheds overload as classified wire.CodeOverloaded rejections instead of
+// letting latency pile up invisibly.
+type ServerLimits struct {
+	// MaxConcurrent caps requests executing simultaneously; 0 disables
+	// admission control entirely (every request executes immediately).
+	MaxConcurrent int
+	// MaxQueue caps requests waiting for a worker slot beyond
+	// MaxConcurrent; once exceeded, requests are shed. 0 means no waiting:
+	// any request arriving with all workers busy is shed immediately.
+	MaxQueue int
+}
+
 // Server accepts Spectra RPC connections and dispatches requests to
 // registered service handlers. Each connection is served by its own
 // goroutine; Close stops the listener and waits for them to drain.
@@ -31,6 +48,12 @@ type Server struct {
 	wg       sync.WaitGroup
 	closed   bool
 
+	// Admission control (see SetLimits). workers is a counting semaphore
+	// of execution slots; queued tracks requests blocked waiting for one.
+	limits  ServerLimits
+	workers chan struct{}
+	queued  atomic.Int64
+
 	// Observability (see SetObserver). obsName labels server-side spans;
 	// sink receives one thin DecisionTrace per handled request; the metric
 	// handles are nil-safe no-ops when unset.
@@ -39,6 +62,9 @@ type Server struct {
 	mRequests    *obs.Counter
 	mErrors      *obs.Counter
 	mExecSeconds *obs.Histogram
+	mRejected    *obs.Counter
+	gQueueDepth  *obs.Gauge
+	mQueueWait   *obs.Histogram
 }
 
 // NewServer returns a server with no services registered.
@@ -62,6 +88,7 @@ func (s *Server) SetObserver(name string, o *obs.Observer) {
 	defer s.mu.Unlock()
 	if o == nil {
 		s.obsName, s.sink, s.mRequests, s.mErrors, s.mExecSeconds = "", nil, nil, nil, nil
+		s.mRejected, s.gQueueDepth, s.mQueueWait = nil, nil, nil
 		return
 	}
 	s.obsName = name
@@ -70,7 +97,35 @@ func (s *Server) SetObserver(name string, o *obs.Observer) {
 		s.mRequests = o.Registry.Counter(obs.MServerRequests)
 		s.mErrors = o.Registry.Counter(obs.MServerErrors)
 		s.mExecSeconds = o.Registry.Histogram(obs.MServerExecSeconds, obs.DefaultLatencyBuckets)
+		s.mRejected = o.Registry.Counter(obs.MServerQueueRejected)
+		s.gQueueDepth = o.Registry.Gauge(obs.MServerQueueDepth)
+		s.mQueueWait = o.Registry.Histogram(obs.MServerQueueWaitSeconds, obs.DefaultLatencyBuckets)
 	}
+}
+
+// SetLimits installs admission control: at most MaxConcurrent requests
+// execute at once, at most MaxQueue more wait for a slot, and anything
+// beyond that is shed with a wire.CodeOverloaded response. Ping and Status
+// exchanges bypass admission — health checks and resource polling must keep
+// working on an overloaded server. Set limits before Listen; changing them
+// while requests are in flight miscounts slots held on the old semaphore.
+// A zero MaxConcurrent disables admission control.
+func (s *Server) SetLimits(l ServerLimits) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.limits = l
+	if l.MaxConcurrent > 0 {
+		s.workers = make(chan struct{}, l.MaxConcurrent)
+	} else {
+		s.workers = nil
+	}
+}
+
+// Limits returns the installed admission-control bounds.
+func (s *Server) Limits() ServerLimits {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limits
 }
 
 // Register adds a service. Registering an existing name replaces it.
@@ -207,6 +262,8 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 	h, ok := s.services[msg.Service]
 	name, sink := s.obsName, s.sink
 	reqs, errsC, execH := s.mRequests, s.mErrors, s.mExecSeconds
+	limits, workers := s.limits, s.workers
+	rejected, queueDepth, queueWait := s.mRejected, s.gQueueDepth, s.mQueueWait
 	s.mu.Unlock()
 
 	reply := &wire.Message{Type: wire.MsgResponse, ID: msg.ID, Service: msg.Service}
@@ -214,6 +271,30 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 		reply.Err = fmt.Sprintf("unknown service %q", msg.Service)
 		errsC.Inc()
 		return reply
+	}
+
+	// Admission control: acquire a worker slot or shed. The wait (if any)
+	// lands inside the queue span, since dispatch is stamped after it.
+	if workers != nil {
+		select {
+		case workers <- struct{}{}:
+		default:
+			q := s.queued.Add(1)
+			if int(q) > limits.MaxQueue {
+				s.queued.Add(-1)
+				rejected.Inc()
+				reply.Code = wire.CodeOverloaded
+				reply.Err = fmt.Sprintf(
+					"overloaded: %d executing, %d queued", limits.MaxConcurrent, limits.MaxQueue)
+				return reply
+			}
+			queueDepth.Set(float64(q))
+			waitStart := time.Now()
+			workers <- struct{}{}
+			queueDepth.Set(float64(s.queued.Add(-1)))
+			queueWait.Observe(time.Since(waitStart).Seconds())
+		}
+		defer func() { <-workers }()
 	}
 
 	// Timestamps are taken only when someone will consume them: a traced

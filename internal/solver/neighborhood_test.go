@@ -69,6 +69,49 @@ func TestNeighborhoodCacheBounded(t *testing.T) {
 	}
 }
 
+func TestNeighborhoodEvictionCompacts(t *testing.T) {
+	resetNeighborhoodCache()
+	grid := func(i int) []Alternative {
+		return space([]string{fmt.Sprintf("s%d", i), "t"},
+			[]string{"l", "h", "r"}, []string{"w", "x", "y"})
+	}
+	for i := 0; i < neighborhoodCacheCap; i++ {
+		buildNeighborhoods(grid(i))
+	}
+	nbMu.Lock()
+	base := &nbOrder[0]
+	nbMu.Unlock()
+
+	// Churn far past the cap. Compaction reuses one backing array, so the
+	// slice base must not move; the old nbOrder = nbOrder[1:] advanced the
+	// base on every eviction, pinning all evicted keys behind it.
+	for i := neighborhoodCacheCap; i < neighborhoodCacheCap*4; i++ {
+		buildNeighborhoods(grid(i))
+	}
+	// The most recent insertion must have survived eviction (memoized, so a
+	// rebuild returns the identical shared structure).
+	newest := buildNeighborhoods(grid(neighborhoodCacheCap*4 - 1))
+
+	nbMu.Lock()
+	defer nbMu.Unlock()
+	if len(nbOrder) != neighborhoodCacheCap || len(nbCache) != neighborhoodCacheCap {
+		t.Fatalf("cache size %d / order %d, want %d", len(nbCache), len(nbOrder), neighborhoodCacheCap)
+	}
+	if &nbOrder[0] != base {
+		t.Fatal("eviction re-sliced nbOrder instead of compacting: backing array moved, pinning evicted keys")
+	}
+	// Every tracked key must still be cached, and the newest slot must hold
+	// the last inserted set.
+	for i, key := range nbOrder {
+		if _, ok := nbCache[key]; !ok {
+			t.Fatalf("order[%d] not in cache", i)
+		}
+	}
+	if got := nbCache[nbOrder[len(nbOrder)-1]]; &got[0] != &newest[0] {
+		t.Fatal("newest entry is not the last inserted set")
+	}
+}
+
 func TestNeighborhoodConcurrentBuild(t *testing.T) {
 	resetNeighborhoodCache()
 	cands := space([]string{"a", "b", "c"}, []string{"l", "h", "r"}, []string{"x", "y"}) // 18 >= min

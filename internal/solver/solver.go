@@ -218,8 +218,14 @@ func buildNeighborhoods(candidates []Alternative) [][]int {
 	nbMu.Lock()
 	if _, ok := nbCache[setKey]; !ok {
 		if len(nbOrder) >= neighborhoodCacheCap {
+			// Compact in place rather than re-slicing (nbOrder = nbOrder[1:]):
+			// re-slicing advances the slice header but pins the evicted keys'
+			// backing array forever, leaking every evicted key string under
+			// candidate-set churn.
 			delete(nbCache, nbOrder[0])
-			nbOrder = nbOrder[1:]
+			copy(nbOrder, nbOrder[1:])
+			nbOrder[len(nbOrder)-1] = ""
+			nbOrder = nbOrder[:len(nbOrder)-1]
 		}
 		nbCache[setKey] = nb
 		nbOrder = append(nbOrder, setKey)

@@ -53,6 +53,15 @@ func (t MsgType) String() string {
 	}
 }
 
+// Response codes carried in Message.Code. They classify machine-readable
+// failure modes that clients dispatch on, unlike Err which is free text.
+const (
+	// CodeOverloaded marks a request shed by server admission control: the
+	// worker pool and its wait queue were full, so the request was never
+	// executed and may safely run elsewhere.
+	CodeOverloaded = "overloaded"
+)
+
 // Message is the protocol envelope. String fields (Service, OpType, Err)
 // must be valid UTF-8: the JSON encoding replaces invalid sequences with
 // U+FFFD, so they would not survive a round trip. Payload is arbitrary
@@ -65,6 +74,9 @@ type Message struct {
 	Payload []byte  `json:"payload,omitempty"`
 	// Err carries a server-side error string on responses.
 	Err string `json:"err,omitempty"`
+	// Code classifies machine-readable response failures (see the Code*
+	// constants); empty on success and on plain application errors.
+	Code string `json:"code,omitempty"`
 	// Usage reports server resource consumption for the RPC, which the
 	// client forwards to its remote proxy monitors via AddUsage.
 	Usage *UsageReport `json:"usage,omitempty"`

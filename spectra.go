@@ -116,6 +116,13 @@ type (
 	// RetryPolicy tunes RPC-level retry with exponential backoff for
 	// idempotent exchanges.
 	RetryPolicy = rpc.RetryPolicy
+	// PoolOptions tunes the per-server RPC connection pools a live runtime
+	// checks connections out of (size, waiter cap, timeouts).
+	PoolOptions = rpc.PoolOptions
+	// ServerLimits bounds concurrent request execution on a Server:
+	// MaxConcurrent workers, MaxQueue waiters, classified overload
+	// rejections beyond that.
+	ServerLimits = rpc.ServerLimits
 	// FaultInjector perturbs a simulated link deterministically: drops,
 	// latency spikes, scripted flaps.
 	FaultInjector = simnet.FaultInjector
