@@ -6,14 +6,16 @@
 // serialization, with -pool N it demonstrates genuinely overlapping
 // remote operations.
 //
-// Output is a single JSON object (stdout, plus -out FILE), the first
-// trajectory point of the BENCH_*.json series:
+// Output is a single JSON object (stdout, plus -out FILE); with
+// -history FILE the same object is appended as one compact line, making
+// BENCH_load.json an append-only trajectory of runs:
 //
 //	{
 //	  "durationSec": 2.0, "concurrency": 16, "poolSize": 4, "rate": 0,
-//	  "ops": 812, "errors": 0, "shed": 0, "opsPerSec": 406.0,
+//	  "ops": 812, "errors": 0, "shed": 0, "deadline": 0, "opsPerSec": 406.0,
 //	  "latencyMs": {"p50": 38.9, "p95": 41.2, "p99": 44.0,
-//	                "mean": 39.3, "max": 51.7}
+//	                "mean": 39.3, "max": 51.7},
+//	  "tailRatio": 1.13
 //	}
 package main
 
@@ -52,8 +54,19 @@ type loadConfig struct {
 	// MaxConcurrent > 0; overload sheds are counted, not errored.
 	MaxConcurrent int
 	MaxQueue      int
+	// Budget pins the per-operation latency budget (floor and ceiling); 0
+	// derives it from predicted latency as usual.
+	Budget time.Duration
+	// HedgeDelay overrides the adaptive hedge delay; 0 keeps it adaptive.
+	HedgeDelay time.Duration
+	// NoDeadline disables the deadline/hedging machinery entirely, for
+	// before/after tail comparisons.
+	NoDeadline bool
 	// Out writes the JSON result to this file as well as stdout.
 	Out string
+	// History appends the result as one compact JSON line to this file,
+	// building the append-only BENCH_load.json trajectory.
+	History string
 }
 
 // loadResult is the harness's JSON output.
@@ -65,8 +78,12 @@ type loadResult struct {
 	Ops         int64        `json:"ops"`
 	Errors      int64        `json:"errors"`
 	Shed        int64        `json:"shed"`
+	Deadline    int64        `json:"deadline"`
 	OpsPerSec   float64      `json:"opsPerSec"`
 	Latency     latencyStats `json:"latencyMs"`
+	// TailRatio is p99/p50, the metric the deadline/hedging machinery
+	// exists to bound; the CI tail check reports it.
+	TailRatio float64 `json:"tailRatio"`
 }
 
 type latencyStats struct {
@@ -114,6 +131,12 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 	setup, err := spectra.NewLiveSetup(spectra.LiveOptions{
 		Servers:  map[string]string{"bench": addr},
 		PoolSize: cfg.PoolSize,
+		Deadline: spectra.DeadlineOptions{
+			Floor:      cfg.Budget,
+			Ceiling:    cfg.Budget,
+			HedgeDelay: cfg.HedgeDelay,
+			Disabled:   cfg.NoDeadline,
+		},
 	})
 	if err != nil {
 		return res, err
@@ -157,9 +180,9 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 	}
 
 	var (
-		ops, errs, shed atomic.Int64
-		latMu           sync.Mutex
-		latencies       []time.Duration
+		ops, errs, shed, expired atomic.Int64
+		latMu                    sync.Mutex
+		latencies                []time.Duration
 	)
 	record := func(d time.Duration, err error) {
 		switch {
@@ -168,6 +191,8 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 			latMu.Lock()
 			latencies = append(latencies, d)
 			latMu.Unlock()
+		case spectrarpc.IsDeadline(err):
+			expired.Add(1)
 		case spectrarpc.IsOverloaded(err):
 			shed.Add(1)
 		default:
@@ -218,6 +243,12 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 				t0 := time.Now()
 				err := runOnce()
 				record(time.Since(t0), err)
+				if err != nil && time.Since(t0) < time.Millisecond {
+					// An instantly failing operation (every server
+					// quarantined, say) must not spin the closed loop
+					// into millions of junk errors.
+					time.Sleep(time.Millisecond)
+				}
 			}
 		}()
 	}
@@ -227,10 +258,14 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 	res.Ops = ops.Load()
 	res.Errors = errs.Load()
 	res.Shed = shed.Load()
+	res.Deadline = expired.Load()
 	if elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
 	}
 	res.Latency = summarize(latencies)
+	if res.Latency.P50 > 0 {
+		res.TailRatio = math.Round(res.Latency.P99/res.Latency.P50*100) / 100
+	}
 	return res, nil
 }
 
@@ -261,8 +296,10 @@ func summarize(lats []time.Duration) latencyStats {
 }
 
 // emitLoad writes the result as JSON to stdout and, if requested, to a
-// file (the BENCH_load.json trajectory point).
-func emitLoad(res loadResult, out string) error {
+// file, and appends a compact line to the append-only history (the
+// BENCH_load.json trajectory: one JSON object per line, oldest first, so
+// the tail behavior of every PR stays comparable).
+func emitLoad(res loadResult, out, history string) error {
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -275,6 +312,21 @@ func emitLoad(res loadResult, out string) error {
 		if err := os.WriteFile(out, buf, 0o644); err != nil {
 			return err
 		}
+	}
+	if history != "" {
+		line, err := json.Marshal(res)
+		if err != nil {
+			return err
+		}
+		f, err := os.OpenFile(history, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	return nil
 }

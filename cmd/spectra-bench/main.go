@@ -13,7 +13,9 @@
 //
 //	spectra-bench -load                       # 16 workers, pooled
 //	spectra-bench -load -pool 1               # serialized baseline
-//	spectra-bench -load -rate 200 -out BENCH_load.json
+//	spectra-bench -load -rate 200 -out BENCH_latest.json
+//	spectra-bench -load -history BENCH_load.json   # append to the trajectory
+//	spectra-bench -load -no-deadline          # tail without hedging/budgets
 package main
 
 import (
@@ -38,7 +40,11 @@ func main() {
 	serverMHz := flag.Float64("server-mhz", 1000, "load: in-process server clock model")
 	maxConc := flag.Int("max-concurrent", 0, "load: server admission limit (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 0, "load: server queue bound before shedding")
+	budget := flag.Duration("budget", 0, "load: pin the per-op latency budget (0 = derive from prediction)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "load: fixed hedge delay (0 = adaptive p95)")
+	noDeadline := flag.Bool("no-deadline", false, "load: disable deadlines and hedging for comparison")
 	out := flag.String("out", "", "load: also write the JSON result to this file")
+	history := flag.String("history", "", "load: append one compact JSON line to this file")
 	flag.Parse()
 
 	if *load {
@@ -51,9 +57,12 @@ func main() {
 			ServerMHz:     *serverMHz,
 			MaxConcurrent: *maxConc,
 			MaxQueue:      *maxQueue,
+			Budget:        *budget,
+			HedgeDelay:    *hedgeDelay,
+			NoDeadline:    *noDeadline,
 		})
 		if err == nil {
-			err = emitLoad(res, *out)
+			err = emitLoad(res, *out, *history)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spectra-bench:", err)

@@ -297,12 +297,30 @@ func printSpanTree(out io.Writer, t *obs.DecisionTrace, parent, depth int) {
 }
 
 // top aggregates span costs across traces: the slowest phases by total
-// time, with counts and per-span mean and max.
+// time, with counts and per-span mean and max. Against a live debug
+// endpoint it leads with the tail-control gauges — queue depth next to the
+// deadline shed and hedge rates — so one screen answers whether the tail
+// is being managed (hedges winning, expired work shed) or merely suffered.
 func top(opts options, args []string) error {
 	fs := flag.NewFlagSet("top", flag.ContinueOnError)
 	n := fs.Int("n", 10, "show the N costliest phases")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if opts.debug != "" {
+		var snap obs.RegistrySnapshot
+		if err := fetchJSON(opts.debug, "/debug/metrics", &snap); err != nil {
+			fmt.Fprintf(opts.out, "metrics unavailable: %v\n", err)
+		} else {
+			fmt.Fprintf(opts.out,
+				"queue depth %.0f  deadline shed %d  expired %d  hedges %d (wins %d)  pool exhausted %d\n\n",
+				snap.Gauges[obs.MServerQueueDepth],
+				snap.Counters[obs.MServerDeadlineShed],
+				snap.Counters[obs.MDeadlineExceeded],
+				snap.Counters[obs.MHedgeLaunched],
+				snap.Counters[obs.MHedgeWins],
+				snap.Counters[obs.MPoolExhausted])
+		}
 	}
 	all, err := loadTraces(opts)
 	if err != nil {

@@ -205,6 +205,13 @@ func TestCtlTop(t *testing.T) {
 	if !strings.Contains(out, "total") {
 		t.Fatalf("top output missing header:\n%s", out)
 	}
+	// The live endpoint leads with the tail-control line: queue depth next
+	// to the deadline shed and hedge rates.
+	for _, want := range []string{"queue depth", "deadline shed", "hedges", "pool exhausted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("top output missing %q in the metrics header:\n%s", want, out)
+		}
+	}
 }
 
 func TestCtlTimeseries(t *testing.T) {

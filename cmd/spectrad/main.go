@@ -46,17 +46,18 @@ func main() {
 		sample    = flag.Duration("telemetry", time.Second, "resource telemetry sampling interval (0 = off)")
 		maxConc   = flag.Int("max-concurrent", 0, "admission control: max requests executing at once (0 = unlimited)")
 		maxQueue  = flag.Int("max-queue", 0, "admission control: max requests waiting for a worker before shedding")
+		shedExp   = flag.Bool("shed-expired", true, "shed requests whose propagated deadline already expired instead of executing them")
 	)
 	flag.Parse()
 
 	limits := spectra.ServerLimits{MaxConcurrent: *maxConc, MaxQueue: *maxQueue}
-	if err := run(*addr, *name, *mhz, *debugAddr, *flight, *flightMB, *sample, limits); err != nil {
+	if err := run(*addr, *name, *mhz, *debugAddr, *flight, *flightMB, *sample, limits, *shedExp); err != nil {
 		fmt.Fprintln(os.Stderr, "spectrad:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, name string, mhz float64, debugAddr, flight string, flightMB int64, sample time.Duration, limits spectra.ServerLimits) error {
+func run(addr, name string, mhz float64, debugAddr, flight string, flightMB int64, sample time.Duration, limits spectra.ServerLimits, shedExpired bool) error {
 	machine := spectra.NewMachine(spectra.MachineConfig{
 		Name:        name,
 		SpeedMHz:    mhz,
@@ -68,6 +69,7 @@ func run(addr, name string, mhz float64, debugAddr, flight string, flightMB int6
 	if limits.MaxConcurrent > 0 {
 		srv.SetLimits(limits)
 	}
+	srv.SetShedExpired(shedExpired)
 
 	// Observability: request metrics, retained traces for /debug/traces,
 	// an optional JSONL flight recorder, and a resource time-series.

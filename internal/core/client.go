@@ -44,6 +44,10 @@ type Config struct {
 	// Failover tunes transparent re-execution after transient remote
 	// failures (see FailoverOptions); the zero value enables it.
 	Failover FailoverOptions
+	// Deadline tunes end-to-end latency budgets, cancellation, and hedged
+	// requests on runtimes that support them (see DeadlineOptions); the
+	// zero value enables them with defaults.
+	Deadline DeadlineOptions
 	// Health tunes the per-server circuit breaker feeding server
 	// availability into the decision space; the zero value enables it.
 	Health HealthOptions
@@ -91,7 +95,12 @@ type Client struct {
 	solverOpts solver.Options
 	exhaustive bool
 	failover   FailoverOptions
+	deadline   DeadlineOptions
 	health     *HealthTracker
+
+	// latring samples successful remote-call latencies for the adaptive
+	// hedge delay (p95 of the window).
+	latring latencyRing
 
 	hooks obsHooks
 
@@ -132,6 +141,7 @@ func NewClient(cfg Config) (*Client, error) {
 		solverOpts: cfg.Solver,
 		exhaustive: cfg.Exhaustive,
 		failover:   cfg.Failover,
+		deadline:   cfg.Deadline,
 		health:     NewHealthTracker(cfg.Health),
 		hooks:      newObsHooks(cfg.Obs),
 		snapTTL:    cfg.SnapshotTTL,

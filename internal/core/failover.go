@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -75,8 +76,15 @@ func isTransientExec(err error) bool {
 }
 
 // noteRemoteFailure feeds a transient remote failure into the health
-// tracker (the transport has already marked reachability).
-func (c *Client) noteRemoteFailure(server string) {
+// tracker (the transport has already marked reachability). Deadline
+// expiries are excluded: a budget running out says nothing about the
+// server's health — it may be answering and merely slow, or the budget
+// short — and counting them would quarantine a loaded server that is
+// still making progress.
+func (c *Client) noteRemoteFailure(server string, err error) {
+	if spectrarpc.IsDeadline(err) {
+		return
+	}
 	c.health.RecordFailure(server, c.runtime.Now())
 }
 
@@ -129,20 +137,32 @@ func (c *Client) hostOffers(service string) bool {
 // failRemote is the shared failover ladder for DoRemoteOp and failed
 // DoParallelOps branches: re-execute the call on the next-best server
 // (bounded by the failover budget), then fall back to local execution.
-// It returns the output, where the call finally ran ("" = local), and
-// whether the recovery left the decided plan (degraded).
-func (x *OpContext) failRemote(optype string, payload []byte, failed string, cause error) (out []byte, ranOn string, degraded bool, err error) {
+// The context carries the operation's remaining latency budget, so every
+// rung runs inside the original deadline rather than after it; placements
+// already attempted may be pre-seeded via tried (nil starts fresh). Local
+// fallback deliberately ignores context expiry — a late local result still
+// beats no result, and it costs no further remote waiting. It returns the
+// output, where the call finally ran ("" = local), and whether the
+// recovery left the decided plan (degraded).
+func (x *OpContext) failRemote(ctx context.Context, optype string, payload []byte, failed string, cause error, tried map[string]bool) (out []byte, ranOn string, degraded bool, err error) {
 	c := x.client
 	service := x.op.spec.Service
-	tried := map[string]bool{failed: true}
+	if tried == nil {
+		tried = make(map[string]bool, 1)
+	}
+	tried[failed] = true
 
 	for attempt := 0; attempt < c.failover.budget(); attempt++ {
+		if ctx.Err() != nil {
+			// The budget ran out mid-ladder; skip straight to the local rung.
+			break
+		}
 		next := c.nextServer(x.op, x.decision.Alternative, x.params, x.data, tried)
 		if next == "" {
 			break
 		}
 		tried[next] = true
-		out, rep, rerr := x.remoteCall(next, optype, payload)
+		out, rep, rerr := x.remoteCallCtx(ctx, next, optype, payload)
 		x.account(rep)
 		if rerr == nil {
 			c.health.RecordSuccess(next)
@@ -152,7 +172,7 @@ func (x *OpContext) failRemote(optype string, payload []byte, failed string, cau
 		if !isTransientExec(rerr) {
 			return nil, "", false, fmt.Errorf("core: do_remote_op %q on %q (failover): %w", optype, next, rerr)
 		}
-		c.noteRemoteFailure(next)
+		c.noteRemoteFailure(next, rerr)
 		cause = rerr
 		failed = next
 	}

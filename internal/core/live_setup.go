@@ -32,6 +32,9 @@ type LiveOptions struct {
 	// tracking; zero values enable both with defaults.
 	Failover FailoverOptions
 	Health   HealthOptions
+	// Deadline tunes end-to-end latency budgets, cancellation, and hedged
+	// requests; the zero value enables them with defaults.
+	Deadline DeadlineOptions
 	// Obs enables metrics, decision traces, and prediction-accuracy
 	// accounting; nil disables observability.
 	Obs *obs.Observer
@@ -143,6 +146,7 @@ func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) {
 		Exhaustive:  opts.Exhaustive,
 		Failover:    opts.Failover,
 		Health:      opts.Health,
+		Deadline:    opts.Deadline,
 		Obs:         opts.Obs,
 		SnapshotTTL: snapTTL,
 	})

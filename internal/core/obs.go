@@ -19,9 +19,11 @@ type obsHooks struct {
 	failoverEvents, failoverLocal                 *obs.Counter
 	pollCycles, pollErrors                        *obs.Counter
 	snapCacheHits, snapCacheMisses                *obs.Counter
+	deadlineExceeded, hedgeLaunched, hedgeWins    *obs.Counter
 
 	beginSeconds, pollSeconds *obs.Histogram
 	rankPct, candidates       *obs.Histogram
+	budgetSeconds             *obs.Histogram
 }
 
 func newObsHooks(o *obs.Observer) obsHooks {
@@ -44,10 +46,14 @@ func newObsHooks(o *obs.Observer) obsHooks {
 	h.pollErrors = r.Counter(obs.MPollErrors)
 	h.snapCacheHits = r.Counter(obs.MSnapCacheHits)
 	h.snapCacheMisses = r.Counter(obs.MSnapCacheMisses)
+	h.deadlineExceeded = r.Counter(obs.MDeadlineExceeded)
+	h.hedgeLaunched = r.Counter(obs.MHedgeLaunched)
+	h.hedgeWins = r.Counter(obs.MHedgeWins)
 	h.beginSeconds = r.Histogram(obs.MBeginSeconds, obs.DefaultLatencyBuckets)
 	h.pollSeconds = r.Histogram(obs.MPollSeconds, obs.DefaultLatencyBuckets)
 	h.rankPct = r.Histogram(obs.MSolverRankPct, obs.DefaultPercentBuckets)
 	h.candidates = r.Histogram(obs.MSolverCandidates, obs.DefaultCountBuckets)
+	h.budgetSeconds = r.Histogram(obs.MDeadlineBudget, obs.DefaultLatencyBuckets)
 	return h
 }
 

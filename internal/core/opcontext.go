@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -92,6 +93,11 @@ func (x *OpContext) DoLocalOp(optype string, payload []byte) ([]byte, error) {
 // the current decision space (bounded by the failover budget) and finally
 // onto the client itself, so the application only sees an error when every
 // placement is exhausted. Recoveries are recorded in the Report.
+//
+// On runtimes that support cancellation (DeadlineRuntime, i.e. live
+// setups) the whole call — including the failover ladder — runs inside a
+// latency budget derived from the solver's predicted latency, and a hedged
+// backup may race the primary; see DeadlineOptions.
 func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 	if x.ended {
 		return nil, errEnded
@@ -99,6 +105,9 @@ func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 	server := x.decision.Alternative.Server
 	if server == "" {
 		return nil, errors.New("core: do_remote_op on a local execution plan")
+	}
+	if dr, ok := x.client.runtime.(DeadlineRuntime); ok && !x.client.deadline.Disabled {
+		return x.doRemoteDeadline(dr, optype, payload)
 	}
 	out, rep, err := x.remoteCall(server, optype, payload)
 	x.account(rep)
@@ -109,8 +118,8 @@ func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 	if x.client.failover.disabled() || !isTransientExec(err) {
 		return nil, fmt.Errorf("core: do_remote_op %q on %q: %w", optype, server, err)
 	}
-	x.client.noteRemoteFailure(server)
-	out, ranOn, degraded, err := x.failRemote(optype, payload, server, err)
+	x.client.noteRemoteFailure(server, err)
+	out, ranOn, degraded, err := x.failRemote(context.Background(), optype, payload, server, err, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -130,12 +139,28 @@ func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 // tracing off it degenerates to a plain RemoteCall — no context, no spans,
 // no allocations.
 func (x *OpContext) remoteCall(server, optype string, payload []byte) ([]byte, callReport, error) {
+	return x.remoteCallCtx(context.Background(), server, optype, payload)
+}
+
+// remoteCallCtx is remoteCall bounded by a context: on a DeadlineRuntime
+// the remaining budget caps the exchange and rides the request; other
+// runtimes ignore the context.
+func (x *OpContext) remoteCallCtx(ctx context.Context, server, optype string, payload []byte) ([]byte, callReport, error) {
 	sp := x.spans.Start(obs.SpanRPC, -1)
 	var tc *wire.TraceContext
 	if sp >= 0 {
 		tc = &wire.TraceContext{TraceID: x.id, SpanID: uint64(sp)}
 	}
-	out, rep, err := x.client.runtime.RemoteCall(server, x.op.spec.Service, optype, payload, tc)
+	var (
+		out []byte
+		rep callReport
+		err error
+	)
+	if dr, ok := x.client.runtime.(DeadlineRuntime); ok {
+		out, rep, err = dr.RemoteCallContext(ctx, server, x.op.spec.Service, optype, payload, tc)
+	} else {
+		out, rep, err = x.client.runtime.RemoteCall(server, x.op.spec.Service, optype, payload, tc)
+	}
 	if sp >= 0 {
 		x.spans.Attach(sp, rep.serverSpans)
 		x.spans.EndSpan(sp)

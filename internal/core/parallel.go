@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -95,8 +96,8 @@ func (x *OpContext) DoParallelOps(calls []ParallelCall) ([][]byte, error) {
 		if x.client.failover.disabled() || !isTransientExec(res.err) {
 			return nil, fmt.Errorf("core: parallel ops: %w", res.err)
 		}
-		x.client.noteRemoteFailure(resolved[i].Server)
-		out, _, degraded, err := x.failRemote(resolved[i].OpType, resolved[i].Payload, resolved[i].Server, res.err)
+		x.client.noteRemoteFailure(resolved[i].Server, res.err)
+		out, _, degraded, err := x.failRemote(context.Background(), resolved[i].OpType, resolved[i].Payload, resolved[i].Server, res.err, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: parallel ops: %w", err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -137,19 +138,29 @@ func (r *NetRuntime) LocalCall(service, optype string, payload []byte) ([]byte, 
 // the trace context to the server; the server's span records return on the
 // response and are rebased onto the client timeline (see rpc.RebaseSpans).
 func (r *NetRuntime) RemoteCall(server, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, callReport, error) {
+	return r.RemoteCallContext(context.Background(), server, service, optype, payload, tc)
+}
+
+// RemoteCallContext implements DeadlineRuntime: RemoteCall bounded by the
+// context's remaining budget. The budget caps the pool checkout wait, the
+// dial, and the exchange, rides the request so the server can shed expired
+// work, and cancellation interrupts the exchange mid-flight.
+func (r *NetRuntime) RemoteCallContext(ctx context.Context, server, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, callReport, error) {
 	pool, err := r.pool(server)
 	if err != nil {
 		return nil, callReport{}, err
 	}
 	start := time.Now()
-	out, usage, spans, err := pool.CallTraced(service, optype, payload, tc)
+	out, usage, spans, err := pool.CallContext(ctx, service, optype, payload, tc)
 	elapsed := time.Since(start)
 	if err != nil {
 		// A transport fault means the server cannot be contacted; an
 		// admission-control shed means the opposite — the server answered,
-		// it is just saturated — so only the former flips reachability. The
-		// pool already evicted the faulted connection.
-		if !isRemoteAppError(err) && !spectrarpc.IsOverloaded(err) {
+		// it is just saturated — so only the former flips reachability. A
+		// deadline expiry says nothing either way (the server may be healthy
+		// and merely slow, or the budget was short). The pool already
+		// evicted any faulted connection.
+		if !isRemoteAppError(err) && !spectrarpc.IsOverloaded(err) && !spectrarpc.IsDeadline(err) {
 			r.setReachable(server, false)
 		}
 		return nil, callReport{}, fmt.Errorf("core: remote %s on %q: %w", service, server, err)

@@ -76,6 +76,12 @@ func (s *Server) SetObserver(o *obs.Observer) {
 // over. Call before Listen.
 func (s *Server) SetLimits(l rpc.ServerLimits) { s.rpc.SetLimits(l) }
 
+// SetShedExpired toggles deadline-aware load shedding: when on (the
+// default), queued requests whose propagated budget has already expired are
+// answered with a deadline rejection instead of executing work the client
+// has abandoned. Call before Listen.
+func (s *Server) SetShedExpired(on bool) { s.rpc.SetShedExpired(on) }
+
 // Register hosts a service on the server (and its node).
 func (s *Server) Register(service string, fn ServiceFunc) {
 	s.node.RegisterService(service, fn)

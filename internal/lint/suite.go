@@ -40,11 +40,16 @@ var DeterministicPkgs = []string{
 var BlockingCalls = []string{
 	"(*spectra/internal/rpc.Client).Call",
 	"(*spectra/internal/rpc.Client).CallTraced",
+	"(*spectra/internal/rpc.Client).CallContext",
 	"(*spectra/internal/rpc.Client).Status",
+	"(*spectra/internal/rpc.Client).StatusContext",
 	"(*spectra/internal/rpc.Client).Ping",
+	"(*spectra/internal/rpc.Client).PingContext",
 	"(*spectra/internal/rpc.Pool).Call",
 	"(*spectra/internal/rpc.Pool).CallTraced",
+	"(*spectra/internal/rpc.Pool).CallContext",
 	"(*spectra/internal/rpc.Pool).Status",
+	"(*spectra/internal/rpc.Pool).StatusContext",
 	"(*spectra/internal/rpc.Pool).Ping",
 	"(*spectra/internal/rpc.Server).Close",
 	"net.Dial",

@@ -48,6 +48,16 @@ const (
 	MPoolExhausted = "spectra.rpc.pool.exhausted.total"
 	MPoolInUse     = "spectra.rpc.pool.inuse"
 
+	// End-to-end latency budgets (deadline propagation and hedging).
+	// MDeadlineExceeded counts operations that exhausted their budget;
+	// MDeadlineBudget is the distribution of budgets the planner derived.
+	// MHedgeLaunched counts hedged backup requests; MHedgeWins counts the
+	// subset whose backup reply beat the primary.
+	MDeadlineExceeded = "spectra.rpc.deadline.exceeded.total"
+	MDeadlineBudget   = "spectra.rpc.deadline.budget.seconds"
+	MHedgeLaunched    = "spectra.rpc.hedge.launched.total"
+	MHedgeWins        = "spectra.rpc.hedge.wins.total"
+
 	// Trace pipeline.
 	MTracesDropped = "spectra.traces.dropped.total"
 
@@ -57,9 +67,12 @@ const (
 	MServerExecSeconds = "spectra.server.exec.seconds"
 
 	// Server admission control (bounded worker pool + wait queue).
+	// MServerDeadlineShed counts requests shed because their propagated
+	// latency budget expired before execution.
 	MServerQueueDepth       = "spectra.server.queue.depth"
 	MServerQueueRejected    = "spectra.server.queue.rejected.total"
 	MServerQueueWaitSeconds = "spectra.server.queue.wait.seconds"
+	MServerDeadlineShed     = "spectra.server.deadline.shed.total"
 
 	// Decision snapshot cache (short-TTL sharing across concurrent Begins).
 	MSnapCacheHits   = "spectra.monitor.snapshot.cache.hits.total"
@@ -142,7 +155,8 @@ func RegisterCoreMetrics(r *Registry) {
 		MPoolCreated, MPoolEvicted, MPoolWaits, MPoolExhausted,
 		MPredictHitBin, MPredictHitGeneric, MPredictHitData, MPredictMiss,
 		MTracesDropped,
-		MServerRequests, MServerErrors, MServerQueueRejected,
+		MServerRequests, MServerErrors, MServerQueueRejected, MServerDeadlineShed,
+		MDeadlineExceeded, MHedgeLaunched, MHedgeWins,
 		MSnapCacheHits, MSnapCacheMisses,
 	} {
 		r.Counter(name)
@@ -157,6 +171,7 @@ func RegisterCoreMetrics(r *Registry) {
 	r.Histogram(MPollSeconds, DefaultLatencyBuckets)
 	r.Histogram(MSnapshotSeconds, DefaultLatencyBuckets)
 	r.Histogram(MRPCCallSeconds, DefaultLatencyBuckets)
+	r.Histogram(MDeadlineBudget, DefaultLatencyBuckets)
 }
 
 // TraceOn reports whether decision traces should be constructed.

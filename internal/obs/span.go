@@ -15,6 +15,9 @@ const (
 	SpanReintegrate = "reintegrate"
 	SpanRPC         = "rpc"
 	SpanLocal       = "local"
+	// SpanHedge marks a hedged backup RPC launched against the next-best
+	// server while the primary was still in flight.
+	SpanHedge = "rpc.hedge"
 
 	SpanServerQueue   = "server.queue"
 	SpanServerExec    = "server.exec"

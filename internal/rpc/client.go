@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -45,7 +46,10 @@ type Client struct {
 	closed  bool
 	redials int
 	retry   RetryPolicy
-	rng     splitMix
+	// budget is the shared retry token bucket (nil permits all retries);
+	// pooled clients share their pool's bucket.
+	budget *RetryBudget
+	rng    splitMix
 	// sleep is swapped out by tests to observe backoff without waiting.
 	sleep func(time.Duration)
 
@@ -66,7 +70,7 @@ func Dial(addr string, traffic *TrafficLog) (*Client, error) {
 	c := NewClient(addr, traffic)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.ensureConnLocked(); err != nil {
+	if err := c.ensureConnLocked(c.timeout, false); err != nil {
 		return nil, err
 	}
 	c.redials = 0 // the initial dial is not a redial
@@ -110,6 +114,14 @@ func (c *Client) SetRetryPolicy(p RetryPolicy) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.retry = p
+}
+
+// SetRetryBudget attaches a shared retry token bucket; retries stop while
+// it is empty. Nil detaches (all retries permitted).
+func (c *Client) SetRetryBudget(b *RetryBudget) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.budget = b
 }
 
 // SetMetrics attaches the metrics registry: retry and redial counts plus
@@ -163,7 +175,18 @@ func (c *Client) Call(service, optype string, payload []byte) ([]byte, *wire.Usa
 // offsets are relative to the server's receipt of the request, on the
 // server's clock; RebaseSpans converts them to client-timeline spans.
 func (c *Client) CallTraced(service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, *wire.UsageReport, []wire.SpanRecord, error) {
-	reply, err := c.exchange(&wire.Message{
+	return c.CallContext(context.Background(), service, optype, payload, tc)
+}
+
+// CallContext is CallTraced under an end-to-end deadline: the context's
+// remaining budget bounds the dial and the exchange, rides the request as
+// a wire.DeadlineContext so the server can shed work the client has
+// abandoned, and cancellation interrupts an in-flight exchange (the
+// connection is closed so the blocked read returns immediately, and the
+// stream resyncs by redialing on the next call). Budget expiry and
+// cancellation are returned as *DeadlineError.
+func (c *Client) CallContext(ctx context.Context, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, *wire.UsageReport, []wire.SpanRecord, error) {
+	reply, err := c.exchangeCtx(ctx, &wire.Message{
 		Type:    wire.MsgRequest,
 		Service: service,
 		OpType:  optype,
@@ -173,12 +196,18 @@ func (c *Client) CallTraced(service, optype string, payload []byte, tc *wire.Tra
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	if reply.Code == wire.CodeOverloaded {
+	switch reply.Code {
+	case wire.CodeOverloaded:
 		// Admission-control shed: the exchange completed and the connection
 		// is healthy, but the server refused the work. Classified separately
 		// from RemoteError so failover engages and from TransportError so
 		// pools do not evict a good connection.
 		return nil, reply.Usage, reply.Spans, &OverloadError{Addr: c.addr}
+	case wire.CodeDeadlineExceeded:
+		// The server judged the budget expired and shed the request without
+		// executing it. The connection is healthy; the operation is out of
+		// time on this placement.
+		return nil, reply.Usage, reply.Spans, &DeadlineError{Op: "server", Addr: c.addr, Err: errServerShed}
 	}
 	if reply.Err != "" {
 		return nil, reply.Usage, reply.Spans, &RemoteError{Service: service, Msg: reply.Err}
@@ -189,7 +218,13 @@ func (c *Client) CallTraced(service, optype string, payload []byte, tc *wire.Tra
 // Status fetches the server's resource snapshot, retrying transient
 // transport faults per the retry policy (the exchange is idempotent).
 func (c *Client) Status() (*wire.ServerStatus, error) {
-	reply, err := c.exchangeRetry(func() *wire.Message {
+	return c.StatusContext(context.Background())
+}
+
+// StatusContext is Status under a deadline: retries stop once the next
+// backoff would overrun the remaining budget.
+func (c *Client) StatusContext(ctx context.Context) (*wire.ServerStatus, error) {
+	reply, err := c.exchangeRetry(ctx, func() *wire.Message {
 		return &wire.Message{Type: wire.MsgStatus}
 	})
 	if err != nil {
@@ -204,8 +239,13 @@ func (c *Client) Status() (*wire.ServerStatus, error) {
 // Ping performs a minimal round trip, seeding the latency estimate. Like
 // Status it is idempotent and retries transient faults.
 func (c *Client) Ping() (time.Duration, error) {
+	return c.PingContext(context.Background())
+}
+
+// PingContext is Ping under a deadline.
+func (c *Client) PingContext(ctx context.Context) (time.Duration, error) {
 	start := time.Now()
-	if _, err := c.exchangeRetry(func() *wire.Message {
+	if _, err := c.exchangeRetry(ctx, func() *wire.Message {
 		return &wire.Message{Type: wire.MsgPing}
 	}); err != nil {
 		return 0, err
@@ -216,67 +256,162 @@ func (c *Client) Ping() (time.Duration, error) {
 // exchangeRetry performs an idempotent exchange, retrying transient
 // transport faults with capped exponential backoff and jitter. msg is a
 // constructor because each attempt needs a fresh message (IDs are
-// assigned per attempt).
-func (c *Client) exchangeRetry(msg func() *wire.Message) (*wire.Message, error) {
+// assigned per attempt). Retries respect both the shared retry budget
+// (stopping while it is drained, so correlated outages do not trigger a
+// retry storm) and the context's remaining time: an attempt whose backoff
+// would overrun the budget is never scheduled, and the give-up is
+// classified as a *DeadlineError rather than the last transport fault.
+func (c *Client) exchangeRetry(ctx context.Context, msg func() *wire.Message) (*wire.Message, error) {
 	c.mu.Lock()
 	policy := c.retry
 	retries := c.mRetries
+	budget := c.budget
 	c.mu.Unlock()
 	attempts := policy.attempts()
 
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			retries.Inc()
+			if !budget.Allow() {
+				// The shared bucket is empty: enough peers are already
+				// retrying that another attempt only deepens the outage.
+				break
+			}
 			c.mu.Lock()
 			d := policy.delay(i-1, &c.rng)
 			sleep := c.sleep
 			c.mu.Unlock()
+			if deadline, ok := ctx.Deadline(); ok {
+				if remaining := time.Until(deadline); d >= remaining {
+					return nil, &DeadlineError{Op: "backoff", Addr: c.addr, Err: lastErr}
+				}
+			}
+			retries.Inc()
 			sleep(d)
 		}
-		reply, err := c.exchange(msg())
+		reply, err := c.exchangeCtx(ctx, msg())
 		if err == nil {
 			return reply, nil
 		}
 		lastErr = err
-		if !IsTransient(err) {
+		if !IsTransient(err) || IsDeadline(err) {
+			// Remote errors would fail identically on retry; deadline
+			// failures mean the budget is spent, so backing off and trying
+			// again can only finish later than giving up now.
 			break
 		}
 	}
 	return nil, lastErr
 }
 
-// exchange sends one message and reads the matching reply, recording the
-// traffic observation. Any transport fault closes the connection — after a
-// timeout or partial read/write the stream is desynchronized and replies
-// would no longer line up with requests — so the next exchange redials.
+// exchange sends one message and reads the matching reply without a
+// deadline; see exchangeCtx.
 func (c *Client) exchange(msg *wire.Message) (*wire.Message, error) {
+	return c.exchangeCtx(context.Background(), msg)
+}
+
+// exchangeCtx sends one message and reads the matching reply, recording
+// the traffic observation. Any transport fault closes the connection —
+// after a timeout or partial read/write the stream is desynchronized and
+// replies would no longer line up with requests — so the next exchange
+// redials. The context bounds the whole exchange: the effective I/O
+// deadline is the smaller of the per-exchange timeout and the context's
+// remaining time, the remaining budget is propagated on request frames,
+// and cancellation mid-exchange forces the blocked I/O to return by
+// expiring the connection deadline (close-on-cancel).
+func (c *Client) exchangeCtx(ctx context.Context, msg *wire.Message) (*wire.Message, error) {
+	var remaining time.Duration // 0 means unbounded
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining = time.Until(deadline)
+		if remaining <= 0 {
+			return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: context.DeadlineExceeded}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: err}
+	}
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
-	if err := c.ensureConnLocked(); err != nil {
+	timeout := c.timeout
+	// budgetBound records that the effective I/O deadline is the context's
+	// remaining budget, not the per-exchange timeout: an I/O timeout is then
+	// the budget expiring, even when the connection's deadline fires a hair
+	// before the context's own timer does — misreading that race as a
+	// transport fault would evict a healthy connection and count against the
+	// server's health.
+	budgetBound := false
+	if remaining > 0 && (timeout <= 0 || remaining < timeout) {
+		timeout = remaining
+		budgetBound = true
+	}
+	if err := c.ensureConnLocked(timeout, budgetBound); err != nil {
 		return nil, err
 	}
 	c.nextID++
 	msg.ID = c.nextID
+	if remaining > 0 && msg.Type == wire.MsgRequest {
+		msg.Deadline = wire.NewDeadlineContext(remaining)
+	}
 
-	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			c.breakConnLocked()
-			return nil, &TransportError{Op: "deadline", Addr: c.addr, Err: err}
-		}
+	var ioDeadline time.Time // zero clears any stale forced expiry
+	if timeout > 0 {
+		ioDeadline = time.Now().Add(timeout)
+	}
+	if err := c.conn.SetDeadline(ioDeadline); err != nil {
+		c.breakConnLocked()
+		return nil, &TransportError{Op: "deadline", Addr: c.addr, Err: err}
+	}
+
+	if done := ctx.Done(); done != nil {
+		// Close-on-cancel: a watcher forces the blocked read or write to
+		// return immediately by moving the connection deadline into the
+		// past. The poisoned stream is then discarded below and resyncs by
+		// redialing on the next exchange. The watcher is joined before the
+		// exchange returns: when cancellation races a successful reply, the
+		// select may still take the done arm, and an unjoined watcher could
+		// fire its forced expiry after the connection was handed to the next
+		// exchange — poisoning an innocent request with an instant timeout.
+		conn := c.conn
+		stop := make(chan struct{})
+		watcherDone := make(chan struct{})
+		go func() {
+			defer close(watcherDone)
+			select {
+			case <-done:
+				conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-watcherDone
+		}()
 	}
 
 	start := time.Now()
 	sent, err := wire.WriteMessage(c.conn, msg)
 	if err != nil {
 		c.breakConnLocked()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: cerr}
+		}
+		if budgetBound && isTimeoutErr(err) {
+			return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: context.DeadlineExceeded}
+		}
 		return nil, &TransportError{Op: "write", Addr: c.addr, Err: err}
 	}
 	for {
 		reply, received, err := wire.ReadMessage(c.conn)
 		if err != nil {
 			c.breakConnLocked()
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: cerr}
+			}
+			if budgetBound && isTimeoutErr(err) {
+				return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: context.DeadlineExceeded}
+			}
 			return nil, &TransportError{Op: "read", Addr: c.addr, Err: err}
 		}
 		if reply.ID < msg.ID {
@@ -301,21 +436,30 @@ func (c *Client) exchange(msg *wire.Message) (*wire.Message, error) {
 			When:    time.Now(),
 		})
 		c.mCallSeconds.Observe(elapsed.Seconds())
+		// Every successful exchange earns back a fraction of a retry token
+		// for the budget shared with pooled siblings.
+		c.budget.Credit()
 		return reply, nil
 	}
 }
 
-// ensureConnLocked dials if no healthy connection exists. The caller holds
-// c.mu.
-func (c *Client) ensureConnLocked() error {
+// ensureConnLocked dials if no healthy connection exists, bounding the
+// dial by the exchange's effective timeout. budgetBound marks the timeout
+// as the context's remaining budget, so a dial that runs out of time is a
+// deadline expiry, not evidence the server is unreachable. The caller
+// holds c.mu.
+func (c *Client) ensureConnLocked(timeout time.Duration, budgetBound bool) error {
 	if c.closed {
 		return ErrClientClosed
 	}
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, timeout)
 	if err != nil {
+		if budgetBound && isTimeoutErr(err) {
+			return &DeadlineError{Op: "dial", Addr: c.addr, Err: context.DeadlineExceeded}
+		}
 		return &TransportError{Op: "dial", Addr: c.addr, Err: err}
 	}
 	c.conn = conn

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -16,7 +17,9 @@ var (
 	// ErrPoolClosed reports a checkout attempted on a Close()d pool.
 	ErrPoolClosed = errors.New("rpc: pool closed")
 	// ErrPoolExhausted reports a checkout rejected because every connection
-	// was busy and the waiter cap was reached.
+	// was busy and either the waiter cap was reached or the wait outlived
+	// the operation's budget. Deadline-bounded waits return it wrapped in a
+	// *DeadlineError, so errors.Is(err, ErrPoolExhausted) holds for both.
 	ErrPoolExhausted = errors.New("rpc: pool exhausted")
 )
 
@@ -57,20 +60,24 @@ func (o PoolOptions) size() int {
 // The pool never holds its mutex across network I/O: checkout and checkin
 // only move *Client values between slices, and the exchange itself runs on
 // the checked-out client outside the pool lock. Waiting for a free
-// connection uses a sync.Cond, which releases the lock while blocked.
+// connection parks the checkout on a per-waiter hand-off channel so the
+// wait can be abandoned when the operation's deadline expires — the
+// unbounded sync.Cond wait this replaces was the dominant p99 tail term.
+// All clients of one pool share a RetryBudget, bounding the aggregate
+// retry rate during correlated outages.
 type Pool struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
 
 	addr    string
 	traffic *TrafficLog
 	opts    PoolOptions
+	budget  *RetryBudget
 
-	idle    []*Client // connections ready for checkout
-	live    int       // connections existing (idle + checked out)
-	waiters int       // checkouts blocked in cond.Wait
-	seq     uint64    // jitter-seed salt for the next created client
-	evicted int       // connections discarded after transport faults
+	idle    []*Client      // connections ready for checkout
+	live    int            // connections existing (idle + checked out)
+	waitq   []chan *Client // parked checkouts, oldest first; buffered cap 1
+	seq     uint64         // jitter-seed salt for the next created client
+	evicted int            // connections discarded after transport faults
 	closed  bool
 
 	// Observability handles (nil-safe no-ops when unset).
@@ -89,13 +96,12 @@ func NewPool(addr string, traffic *TrafficLog, opts PoolOptions) *Pool {
 	if traffic == nil {
 		traffic = NewTrafficLog()
 	}
-	p := &Pool{
+	return &Pool{
 		addr:    addr,
 		traffic: traffic,
 		opts:    opts,
+		budget:  NewRetryBudget(0, 0),
 	}
-	p.cond = sync.NewCond(&p.mu)
-	return p
 }
 
 // Addr returns the server address.
@@ -106,6 +112,10 @@ func (p *Pool) Traffic() *TrafficLog { return p.traffic }
 
 // Size returns the pool's connection cap.
 func (p *Pool) Size() int { return p.opts.size() }
+
+// RetryBudget returns the shared retry token bucket all of this pool's
+// clients draw from.
+func (p *Pool) RetryBudget() *RetryBudget { return p.budget }
 
 // SetMetrics attaches the metrics registry: connection churn, waiter
 // pressure, and in-use depth flow into it. A nil registry detaches.
@@ -169,7 +179,7 @@ func (p *Pool) Stats() PoolStats {
 	return PoolStats{
 		Live:    p.live,
 		Idle:    len(p.idle),
-		Waiters: p.waiters,
+		Waiters: len(p.waitq),
 		Created: int(p.seq),
 		Evicted: p.evicted,
 	}
@@ -183,9 +193,13 @@ func (p *Pool) Close() error {
 	p.closed = true
 	idle := p.idle
 	p.idle = nil
-	p.cond.Broadcast()
+	waiters := p.waitq
+	p.waitq = nil
 	p.mu.Unlock()
 
+	for _, w := range waiters {
+		w <- nil // wakes the parked checkout into ErrPoolClosed
+	}
 	var err error
 	for _, c := range idle {
 		if cerr := c.Close(); cerr != nil && err == nil {
@@ -196,42 +210,99 @@ func (p *Pool) Close() error {
 }
 
 // checkout returns a connection for exclusive use. It prefers an idle
-// connection, creates one if below the cap, and otherwise blocks until a
-// checkin frees one (or fails with ErrPoolExhausted when the waiter cap is
-// reached). The matching checkin must always follow.
-func (p *Pool) checkout() (*Client, error) {
+// connection, creates one if below the cap, and otherwise parks on the
+// wait queue until a checkin hands one over — or until the context
+// expires, in which case it fails promptly with a *DeadlineError wrapping
+// ErrPoolExhausted instead of blocking past any useful deadline. The
+// matching checkin must always follow a successful checkout.
+func (p *Pool) checkout(ctx context.Context) (*Client, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &DeadlineError{Op: "checkout", Addr: p.addr, Err: err}
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	waited := false
-	for {
-		if p.closed {
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		p.gInUse.Set(float64(p.live - len(p.idle)))
+		p.mu.Unlock()
+		return c, nil
+	}
+	if p.live < p.opts.size() {
+		c := p.newClientLocked()
+		p.live++
+		p.gInUse.Set(float64(p.live - len(p.idle)))
+		p.mu.Unlock()
+		return c, nil
+	}
+	if p.opts.MaxWaiters < 0 || (p.opts.MaxWaiters > 0 && len(p.waitq) >= p.opts.MaxWaiters) {
+		p.mExhausted.Inc()
+		p.mu.Unlock()
+		return nil, ErrPoolExhausted
+	}
+	w := make(chan *Client, 1)
+	p.waitq = append(p.waitq, w)
+	p.mWaits.Inc()
+	p.mu.Unlock()
+
+	select {
+	case c := <-w:
+		if c == nil {
 			return nil, ErrPoolClosed
 		}
-		if n := len(p.idle); n > 0 {
-			c := p.idle[n-1]
-			p.idle[n-1] = nil
-			p.idle = p.idle[:n-1]
-			p.gInUse.Set(float64(p.live - len(p.idle)))
-			return c, nil
-		}
-		if p.live < p.opts.size() {
-			c := p.newClientLocked()
-			p.live++
-			p.gInUse.Set(float64(p.live - len(p.idle)))
-			return c, nil
-		}
-		if p.opts.MaxWaiters < 0 || (p.opts.MaxWaiters > 0 && p.waiters >= p.opts.MaxWaiters) {
-			p.mExhausted.Inc()
-			return nil, ErrPoolExhausted
-		}
-		if !waited {
-			waited = true
-			p.mWaits.Inc()
-		}
-		p.waiters++
-		p.cond.Wait()
-		p.waiters--
+		return c, nil
+	case <-ctx.Done():
 	}
+	// The wait was abandoned — unless a grant is already in flight: a
+	// checkin may have popped this waiter between the cancellation firing
+	// and the lock below. If the waiter is no longer queued, collect the
+	// granted connection and use it; the exchange fails fast on the
+	// expired context and the connection is checked back in, so nothing
+	// leaks.
+	p.mu.Lock()
+	if p.removeWaiterLocked(w) {
+		p.mExhausted.Inc()
+		p.mu.Unlock()
+		return nil, &DeadlineError{
+			Op:   "checkout",
+			Addr: p.addr,
+			Err:  errors.Join(ErrPoolExhausted, ctx.Err()),
+		}
+	}
+	p.mu.Unlock()
+	c := <-w
+	if c == nil {
+		return nil, ErrPoolClosed
+	}
+	return c, nil
+}
+
+// removeWaiterLocked unlinks a parked checkout, reporting whether it was
+// still queued (false means a grant is in flight on its channel). The
+// caller holds p.mu.
+func (p *Pool) removeWaiterLocked(w chan *Client) bool {
+	for i, q := range p.waitq {
+		if q == w {
+			p.waitq = append(p.waitq[:i], p.waitq[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// popWaiterLocked dequeues the oldest parked checkout, or nil. The caller
+// holds p.mu.
+func (p *Pool) popWaiterLocked() chan *Client {
+	if len(p.waitq) == 0 {
+		return nil
+	}
+	w := p.waitq[0]
+	p.waitq = p.waitq[1:]
+	return w
 }
 
 // newClientLocked creates a connection slot. The client dials lazily, so no
@@ -246,6 +317,7 @@ func (p *Pool) newClientLocked() *Client {
 		c.SetTimeout(p.opts.Timeout)
 	}
 	c.SetRetryPolicy(p.opts.Retry)
+	c.SetRetryBudget(p.budget)
 	if p.registry != nil {
 		c.SetMetrics(p.registry)
 	}
@@ -256,12 +328,17 @@ func (p *Pool) newClientLocked() *Client {
 // checkin returns a connection after use. err is the call's outcome: a
 // transport fault evicts the connection (its stream cannot be trusted and
 // the slot is better served by a fresh dial), anything else — success,
-// remote application errors, admission-control sheds — returns it to the
-// idle set. Closing the evicted or drained client happens outside the pool
+// remote application errors, admission-control sheds, deadline expiries —
+// returns it to the idle set. A *DeadlineError never evicts even when its
+// cause chain contains a transport fault: the client already discarded the
+// broken stream and resyncs by redialing, so the slot stays warm. When
+// checkouts are parked, the connection (or, after an eviction, a fresh
+// replacement) is handed straight to the oldest waiter instead of waking
+// it to re-contend. Channel hand-offs and Close happen outside the pool
 // lock.
 func (p *Pool) checkin(c *Client, err error) {
 	var terr *TransportError
-	evict := errors.As(err, &terr)
+	evict := errors.As(err, &terr) && !IsDeadline(err)
 
 	p.mu.Lock()
 	if p.closed {
@@ -274,17 +351,30 @@ func (p *Pool) checkin(c *Client, err error) {
 		p.live--
 		p.evicted++
 		p.mEvicted.Inc()
+		var w chan *Client
+		var replacement *Client
+		if len(p.waitq) > 0 {
+			replacement = p.newClientLocked()
+			p.live++
+			w = p.popWaiterLocked()
+		}
 		p.gInUse.Set(float64(p.live - len(p.idle)))
-		// A freed slot lets a waiter create a fresh connection.
-		p.cond.Signal()
 		p.mu.Unlock()
 		c.Close()
+		if w != nil {
+			w <- replacement
+		}
 		return
 	}
-	p.idle = append(p.idle, c)
+	w := p.popWaiterLocked()
+	if w == nil {
+		p.idle = append(p.idle, c)
+	}
 	p.gInUse.Set(float64(p.live - len(p.idle)))
-	p.cond.Signal()
 	p.mu.Unlock()
+	if w != nil {
+		w <- c
+	}
 }
 
 // Call invokes a service operation on a pooled connection. Semantics match
@@ -298,29 +388,41 @@ func (p *Pool) Call(service, optype string, payload []byte) ([]byte, *wire.Usage
 
 // CallTraced is Call with trace propagation, matching (*Client).CallTraced.
 func (p *Pool) CallTraced(service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, *wire.UsageReport, []wire.SpanRecord, error) {
-	c, err := p.checkout()
+	return p.CallContext(context.Background(), service, optype, payload, tc)
+}
+
+// CallContext is CallTraced under an end-to-end deadline: the remaining
+// budget bounds the pool checkout wait, the dial, and the exchange, and is
+// propagated to the server, matching (*Client).CallContext.
+func (p *Pool) CallContext(ctx context.Context, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, *wire.UsageReport, []wire.SpanRecord, error) {
+	c, err := p.checkout(ctx)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	out, usage, spans, err := c.CallTraced(service, optype, payload, tc)
+	out, usage, spans, err := c.CallContext(ctx, service, optype, payload, tc)
 	p.checkin(c, err)
 	return out, usage, spans, err
 }
 
 // Status fetches the server's resource snapshot on a pooled connection.
 func (p *Pool) Status() (*wire.ServerStatus, error) {
-	c, err := p.checkout()
+	return p.StatusContext(context.Background())
+}
+
+// StatusContext is Status under a deadline.
+func (p *Pool) StatusContext(ctx context.Context) (*wire.ServerStatus, error) {
+	c, err := p.checkout(ctx)
 	if err != nil {
 		return nil, err
 	}
-	st, err := c.Status()
+	st, err := c.StatusContext(ctx)
 	p.checkin(c, err)
 	return st, err
 }
 
 // Ping performs a minimal round trip on a pooled connection.
 func (p *Pool) Ping() (time.Duration, error) {
-	c, err := p.checkout()
+	c, err := p.checkout(context.Background())
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -302,11 +303,11 @@ func TestPoolJitterDecorrelated(t *testing.T) {
 	// put every client in the fleet in lockstep).
 	p := NewPool("10.0.0.1:7009", nil, PoolOptions{Size: 2})
 	defer p.Close()
-	c1, err := p.checkout()
+	c1, err := p.checkout(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := p.checkout()
+	c2, err := p.checkout(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,8 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"net"
+	"sync"
 	"time"
 )
 
@@ -46,6 +48,11 @@ var (
 // violation: the stream cannot be trusted).
 var errEmptyStatus = errors.New("empty status reply")
 
+// errServerShed is the cause carried by the *DeadlineError returned when a
+// server replies CodeDeadlineExceeded: it judged the request's budget
+// expired and shed it without executing.
+var errServerShed = errors.New("server shed expired request")
+
 // OverloadError reports that the server shed the request at admission
 // control: its worker pool and wait queue were full, so the request was
 // never executed. The exchange itself succeeded — the connection is
@@ -71,15 +78,61 @@ func IsOverloaded(err error) bool {
 	return errors.As(err, &oerr)
 }
 
+// DeadlineError reports that an exchange was abandoned because the
+// operation's latency budget ran out: the pool checkout would have waited
+// past the deadline, a retry backoff would have overrun it, the in-flight
+// exchange was cancelled, or the server shed the request as already
+// expired. Deadline errors are transient — the failover ladder may try a
+// different placement with whatever budget remains — but they say nothing
+// about the connection's health, so pools must not evict on one unless it
+// also wraps a *TransportError (a cancellation that broke the stream).
+type DeadlineError struct {
+	// Op names the blocking point that gave up ("checkout", "backoff",
+	// "exchange", "server").
+	Op string
+	// Addr is the server address, when one was selected.
+	Addr string
+	// Err is the underlying cause (context.DeadlineExceeded,
+	// context.Canceled, ErrPoolExhausted, or a wrapped transport fault).
+	Err error
+}
+
+// Error implements error.
+func (e *DeadlineError) Error() string {
+	if e.Addr == "" {
+		return fmt.Sprintf("rpc: deadline %s: %v", e.Op, e.Err)
+	}
+	return fmt.Sprintf("rpc: deadline %s %s: %v", e.Op, e.Addr, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *DeadlineError) Unwrap() error { return e.Err }
+
+// IsDeadline reports whether an RPC failure is a latency-budget expiry or
+// cancellation. Deadline failures are transient (IsTransient is also true)
+// so the failover ladder engages, but reachability tracking must not mark
+// the server down on one — the server may be healthy and merely slow.
+func IsDeadline(err error) bool {
+	var derr *DeadlineError
+	return errors.As(err, &derr)
+}
+
+// isTimeoutErr reports whether an I/O failure is a deadline firing on the
+// connection (as opposed to a reset, refusal, or short read).
+func isTimeoutErr(err error) bool {
+	var nerr net.Error
+	return errors.As(err, &nerr) && nerr.Timeout()
+}
+
 // IsTransient reports whether an RPC failure is worth retrying or failing
-// over: transport faults and admission-control rejections are, remote
-// application errors are not.
+// over: transport faults, admission-control rejections, and deadline
+// expiries are; remote application errors are not.
 func IsTransient(err error) bool {
 	var terr *TransportError
 	if errors.As(err, &terr) {
 		return true
 	}
-	return IsOverloaded(err)
+	return IsOverloaded(err) || IsDeadline(err)
 }
 
 // IsRemote reports whether an RPC failure is a remote application error —
@@ -153,6 +206,78 @@ func (p RetryPolicy) delay(n int, rng *splitMix) time.Duration {
 		d *= 1 - jitter*rng.float64()
 	}
 	return time.Duration(d)
+}
+
+// RetryBudget is a shared token bucket bounding the aggregate retry rate
+// across the clients that share it (typically the clients of one Pool).
+// Each retry withdraws one token; each successful exchange deposits
+// CreditRatio tokens back, up to the cap. Under a correlated outage the
+// bucket drains quickly and retries stop fleet-wide instead of every
+// client independently stacking full backoff ladders — the retry-storm
+// half of the p99 tail. A nil *RetryBudget permits everything, so wiring
+// one up is always optional.
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+}
+
+// Default RetryBudget shape: a burst of 10 retries, refilled at one token
+// per 10 successes.
+const (
+	defaultRetryTokens = 10
+	defaultRetryRatio  = 0.1
+)
+
+// NewRetryBudget creates a full bucket. max <= 0 selects 10 tokens;
+// ratio <= 0 selects 0.1 (one retry earned per ten successes).
+func NewRetryBudget(max, ratio float64) *RetryBudget {
+	if max <= 0 {
+		max = defaultRetryTokens
+	}
+	if ratio <= 0 {
+		ratio = defaultRetryRatio
+	}
+	return &RetryBudget{tokens: max, max: max, ratio: ratio}
+}
+
+// Allow withdraws one retry token, reporting whether a retry may proceed.
+// A nil budget always allows.
+func (b *RetryBudget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Credit deposits the success dividend. A nil budget ignores it.
+func (b *RetryBudget) Credit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Tokens reports the current balance, for tests and introspection.
+func (b *RetryBudget) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
 }
 
 // jitterSeed derives a deterministic per-endpoint jitter seed (FNV-1a over

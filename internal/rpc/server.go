@@ -50,9 +50,13 @@ type Server struct {
 
 	// Admission control (see SetLimits). workers is a counting semaphore
 	// of execution slots; queued tracks requests blocked waiting for one.
-	limits  ServerLimits
-	workers chan struct{}
-	queued  atomic.Int64
+	// shedExpired enables deadline-aware admission: requests whose
+	// propagated budget has already run out are answered
+	// wire.CodeDeadlineExceeded without executing.
+	limits      ServerLimits
+	workers     chan struct{}
+	queued      atomic.Int64
+	shedExpired bool
 
 	// Observability (see SetObserver). obsName labels server-side spans;
 	// sink receives one thin DecisionTrace per handled request; the metric
@@ -65,15 +69,31 @@ type Server struct {
 	mRejected    *obs.Counter
 	gQueueDepth  *obs.Gauge
 	mQueueWait   *obs.Histogram
+	mDeadline    *obs.Counter
 }
 
-// NewServer returns a server with no services registered.
+// NewServer returns a server with no services registered. Deadline-aware
+// shedding is on by default; see SetShedExpired.
 func NewServer(status StatusFunc) *Server {
 	return &Server{
-		services: make(map[string]Handler),
-		status:   status,
-		conns:    make(map[net.Conn]struct{}),
+		services:    make(map[string]Handler),
+		status:      status,
+		conns:       make(map[net.Conn]struct{}),
+		shedExpired: true,
 	}
+}
+
+// SetShedExpired toggles deadline-aware admission. When on (the default),
+// a request carrying a wire.DeadlineContext whose budget has expired — on
+// arrival, while queued for a worker slot, or by the time a slot is
+// finally granted — is shed with wire.CodeDeadlineExceeded instead of
+// executed: the client has already abandoned the reply, so running the
+// work would burn a worker slot for nobody. Requests without a deadline
+// are unaffected.
+func (s *Server) SetShedExpired(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shedExpired = on
 }
 
 // SetObserver enables server-side observability: requests are counted and
@@ -88,7 +108,7 @@ func (s *Server) SetObserver(name string, o *obs.Observer) {
 	defer s.mu.Unlock()
 	if o == nil {
 		s.obsName, s.sink, s.mRequests, s.mErrors, s.mExecSeconds = "", nil, nil, nil, nil
-		s.mRejected, s.gQueueDepth, s.mQueueWait = nil, nil, nil
+		s.mRejected, s.gQueueDepth, s.mQueueWait, s.mDeadline = nil, nil, nil, nil
 		return
 	}
 	s.obsName = name
@@ -100,6 +120,7 @@ func (s *Server) SetObserver(name string, o *obs.Observer) {
 		s.mRejected = o.Registry.Counter(obs.MServerQueueRejected)
 		s.gQueueDepth = o.Registry.Gauge(obs.MServerQueueDepth)
 		s.mQueueWait = o.Registry.Histogram(obs.MServerQueueWaitSeconds, obs.DefaultLatencyBuckets)
+		s.mDeadline = o.Registry.Counter(obs.MServerDeadlineShed)
 	}
 }
 
@@ -264,6 +285,7 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 	reqs, errsC, execH := s.mRequests, s.mErrors, s.mExecSeconds
 	limits, workers := s.limits, s.workers
 	rejected, queueDepth, queueWait := s.mRejected, s.gQueueDepth, s.mQueueWait
+	shedExpired, deadlineShed := s.shedExpired, s.mDeadline
 	s.mu.Unlock()
 
 	reply := &wire.Message{Type: wire.MsgResponse, ID: msg.ID, Service: msg.Service}
@@ -273,8 +295,25 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 		return reply
 	}
 
+	// Deadline-aware admission: a propagated budget is measured from recv
+	// on the server's own clock (the wire format is relative, so no clock
+	// synchronization is assumed). expiry stays zero when the request
+	// carries no deadline or shedding is disabled.
+	var expiry time.Time
+	if shedExpired && msg.Deadline != nil {
+		expiry = recv.Add(msg.Deadline.Budget())
+		if !time.Now().Before(expiry) {
+			deadlineShed.Inc()
+			reply.Code = wire.CodeDeadlineExceeded
+			reply.Err = "deadline expired before execution"
+			return reply
+		}
+	}
+
 	// Admission control: acquire a worker slot or shed. The wait (if any)
-	// lands inside the queue span, since dispatch is stamped after it.
+	// lands inside the queue span, since dispatch is stamped after it, and
+	// is bounded by the request's remaining budget: work that would only
+	// start after its client gave up is shed at dequeue instead of run.
 	if workers != nil {
 		select {
 		case workers <- struct{}{}:
@@ -290,11 +329,35 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 			}
 			queueDepth.Set(float64(q))
 			waitStart := time.Now()
-			workers <- struct{}{}
+			if expiry.IsZero() {
+				workers <- struct{}{}
+			} else {
+				timer := time.NewTimer(time.Until(expiry))
+				select {
+				case workers <- struct{}{}:
+					timer.Stop()
+				case <-timer.C:
+					queueDepth.Set(float64(s.queued.Add(-1)))
+					deadlineShed.Inc()
+					reply.Code = wire.CodeDeadlineExceeded
+					reply.Err = "deadline expired while queued"
+					return reply
+				}
+			}
 			queueDepth.Set(float64(s.queued.Add(-1)))
 			queueWait.Observe(time.Since(waitStart).Seconds())
 		}
 		defer func() { <-workers }()
+
+		// Re-check after winning a slot: the semaphore send can race the
+		// timer, and on an overloaded server the grant itself may arrive
+		// after the budget ran out.
+		if !expiry.IsZero() && !time.Now().Before(expiry) {
+			deadlineShed.Inc()
+			reply.Code = wire.CodeDeadlineExceeded
+			reply.Err = "deadline expired while queued"
+			return reply
+		}
 	}
 
 	// Timestamps are taken only when someone will consume them: a traced

@@ -1,0 +1,49 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTailChaosBoundsTheTail is the tentpole's acceptance gate: a
+// pool-exhaustion storm (64 workers over pool-of-4 connections) against
+// servers that stall ~20% of requests must keep p99 under 5x p50 and never
+// let an operation overrun its budget by more than one exchange timeout —
+// the deadline, cancellation, and hedging machinery working together.
+// Without it the stalled exchanges would pin p99 at the stall duration
+// (3x the budget) and blocked checkouts would stack behind them.
+func TestTailChaosBoundsTheTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos storm is seconds long; skipped in -short")
+	}
+	opts := TailChaosOptions{}.withDefaults()
+	res, err := RunTailChaos(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ops=%d p50=%v p99=%v max=%v ratio=%.2f degraded=%d hedges=%d/%d deadline=%d sheds=%d exhausted=%d",
+		res.Ops, res.P50, res.P99, res.Max, res.TailRatio, res.Degraded,
+		res.HedgeWins, res.HedgesLaunched, res.DeadlineExceeded, res.ServerSheds, res.PoolExhausted)
+
+	if res.Ops != opts.Workers*opts.OpsPerWorker {
+		t.Fatalf("completed %d ops, want %d — operations were lost", res.Ops, opts.Workers*opts.OpsPerWorker)
+	}
+	// The chaos must actually have happened: hedges launched against
+	// stalled primaries.
+	if res.HedgesLaunched == 0 {
+		t.Fatal("no hedges launched — the fault injection never bit")
+	}
+	if res.TailRatio >= 5 {
+		t.Fatalf("p99/p50 = %.2f (p50=%v p99=%v), want < 5", res.TailRatio, res.P50, res.P99)
+	}
+	grace := 100 * time.Millisecond // scheduling slack + the local-fallback execution
+	if res.MaxOverrun > opts.ExchangeTimeout+grace {
+		t.Fatalf("worst op overran its %v budget by %v, want <= one exchange timeout (%v) + %v grace",
+			res.Budget, res.MaxOverrun, opts.ExchangeTimeout, grace)
+	}
+	// The tail must stay far from the stall duration: hedging or the
+	// budget, not patience, resolved the stalled requests.
+	if res.P99 >= opts.StallDuration {
+		t.Fatalf("p99 %v reached the stall duration %v — stalled ops were waited out", res.P99, opts.StallDuration)
+	}
+}

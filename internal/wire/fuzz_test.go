@@ -64,6 +64,39 @@ func FuzzTraceRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzDeadlineRoundTrip checks encode/decode symmetry for the deadline
+// context under arbitrary budgets, including negative (already expired)
+// ones, and that a frame without a deadline decodes to a nil context.
+func FuzzDeadlineRoundTrip(f *testing.F) {
+	f.Add(int64(250), true)
+	f.Add(int64(0), true)
+	f.Add(int64(-7), true)
+	f.Add(int64(1<<40), false)
+	f.Fuzz(func(t *testing.T, budgetMillis int64, withDeadline bool) {
+		var buf bytes.Buffer
+		in := &Message{Type: MsgRequest, ID: 9, Service: "s"}
+		if withDeadline {
+			in.Deadline = &DeadlineContext{BudgetMillis: budgetMillis}
+		}
+		if _, err := WriteMessage(&buf, in); err != nil {
+			t.Fatal(err)
+		}
+		out, _, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !withDeadline {
+			if out.Deadline != nil {
+				t.Fatalf("deadline = %+v, want nil", out.Deadline)
+			}
+			return
+		}
+		if out.Deadline == nil || out.Deadline.BudgetMillis != budgetMillis {
+			t.Fatalf("deadline = %+v, want budgetMillis %d", out.Deadline, budgetMillis)
+		}
+	})
+}
+
 // FuzzRoundTrip checks encode/decode symmetry for arbitrary payloads.
 func FuzzRoundTrip(f *testing.F) {
 	f.Add([]byte("payload"), "service", "optype", uint64(7))

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // MaxMessageBytes bounds a single message to protect servers from
@@ -60,6 +61,11 @@ const (
 	// worker pool and its wait queue were full, so the request was never
 	// executed and may safely run elsewhere.
 	CodeOverloaded = "overloaded"
+	// CodeDeadlineExceeded marks a request whose latency budget (see
+	// DeadlineContext) expired before the server could execute it: the work
+	// was shed without running, because the client has already given up on
+	// the reply. Like CodeOverloaded the connection is healthy.
+	CodeDeadlineExceeded = "deadline-exceeded"
 )
 
 // Message is the protocol envelope. String fields (Service, OpType, Err)
@@ -85,6 +91,9 @@ type Message struct {
 	// Trace propagates the client's trace context on requests; the server
 	// echoes it on the response so spans can be stitched.
 	Trace *TraceContext `json:"trace,omitempty"`
+	// Deadline propagates the operation's remaining latency budget on
+	// requests so servers can shed work the client has already abandoned.
+	Deadline *DeadlineContext `json:"deadline,omitempty"`
 	// Spans carries the server-side span records of a traced request on the
 	// response, as offsets from the server's receipt of the request.
 	Spans []SpanRecord `json:"spans,omitempty"`
@@ -98,6 +107,33 @@ type TraceContext struct {
 	TraceID uint64 `json:"traceId"`
 	// SpanID is the client-side rpc span the server's spans nest under.
 	SpanID uint64 `json:"spanId"`
+}
+
+// DeadlineContext carries an operation's remaining latency budget, in the
+// style of gRPC's grpc-timeout header: a relative duration rather than an
+// absolute timestamp, so it survives unsynchronized clocks. Each hop
+// restates the budget left at transmission time; the receiver measures
+// expiry against its own clock from the moment of receipt.
+type DeadlineContext struct {
+	// BudgetMillis is the whole operation's remaining budget in
+	// milliseconds when the message was sent. Non-positive budgets are
+	// already expired.
+	BudgetMillis int64 `json:"budgetMillis"`
+}
+
+// Budget returns the remaining budget as a duration.
+func (d *DeadlineContext) Budget() time.Duration {
+	return time.Duration(d.BudgetMillis) * time.Millisecond
+}
+
+// NewDeadlineContext converts a remaining budget into wire form, rounding
+// up so sub-millisecond budgets do not encode as already expired.
+func NewDeadlineContext(remaining time.Duration) *DeadlineContext {
+	ms := remaining.Milliseconds()
+	if remaining > 0 && remaining%time.Millisecond != 0 {
+		ms++
+	}
+	return &DeadlineContext{BudgetMillis: ms}
 }
 
 // SpanRecord is one server-side span, expressed relative to the server's

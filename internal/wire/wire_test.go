@@ -7,6 +7,7 @@ import (
 	"io"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestRoundTrip(t *testing.T) {
@@ -79,6 +80,47 @@ func TestReadMessageBadJSON(t *testing.T) {
 	buf.WriteString("{{{")
 	if _, _, err := ReadMessage(&buf); err == nil {
 		t.Fatal("bad JSON must error")
+	}
+}
+
+func TestDeadlineContextRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Message{
+		Type:     MsgRequest,
+		ID:       11,
+		Service:  "speech",
+		Deadline: NewDeadlineContext(250 * time.Millisecond),
+	}
+	if _, err := WriteMessage(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Deadline == nil || out.Deadline.BudgetMillis != 250 {
+		t.Fatalf("deadline = %+v, want 250ms budget", out.Deadline)
+	}
+	if got := out.Deadline.Budget(); got != 250*time.Millisecond {
+		t.Fatalf("Budget() = %v, want 250ms", got)
+	}
+}
+
+func TestNewDeadlineContextRounding(t *testing.T) {
+	tests := []struct {
+		give time.Duration
+		want int64
+	}{
+		{250 * time.Millisecond, 250},
+		{100*time.Millisecond + time.Microsecond, 101}, // round up, not down to expired-adjacent
+		{500 * time.Microsecond, 1},                    // sub-millisecond budgets stay alive
+		{0, 0},
+		{-3 * time.Millisecond, -3},
+	}
+	for _, tt := range tests {
+		if got := NewDeadlineContext(tt.give).BudgetMillis; got != tt.want {
+			t.Errorf("NewDeadlineContext(%v).BudgetMillis = %d, want %d", tt.give, got, tt.want)
+		}
 	}
 }
 

@@ -113,6 +113,10 @@ type (
 	HealthTracker = core.HealthTracker
 	// HealthState is a server's breaker state.
 	HealthState = core.HealthState
+	// DeadlineOptions tunes end-to-end latency budgets, cancellation, and
+	// hedged requests for remote operations; the zero value enables them
+	// with defaults.
+	DeadlineOptions = core.DeadlineOptions
 	// RetryPolicy tunes RPC-level retry with exponential backoff for
 	// idempotent exchanges.
 	RetryPolicy = rpc.RetryPolicy
