@@ -8,11 +8,16 @@
 //
 // Output is a single JSON object (stdout, plus -out FILE); with
 // -history FILE the same object is appended as one compact line, making
-// BENCH_load.json an append-only trajectory of runs:
+// BENCH_load.json an append-only trajectory of runs. Every entry embeds
+// the full run configuration plus a flat configKey so tooling (and the CI
+// gate) compares only like-configured runs:
 //
 //	{
-//	  "durationSec": 2.0, "concurrency": 16, "poolSize": 4, "rate": 0,
-//	  "ops": 812, "errors": 0, "shed": 0, "deadline": 0, "opsPerSec": 406.0,
+//	  "config": {"durationSec": 2, "concurrency": 64, "poolSize": 2, ...,
+//	             "transport": "mux"},
+//	  "configKey": "d2-c64-p2-s64-r0-w10-mhz1000-ac8-q64-b0-h0-dl-tmux",
+//	  "ops": 812, "attempted": 815, "errors": 0, "shed": 0, "deadline": 3,
+//	  "opsPerSec": 406.0, "goodputFraction": 0.996,
 //	  "latencyMs": {"p50": 38.9, "p95": 41.2, "p99": 44.0,
 //	                "mean": 39.3, "max": 51.7},
 //	  "tailRatio": 1.13
@@ -40,8 +45,11 @@ type loadConfig struct {
 	Duration time.Duration
 	// Concurrency is the number of closed-loop worker goroutines.
 	Concurrency int
-	// PoolSize caps connections per server; 1 is the serialized baseline.
+	// PoolSize caps multiplexed connections per server.
 	PoolSize int
+	// StreamsPerConn caps concurrent streams per connection; 1 reproduces
+	// the old serial-per-connection baseline.
+	StreamsPerConn int
 	// Rate switches to open-loop arrivals at this many ops/sec; 0 keeps
 	// the closed loop. Arrivals finding every worker busy are shed.
 	Rate float64
@@ -69,18 +77,58 @@ type loadConfig struct {
 	History string
 }
 
+// runConfig records every knob that shaped a run. History entries are
+// only meaningful next to like-configured entries: a 16-worker unlimited
+// run and a 64-worker admission-controlled run measure different systems.
+type runConfig struct {
+	DurationSec    float64 `json:"durationSec"`
+	Concurrency    int     `json:"concurrency"`
+	PoolSize       int     `json:"poolSize"`
+	StreamsPerConn int     `json:"streamsPerConn"`
+	Rate           float64 `json:"rate"`
+	WorkMc         float64 `json:"workMc"`
+	ServerMHz      float64 `json:"serverMHz"`
+	MaxConcurrent  int     `json:"maxConcurrent"`
+	MaxQueue       int     `json:"maxQueue"`
+	BudgetMs       int64   `json:"budgetMs"`
+	HedgeDelayMs   int64   `json:"hedgeDelayMs"`
+	NoDeadline     bool    `json:"noDeadline"`
+	// Transport names the RPC concurrency model: "serial" (pre-mux, one
+	// exchange per connection at a time) or "mux" (stream multiplexing).
+	Transport string `json:"transport"`
+}
+
+// key flattens the config into one grep-able token so the CI gate can
+// select like-configured history lines with a plain string match.
+func (c runConfig) key() string {
+	dl := "dl"
+	if c.NoDeadline {
+		dl = "nodl"
+	}
+	return fmt.Sprintf("d%g-c%d-p%d-s%d-r%g-w%g-mhz%g-ac%d-q%d-b%d-h%d-%s-t%s",
+		c.DurationSec, c.Concurrency, c.PoolSize, c.StreamsPerConn, c.Rate,
+		c.WorkMc, c.ServerMHz, c.MaxConcurrent, c.MaxQueue,
+		c.BudgetMs, c.HedgeDelayMs, dl, c.Transport)
+}
+
 // loadResult is the harness's JSON output.
 type loadResult struct {
-	DurationSec float64      `json:"durationSec"`
-	Concurrency int          `json:"concurrency"`
-	PoolSize    int          `json:"poolSize"`
-	Rate        float64      `json:"rate"`
-	Ops         int64        `json:"ops"`
-	Errors      int64        `json:"errors"`
-	Shed        int64        `json:"shed"`
-	Deadline    int64        `json:"deadline"`
-	OpsPerSec   float64      `json:"opsPerSec"`
-	Latency     latencyStats `json:"latencyMs"`
+	Config    runConfig `json:"config"`
+	ConfigKey string    `json:"configKey"`
+	Ops       int64     `json:"ops"`
+	// Attempted counts every operation the workers issued: completions
+	// plus errors, overload sheds, and deadline expiries. Goodput is
+	// meaningless without it — a harness that sheds 90% of its offered
+	// load can still post a healthy opsPerSec.
+	Attempted int64   `json:"attempted"`
+	Errors    int64   `json:"errors"`
+	Shed      int64   `json:"shed"`
+	Deadline  int64   `json:"deadline"`
+	OpsPerSec float64 `json:"opsPerSec"`
+	// GoodputFraction is Ops/Attempted: the fraction of offered load that
+	// completed successfully. The CI gate holds it above 0.8.
+	GoodputFraction float64      `json:"goodputFraction"`
+	Latency         latencyStats `json:"latencyMs"`
 	// TailRatio is p99/p50, the metric the deadline/hedging machinery
 	// exists to bound; the CI tail check reports it.
 	TailRatio float64 `json:"tailRatio"`
@@ -98,12 +146,36 @@ type latencyStats struct {
 // operations through a live client for cfg.Duration, and reports
 // throughput and latency percentiles.
 func runLoad(cfg loadConfig) (loadResult, error) {
-	res := loadResult{
-		DurationSec: cfg.Duration.Seconds(),
-		Concurrency: cfg.Concurrency,
-		PoolSize:    cfg.PoolSize,
-		Rate:        cfg.Rate,
+	// Record resolved pool geometry, not the 0 "use default" markers: if a
+	// later change moves the defaults, the old history lines must keep
+	// describing the configuration they actually ran.
+	poolSize := cfg.PoolSize
+	if poolSize <= 0 {
+		poolSize = spectrarpc.DefaultPoolSize
 	}
+	streams := cfg.StreamsPerConn
+	if streams <= 0 {
+		streams = spectrarpc.DefaultStreamsPerConn
+	}
+	conf := runConfig{
+		DurationSec:    cfg.Duration.Seconds(),
+		Concurrency:    cfg.Concurrency,
+		PoolSize:       poolSize,
+		StreamsPerConn: streams,
+		Rate:           cfg.Rate,
+		WorkMc:         cfg.WorkMc,
+		ServerMHz:      cfg.ServerMHz,
+		MaxConcurrent:  cfg.MaxConcurrent,
+		MaxQueue:       cfg.MaxQueue,
+		BudgetMs:       cfg.Budget.Milliseconds(),
+		HedgeDelayMs:   cfg.HedgeDelay.Milliseconds(),
+		NoDeadline:     cfg.NoDeadline,
+		Transport:      "mux",
+	}
+	if cfg.StreamsPerConn == 1 {
+		conf.Transport = "serial"
+	}
+	res := loadResult{Config: conf, ConfigKey: conf.key()}
 
 	machine := spectra.NewMachine(spectra.MachineConfig{
 		Name:        "bench-server",
@@ -129,8 +201,9 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 	defer srv.Close()
 
 	setup, err := spectra.NewLiveSetup(spectra.LiveOptions{
-		Servers:  map[string]string{"bench": addr},
-		PoolSize: cfg.PoolSize,
+		Servers:        map[string]string{"bench": addr},
+		PoolSize:       cfg.PoolSize,
+		StreamsPerConn: cfg.StreamsPerConn,
 		Deadline: spectra.DeadlineOptions{
 			Floor:      cfg.Budget,
 			Ceiling:    cfg.Budget,
@@ -169,13 +242,24 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 
 	// Warm up: train the predictors and fill the connection pool so the
 	// measured window sees steady state, not dial and cold-model costs.
+	// Transient faults here (a listener still settling, a first-dial race)
+	// retry a bounded number of times instead of killing the whole run;
+	// anything persistent or non-transient still aborts.
+	const warmRetries = 3
 	warm := cfg.Concurrency
 	if warm < 4 {
 		warm = 4
 	}
 	for i := 0; i < warm; i++ {
-		if err := runOnce(); err != nil {
-			return res, fmt.Errorf("warm-up: %w", err)
+		var err error
+		for attempt := 0; ; attempt++ {
+			if err = runOnce(); err == nil {
+				break
+			}
+			if attempt >= warmRetries || !spectrarpc.IsTransient(err) {
+				return res, fmt.Errorf("warm-up op %d (after %d attempts): %w", i, attempt+1, err)
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 	}
 
@@ -259,8 +343,12 @@ func runLoad(cfg loadConfig) (loadResult, error) {
 	res.Errors = errs.Load()
 	res.Shed = shed.Load()
 	res.Deadline = expired.Load()
+	res.Attempted = res.Ops + res.Errors + res.Shed + res.Deadline
 	if elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	if res.Attempted > 0 {
+		res.GoodputFraction = math.Round(float64(res.Ops)/float64(res.Attempted)*1000) / 1000
 	}
 	res.Latency = summarize(latencies)
 	if res.Latency.P50 > 0 {

@@ -11,8 +11,8 @@
 //
 // It also hosts the live throughput harness (see load.go):
 //
-//	spectra-bench -load                       # 16 workers, pooled
-//	spectra-bench -load -pool 1               # serialized baseline
+//	spectra-bench -load                       # 16 workers, multiplexed
+//	spectra-bench -load -streams 1            # serial-per-connection baseline
 //	spectra-bench -load -rate 200 -out BENCH_latest.json
 //	spectra-bench -load -history BENCH_load.json   # append to the trajectory
 //	spectra-bench -load -no-deadline          # tail without hedging/budgets
@@ -34,7 +34,8 @@ func main() {
 	load := flag.Bool("load", false, "run the live throughput harness instead of the figures")
 	duration := flag.Duration("duration", 2*time.Second, "load: measured window")
 	concurrency := flag.Int("concurrency", 16, "load: concurrent client operations")
-	pool := flag.Int("pool", 0, "load: connections per server (0 = default, 1 = serialized baseline)")
+	pool := flag.Int("pool", 0, "load: multiplexed connections per server (0 = default)")
+	streams := flag.Int("streams", 0, "load: concurrent streams per connection (0 = default, 1 = serialized baseline)")
 	rate := flag.Float64("rate", 0, "load: open-loop arrival rate in ops/sec (0 = closed loop)")
 	workMc := flag.Float64("work-mc", 10, "load: per-op server demand in megacycles")
 	serverMHz := flag.Float64("server-mhz", 1000, "load: in-process server clock model")
@@ -49,17 +50,18 @@ func main() {
 
 	if *load {
 		res, err := runLoad(loadConfig{
-			Duration:      *duration,
-			Concurrency:   *concurrency,
-			PoolSize:      *pool,
-			Rate:          *rate,
-			WorkMc:        *workMc,
-			ServerMHz:     *serverMHz,
-			MaxConcurrent: *maxConc,
-			MaxQueue:      *maxQueue,
-			Budget:        *budget,
-			HedgeDelay:    *hedgeDelay,
-			NoDeadline:    *noDeadline,
+			Duration:       *duration,
+			Concurrency:    *concurrency,
+			PoolSize:       *pool,
+			StreamsPerConn: *streams,
+			Rate:           *rate,
+			WorkMc:         *workMc,
+			ServerMHz:      *serverMHz,
+			MaxConcurrent:  *maxConc,
+			MaxQueue:       *maxQueue,
+			Budget:         *budget,
+			HedgeDelay:     *hedgeDelay,
+			NoDeadline:     *noDeadline,
 		})
 		if err == nil {
 			err = emitLoad(res, *out, *history)

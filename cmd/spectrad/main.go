@@ -1,5 +1,7 @@
 // Command spectrad runs a Spectra remote-execution server: it hosts
-// services, executes them in metered contexts, reports per-RPC resource
+// services, executes them concurrently in metered contexts (requests
+// multiplex as independent streams over each client connection, and a
+// cancelled stream stops its work mid-handler), reports per-RPC resource
 // usage, and publishes resource snapshots that clients poll for their
 // remote proxy monitors.
 //

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -221,6 +222,11 @@ type ServiceContext struct {
 	account *EnergyAccount
 	// remote marks contexts executing on a server rather than the client.
 	remote bool
+	// ctx, when set, carries the request's cancellation signal: a server
+	// stops pacing (sleeping) for work whose client has already abandoned
+	// the reply. Usage is still charged in full — the cycles were committed
+	// when the handler started.
+	ctx context.Context
 
 	mu    sync.Mutex
 	usage CtxUsage
@@ -249,12 +255,38 @@ func NewServiceContext(clock sim.Clock, node *Node, account *EnergyAccount) *Ser
 // Machine returns the hosting machine.
 func (c *ServiceContext) Machine() *sim.Machine { return c.node.Machine() }
 
+// SetContext attaches the request's cancellation context. Server wrappers
+// call it so a cancelled stream (hedge loser, expired deadline) stops
+// consuming pacing time mid-handler.
+func (c *ServiceContext) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// pacedSleep advances time for metered work. Under a simulated clock, or
+// without a cancellation context, it is a plain clock sleep; under the real
+// clock it returns early when the request is cancelled, so abandoned work
+// stops occupying a server worker for the remainder of its pacing.
+func (c *ServiceContext) pacedSleep(t time.Duration) {
+	if c.ctx == nil || c.ctx.Done() == nil {
+		c.clock.Sleep(t)
+		return
+	}
+	if _, real := c.clock.(sim.RealClock); !real {
+		c.clock.Sleep(t)
+		return
+	}
+	timer := time.NewTimer(t)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-c.ctx.Done():
+	}
+}
+
 // Compute consumes CPU, advancing time according to the machine's speed
 // and load and draining client energy when metered.
 func (c *ServiceContext) Compute(d sim.ComputeDemand) {
 	t, eff := c.node.Machine().ComputeTime(d)
 	c.node.Machine().ChargeCycles(eff)
-	c.clock.Sleep(t)
+	c.pacedSleep(t)
 	if c.account != nil {
 		c.account.DrainCompute(t)
 	}
@@ -276,7 +308,7 @@ func (c *ServiceContext) ReadFile(path string) error {
 		if err != nil {
 			return fmt.Errorf("core: fetch %q: %w", path, err)
 		}
-		c.clock.Sleep(fetchT)
+		c.pacedSleep(fetchT)
 		if c.account != nil {
 			c.account.DrainNetwork(fetchT)
 		}
@@ -305,7 +337,7 @@ func (c *ServiceContext) WriteFile(path string, sizeBytes int64) error {
 		if err != nil {
 			return fmt.Errorf("core: write-through %q: %w", path, err)
 		}
-		c.clock.Sleep(sendT)
+		c.pacedSleep(sendT)
 		if c.account != nil {
 			c.account.DrainNetwork(sendT)
 		}

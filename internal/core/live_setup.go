@@ -38,10 +38,15 @@ type LiveOptions struct {
 	// Obs enables metrics, decision traces, and prediction-accuracy
 	// accounting; nil disables observability.
 	Obs *obs.Observer
-	// PoolSize caps concurrent connections per server; 0 selects
-	// rpc.DefaultPoolSize. 1 reproduces the old single-connection
-	// serialization (useful as a benchmark baseline).
+	// PoolSize caps multiplexed connections per server; 0 selects
+	// rpc.DefaultPoolSize. Concurrency comes from stream slots, not
+	// connection count: each connection carries StreamsPerConn concurrent
+	// streams.
 	PoolSize int
+	// StreamsPerConn caps concurrent in-flight streams per connection; 0
+	// selects rpc.DefaultStreamsPerConn. 1 reproduces the old
+	// serial-per-connection exchange (useful as a benchmark baseline).
+	StreamsPerConn int
 	// SnapshotTTL caches the decision snapshot so concurrent Begins share
 	// one monitor fan-out. 0 selects DefaultSnapshotTTL; negative disables
 	// caching.
@@ -120,7 +125,10 @@ func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) {
 		names = append(names, name)
 	}
 
-	runtime.SetPoolOptions(spectrarpc.PoolOptions{Size: opts.PoolSize})
+	runtime.SetPoolOptions(spectrarpc.PoolOptions{
+		Size:           opts.PoolSize,
+		StreamsPerConn: opts.StreamsPerConn,
+	})
 	if opts.Obs != nil {
 		monitors.SetMetrics(opts.Obs.Registry)
 		runtime.SetMetrics(opts.Obs.Registry)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -85,7 +86,7 @@ func (s *Server) SetShedExpired(on bool) { s.rpc.SetShedExpired(on) }
 // Register hosts a service on the server (and its node).
 func (s *Server) Register(service string, fn ServiceFunc) {
 	s.node.RegisterService(service, fn)
-	s.rpc.Register(service, s.wrap(service, fn))
+	s.rpc.RegisterContext(service, s.wrap(service, fn))
 }
 
 // registerAll exposes services already present on the node.
@@ -93,16 +94,18 @@ func (s *Server) registerAll() {
 	for _, name := range s.node.ServiceNames() {
 		fn, ok := s.node.Service(name)
 		if ok {
-			s.rpc.Register(name, s.wrap(name, fn))
+			s.rpc.RegisterContext(name, s.wrap(name, fn))
 		}
 	}
 }
 
-// wrap adapts a ServiceFunc into an rpc.Handler that meters execution and
-// reports consumption in the RPC response.
-func (s *Server) wrap(service string, fn ServiceFunc) rpc.Handler {
-	return func(optype string, payload []byte) ([]byte, *wire.UsageReport, error) {
+// wrap adapts a ServiceFunc into an rpc.CtxHandler that meters execution,
+// reports consumption in the RPC response, and threads the request's
+// cancellation into the ServiceContext so abandoned streams stop pacing.
+func (s *Server) wrap(service string, fn ServiceFunc) rpc.CtxHandler {
+	return func(rctx context.Context, optype string, payload []byte) ([]byte, *wire.UsageReport, error) {
 		ctx := NewServiceContext(s.clock, s.node, nil)
+		ctx.SetContext(rctx)
 		out, err := fn(ctx, optype, payload)
 		usage := ctx.Usage()
 		report := &wire.UsageReport{

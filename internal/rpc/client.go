@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spectra/internal/obs"
@@ -22,24 +23,28 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("rpc: remote error from %q: %s", e.Service, e.Msg)
 }
 
-// Client is a connection to one Spectra server. Calls are serialized over a
-// single TCP connection, matching the paper's sequential execution model.
-// Every exchange is recorded in the traffic log for passive network
-// monitoring.
+// Client is a connection to one Spectra server. Concurrent calls are
+// multiplexed as independent streams over a single framed connection
+// (see muxConn): each request carries a distinct ID, responses are
+// matched back to callers by ID in whatever order the server finishes
+// them, and cancelled streams propagate a cancel frame so the server
+// stops the work. Every successful exchange is recorded in the traffic
+// log for passive network monitoring.
 //
-// The client is self-healing: when an exchange fails at the transport
-// level — dial failure, timeout, broken or desynchronized stream — the
-// connection is closed and the next call dials a fresh one, so a single
-// fault never poisons the stream for subsequent exchanges. Idempotent
-// exchanges (Ping, Status) additionally retry with capped exponential
-// backoff and jitter; Call does not retry, because service operations are
-// not idempotent in general — callers fail over instead.
+// The client is self-healing: when the connection fails at the transport
+// level — dial failure, flat-timeout expiry, broken stream — it is
+// discarded and the next call dials a fresh one, so a single fault never
+// poisons subsequent exchanges. Deadline expiries and cancellations do
+// NOT break the connection: the stream is abandoned, a cancel frame is
+// sent, and sibling streams proceed untouched. Idempotent exchanges
+// (Ping, Status) additionally retry with capped exponential backoff and
+// jitter; Call does not retry, because service operations are not
+// idempotent in general — callers fail over instead.
 type Client struct {
 	mu sync.Mutex
 
 	addr    string
-	conn    net.Conn
-	nextID  uint64
+	mux     *muxConn
 	traffic *TrafficLog
 	timeout time.Duration
 
@@ -52,6 +57,13 @@ type Client struct {
 	rng    splitMix
 	// sleep is swapped out by tests to observe backoff without waiting.
 	sleep func(time.Duration)
+	// onEvict fires once per broken connection the client discards (see
+	// setEvictHook). It must not block or acquire locks.
+	onEvict func()
+
+	// nextID allocates stream IDs, monotonically across reconnects so a
+	// server never sees an ID reused on any connection from this client.
+	nextID atomic.Uint64
 
 	// Observability handles (nil-safe no-ops when unset). everDialed
 	// distinguishes reconnections from the first dial, which is not a
@@ -69,11 +81,14 @@ type Client struct {
 func Dial(addr string, traffic *TrafficLog) (*Client, error) {
 	c := NewClient(addr, traffic)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.ensureConnLocked(c.timeout, false); err != nil {
+	_, err := c.ensureMuxLocked(c.timeout, false)
+	if err == nil {
+		c.redials = 0 // the initial dial is not a redial
+	}
+	c.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
-	c.redials = 0 // the initial dial is not a redial
 	return c, nil
 }
 
@@ -100,7 +115,10 @@ func (c *Client) reseedJitter(salt uint64) {
 	c.rng = splitMix{state: jitterSeed(c.addr, salt)}
 }
 
-// SetTimeout sets the per-exchange deadline.
+// SetTimeout sets the per-exchange flat timeout: the liveness backstop
+// after which a silent server is declared broken and the connection is
+// redialed. It bounds each stream independently — concurrent streams on
+// the shared connection each run their own timer.
 func (c *Client) SetTimeout(d time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -134,6 +152,34 @@ func (c *Client) SetMetrics(reg *obs.Registry) {
 	c.mCallSeconds = reg.Histogram(obs.MRPCCallSeconds, obs.DefaultLatencyBuckets)
 }
 
+// setEvictHook registers a callback fired exactly once per connection
+// broken by a transport fault, at the moment the fault is recorded —
+// possibly from a connection goroutine, so an idle connection's death is
+// counted without waiting for the next exchange. Deadline expiries,
+// cancellations, and Close do not fire it — those leave no broken
+// connection behind. The hook must not block or acquire locks that could
+// be held across exchanges; pools use it for lock-free eviction
+// accounting.
+func (c *Client) setEvictHook(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEvict = fn
+}
+
+// muxFailed is every muxConn's death callback: transport faults count as
+// evictions; deliberate closes do not.
+func (c *Client) muxFailed(cause error) {
+	if cause == ErrClientClosed {
+		return
+	}
+	c.mu.Lock()
+	hook := c.onEvict
+	c.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+}
+
 // Addr returns the server address.
 func (c *Client) Addr() string { return c.addr }
 
@@ -147,17 +193,25 @@ func (c *Client) Redials() int {
 	return c.redials
 }
 
-// Close shuts the connection down. A closed client never redials.
-func (c *Client) Close() error {
+// connected reports whether a live multiplexed connection exists.
+func (c *Client) connected() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.mux != nil && !c.mux.dead()
+}
+
+// Close shuts the connection down. In-flight streams fail with
+// ErrClientClosed; a closed client never redials.
+func (c *Client) Close() error {
+	c.mu.Lock()
 	c.closed = true
-	if c.conn == nil {
+	m := c.mux
+	c.mux = nil
+	c.mu.Unlock()
+	if m == nil {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	return m.fail(ErrClientClosed)
 }
 
 // Call invokes a service operation and returns the response payload and
@@ -179,12 +233,11 @@ func (c *Client) CallTraced(service, optype string, payload []byte, tc *wire.Tra
 }
 
 // CallContext is CallTraced under an end-to-end deadline: the context's
-// remaining budget bounds the dial and the exchange, rides the request as
-// a wire.DeadlineContext so the server can shed work the client has
-// abandoned, and cancellation interrupts an in-flight exchange (the
-// connection is closed so the blocked read returns immediately, and the
-// stream resyncs by redialing on the next call). Budget expiry and
-// cancellation are returned as *DeadlineError.
+// remaining budget bounds the dial and the exchange and rides the request
+// as a wire.DeadlineContext so the server can shed work the client has
+// abandoned. Cancellation or budget expiry abandons only this stream — a
+// cancel frame tells the server to stop the work, the shared connection
+// stays healthy, and the failure is returned as *DeadlineError.
 func (c *Client) CallContext(ctx context.Context, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, *wire.UsageReport, []wire.SpanRecord, error) {
 	reply, err := c.exchangeCtx(ctx, &wire.Message{
 		Type:    wire.MsgRequest,
@@ -310,15 +363,16 @@ func (c *Client) exchange(msg *wire.Message) (*wire.Message, error) {
 	return c.exchangeCtx(context.Background(), msg)
 }
 
-// exchangeCtx sends one message and reads the matching reply, recording
-// the traffic observation. Any transport fault closes the connection —
-// after a timeout or partial read/write the stream is desynchronized and
-// replies would no longer line up with requests — so the next exchange
-// redials. The context bounds the whole exchange: the effective I/O
-// deadline is the smaller of the per-exchange timeout and the context's
-// remaining time, the remaining budget is propagated on request frames,
-// and cancellation mid-exchange forces the blocked I/O to return by
-// expiring the connection deadline (close-on-cancel).
+// exchangeCtx runs one stream over the multiplexed connection: assign an
+// ID, propagate the remaining budget on request frames, hand the message
+// to the demux, and record the traffic observation on success. The
+// effective per-stream timeout is the smaller of the flat per-exchange
+// timeout and the context's remaining budget; budgetBound records which
+// one binds, because the two expire differently — a budget expiry
+// abandons just this stream (cancel frame, *DeadlineError, connection
+// kept), while a flat-timeout expiry means the server went silent past
+// the liveness bound, so the connection is broken, the failure is a
+// *TransportError, and the next exchange redials.
 func (c *Client) exchangeCtx(ctx context.Context, msg *wire.Message) (*wire.Message, error) {
 	var remaining time.Duration // 0 means unbounded
 	if deadline, ok := ctx.Deadline(); ok {
@@ -332,150 +386,93 @@ func (c *Client) exchangeCtx(ctx context.Context, msg *wire.Message) (*wire.Mess
 	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
-
 	timeout := c.timeout
-	// budgetBound records that the effective I/O deadline is the context's
-	// remaining budget, not the per-exchange timeout: an I/O timeout is then
-	// the budget expiring, even when the connection's deadline fires a hair
-	// before the context's own timer does — misreading that race as a
-	// transport fault would evict a healthy connection and count against the
-	// server's health.
+	// budgetBound records that the effective timeout is the context's
+	// remaining budget, not the per-exchange flat timeout: its expiry is
+	// then the budget running out — a per-stream event that must not be
+	// misread as a transport fault, which would evict a healthy shared
+	// connection and count against the server's health.
 	budgetBound := false
 	if remaining > 0 && (timeout <= 0 || remaining < timeout) {
 		timeout = remaining
 		budgetBound = true
 	}
-	if err := c.ensureConnLocked(timeout, budgetBound); err != nil {
+	m, err := c.ensureMuxLocked(timeout, budgetBound)
+	callH := c.mCallSeconds
+	budget := c.budget
+	c.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
-	c.nextID++
-	msg.ID = c.nextID
+
+	msg.ID = c.nextID.Add(1)
 	if remaining > 0 && msg.Type == wire.MsgRequest {
 		msg.Deadline = wire.NewDeadlineContext(remaining)
 	}
 
-	var ioDeadline time.Time // zero clears any stale forced expiry
-	if timeout > 0 {
-		ioDeadline = time.Now().Add(timeout)
-	}
-	if err := c.conn.SetDeadline(ioDeadline); err != nil {
-		c.breakConnLocked()
-		return nil, &TransportError{Op: "deadline", Addr: c.addr, Err: err}
-	}
-
-	if done := ctx.Done(); done != nil {
-		// Close-on-cancel: a watcher forces the blocked read or write to
-		// return immediately by moving the connection deadline into the
-		// past. The poisoned stream is then discarded below and resyncs by
-		// redialing on the next exchange. The watcher is joined before the
-		// exchange returns: when cancellation races a successful reply, the
-		// select may still take the done arm, and an unjoined watcher could
-		// fire its forced expiry after the connection was handed to the next
-		// exchange — poisoning an innocent request with an instant timeout.
-		conn := c.conn
-		stop := make(chan struct{})
-		watcherDone := make(chan struct{})
-		go func() {
-			defer close(watcherDone)
-			select {
-			case <-done:
-				conn.SetDeadline(time.Unix(1, 0))
-			case <-stop:
-			}
-		}()
-		defer func() {
-			close(stop)
-			<-watcherDone
-		}()
-	}
-
 	start := time.Now()
-	sent, err := wire.WriteMessage(c.conn, msg)
+	reply, bytes, err := m.call(ctx, msg, timeout, budgetBound)
 	if err != nil {
-		c.breakConnLocked()
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: cerr}
+		if m.dead() {
+			c.noteMuxDead(m)
 		}
-		if budgetBound && isTimeoutErr(err) {
-			return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: context.DeadlineExceeded}
-		}
-		return nil, &TransportError{Op: "write", Addr: c.addr, Err: err}
+		return nil, err
 	}
-	for {
-		reply, received, err := wire.ReadMessage(c.conn)
-		if err != nil {
-			c.breakConnLocked()
-			if cerr := ctx.Err(); cerr != nil {
-				return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: cerr}
-			}
-			if budgetBound && isTimeoutErr(err) {
-				return nil, &DeadlineError{Op: "exchange", Addr: c.addr, Err: context.DeadlineExceeded}
-			}
-			return nil, &TransportError{Op: "read", Addr: c.addr, Err: err}
-		}
-		if reply.ID < msg.ID {
-			// Stale reply from an abandoned exchange on this connection;
-			// skip it and keep reading.
-			continue
-		}
-		if reply.ID != msg.ID {
-			// A reply from the future means the stream is desynchronized;
-			// nothing read from it can be trusted.
-			c.breakConnLocked()
-			return nil, &TransportError{
-				Op:   "desync",
-				Addr: c.addr,
-				Err:  fmt.Errorf("reply id %d for request %d", reply.ID, msg.ID),
-			}
-		}
-		elapsed := time.Since(start)
-		c.traffic.Record(TrafficObservation{
-			Bytes:   int64(sent + received),
-			Elapsed: elapsed,
-			When:    time.Now(),
-		})
-		c.mCallSeconds.Observe(elapsed.Seconds())
-		// Every successful exchange earns back a fraction of a retry token
-		// for the budget shared with pooled siblings.
-		c.budget.Credit()
-		return reply, nil
-	}
+	elapsed := time.Since(start)
+	c.traffic.Record(TrafficObservation{
+		Bytes:   bytes,
+		Elapsed: elapsed,
+		When:    time.Now(),
+	})
+	callH.Observe(elapsed.Seconds())
+	// Every successful exchange earns back a fraction of a retry token
+	// for the budget shared with pooled siblings.
+	budget.Credit()
+	return reply, nil
 }
 
-// ensureConnLocked dials if no healthy connection exists, bounding the
-// dial by the exchange's effective timeout. budgetBound marks the timeout
-// as the context's remaining budget, so a dial that runs out of time is a
+// ensureMuxLocked returns the live multiplexed connection, dialing one if
+// none exists (or the previous one died while idle). The dial is bounded
+// by the exchange's effective timeout; budgetBound marks that timeout as
+// the context's remaining budget, so a dial that runs out of time is a
 // deadline expiry, not evidence the server is unreachable. The caller
 // holds c.mu.
-func (c *Client) ensureConnLocked(timeout time.Duration, budgetBound bool) error {
+func (c *Client) ensureMuxLocked(timeout time.Duration, budgetBound bool) (*muxConn, error) {
 	if c.closed {
-		return ErrClientClosed
+		return nil, ErrClientClosed
 	}
-	if c.conn != nil {
-		return nil
+	if m := c.mux; m != nil {
+		if !m.dead() {
+			return m, nil
+		}
+		// The connection died while idle; its eviction was already
+		// counted by the death callback. Just discard the reference.
+		c.mux = nil
 	}
 	conn, err := net.DialTimeout("tcp", c.addr, timeout)
 	if err != nil {
 		if budgetBound && isTimeoutErr(err) {
-			return &DeadlineError{Op: "dial", Addr: c.addr, Err: context.DeadlineExceeded}
+			return nil, &DeadlineError{Op: "dial", Addr: c.addr, Err: context.DeadlineExceeded}
 		}
-		return &TransportError{Op: "dial", Addr: c.addr, Err: err}
+		return nil, &TransportError{Op: "dial", Addr: c.addr, Err: err}
 	}
-	c.conn = conn
+	c.mux = newMuxConn(c.addr, conn, c.muxFailed)
 	c.redials++
 	if c.everDialed {
 		c.mRedials.Inc()
 	}
 	c.everDialed = true
-	return nil
+	return c.mux, nil
 }
 
-// breakConnLocked discards a poisoned connection so the next exchange
-// redials instead of reading garbage frames. The caller holds c.mu.
-func (c *Client) breakConnLocked() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+// noteMuxDead discards the client's reference to a failed connection so
+// the next exchange redials. Concurrent streams failing together all
+// report the same muxConn; the pointer guard makes the discard idempotent
+// (the eviction itself was counted once, by the death callback).
+func (c *Client) noteMuxDead(m *muxConn) {
+	c.mu.Lock()
+	if c.mux == m {
+		c.mux = nil
 	}
+	c.mu.Unlock()
 }

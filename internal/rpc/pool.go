@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"spectra/internal/obs"
@@ -16,26 +17,40 @@ import (
 var (
 	// ErrPoolClosed reports a checkout attempted on a Close()d pool.
 	ErrPoolClosed = errors.New("rpc: pool closed")
-	// ErrPoolExhausted reports a checkout rejected because every connection
-	// was busy and either the waiter cap was reached or the wait outlived
-	// the operation's budget. Deadline-bounded waits return it wrapped in a
-	// *DeadlineError, so errors.Is(err, ErrPoolExhausted) holds for both.
+	// ErrPoolExhausted reports a checkout rejected because every stream
+	// slot was busy and either the waiter cap was reached or the wait
+	// outlived the operation's budget. Deadline-bounded waits return it
+	// wrapped in a *DeadlineError, so errors.Is(err, ErrPoolExhausted)
+	// holds for both.
 	ErrPoolExhausted = errors.New("rpc: pool exhausted")
 )
 
-// DefaultPoolSize is the connection cap used when PoolOptions.Size is zero.
-const DefaultPoolSize = 4
+// DefaultPoolSize is the connection cap used when PoolOptions.Size is
+// zero. Connections are multiplexed, so concurrency comes from stream
+// slots, not connection count: two connections exist for redundancy (a
+// flat-timeout fault on one does not strand every in-flight stream), not
+// for parallelism.
+const DefaultPoolSize = 2
+
+// DefaultStreamsPerConn is the per-connection concurrent-stream cap used
+// when PoolOptions.StreamsPerConn is zero.
+const DefaultStreamsPerConn = 64
 
 // PoolOptions tunes a connection pool.
 type PoolOptions struct {
-	// Size caps the number of live connections; 0 selects DefaultPoolSize.
+	// Size caps the number of multiplexed connections; 0 selects
+	// DefaultPoolSize. 1 pins all streams to a single connection.
 	Size int
-	// MaxWaiters caps how many checkouts may block waiting for a connection
-	// when the pool is at capacity; 0 means unlimited, negative means no
-	// waiting (immediate ErrPoolExhausted at capacity).
+	// StreamsPerConn caps concurrent in-flight streams per connection; 0
+	// selects DefaultStreamsPerConn. Size × StreamsPerConn is the pool's
+	// total concurrency.
+	StreamsPerConn int
+	// MaxWaiters caps how many checkouts may block waiting for a stream
+	// slot when the pool is at capacity; 0 means unlimited, negative means
+	// no waiting (immediate ErrPoolExhausted at capacity).
 	MaxWaiters int
-	// Timeout is the per-exchange deadline applied to pooled clients; 0
-	// keeps the client default.
+	// Timeout is the per-exchange flat timeout applied to pooled clients;
+	// 0 keeps the client default.
 	Timeout time.Duration
 	// Retry is the retry policy applied to pooled clients' idempotent
 	// exchanges.
@@ -49,49 +64,68 @@ func (o PoolOptions) size() int {
 	return o.Size
 }
 
-// Pool is a bounded set of RPC clients to one server, letting independent
-// operations overlap their exchanges instead of serializing on a single
-// connection's mutex. Connections are created lazily (each Client dials on
-// first use), checked out per call, and checked back in afterward; a
-// transport fault evicts the faulty connection so its slot is re-created
-// fresh, while application errors and admission-control sheds return the
-// connection — which is healthy — to the idle set.
-//
-// The pool never holds its mutex across network I/O: checkout and checkin
-// only move *Client values between slices, and the exchange itself runs on
-// the checked-out client outside the pool lock. Waiting for a free
-// connection parks the checkout on a per-waiter hand-off channel so the
-// wait can be abandoned when the operation's deadline expires — the
-// unbounded sync.Cond wait this replaces was the dominant p99 tail term.
-// All clients of one pool share a RetryBudget, bounding the aggregate
-// retry rate during correlated outages.
-type Pool struct {
-	mu sync.Mutex
+func (o PoolOptions) streams() int {
+	if o.StreamsPerConn <= 0 {
+		return DefaultStreamsPerConn
+	}
+	return o.StreamsPerConn
+}
 
+// Pool is a stream-slot limiter over a small set of multiplexed
+// connections to one server. Concurrency no longer requires a connection
+// per in-flight call: each connection carries up to StreamsPerConn
+// concurrent streams, so the pool's job shrinks to bounding total
+// in-flight work (Size × StreamsPerConn slots) and spreading streams
+// round-robin across connections. Checkout is a semaphore acquire — free
+// in the common case, a deadline-bounded wait at saturation — so the
+// checkout queue that once dominated the p99 tail is gone from the hot
+// path.
+//
+// Connections are created lazily and self-heal: a transport fault breaks
+// only the faulted connection, its in-flight streams fail with classified
+// errors, and the next stream routed to it redials. The pool counts each
+// broken connection as an eviction (via a lock-free hook, so the
+// accounting cannot deadlock against client internals). All clients of
+// one pool share a RetryBudget, bounding the aggregate retry rate during
+// correlated outages.
+type Pool struct {
 	addr    string
 	traffic *TrafficLog
 	opts    PoolOptions
 	budget  *RetryBudget
 
-	idle    []*Client      // connections ready for checkout
-	live    int            // connections existing (idle + checked out)
-	waitq   []chan *Client // parked checkouts, oldest first; buffered cap 1
-	seq     uint64         // jitter-seed salt for the next created client
-	evicted int            // connections discarded after transport faults
-	closed  bool
+	// slots is the stream-slot semaphore (cap Size × StreamsPerConn);
+	// closeCh wakes parked acquires on Close.
+	slots   chan struct{}
+	closeCh chan struct{}
 
-	// Observability handles (nil-safe no-ops when unset).
-	registry   *obs.Registry
-	mCreated   *obs.Counter
-	mEvicted   *obs.Counter
-	mWaits     *obs.Counter
-	mExhausted *obs.Counter
-	gInUse     *obs.Gauge
+	mu       sync.Mutex
+	clients  []*Client // one per connection slot; nil until first use
+	next     uint64    // round-robin cursor over connection slots
+	seq      uint64    // clients ever created (jitter salt, Stats.Created)
+	closed   bool
+	registry *obs.Registry
+
+	// Lock-free occupancy and eviction accounting. The eviction counters
+	// are fired from the clients' evict hooks, which run under client
+	// locks — they must not touch p.mu (SetMetrics and client creation
+	// hold p.mu while taking client locks, and an AB-BA deadlock hides
+	// there).
+	waiters atomic.Int64
+	inUse   atomic.Int64
+	evicted atomic.Int64
+
+	mCreated   atomic.Pointer[obs.Counter]
+	mEvicted   atomic.Pointer[obs.Counter]
+	mWaits     atomic.Pointer[obs.Counter]
+	mExhausted atomic.Pointer[obs.Counter]
+	gInUse     atomic.Pointer[obs.Gauge]
 }
 
-// NewPool returns a pool of lazily dialed connections to addr. The traffic
-// log may be shared with a network monitor; pass nil to create a private
-// one. No connection is dialed until the first call needs one.
+// NewPool returns a pool of lazily dialed multiplexed connections to
+// addr. The traffic log may be shared with a network monitor; pass nil to
+// create a private one. No connection is dialed until the first call
+// needs one.
 func NewPool(addr string, traffic *TrafficLog, opts PoolOptions) *Pool {
 	if traffic == nil {
 		traffic = NewTrafficLog()
@@ -101,6 +135,8 @@ func NewPool(addr string, traffic *TrafficLog, opts PoolOptions) *Pool {
 		traffic: traffic,
 		opts:    opts,
 		budget:  NewRetryBudget(0, 0),
+		slots:   make(chan struct{}, opts.size()*opts.streams()),
+		closeCh: make(chan struct{}),
 	}
 }
 
@@ -113,36 +149,44 @@ func (p *Pool) Traffic() *TrafficLog { return p.traffic }
 // Size returns the pool's connection cap.
 func (p *Pool) Size() int { return p.opts.size() }
 
+// StreamSlots returns the pool's total concurrency: connection cap times
+// streams per connection.
+func (p *Pool) StreamSlots() int { return cap(p.slots) }
+
 // RetryBudget returns the shared retry token bucket all of this pool's
 // clients draw from.
 func (p *Pool) RetryBudget() *RetryBudget { return p.budget }
 
 // SetMetrics attaches the metrics registry: connection churn, waiter
-// pressure, and in-use depth flow into it. A nil registry detaches.
+// pressure, and in-flight depth flow into it. A nil registry detaches.
 func (p *Pool) SetMetrics(reg *obs.Registry) {
+	p.mCreated.Store(reg.Counter(obs.MPoolCreated))
+	p.mEvicted.Store(reg.Counter(obs.MPoolEvicted))
+	p.mWaits.Store(reg.Counter(obs.MPoolWaits))
+	p.mExhausted.Store(reg.Counter(obs.MPoolExhausted))
+	p.gInUse.Store(reg.Gauge(obs.MPoolInUse))
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.registry = reg
-	p.mCreated = reg.Counter(obs.MPoolCreated)
-	p.mEvicted = reg.Counter(obs.MPoolEvicted)
-	p.mWaits = reg.Counter(obs.MPoolWaits)
-	p.mExhausted = reg.Counter(obs.MPoolExhausted)
-	p.gInUse = reg.Gauge(obs.MPoolInUse)
-	for _, c := range p.idle {
-		c.SetMetrics(reg)
+	for _, c := range p.clients {
+		if c != nil {
+			c.SetMetrics(reg)
+		}
 	}
 }
 
-// SetTimeout sets the per-exchange deadline for all connections, current
-// and future.
+// SetTimeout sets the per-exchange flat timeout for all connections,
+// current and future.
 func (p *Pool) SetTimeout(d time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if d > 0 {
 		p.opts.Timeout = d
 	}
-	for _, c := range p.idle {
-		c.SetTimeout(d)
+	for _, c := range p.clients {
+		if c != nil {
+			c.SetTimeout(d)
+		}
 	}
 }
 
@@ -152,56 +196,68 @@ func (p *Pool) SetRetryPolicy(policy RetryPolicy) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.opts.Retry = policy
-	for _, c := range p.idle {
-		c.SetRetryPolicy(policy)
+	for _, c := range p.clients {
+		if c != nil {
+			c.SetRetryPolicy(policy)
+		}
 	}
 }
 
 // PoolStats is a point-in-time view of pool occupancy, for tests and
 // debugging.
 type PoolStats struct {
-	// Live counts existing connections (idle + checked out).
+	// Live counts connections currently established.
 	Live int
-	// Idle counts connections ready for checkout.
+	// Idle counts free stream slots (total minus in flight).
 	Idle int
-	// Waiters counts checkouts blocked waiting for a free connection.
+	// Waiters counts checkouts blocked waiting for a stream slot.
 	Waiters int
-	// Created counts every connection the pool has made.
+	// Created counts every connection slot the pool has populated.
 	Created int
-	// Evicted counts connections discarded after transport faults.
+	// Evicted counts broken connections discarded after transport faults.
 	Evicted int
 }
 
 // Stats returns current occupancy counters.
 func (p *Pool) Stats() PoolStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	live := 0
+	for _, c := range p.clients {
+		if c != nil && c.connected() {
+			live++
+		}
+	}
+	created := int(p.seq)
+	p.mu.Unlock()
 	return PoolStats{
-		Live:    p.live,
-		Idle:    len(p.idle),
-		Waiters: len(p.waitq),
-		Created: int(p.seq),
-		Evicted: p.evicted,
+		Live:    live,
+		Idle:    cap(p.slots) - int(p.inUse.Load()),
+		Waiters: int(p.waiters.Load()),
+		Created: created,
+		Evicted: int(p.evicted.Load()),
 	}
 }
 
-// Close shuts the pool down: idle connections are closed immediately,
-// blocked checkouts fail with ErrPoolClosed, and connections currently
-// checked out are closed at checkin.
+// Close shuts the pool down: connections are closed immediately (failing
+// their in-flight streams), and blocked checkouts fail with
+// ErrPoolClosed.
 func (p *Pool) Close() error {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
 	p.closed = true
-	idle := p.idle
-	p.idle = nil
-	waiters := p.waitq
-	p.waitq = nil
+	clients := p.clients
+	p.clients = nil
 	p.mu.Unlock()
 
-	for _, w := range waiters {
-		w <- nil // wakes the parked checkout into ErrPoolClosed
-	}
+	close(p.closeCh)
 	var err error
-	for _, c := range idle {
+	for _, c := range clients {
+		if c == nil {
+			continue
+		}
 		if cerr := c.Close(); cerr != nil && err == nil {
 			err = cerr
 		}
@@ -209,100 +265,90 @@ func (p *Pool) Close() error {
 	return err
 }
 
-// checkout returns a connection for exclusive use. It prefers an idle
-// connection, creates one if below the cap, and otherwise parks on the
-// wait queue until a checkin hands one over — or until the context
-// expires, in which case it fails promptly with a *DeadlineError wrapping
-// ErrPoolExhausted instead of blocking past any useful deadline. The
-// matching checkin must always follow a successful checkout.
-func (p *Pool) checkout(ctx context.Context) (*Client, error) {
+// acquire claims a stream slot and picks the connection to run on. The
+// fast path is a non-blocking semaphore send; at saturation the checkout
+// parks until a slot frees — or until the context expires, in which case
+// it fails promptly with a *DeadlineError wrapping ErrPoolExhausted
+// instead of blocking past any useful deadline. A successful acquire must
+// be followed by release.
+func (p *Pool) acquire(ctx context.Context) (*Client, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, &DeadlineError{Op: "checkout", Addr: p.addr, Err: err}
 	}
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	select {
+	case <-p.closeCh:
 		return nil, ErrPoolClosed
+	default:
 	}
-	if n := len(p.idle); n > 0 {
-		c := p.idle[n-1]
-		p.idle[n-1] = nil
-		p.idle = p.idle[:n-1]
-		p.gInUse.Set(float64(p.live - len(p.idle)))
-		p.mu.Unlock()
-		return c, nil
-	}
-	if p.live < p.opts.size() {
-		c := p.newClientLocked()
-		p.live++
-		p.gInUse.Set(float64(p.live - len(p.idle)))
-		p.mu.Unlock()
-		return c, nil
-	}
-	if p.opts.MaxWaiters < 0 || (p.opts.MaxWaiters > 0 && len(p.waitq) >= p.opts.MaxWaiters) {
-		p.mExhausted.Inc()
-		p.mu.Unlock()
-		return nil, ErrPoolExhausted
-	}
-	w := make(chan *Client, 1)
-	p.waitq = append(p.waitq, w)
-	p.mWaits.Inc()
-	p.mu.Unlock()
 
 	select {
-	case c := <-w:
-		if c == nil {
+	case p.slots <- struct{}{}:
+	default:
+		// Every stream slot is in flight: park or give up.
+		if p.opts.MaxWaiters < 0 {
+			p.mExhausted.Load().Inc()
+			return nil, ErrPoolExhausted
+		}
+		if w := p.waiters.Add(1); p.opts.MaxWaiters > 0 && w > int64(p.opts.MaxWaiters) {
+			p.waiters.Add(-1)
+			p.mExhausted.Load().Inc()
+			return nil, ErrPoolExhausted
+		}
+		p.mWaits.Load().Inc()
+		select {
+		case p.slots <- struct{}{}:
+			p.waiters.Add(-1)
+		case <-ctx.Done():
+			p.waiters.Add(-1)
+			p.mExhausted.Load().Inc()
+			return nil, &DeadlineError{
+				Op:   "checkout",
+				Addr: p.addr,
+				Err:  errors.Join(ErrPoolExhausted, ctx.Err()),
+			}
+		case <-p.closeCh:
+			p.waiters.Add(-1)
 			return nil, ErrPoolClosed
 		}
-		return c, nil
-	case <-ctx.Done():
 	}
-	// The wait was abandoned — unless a grant is already in flight: a
-	// checkin may have popped this waiter between the cancellation firing
-	// and the lock below. If the waiter is no longer queued, collect the
-	// granted connection and use it; the exchange fails fast on the
-	// expired context and the connection is checked back in, so nothing
-	// leaks.
-	p.mu.Lock()
-	if p.removeWaiterLocked(w) {
-		p.mExhausted.Inc()
-		p.mu.Unlock()
-		return nil, &DeadlineError{
-			Op:   "checkout",
-			Addr: p.addr,
-			Err:  errors.Join(ErrPoolExhausted, ctx.Err()),
-		}
+
+	c, err := p.clientForNextSlot()
+	if err != nil {
+		<-p.slots
+		return nil, err
 	}
-	p.mu.Unlock()
-	c := <-w
-	if c == nil {
-		return nil, ErrPoolClosed
-	}
+	p.gInUse.Load().Set(float64(p.inUse.Add(1)))
 	return c, nil
 }
 
-// removeWaiterLocked unlinks a parked checkout, reporting whether it was
-// still queued (false means a grant is in flight on its channel). The
-// caller holds p.mu.
-func (p *Pool) removeWaiterLocked(w chan *Client) bool {
-	for i, q := range p.waitq {
-		if q == w {
-			p.waitq = append(p.waitq[:i], p.waitq[i+1:]...)
-			return true
-		}
-	}
-	return false
+// release returns a stream slot after the exchange finishes. Connection
+// health needs no handling here: a transport fault already broke only the
+// faulted connection inside the client, which redials lazily, and the
+// eviction was counted by the client's evict hook.
+func (p *Pool) release() {
+	p.gInUse.Load().Set(float64(p.inUse.Add(-1)))
+	<-p.slots
 }
 
-// popWaiterLocked dequeues the oldest parked checkout, or nil. The caller
-// holds p.mu.
-func (p *Pool) popWaiterLocked() chan *Client {
-	if len(p.waitq) == 0 {
-		return nil
+// clientForNextSlot picks the connection for a newly granted stream slot,
+// round-robin across connection slots, creating clients lazily.
+func (p *Pool) clientForNextSlot() (*Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
 	}
-	w := p.waitq[0]
-	p.waitq = p.waitq[1:]
-	return w
+	if p.clients == nil {
+		p.clients = make([]*Client, p.opts.size())
+	}
+	i := int(p.next % uint64(len(p.clients)))
+	p.next++
+	c := p.clients[i]
+	if c == nil {
+		c = p.newClientLocked()
+		p.clients[i] = c
+	}
+	return c, nil
 }
 
 // newClientLocked creates a connection slot. The client dials lazily, so no
@@ -321,60 +367,13 @@ func (p *Pool) newClientLocked() *Client {
 	if p.registry != nil {
 		c.SetMetrics(p.registry)
 	}
-	p.mCreated.Inc()
+	// The hook is lock-free by contract: it may fire under client locks.
+	c.setEvictHook(func() {
+		p.evicted.Add(1)
+		p.mEvicted.Load().Inc()
+	})
+	p.mCreated.Load().Inc()
 	return c
-}
-
-// checkin returns a connection after use. err is the call's outcome: a
-// transport fault evicts the connection (its stream cannot be trusted and
-// the slot is better served by a fresh dial), anything else — success,
-// remote application errors, admission-control sheds, deadline expiries —
-// returns it to the idle set. A *DeadlineError never evicts even when its
-// cause chain contains a transport fault: the client already discarded the
-// broken stream and resyncs by redialing, so the slot stays warm. When
-// checkouts are parked, the connection (or, after an eviction, a fresh
-// replacement) is handed straight to the oldest waiter instead of waking
-// it to re-contend. Channel hand-offs and Close happen outside the pool
-// lock.
-func (p *Pool) checkin(c *Client, err error) {
-	var terr *TransportError
-	evict := errors.As(err, &terr) && !IsDeadline(err)
-
-	p.mu.Lock()
-	if p.closed {
-		p.live--
-		p.mu.Unlock()
-		c.Close()
-		return
-	}
-	if evict {
-		p.live--
-		p.evicted++
-		p.mEvicted.Inc()
-		var w chan *Client
-		var replacement *Client
-		if len(p.waitq) > 0 {
-			replacement = p.newClientLocked()
-			p.live++
-			w = p.popWaiterLocked()
-		}
-		p.gInUse.Set(float64(p.live - len(p.idle)))
-		p.mu.Unlock()
-		c.Close()
-		if w != nil {
-			w <- replacement
-		}
-		return
-	}
-	w := p.popWaiterLocked()
-	if w == nil {
-		p.idle = append(p.idle, c)
-	}
-	p.gInUse.Set(float64(p.live - len(p.idle)))
-	p.mu.Unlock()
-	if w != nil {
-		w <- c
-	}
 }
 
 // Call invokes a service operation on a pooled connection. Semantics match
@@ -392,15 +391,15 @@ func (p *Pool) CallTraced(service, optype string, payload []byte, tc *wire.Trace
 }
 
 // CallContext is CallTraced under an end-to-end deadline: the remaining
-// budget bounds the pool checkout wait, the dial, and the exchange, and is
+// budget bounds the stream-slot wait, the dial, and the exchange, and is
 // propagated to the server, matching (*Client).CallContext.
 func (p *Pool) CallContext(ctx context.Context, service, optype string, payload []byte, tc *wire.TraceContext) ([]byte, *wire.UsageReport, []wire.SpanRecord, error) {
-	c, err := p.checkout(ctx)
+	c, err := p.acquire(ctx)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	out, usage, spans, err := c.CallContext(ctx, service, optype, payload, tc)
-	p.checkin(c, err)
+	p.release()
 	return out, usage, spans, err
 }
 
@@ -411,22 +410,22 @@ func (p *Pool) Status() (*wire.ServerStatus, error) {
 
 // StatusContext is Status under a deadline.
 func (p *Pool) StatusContext(ctx context.Context) (*wire.ServerStatus, error) {
-	c, err := p.checkout(ctx)
+	c, err := p.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	st, err := c.StatusContext(ctx)
-	p.checkin(c, err)
+	p.release()
 	return st, err
 }
 
 // Ping performs a minimal round trip on a pooled connection.
 func (p *Pool) Ping() (time.Duration, error) {
-	c, err := p.checkout(context.Background())
+	c, err := p.acquire(context.Background())
 	if err != nil {
 		return 0, err
 	}
 	d, err := c.Ping()
-	p.checkin(c, err)
+	p.release()
 	return d, err
 }

@@ -13,7 +13,7 @@ import (
 )
 
 // startBlockingServer hosts a "gate" service that blocks until released,
-// so tests can hold pool connections busy deterministically, plus the
+// so tests can hold pool stream slots busy deterministically, plus the
 // usual echo.
 func startBlockingServer(t *testing.T) (addr string, entered chan struct{}, release chan struct{}) {
 	t.Helper()
@@ -55,8 +55,8 @@ func TestPoolCallsOverlap(t *testing.T) {
 			}
 		}()
 	}
-	// All three calls must enter the handler simultaneously — impossible on
-	// a single serialized connection.
+	// All three calls must enter the handler simultaneously — impossible
+	// when exchanges serialize.
 	for i := 0; i < 3; i++ {
 		select {
 		case <-entered:
@@ -69,15 +69,50 @@ func TestPoolCallsOverlap(t *testing.T) {
 	}
 	wg.Wait()
 
+	// Round-robin spread the three streams over all three connections.
 	st := p.Stats()
-	if st.Live != 3 || st.Idle != 3 || st.Created != 3 {
-		t.Fatalf("stats after overlap = %+v", st)
+	if st.Live != 3 || st.Created != 3 || st.Idle != p.StreamSlots() {
+		t.Fatalf("stats after overlap = %+v (want Live=3 Created=3 Idle=%d)", st, p.StreamSlots())
+	}
+}
+
+func TestPoolSingleConnOverlap(t *testing.T) {
+	// The inverse of the old serial-per-connection behavior: ONE connection
+	// must carry concurrent streams.
+	addr, entered, release := startBlockingServer(t)
+	p := NewPool(addr, nil, PoolOptions{Size: 1})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := p.Call("gate", "x", nil); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-entered:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 3 calls entered the handler over one multiplexed connection", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		release <- struct{}{}
+	}
+	wg.Wait()
+	if st := p.Stats(); st.Live != 1 || st.Created != 1 {
+		t.Fatalf("single-connection pool grew: %+v", st)
 	}
 }
 
 func TestPoolCheckoutUnderExhaustion(t *testing.T) {
 	addr, entered, release := startBlockingServer(t)
-	p := NewPool(addr, nil, PoolOptions{Size: 1})
+	// One connection, one stream slot: the old fully-serialized shape.
+	p := NewPool(addr, nil, PoolOptions{Size: 1, StreamsPerConn: 1})
 	defer p.Close()
 
 	var wg sync.WaitGroup
@@ -86,9 +121,9 @@ func TestPoolCheckoutUnderExhaustion(t *testing.T) {
 		defer wg.Done()
 		p.Call("gate", "x", nil)
 	}()
-	<-entered // the single connection is now busy
+	<-entered // the single stream slot is now busy
 
-	// A second call must wait for checkin, not dial a second connection.
+	// A second call must wait for the slot, not dial a second connection.
 	done := make(chan []byte, 1)
 	wg.Add(1)
 	go func() {
@@ -114,21 +149,21 @@ func TestPoolCheckoutUnderExhaustion(t *testing.T) {
 		t.Fatalf("pool grew past its cap: %+v", st)
 	}
 
-	release <- struct{}{} // finish the gate call; its checkin feeds the waiter
+	release <- struct{}{} // finish the gate call; its release feeds the waiter
 	select {
 	case out := <-done:
 		if !bytes.Equal(out, []byte("queued")) {
 			t.Fatalf("queued call returned %q", out)
 		}
 	case <-time.After(5 * time.Second):
-		t.Fatal("waiter never received the freed connection")
+		t.Fatal("waiter never received the freed stream slot")
 	}
 	wg.Wait()
 }
 
 func TestPoolExhaustedWithWaiterCap(t *testing.T) {
 	addr, entered, release := startBlockingServer(t)
-	p := NewPool(addr, nil, PoolOptions{Size: 1, MaxWaiters: -1})
+	p := NewPool(addr, nil, PoolOptions{Size: 1, StreamsPerConn: 1, MaxWaiters: -1})
 	defer p.Close()
 
 	var wg sync.WaitGroup
@@ -141,6 +176,34 @@ func TestPoolExhaustedWithWaiterCap(t *testing.T) {
 
 	if _, _, err := p.Call("echo", "x", nil); !errors.Is(err, ErrPoolExhausted) {
 		t.Fatalf("want ErrPoolExhausted with no-wait policy, got %v", err)
+	}
+	release <- struct{}{}
+	wg.Wait()
+}
+
+func TestPoolCheckoutDeadlineBounded(t *testing.T) {
+	addr, entered, release := startBlockingServer(t)
+	p := NewPool(addr, nil, PoolOptions{Size: 1, StreamsPerConn: 1})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Call("gate", "x", nil)
+	}()
+	<-entered
+
+	// A deadline-bounded checkout on the exhausted pool must fail promptly
+	// with a classified deadline error, not block indefinitely.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, _, _, err := p.CallContext(ctx, "echo", "x", nil, nil)
+	if !IsDeadline(err) {
+		t.Fatalf("want DeadlineError from bounded checkout, got %v", err)
+	}
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("deadline checkout failure should wrap ErrPoolExhausted, got %v", err)
 	}
 	release <- struct{}{}
 	wg.Wait()
@@ -161,19 +224,26 @@ func TestPoolEvictsOnTransportError(t *testing.T) {
 	if _, _, err := p.Call("echo", "x", []byte("warm")); err != nil {
 		t.Fatal(err)
 	}
-	if st := p.Stats(); st.Live != 1 || st.Idle != 1 {
+	if st := p.Stats(); st.Live != 1 || st.Created != 1 {
 		t.Fatalf("stats after warm call = %+v", st)
 	}
 
-	// Kill the server: the pooled connection's next exchange breaks at the
-	// transport level, and checkin must discard it rather than recycle a
-	// poisoned stream.
+	// Kill the server: the established connection breaks at the transport
+	// level and must be counted as an eviction, not recycled.
 	srv.Close()
 	if _, _, err := p.Call("echo", "x", nil); !IsTransient(err) {
 		t.Fatalf("want transport error after server death, got %v", err)
 	}
-	if st := p.Stats(); st.Live != 0 || st.Idle != 0 || st.Evicted != 1 {
-		t.Fatalf("stats after eviction = %+v", st)
+	deadline := time.After(5 * time.Second)
+	for p.Stats().Evicted == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("broken connection never counted as evicted: %+v", p.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if st := p.Stats(); st.Live != 0 {
+		t.Fatalf("a broken connection still counts as live: %+v", st)
 	}
 
 	// A remote application error, by contrast, must NOT evict.
@@ -191,14 +261,14 @@ func TestPoolEvictsOnTransportError(t *testing.T) {
 	if _, _, err := p2.Call("fail", "x", nil); !IsRemote(err) {
 		t.Fatalf("want RemoteError, got %v", err)
 	}
-	if st := p2.Stats(); st.Live != 1 || st.Idle != 1 || st.Evicted != 0 {
+	if st := p2.Stats(); st.Live != 1 || st.Evicted != 0 {
 		t.Fatalf("remote app error evicted a healthy connection: %+v", st)
 	}
 }
 
 func TestPoolCloseDrainsWaiters(t *testing.T) {
 	addr, entered, release := startBlockingServer(t)
-	p := NewPool(addr, nil, PoolOptions{Size: 1})
+	p := NewPool(addr, nil, PoolOptions{Size: 1, StreamsPerConn: 1})
 
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -242,7 +312,7 @@ func TestPoolCloseDrainsWaiters(t *testing.T) {
 		}
 	}
 
-	release <- struct{}{} // let the in-flight call finish; checkin closes it
+	release <- struct{}{} // let the server-side handler finish
 	wg.Wait()
 	if _, _, err := p.Call("echo", "x", nil); !errors.Is(err, ErrPoolClosed) {
 		t.Fatalf("call on closed pool = %v, want ErrPoolClosed", err)
@@ -289,8 +359,9 @@ func TestPoolOverloadKeepsConnection(t *testing.T) {
 	if !IsTransient(err) {
 		t.Fatal("overload must be transient so failover engages")
 	}
-	// The shed call's connection is healthy and must return to the idle set.
-	if st := p.Stats(); st.Evicted != 0 || st.Idle != 1 {
+	// The shed call's connection is healthy: no eviction, and the only
+	// occupied stream slot is the still-blocked first call's.
+	if st := p.Stats(); st.Evicted != 0 || st.Idle != p.StreamSlots()-1 {
 		t.Fatalf("overload evicted a healthy connection: %+v", st)
 	}
 	block <- struct{}{}
@@ -303,13 +374,16 @@ func TestPoolJitterDecorrelated(t *testing.T) {
 	// put every client in the fleet in lockstep).
 	p := NewPool("10.0.0.1:7009", nil, PoolOptions{Size: 2})
 	defer p.Close()
-	c1, err := p.checkout(context.Background())
+	c1, err := p.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := p.checkout(context.Background())
+	c2, err := p.acquire(context.Background())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Fatal("round-robin handed consecutive streams the same connection in a 2-conn pool")
 	}
 	if c1.rng.state == c2.rng.state {
 		t.Fatal("pooled siblings share a jitter seed")
@@ -318,8 +392,8 @@ func TestPoolJitterDecorrelated(t *testing.T) {
 	if c1.rng.state == other.rng.state {
 		t.Fatal("clients of different addresses share a jitter seed")
 	}
-	p.checkin(c1, nil)
-	p.checkin(c2, nil)
+	p.release()
+	p.release()
 }
 
 func TestPoolConcurrentStress(t *testing.T) {

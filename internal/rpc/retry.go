@@ -16,7 +16,7 @@ import (
 // different server. Contrast RemoteError, which reports that the exchange
 // completed and the remote application itself failed.
 type TransportError struct {
-	// Op names the failing stage ("dial", "write", "read", "desync").
+	// Op names the failing stage ("dial", "write", "read").
 	Op string
 	// Addr is the server address.
 	Addr string

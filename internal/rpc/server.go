@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -16,11 +17,19 @@ import (
 // attaches to the RPC response (paper §3.3.5).
 type Handler func(optype string, payload []byte) ([]byte, *wire.UsageReport, error)
 
+// CtxHandler is a Handler that additionally observes per-stream
+// cancellation: ctx is cancelled when the client abandons the request (a
+// wire.MsgCancel frame for this stream) or its connection drops, so a
+// long-running service can stop burning resources for a reply nobody
+// will read. Handlers registered through Register ignore ctx; use
+// RegisterContext for cancellation-aware services.
+type CtxHandler func(ctx context.Context, optype string, payload []byte) ([]byte, *wire.UsageReport, error)
+
 // StatusFunc produces the server's current resource snapshot.
 type StatusFunc func() *wire.ServerStatus
 
-// ServerLimits bounds concurrent request execution. With pooled clients a
-// single peer can push many requests at once; the worker bound keeps the
+// ServerLimits bounds concurrent request execution. A single multiplexed
+// connection can push many requests at once; the worker bound keeps the
 // server's measured compute honest (unbounded concurrency would thrash the
 // very CPU signal the client's predictors rely on), and the queue bound
 // sheds overload as classified wire.CodeOverloaded rejections instead of
@@ -36,11 +45,16 @@ type ServerLimits struct {
 }
 
 // Server accepts Spectra RPC connections and dispatches requests to
-// registered service handlers. Each connection is served by its own
-// goroutine; Close stops the listener and waits for them to drain.
+// registered service handlers. Connections are multiplexed: a read loop
+// per connection decodes frames and dispatches each request to its own
+// goroutine (bounded by the admission-control worker pool), replies are
+// written back through a per-connection serialized writer as handlers
+// complete — out of order when executions overlap — and a MsgCancel
+// frame cancels the named in-flight stream. Close stops the listener and
+// waits for read loops and dispatched handlers to drain.
 type Server struct {
 	mu       sync.Mutex
-	services map[string]Handler
+	services map[string]CtxHandler
 	status   StatusFunc
 
 	listener net.Listener
@@ -76,7 +90,7 @@ type Server struct {
 // shedding is on by default; see SetShedExpired.
 func NewServer(status StatusFunc) *Server {
 	return &Server{
-		services:    make(map[string]Handler),
+		services:    make(map[string]CtxHandler),
 		status:      status,
 		conns:       make(map[net.Conn]struct{}),
 		shedExpired: true,
@@ -149,8 +163,18 @@ func (s *Server) Limits() ServerLimits {
 	return s.limits
 }
 
-// Register adds a service. Registering an existing name replaces it.
+// Register adds a service that ignores cancellation. Registering an
+// existing name replaces it.
 func (s *Server) Register(service string, h Handler) {
+	s.RegisterContext(service, func(_ context.Context, optype string, payload []byte) ([]byte, *wire.UsageReport, error) {
+		return h(optype, payload)
+	})
+}
+
+// RegisterContext adds a cancellation-aware service: the handler's ctx is
+// cancelled when the client abandons the stream or the connection drops.
+// Registering an existing name replaces it.
+func (s *Server) RegisterContext(service string, h CtxHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.services[service] = h
@@ -189,7 +213,7 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 // Close stops the listener, closes open connections, and waits for all
-// serving goroutines to exit.
+// serving goroutines — read loops and dispatched handlers — to exit.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -228,9 +252,84 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
+// connState is the server side of one multiplexed connection: a
+// serialized writer (handlers finish concurrently, frames must not
+// interleave) and the registry of in-flight streams a MsgCancel frame
+// can target.
+type connState struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes reply frames from concurrent handlers
+
+	mu       sync.Mutex
+	inflight map[uint64]context.CancelFunc
+}
+
+// write frames one reply, serialized against concurrent handlers.
+func (cs *connState) write(m *wire.Message) error {
+	cs.wmu.Lock()
+	defer cs.wmu.Unlock()
+	_, err := wire.WriteMessage(cs.conn, m)
+	return err
+}
+
+// track registers a stream's cancel function, refusing duplicates: an ID
+// already in flight on this connection is a protocol violation.
+func (cs *connState) track(id uint64, cancel context.CancelFunc) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if _, dup := cs.inflight[id]; dup {
+		return false
+	}
+	cs.inflight[id] = cancel
+	return true
+}
+
+// untrack forgets a completed stream.
+func (cs *connState) untrack(id uint64) {
+	cs.mu.Lock()
+	delete(cs.inflight, id)
+	cs.mu.Unlock()
+}
+
+// cancel fires the named stream's cancel function, if it is still in
+// flight. Cancels for unknown IDs — already answered, never seen — are
+// ignored; the frame is advisory.
+func (cs *connState) cancel(id uint64) {
+	cs.mu.Lock()
+	fn := cs.inflight[id]
+	cs.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// cancelAll fires every in-flight stream's cancel function; the
+// connection is gone, so no reply can reach any of them.
+func (cs *connState) cancelAll() {
+	cs.mu.Lock()
+	fns := make([]context.CancelFunc, 0, len(cs.inflight))
+	for _, fn := range cs.inflight {
+		fns = append(fns, fn)
+	}
+	cs.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+// serveConn is one connection's read loop. It never blocks on request
+// execution: each decoded request is dispatched to its own goroutine
+// (admission control bounds how many actually execute) so a slow handler
+// cannot head-of-line-block the frames behind it, and replies are
+// written back through the serialized writer as handlers complete.
+// MsgCancel frames cancel the named stream; a dropped connection cancels
+// every stream it carried.
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	cs := &connState{conn: conn, inflight: make(map[uint64]context.CancelFunc)}
 	defer func() {
+		cs.cancelAll()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -243,12 +342,50 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		recv := time.Now()
-		reply := s.handle(msg, recv)
-		if reply == nil {
-			continue
-		}
-		if _, err := wire.WriteMessage(conn, reply); err != nil {
-			return
+		switch msg.Type {
+		case wire.MsgCancel:
+			cs.cancel(msg.ID)
+		case wire.MsgRequest:
+			ctx, cancel := context.WithCancel(context.Background())
+			if !cs.track(msg.ID, cancel) {
+				cancel()
+				reply := &wire.Message{
+					Type: wire.MsgResponse,
+					ID:   msg.ID,
+					Err:  fmt.Sprintf("duplicate in-flight stream id %d", msg.ID),
+				}
+				if err := cs.write(reply); err != nil {
+					return
+				}
+				continue
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer cs.untrack(msg.ID)
+				defer cancel()
+				reply := s.handleRequest(ctx, msg, recv)
+				if reply == nil {
+					// Cancelled: the stream's client is gone; there is
+					// nobody to write to.
+					return
+				}
+				// A write fault here poisons the connection; the read
+				// loop notices on its next read and tears down.
+				cs.write(reply)
+			}()
+		default:
+			// Ping, Status, and protocol errors are answered inline:
+			// they are cheap, bypass admission control (health checks
+			// must keep working on an overloaded server), and carry no
+			// cancellable work.
+			reply := s.handle(msg, recv)
+			if reply == nil {
+				continue
+			}
+			if err := cs.write(reply); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -267,8 +404,6 @@ func (s *Server) handle(msg *wire.Message, recv time.Time) *wire.Message {
 			reply.Status = st
 		}
 		return reply
-	case wire.MsgRequest:
-		return s.handleRequest(msg, recv)
 	default:
 		return &wire.Message{
 			Type: wire.MsgResponse,
@@ -278,7 +413,11 @@ func (s *Server) handle(msg *wire.Message, recv time.Time) *wire.Message {
 	}
 }
 
-func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message {
+// handleRequest executes one dispatched request: deadline-aware
+// admission, the bounded worker pool, the handler itself, and span
+// accounting. A nil return means the stream was cancelled — the client
+// abandoned it, so no reply is written.
+func (s *Server) handleRequest(ctx context.Context, msg *wire.Message, recv time.Time) *wire.Message {
 	s.mu.Lock()
 	h, ok := s.services[msg.Service]
 	name, sink := s.obsName, s.sink
@@ -293,6 +432,9 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 		reply.Err = fmt.Sprintf("unknown service %q", msg.Service)
 		errsC.Inc()
 		return reply
+	}
+	if ctx.Err() != nil {
+		return nil
 	}
 
 	// Deadline-aware admission: a propagated budget is measured from recv
@@ -312,8 +454,9 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 
 	// Admission control: acquire a worker slot or shed. The wait (if any)
 	// lands inside the queue span, since dispatch is stamped after it, and
-	// is bounded by the request's remaining budget: work that would only
-	// start after its client gave up is shed at dequeue instead of run.
+	// is bounded by the request's remaining budget and its cancellation:
+	// work that would only start after its client gave up is shed at
+	// dequeue instead of run.
 	if workers != nil {
 		select {
 		case workers <- struct{}{}:
@@ -330,12 +473,21 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 			queueDepth.Set(float64(q))
 			waitStart := time.Now()
 			if expiry.IsZero() {
-				workers <- struct{}{}
+				select {
+				case workers <- struct{}{}:
+				case <-ctx.Done():
+					queueDepth.Set(float64(s.queued.Add(-1)))
+					return nil
+				}
 			} else {
 				timer := time.NewTimer(time.Until(expiry))
 				select {
 				case workers <- struct{}{}:
 					timer.Stop()
+				case <-ctx.Done():
+					timer.Stop()
+					queueDepth.Set(float64(s.queued.Add(-1)))
+					return nil
 				case <-timer.C:
 					queueDepth.Set(float64(s.queued.Add(-1)))
 					deadlineShed.Inc()
@@ -359,6 +511,11 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 			return reply
 		}
 	}
+	// A cancel that landed while queued means the client is gone: drop
+	// the work before burning the slot on it.
+	if ctx.Err() != nil {
+		return nil
+	}
 
 	// Timestamps are taken only when someone will consume them: a traced
 	// request needs span records, an observed server wants metrics and its
@@ -369,7 +526,7 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 	if traced || observed {
 		dispatch = time.Now()
 	}
-	out, usage, err := h(msg.OpType, msg.Payload)
+	out, usage, err := h(ctx, msg.OpType, msg.Payload)
 	if traced || observed {
 		execEnd = time.Now()
 	}
@@ -413,6 +570,11 @@ func (s *Server) handleRequest(msg *wire.Message, recv time.Time) *wire.Message 
 				Spans:     RebaseSpans(name, recv, 0, recs),
 			})
 		}
+	}
+	// A stream cancelled mid-execution has nobody waiting: the work is
+	// accounted above, but the reply is not worth the bytes.
+	if ctx.Err() != nil {
+		return nil
 	}
 	return reply
 }

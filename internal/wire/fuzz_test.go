@@ -16,6 +16,18 @@ func FuzzReadMessage(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(valid.Bytes())
+	var cancel bytes.Buffer
+	if _, err := WriteMessage(&cancel, &Message{Type: MsgCancel, ID: 1}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(cancel.Bytes())
+	// A request immediately followed by its own cancel, as a multiplexed
+	// client emits when abandoning a stream; decoding the first frame of
+	// the pair must not be confused by the trailing bytes.
+	var interleaved bytes.Buffer
+	interleaved.Write(valid.Bytes())
+	interleaved.Write(cancel.Bytes())
+	f.Add(interleaved.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
@@ -28,6 +40,57 @@ func FuzzReadMessage(f *testing.F) {
 		}
 		if err == nil && msg == nil {
 			t.Fatal("nil message without error")
+		}
+	})
+}
+
+// FuzzInterleavedCancelStream writes an arbitrary interleaving of request
+// and cancel frames onto one buffer — the shape a multiplexed connection
+// carries — and re-reads the whole stream, checking every frame comes back
+// with its own type and stream ID and that byte accounting stays exact
+// across frame boundaries.
+func FuzzInterleavedCancelStream(f *testing.F) {
+	// Each bit of pattern selects frame kind: 0 = request, 1 = cancel.
+	f.Add(uint8(0b0101), uint64(1))
+	f.Add(uint8(0b1111), uint64(1<<40))
+	f.Add(uint8(0), uint64(0))
+	f.Fuzz(func(t *testing.T, pattern uint8, baseID uint64) {
+		const frames = 8
+		var buf bytes.Buffer
+		var wrote []Message
+		written := 0
+		for i := 0; i < frames; i++ {
+			m := Message{ID: baseID + uint64(i)}
+			if pattern&(1<<i) != 0 {
+				m.Type = MsgCancel
+			} else {
+				m.Type = MsgRequest
+				m.Service = "svc"
+				m.Payload = []byte{byte(i)}
+			}
+			n, err := WriteMessage(&buf, &m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			written += n
+			wrote = append(wrote, m)
+		}
+		read := 0
+		for i, want := range wrote {
+			got, n, err := ReadMessage(&buf)
+			if err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			read += n
+			if got.Type != want.Type || got.ID != want.ID {
+				t.Fatalf("frame %d = type %v id %d, want type %v id %d", i, got.Type, got.ID, want.Type, want.ID)
+			}
+			if !bytes.Equal(got.Payload, want.Payload) {
+				t.Fatalf("frame %d payload = %v, want %v", i, got.Payload, want.Payload)
+			}
+		}
+		if read != written {
+			t.Fatalf("read %d bytes of %d written", read, written)
 		}
 	})
 }

@@ -32,6 +32,11 @@ const (
 	MsgStatusReply
 	MsgPing
 	MsgPong
+	// MsgCancel tells the server the client has abandoned the request with
+	// the same ID on this connection: work not yet started is dropped, and
+	// a running handler's context is cancelled. Cancels carry no payload
+	// and receive no reply — the requesting stream is already gone.
+	MsgCancel
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +54,8 @@ func (t MsgType) String() string {
 		return "ping"
 	case MsgPong:
 		return "pong"
+	case MsgCancel:
+		return "cancel"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -73,11 +80,15 @@ const (
 // U+FFFD, so they would not survive a round trip. Payload is arbitrary
 // binary data (base64 on the wire).
 type Message struct {
-	Type    MsgType `json:"type"`
-	ID      uint64  `json:"id"`
-	Service string  `json:"service,omitempty"`
-	OpType  string  `json:"optype,omitempty"`
-	Payload []byte  `json:"payload,omitempty"`
+	Type MsgType `json:"type"`
+	// ID names the stream this frame belongs to. Concurrent requests are
+	// multiplexed over one connection with distinct IDs; responses may
+	// arrive in any order and are matched back to callers by ID, and a
+	// MsgCancel carries the ID of the request it abandons.
+	ID      uint64 `json:"id"`
+	Service string `json:"service,omitempty"`
+	OpType  string `json:"optype,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
 	// Err carries a server-side error string on responses.
 	Err string `json:"err,omitempty"`
 	// Code classifies machine-readable response failures (see the Code*

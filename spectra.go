@@ -120,8 +120,10 @@ type (
 	// RetryPolicy tunes RPC-level retry with exponential backoff for
 	// idempotent exchanges.
 	RetryPolicy = rpc.RetryPolicy
-	// PoolOptions tunes the per-server RPC connection pools a live runtime
-	// checks connections out of (size, waiter cap, timeouts).
+	// PoolOptions tunes the per-server RPC pools a live runtime runs
+	// streams through (connection count, streams per connection, waiter
+	// cap, timeouts). Concurrent requests multiplex as independent streams
+	// over each connection.
 	PoolOptions = rpc.PoolOptions
 	// ServerLimits bounds concurrent request execution on a Server:
 	// MaxConcurrent workers, MaxQueue waiters, classified overload
