@@ -1,18 +1,30 @@
 // Command spectralint runs Spectra's static-analysis suite — the
 // invariants the compiler cannot see: virtual-clock discipline in
 // deterministic packages, nil-receiver guards on observability handles,
-// no blocking under mutexes, a coherent metric namespace, and classified
-// errors at the RPC boundary.
+// no blocking under mutexes, a coherent metric namespace, classified
+// errors at the RPC boundary, and the interprocedural invariants of the
+// deadline work: context propagation on request paths (ctxflow),
+// goroutine termination (goroleak), a cycle-free lock order (lockorder),
+// and registry-resolved metric/span names (spanmetric). The driver keeps
+// one fact store for the whole run and visits packages in dependency
+// order, so the interprocedural analyzers see across package boundaries.
 //
 // Usage:
 //
-//	go run ./cmd/spectralint [-json report.json] [packages...]
+//	go run ./cmd/spectralint [-json report.json] [-budget lint-budget.json] [packages...]
+//	go run ./cmd/spectralint -suppressions [packages...]
 //
 // With no packages it lints ./.... It prints one line per finding
 // (file:line:col: analyzer: message), honors //lint:allow suppressions,
 // and exits 1 if any finding survives, 2 on a load failure — so CI can
 // gate on it. -json additionally writes a machine-readable report for
 // artifact upload.
+//
+// -suppressions inventories the suppression debt instead of linting: one
+// line per //lint:allow directive (file:line: analyzers: reason). -budget
+// ratchets that debt: the run fails if the directive count exceeds the
+// checked-in budget file's allowance, so new suppressions must either
+// displace old ones or raise the budget in a reviewed commit.
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"spectra/internal/lint"
 	"spectra/internal/lint/analysis"
@@ -50,6 +63,15 @@ type report struct {
 	Findings []finding `json:"findings"`
 	// Suppressed counts diagnostics silenced by //lint:allow directives.
 	Suppressed int `json:"suppressed"`
+	// Directives counts //lint:allow directives present in the analyzed
+	// packages — the suppression debt the -budget ratchet bounds.
+	Directives int `json:"directives"`
+}
+
+// budget is the checked-in lint-budget.json document.
+type budget struct {
+	// Suppressions is the maximum allowed //lint:allow directive count.
+	Suppressions int `json:"suppressions"`
 }
 
 // Main is the testable entry point: it lints the given patterns relative
@@ -58,6 +80,8 @@ func Main(dir string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("spectralint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonPath := fs.String("json", "", "write a JSON report to this `file`")
+	budgetPath := fs.String("budget", "", "enforce the suppression budget in this `file`")
+	listSup := fs.Bool("suppressions", false, "list //lint:allow directives instead of linting")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,8 +96,36 @@ func Main(dir string, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	rep := report{Packages: len(prog.Roots)}
+	var directives []analysis.Directive
+	for _, pkg := range prog.Roots {
+		directives = append(directives, analysis.ListDirectives(prog.Fset, pkg.Files)...)
+	}
+	sort.Slice(directives, func(i, j int) bool {
+		if directives[i].File != directives[j].File {
+			return directives[i].File < directives[j].File
+		}
+		return directives[i].Line < directives[j].Line
+	})
+
+	if *listSup {
+		for _, d := range directives {
+			reason := d.Reason
+			if reason == "" {
+				reason = "(no justification)"
+			}
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n",
+				relPath(dir, d.File), d.Line, strings.Join(d.Analyzers, ","), reason)
+		}
+		fmt.Fprintf(stdout, "spectralint: %d suppression directive(s) in %d package(s)\n",
+			len(directives), len(prog.Roots))
+		return 0
+	}
+
+	rep := report{Packages: len(prog.Roots), Directives: len(directives)}
 	suite := lint.Suite()
+	// One fact store for the run: dependency order guarantees a package's
+	// facts are exported before any importer is analyzed.
+	facts := analysis.NewFactStore()
 	for _, pkg := range prog.Roots {
 		sup := analysis.CollectSuppressions(prog.Fset, pkg.Files)
 		for _, a := range suite {
@@ -83,6 +135,7 @@ func Main(dir string, args []string, stdout, stderr io.Writer) int {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     facts,
 			}
 			if err := a.Run(pass); err != nil {
 				fmt.Fprintf(stderr, "spectralint: %s on %s: %v\n", a.Name, pkg.ImportPath, err)
@@ -127,10 +180,42 @@ func Main(dir string, args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
-	if len(rep.Findings) > 0 {
+	overBudget := false
+	if *budgetPath != "" {
+		allowed, err := readBudget(*budgetPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "spectralint: %v\n", err)
+			return 2
+		}
+		switch {
+		case len(directives) > allowed:
+			fmt.Fprintf(stderr,
+				"spectralint: suppression budget exceeded: %d //lint:allow directive(s), budget allows %d; remove a suppression or raise the budget in %s in a reviewed commit\n",
+				len(directives), allowed, *budgetPath)
+			overBudget = true
+		case len(directives) < allowed:
+			fmt.Fprintf(stdout,
+				"spectralint: suppression debt is %d, below the budget of %d; consider lowering %s to lock in the improvement\n",
+				len(directives), allowed, *budgetPath)
+		}
+	}
+	if len(rep.Findings) > 0 || overBudget {
 		return 1
 	}
 	return 0
+}
+
+// readBudget parses the suppression-budget document.
+func readBudget(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var b budget
+	if err := json.Unmarshal(data, &b); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return b.Suppressions, nil
 }
 
 // relPath shortens filename relative to dir when possible, for stable,

@@ -74,6 +74,21 @@ func (o DeadlineOptions) budgetFor(predictedSeconds float64) time.Duration {
 	return b
 }
 
+// budgetContext is the sanctioned budget root: the single place on the
+// request path where a latency budget becomes a context. A non-positive
+// budget yields an unbounded context, for callers whose runtime has no
+// deadline machinery. Every other request-path function threads its
+// caller's ctx — minting a fresh context mid-path detaches everything
+// downstream from the operation budget, which the ctxflow analyzer
+// rejects; keeping the root in one named helper is what makes that rule
+// enforceable.
+func budgetContext(budget time.Duration) (context.Context, context.CancelFunc) {
+	if budget <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), budget)
+}
+
 // hedgeDelay picks how long to let the primary run before hedging: the
 // configured delay, else the observed p95 remote latency (a reply slower
 // than p95 is statistically already in the tail), else a quarter of the
@@ -185,7 +200,7 @@ func (x *OpContext) doRemoteDeadline(dr DeadlineRuntime, optype string, payload 
 	primary := x.decision.Alternative.Server
 	budget := c.deadline.budgetFor(x.decision.Predicted.Latency.Seconds())
 	c.hooks.budgetSeconds.Observe(budget.Seconds())
-	ctx, cancel := context.WithTimeout(context.Background(), budget)
+	ctx, cancel := budgetContext(budget)
 	defer cancel()
 
 	results := make(chan remoteResult, 2)

@@ -109,7 +109,12 @@ func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 	if dr, ok := x.client.runtime.(DeadlineRuntime); ok && !x.client.deadline.Disabled {
 		return x.doRemoteDeadline(dr, optype, payload)
 	}
-	out, rep, err := x.remoteCall(server, optype, payload)
+	// No deadline machinery on this runtime: the operation legitimately
+	// runs unbounded, but the context still threads through the call and
+	// the failover ladder from the one sanctioned root.
+	ctx, cancel := budgetContext(0)
+	defer cancel()
+	out, rep, err := x.remoteCallCtx(ctx, server, optype, payload)
 	x.account(rep)
 	if err == nil {
 		x.client.health.RecordSuccess(server)
@@ -119,7 +124,7 @@ func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("core: do_remote_op %q on %q: %w", optype, server, err)
 	}
 	x.client.noteRemoteFailure(server, err)
-	out, ranOn, degraded, err := x.failRemote(context.Background(), optype, payload, server, err, nil)
+	out, ranOn, degraded, err := x.failRemote(ctx, optype, payload, server, err, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -133,18 +138,11 @@ func (x *OpContext) DoRemoteOp(optype string, payload []byte) ([]byte, error) {
 	return out, nil
 }
 
-// remoteCall wraps Runtime.RemoteCall with span recording: an rpc span
-// covers the exchange, the trace context rides the request, and the
-// server's (already rebased) spans are grafted under the rpc span. With
-// tracing off it degenerates to a plain RemoteCall — no context, no spans,
-// no allocations.
-func (x *OpContext) remoteCall(server, optype string, payload []byte) ([]byte, callReport, error) {
-	return x.remoteCallCtx(context.Background(), server, optype, payload)
-}
-
-// remoteCallCtx is remoteCall bounded by a context: on a DeadlineRuntime
-// the remaining budget caps the exchange and rides the request; other
-// runtimes ignore the context.
+// remoteCallCtx wraps the runtime's remote call with span recording: an
+// rpc span covers the exchange, the trace context rides the request, and
+// the server's (already rebased) spans are grafted under the rpc span. On
+// a DeadlineRuntime the context's remaining budget caps the exchange and
+// rides the request; other runtimes ignore the context.
 func (x *OpContext) remoteCallCtx(ctx context.Context, server, optype string, payload []byte) ([]byte, callReport, error) {
 	sp := x.spans.Start(obs.SpanRPC, -1)
 	var tc *wire.TraceContext
@@ -159,6 +157,9 @@ func (x *OpContext) remoteCallCtx(ctx context.Context, server, optype string, pa
 	if dr, ok := x.client.runtime.(DeadlineRuntime); ok {
 		out, rep, err = dr.RemoteCallContext(ctx, server, x.op.spec.Service, optype, payload, tc)
 	} else {
+		// The base Runtime interface has no context parameter — SimRuntime
+		// runs on virtual time, where a wall-clock budget is meaningless.
+		//lint:allow ctxflow base Runtime has no context; only non-deadline runtimes reach this arm
 		out, rep, err = x.client.runtime.RemoteCall(server, x.op.spec.Service, optype, payload, tc)
 	}
 	if sp >= 0 {

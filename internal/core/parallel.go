@@ -37,8 +37,10 @@ type ParallelRuntime interface {
 	// ParallelRemote executes the calls concurrently and returns per-branch
 	// results (outputs or errors, with per-branch usage reports whose phases
 	// are zeroed) and the combined phase usage of the overlapped execution.
-	// One failed branch does not abort the others.
-	ParallelRemote(service string, calls []ParallelCall) ([]parallelResult, phaseUsage)
+	// One failed branch does not abort the others. The context carries the
+	// operation's latency budget: live branches are bounded and cancelled by
+	// it; the simulation runtime ignores it (virtual time).
+	ParallelRemote(ctx context.Context, service string, calls []ParallelCall) ([]parallelResult, phaseUsage)
 }
 
 var (
@@ -78,7 +80,17 @@ func (x *OpContext) DoParallelOps(calls []ParallelCall) ([][]byte, error) {
 		}
 		resolved[i] = c
 	}
-	results, combined := pr.ParallelRemote(x.op.spec.Service, resolved)
+	// The whole phase — parallel branches and any failover rungs for the
+	// branches that die — runs inside the operation's latency budget, from
+	// the same sanctioned root as the single-call path. Without deadline
+	// machinery the context is unbounded but still threads through.
+	var budget time.Duration
+	if _, ok := x.client.runtime.(DeadlineRuntime); ok && !x.client.deadline.Disabled {
+		budget = x.client.deadline.budgetFor(x.decision.Predicted.Latency.Seconds())
+	}
+	ctx, cancel := budgetContext(budget)
+	defer cancel()
+	results, combined := pr.ParallelRemote(ctx, x.op.spec.Service, resolved)
 	for _, res := range results {
 		x.account(res.rep)
 	}
@@ -97,7 +109,7 @@ func (x *OpContext) DoParallelOps(calls []ParallelCall) ([][]byte, error) {
 			return nil, fmt.Errorf("core: parallel ops: %w", res.err)
 		}
 		x.client.noteRemoteFailure(resolved[i].Server, res.err)
-		out, _, degraded, err := x.failRemote(context.Background(), resolved[i].OpType, resolved[i].Payload, resolved[i].Server, res.err, nil)
+		out, _, degraded, err := x.failRemote(ctx, resolved[i].OpType, resolved[i].Payload, resolved[i].Server, res.err, nil)
 		if err != nil {
 			return nil, fmt.Errorf("core: parallel ops: %w", err)
 		}
@@ -114,8 +126,9 @@ func (x *OpContext) DoParallelOps(calls []ParallelCall) ([][]byte, error) {
 // the shared clock then advances by the slowest branch. The client's radio
 // serializes the transfers (network power for their sum) and idles for the
 // remainder of the overlapped window. Failed branches contribute the usage
-// they incurred before failing.
-func (r *SimRuntime) ParallelRemote(service string, calls []ParallelCall) ([]parallelResult, phaseUsage) {
+// they incurred before failing. The context is ignored: simulated branches
+// consume virtual time, which a wall-clock budget cannot bound.
+func (r *SimRuntime) ParallelRemote(_ context.Context, service string, calls []ParallelCall) ([]parallelResult, phaseUsage) {
 	start := r.env.Clock().Now()
 	results := make([]parallelResult, len(calls))
 
@@ -217,7 +230,12 @@ func (r *SimRuntime) parallelBranch(start time.Time, service string, call Parall
 // transfers, so the network phase is the per-branch transfer seconds summed
 // (bytes over the measured link estimate, plus per-exchange latency) and
 // the CPU idles for the rest of the overlapped window.
-func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([]parallelResult, phaseUsage) {
+//
+// The context bounds every branch: checkout wait, dial, and exchange all
+// respect the operation budget, and an expired budget cancels the
+// branches mid-flight instead of letting a stalled server hold the phase
+// open unbounded.
+func (r *NetRuntime) ParallelRemote(ctx context.Context, service string, calls []ParallelCall) ([]parallelResult, phaseUsage) {
 	start := time.Now()
 	results := make([]parallelResult, len(calls))
 
@@ -232,7 +250,7 @@ func (r *NetRuntime) ParallelRemote(service string, calls []ParallelCall) ([]par
 				results[i].err = err
 				return
 			}
-			out, usage, err := pool.Call(service, call.OpType, call.Payload)
+			out, usage, _, err := pool.CallContext(ctx, service, call.OpType, call.Payload, nil)
 			if err != nil {
 				if !isRemoteAppError(err) && !spectrarpc.IsOverloaded(err) {
 					r.setReachable(call.Server, false)

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"spectra/internal/coda"
 	"spectra/internal/sim"
 	"spectra/internal/simnet"
 	"spectra/internal/solver"
@@ -220,5 +221,102 @@ func TestParallelLiveRuntime(t *testing.T) {
 	}
 	if rep.Usage.RemoteMegacycles != 60 {
 		t.Fatalf("remote megacycles = %v, want 60", rep.Usage.RemoteMegacycles)
+	}
+}
+
+// startSlowServer hosts the toy service on a server whose handler takes a
+// fixed slab of real time regardless of any budget — a stand-in for a
+// stalled-but-reachable server, bounded so a deadline regression fails an
+// elapsed-time assertion instead of hanging the test run.
+func startSlowServer(t *testing.T, name string, delay time.Duration) string {
+	t.Helper()
+	machine := sim.NewMachine(sim.MachineConfig{Name: name, SpeedMHz: 1000, OnWallPower: true})
+	node := NewNode(machine, coda.NewClient(name, coda.NewFileServer(), 0), nil)
+	srv := NewServer(name, node, sim.RealClock{})
+	srv.Register("toy", func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+		time.Sleep(delay)
+		return []byte("late"), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+// TestParallelFailoverRespectsBudget is the regression test for the
+// deadline escape ctxflow flagged in DoParallelOps: the parallel branches
+// and the failover ladder of a failed branch both used context.Background,
+// so a branch landing on a stalled server waited out the stall instead of
+// the operation's budget. Here the only server stalls for 2s while the
+// budget is 200ms: the branch must be cancelled at the budget, the ladder
+// (with no surviving server) must shed to the local fallback, and the
+// whole operation must complete degraded well under the stall.
+func TestParallelFailoverRespectsBudget(t *testing.T) {
+	const stall = 2 * time.Second
+	slowAddr := startSlowServer(t, "slow", stall)
+
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    1000,
+		Power:       sim.PowerModel{IdleW: 2, BusyW: 10, NetW: 3},
+		OnWallPower: true,
+		Battery:     sim.NewBattery(100_000),
+	})
+	setup, err := NewLiveSetup(LiveOptions{
+		Host:    host,
+		Servers: map[string]string{"slow": slowAddr},
+		Deadline: DeadlineOptions{
+			Floor:   200 * time.Millisecond,
+			Ceiling: 200 * time.Millisecond,
+			NoHedge: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { setup.Runtime.Close() })
+	setup.Host.RegisterService("toy", liveWork)
+
+	op, err := setup.Client.RegisterFidelity(OperationSpec{
+		Name:    "toy.parbudget",
+		Service: "toy",
+		Plans:   []PlanSpec{{Name: "local"}, {Name: "remote", UsesServer: true}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Client.PollServers()
+
+	octx, err := setup.Client.BeginForced(op, solver.Alternative{Server: "slow", Plan: "remote"}, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	outs, err := octx.DoParallelOps([]ParallelCall{
+		{Server: "slow", OpType: "run", Payload: []byte("x")},
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("budget-bounded parallel op failed instead of falling back: %v", err)
+	}
+	if len(outs) != 1 || string(outs[0]) != "done" {
+		t.Fatalf("fallback outputs = %q, want the local result", outs)
+	}
+	// The branch must end at the 200ms budget (plus local execution and
+	// scheduling slack), never at the server's 2s stall.
+	if elapsed >= stall {
+		t.Fatalf("parallel op outwaited its 200ms budget: %v", elapsed)
+	}
+	if elapsed >= 1500*time.Millisecond {
+		t.Fatalf("parallel failover took %v; the budget must bound the branch and the ladder", elapsed)
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatal("local fallback must mark the report degraded")
 	}
 }

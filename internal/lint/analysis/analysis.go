@@ -4,10 +4,12 @@
 // this minimal core instead of depending on x/tools so the lint suite
 // builds with nothing beyond the standard library.
 //
-// The model is deliberately a subset: no facts, no requires-graph, no
-// SSA. Analyzers that need cross-package state (metricname's registry of
-// known names) rely on the driver running packages in dependency order and
-// keep state inside the analyzer closure.
+// The model is deliberately a subset: no requires-graph, no SSA. Facts —
+// data an analyzer exports about a package or object for later passes over
+// dependent packages to import — are supported through FactStore, riding
+// the driver's deps-before-dependents ordering; see facts.go. Analyzers
+// predating facts (metricname's registry of known names) keep cross-package
+// state inside the analyzer closure instead, which works identically.
 package analysis
 
 import (
@@ -43,6 +45,11 @@ type Pass struct {
 	Pkg *types.Package
 	// TypesInfo holds use/def/selection/type resolution for Files.
 	TypesInfo *types.Info
+	// Facts is the run-wide fact store shared by every pass, enabling
+	// cross-package analyses: the driver's deps-before-dependents order
+	// guarantees a package's facts are exported before any importer is
+	// analyzed. Nil disables facts (analyzers degrade to package scope).
+	Facts *FactStore
 
 	diags []Diagnostic
 }
@@ -82,6 +89,14 @@ func (p *Pass) FuncFor(e ast.Expr) *types.Func {
 	case *ast.CallExpr:
 		return p.FuncFor(e.Fun)
 	case *ast.ParenExpr:
+		return p.FuncFor(e.X)
+	case *ast.IndexExpr:
+		// Explicit generic instantiation with one type argument,
+		// f[T](...). A value index (m[k]) resolves X to a non-func
+		// object and falls out nil below.
+		return p.FuncFor(e.X)
+	case *ast.IndexListExpr:
+		// Explicit generic instantiation with several type arguments.
 		return p.FuncFor(e.X)
 	case *ast.SelectorExpr:
 		if sel, ok := p.TypesInfo.Selections[e]; ok {

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/types"
+	"reflect"
+	"sync"
+)
+
+// FactStore carries analyzer facts across packages within one driver run.
+// The loader checks dependencies before their dependents, so an analyzer
+// visiting package P may export facts about P (or P's objects) that every
+// later pass over an importer of P can read back. This is the in-process
+// analogue of golang.org/x/tools/go/analysis facts: because the whole run
+// shares one type-checker and one process, facts need no serialization —
+// they are keyed by (analyzer, fact type, subject) in memory.
+//
+// Facts must be pointers to named types; the fact's dynamic type is part
+// of the key, so one analyzer can export several fact kinds about the same
+// subject. A nil store is valid and empty: exports are dropped, imports
+// report absence — analyzers degrade to per-package scope.
+type FactStore struct {
+	mu  sync.Mutex
+	pkg map[factKey]any
+	obj map[objFactKey]any
+}
+
+// factKey identifies one package-level fact.
+type factKey struct {
+	analyzer string
+	path     string
+	ftype    reflect.Type
+}
+
+// objFactKey identifies one object-level fact. Object identity is the
+// *types.Object itself: the loader's process-wide package cache keeps one
+// canonical object per declaration across a run.
+type objFactKey struct {
+	analyzer string
+	obj      types.Object
+	ftype    reflect.Type
+}
+
+// NewFactStore returns an empty store for one driver run.
+func NewFactStore() *FactStore {
+	return &FactStore{
+		pkg: make(map[factKey]any),
+		obj: make(map[objFactKey]any),
+	}
+}
+
+// factType validates that fact is a non-nil pointer and returns its type.
+func factType(fact any) (reflect.Type, bool) {
+	t := reflect.TypeOf(fact)
+	if t == nil || t.Kind() != reflect.Pointer || reflect.ValueOf(fact).IsNil() {
+		return nil, false
+	}
+	return t, true
+}
+
+// copyFact copies the stored fact's pointee into ptr (same concrete type
+// guaranteed by the type-keyed lookup).
+func copyFact(stored, ptr any) {
+	reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(stored).Elem())
+}
+
+// ExportPackageFact records a fact about the pass's own package. The fact
+// must be a non-nil pointer; re-exporting the same fact type overwrites.
+func (p *Pass) ExportPackageFact(fact any) {
+	if p.Facts == nil || p.Pkg == nil {
+		return
+	}
+	t, ok := factType(fact)
+	if !ok {
+		return
+	}
+	p.Facts.mu.Lock()
+	defer p.Facts.mu.Unlock()
+	p.Facts.pkg[factKey{p.Analyzer.Name, p.Pkg.Path(), t}] = fact
+}
+
+// ImportPackageFact copies the fact of ptr's type previously exported by
+// this analyzer about the package at path into ptr, reporting whether one
+// was found.
+func (p *Pass) ImportPackageFact(path string, ptr any) bool {
+	if p.Facts == nil {
+		return false
+	}
+	t, ok := factType(ptr)
+	if !ok {
+		return false
+	}
+	p.Facts.mu.Lock()
+	defer p.Facts.mu.Unlock()
+	stored, found := p.Facts.pkg[factKey{p.Analyzer.Name, path, t}]
+	if !found {
+		return false
+	}
+	copyFact(stored, ptr)
+	return true
+}
+
+// ExportObjectFact records a fact about obj — typically a *types.Func or
+// *types.Var declared in the pass's package — readable by later passes of
+// the same analyzer over any package that can reference obj.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	if p.Facts == nil || obj == nil {
+		return
+	}
+	t, ok := factType(fact)
+	if !ok {
+		return
+	}
+	p.Facts.mu.Lock()
+	defer p.Facts.mu.Unlock()
+	p.Facts.obj[objFactKey{p.Analyzer.Name, obj, t}] = fact
+}
+
+// ImportObjectFact copies the fact of ptr's type about obj into ptr,
+// reporting whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr any) bool {
+	if p.Facts == nil || obj == nil {
+		return false
+	}
+	t, ok := factType(ptr)
+	if !ok {
+		return false
+	}
+	p.Facts.mu.Lock()
+	defer p.Facts.mu.Unlock()
+	stored, found := p.Facts.obj[objFactKey{p.Analyzer.Name, obj, t}]
+	if !found {
+		return false
+	}
+	copyFact(stored, ptr)
+	return true
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// fakePass builds a minimal Pass over a synthetic package for fact tests.
+func fakePass(name, path string, store *FactStore) *Pass {
+	return &Pass{
+		Analyzer: &Analyzer{Name: name},
+		Pkg:      types.NewPackage(path, "p"),
+		Facts:    store,
+	}
+}
+
+type countFact struct{ N int }
+
+type nameFact struct{ Names []string }
+
+func TestPackageFactRoundTrip(t *testing.T) {
+	store := NewFactStore()
+	exporter := fakePass("a", "example.com/dep", store)
+	exporter.ExportPackageFact(&countFact{N: 7})
+	exporter.ExportPackageFact(&nameFact{Names: []string{"x", "y"}})
+
+	importer := fakePass("a", "example.com/top", store)
+	var cf countFact
+	if !importer.ImportPackageFact("example.com/dep", &cf) || cf.N != 7 {
+		t.Fatalf("countFact round trip: got %+v, want N=7", cf)
+	}
+	var nf nameFact
+	if !importer.ImportPackageFact("example.com/dep", &nf) || len(nf.Names) != 2 {
+		t.Fatalf("nameFact round trip: got %+v", nf)
+	}
+	if importer.ImportPackageFact("example.com/absent", &cf) {
+		t.Fatal("imported a fact from a package that exported none")
+	}
+}
+
+func TestPackageFactKeyedByAnalyzer(t *testing.T) {
+	store := NewFactStore()
+	fakePass("a", "example.com/dep", store).ExportPackageFact(&countFact{N: 1})
+
+	var cf countFact
+	if fakePass("b", "example.com/top", store).ImportPackageFact("example.com/dep", &cf) {
+		t.Fatal("analyzer b read analyzer a's fact")
+	}
+}
+
+func TestObjectFactRoundTrip(t *testing.T) {
+	store := NewFactStore()
+	pkg := types.NewPackage("example.com/dep", "dep")
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	fn := types.NewFunc(token.NoPos, pkg, "F", sig)
+	other := types.NewFunc(token.NoPos, pkg, "G", sig)
+
+	p := fakePass("a", "example.com/dep", store)
+	p.ExportObjectFact(fn, &countFact{N: 3})
+
+	var cf countFact
+	if !p.ImportObjectFact(fn, &cf) || cf.N != 3 {
+		t.Fatalf("object fact round trip: got %+v, want N=3", cf)
+	}
+	if p.ImportObjectFact(other, &cf) {
+		t.Fatal("imported a fact about an object that has none")
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	p := fakePass("a", "example.com/p", nil)
+	p.ExportPackageFact(&countFact{N: 1}) // must not panic
+	var cf countFact
+	if p.ImportPackageFact("example.com/p", &cf) {
+		t.Fatal("nil store produced a fact")
+	}
+}
+
+func TestNonPointerFactsRejected(t *testing.T) {
+	store := NewFactStore()
+	p := fakePass("a", "example.com/p", store)
+	p.ExportPackageFact(countFact{N: 1}) // value, not pointer: dropped
+	var cf countFact
+	if p.ImportPackageFact("example.com/p", &cf) {
+		t.Fatal("value-typed export should have been dropped")
+	}
+	var nilPtr *countFact
+	p.ExportPackageFact(nilPtr) // nil pointer: dropped, no panic
+}

@@ -71,3 +71,50 @@ func (s *Suppressions) Allows(analyzer string, pos token.Position) bool {
 	}
 	return false
 }
+
+// Directive is one //lint:allow occurrence in source form — the unit of
+// suppression debt the driver inventories (-suppressions) and ratchets
+// against a checked-in budget.
+type Directive struct {
+	// File and Line locate the directive comment.
+	File string
+	Line int
+	// Analyzers are the names the directive silences.
+	Analyzers []string
+	// Reason is the justification prose after the analyzer list.
+	Reason string
+}
+
+// ListDirectives returns every //lint:allow directive in files, in
+// source order.
+func ListDirectives(fset *token.FileSet, files []*ast.File) []Directive {
+	var out []Directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(strings.TrimSpace(text))
+				if len(fields) == 0 {
+					continue
+				}
+				var names []string
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						names = append(names, name)
+					}
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, Directive{
+					File:      pos.Filename,
+					Line:      pos.Line,
+					Analyzers: names,
+					Reason:    strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return out
+}

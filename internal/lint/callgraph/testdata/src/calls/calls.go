@@ -1,0 +1,47 @@
+// Package calls is the call-graph golden package: a small web of direct
+// calls, method calls, a recursion cycle, a function literal, and a go
+// spawn, exercising edge collection and closure propagation.
+package calls
+
+import "strings"
+
+// Sink is the seed target for closure tests.
+func Sink() {}
+
+// Direct calls Sink directly.
+func Direct() { Sink() }
+
+// Indirect reaches Sink through Direct.
+func Indirect() { Direct() }
+
+// Clean calls only the standard library.
+func Clean() string { return strings.ToUpper("x") }
+
+// T carries a method chain.
+type T struct{}
+
+// Hit reaches Sink through Direct.
+func (T) Hit() { Direct() }
+
+// Miss calls only Clean.
+func (t T) Miss() { _ = Clean() }
+
+// InLiteral calls Sink only from inside a nested function literal.
+func InLiteral() func() {
+	return func() { Sink() }
+}
+
+// Spawner spawns Loop on a goroutine and calls nothing else.
+func Spawner() { go Loop() }
+
+// Loop recurses forever (a cycle in the graph; closure must converge).
+func Loop() { Loop() }
+
+// MutualA and MutualB form a two-node cycle that reaches Sink.
+func MutualA() { MutualB() }
+
+// MutualB completes the cycle and calls Sink.
+func MutualB() {
+	MutualA()
+	Sink()
+}

@@ -1,0 +1,324 @@
+// Package goroleak flags goroutine spawn sites with no provable
+// termination path — the leak class behind runaway mux readers/writers and
+// telemetry samplers: a `go` statement whose function can only exit its
+// loop via a path that does not exist keeps its stack, its connection, and
+// its captured references alive for the life of the process.
+//
+// The proof obligation is negative and syntactic: a spawned function is
+// reported when it provably lacks an escape, not merely when termination
+// is unproven (which would flag half the language). Concretely a spawn is
+// reported when the spawned function — a literal at the site, or a named
+// function resolved through the call graph and, across packages, through
+// object facts — contains:
+//
+//   - an infinite loop (`for {}` / constant-true condition) whose body has
+//     no escape: no return, no break that targets the loop (an unlabeled
+//     break inside a nested select/switch/loop targets that construct, a
+//     classic near-miss this analyzer gets right), no goto, and no fatal
+//     call (panic, os.Exit, runtime.Goexit, log.Fatal*);
+//   - a `for range` over time.Tick, whose channel never closes; or
+//   - an empty select{}, which blocks forever.
+//
+// A named function "inherits" non-termination from a statement-level call
+// to another never-terminating function at the top level of its body (the
+// `func run() { s.loop() }` wrapper shape). Loops with a termination path
+// that merely *may* run long (a reader loop that exits on connection
+// close) are accepted — the analyzer demands an escape, not a bound.
+// Intentional process-lifetime goroutines carry //lint:allow goroleak with
+// a justification.
+package goroleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spectra/internal/lint/analysis"
+	"spectra/internal/lint/callgraph"
+)
+
+// neverFact marks a declared function with no termination path, exported
+// so cross-package spawns of it are reported at the spawn site.
+type neverFact struct {
+	// Reason describes the non-terminating construct.
+	Reason string
+}
+
+// fatalCalls terminate the goroutine (or process) and therefore count as
+// loop escapes.
+var fatalCalls = map[string]bool{
+	"os.Exit":               true,
+	"runtime.Goexit":        true,
+	"log.Fatal":             true,
+	"log.Fatalf":            true,
+	"log.Fatalln":           true,
+	"(*log.Logger).Fatal":   true,
+	"(*log.Logger).Fatalf":  true,
+	"(*log.Logger).Fatalln": true,
+}
+
+// New returns the analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name: "goroleak",
+		Doc: "every goroutine spawn site needs a provable termination path: " +
+			"infinite loops must carry a reachable return/break (typically a " +
+			"ctx.Done or close-channel select case), time.Tick ranges and " +
+			"empty selects never terminate; annotate intended " +
+			"process-lifetime goroutines with //lint:allow goroleak",
+		Run: func(pass *analysis.Pass) error {
+			g := callgraph.Build(pass)
+			never := computeNeverReturns(pass, g)
+			for fn, reason := range never {
+				pass.ExportObjectFact(fn, &neverFact{Reason: reason})
+			}
+
+			// externNever answers for callees outside this package.
+			externNever := func(f *types.Func) (string, bool) {
+				var fact neverFact
+				if pass.ImportObjectFact(f, &fact) {
+					return fact.Reason, true
+				}
+				return "", false
+			}
+
+			for _, file := range pass.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					gs, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					checkSpawn(pass, g, gs, never, externNever)
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+// checkSpawn validates one go statement's spawned function.
+func checkSpawn(pass *analysis.Pass, g *callgraph.Graph, gs *ast.GoStmt, never map[*types.Func]string, extern func(*types.Func) (string, bool)) {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		// Report non-terminating constructs at their own positions, and
+		// statement-level calls to never-returning functions at the spawn.
+		findForever(pass, lit.Body, func(pos token.Pos, what string) {
+			pass.Reportf(pos, "goroutine %s; give the loop a termination path (ctx.Done/close-channel select case, bounded iteration) or annotate //lint:allow goroleak", what)
+		})
+		for _, stmt := range lit.Body.List {
+			if reason, callee, ok := stmtLevelNeverCall(pass, g, stmt, never, extern); ok {
+				pass.Reportf(gs.Pos(), "go spawns a literal that calls %s, which has no termination path (%s)", callee.Name(), reason)
+			}
+		}
+		return
+	}
+	callee := pass.FuncFor(gs.Call.Fun)
+	if callee == nil {
+		return
+	}
+	if reason, ok := never[callee]; ok {
+		pass.Reportf(gs.Pos(), "go spawns %s, which has no termination path (%s); give it one or annotate //lint:allow goroleak", callee.Name(), reason)
+		return
+	}
+	if reason, ok := extern(callee); ok {
+		pass.Reportf(gs.Pos(), "go spawns %s, which has no termination path (%s); give it one or annotate //lint:allow goroleak", callee.FullName(), reason)
+	}
+}
+
+// computeNeverReturns finds declared functions with no termination path:
+// directly (a forever construct in the body) or through a top-level
+// statement call to another never-returning function, iterated to
+// fixpoint for wrapper chains.
+func computeNeverReturns(pass *analysis.Pass, g *callgraph.Graph) map[*types.Func]string {
+	never := make(map[*types.Func]string)
+	for _, n := range g.Nodes() {
+		findForever(pass, n.Decl.Body, func(pos token.Pos, what string) {
+			if _, seen := never[n.Func]; !seen {
+				never[n.Func] = what
+			}
+		})
+	}
+	extern := func(f *types.Func) (string, bool) {
+		var fact neverFact
+		if pass.ImportObjectFact(f, &fact) {
+			return fact.Reason, true
+		}
+		return "", false
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if _, seen := never[n.Func]; seen {
+				continue
+			}
+			for _, stmt := range n.Decl.Body.List {
+				if reason, callee, ok := stmtLevelNeverCall(pass, g, stmt, never, extern); ok {
+					never[n.Func] = "calls " + callee.Name() + ", which " + reason
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return never
+}
+
+// stmtLevelNeverCall recognizes a top-level `f()` statement whose callee
+// never returns.
+func stmtLevelNeverCall(pass *analysis.Pass, g *callgraph.Graph, stmt ast.Stmt, never map[*types.Func]string, extern func(*types.Func) (string, bool)) (string, *types.Func, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", nil, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", nil, false
+	}
+	callee := pass.FuncFor(call.Fun)
+	if callee == nil {
+		return "", nil, false
+	}
+	if reason, ok := never[callee]; ok {
+		return reason, callee, true
+	}
+	if reason, ok := extern(callee); ok {
+		return reason, callee, true
+	}
+	return "", nil, false
+}
+
+// findForever walks a function body (skipping nested literals) and emits
+// each provably non-terminating construct.
+func findForever(pass *analysis.Pass, body *ast.BlockStmt, emit func(pos token.Pos, what string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if isInfiniteCond(pass, n.Cond) && !hasEscape(pass, n) {
+				emit(n.Pos(), "has an infinite loop with no termination path (no return, loop break, goto, or fatal exit)")
+			}
+		case *ast.RangeStmt:
+			if isTickCall(pass, n.X) && !hasEscape(pass, n) {
+				emit(n.Pos(), "ranges over time.Tick, whose channel never closes")
+			}
+		case *ast.SelectStmt:
+			if len(n.Body.List) == 0 {
+				emit(n.Pos(), "blocks forever on an empty select")
+			}
+		}
+		return true
+	})
+}
+
+// isInfiniteCond reports a missing or constant-true loop condition.
+func isInfiniteCond(pass *analysis.Pass, cond ast.Expr) bool {
+	if cond == nil {
+		return true
+	}
+	tv, ok := pass.TypesInfo.Types[cond]
+	return ok && tv.Value != nil && tv.Value.String() == "true"
+}
+
+// isTickCall recognizes a direct `range time.Tick(...)` expression.
+func isTickCall(pass *analysis.Pass, x ast.Expr) bool {
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return analysis.FullName(pass.FuncFor(call.Fun)) == "time.Tick"
+}
+
+// hasEscape reports whether a loop's body contains an escape from the
+// loop: a return, a break targeting this loop, a goto, or a fatal call.
+// Break targeting is depth-aware — an unlabeled break inside a nested
+// select/switch/loop targets that construct, not this loop.
+func hasEscape(pass *analysis.Pass, loop ast.Stmt) bool {
+	var body *ast.BlockStmt
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	default:
+		return true
+	}
+	// label is the loop's label when the loop is the direct statement of a
+	// labeled statement; handled by the caller passing the ForStmt only, so
+	// labeled breaks are matched conservatively: any labeled break counts
+	// as an escape (it must target an enclosing construct, and escaping to
+	// an *outer* loop still leaves this loop).
+	return blockEscapes(pass, body, 0)
+}
+
+// blockEscapes walks statements tracking how many break-swallowing
+// constructs (for/range/switch/select) are between the statement and the
+// loop under test.
+func blockEscapes(pass *analysis.Pass, node ast.Node, depth int) bool {
+	escaped := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			escaped = true
+			return false
+		case *ast.BranchStmt:
+			if n.Tok == token.GOTO || (n.Tok == token.BREAK && (n.Label != nil || depth == 0)) {
+				escaped = true
+				return false
+			}
+		case *ast.CallExpr:
+			name := analysis.FullName(pass.FuncFor(n.Fun))
+			if fatalCalls[name] || isPanic(pass, n) {
+				escaped = true
+				return false
+			}
+		case *ast.ForStmt:
+			if blockEscapes(pass, n.Body, depth+1) ||
+				(n.Init != nil && blockEscapes(pass, n.Init, depth)) ||
+				(n.Cond != nil && blockEscapes(pass, n.Cond, depth)) {
+				escaped = true
+			}
+			return false
+		case *ast.RangeStmt:
+			if blockEscapes(pass, n.Body, depth+1) || blockEscapes(pass, n.X, depth) {
+				escaped = true
+			}
+			return false
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if blockEscapes(pass, bodyOf(n), depth+1) {
+				escaped = true
+			}
+			return false
+		}
+		return true
+	})
+	return escaped
+}
+
+// bodyOf extracts the block of a switch/select statement.
+func bodyOf(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.SwitchStmt:
+		return n.Body
+	case *ast.TypeSwitchStmt:
+		return n.Body
+	case *ast.SelectStmt:
+		return n.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+// isPanic recognizes the builtin panic.
+func isPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,19 @@
+package goroleak_test
+
+import (
+	"testing"
+
+	"spectra/internal/lint/goroleak"
+	"spectra/internal/lint/linttest"
+)
+
+// TestGolden covers the in-package spawn shapes.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, goroleak.New(), "./testdata/src/spawn")
+}
+
+// TestCrossPackage covers fact-borne non-termination: daemon is analyzed
+// first (dependency order), crosspkg's spawn sites read its facts.
+func TestCrossPackage(t *testing.T) {
+	linttest.Run(t, goroleak.New(), "./testdata/src/daemon", "./testdata/src/crosspkg")
+}

@@ -1,0 +1,15 @@
+// Package crosspkg spawns another package's functions; findings here rely
+// on object facts exported when daemon was analyzed.
+package crosspkg
+
+import "spectra/internal/lint/goroleak/testdata/src/daemon"
+
+// SpawnServe leaks: daemon.Serve has no termination path.
+func SpawnServe() {
+	go daemon.Serve() // want `go spawns .*daemon\.Serve, which has no termination path`
+}
+
+// SpawnStoppable is fine.
+func SpawnStoppable(done chan struct{}) {
+	go daemon.Stoppable(done)
+}

@@ -1,0 +1,24 @@
+// Package daemon exports a never-returning function; the goroleak object
+// fact must carry its non-termination across the package boundary.
+package daemon
+
+// Serve loops forever with no escape.
+func Serve() {
+	for {
+		tick()
+	}
+}
+
+// Stoppable has a termination path and must export no fact.
+func Stoppable(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			tick()
+		}
+	}
+}
+
+func tick() {}

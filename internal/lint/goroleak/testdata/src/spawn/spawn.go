@@ -1,0 +1,203 @@
+// Package spawn is the goroleak golden package: goroutine shapes with and
+// without termination paths.
+package spawn
+
+import (
+	"context"
+	"log"
+	"os"
+	"time"
+)
+
+// LeakPlain spawns a literal whose loop has no escape of any kind.
+func LeakPlain() {
+	go func() {
+		for { // want `infinite loop with no termination path`
+			work()
+		}
+	}()
+}
+
+// LeakConstTrue spells the same loop with a constant condition.
+func LeakConstTrue() {
+	go func() {
+		for true { // want `infinite loop with no termination path`
+			work()
+		}
+	}()
+}
+
+// LeakSelectBreak is the classic near-miss: the unlabeled break targets
+// the select, not the loop, so the loop still has no escape.
+func LeakSelectBreak(ch chan int) {
+	go func() {
+		for { // want `infinite loop with no termination path`
+			select {
+			case <-ch:
+				break
+			}
+		}
+	}()
+}
+
+// LeakTick ranges over a channel that never closes.
+func LeakTick() {
+	go func() {
+		for range time.Tick(time.Second) { // want `ranges over time.Tick`
+			work()
+		}
+	}()
+}
+
+// LeakEmptySelect parks the goroutine forever.
+func LeakEmptySelect() {
+	go func() {
+		select {} // want `blocks forever on an empty select`
+	}()
+}
+
+// OKDoneSelect exits through the done-channel case.
+func OKDoneSelect(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+				work()
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// OKCtx exits on context cancellation.
+func OKCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+				work()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// OKErrReturn is the reader-loop shape: the escape is an error return,
+// driven by a connection close elsewhere.
+func OKErrReturn(read func() error) {
+	go func() {
+		for {
+			if err := read(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// OKLabeledBreak escapes through a labeled break from inside the select.
+func OKLabeledBreak(done chan struct{}) {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-done:
+				break drain
+			}
+		}
+	}()
+}
+
+// OKBounded terminates by iteration count.
+func OKBounded() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			work()
+		}
+	}()
+}
+
+// OKRangeChannel terminates when the channel closes; termination is not
+// provably absent, so no finding.
+func OKRangeChannel(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// OKFatal escapes by killing the process.
+func OKFatal(check func() error) {
+	go func() {
+		for {
+			if err := check(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+}
+
+// OKPanicEscape escapes by panicking.
+func OKPanicEscape(check func() bool) {
+	go func() {
+		for {
+			if !check() {
+				panic("broken invariant")
+			}
+		}
+	}()
+}
+
+// OKExit escapes through os.Exit.
+func OKExit(check func() bool) {
+	go func() {
+		for {
+			if !check() {
+				os.Exit(1)
+			}
+		}
+	}()
+}
+
+// loopForever is a named never-returning function.
+func loopForever() {
+	for { // reported only at spawn sites, not here
+		work()
+	}
+}
+
+// runWrapper inherits non-termination from its top-level call.
+func runWrapper() { loopForever() }
+
+// LeakNamed spawns the never-returning function directly.
+func LeakNamed() {
+	go loopForever() // want `go spawns loopForever, which has no termination path`
+}
+
+// LeakWrapped spawns it through the wrapper chain.
+func LeakWrapped() {
+	go runWrapper() // want `go spawns runWrapper, which has no termination path`
+}
+
+// LeakLiteralCallsNamed spawns a literal whose top-level statement call
+// never returns.
+func LeakLiteralCallsNamed() {
+	go func() { // want `calls loopForever, which has no termination path`
+		loopForever()
+	}()
+}
+
+// Allowed is an intended process-lifetime goroutine, suppressed with a
+// justification.
+func Allowed() {
+	go func() {
+		//lint:allow goroleak intended process-lifetime sampler
+		for {
+			work()
+		}
+	}()
+}
+
+func work() {}

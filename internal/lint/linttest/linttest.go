@@ -53,6 +53,10 @@ func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
 	got := make(map[lineKey][]string)
 	want := make(map[lineKey][]string)
 
+	// One fact store per Run, exactly as the driver keeps one per
+	// invocation: dependency-ordered packages export facts their
+	// dependents import.
+	facts := analysis.NewFactStore()
 	for _, pkg := range prog.Roots {
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -60,6 +64,7 @@ func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			t.Fatalf("%s on %s: %v", a.Name, pkg.ImportPath, err)

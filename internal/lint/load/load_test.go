@@ -1,8 +1,13 @@
 package load
 
 import (
+	"go/ast"
+	"go/types"
 	"path/filepath"
 	"testing"
+
+	"spectra/internal/lint/analysis"
+	"spectra/internal/lint/callgraph"
 )
 
 // moduleRoot is the repo root relative to this package's directory, where
@@ -56,5 +61,186 @@ func TestLoadWildcard(t *testing.T) {
 		if p.Info == nil {
 			t.Errorf("%s: loaded as root without full type info", p.ImportPath)
 		}
+	}
+}
+
+const (
+	genvalPath = "spectra/internal/lint/load/testdata/src/genval"
+	genusePath = "spectra/internal/lint/load/testdata/src/genuse"
+)
+
+// loadGenerics loads the two-package generics golden module (genuse
+// imports and instantiates genval's type-parameterized declarations) and
+// returns the packages.
+func loadGenerics(t *testing.T) (prog *Program, genval, genuse *Package) {
+	t.Helper()
+	prog, err := Load(moduleRoot(t),
+		"./internal/lint/load/testdata/src/genval",
+		"./internal/lint/load/testdata/src/genuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Roots) != 2 {
+		t.Fatalf("roots = %d, want 2", len(prog.Roots))
+	}
+	return prog, prog.Roots[0], prog.Roots[1]
+}
+
+func TestLoadGenerics(t *testing.T) {
+	_, genval, genuse := loadGenerics(t)
+
+	// Dependency order: the imported package comes before its importer.
+	if genval.ImportPath != genvalPath || genuse.ImportPath != genusePath {
+		t.Fatalf("root order = [%s %s], want genval before genuse",
+			genval.ImportPath, genuse.ImportPath)
+	}
+	if genval.Info == nil || genuse.Info == nil {
+		t.Fatal("generic roots loaded without full type info")
+	}
+
+	// The generic declarations type-check with their type parameters
+	// intact.
+	sum, ok := genval.Types.Scope().Lookup("Sum").(*types.Func)
+	if !ok {
+		t.Fatal("genval.Sum not in package scope")
+	}
+	if sum.Type().(*types.Signature).TypeParams().Len() != 1 {
+		t.Fatalf("genval.Sum type params = %v, want 1", sum.Type())
+	}
+
+	// Cross-package instantiation resolves back to the one canonical
+	// generic object: genuse's use of Sum IS genval's declaration.
+	var sumUse *types.Func
+	for _, f := range genuse.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "Sum" {
+				if fn, ok := genuse.Info.Uses[id].(*types.Func); ok {
+					sumUse = fn
+				}
+			}
+			return true
+		})
+	}
+	if sumUse == nil {
+		t.Fatal("genuse: use of genval.Sum did not resolve to a *types.Func")
+	}
+	if sumUse != sum {
+		t.Fatalf("genuse resolves Sum to %p, genval declares %p — object identity lost", sumUse, sum)
+	}
+}
+
+// TestCallgraphGenerics checks the call graph over the instantiating
+// package: inferred calls (Sum), explicitly instantiated calls
+// (New[string, int]), and methods on an instantiated generic type
+// (Put/Get) must all produce edges to genval's declarations.
+func TestCallgraphGenerics(t *testing.T) {
+	prog, _, genuse := loadGenerics(t)
+
+	a := &analysis.Analyzer{Name: "test", Run: func(*analysis.Pass) error { return nil }}
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      prog.Fset,
+		Files:     genuse.Files,
+		Pkg:       genuse.Types,
+		TypesInfo: genuse.Info,
+	}
+	g := callgraph.Build(pass)
+
+	useAll, _ := genuse.Types.Scope().Lookup("UseAll").(*types.Func)
+	if useAll == nil {
+		t.Fatal("genuse.UseAll not in package scope")
+	}
+	node := g.Node(useAll)
+	if node == nil {
+		t.Fatal("no call-graph node for genuse.UseAll")
+	}
+	callees := map[string]bool{}
+	for _, e := range node.Calls {
+		if e.Callee.Pkg() != nil && e.Callee.Pkg().Path() == genvalPath {
+			callees[e.Callee.Name()] = true
+		}
+	}
+	for _, want := range []string{"New", "Put", "Get", "Sum"} {
+		if !callees[want] {
+			t.Errorf("UseAll has no edge to genval.%s (got %v)", want, callees)
+		}
+	}
+}
+
+// genericsPkgFact and genericsObjFact are the named pointer payloads for
+// the facts round trip below.
+type genericsPkgFact struct{ Exports int }
+
+type genericsObjFact struct{ Note string }
+
+// TestFactsRoundTripAcrossPackages drives the facts lifecycle exactly as
+// the driver does: one FactStore for the run, a pass over the dependency
+// exporting a package fact and an object fact, then a pass over the
+// importer reading both back — including the object fact through the
+// importer's own resolution of the object, which only works because the
+// loader keeps one canonical *types.Func per declaration.
+func TestFactsRoundTripAcrossPackages(t *testing.T) {
+	prog, genval, genuse := loadGenerics(t)
+
+	a := &analysis.Analyzer{Name: "factcheck", Run: func(*analysis.Pass) error { return nil }}
+	facts := analysis.NewFactStore()
+	mkPass := func(p *Package) *analysis.Pass {
+		return &analysis.Pass{
+			Analyzer:  a,
+			Fset:      prog.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			TypesInfo: p.Info,
+			Facts:     facts,
+		}
+	}
+
+	// Pass 1: the dependency exports.
+	dep := mkPass(genval)
+	sum := genval.Types.Scope().Lookup("Sum")
+	dep.ExportPackageFact(&genericsPkgFact{Exports: 4})
+	dep.ExportObjectFact(sum, &genericsObjFact{Note: "pure"})
+
+	// Pass 2: the importer reads back.
+	use := mkPass(genuse)
+	var pf genericsPkgFact
+	if !use.ImportPackageFact(genvalPath, &pf) {
+		t.Fatal("package fact on genval not visible from genuse's pass")
+	}
+	if pf.Exports != 4 {
+		t.Fatalf("package fact = %+v, want Exports=4", pf)
+	}
+
+	// Resolve Sum the way an analyzer over genuse would: through its own
+	// Uses table, not genval's scope.
+	var sumUse types.Object
+	for _, f := range genuse.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == "Sum" {
+				if o := genuse.Info.Uses[id]; o != nil {
+					sumUse = o
+				}
+			}
+			return true
+		})
+	}
+	var of genericsObjFact
+	if !use.ImportObjectFact(sumUse, &of) {
+		t.Fatal("object fact on genval.Sum not visible through genuse's resolution of the object")
+	}
+	if of.Note != "pure" {
+		t.Fatalf("object fact = %+v, want Note=pure", of)
+	}
+
+	// A fact of an unexported type/subject combination stays absent.
+	if use.ImportObjectFact(genval.Types.Scope().Lookup("New"), &of) {
+		t.Fatal("object fact reported for genval.New, which exported none")
+	}
+
+	// Mutating the copied-out fact must not corrupt the store.
+	of.Note = "scribbled"
+	var again genericsObjFact
+	if !use.ImportObjectFact(sumUse, &again) || again.Note != "pure" {
+		t.Fatalf("fact store returned %+v after caller mutation, want Note=pure", again)
 	}
 }

@@ -1,0 +1,14 @@
+// Package genuse instantiates genval's generics across the package
+// boundary: the loader must present resolvable objects for instantiated
+// calls, and dependency order must put genval first.
+package genuse
+
+import "spectra/internal/lint/load/testdata/src/genval"
+
+// UseAll exercises generic instantiation through the import.
+func UseAll() int {
+	c := genval.New[string, int]()
+	c.Put("a", 1)
+	v, _ := c.Get("a")
+	return v + genval.Sum([]int{1, 2, 3})
+}

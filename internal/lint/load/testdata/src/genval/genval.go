@@ -1,0 +1,32 @@
+// Package genval is the loader's generics golden package: type
+// parameters on types, methods, and functions, which the type-checked
+// load path and the analyzers' traversal must handle.
+package genval
+
+// Cache is a generic container with a parameterized method set.
+type Cache[K comparable, V any] struct {
+	m map[K]V
+}
+
+// New builds an empty cache.
+func New[K comparable, V any]() *Cache[K, V] {
+	return &Cache[K, V]{m: map[K]V{}}
+}
+
+// Put stores a value.
+func (c *Cache[K, V]) Put(k K, v V) { c.m[k] = v }
+
+// Get fetches a value.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	v, ok := c.m[k]
+	return v, ok
+}
+
+// Sum folds a slice of any numeric-ish type.
+func Sum[T ~int | ~float64](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

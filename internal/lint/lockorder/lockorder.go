@@ -1,0 +1,441 @@
+// Package lockorder detects lock-ordering cycles across the whole
+// program — the ABBA deadlock class that lockhold (which only sees a
+// blocking call under one lock) cannot: goroutine 1 holds A and wants B
+// while goroutine 2 holds B and wants A, and both stall forever with no
+// blocking *operation* in sight, just two Lock calls in opposite orders.
+//
+// Locks are identified structurally, not per instance: a mutex field is
+// "pkg.Type.field", a package-level mutex is "pkg.var", and a promoted
+// (embedded) mutex is "pkg.Type". Function-local mutexes have no stable
+// cross-function identity and are skipped. Identifying by type means two
+// *instances* of one type locked in opposite orders also report — which is
+// the classic ABBA shape — at the cost of flagging deliberate
+// instance-ordered hierarchies (annotate those //lint:allow lockorder).
+//
+// Per function, a statement walk (same discipline as lockhold: branches on
+// cloned state, literals skipped, deferred Unlock holds to function end)
+// records every ordered pair (A held, B acquired). Acquisitions inside
+// callees count too: each function's transitively-acquired lock set is
+// computed to a fixpoint over the package call graph and exported as an
+// object fact, so a call made under a lock contributes edges for
+// everything the callee (even in another package) eventually locks.
+//
+// Edges accumulate in the analyzer instance across every package of the
+// run, riding the driver's deps-before-dependents order. When a new edge
+// A→B closes a directed cycle among the accumulated edges, the acquisition
+// that completed it is reported with the full cycle path; each edge
+// reports at most once, at the first site that introduces it.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"spectra/internal/lint/analysis"
+	"spectra/internal/lint/callgraph"
+)
+
+// acquiresFact records the locks a function acquires, directly or through
+// its callees, for importers to consult at call sites made under a lock.
+type acquiresFact struct {
+	// Locks are lock identities, sorted.
+	Locks []string
+}
+
+// lock method full names; value is true for acquire, false for release.
+var lockMethods = map[string]bool{
+	"(*sync.Mutex).Lock":      true,
+	"(*sync.Mutex).Unlock":    false,
+	"(*sync.RWMutex).Lock":    true,
+	"(*sync.RWMutex).RLock":   true,
+	"(*sync.RWMutex).Unlock":  false,
+	"(*sync.RWMutex).RUnlock": false,
+}
+
+// New returns the analyzer. One instance accumulates the program-wide
+// edge set; create a fresh instance per run.
+func New() *analysis.Analyzer {
+	g := &global{edges: map[string]map[string]token.Pos{}}
+	return &analysis.Analyzer{
+		Name: "lockorder",
+		Doc: "detects lock-ordering cycles program-wide: if one path acquires " +
+			"mutex B while holding A and another acquires A while holding B " +
+			"(directly or through callees), the two paths can deadlock; " +
+			"acquire locks in one consistent global order or annotate the " +
+			"deliberate inversion with //lint:allow lockorder",
+		Run: func(pass *analysis.Pass) error {
+			g.run(pass)
+			return nil
+		},
+	}
+}
+
+// global is the per-run accumulator: the ordered-acquisition graph over
+// lock identities, merged across every analyzed package.
+type global struct {
+	// edges[a][b] is the position that first established "b acquired while
+	// a held".
+	edges map[string]map[string]token.Pos
+}
+
+func (g *global) run(pass *analysis.Pass) {
+	cg := callgraph.Build(pass)
+	acquired := computeAcquired(pass, cg)
+	for fn, locks := range acquired {
+		if len(locks) > 0 {
+			pass.ExportObjectFact(fn, &acquiresFact{Locks: sortedKeys(locks)})
+		}
+	}
+	for _, n := range cg.Nodes() {
+		w := &walker{pass: pass, g: g, acquired: acquired}
+		w.stmts(n.Decl.Body.List, map[string]token.Pos{})
+	}
+}
+
+// computeAcquired maps each declared function to the set of lock
+// identities it acquires, transitively through same-package callees (to a
+// fixpoint) and cross-package callees (through facts).
+func computeAcquired(pass *analysis.Pass, cg *callgraph.Graph) map[*types.Func]map[string]bool {
+	acquired := make(map[*types.Func]map[string]bool)
+	for _, n := range cg.Nodes() {
+		set := map[string]bool{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			if _, ok := node.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, acq := lockOp(pass, call); acq && id != "" {
+				set[id] = true
+			}
+			return true
+		})
+		acquired[n.Func] = set
+	}
+	// Fold in callee sets until stable; external callees answer via facts
+	// (their sets are already transitive when exported).
+	for changed := true; changed; {
+		changed = false
+		for _, n := range cg.Nodes() {
+			set := acquired[n.Func]
+			for _, e := range n.Calls {
+				if e.InLiteral {
+					// A literal's locks are charged when (if) it runs, not to
+					// the function that merely constructs it.
+					continue
+				}
+				for _, id := range calleeLocks(pass, acquired, e.Callee) {
+					if !set[id] {
+						set[id] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acquired
+}
+
+// calleeLocks returns the lock set of a callee, from the in-package map
+// or, for external functions, the exported fact.
+func calleeLocks(pass *analysis.Pass, acquired map[*types.Func]map[string]bool, callee *types.Func) []string {
+	if set, ok := acquired[callee]; ok {
+		return sortedKeys(set)
+	}
+	var fact acquiresFact
+	if pass.ImportObjectFact(callee, &fact) {
+		return fact.Locks
+	}
+	return nil
+}
+
+// walker threads the held-lock set through a statement list, emitting an
+// ordering edge for every acquisition (direct or via callee) under a held
+// lock. The traversal discipline mirrors lockhold.
+type walker struct {
+	pass     *analysis.Pass
+	g        *global
+	acquired map[*types.Func]map[string]bool
+}
+
+func (w *walker) stmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range list {
+		w.stmt(stmt, held)
+	}
+}
+
+func (w *walker) stmt(stmt ast.Stmt, held map[string]token.Pos) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, acq := lockOp(w.pass, call); id != "" {
+				if acq {
+					w.acquire(id, call.Pos(), held)
+					held[id] = call.Pos()
+				} else {
+					delete(held, id)
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// Deferred Unlock keeps the lock held to function end; deferred
+		// acquisitions run after the body, outside this walk's order.
+		return
+	case *ast.GoStmt:
+		// The goroutine does not hold this goroutine's locks.
+		return
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, clone(held))
+		if s.Else != nil {
+			w.stmt(s.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		inner := clone(held)
+		if s.Init != nil {
+			w.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, inner)
+		}
+		w.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+// expr scans an expression for calls whose callees acquire locks,
+// charging the callee's full transitive lock set at the call site.
+// Literals are skipped; a statement-level lock call is handled by stmt.
+func (w *walker) expr(e ast.Expr, held map[string]token.Pos) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, _ := lockOp(w.pass, call); id != "" {
+			return true // direct lock op; stmt handles acquisition order
+		}
+		callee := w.pass.FuncFor(call.Fun)
+		if callee == nil {
+			return true
+		}
+		for _, id := range calleeLocks(w.pass, w.acquired, callee) {
+			w.acquire(id, call.Pos(), held)
+		}
+		return true
+	})
+}
+
+// acquire records edges held→id and reports if one closes a cycle.
+func (w *walker) acquire(id string, pos token.Pos, held map[string]token.Pos) {
+	for a := range held {
+		if a == id {
+			continue // re-entrant acquisition is lockhold's concern, not ordering
+		}
+		if _, seen := w.g.edges[a][id]; seen {
+			continue
+		}
+		if w.g.edges[a] == nil {
+			w.g.edges[a] = map[string]token.Pos{}
+		}
+		w.g.edges[a][id] = pos
+		if path := w.g.findPath(id, a); path != nil {
+			w.pass.Reportf(pos,
+				"acquiring %s while holding %s creates a lock-order cycle (%s); "+
+					"acquire locks in one consistent order or annotate //lint:allow lockorder",
+				id, a, strings.Join(append([]string{a, id}, path[1:]...), " -> "))
+		}
+	}
+}
+
+// findPath returns a node path from src to dst over the accumulated
+// edges, or nil. Deterministic: neighbors visited in sorted order.
+func (g *global) findPath(src, dst string) []string {
+	var dfs func(node string, visited map[string]bool) []string
+	dfs = func(node string, visited map[string]bool) []string {
+		if node == dst {
+			return []string{node}
+		}
+		visited[node] = true
+		for _, next := range sortedEdgeKeys(g.edges[node]) {
+			if visited[next] {
+				continue
+			}
+			if rest := dfs(next, visited); rest != nil {
+				return append([]string{node}, rest...)
+			}
+		}
+		return nil
+	}
+	return dfs(src, map[string]bool{})
+}
+
+// lockOp recognizes a mutex acquire/release call and returns the lock's
+// structural identity ("" when the lock is local and unidentifiable).
+func lockOp(pass *analysis.Pass, call *ast.CallExpr) (id string, acquire bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	f := pass.FuncFor(sel)
+	acq, isLock := lockMethods[analysis.FullName(f)]
+	if !isLock {
+		return "", false
+	}
+	return lockIdent(pass, sel.X), acq
+}
+
+// lockIdent names a lock structurally: "pkg.Type.field" for a mutex
+// field, "pkg.var" for a package-level mutex, "pkg.Type" for an embedded
+// (promoted) mutex. Locals return "".
+func lockIdent(pass *analysis.Pass, recv ast.Expr) string {
+	switch recv := recv.(type) {
+	case *ast.ParenExpr:
+		return lockIdent(pass, recv.X)
+	case *ast.SelectorExpr:
+		// Field selection: identity is the owning named type plus field.
+		if sel, ok := pass.TypesInfo.Selections[recv]; ok {
+			if _, isVar := sel.Obj().(*types.Var); isVar {
+				if named := derefNamed(sel.Recv()); named != nil && named.Obj().Pkg() != nil {
+					return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + sel.Obj().Name()
+				}
+			}
+			return ""
+		}
+		// Package-qualified var: pkg.Mu.
+		if v, ok := pass.TypesInfo.Uses[recv.Sel].(*types.Var); ok {
+			return pkgLevelIdent(v)
+		}
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[recv].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if id := pkgLevelIdent(v); id != "" {
+			return id
+		}
+		// Local variable of a named type: the promoted-mutex receiver shape
+		// (s.Lock() with s a *Server embedding sync.Mutex). sync's own types
+		// carry no structural identity.
+		if named := derefNamed(v.Type()); named != nil && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() != "sync" {
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		}
+	}
+	return ""
+}
+
+// pkgLevelIdent names a package-scope variable, or "".
+func pkgLevelIdent(v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return ""
+}
+
+// derefNamed unwraps pointers and returns the named type, or nil.
+func derefNamed(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedEdgeKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func clone(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"spectra/internal/lint/linttest"
+	"spectra/internal/lint/lockorder"
+)
+
+// TestGolden covers in-package inversions: direct, via callee, embedded
+// mutexes, package-level mutexes, locals, and suppression.
+func TestGolden(t *testing.T) {
+	linttest.Run(t, lockorder.New(), "./testdata/src/order")
+}
+
+// TestCrossPackage covers fact-borne edges: dep is analyzed first, use
+// holds its own lock across calls into dep and inverts the order.
+func TestCrossPackage(t *testing.T) {
+	linttest.Run(t, lockorder.New(), "./testdata/src/dep", "./testdata/src/use")
+}

@@ -1,0 +1,22 @@
+// Package dep establishes lock-order edges that the use package must see
+// through acquiresFact object facts.
+package dep
+
+import "sync"
+
+// Store carries a mutex field with cross-package identity.
+type Store struct {
+	Mu sync.Mutex
+}
+
+// Reg is a package-level mutex.
+var Reg sync.Mutex
+
+// LockBoth establishes Reg -> Store.Mu and exports an acquired set of
+// both locks.
+func LockBoth(s *Store) {
+	Reg.Lock()
+	s.Mu.Lock()
+	s.Mu.Unlock()
+	Reg.Unlock()
+}

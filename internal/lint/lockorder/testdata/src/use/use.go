@@ -1,0 +1,37 @@
+// Package use inverts lock orders established in dep; the findings here
+// depend on edges carried across the package boundary by facts.
+package use
+
+import (
+	"sync"
+
+	"spectra/internal/lint/lockorder/testdata/src/dep"
+)
+
+// Mu is this package's own lock.
+var Mu sync.Mutex
+
+// Under calls into dep while holding Mu; the imported fact charges
+// dep.Reg and dep.Store.Mu here, establishing Mu -> Reg and Mu -> Store.Mu.
+func Under(s *dep.Store) {
+	Mu.Lock()
+	dep.LockBoth(s)
+	Mu.Unlock()
+}
+
+// InvertVar completes the cycle against the fact-borne Mu -> Reg edge.
+func InvertVar() {
+	dep.Reg.Lock()
+	Mu.Lock() // want `acquiring .*use\.Mu while holding .*dep\.Reg creates a lock-order cycle`
+	Mu.Unlock()
+	dep.Reg.Unlock()
+}
+
+// InvertField completes the cycle against the fact-borne Mu -> Store.Mu
+// edge, locking the foreign field directly.
+func InvertField(s *dep.Store) {
+	s.Mu.Lock()
+	Mu.Lock() // want `acquiring .*use\.Mu while holding .*dep\.Store\.Mu creates a lock-order cycle`
+	Mu.Unlock()
+	s.Mu.Unlock()
+}

@@ -1,16 +1,23 @@
 // Package lint assembles Spectra's analyzer suite with the repository's
 // invariants baked in: which packages are deterministic, where the metric
-// registry lives, which calls block, and where the classified error
-// boundary sits. cmd/spectralint runs this suite; tests under
-// internal/lint/* exercise each analyzer against golden packages.
+// registry lives, which calls block, which packages form the request path
+// whose deadlines must propagate, and where the classified error boundary
+// sits. cmd/spectralint runs this suite over one shared fact store, so the
+// interprocedural analyzers (ctxflow, goroleak, lockorder, spanmetric) see
+// across package boundaries; tests under internal/lint/* exercise each
+// analyzer against golden packages.
 package lint
 
 import (
 	"spectra/internal/lint/analysis"
+	"spectra/internal/lint/ctxflow"
 	"spectra/internal/lint/errclass"
+	"spectra/internal/lint/goroleak"
 	"spectra/internal/lint/lockhold"
+	"spectra/internal/lint/lockorder"
 	"spectra/internal/lint/metricname"
 	"spectra/internal/lint/nilsafe"
+	"spectra/internal/lint/spanmetric"
 	"spectra/internal/lint/virtualclock"
 )
 
@@ -58,11 +65,78 @@ var BlockingCalls = []string{
 // RegistryPkg declares the metric namespace (the M* constants).
 const RegistryPkg = "spectra/internal/obs"
 
+// ServiceNames share the spectra. prefix without naming metrics; spanmetric
+// exempts them from registry resolution.
+var ServiceNames = []string{"spectra.work"}
+
 // ClassifiedPkgs form the error-classification boundary.
 var ClassifiedPkgs = []string{"spectra/internal/rpc"}
 
+// RequestPkgs are the packages forming the remote request path, where
+// ctxflow's deadline-propagation rules apply: every function that reaches
+// an RPC sink must thread the caller's context rather than minting a fresh
+// one or calling a no-context variant.
+var RequestPkgs = []string{
+	"spectra/internal/core",
+	"spectra/internal/rpc",
+}
+
+// RPCSinks are the exchange primitives a request-path function may reach:
+// the concrete client/pool methods and the core runtime interface methods
+// that dispatch to them (interface calls resolve to the interface method,
+// so both spellings are needed).
+var RPCSinks = []string{
+	"(*spectra/internal/rpc.Client).Call",
+	"(*spectra/internal/rpc.Client).CallTraced",
+	"(*spectra/internal/rpc.Client).CallContext",
+	"(*spectra/internal/rpc.Client).Status",
+	"(*spectra/internal/rpc.Client).StatusContext",
+	"(*spectra/internal/rpc.Client).Ping",
+	"(*spectra/internal/rpc.Client).PingContext",
+	"(*spectra/internal/rpc.Pool).Call",
+	"(*spectra/internal/rpc.Pool).CallTraced",
+	"(*spectra/internal/rpc.Pool).CallContext",
+	"(*spectra/internal/rpc.Pool).Status",
+	"(*spectra/internal/rpc.Pool).StatusContext",
+	"(*spectra/internal/rpc.Pool).Ping",
+	"(spectra/internal/core.Runtime).RemoteCall",
+	"(spectra/internal/core.DeadlineRuntime).RemoteCallContext",
+	"(spectra/internal/core.ParallelRuntime).ParallelRemote",
+}
+
+// CtxVariants maps each no-context sink variant to its Context-taking
+// sibling: a request-path function holding a ctx must call the sibling.
+var CtxVariants = map[string]string{
+	"(*spectra/internal/rpc.Client).Call":        "CallContext",
+	"(*spectra/internal/rpc.Client).CallTraced":  "CallContext",
+	"(*spectra/internal/rpc.Client).Status":      "StatusContext",
+	"(*spectra/internal/rpc.Client).Ping":        "PingContext",
+	"(*spectra/internal/rpc.Pool).Call":          "CallContext",
+	"(*spectra/internal/rpc.Pool).CallTraced":    "CallContext",
+	"(*spectra/internal/rpc.Pool).Status":        "StatusContext",
+	"(spectra/internal/core.Runtime).RemoteCall": "RemoteCallContext",
+}
+
+// CtxFacade are the compatibility wrappers whose documented contract is
+// the no-context call path — each is a thin shim over its Context sibling
+// with context.Background, kept for callers that have no deadline (setup,
+// probes, benchmarks). They are exempt from ctxflow's rules; everything
+// that *has* a budget must bypass them.
+var CtxFacade = []string{
+	"(*spectra/internal/rpc.Client).Call",
+	"(*spectra/internal/rpc.Client).CallTraced",
+	"(*spectra/internal/rpc.Client).Status",
+	"(*spectra/internal/rpc.Client).Ping",
+	"(*spectra/internal/rpc.Pool).Call",
+	"(*spectra/internal/rpc.Pool).CallTraced",
+	"(*spectra/internal/rpc.Pool).Status",
+	"(*spectra/internal/rpc.Pool).Ping",
+	"(*spectra/internal/core.NetRuntime).RemoteCall",
+}
+
 // Suite returns the analyzers configured for this repository, in the
-// order the driver runs them.
+// order the driver runs them. Instances carry per-run state (lockorder's
+// edge graph, spanmetric's registry cache): build a fresh suite per run.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		virtualclock.New(virtualclock.Config{DeterministicPkgs: DeterministicPkgs}),
@@ -70,5 +144,17 @@ func Suite() []*analysis.Analyzer {
 		lockhold.New(lockhold.Config{Blocking: BlockingCalls}),
 		metricname.New(metricname.Config{RegistryPkg: RegistryPkg}),
 		errclass.New(errclass.Config{Packages: ClassifiedPkgs}),
+		ctxflow.New(ctxflow.Config{
+			RequestPkgs: RequestPkgs,
+			Sinks:       RPCSinks,
+			Variants:    CtxVariants,
+			Facade:      CtxFacade,
+		}),
+		goroleak.New(),
+		lockorder.New(),
+		spanmetric.New(spanmetric.Config{
+			RegistryPkg: RegistryPkg,
+			Exempt:      ServiceNames,
+		}),
 	}
 }
