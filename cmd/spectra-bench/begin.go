@@ -1,0 +1,127 @@
+// Begin-path harness: spectra-bench -begin measures the placement-decision
+// hot path on the trained speech workload, with and without the decision
+// cache, and reports the warm-hit speedup. CI publishes the JSON as the
+// BENCH_begin artifact so the ratio is tracked run over run.
+//
+// Output shape:
+//
+//	{
+//	  "iterations": 5000,
+//	  "solverNsPerOp": 39000, "warmNsPerOp": 1600, "speedup": 24.4,
+//	  "cache": {"Hits": 4999, "Misses": 1, ...}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"spectra"
+	"spectra/internal/apps/janus"
+	"spectra/internal/solver"
+	"spectra/internal/testbed"
+)
+
+// beginResult is one -begin run: the solver-path and warm-path per-Begin
+// cost and their ratio.
+type beginResult struct {
+	Iterations    int                `json:"iterations"`
+	SolverNsPerOp float64            `json:"solverNsPerOp"`
+	WarmNsPerOp   float64            `json:"warmNsPerOp"`
+	Speedup       float64            `json:"speedup"`
+	Cache         spectra.CacheStats `json:"cache"`
+}
+
+// runBegin measures iters Begin/Abort cycles on the solver path (cache
+// off) and the warm path (cache on, snapshot TTL held open so the virtual
+// clock never expires it) and returns the comparison.
+func runBegin(iters int) (beginResult, error) {
+	if iters <= 0 {
+		iters = 5000
+	}
+	solverNs, _, err := measureBegin(iters, testbed.Options{})
+	if err != nil {
+		return beginResult{}, err
+	}
+	warmNs, stats, err := measureBegin(iters, testbed.Options{
+		Cache:       spectra.CacheOptions{Enabled: true},
+		SnapshotTTL: time.Hour,
+	})
+	if err != nil {
+		return beginResult{}, err
+	}
+	res := beginResult{
+		Iterations:    iters,
+		SolverNsPerOp: solverNs,
+		WarmNsPerOp:   warmNs,
+		Cache:         stats,
+	}
+	if warmNs > 0 {
+		res.Speedup = solverNs / warmNs
+	}
+	return res, nil
+}
+
+// measureBegin builds the speech testbed with the given options, trains
+// the janus operation over every alternative, and times iters Begin/Abort
+// cycles.
+func measureBegin(iters int, opts testbed.Options) (nsPerOp float64, stats spectra.CacheStats, err error) {
+	tb, err := testbed.NewSpeech(opts)
+	if err != nil {
+		return 0, stats, err
+	}
+	app, err := janus.Install(tb.Setup)
+	if err != nil {
+		return 0, stats, err
+	}
+	tb.Setup.Refresh()
+	alts := []solver.Alternative{
+		{Plan: janus.PlanLocal, Fidelity: map[string]string{janus.FidelityDim: janus.VocabFull}},
+		{Server: "t20", Plan: janus.PlanHybrid, Fidelity: map[string]string{janus.FidelityDim: janus.VocabFull}},
+		{Server: "t20", Plan: janus.PlanRemote, Fidelity: map[string]string{janus.FidelityDim: janus.VocabFull}},
+	}
+	for i := 0; i < 3; i++ {
+		for _, alt := range alts {
+			if _, err := app.RecognizeForced(alt, 2); err != nil {
+				return 0, stats, err
+			}
+		}
+	}
+	params := map[string]float64{janus.ParamLength: 2}
+	client := tb.Setup.Client
+	// One unmeasured pass warms the caches (first Begin with the cache on
+	// is the solve that fills the entry).
+	octx, err := client.BeginFidelityOp(app.Operation(), params, "")
+	if err != nil {
+		return 0, stats, err
+	}
+	octx.Abort()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		octx, err := client.BeginFidelityOp(app.Operation(), params, "")
+		if err != nil {
+			return 0, stats, err
+		}
+		octx.Abort()
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(iters), client.DecisionCacheStats(), nil
+}
+
+// emitBegin prints the result (indented, stdout) and optionally writes it
+// to out.
+func emitBegin(res beginResult, out string) error {
+	pretty, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(pretty))
+	if out != "" {
+		if err := os.WriteFile(out, append(pretty, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", out, err)
+		}
+	}
+	return nil
+}

@@ -16,6 +16,10 @@
 //	spectra-bench -load -rate 200 -out BENCH_latest.json
 //	spectra-bench -load -history BENCH_load.json   # append to the trajectory
 //	spectra-bench -load -no-deadline          # tail without hedging/budgets
+//
+// And the Begin hot-path harness (see begin.go):
+//
+//	spectra-bench -begin -out BENCH_begin.json   # warm vs solver-path Begin
 package main
 
 import (
@@ -32,6 +36,8 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to reproduce (3-10); 0 runs all")
 	exhaustive := flag.Bool("exhaustive", false, "replace the heuristic solver with exhaustive search")
 	load := flag.Bool("load", false, "run the live throughput harness instead of the figures")
+	begin := flag.Bool("begin", false, "run the Begin hot-path harness (decision cache warm vs solver path)")
+	beginIters := flag.Int("begin-iters", 5000, "begin: measured Begin/Abort iterations per path")
 	duration := flag.Duration("duration", 2*time.Second, "load: measured window")
 	concurrency := flag.Int("concurrency", 16, "load: concurrent client operations")
 	pool := flag.Int("pool", 0, "load: multiplexed connections per server (0 = default)")
@@ -47,6 +53,18 @@ func main() {
 	out := flag.String("out", "", "load: also write the JSON result to this file")
 	history := flag.String("history", "", "load: append one compact JSON line to this file")
 	flag.Parse()
+
+	if *begin {
+		res, err := runBegin(*beginIters)
+		if err == nil {
+			err = emitBegin(res, *out)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spectra-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *load {
 		res, err := runLoad(loadConfig{

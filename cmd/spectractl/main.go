@@ -313,13 +313,20 @@ func top(opts options, args []string) error {
 			fmt.Fprintf(opts.out, "metrics unavailable: %v\n", err)
 		} else {
 			fmt.Fprintf(opts.out,
-				"queue depth %.0f  deadline shed %d  expired %d  hedges %d (wins %d)  pool exhausted %d\n\n",
+				"queue depth %.0f  deadline shed %d  expired %d  hedges %d (wins %d)  pool exhausted %d\n",
 				snap.Gauges[obs.MServerQueueDepth],
 				snap.Counters[obs.MServerDeadlineShed],
 				snap.Counters[obs.MDeadlineExceeded],
 				snap.Counters[obs.MHedgeLaunched],
 				snap.Counters[obs.MHedgeWins],
 				snap.Counters[obs.MPoolExhausted])
+			fmt.Fprintf(opts.out,
+				"decision cache: hits %d  misses %d  bypass %d  invalidations %d  entries %.0f\n\n",
+				snap.Counters[obs.MDecisionCacheHits],
+				snap.Counters[obs.MDecisionCacheMisses],
+				snap.Counters[obs.MDecisionCacheBypass],
+				snap.Counters[obs.MDecisionCacheInvalidations],
+				snap.Gauges[obs.MDecisionCacheEntries])
 		}
 	}
 	all, err := loadTraces(opts)

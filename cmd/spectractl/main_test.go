@@ -212,6 +212,13 @@ func TestCtlTop(t *testing.T) {
 			t.Fatalf("top output missing %q in the metrics header:\n%s", want, out)
 		}
 	}
+	// And the decision-cache line, so a glance shows whether Begins are
+	// warm or deliberating.
+	for _, want := range []string{"decision cache", "hits", "entries"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("top output missing %q in the metrics header:\n%s", want, out)
+		}
+	}
 }
 
 func TestCtlTimeseries(t *testing.T) {

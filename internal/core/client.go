@@ -11,6 +11,7 @@ import (
 	"spectra/internal/monitor"
 	"spectra/internal/obs"
 	"spectra/internal/predict"
+	"spectra/internal/sim"
 	"spectra/internal/solver"
 	"spectra/internal/utility"
 )
@@ -62,6 +63,14 @@ type Config struct {
 	// where virtual time may not advance between Begins). Live setups
 	// default this to a few tens of milliseconds (see LiveOptions).
 	SnapshotTTL time.Duration
+	// Cache tunes the placement-decision cache in front of the solver; the
+	// zero value disables it (see CacheOptions).
+	Cache CacheOptions
+	// OverheadClock times decision overheads (BeginOverhead) — a real
+	// measurement even in simulation, so it is separate from the Runtime's
+	// semantic clock. Nil selects the system clock; tests inject a
+	// deterministic clock to pin overhead arithmetic.
+	OverheadClock sim.Clock
 }
 
 // Registry discovers Spectra servers at runtime. The paper designed for a
@@ -104,18 +113,32 @@ type Client struct {
 
 	hooks obsHooks
 
+	// wallClock times decision overheads (Config.OverheadClock); never used
+	// for semantics, only measurement.
+	wallClock sim.Clock
+
+	// dcache is the placement-decision cache; nil when disabled.
+	dcache *decisionCache
+
+	// healthGen counts health-tracker transitions. The snapshot cache
+	// records the generation it was filled under and treats any later
+	// transition as staleness: a post-failover Begin must see the real
+	// fleet immediately, not a TTL-fresh snapshot predating the verdict.
+	healthGen atomic.Uint64
+
 	// Decision snapshot cache (see Config.SnapshotTTL). Guarded by snapMu,
 	// not c.mu: a cache fill calls into the monitor framework (remote proxy
 	// reads), and Begin must not contend with the server-list mutex for it.
 	// A cached snapshot is shared read-only by every Begin that hits it;
 	// applyHealth runs once at fill time, so it is never mutated after
 	// publication.
-	snapTTL time.Duration
-	snapMu  sync.Mutex
-	snapKey string
-	snapAt  time.Time
-	snapVal *monitor.Snapshot
-	snapSeq uint64
+	snapTTL       time.Duration
+	snapMu        sync.Mutex
+	snapKey       string
+	snapAt        time.Time
+	snapVal       *monitor.Snapshot
+	snapSeq       uint64
+	snapHealthGen uint64
 
 	ops    map[string]*Operation
 	nextID atomic.Uint64
@@ -145,14 +168,30 @@ func NewClient(cfg Config) (*Client, error) {
 		health:     NewHealthTracker(cfg.Health),
 		hooks:      newObsHooks(cfg.Obs),
 		snapTTL:    cfg.SnapshotTTL,
+		wallClock:  cfg.OverheadClock,
 		ops:        make(map[string]*Operation),
 	}
+	if c.wallClock == nil {
+		c.wallClock = sim.RealClock{}
+	}
+	if cfg.Cache.Enabled {
+		c.dcache = newDecisionCache(cfg.Cache, cfg.Obs)
+	}
+	var metricHook func(string, HealthState, HealthState)
 	if cfg.Obs != nil && cfg.Obs.Registry != nil {
-		c.health.OnTransition = c.hooks.healthTransition(
+		metricHook = c.hooks.healthTransition(
 			cfg.Obs.Registry.Counter(obs.MHealthOpened),
 			cfg.Obs.Registry.Counter(obs.MHealthClosed),
 		)
 		c.modelOpts.Metrics = cfg.Obs.Registry
+	}
+	// Runs under the tracker lock: the generation bump is an atomic and the
+	// metric hook only touches lock-free counters, so that is safe.
+	c.health.OnTransition = func(server string, from, to HealthState) {
+		c.healthGen.Add(1)
+		if metricHook != nil {
+			metricHook(server, from, to)
+		}
 	}
 	return c, nil
 }
@@ -252,7 +291,7 @@ func (c *Client) Probe() {
 // plans, fidelity dimensions, and input parameters. Demand models are
 // created and warmed from the persistent usage log.
 func (c *Client) RegisterFidelity(spec OperationSpec) (*Operation, error) {
-	start := time.Now()
+	start := c.wallClock.Now()
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -267,11 +306,12 @@ func (c *Client) RegisterFidelity(spec OperationSpec) (*Operation, error) {
 		models:         newOpModels(spec.modelFeatureNames(), c.modelOpts, spec.Predictors),
 		acc:            c.hooks.o.AccuracyFor(spec.Name),
 		fidelityCombos: fidelityCombos(spec.allFidelityDimensions()),
+		shapeKey:       spec.decisionShapeKey(),
 	}
 	if err := c.usageLog.Replay(spec.Name, op.models.replay); err != nil {
 		return nil, fmt.Errorf("core: replay usage log for %q: %w", spec.Name, err)
 	}
-	op.registerDuration = time.Since(start)
+	op.registerDuration = c.wallClock.Now().Sub(start)
 	c.ops[spec.Name] = op
 	return op, nil
 }
@@ -336,7 +376,7 @@ func (c *Client) BeginForced(op *Operation, alt solver.Alternative, params map[s
 }
 
 func (c *Client) begin(op *Operation, params map[string]float64, data string, forced *solver.Alternative) (*OpContext, error) {
-	wallStart := time.Now()
+	wallStart := c.wallClock.Now()
 	c.hooks.opBegin.Inc()
 	if !op.spec.UsesData {
 		data = ""
@@ -346,14 +386,40 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 	// decision (and later of execution); nil otherwise, so every recording
 	// call below is a no-op and the untraced path stays allocation-free.
 	var rec *obs.SpanRecorder
-	if c.hooks.o.TraceOn() {
+	traceOn := c.hooks.o.TraceOn()
+	if traceOn {
 		rec = obs.NewSpanRecorder(c.runtime.Now)
 	}
 
 	servers := c.Servers()
 	spPredict := rec.Start(obs.SpanPredict, -1)
 	snap, snapSeq := c.snapshotFor(servers)
-	est := newEstimator(op, snap, params, data, c.cons)
+
+	// Placement-decision cache: a warm Begin reuses a prior decision under
+	// an unchanged coarse resource picture, skipping prediction and solver
+	// search. Forced Begins bypass it (the caller dictated the placement),
+	// traced Begins bypass it (traces must record a full deliberation), and
+	// dirty consistency state bypasses it (reintegration planning needs the
+	// estimator's file predictions).
+	var (
+		cacheKey   string
+		coarse     monitor.CoarseSnapshot
+		cacheStore bool
+	)
+	if c.dcache != nil {
+		if forced != nil || traceOn || c.dirtyState() {
+			c.dcache.bypass()
+		} else {
+			coarse = monitor.Coarsen(snap, servers)
+			cacheKey = cacheBeginKey(op, params, data, servers)
+			if dec, dem, ok := c.dcache.lookup(cacheKey, coarse, c.runtime.Now(), c.accuracyProbe(op)); ok {
+				return c.beginWarm(op, params, data, dec, dem, cacheKey, wallStart)
+			}
+			cacheStore = true
+		}
+	}
+
+	est := newEstimator(op, snap, params, data, c.cons, c.wallClock)
 	rec.EndSpan(spPredict)
 
 	fn := c.utilityFn(op, snap)
@@ -424,14 +490,14 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 			return nil, errNoAlternative
 		}
 		spSolve := rec.Start(obs.SpanSolve, -1)
-		chooseStart := time.Now()
+		chooseStart := c.wallClock.Now()
 		var res solver.Result
 		if c.exhaustive {
 			res = solver.Exhaustive(candidates, eval)
 		} else {
 			res = solver.Heuristic(candidates, eval, c.solverOpts)
 		}
-		chooseT = time.Since(chooseStart)
+		chooseT = c.wallClock.Now().Sub(chooseStart)
 		if !res.Found || res.Utility <= 0 {
 			// Fall back to the best local alternative if the chosen one is
 			// infeasible; if nothing is feasible, report it.
@@ -454,6 +520,9 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 			Candidates:  len(candidates),
 		}
 		demand, demandSet = dem, true
+		if cacheStore {
+			c.dcache.store(cacheKey, coarse, decision, dem, c.runtime.Now(), c.accuracyProbe(op))
+		}
 		if tr != nil {
 			tr.Candidates = len(candidates)
 			tr.Evaluations = res.Evaluations
@@ -471,6 +540,7 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 		data:       data,
 		simStart:   c.runtime.Now(),
 		wallStart:  wallStart,
+		cacheKey:   cacheKey,
 		trace:      tr,
 		predDemand: demand,
 		predValid:  demandSet,
@@ -510,7 +580,7 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 	c.monitors.StartOp(octx.id)
 	octx.started = true
 
-	total := time.Since(wallStart)
+	total := c.wallClock.Now().Sub(wallStart)
 	filePredT := est.filePredTime
 	choosing := chooseT - filePredT
 	if choosing < 0 {
@@ -527,6 +597,57 @@ func (c *Client) begin(op *Operation, params map[string]float64, data string, fo
 	}
 	c.hooks.beginSeconds.Observe(total.Seconds())
 	return octx, nil
+}
+
+// beginWarm completes a Begin from a decision-cache hit: the prior decision
+// is reused verbatim, observation starts as usual, and the overhead
+// breakdown honestly reports near-zero Choosing — the whole Begin cost one
+// fingerprint comparison, not a solver search.
+func (c *Client) beginWarm(op *Operation, params map[string]float64, data string, dec Decision, demand obs.ResourceDemand, key string, wallStart time.Time) (*OpContext, error) {
+	// ReintegratedBytes belonged to the Begin that filled the entry; this
+	// Begin ran no consistency enforcement (dirty state bypasses the cache).
+	dec.ReintegratedBytes = 0
+	octx := &OpContext{
+		client:     c,
+		op:         op,
+		id:         c.allocOpID(),
+		decision:   dec,
+		params:     params,
+		data:       data,
+		simStart:   c.runtime.Now(),
+		wallStart:  wallStart,
+		cacheKey:   key,
+		predDemand: demand,
+		predValid:  true,
+	}
+	c.monitors.StartOp(octx.id)
+	octx.started = true
+	total := c.wallClock.Now().Sub(wallStart)
+	octx.decision.Overhead = BeginOverhead{Other: total, Total: total}
+	c.hooks.beginSeconds.Observe(total.Seconds())
+	return octx, nil
+}
+
+// dirtyState reports whether the Coda client has buffered modifications;
+// such Begins need the estimator's reintegration planning and therefore
+// bypass the decision cache.
+func (c *Client) dirtyState() bool {
+	return c.cons != nil && len(c.cons.DirtyVolumes()) > 0
+}
+
+// accuracyProbe adapts the observer's accuracy tracker into the decision
+// cache's per-resource rolling-error probe for one operation; nil (no
+// regression checking) when accuracy accounting is off.
+func (c *Client) accuracyProbe(op *Operation) func(resource string) (float64, bool) {
+	if c.hooks.o == nil || c.hooks.o.Accuracy == nil {
+		return nil
+	}
+	acc := c.hooks.o.Accuracy
+	name := op.Name()
+	return func(resource string) (float64, bool) {
+		mean, _, ok := acc.RelativeError(name, resource)
+		return mean, ok
+	}
 }
 
 // oracleRank computes the Figure-8 metric when the exhaustive oracle
@@ -587,15 +708,24 @@ func (c *Client) snapshotFor(servers []string) (*monitor.Snapshot, uint64) {
 	key := strings.Join(servers, "\x00")
 	c.snapMu.Lock()
 	defer c.snapMu.Unlock()
+	// A health-tracker transition since the fill invalidates the snapshot
+	// regardless of age: its folded-in verdicts no longer describe the
+	// fleet, and a post-failover Begin must not route to a server the
+	// breaker just opened on (nor keep shunning one that just healed).
+	gen := c.healthGen.Load()
 	age := now.Sub(c.snapAt)
-	if c.snapVal != nil && c.snapKey == key && age >= 0 && age < c.snapTTL {
+	if c.snapVal != nil && c.snapKey == key && age >= 0 && age < c.snapTTL && c.snapHealthGen == gen {
 		c.hooks.snapCacheHits.Inc()
 		return c.snapVal, c.snapSeq
 	}
 	c.hooks.snapCacheMisses.Inc()
 	snap := c.monitors.Snapshot(now, servers)
 	c.applyHealth(snap, servers)
+	// gen was read before the fill: if applyHealth itself fired a
+	// transition (a half-open probe), the snapshot is conservatively
+	// treated as already stale — at most one extra refill, never a loop.
 	c.snapVal, c.snapKey, c.snapAt = snap, key, now
+	c.snapHealthGen = gen
 	c.snapSeq = c.recordSnapshot(snap, servers)
 	return snap, c.snapSeq
 }

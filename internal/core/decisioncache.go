@@ -1,0 +1,375 @@
+package core
+
+import (
+	"container/list"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"spectra/internal/monitor"
+	"spectra/internal/obs"
+)
+
+// Decision-cache defaults.
+const (
+	// DefaultCacheTTL is the hard entry lifetime: even a perfectly stable
+	// resource picture re-deliberates this often, bounding how long a
+	// wrong-but-undetected binding can persist.
+	DefaultCacheTTL = 2 * time.Second
+	// DefaultCacheDriftLevels tolerates one quantization level (√2, ~41%)
+	// of availability movement before re-solving.
+	DefaultCacheDriftLevels = 1
+	// DefaultCacheAccuracyRegression invalidates entries whose operation's
+	// rolling prediction error grew by more than this since fill time.
+	DefaultCacheAccuracyRegression = 0.15
+	// DefaultCacheMaxEntries bounds the cache (LRU eviction).
+	DefaultCacheMaxEntries = 512
+)
+
+// CacheOptions tunes the placement-decision cache ("virtual stubs", after
+// Dhomeja et al.'s transparent caching of resolved remote-execution
+// bindings): BeginFidelityOp reuses a previously solved Decision when the
+// operation, its input-parameter bucket, and the coarsened resource
+// picture match a live cached entry, skipping prediction and solver search
+// entirely. The cache is off unless Enabled is set: reusing a decision is
+// only sound within the invalidation rules below, and deterministic
+// replays of the paper's figures want every Begin to deliberate.
+//
+// Forced Begins and Begins with a trace sink attached always bypass the
+// cache, so decision traces record a complete solver deliberation.
+type CacheOptions struct {
+	// Enabled turns the cache on.
+	Enabled bool
+	// TTL is the hard entry lifetime, measured on the runtime clock
+	// (virtual time in simulations); 0 selects DefaultCacheTTL.
+	TTL time.Duration
+	// DriftLevels is how many quantization levels (a factor of √2 each)
+	// any coarse resource availability may move from the cached
+	// fingerprint before the entry is invalidated. 0 selects
+	// DefaultCacheDriftLevels; negative tolerates no drift at all.
+	// Health-verdict changes (a server dying, healing, or leaving the
+	// candidate set; wall power flipping) invalidate regardless.
+	DriftLevels int
+	// AccuracyRegression invalidates an entry when any resource's rolling
+	// relative prediction error (obs.AccuracyTracker.RelativeError) has
+	// grown by more than this since the entry was filled — the predictor
+	// the cached decision was based on is no longer trustworthy. 0 selects
+	// DefaultCacheAccuracyRegression; negative disables the check.
+	AccuracyRegression float64
+	// MaxEntries bounds the cache; least-recently-used entries are evicted
+	// beyond it. 0 selects DefaultCacheMaxEntries.
+	MaxEntries int
+}
+
+func (o CacheOptions) ttl() time.Duration {
+	if o.TTL <= 0 {
+		return DefaultCacheTTL
+	}
+	return o.TTL
+}
+
+func (o CacheOptions) driftLevels() int {
+	switch {
+	case o.DriftLevels < 0:
+		return 0
+	case o.DriftLevels == 0:
+		return DefaultCacheDriftLevels
+	default:
+		return o.DriftLevels
+	}
+}
+
+func (o CacheOptions) accuracyRegression() float64 {
+	if o.AccuracyRegression == 0 {
+		return DefaultCacheAccuracyRegression
+	}
+	return o.AccuracyRegression
+}
+
+func (o CacheOptions) maxEntries() int {
+	if o.MaxEntries <= 0 {
+		return DefaultCacheMaxEntries
+	}
+	return o.MaxEntries
+}
+
+// CacheStats is a point-in-time summary of decision-cache behaviour,
+// broken out by invalidation trigger so tests and operators can tell a
+// drifting fleet from a regressing predictor.
+type CacheStats struct {
+	Hits, Misses, Stores, Bypasses uint64
+	// Invalidations is the sum of the per-trigger counts below plus
+	// outcome-driven drops (End reporting a degraded or failed-over
+	// execution of a cached binding).
+	Invalidations   uint64
+	InvalidTTL      uint64
+	InvalidDrift    uint64
+	InvalidHealth   uint64
+	InvalidAccuracy uint64
+	InvalidOutcome  uint64
+	Evictions       uint64
+	Entries         int
+}
+
+// cacheAccuracyResources are the accuracy-tracker streams consulted by the
+// regression check, in the order they are fed at End.
+var cacheAccuracyResources = []string{
+	obs.ResCPULocal, obs.ResCPURemote, obs.ResNetBytes,
+	obs.ResNetRPCs, obs.ResLatency, obs.ResEnergy,
+}
+
+// cacheEntry is one cached placement decision.
+type cacheEntry struct {
+	key      string
+	coarse   monitor.CoarseSnapshot
+	decision Decision
+	demand   obs.ResourceDemand
+	// accAtFill is the rolling relative error per resource at fill time
+	// (absent when the tracker had no stable estimate — treated as zero,
+	// so an error estimate that only becomes visible after fill still
+	// triggers the regression check).
+	accAtFill map[string]float64
+	filledAt  time.Time
+	hits      uint64
+}
+
+// decisionCache is the client's placement-decision cache. All state is
+// guarded by mu; lookups consult the accuracy tracker through a caller-
+// provided probe, which takes the tracker's own lock — the tracker never
+// calls back into the cache, so the order is acyclic.
+type decisionCache struct {
+	mu    sync.Mutex
+	opts  CacheOptions
+	lru   *list.List // front = most recently used; values are *cacheEntry
+	byKey map[string]*list.Element
+	stats CacheStats
+
+	// Pre-resolved metric handles; nil handles are no-ops.
+	mHits, mMisses, mBypass, mInvalid *obs.Counter
+	mEntries                          *obs.Gauge
+}
+
+func newDecisionCache(opts CacheOptions, o *obs.Observer) *decisionCache {
+	dc := &decisionCache{
+		opts:  opts,
+		lru:   list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+	if o != nil && o.Registry != nil {
+		dc.mHits = o.Registry.Counter(obs.MDecisionCacheHits)
+		dc.mMisses = o.Registry.Counter(obs.MDecisionCacheMisses)
+		dc.mBypass = o.Registry.Counter(obs.MDecisionCacheBypass)
+		dc.mInvalid = o.Registry.Counter(obs.MDecisionCacheInvalidations)
+		dc.mEntries = o.Registry.Gauge(obs.MDecisionCacheEntries)
+	}
+	return dc
+}
+
+// bypass counts a Begin that skipped the cache by design (forced, traced,
+// or dirty consistency state).
+func (dc *decisionCache) bypass() {
+	dc.mu.Lock()
+	dc.stats.Bypasses++
+	dc.mu.Unlock()
+	dc.mBypass.Inc()
+}
+
+// lookup returns the cached decision for key when it is still valid
+// against the live coarse snapshot, the clock, and the accuracy tracker.
+// An invalid entry is dropped (the caller's fresh solve will refill it).
+func (dc *decisionCache) lookup(key string, live monitor.CoarseSnapshot, now time.Time, accErr func(resource string) (float64, bool)) (Decision, obs.ResourceDemand, bool) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	el, ok := dc.byKey[key]
+	if !ok {
+		dc.stats.Misses++
+		dc.mMisses.Inc()
+		return Decision{}, obs.ResourceDemand{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if age := now.Sub(e.filledAt); age < 0 || age >= dc.opts.ttl() {
+		return dc.invalidateLocked(el, &dc.stats.InvalidTTL)
+	}
+	maxLevels, healthChanged := e.coarse.Drift(live)
+	if healthChanged {
+		return dc.invalidateLocked(el, &dc.stats.InvalidHealth)
+	}
+	if maxLevels > dc.opts.driftLevels() {
+		return dc.invalidateLocked(el, &dc.stats.InvalidDrift)
+	}
+	if reg := dc.opts.accuracyRegression(); reg >= 0 && accErr != nil {
+		for _, res := range cacheAccuracyResources {
+			cur, ok := accErr(res)
+			if !ok {
+				continue
+			}
+			if cur-e.accAtFill[res] > reg {
+				return dc.invalidateLocked(el, &dc.stats.InvalidAccuracy)
+			}
+		}
+	}
+	e.hits++
+	dc.lru.MoveToFront(el)
+	dc.stats.Hits++
+	dc.mHits.Inc()
+	return e.decision, e.demand, true
+}
+
+// invalidateLocked drops an entry, attributing the invalidation to the
+// given trigger counter, and reports the lookup as a miss.
+func (dc *decisionCache) invalidateLocked(el *list.Element, trigger *uint64) (Decision, obs.ResourceDemand, bool) {
+	dc.removeLocked(el)
+	*trigger++
+	dc.stats.Invalidations++
+	dc.stats.Misses++
+	dc.mInvalid.Inc()
+	dc.mMisses.Inc()
+	return Decision{}, obs.ResourceDemand{}, false
+}
+
+func (dc *decisionCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	dc.lru.Remove(el)
+	delete(dc.byKey, e.key)
+	dc.mEntries.Set(float64(dc.lru.Len()))
+}
+
+// store fills (or refreshes) the entry for key with a freshly solved
+// decision and the coarse picture it was solved under.
+func (dc *decisionCache) store(key string, coarse monitor.CoarseSnapshot, dec Decision, demand obs.ResourceDemand, now time.Time, accErr func(resource string) (float64, bool)) {
+	var accAtFill map[string]float64
+	if accErr != nil {
+		for _, res := range cacheAccuracyResources {
+			if cur, ok := accErr(res); ok {
+				if accAtFill == nil {
+					accAtFill = make(map[string]float64, len(cacheAccuracyResources))
+				}
+				accAtFill[res] = cur
+			}
+		}
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if el, ok := dc.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.coarse, e.decision, e.demand = coarse, dec, demand
+		e.accAtFill, e.filledAt = accAtFill, now
+		dc.lru.MoveToFront(el)
+		dc.stats.Stores++
+		return
+	}
+	el := dc.lru.PushFront(&cacheEntry{
+		key:       key,
+		coarse:    coarse,
+		decision:  dec,
+		demand:    demand,
+		accAtFill: accAtFill,
+		filledAt:  now,
+	})
+	dc.byKey[key] = el
+	dc.stats.Stores++
+	for dc.lru.Len() > dc.opts.maxEntries() {
+		dc.removeLocked(dc.lru.Back())
+		dc.stats.Evictions++
+	}
+	dc.mEntries.Set(float64(dc.lru.Len()))
+}
+
+// noteOutcome feeds an operation's outcome back into its entry: a degraded
+// or failed-over execution proves the cached binding wrong right now, so
+// the entry is dropped and the next Begin re-solves.
+func (dc *decisionCache) noteOutcome(key string, bad bool) {
+	if !bad {
+		return
+	}
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	el, ok := dc.byKey[key]
+	if !ok {
+		return
+	}
+	dc.removeLocked(el)
+	dc.stats.InvalidOutcome++
+	dc.stats.Invalidations++
+	dc.mInvalid.Inc()
+}
+
+// snapshot exports the counters.
+func (dc *decisionCache) snapshot() CacheStats {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	s := dc.stats
+	s.Entries = dc.lru.Len()
+	return s
+}
+
+// DecisionCacheStats reports the decision cache's counters; the zero value
+// when the cache is disabled.
+func (c *Client) DecisionCacheStats() CacheStats {
+	if c.dcache == nil {
+		return CacheStats{}
+	}
+	return c.dcache.snapshot()
+}
+
+// cacheBeginKey derives the cache identity of one Begin: operation name,
+// decision-space shape, bucketed input parameters, data object, and the
+// candidate server set. The coarse resource picture is deliberately NOT
+// part of the key — it is stored with the entry and compared with drift
+// tolerance at lookup, so a modest availability wobble refreshes the entry
+// in place instead of growing a new one per fingerprint.
+func cacheBeginKey(op *Operation, params map[string]float64, data string, servers []string) string {
+	var b strings.Builder
+	b.WriteString(op.Name())
+	b.WriteByte('\x00')
+	b.WriteString(op.shapeKey)
+	b.WriteByte('\x00')
+	b.WriteString(paramBucketKey(params))
+	b.WriteByte('\x00')
+	b.WriteString(data)
+	b.WriteByte('\x00')
+	b.WriteString(strings.Join(servers, ","))
+	return b.String()
+}
+
+// paramBucketKey renders input parameters bucketed on a logarithmic scale:
+// values within ~41% of each other share a bucket, mirroring the snapshot
+// coarsening, because the demand models are smooth in their parameters.
+func paramBucketKey(params map[string]float64) string {
+	if len(params) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(params))
+	for name := range params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(strconv.Itoa(paramLevel(params[name])))
+	}
+	return b.String()
+}
+
+// paramLevel buckets one parameter value: level = round(log2(1+|v|) * 2),
+// signed. The +1 keeps small magnitudes (including zero) finite and in a
+// shared bucket.
+func paramLevel(v float64) int {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	l := int(math.Round(math.Log2(1+v) * 2))
+	if neg {
+		return -l
+	}
+	return l
+}

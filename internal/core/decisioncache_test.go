@@ -1,0 +1,600 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"spectra/internal/monitor"
+	"spectra/internal/obs"
+	"spectra/internal/sim"
+	"spectra/internal/simnet"
+	"spectra/internal/solver"
+)
+
+// newCacheSetup builds the toy testbed (100 MHz client, 1000 MHz server)
+// with the placement-decision cache enabled and any extra SimOptions the
+// test wants folded in.
+func newCacheSetup(t *testing.T, mutate func(*SimOptions)) *SimSetup {
+	t.Helper()
+	host := sim.NewMachine(sim.MachineConfig{
+		Name:        "client",
+		SpeedMHz:    100,
+		Power:       sim.PowerModel{IdleW: 1, BusyW: 10, NetW: 2},
+		OnWallPower: true,
+		Battery:     sim.NewBattery(50_000),
+	})
+	server := sim.NewMachine(sim.MachineConfig{
+		Name:        "big",
+		SpeedMHz:    1000,
+		Power:       sim.PowerModel{IdleW: 10, BusyW: 50, NetW: 12},
+		OnWallPower: true,
+	})
+	link := simnet.NewLink(simnet.LinkConfig{
+		Name:         "lan",
+		Latency:      time.Millisecond,
+		BandwidthBps: 1_000_000,
+	})
+	opts := SimOptions{
+		Host:    host,
+		Servers: []SimServer{{Name: "big", Machine: server, Link: link}},
+		Cache:   CacheOptions{Enabled: true},
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	setup, err := NewSimSetup(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := func(ctx *ServiceContext, optype string, payload []byte) ([]byte, error) {
+		ctx.Compute(sim.ComputeDemand{IntegerMegacycles: 500})
+		return []byte("ok"), nil
+	}
+	setup.Env.Host().RegisterService("toy", work)
+	node, _, _ := setup.Env.Server("big")
+	node.RegisterService("toy", work)
+	return setup
+}
+
+// trainToy observes both plans a few times so decisions are self-tuned.
+func trainToy(t *testing.T, setup *SimSetup, op *Operation) {
+	t.Helper()
+	setup.Refresh()
+	for i := 0; i < 3; i++ {
+		runToy(t, setup, op, solver.Alternative{Plan: "local"})
+		runToy(t, setup, op, solver.Alternative{Server: "big", Plan: "remote"})
+	}
+}
+
+// TestDecisionCacheWarmHitMatchesFresh is the equivalence core: a warm
+// Begin must return the same decision a fresh solve would, and report
+// honest near-zero Choosing overhead.
+func TestDecisionCacheWarmHitMatchesFresh(t *testing.T) {
+	cached := newCacheSetup(t, nil)
+	fresh := newCacheSetup(t, func(o *SimOptions) { o.Cache = CacheOptions{} })
+
+	opC, err := cached.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opF, err := fresh.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainToy(t, cached, opC)
+	trainToy(t, fresh, opF)
+
+	// Identical deterministic sims: each cached Begin (first a miss that
+	// solves, then warm hits) must match the cache-off twin's fresh solve.
+	for i := 0; i < 5; i++ {
+		oc, err := cached.Client.BeginFidelityOp(opC, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		of, err := fresh.Client.BeginFidelityOp(opF, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc, df := oc.Decision(), of.Decision()
+		if dc.Alternative.Key() != df.Alternative.Key() {
+			t.Fatalf("iteration %d: cached chose %v, fresh chose %v", i, dc.Alternative, df.Alternative)
+		}
+		if dc.Predicted != df.Predicted {
+			t.Fatalf("iteration %d: cached prediction %+v != fresh %+v", i, dc.Predicted, df.Predicted)
+		}
+		if dc.Utility != df.Utility {
+			t.Fatalf("iteration %d: cached utility %v != fresh %v", i, dc.Utility, df.Utility)
+		}
+		if i > 0 && dc.Overhead.Choosing != 0 {
+			t.Fatalf("iteration %d: warm hit reported Choosing=%v, want 0", i, dc.Overhead.Choosing)
+		}
+		oc.Abort()
+		of.Abort()
+	}
+	stats := cached.Client.DecisionCacheStats()
+	if stats.Misses != 1 || stats.Hits != 4 || stats.Stores != 1 {
+		t.Fatalf("stats = %+v, want 1 miss, 4 hits, 1 store", stats)
+	}
+	if off := fresh.Client.DecisionCacheStats(); off != (CacheStats{}) {
+		t.Fatalf("cache-off client reported stats %+v", off)
+	}
+}
+
+// TestDecisionCacheInvalidatesOnDrift pins the drift rule: a large remote
+// CPU availability change (several quantization levels) invalidates the
+// entry and the next Begin re-solves.
+func TestDecisionCacheInvalidatesOnDrift(t *testing.T) {
+	setup := newCacheSetup(t, nil)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainToy(t, setup, op)
+
+	for i := 0; i < 2; i++ {
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		octx.Abort()
+	}
+	if stats := setup.Client.DecisionCacheStats(); stats.Hits != 1 {
+		t.Fatalf("warm-up stats = %+v, want 1 hit", stats)
+	}
+
+	// 3 competing background tasks quarter the server's fair share:
+	// 1000 -> 250 MHz is two octaves, four quantization levels.
+	node, _, _ := setup.Env.Server("big")
+	node.Machine().SetBackgroundTasks(3)
+	setup.Refresh()
+
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	octx.Abort()
+	stats := setup.Client.DecisionCacheStats()
+	if stats.InvalidDrift != 1 {
+		t.Fatalf("stats = %+v, want exactly one drift invalidation", stats)
+	}
+	if stats.Misses != 2 || stats.Stores != 2 {
+		t.Fatalf("stats = %+v, want the drifted Begin to re-solve and refill", stats)
+	}
+}
+
+// TestDecisionCacheInvalidatesOnHealthChange pins the health rule: a
+// breaker transition flips the coarse reachability vector, which drift
+// tolerance never excuses.
+func TestDecisionCacheInvalidatesOnHealthChange(t *testing.T) {
+	setup := newCacheSetup(t, nil)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainToy(t, setup, op)
+
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	octx.Abort()
+
+	// Three consecutive failures open the breaker on "big".
+	now := setup.Clock.Now()
+	for i := 0; i < 3; i++ {
+		setup.Client.Health().RecordFailure("big", now)
+	}
+	if got := setup.Client.Health().State("big"); got != HealthOpen {
+		t.Fatalf("health state = %v, want open", got)
+	}
+
+	octx, err = setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if octx.Decision().Alternative.Plan != "local" {
+		t.Fatalf("post-quarantine decision = %+v, want local", octx.Decision().Alternative)
+	}
+	octx.Abort()
+	if stats := setup.Client.DecisionCacheStats(); stats.InvalidHealth != 1 {
+		t.Fatalf("stats = %+v, want one health invalidation", stats)
+	}
+}
+
+// TestDecisionCacheInvalidatesOnAccuracyRegression pins the predictor-
+// trust rule: when an operation's rolling relative error grows past the
+// threshold after the entry was filled, the entry is dropped.
+func TestDecisionCacheInvalidatesOnAccuracyRegression(t *testing.T) {
+	o := obs.NewObserver()
+	setup := newCacheSetup(t, func(s *SimOptions) { s.Obs = o })
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainToy(t, setup, op)
+
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	octx.Abort()
+
+	// The predictor goes bad: rolling latency error jumps to ~0.9, far
+	// past the default 0.15 regression threshold. Below AccuracyMinSamples
+	// the estimate is not acted on, so the entry must survive the first
+	// two samples (the satellite-3 guard) and die on the third.
+	for i := 0; i < obs.AccuracyMinSamples; i++ {
+		if stats := setup.Client.DecisionCacheStats(); stats.InvalidAccuracy != 0 {
+			t.Fatalf("entry invalidated after only %d error samples: %+v", i, stats)
+		}
+		octx, err = setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		octx.Abort()
+		o.Accuracy.Observe(op.Name(), obs.ResLatency, 0.9)
+	}
+	octx, err = setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	octx.Abort()
+	if stats := setup.Client.DecisionCacheStats(); stats.InvalidAccuracy != 1 {
+		t.Fatalf("stats = %+v, want one accuracy invalidation", stats)
+	}
+
+	// The refilled entry recorded the (now stable) high error as its
+	// baseline, so steady badness does not thrash the cache.
+	octx, err = setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	octx.Abort()
+	if stats := setup.Client.DecisionCacheStats(); stats.InvalidAccuracy != 1 {
+		t.Fatalf("stats = %+v: steady high error must not re-invalidate", stats)
+	}
+}
+
+// TestDecisionCacheTTLExpiry pins the hard lifetime, measured on the
+// runtime (virtual) clock.
+func TestDecisionCacheTTLExpiry(t *testing.T) {
+	setup := newCacheSetup(t, nil)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainToy(t, setup, op)
+
+	for i := 0; i < 2; i++ {
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		octx.Abort()
+	}
+	setup.Clock.Advance(DefaultCacheTTL)
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	octx.Abort()
+	stats := setup.Client.DecisionCacheStats()
+	if stats.InvalidTTL != 1 || stats.Hits != 1 {
+		t.Fatalf("stats = %+v, want one TTL invalidation after one hit", stats)
+	}
+}
+
+// TestDecisionCacheOutcomeInvalidation pins End feedback: a warm-hit
+// operation whose execution failed over (degraded) drops its entry, so the
+// next Begin re-deliberates.
+func TestDecisionCacheOutcomeInvalidation(t *testing.T) {
+	setup := newCacheSetup(t, nil)
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainToy(t, setup, op)
+
+	warm := func() *OpContext {
+		t.Helper()
+		octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return octx
+	}
+	warm().Abort() // fill
+	octx := warm() // hit
+	if octx.Decision().Alternative.Server != "big" {
+		t.Fatalf("trained decision = %+v, want remote on big", octx.Decision().Alternative)
+	}
+
+	// The server dies mid-operation; failover degrades to local execution.
+	_, link, _ := setup.Env.Server("big")
+	link.SetPartitioned(true)
+	if _, err := octx.DoRemoteOp("run", []byte("x")); err != nil {
+		t.Fatalf("failover should have recovered: %v", err)
+	}
+	rep, err := octx.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded && len(rep.Failovers) == 0 {
+		t.Fatalf("report = %+v, expected a failover", rep)
+	}
+	if stats := setup.Client.DecisionCacheStats(); stats.InvalidOutcome != 1 {
+		t.Fatalf("stats = %+v, want one outcome invalidation", stats)
+	}
+}
+
+// TestDecisionCacheBypasses pins the three bypass rules: forced Begins and
+// traced Begins never consult or fill the cache.
+func TestDecisionCacheBypasses(t *testing.T) {
+	o := obs.NewObserver()
+	o.Sink = obs.NewMemorySink(16)
+	setup := newCacheSetup(t, func(s *SimOptions) { s.Obs = o })
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainToy(t, setup, op) // forced runs: all bypasses
+	base := setup.Client.DecisionCacheStats()
+	if base.Bypasses == 0 || base.Stores != 0 || base.Hits != 0 {
+		t.Fatalf("forced training stats = %+v, want only bypasses", base)
+	}
+
+	// Traced Begin: bypasses too, so the emitted trace records a complete
+	// deliberation.
+	octx, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	octx.Abort()
+	stats := setup.Client.DecisionCacheStats()
+	if stats.Bypasses != base.Bypasses+1 || stats.Stores != 0 {
+		t.Fatalf("traced Begin stats = %+v, want one more bypass and no store", stats)
+	}
+}
+
+// TestDecisionCacheConcurrentStress races warm Begins against each other
+// (run under -race) and checks every concurrent decision matches the
+// cache-off twin's fresh solve.
+func TestDecisionCacheConcurrentStress(t *testing.T) {
+	cached := newCacheSetup(t, nil)
+	fresh := newCacheSetup(t, func(o *SimOptions) { o.Cache = CacheOptions{} })
+	opC, err := cached.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opF, err := fresh.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainToy(t, cached, opC)
+	trainToy(t, fresh, opF)
+
+	want, err := fresh.Client.BeginFidelityOp(opF, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey := want.Decision().Alternative.Key()
+	want.Abort()
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		seen = make(map[string]int)
+	)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				octx, err := cached.Client.BeginFidelityOp(opC, nil, "")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				key := octx.Decision().Alternative.Key()
+				octx.Abort()
+				mu.Lock()
+				seen[key]++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 1 || seen[wantKey] != 400 {
+		t.Fatalf("concurrent decisions = %v, want 400× %s", seen, wantKey)
+	}
+	stats := cached.Client.DecisionCacheStats()
+	if stats.Hits+stats.Misses != 400 || stats.Hits < 300 {
+		t.Fatalf("stats = %+v, want 400 lookups, overwhelmingly hits", stats)
+	}
+}
+
+// TestDecisionCacheLRUEviction unit-tests the bound: beyond MaxEntries the
+// least-recently-used entry is evicted.
+func TestDecisionCacheLRUEviction(t *testing.T) {
+	dc := newDecisionCache(CacheOptions{Enabled: true, MaxEntries: 2}, nil)
+	now := time.Unix(0, 0)
+	var coarse monitor.CoarseSnapshot
+	dc.store("a", coarse, Decision{}, obs.ResourceDemand{}, now, nil)
+	dc.store("b", coarse, Decision{}, obs.ResourceDemand{}, now, nil)
+	if _, _, ok := dc.lookup("a", coarse, now, nil); !ok {
+		t.Fatal("a should be cached")
+	}
+	// a is now most recent; storing c must evict b.
+	dc.store("c", coarse, Decision{}, obs.ResourceDemand{}, now, nil)
+	if _, _, ok := dc.lookup("b", coarse, now, nil); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, _, ok := dc.lookup("a", coarse, now, nil); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	stats := dc.snapshot()
+	if stats.Evictions != 1 || stats.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, 2 entries", stats)
+	}
+}
+
+// TestDecisionCacheDriftTolerance unit-tests the level arithmetic: one
+// level of movement is tolerated by default, two is not, and a
+// reachability flip is never tolerated.
+func TestDecisionCacheDriftTolerance(t *testing.T) {
+	dc := newDecisionCache(CacheOptions{Enabled: true}, nil)
+	now := time.Unix(0, 0)
+	base := monitor.CoarseSnapshot{
+		LocalCPULevel: 13, BatteryLevel: 30, ImportanceLevel: 0, OnWallPower: true,
+		Servers: []monitor.CoarseServer{{Name: "s", Reachable: true, CPULevel: 20, BandwidthLevel: 40, LatencyLevel: 0}},
+	}
+	dc.store("k", base, Decision{}, obs.ResourceDemand{}, now, nil)
+
+	oneOff := base
+	oneOff.LocalCPULevel = 12
+	if _, _, ok := dc.lookup("k", oneOff, now, nil); !ok {
+		t.Fatal("one level of drift must be tolerated")
+	}
+	twoOff := base
+	twoOff.Servers = []monitor.CoarseServer{{Name: "s", Reachable: true, CPULevel: 18, BandwidthLevel: 40, LatencyLevel: 0}}
+	if _, _, ok := dc.lookup("k", twoOff, now, nil); ok {
+		t.Fatal("two levels of drift must invalidate")
+	}
+
+	dc.store("k", base, Decision{}, obs.ResourceDemand{}, now, nil)
+	dead := base
+	dead.Servers = []monitor.CoarseServer{{Name: "s", Reachable: false, CPULevel: 20, BandwidthLevel: 40, LatencyLevel: 0}}
+	if _, _, ok := dc.lookup("k", dead, now, nil); ok {
+		t.Fatal("a reachability flip must invalidate")
+	}
+	stats := dc.snapshot()
+	if stats.InvalidDrift != 1 || stats.InvalidHealth != 1 {
+		t.Fatalf("stats = %+v, want one drift and one health invalidation", stats)
+	}
+}
+
+// TestParamBucketing pins the logarithmic input-parameter bucketing: close
+// values share a bucket, distant ones do not, and rendering is
+// order-independent.
+func TestParamBucketing(t *testing.T) {
+	if paramBucketKey(map[string]float64{"a": 1, "b": 2}) != paramBucketKey(map[string]float64{"b": 2, "a": 1}) {
+		t.Fatal("bucket key must not depend on map order")
+	}
+	if paramBucketKey(map[string]float64{"n": 100}) != paramBucketKey(map[string]float64{"n": 104}) {
+		t.Fatal("values within ~2% must share a bucket")
+	}
+	if paramBucketKey(map[string]float64{"n": 100}) == paramBucketKey(map[string]float64{"n": 200}) {
+		t.Fatal("a doubled value must change bucket")
+	}
+	if paramLevel(0) != 0 || paramLevel(-5) != -paramLevel(5) {
+		t.Fatalf("paramLevel: zero=%d, -5=%d, 5=%d", paramLevel(0), paramLevel(-5), paramLevel(5))
+	}
+	if paramBucketKey(nil) != "" {
+		t.Fatal("empty params must render empty")
+	}
+}
+
+// TestSnapshotCacheBustsOnHealthTransition is the satellite-1 regression
+// test: a TTL-fresh snapshot must be discarded when the health tracker
+// transitions, so a post-failover Begin sees the real fleet.
+func TestSnapshotCacheBustsOnHealthTransition(t *testing.T) {
+	setup := newCacheSetup(t, nil)
+	// A second client over the same monitors, with an hour-long snapshot
+	// TTL: without generation busting, the stale snapshot would outlive
+	// any breaker transition.
+	c2, err := NewClient(Config{
+		Runtime:     setup.Runtime,
+		Monitors:    setup.Client.Monitors(),
+		Network:     setup.Network,
+		Servers:     []string{"big"},
+		SnapshotTTL: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup.Refresh()
+
+	servers := c2.Servers()
+	s1, _ := c2.snapshotFor(servers)
+	if !s1.Network["big"].Reachable {
+		t.Fatal("server should start reachable")
+	}
+	if s2, _ := c2.snapshotFor(servers); s2 != s1 {
+		t.Fatal("TTL-fresh snapshot should be shared")
+	}
+
+	now := setup.Clock.Now()
+	for i := 0; i < 3; i++ {
+		c2.Health().RecordFailure("big", now)
+	}
+	s3, _ := c2.snapshotFor(servers)
+	if s3 == s1 {
+		t.Fatal("snapshot cache served a stale fleet view across a health transition")
+	}
+	if s3.Network["big"].Reachable {
+		t.Fatal("post-transition snapshot must fold in the open breaker")
+	}
+}
+
+// stepClock is a deterministic overhead clock: every Now() call advances
+// it by one fixed step.
+type stepClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func (c *stepClock) Sleep(time.Duration) {}
+
+// TestOverheadClockInjectable is the satellite-2 regression test: every
+// BeginOverhead measurement must route through Config.OverheadClock, so an
+// injected clock makes the breakdown deterministic — and a warm hit costs
+// exactly one clock interval (begin entry to warm exit) with zero Choosing
+// and FilePrediction.
+func TestOverheadClockInjectable(t *testing.T) {
+	const step = time.Millisecond
+	clk := &stepClock{now: time.Unix(0, 0), step: step}
+	setup := newCacheSetup(t, func(o *SimOptions) { o.OverheadClock = clk })
+	op, err := setup.Client.RegisterFidelity(toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainToy(t, setup, op)
+
+	solve, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh := solve.Decision().Overhead
+	solve.Abort()
+	if oh.Total <= 0 || oh.Total%step != 0 {
+		t.Fatalf("solver-path Total = %v, want a positive multiple of %v", oh.Total, step)
+	}
+	if oh.Choosing <= 0 || oh.Choosing%step != 0 {
+		t.Fatalf("solver-path Choosing = %v, want a positive multiple of %v", oh.Choosing, step)
+	}
+
+	warm, err := setup.Client.BeginFidelityOp(op, nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oh = warm.Decision().Overhead
+	warm.Abort()
+	if oh.Total != step {
+		t.Fatalf("warm-hit Total = %v, want exactly one clock step (%v)", oh.Total, step)
+	}
+	if oh.Choosing != 0 || oh.FilePrediction != 0 {
+		t.Fatalf("warm-hit overhead = %+v, want zero Choosing and FilePrediction", oh)
+	}
+	if oh.Other != step {
+		t.Fatalf("warm-hit Other = %v, want %v", oh.Other, step)
+	}
+}

@@ -41,6 +41,10 @@ type estimator struct {
 	candsByKey map[string][]predict.FileLikelihood
 	reintByKey map[string]reintPlan
 
+	// wall measures prediction overheads (never semantics); tests inject a
+	// deterministic clock through Config.OverheadClock.
+	wall sim.Clock
+
 	// filePredTime accumulates the wall-clock cost of file predictions,
 	// reported as "file cache prediction" in the Figure-10 breakdown.
 	filePredTime time.Duration
@@ -54,13 +58,17 @@ type reintPlan struct {
 
 // newEstimator snapshots the dirty-volume state shared by all
 // alternatives; per-alternative file predictions are memoized on demand.
-func newEstimator(op *Operation, snap *monitor.Snapshot, params map[string]float64, data string, cons ConsistencySource) *estimator {
+func newEstimator(op *Operation, snap *monitor.Snapshot, params map[string]float64, data string, cons ConsistencySource, wall sim.Clock) *estimator {
+	if wall == nil {
+		wall = sim.RealClock{}
+	}
 	e := &estimator{
 		op:         op,
 		snap:       snap,
 		params:     params,
 		data:       data,
 		cons:       cons,
+		wall:       wall,
 		dirtyVols:  make(map[string]int64),
 		candsByKey: make(map[string][]predict.FileLikelihood),
 		reintByKey: make(map[string]reintPlan),
@@ -79,10 +87,10 @@ func (e *estimator) candidates(key string) []predict.FileLikelihood {
 	if cands, ok := e.candsByKey[key]; ok {
 		return cands
 	}
-	start := time.Now()
+	start := e.wall.Now()
 	cands := e.op.models.fileCandidates(key, e.data)
 	e.candsByKey[key] = cands
-	e.filePredTime += time.Since(start)
+	e.filePredTime += e.wall.Now().Sub(start)
 	return cands
 }
 

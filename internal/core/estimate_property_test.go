@@ -64,7 +64,7 @@ func TestEstimatorRobustnessProperty(t *testing.T) {
 		snap.RemoteCache["srv"] = monitor.CacheAvail{Known: true, FetchRateBps: 1000}
 		snap.Services["srv"] = []string{"svc"}
 
-		est := newEstimator(op, snap, nil, "", nil)
+		est := newEstimator(op, snap, nil, "", nil, nil)
 		for _, alt := range []solver.Alternative{
 			{Plan: "local"},
 			{Server: "srv", Plan: "remote"},

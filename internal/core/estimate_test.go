@@ -59,7 +59,7 @@ func newEstimatorFixture(t *testing.T) *estimatorFixture {
 
 func TestEstimatorLocalPlanArithmetic(t *testing.T) {
 	f := newEstimatorFixture(t)
-	est := newEstimator(f.op, f.snap, nil, "", nil)
+	est := newEstimator(f.op, f.snap, nil, "", nil, nil)
 	p := est.Predict(solver.Alternative{Plan: "local"})
 	if !p.Feasible {
 		t.Fatal("local plan infeasible")
@@ -76,7 +76,7 @@ func TestEstimatorLocalPlanArithmetic(t *testing.T) {
 
 func TestEstimatorRemotePlanArithmetic(t *testing.T) {
 	f := newEstimatorFixture(t)
-	est := newEstimator(f.op, f.snap, nil, "", nil)
+	est := newEstimator(f.op, f.snap, nil, "", nil, nil)
 	p := est.Predict(solver.Alternative{Server: "srv", Plan: "remote"})
 	if !p.Feasible {
 		t.Fatal("remote plan infeasible")
@@ -90,7 +90,7 @@ func TestEstimatorRemotePlanArithmetic(t *testing.T) {
 
 func TestEstimatorInfeasibleCases(t *testing.T) {
 	f := newEstimatorFixture(t)
-	est := newEstimator(f.op, f.snap, nil, "", nil)
+	est := newEstimator(f.op, f.snap, nil, "", nil, nil)
 
 	// Unknown plan.
 	if p := est.Predict(solver.Alternative{Plan: "ghost"}); p.Feasible {
@@ -121,14 +121,14 @@ func TestEstimatorMissCost(t *testing.T) {
 		observedUsage{remoteMegacycles: 100, netBytes: 1000, rpcs: 1,
 			files: []predict.FileAccess{{Path: "/data", SizeBytes: 50_000, Remote: true}}})
 
-	est := newEstimator(f.op, f.snap, nil, "", nil)
+	est := newEstimator(f.op, f.snap, nil, "", nil, nil)
 	cold := est.Predict(solver.Alternative{Server: "srv", Plan: "remote"})
 
 	// Warm the server cache: the miss cost disappears.
 	f.snap.RemoteCache["srv"] = monitor.CacheAvail{
 		Cached: map[string]bool{"/data": true}, FetchRateBps: 100_000, Known: true,
 	}
-	est2 := newEstimator(f.op, f.snap, nil, "", nil)
+	est2 := newEstimator(f.op, f.snap, nil, "", nil, nil)
 	warm := est2.Predict(solver.Alternative{Server: "srv", Plan: "remote"})
 
 	// Cold: the file entered the model at likelihood 1 (files start certain
@@ -175,7 +175,7 @@ func TestEstimatorReintegrationCost(t *testing.T) {
 		dirty: map[string]int64{"docs": 20_000, "scratch": 9_999},
 		vols:  map[string]string{"/doc": "docs", "/scratch": "scratch"},
 	}
-	est := newEstimator(f.op, f.snap, nil, "", cons)
+	est := newEstimator(f.op, f.snap, nil, "", cons, nil)
 
 	// Remote plan: must reintegrate "docs" (20 kB / 10 kB/s = 2 s).
 	vols, bytes := est.reintegration("plan=remote")
@@ -198,7 +198,7 @@ func TestEstimatorReintegrationCost(t *testing.T) {
 
 func TestEstimatorFilePredictionTimeAccounted(t *testing.T) {
 	f := newEstimatorFixture(t)
-	est := newEstimator(f.op, f.snap, nil, "", nil)
+	est := newEstimator(f.op, f.snap, nil, "", nil, nil)
 	est.Predict(solver.Alternative{Plan: "local"})
 	if est.filePredTime < 0 {
 		t.Fatal("negative file prediction time")

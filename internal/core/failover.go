@@ -106,7 +106,7 @@ func (c *Client) nextServer(op *Operation, alt solver.Alternative, params map[st
 	}
 	snap := c.monitors.Snapshot(c.runtime.Now(), remaining)
 	c.applyHealth(snap, remaining)
-	est := newEstimator(op, snap, params, data, c.cons)
+	est := newEstimator(op, snap, params, data, c.cons, c.wallClock)
 	fn := c.utilityFn(op, snap)
 
 	best, bestU := "", 0.0

@@ -51,6 +51,9 @@ type LiveOptions struct {
 	// one monitor fan-out. 0 selects DefaultSnapshotTTL; negative disables
 	// caching.
 	SnapshotTTL time.Duration
+	// Cache tunes the placement-decision cache; the zero value disables it
+	// (see CacheOptions).
+	Cache CacheOptions
 }
 
 // DefaultSnapshotTTL is the live decision-snapshot cache window: long
@@ -157,6 +160,7 @@ func NewLiveSetup(opts LiveOptions) (*LiveSetup, error) {
 		Deadline:    opts.Deadline,
 		Obs:         opts.Obs,
 		SnapshotTTL: snapTTL,
+		Cache:       opts.Cache,
 	})
 	if err != nil {
 		return nil, err

@@ -30,6 +30,11 @@ type OpContext struct {
 	ended     bool
 	aborted   bool
 
+	// cacheKey is the decision-cache identity of this Begin ("" when the
+	// cache was off or bypassed); End feeds the execution outcome back to
+	// the entry through it.
+	cacheKey string
+
 	// failovers records transparent recoveries performed mid-operation;
 	// degraded marks executions that left the decided plan (e.g. a remote
 	// component ran locally), whose observations are not representative
@@ -250,6 +255,12 @@ func (x *OpContext) End() (Report, error) {
 	x.client.hooks.opEnd.Inc()
 	if x.degraded {
 		x.client.hooks.opDegraded.Inc()
+	}
+	// Outcome feedback: a degraded or failed-over execution proves the
+	// cached placement wrong right now, so the entry is dropped and the
+	// next Begin re-solves against the live picture.
+	if x.client.dcache != nil && x.cacheKey != "" {
+		x.client.dcache.noteOutcome(x.cacheKey, x.degraded || len(x.failovers) > 0)
 	}
 	x.finishObservation(usage)
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"spectra/internal/obs"
@@ -113,6 +114,28 @@ func (s *OperationSpec) validate() error {
 	return nil
 }
 
+// decisionShapeKey renders the shape of the decision space the solver
+// searches: every plan (with its server use) and every fidelity dimension
+// with its value list, in declaration order.
+func (s *OperationSpec) decisionShapeKey() string {
+	var b strings.Builder
+	for _, p := range s.Plans {
+		b.WriteString(p.Name)
+		if p.UsesServer {
+			b.WriteByte('@')
+		}
+		b.WriteByte(';')
+	}
+	b.WriteByte('|')
+	for _, d := range s.allFidelityDimensions() {
+		b.WriteString(d.Name)
+		b.WriteByte('=')
+		b.WriteString(strings.Join(d.Values, ","))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
 // allFidelityDimensions renders discrete and (discretized) continuous
 // dimensions uniformly for enumeration.
 func (s *OperationSpec) allFidelityDimensions() []FidelityDimension {
@@ -154,6 +177,10 @@ type Operation struct {
 	acc *obs.OpAccuracy
 
 	fidelityCombos []map[string]string
+	// shapeKey fingerprints the decision space's shape (plans and fidelity
+	// dimensions); part of the decision cache's key, so a cached decision is
+	// never replayed against a differently shaped space.
+	shapeKey string
 	// registerDuration is the wall-clock cost of register_fidelity,
 	// reported in the Figure-10 overhead table.
 	registerDuration time.Duration

@@ -51,6 +51,16 @@ type SimOptions struct {
 	// Obs enables metrics, decision traces, and prediction-accuracy
 	// accounting; nil disables observability.
 	Obs *obs.Observer
+	// Cache tunes the placement-decision cache; the zero value disables it
+	// (a deterministic replay wants every Begin to deliberate).
+	Cache CacheOptions
+	// SnapshotTTL caches the decision snapshot; 0 (the default) disables
+	// caching, which is right for deterministic simulation where virtual
+	// time may not advance between Begins. Benchmarks opt in to measure the
+	// warm path.
+	SnapshotTTL time.Duration
+	// OverheadClock times decision overheads; nil selects the system clock.
+	OverheadClock sim.Clock
 }
 
 // SimSetup is an assembled simulated deployment: environment, monitors,
@@ -133,18 +143,21 @@ func NewSimSetup(opts SimOptions) (*SimSetup, error) {
 
 	runtime := NewSimRuntime(env, network)
 	client, err := NewClient(Config{
-		Runtime:     runtime,
-		Monitors:    monitors,
-		Network:     network,
-		Consistency: hostCoda,
-		Servers:     serverNames,
-		UsageLog:    usageLog,
-		Models:      opts.Models,
-		Solver:      opts.Solver,
-		Exhaustive:  opts.Exhaustive,
-		Failover:    opts.Failover,
-		Health:      opts.Health,
-		Obs:         opts.Obs,
+		Runtime:       runtime,
+		Monitors:      monitors,
+		Network:       network,
+		Consistency:   hostCoda,
+		Servers:       serverNames,
+		UsageLog:      usageLog,
+		Models:        opts.Models,
+		Solver:        opts.Solver,
+		Exhaustive:    opts.Exhaustive,
+		Failover:      opts.Failover,
+		Health:        opts.Health,
+		Obs:           opts.Obs,
+		Cache:         opts.Cache,
+		SnapshotTTL:   opts.SnapshotTTL,
+		OverheadClock: opts.OverheadClock,
 	})
 	if err != nil {
 		return nil, err

@@ -27,7 +27,7 @@ func (c *Client) EvaluateAlternatives(op *Operation, params map[string]float64, 
 	servers := c.Servers()
 	snap := c.monitors.Snapshot(c.runtime.Now(), servers)
 	c.applyHealth(snap, servers)
-	est := newEstimator(op, snap, params, data, c.cons)
+	est := newEstimator(op, snap, params, data, c.cons, c.wallClock)
 	fn := c.utilityFn(op, snap)
 
 	candidates := op.alternatives(servers)

@@ -9,6 +9,12 @@ import (
 // relative-error estimates, matching the demand models' recency weighting.
 const DefaultAccuracyDecay = 0.95
 
+// AccuracyMinSamples is how many observations RelativeError needs before it
+// reports ok (mirroring core's latency-ring p95 guard): consumers that act
+// on the rolling error — notably the decision cache's accuracy-regression
+// invalidation — must not fire off one noisy sample.
+const AccuracyMinSamples = 3
+
 // AccuracyStat is the exported rolling accuracy of one (operation,
 // resource) pair.
 type AccuracyStat struct {
@@ -95,7 +101,9 @@ func (a *AccuracyTracker) observeStat(st *accStat, relErr float64) float64 {
 }
 
 // RelativeError returns the rolling mean relative error for the operation
-// and resource; ok is false before any observation.
+// and resource. ok is false before AccuracyMinSamples observations have
+// been absorbed — the mean and sample count are still reported so callers
+// can display them, but they are too noisy to act on.
 func (a *AccuracyTracker) RelativeError(op, resource string) (mean float64, samples int, ok bool) {
 	if a == nil {
 		return 0, 0, false
@@ -106,7 +114,7 @@ func (a *AccuracyTracker) RelativeError(op, resource string) (mean float64, samp
 	if !found || st.weight == 0 {
 		return 0, 0, false
 	}
-	return st.sum / st.weight, st.samples, true
+	return st.sum / st.weight, st.samples, st.samples >= AccuracyMinSamples
 }
 
 // OpAccuracy is a per-operation handle feeding relative-error samples to

@@ -78,6 +78,16 @@ const (
 	MSnapCacheHits   = "spectra.monitor.snapshot.cache.hits.total"
 	MSnapCacheMisses = "spectra.monitor.snapshot.cache.misses.total"
 
+	// Placement-decision cache ("virtual stubs"): warm Begins reuse a prior
+	// decision under an unchanged coarse resource picture. Bypasses count
+	// forced/traced Begins that skip the cache by design; invalidations
+	// count entries dropped for staleness (TTL, drift, health, accuracy).
+	MDecisionCacheHits          = "spectra.decision.cache.hits.total"
+	MDecisionCacheMisses        = "spectra.decision.cache.misses.total"
+	MDecisionCacheBypass        = "spectra.decision.cache.bypass.total"
+	MDecisionCacheInvalidations = "spectra.decision.cache.invalidations.total"
+	MDecisionCacheEntries       = "spectra.decision.cache.entries"
+
 	// Demand-predictor model selection (which model answered a query).
 	MPredictHitBin     = "spectra.predict.hits.bin.total"
 	MPredictHitGeneric = "spectra.predict.hits.generic.total"
@@ -158,9 +168,12 @@ func RegisterCoreMetrics(r *Registry) {
 		MServerRequests, MServerErrors, MServerQueueRejected, MServerDeadlineShed,
 		MDeadlineExceeded, MHedgeLaunched, MHedgeWins,
 		MSnapCacheHits, MSnapCacheMisses,
+		MDecisionCacheHits, MDecisionCacheMisses,
+		MDecisionCacheBypass, MDecisionCacheInvalidations,
 	} {
 		r.Counter(name)
 	}
+	r.Gauge(MDecisionCacheEntries)
 	r.Gauge(MPoolInUse)
 	r.Gauge(MServerQueueDepth)
 	r.Histogram(MServerQueueWaitSeconds, DefaultLatencyBuckets)

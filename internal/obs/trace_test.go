@@ -60,9 +60,15 @@ func TestAccuracyTracker(t *testing.T) {
 	a.Observe("speech", ResCPULocal, 0.2)
 	a.Observe("speech", ResCPULocal, 0.4)
 	a.Observe("speech", ResNetBytes, 0.1)
+	// Below AccuracyMinSamples the mean is reported but not ok: one or two
+	// noisy samples must not drive invalidation decisions.
+	if mean, n, ok := a.RelativeError("speech", ResCPULocal); ok || n != 2 || math.Abs(mean-0.3) > 1e-12 {
+		t.Fatalf("RelativeError = (%v, %d, %v), want (0.3, 2, false) below min samples", mean, n, ok)
+	}
+	a.Observe("speech", ResCPULocal, 0.3)
 	mean, n, ok := a.RelativeError("speech", ResCPULocal)
-	if !ok || n != 2 || math.Abs(mean-0.3) > 1e-12 {
-		t.Fatalf("RelativeError = (%v, %d, %v), want (0.3, 2, true)", mean, n, ok)
+	if !ok || n != 3 || math.Abs(mean-0.3) > 1e-12 {
+		t.Fatalf("RelativeError = (%v, %d, %v), want (0.3, 3, true)", mean, n, ok)
 	}
 	if _, _, ok := a.RelativeError("speech", ResEnergy); ok {
 		t.Fatal("untracked pair should report ok=false")
@@ -87,13 +93,32 @@ func TestAccuracyTracker(t *testing.T) {
 
 func TestObserverPredictionErrorGauges(t *testing.T) {
 	o := NewObserver()
-	o.ObservePredictionError("janus", map[string]float64{ResCPULocal: 0.25})
+	for i := 0; i < AccuracyMinSamples; i++ {
+		o.ObservePredictionError("janus", map[string]float64{ResCPULocal: 0.25})
+	}
 	g := o.Registry.Gauge(RelErrPrefix + "janus." + ResCPULocal)
 	if g.Value() != 0.25 {
 		t.Fatalf("relerr gauge = %v, want 0.25", g.Value())
 	}
 	mean, n, ok := o.Accuracy.RelativeError("janus", ResCPULocal)
-	if !ok || n != 1 || mean != 0.25 {
-		t.Fatalf("accuracy = (%v, %d, %v), want (0.25, 1, true)", mean, n, ok)
+	if !ok || n != AccuracyMinSamples || mean != 0.25 {
+		t.Fatalf("accuracy = (%v, %d, %v), want (0.25, %d, true)", mean, n, ok, AccuracyMinSamples)
+	}
+}
+
+// TestRelativeErrorMinSamples pins the guard the decision cache's
+// accuracy-regression invalidation relies on: ok stays false until
+// AccuracyMinSamples observations, then flips with an unchanged mean.
+func TestRelativeErrorMinSamples(t *testing.T) {
+	a := NewAccuracyTracker(1)
+	for i := 0; i < AccuracyMinSamples-1; i++ {
+		a.Observe("op", ResLatency, 0.9) // one huge outlier, then another
+		if _, _, ok := a.RelativeError("op", ResLatency); ok {
+			t.Fatalf("ok after %d samples, want false below %d", i+1, AccuracyMinSamples)
+		}
+	}
+	a.Observe("op", ResLatency, 0.9)
+	if mean, n, ok := a.RelativeError("op", ResLatency); !ok || n != AccuracyMinSamples || math.Abs(mean-0.9) > 1e-12 {
+		t.Fatalf("RelativeError = (%v, %d, %v), want (0.9, %d, true)", mean, n, ok, AccuracyMinSamples)
 	}
 }

@@ -46,6 +46,13 @@ type Options struct {
 	// Obs enables metrics, decision traces, and prediction-accuracy
 	// accounting; nil disables observability.
 	Obs *obs.Observer
+	// Cache tunes the placement-decision cache; the zero value disables it.
+	Cache core.CacheOptions
+	// SnapshotTTL caches the decision snapshot; 0 (the default) disables
+	// caching for deterministic replays. Benchmarks opt in.
+	SnapshotTTL time.Duration
+	// OverheadClock times decision overheads; nil selects the system clock.
+	OverheadClock sim.Clock
 }
 
 // Speech is the assembled speech-recognition testbed.
@@ -81,13 +88,16 @@ func NewSpeech(opts Options) (*Speech, error) {
 		Servers: []core.SimServer{
 			{Name: "t20", Machine: t20, Link: serial, FSLink: t20LAN},
 		},
-		UsageLogDir: opts.UsageLogDir,
-		Models:      opts.Models,
-		Solver:      opts.Solver,
-		Exhaustive:  opts.Exhaustive,
-		Failover:    opts.Failover,
-		Health:      opts.Health,
-		Obs:         opts.Obs,
+		UsageLogDir:   opts.UsageLogDir,
+		Models:        opts.Models,
+		Solver:        opts.Solver,
+		Exhaustive:    opts.Exhaustive,
+		Failover:      opts.Failover,
+		Health:        opts.Health,
+		Obs:           opts.Obs,
+		Cache:         opts.Cache,
+		SnapshotTTL:   opts.SnapshotTTL,
+		OverheadClock: opts.OverheadClock,
 	})
 	if err != nil {
 		return nil, err
@@ -150,13 +160,16 @@ func NewLaptop(opts Options) (*Laptop, error) {
 			{Name: "serverA", Machine: serverA, Link: wa, FSLink: lan("lan-a")},
 			{Name: "serverB", Machine: serverB, Link: wb, FSLink: lan("lan-b")},
 		},
-		UsageLogDir: opts.UsageLogDir,
-		Models:      opts.Models,
-		Solver:      opts.Solver,
-		Exhaustive:  opts.Exhaustive,
-		Failover:    opts.Failover,
-		Health:      opts.Health,
-		Obs:         opts.Obs,
+		UsageLogDir:   opts.UsageLogDir,
+		Models:        opts.Models,
+		Solver:        opts.Solver,
+		Exhaustive:    opts.Exhaustive,
+		Failover:      opts.Failover,
+		Health:        opts.Health,
+		Obs:           opts.Obs,
+		Cache:         opts.Cache,
+		SnapshotTTL:   opts.SnapshotTTL,
+		OverheadClock: opts.OverheadClock,
 	})
 	if err != nil {
 		return nil, err

@@ -16,10 +16,12 @@ import (
 
 // --- Hot-path micro-benchmarks --------------------------------------------
 
-// BenchmarkBeginFidelityOp measures one full placement decision on the
-// trained speech workload: snapshot, file prediction, solve, consistency.
-func BenchmarkBeginFidelityOp(b *testing.B) {
-	tb, err := testbed.NewSpeech(testbed.Options{})
+// benchSpeechApp assembles the trained speech workload for Begin
+// micro-benchmarks: the testbed, the janus app, and three forced training
+// passes over each alternative so decisions are self-tuned.
+func benchSpeechApp(b *testing.B, opts testbed.Options) (*testbed.Speech, *janus.App) {
+	b.Helper()
+	tb, err := testbed.NewSpeech(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -40,6 +42,13 @@ func BenchmarkBeginFidelityOp(b *testing.B) {
 			}
 		}
 	}
+	return tb, app
+}
+
+// runBeginLoop is the measured Begin/Abort loop shared by the solver-path
+// and warm-path benchmarks.
+func runBeginLoop(b *testing.B, tb *testbed.Speech, app *janus.App) {
+	b.Helper()
 	params := map[string]float64{janus.ParamLength: 2}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -49,6 +58,27 @@ func BenchmarkBeginFidelityOp(b *testing.B) {
 		}
 		octx.Abort()
 	}
+}
+
+// BenchmarkBeginFidelityOp measures one full placement decision on the
+// trained speech workload: snapshot, file prediction, solve, consistency.
+func BenchmarkBeginFidelityOp(b *testing.B) {
+	tb, app := benchSpeechApp(b, testbed.Options{})
+	runBeginLoop(b, tb, app)
+}
+
+// BenchmarkBeginFidelityOpWarm measures the same Begin with the
+// placement-decision cache enabled: after the first solve, every iteration
+// is a warm hit — fingerprint comparison instead of predict + search. The
+// virtual clock is frozen during the loop, so neither the snapshot TTL nor
+// the decision TTL expires; the ratio to BenchmarkBeginFidelityOp is the
+// cache's speedup.
+func BenchmarkBeginFidelityOpWarm(b *testing.B) {
+	tb, app := benchSpeechApp(b, testbed.Options{
+		Cache:       spectrapub.CacheOptions{Enabled: true},
+		SnapshotTTL: time.Hour,
+	})
+	runBeginLoop(b, tb, app)
 }
 
 // BenchmarkSolverHeuristic97 measures the search alone over the Pangloss

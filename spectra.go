@@ -74,6 +74,13 @@ type (
 	Advisor = core.Advisor
 	// BeginOverhead breaks down the wall-clock cost of a decision.
 	BeginOverhead = core.BeginOverhead
+	// CacheOptions tunes the placement-decision cache in front of the
+	// solver ("virtual stubs": warm Begins reuse a prior decision under an
+	// unchanged coarse resource picture); the zero value disables it.
+	CacheOptions = core.CacheOptions
+	// CacheStats summarizes decision-cache behaviour, from
+	// Client.DecisionCacheStats.
+	CacheStats = core.CacheStats
 	// ModelOptions tunes the self-tuning demand models.
 	ModelOptions = core.ModelOptions
 	// CustomPredictors replaces default demand predictors with
